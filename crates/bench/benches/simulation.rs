@@ -1,0 +1,26 @@
+//! End-to-end simulation throughput: a full 24 h diurnal day.
+
+use agile_core::PowerPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcsim::{Experiment, Scenario};
+
+fn full_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_24h");
+    group.sample_size(10);
+    for hosts in [16usize, 64] {
+        let scenario = Scenario::datacenter(hosts, hosts * 4, 42);
+        group.bench_function(format!("{hosts}_hosts_suspend"), |b| {
+            b.iter(|| {
+                Experiment::new(scenario.clone())
+                    .policy(PowerPolicy::reactive_suspend())
+                    .run()
+                    .expect("scenario runs")
+                    .energy_j
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_day);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! F10: consolidation headroom sweep.
+fn main() {
+    bench::print_experiment("F10", "Headroom sweep", &bench::exp_f10());
+}

@@ -1,0 +1,4 @@
+//! F11: hysteresis sweep.
+fn main() {
+    bench::print_experiment("F11", "Hysteresis sweep", &bench::exp_f11());
+}

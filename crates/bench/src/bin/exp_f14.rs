@@ -1,0 +1,4 @@
+//! F14: lifecycle churn (VM provisioning/retirement).
+fn main() {
+    bench::print_experiment("F14", "Lifecycle churn", &bench::exp_f14());
+}

@@ -1,0 +1,4 @@
+//! F16: power-curve shape ablation.
+fn main() {
+    bench::print_experiment("F16", "Power-curve shape ablation", &bench::exp_f16());
+}

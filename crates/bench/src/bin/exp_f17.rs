@@ -1,0 +1,4 @@
+//! F17: management-interval sweep (the agility axis).
+fn main() {
+    bench::print_experiment("F17", "Management-interval sweep", &bench::exp_f17());
+}

@@ -1,0 +1,4 @@
+//! F3: break-even idle-gap analysis.
+fn main() {
+    bench::print_experiment("F3", "Break-even idle gap (S3 vs S5)", &bench::exp_f3());
+}

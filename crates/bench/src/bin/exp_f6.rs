@@ -1,0 +1,4 @@
+//! F6: energy-proportionality curves.
+fn main() {
+    bench::print_experiment("F6", "Energy proportionality", &bench::exp_f6());
+}

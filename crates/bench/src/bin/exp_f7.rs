@@ -1,0 +1,4 @@
+//! F7: flash-crowd responsiveness vs wake latency.
+fn main() {
+    bench::print_experiment("F7", "Responsiveness vs wake latency", &bench::exp_f7());
+}

@@ -1,0 +1,4 @@
+//! T1: power-state characterization table.
+fn main() {
+    bench::print_experiment("T1", "Power-state characterization", &bench::exp_t1());
+}

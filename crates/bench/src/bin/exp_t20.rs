@@ -1,0 +1,4 @@
+//! T20: per-class SLA accounting (interactive vs batch).
+fn main() {
+    bench::print_experiment("T20", "Per-class SLA accounting", &bench::exp_t20());
+}

@@ -1,0 +1,4 @@
+//! T21: PSU conversion-loss sensitivity.
+fn main() {
+    bench::print_experiment("T21", "PSU conversion-loss sensitivity", &bench::exp_t21());
+}

@@ -1,0 +1,5 @@
+//! T5: policy summary table.
+fn main() {
+    let (_, t5) = bench::exp_f4_t5();
+    bench::print_experiment("T5", "Policy energy/performance summary", &t5);
+}

@@ -1,0 +1,4 @@
+//! T9: management overhead vs base DRM.
+fn main() {
+    bench::print_experiment("T9", "Management overhead", &bench::exp_t9());
+}

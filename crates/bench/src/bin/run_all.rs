@@ -1,0 +1,45 @@
+//! Runs the full evaluation: every table and figure, in experiment order.
+//!
+//! Independent experiments run on worker threads; output is printed in
+//! order once everything finishes.
+fn main() {
+    let jobs: Vec<(&str, &str, Box<dyn Fn() -> String + Send>)> = vec![
+        ("T1", "Power-state characterization", Box::new(bench::exp_t1)),
+        ("F2", "Park/wake power trace (S3 vs S5)", Box::new(bench::exp_f2)),
+        ("F3", "Break-even idle gap (S3 vs S5)", Box::new(bench::exp_f3)),
+        ("F4", "Datacenter power over 24 h", Box::new(|| bench::exp_f4_t5().0)),
+        ("T5", "Policy energy/performance summary", Box::new(|| bench::exp_f4_t5().1)),
+        ("F6", "Energy proportionality", Box::new(bench::exp_f6)),
+        ("F7", "Responsiveness vs wake latency", Box::new(bench::exp_f7)),
+        ("F8", "Scale-out", Box::new(bench::exp_f8)),
+        ("T9", "Management overhead", Box::new(bench::exp_t9)),
+        ("F10", "Headroom sweep", Box::new(bench::exp_f10)),
+        ("F11", "Hysteresis sweep", Box::new(bench::exp_f11)),
+        ("T12", "Predictor ablation", Box::new(bench::exp_t12)),
+        ("T13", "Reliability sensitivity", Box::new(bench::exp_t13)),
+        ("F14", "Lifecycle churn", Box::new(bench::exp_f14)),
+        ("F15", "Heterogeneous fleet", Box::new(bench::exp_f15)),
+        ("F16", "Power-curve shape ablation", Box::new(bench::exp_f16)),
+        ("F17", "Management-interval sweep", Box::new(bench::exp_f17)),
+        ("T18", "Proactive pre-wake ablation", Box::new(bench::exp_t18)),
+        ("T19", "Seed-replicated policy summary", Box::new(bench::exp_t19)),
+        ("T20", "Per-class SLA accounting", Box::new(bench::exp_t20)),
+        ("T21", "PSU conversion-loss sensitivity", Box::new(bench::exp_t21)),
+        ("T22", "DVFS-only vs consolidation", Box::new(bench::exp_t22)),
+        ("F23", "One-week weekday/weekend run", Box::new(bench::exp_f23)),
+        ("T24", "Consolidation packing ablation", Box::new(bench::exp_t24)),
+    ];
+    let outputs: Vec<(&str, &str, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(id, title, f)| (id, title, s.spawn(move || f())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(id, title, h)| (id, title, h.join().expect("experiment thread panicked")))
+            .collect()
+    });
+    for (id, title, body) in outputs {
+        bench::print_experiment(id, title, &body);
+    }
+}

@@ -1,0 +1,188 @@
+//! Prototype characterization experiments (T1, F2, F3).
+//!
+//! These reproduce the paper's first contribution: quantifying the
+//! latency/energy trade-offs of low-latency server power states against
+//! traditional power cycling, on the (modeled) prototype hardware.
+
+use power::breakeven::{break_even_gap, net_energy_saved, LowPowerMode};
+use power::{HostPowerProfile, PowerStateMachine, TransitionKind};
+use simcore::{SimDuration, SimTime};
+
+use dcsim::report::table;
+
+/// T1: per-state power and per-transition latency/energy for the
+/// prototype profiles.
+pub fn exp_t1() -> String {
+    let profiles = [
+        HostPowerProfile::prototype_rack(),
+        HostPowerProfile::prototype_blade(),
+        HostPowerProfile::legacy_rack(),
+    ];
+    let mut out = String::new();
+
+    let state_rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.name().to_string(),
+                format!("{:.0}", p.curve().idle_w()),
+                format!("{:.0}", p.curve().peak_w()),
+                if p.supports_suspend() {
+                    format!("{:.1}", p.suspend_power_w())
+                } else {
+                    "n/a".to_string()
+                },
+                format!("{:.1}", p.off_power_w()),
+                format!("{:.0}%", p.curve().idle_fraction() * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str("State power draw (W):\n");
+    out.push_str(&table(
+        &["profile", "idle", "peak", "suspend(S3)", "off(S5)", "idle/peak"],
+        &state_rows,
+    ));
+    out.push('\n');
+
+    let mut transition_rows = Vec::new();
+    for p in &profiles {
+        for kind in TransitionKind::ALL {
+            let Some(spec) = p.transitions().spec(kind) else {
+                transition_rows.push(vec![
+                    p.name().to_string(),
+                    kind.to_string(),
+                    "unsupported".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                continue;
+            };
+            transition_rows.push(vec![
+                p.name().to_string(),
+                kind.to_string(),
+                format!("{}", spec.latency()),
+                format!("{:.0}", spec.avg_power_w()),
+                format!("{:.1}", spec.energy_j() / 1000.0),
+            ]);
+        }
+    }
+    out.push_str("Transition latency and energy:\n");
+    out.push_str(&table(
+        &["profile", "transition", "latency", "avg W", "energy(kJ)"],
+        &transition_rows,
+    ));
+    out
+}
+
+/// F2: power-vs-time trace of one host through an idle → park → wake
+/// cycle, S3-class suspend vs. S5-class off, on the same timeline.
+pub fn exp_f2() -> String {
+    let cycle = |profile: HostPowerProfile, mode: LowPowerMode| -> simcore::TimeSeries {
+        let mut m = PowerStateMachine::new(profile, SimTime::ZERO);
+        m.enable_trace();
+        m.set_utilization(SimTime::ZERO, 0.0);
+        // 2 min idle, park for 20 min, wake, 2 min idle.
+        let park_at = SimTime::from_secs(120);
+        let done_down = m.begin(mode.down(), park_at).expect("legal transition");
+        m.complete(done_down).expect("scheduled completion");
+        let wake_at = park_at + SimDuration::from_mins(20);
+        let done_up = m.begin(mode.up(), wake_at).expect("legal transition");
+        m.complete(done_up).expect("scheduled completion");
+        m.sync(wake_at + SimDuration::from_mins(4));
+        m.meter().trace().expect("trace enabled").clone()
+    };
+
+    let s3 = cycle(HostPowerProfile::prototype_rack(), LowPowerMode::Suspend);
+    let s5 = cycle(HostPowerProfile::prototype_rack(), LowPowerMode::Off);
+
+    let mut rows = Vec::new();
+    let end = SimTime::from_secs(120 + 20 * 60 + 4 * 60);
+    let mut t = SimTime::ZERO;
+    while t <= end {
+        rows.push(vec![
+            format!("{:.1}", t.as_secs_f64() / 60.0),
+            format!("{:.0}", s3.value_at(t).unwrap_or(0.0)),
+            format!("{:.0}", s5.value_at(t).unwrap_or(0.0)),
+        ]);
+        t += SimDuration::from_secs(30);
+    }
+    let mut out = String::from(
+        "One park/wake cycle (idle 2 min, parked 20 min, wake, idle 4 min):\n",
+    );
+    out.push_str(&table(&["t(min)", "suspend W", "off/boot W"], &rows));
+    let cycle_energy = |ts: &simcore::TimeSeries| ts.integral_until(end) / 1000.0;
+    out.push_str(&format!(
+        "\ncycle energy: suspend {:.0} kJ vs off/boot {:.0} kJ (always-idle would be {:.0} kJ)\n",
+        cycle_energy(&s3),
+        cycle_energy(&s5),
+        HostPowerProfile::prototype_rack().curve().idle_w() * end.as_secs_f64() / 1000.0,
+    ));
+    out
+}
+
+/// F3: net energy saved vs. idle-gap length for S3 vs. S5, with
+/// break-even points.
+pub fn exp_f3() -> String {
+    let p = HostPowerProfile::prototype_rack();
+    let gaps_secs: [u64; 12] = [10, 20, 30, 60, 120, 300, 600, 1200, 1800, 3600, 7200, 14400];
+    let rows: Vec<Vec<String>> = gaps_secs
+        .iter()
+        .map(|&secs| {
+            let gap = SimDuration::from_secs(secs);
+            let fmt = |mode| match net_energy_saved(&p, mode, gap) {
+                Some(j) => format!("{:+.1}", j / 1000.0),
+                None => "infeasible".to_string(),
+            };
+            vec![
+                format!("{gap}"),
+                fmt(LowPowerMode::Suspend),
+                fmt(LowPowerMode::Off),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Net energy saved by parking for an idle gap (kJ):\n");
+    out.push_str(&table(&["idle gap", "suspend(S3)", "off(S5)"], &rows));
+    let s3 = break_even_gap(&p, LowPowerMode::Suspend).expect("prototype supports suspend");
+    let s5 = break_even_gap(&p, LowPowerMode::Off).expect("shutdown always available");
+    out.push_str(&format!(
+        "\nbreak-even gap: suspend {s3} vs off/boot {s5} ({:.0}x longer)\n",
+        s5.as_secs_f64() / s3.as_secs_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_lists_all_profiles_and_transitions() {
+        let t = exp_t1();
+        assert!(t.contains("prototype-rack-s3"));
+        assert!(t.contains("legacy-rack"));
+        assert!(t.contains("unsupported")); // legacy suspend
+        assert!(t.contains("boot"));
+    }
+
+    #[test]
+    fn f2_suspend_cycle_cheaper_than_off() {
+        let t = exp_f2();
+        // Extract the cycle energies from the summary line.
+        let line = t
+            .lines()
+            .find(|l| l.starts_with("cycle energy"))
+            .expect("summary line");
+        assert!(line.contains("suspend"));
+        // Structural check: suspend trace reaches the 8-9 W floor.
+        assert!(t.contains(" 9") || t.contains(" 8"), "{t}");
+    }
+
+    #[test]
+    fn f3_breakeven_gap_ordering() {
+        let t = exp_f3();
+        assert!(t.contains("break-even gap"));
+        // Short gaps are infeasible for S5 but not S3.
+        let first_gap_row = t.lines().nth(3).expect("first data row");
+        assert!(first_gap_row.contains("infeasible"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness for the `agilepm` workspace.
+//!
+//! Each public `exp_*` function regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the experiment index) and
+//! returns its plain-text rendering. The binaries in `src/bin/` are thin
+//! wrappers; `run_all` executes the full evaluation.
+//!
+//! Scale note: the headline experiments run at 64 hosts / 256 VMs —
+//! large enough for the fleet-level effects, small enough to regenerate
+//! in seconds. The scale-out sweep (F8) goes to 512 hosts.
+
+pub mod charact;
+pub mod headline;
+pub mod sweep_exps;
+
+pub use charact::{exp_f2, exp_f3, exp_t1};
+pub use headline::{exp_f4_t5, exp_t19, exp_t20, exp_t22, exp_t9};
+pub use sweep_exps::{
+    exp_f10, exp_f11, exp_f14, exp_f15, exp_f16, exp_f17, exp_f6, exp_f7, exp_f8, exp_t12,
+    exp_t13, exp_t18, exp_t21, exp_t24, exp_f23,
+};
+
+/// Fleet size of the headline experiments (hosts).
+pub const HEADLINE_HOSTS: usize = 64;
+/// Fleet size of the headline experiments (VMs): 6 per host, hot enough
+/// that base DRM has real work at the daily peak.
+pub const HEADLINE_VMS: usize = 384;
+/// The workspace-wide experiment seed.
+pub const SEED: u64 = 2013;
+
+/// Prints an experiment banner followed by its body.
+pub fn print_experiment(id: &str, title: &str, body: &str) {
+    println!("==== {id}: {title} ====");
+    println!("{body}");
+}

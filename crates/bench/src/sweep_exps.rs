@@ -1,0 +1,679 @@
+//! Sweep experiments (F6, F7, F8, F10, F11, T12).
+
+use agile_core::{PowerPolicy, PredictorConfig};
+use dcsim::report::table;
+use dcsim::sweeps;
+use power::breakeven::LowPowerMode;
+use simcore::SimDuration;
+
+use crate::{HEADLINE_HOSTS, HEADLINE_VMS, SEED};
+use agile_core::{ManagerConfig, PackingPolicy};
+use dcsim::{Experiment, Scenario};
+use workload::presets;
+
+/// F6: energy proportionality — average cluster power vs. offered load,
+/// normalized to peak, per policy, with the ideal proportional line.
+pub fn exp_f6() -> String {
+    exp_f6_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f6_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let levels = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let policies = [
+        PowerPolicy::always_on(),
+        PowerPolicy::reactive_suspend(),
+        PowerPolicy::oracle(),
+    ];
+    let mut columns = Vec::new();
+    for p in policies {
+        let series = sweeps::proportionality_sweep(hosts, vms, &levels, p, seed)
+            .expect("proportionality scenario runs");
+        columns.push(series);
+    }
+    // Normalize against the AlwaysOn power at full load.
+    let peak_w = columns[0].last().expect("levels non-empty").1.avg_power_w();
+    let rows: Vec<Vec<String>> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &level)| {
+            let mut row = vec![format!("{:.0}%", level * 100.0)];
+            for col in &columns {
+                row.push(format!("{:.2}", col[i].1.avg_power_w() / peak_w));
+            }
+            row.push(format!("{level:.2}")); // the ideal proportional line
+            row
+        })
+        .collect();
+    format!(
+        "Normalized cluster power vs offered load, {hosts} hosts / {vms} VMs:\n{}",
+        table(
+            &["load", "AlwaysOn", "PM-Suspend(S3)", "Oracle", "ideal"],
+            &rows
+        )
+    )
+}
+
+/// F7: flash-crowd responsiveness vs. wake latency (the sweep covers
+/// S3-class resume through S5-class boot latencies).
+pub fn exp_f7() -> String {
+    exp_f7_sized(HEADLINE_HOSTS, HEADLINE_VMS, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f7_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let latencies: Vec<SimDuration> = [1u64, 5, 12, 30, 60, 120, 300, 600]
+        .iter()
+        .map(|&s| SimDuration::from_secs(s))
+        .collect();
+    let results =
+        sweeps::wake_latency_sweep(hosts, vms, &latencies, seed).expect("flash-crowd runs");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(latency, r)| {
+            vec![
+                format!("{latency}"),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}%", r.violation_fraction * 100.0),
+                format!("{:.1}", r.avg_hosts_on),
+                format!("{}", r.power_ups),
+            ]
+        })
+        .collect();
+    format!(
+        "Flash crowd (12%→85% step at t=90min), {hosts} hosts / {vms} VMs, wake-latency sweep:\n{}",
+        table(
+            &["wake latency", "unserved", "viol.ticks", "hosts-on", "wakes"],
+            &rows
+        )
+    )
+}
+
+/// F8: scale-out — savings and overheads vs. cluster size.
+pub fn exp_f8() -> String {
+    exp_f8_sized(&[8, 16, 32, 64, 128, 256, 512], SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f8_sized(host_counts: &[usize], seed: u64) -> String {
+    let base = sweeps::scale_sweep(host_counts, PowerPolicy::always_on(), seed)
+        .expect("scale scenarios run");
+    let pm = sweeps::scale_sweep(host_counts, PowerPolicy::reactive_suspend(), seed)
+        .expect("scale scenarios run");
+    let rows: Vec<Vec<String>> = base
+        .iter()
+        .zip(&pm)
+        .map(|((hosts, b), (_, p))| {
+            vec![
+                format!("{hosts}"),
+                format!("{:.0}", b.energy_kwh()),
+                format!("{:.0}", p.energy_kwh()),
+                format!("{:.1}%", p.savings_vs(b) * 100.0),
+                format!("{:.3}%", p.unserved_ratio * 100.0),
+                format!("{:.2}", p.migrations_per_hour / *hosts as f64),
+                format!("{:.2}", p.power_actions_per_hour / *hosts as f64),
+            ]
+        })
+        .collect();
+    format!(
+        "Scale-out (6 VMs/host, 24 h diurnal), seed {seed}:\n{}",
+        table(
+            &[
+                "hosts",
+                "base kWh",
+                "PM-S3 kWh",
+                "savings",
+                "unserved",
+                "migr/h/host",
+                "pwr/h/host"
+            ],
+            &rows
+        )
+    )
+}
+
+/// F10: consolidation headroom sweep — the energy/violation trade-off.
+pub fn exp_f10() -> String {
+    exp_f10_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f10_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let targets = [0.55, 0.65, 0.75, 0.85, 0.95];
+    let results = sweeps::headroom_sweep(hosts, vms, &targets, LowPowerMode::Suspend, seed)
+        .expect("headroom scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(target, r)| {
+            vec![
+                format!("{:.2}", target),
+                format!("{:.0}", r.energy_kwh()),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}", r.avg_hosts_on),
+                format!("{:.0}%", r.avg_util_on * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "Headroom (target utilization) sweep, PM-Suspend(S3), {hosts} hosts / {vms} VMs:\n{}",
+        table(
+            &["target", "energy kWh", "unserved", "hosts-on", "util-on"],
+            &rows
+        )
+    )
+}
+
+/// F11: hysteresis (min-on-time) sweep under both power-state regimes —
+/// flapping vs. agility.
+pub fn exp_f11() -> String {
+    exp_f11_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f11_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let windows: Vec<SimDuration> = [0u64, 60, 300, 600, 1800, 3600]
+        .iter()
+        .map(|&s| SimDuration::from_secs(s))
+        .collect();
+    let s3 = sweeps::hysteresis_sweep(hosts, vms, &windows, LowPowerMode::Suspend, seed)
+        .expect("hysteresis scenarios run");
+    let s5 = sweeps::hysteresis_sweep(hosts, vms, &windows, LowPowerMode::Off, seed)
+        .expect("hysteresis scenarios run");
+    let rows: Vec<Vec<String>> = s3
+        .iter()
+        .zip(&s5)
+        .map(|((w, a), (_, b))| {
+            vec![
+                format!("{w}"),
+                format!("{:.1}", a.power_actions_per_hour),
+                format!("{:.0}", a.energy_kwh()),
+                format!("{:.4}%", a.unserved_ratio * 100.0),
+                format!("{:.1}", b.power_actions_per_hour),
+                format!("{:.0}", b.energy_kwh()),
+                format!("{:.4}%", b.unserved_ratio * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "Hysteresis (min-on-time) sweep, {hosts} hosts / {vms} VMs:\n{}",
+        table(
+            &[
+                "min-on",
+                "S3 act/h",
+                "S3 kWh",
+                "S3 unserved",
+                "S5 act/h",
+                "S5 kWh",
+                "S5 unserved"
+            ],
+            &rows
+        )
+    )
+}
+
+/// T12: predictor ablation — last-value vs. EWMA vs. windowed max, under
+/// both power-state regimes.
+pub fn exp_t12() -> String {
+    exp_t12_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t12_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let predictors: [(&str, PredictorConfig); 4] = [
+        ("last-value", PredictorConfig::LastValue),
+        ("ewma(0.5)", PredictorConfig::Ewma { alpha: 0.5 }),
+        ("ewma(0.2)", PredictorConfig::Ewma { alpha: 0.2 }),
+        ("window-max(6)", PredictorConfig::WindowMax { window: 6 }),
+    ];
+    let mut rows = Vec::new();
+    for mode in [LowPowerMode::Suspend, LowPowerMode::Off] {
+        let results = sweeps::predictor_sweep(hosts, vms, &predictors, mode, seed)
+            .expect("predictor scenarios run");
+        for (name, r) in results {
+            rows.push(vec![
+                match mode {
+                    LowPowerMode::Suspend => "S3".to_string(),
+                    LowPowerMode::Off => "S5".to_string(),
+                },
+                name,
+                format!("{:.0}", r.energy_kwh()),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}", r.power_actions_per_hour),
+            ]);
+        }
+    }
+    format!(
+        "Predictor ablation, {hosts} hosts / {vms} VMs, diurnal+spikes:\n{}",
+        table(
+            &["mode", "predictor", "energy kWh", "unserved", "pwr-act/h"],
+            &rows
+        )
+    )
+}
+
+/// F14: lifecycle churn — power management under continuous VM
+/// provisioning and retirement.
+pub fn exp_f14() -> String {
+    exp_f14_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f14_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let churn_fracs = [0.0, 0.15, 0.3, 0.5];
+    let mut rows = Vec::new();
+    for &frac in &churn_fracs {
+        let scenario = Scenario::datacenter_churn(hosts, vms, frac, seed);
+        let base = Experiment::new(scenario.clone())
+            .policy(PowerPolicy::always_on())
+            .run()
+            .expect("churn scenario runs");
+        let pm = Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_suspend())
+            .run()
+            .expect("churn scenario runs");
+        rows.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.0}", base.energy_kwh()),
+            format!("{:.0}", pm.energy_kwh()),
+            format!("{:.1}%", pm.savings_vs(&base) * 100.0),
+            format!("{:.4}%", pm.unserved_ratio * 100.0),
+            format!("{}", pm.placement_retries),
+            format!("{:.1}", pm.avg_hosts_on),
+        ]);
+    }
+    format!(
+        "Lifecycle churn (transient VMs, mean life 4 h), {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &[
+                "churn", "base kWh", "PM-S3 kWh", "savings", "unserved", "arrival-waits",
+                "hosts-on"
+            ],
+            &rows
+        )
+    )
+}
+
+/// F15: heterogeneous fleet — rack + blade prototypes managed together.
+pub fn exp_f15() -> String {
+    exp_f15_sized(24, 16, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f15_sized(racks: usize, blades: usize, vms: usize, seed: u64) -> String {
+    let scenario = Scenario::heterogeneous(racks, blades, vms, seed);
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for policy in [
+        PowerPolicy::always_on(),
+        PowerPolicy::reactive_off(),
+        PowerPolicy::reactive_suspend(),
+        PowerPolicy::oracle(),
+    ] {
+        reports.push(
+            Experiment::new(scenario.clone())
+                .policy(policy)
+                .run()
+                .expect("heterogeneous scenario runs"),
+        );
+    }
+    let base = reports[0].clone();
+    for r in &reports {
+        rows.push(vec![
+            r.policy.clone(),
+            format!("{:.0}", r.energy_kwh()),
+            format!("{:+.1}%", r.savings_vs(&base) * 100.0),
+            format!("{:.4}%", r.unserved_ratio * 100.0),
+            format!("{:.1}", r.avg_hosts_on),
+        ]);
+    }
+    format!(
+        "Heterogeneous fleet ({racks} racks + {blades} blades, {vms} VMs, 24 h diurnal):
+{}",
+        table(&["policy", "energy kWh", "savings", "unserved", "hosts-on"], &rows)
+    )
+}
+
+/// T13: reliability sensitivity — the cost of undependable resumes.
+pub fn exp_t13() -> String {
+    exp_t13_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t13_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let probs = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
+    let results =
+        sweeps::reliability_sweep(hosts, vms, &probs, seed).expect("reliability scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(p, r)| {
+            vec![
+                format!("{:.0}%", p * 100.0),
+                format!("{}", r.transition_failures),
+                format!("{:.0}", r.energy_kwh()),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}", r.power_actions_per_hour),
+            ]
+        })
+        .collect();
+    format!(
+        "Resume-failure sensitivity, PM-Suspend(S3), {hosts} hosts / {vms} VMs (failed resume -> cold boot):
+{}",
+        table(
+            &["fail prob", "failures", "energy kWh", "unserved", "pwr-act/h"],
+            &rows
+        )
+    )
+}
+
+/// F16: power-curve shape ablation.
+pub fn exp_f16() -> String {
+    exp_f16_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f16_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let results = sweeps::curve_shape_sweep(hosts, vms, seed).expect("curve scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, base, pm)| {
+            vec![
+                name.clone(),
+                format!("{:.0}", base.energy_kwh()),
+                format!("{:.0}", pm.energy_kwh()),
+                format!("{:.1}%", pm.savings_vs(base) * 100.0),
+                format!("{:.4}%", pm.unserved_ratio * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "Power-curve shape ablation (same endpoints/transitions), {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &["curve", "base kWh", "PM-S3 kWh", "savings", "unserved"],
+            &rows
+        )
+    )
+}
+
+/// F17: management-interval sweep — the agility axis, both power modes.
+pub fn exp_f17() -> String {
+    exp_f17_sized(HEADLINE_HOSTS, HEADLINE_VMS, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f17_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let intervals: Vec<SimDuration> = [30u64, 60, 120, 300, 900]
+        .iter()
+        .map(|&s| SimDuration::from_secs(s))
+        .collect();
+    let results =
+        sweeps::interval_sweep(hosts, vms, &intervals, seed).expect("interval scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(interval, s3, s5)| {
+            vec![
+                format!("{interval}"),
+                format!("{:.0}", s3.energy_kwh()),
+                format!("{:.4}%", s3.unserved_ratio * 100.0),
+                format!("{:.1}", s3.migrations_per_hour),
+                format!("{:.0}", s5.energy_kwh()),
+                format!("{:.4}%", s5.unserved_ratio * 100.0),
+                format!("{:.1}", s5.migrations_per_hour),
+            ]
+        })
+        .collect();
+    format!(
+        "Management-interval sweep, {hosts} hosts / {vms} VMs, diurnal+spikes:
+{}",
+        table(
+            &[
+                "interval",
+                "S3 kWh",
+                "S3 unserved",
+                "S3 migr/h",
+                "S5 kWh",
+                "S5 unserved",
+                "S5 migr/h"
+            ],
+            &rows
+        )
+    )
+}
+
+/// T18: proactive pre-waking ablation.
+pub fn exp_t18() -> String {
+    exp_t18_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t18_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let results = sweeps::prewake_sweep(hosts, vms, seed).expect("prewake scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                format!("{:.0}", r.energy_kwh()),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}", r.power_actions_per_hour),
+                format!("{:.1}", r.avg_hosts_on),
+            ]
+        })
+        .collect();
+    format!(
+        "Proactive pre-wake ablation, 48 h (profile learns day 1), {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &["variant", "energy kWh", "unserved", "pwr-act/h", "hosts-on"],
+            &rows
+        )
+    )
+}
+
+/// T21: PSU conversion-loss sensitivity (wall-power accounting).
+pub fn exp_t21() -> String {
+    exp_t21_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t21_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let results = sweeps::psu_sweep(hosts, vms, seed).expect("psu scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, base, pm)| {
+            vec![
+                name.clone(),
+                format!("{:.0}", base.energy_kwh()),
+                format!("{:.0}", pm.energy_kwh()),
+                format!("{:.1}%", pm.savings_vs(base) * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "PSU conversion-loss sensitivity (same DC hardware), {hosts} hosts / {vms} VMs:
+{}",
+        table(&["supply", "base kWh", "PM-S3 kWh", "savings"], &rows)
+    )
+}
+
+/// F23: a full week — weekday/weekend pattern, with and without the
+/// learned-profile pre-wake.
+pub fn exp_f23() -> String {
+    exp_f23_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_f23_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let horizon = SimDuration::from_hours(7 * 24);
+    let scenario = Scenario::with_workload(
+        format!("weekly-{hosts}x{vms}"),
+        hosts,
+        vms,
+        presets::enterprise_weekly(),
+        horizon,
+        seed,
+    );
+    let mut rows = Vec::new();
+    let base = Experiment::new(scenario.clone())
+        .policy(PowerPolicy::always_on())
+        .horizon(horizon)
+        .run()
+        .expect("weekly scenario runs");
+    let mut push = |label: &str, r: &dcsim::SimReport| {
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", r.energy_kwh()),
+            format!("{:+.1}%", r.savings_vs(&base) * 100.0),
+            format!("{:.4}%", r.unserved_ratio * 100.0),
+            format!("{:.1}", r.avg_hosts_on),
+        ]);
+    };
+    push("AlwaysOn", &base);
+    for (label, prewake) in [("PM-Suspend(S3)", false), ("PM-S3+prewake", true)] {
+        let mut config =
+            ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms);
+        if prewake {
+            config = config.with_prewake(SimDuration::from_mins(15));
+        }
+        let r = Experiment::new(scenario.clone())
+            .manager_config(config)
+            .horizon(horizon)
+            .run()
+            .expect("weekly scenario runs");
+        push(label, &r);
+    }
+    let oracle = Experiment::new(scenario)
+        .policy(PowerPolicy::oracle())
+        .horizon(horizon)
+        .run()
+        .expect("weekly scenario runs");
+    push("Oracle", &oracle);
+    format!(
+        "One week (weekday/weekend pattern), {hosts} hosts / {vms} VMs:
+{}",
+        table(&["policy", "energy kWh", "savings", "unserved", "hosts-on"], &rows)
+    )
+}
+
+/// T24: consolidation packing ablation — best-fit vs least-loaded
+/// destinations for evacuations.
+pub fn exp_t24() -> String {
+    exp_t24_sized(32, 192, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t24_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let scenario = Scenario::datacenter_spiky(hosts, vms, seed);
+    let mut rows = Vec::new();
+    for (label, packing) in [
+        ("best-fit", PackingPolicy::BestFit),
+        ("least-loaded", PackingPolicy::LeastLoaded),
+    ] {
+        let config = ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms)
+            .with_packing(packing);
+        let r = Experiment::new(scenario.clone())
+            .manager_config(config)
+            .control_interval(SimDuration::from_mins(1))
+            .run()
+            .expect("packing scenario runs");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", r.energy_kwh()),
+            format!("{:.4}%", r.unserved_ratio * 100.0),
+            format!("{:.1}", r.avg_hosts_on),
+            format!("{:.2}x", r.avg_latency_factor),
+            format!("{:.1}", r.migrations_per_hour),
+        ]);
+    }
+    format!(
+        "Consolidation packing ablation, PM-Suspend(S3), {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &["packing", "energy kWh", "unserved", "hosts-on", "lat", "migr/h"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f6_table_has_ideal_column() {
+        let t = exp_f6_sized(4, 16, 3);
+        assert!(t.contains("ideal"));
+        assert!(t.contains("90%"));
+    }
+
+    #[test]
+    fn f7_latency_monotonicity_endpoints() {
+        let t = exp_f7_sized(8, 32, 3);
+        assert!(t.contains("12s"));
+        assert!(t.contains("10m")); // 600 s renders as 10m
+    }
+
+    #[test]
+    fn f8_runs_two_sizes() {
+        let t = exp_f8_sized(&[4, 8], 3);
+        assert!(t.contains("base kWh"));
+        let rows: Vec<&str> = t.lines().skip(3).collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn t24_packing_changes_fleet_tightness() {
+        let t = exp_t24_sized(6, 36, 3);
+        assert!(t.contains("best-fit"));
+        assert!(t.contains("least-loaded"));
+    }
+
+    #[test]
+    fn f23_week_renders() {
+        let t = exp_f23_sized(4, 24, 3);
+        assert!(t.contains("One week"));
+        assert!(t.contains("prewake"));
+    }
+
+    #[test]
+    fn f16_f17_render() {
+        let f16 = exp_f16_sized(4, 16, 3);
+        assert!(f16.contains("sub-linear"));
+        let f17 = exp_f17_sized(6, 24, 3);
+        assert!(f17.contains("15m"));
+        assert!(f17.contains("S5 unserved"));
+    }
+
+    #[test]
+    fn f15_heterogeneous_orders_policies() {
+        let t = exp_f15_sized(4, 4, 36, 3);
+        assert!(t.contains("racks"));
+        assert!(t.contains("Oracle"));
+    }
+
+    #[test]
+    fn f14_churn_preserves_savings() {
+        let t = exp_f14_sized(6, 36, 3);
+        assert!(t.contains("churn"));
+        let rows: Vec<&str> = t.lines().skip(3).collect();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn t13_failures_grow_with_probability() {
+        let t = exp_t13_sized(8, 32, 3);
+        assert!(t.contains("fail prob"));
+        // The 0% row injects no failures.
+        let zero_row = t.lines().nth(3).expect("first data row");
+        assert!(zero_row.contains(" 0 "), "{zero_row}");
+    }
+
+    #[test]
+    fn t12_covers_both_modes() {
+        let t = exp_t12_sized(4, 16, 3);
+        assert!(t.contains("S3"));
+        assert!(t.contains("S5"));
+        assert!(t.contains("window-max(6)"));
+    }
+}

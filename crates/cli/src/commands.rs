@@ -1,0 +1,447 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs;
+
+use agile_core::PowerPolicy;
+use dcsim::report::{policy_comparison, series_csv, table};
+use dcsim::{Experiment, FailureModel, Scenario, SimReport};
+use power::breakeven::{break_even_gap, net_energy_saved, LowPowerMode};
+use power::HostPowerProfile;
+use simcore::{SimDuration, SimTime};
+
+use crate::args::{ArgError, Flags};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+agilepm — datacenter power-management simulator (ISCA'13 reproduction)
+
+USAGE:
+  agilepm run       simulate one policy and print a summary
+  agilepm compare   run AlwaysOn / PM-OffOn / PM-Suspend / Oracle side by side
+  agilepm sweep     run a parameter sweep (wake-latency | headroom | interval | reliability)
+  agilepm breakeven print power-state characterization and break-even analysis
+  agilepm help      show this help
+
+COMMON FLAGS (run, compare):
+  --hosts N            number of hosts               [default 32]
+  --vms N              number of VMs                 [default 6*hosts]
+  --seed N             scenario seed                 [default 2013]
+  --hours N            simulated horizon in hours    [default 24]
+  --interval-mins N    management interval           [default 5]
+  --workload KIND      diurnal | spiky | churn       [default diurnal]
+  --churn F            transient VM fraction (workload churn) [default 0.3]
+
+run-ONLY FLAGS:
+  --policy P           always-on | suspend | off | oracle  [default suspend]
+  --resume-fail P      resume failure probability    [default 0]
+  --json PATH          write the full report as JSON
+  --csv PATH           write power/hosts-on/unserved series as CSV
+  --events PATH        write the management audit log as CSV
+
+sweep FLAGS:
+  --kind K             wake-latency | headroom | interval | reliability  [required]
+  --hosts N, --vms N, --seed N   as above
+  --csv PATH           also write the sweep as CSV
+
+breakeven FLAGS:
+  --profile NAME       rack | blade | legacy         [default rack]
+";
+
+/// Routes a command line to its implementation.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    match argv.first().map(String::as_str) {
+        Some("run") => run(&argv[1..]),
+        Some("compare") => compare(&argv[1..]),
+        Some("sweep") => sweep(&argv[1..]),
+        Some("breakeven") => breakeven(&argv[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(Box::new(ArgError(format!("unknown command `{other}`")))),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PowerPolicy, ArgError> {
+    match name {
+        "always-on" => Ok(PowerPolicy::always_on()),
+        "suspend" => Ok(PowerPolicy::reactive_suspend()),
+        "off" => Ok(PowerPolicy::reactive_off()),
+        "oracle" => Ok(PowerPolicy::oracle()),
+        other => Err(ArgError(format!(
+            "unknown policy `{other}` (always-on | suspend | off | oracle)"
+        ))),
+    }
+}
+
+fn build_scenario(flags: &Flags) -> Result<Scenario, ArgError> {
+    let hosts = flags.usize_or("hosts", 32)?;
+    let vms = flags.usize_or("vms", hosts * 6)?;
+    let seed = flags.u64_or("seed", 2013)?;
+    match flags.str_or("workload", "diurnal") {
+        "diurnal" => Ok(Scenario::datacenter(hosts, vms, seed)),
+        "spiky" => Ok(Scenario::datacenter_spiky(hosts, vms, seed)),
+        "churn" => {
+            let frac = flags.f64_or("churn", 0.3)?;
+            Ok(Scenario::datacenter_churn(hosts, vms, frac, seed))
+        }
+        other => Err(ArgError(format!(
+            "unknown workload `{other}` (diurnal | spiky | churn)"
+        ))),
+    }
+}
+
+fn configure(flags: &Flags, scenario: Scenario, policy: PowerPolicy) -> Result<Experiment, ArgError> {
+    let hours = flags.u64_or("hours", 24)?;
+    let interval = flags.u64_or("interval-mins", 5)?;
+    if interval == 0 {
+        return Err(ArgError("`--interval-mins` must be positive".to_string()));
+    }
+    Ok(Experiment::new(scenario)
+        .policy(policy)
+        .horizon(SimDuration::from_hours(hours))
+        .control_interval(SimDuration::from_mins(interval)))
+}
+
+fn run(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(
+        args,
+        &[
+            "hosts", "vms", "seed", "hours", "interval-mins", "workload", "churn", "policy",
+            "resume-fail", "json", "csv", "events",
+        ],
+    )?;
+    let policy = parse_policy(flags.str_or("policy", "suspend"))?;
+    let scenario = build_scenario(&flags)?;
+    let resume_fail = flags.f64_or("resume-fail", 0.0)?;
+    let mut experiment = configure(&flags, scenario, policy)?;
+    if resume_fail > 0.0 {
+        experiment = experiment.failure_model(FailureModel::new(resume_fail, 0.0));
+    }
+    if flags.str_opt("events").is_some() {
+        experiment = experiment.record_events();
+    }
+    let report = experiment.run()?;
+    print_summary(&report);
+
+    if let Some(path) = flags.str_opt("json") {
+        fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("wrote JSON report to {path}");
+    }
+    if let Some(path) = flags.str_opt("events") {
+        fs::write(path, dcsim::events::events_csv(&report.events))?;
+        eprintln!("wrote audit log to {path}");
+    }
+    if let Some(path) = flags.str_opt("csv") {
+        let end = SimTime::ZERO + report.horizon;
+        let csv = series_csv(
+            &["power_w", "hosts_on", "unserved_cores"],
+            &[
+                &report.power_series,
+                &report.hosts_on_series,
+                &report.unserved_series,
+            ],
+            SimDuration::from_mins(5),
+            end,
+        );
+        fs::write(path, csv)?;
+        eprintln!("wrote CSV series to {path}");
+    }
+    Ok(())
+}
+
+fn print_summary(r: &SimReport) {
+    let rows = vec![
+        vec!["scenario".to_string(), r.scenario.clone()],
+        vec!["policy".to_string(), r.policy.clone()],
+        vec!["seed".to_string(), r.seed.to_string()],
+        vec!["horizon".to_string(), format!("{}", r.horizon)],
+        vec!["energy".to_string(), format!("{:.1} kWh", r.energy_kwh())],
+        vec!["avg power".to_string(), format!("{:.0} W", r.avg_power_w())],
+        vec!["peak power".to_string(), format!("{:.0} W", r.peak_power_w)],
+        vec![
+            "unserved demand".to_string(),
+            format!("{:.4}%", r.unserved_ratio * 100.0),
+        ],
+        vec![
+            "avg hosts on".to_string(),
+            format!("{:.1} / {}", r.avg_hosts_on, r.num_hosts),
+        ],
+        vec![
+            "latency stretch".to_string(),
+            format!("{:.2}x avg, {:.2}x peak", r.avg_latency_factor, r.peak_latency_factor),
+        ],
+        vec!["migrations".to_string(), r.migrations.to_string()],
+        vec![
+            "power actions".to_string(),
+            (r.power_ups + r.power_downs).to_string(),
+        ],
+        vec![
+            "transition failures".to_string(),
+            r.transition_failures.to_string(),
+        ],
+    ];
+    print!("{}", table(&["metric", "value"], &rows));
+}
+
+fn compare(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(
+        args,
+        &["hosts", "vms", "seed", "hours", "interval-mins", "workload", "churn"],
+    )?;
+    let scenario = build_scenario(&flags)?;
+    let mut reports = Vec::new();
+    for policy in [
+        PowerPolicy::always_on(),
+        PowerPolicy::reactive_off(),
+        PowerPolicy::reactive_suspend(),
+        PowerPolicy::oracle(),
+    ] {
+        reports.push(configure(&flags, scenario.clone(), policy)?.run()?);
+    }
+    print!("{}", policy_comparison(&reports.iter().collect::<Vec<_>>()));
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> CmdResult {
+    use dcsim::sweeps;
+    let flags = Flags::parse(args, &["kind", "hosts", "vms", "seed", "csv"])?;
+    let hosts = flags.usize_or("hosts", 16)?;
+    let vms = flags.usize_or("vms", hosts * 6)?;
+    let seed = flags.u64_or("seed", 2013)?;
+    let kind = flags
+        .str_opt("kind")
+        .ok_or_else(|| ArgError("`--kind` is required for sweep".to_string()))?;
+
+    // Each sweep reduces to (knob label, report) rows.
+    let rows: Vec<(String, SimReport)> = match kind {
+        "wake-latency" => {
+            let latencies: Vec<SimDuration> = [1u64, 12, 60, 300, 600]
+                .iter()
+                .map(|&s| SimDuration::from_secs(s))
+                .collect();
+            sweeps::wake_latency_sweep(hosts, vms, &latencies, seed)?
+                .into_iter()
+                .map(|(l, r)| (format!("{l}"), r))
+                .collect()
+        }
+        "headroom" => {
+            let targets = [0.55, 0.65, 0.75, 0.85];
+            sweeps::headroom_sweep(hosts, vms, &targets, LowPowerMode::Suspend, seed)?
+                .into_iter()
+                .map(|(t, r)| (format!("{t:.2}"), r))
+                .collect()
+        }
+        "interval" => {
+            let intervals: Vec<SimDuration> = [30u64, 60, 300, 900]
+                .iter()
+                .map(|&s| SimDuration::from_secs(s))
+                .collect();
+            sweeps::interval_sweep(hosts, vms, &intervals, seed)?
+                .into_iter()
+                .flat_map(|(i, s3, s5)| {
+                    [(format!("{i} S3"), s3), (format!("{i} S5"), s5)]
+                })
+                .collect()
+        }
+        "reliability" => {
+            let probs = [0.0, 0.02, 0.05, 0.1];
+            sweeps::reliability_sweep(hosts, vms, &probs, seed)?
+                .into_iter()
+                .map(|(p, r)| (format!("{:.0}%", p * 100.0), r))
+                .collect()
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown sweep kind `{other}` (wake-latency | headroom | interval | reliability)"
+            ))))
+        }
+    };
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(knob, r)| {
+            vec![
+                knob.clone(),
+                format!("{:.1}", r.energy_kwh()),
+                format!("{:.4}%", r.unserved_ratio * 100.0),
+                format!("{:.1}", r.migrations_per_hour),
+                format!("{:.1}", r.power_actions_per_hour),
+                format!("{:.1}", r.avg_hosts_on),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["knob", "energy kWh", "unserved", "migr/h", "pwr-act/h", "hosts-on"],
+            &table_rows
+        )
+    );
+
+    if let Some(path) = flags.str_opt("csv") {
+        let mut csv = String::from("knob,energy_kwh,unserved_ratio,migr_per_h,pwr_act_per_h,hosts_on\n");
+        for (knob, r) in &rows {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                knob,
+                r.energy_kwh(),
+                r.unserved_ratio,
+                r.migrations_per_hour,
+                r.power_actions_per_hour,
+                r.avg_hosts_on
+            ));
+        }
+        fs::write(path, csv)?;
+        eprintln!("wrote CSV sweep to {path}");
+    }
+    Ok(())
+}
+
+fn breakeven(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args, &["profile"])?;
+    let profile = match flags.str_or("profile", "rack") {
+        "rack" => HostPowerProfile::prototype_rack(),
+        "blade" => HostPowerProfile::prototype_blade(),
+        "legacy" => HostPowerProfile::legacy_rack(),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown profile `{other}` (rack | blade | legacy)"
+            ))))
+        }
+    };
+    println!("{profile}");
+    for mode in [LowPowerMode::Suspend, LowPowerMode::Off] {
+        let label = match mode {
+            LowPowerMode::Suspend => "suspend (S3)",
+            LowPowerMode::Off => "off/boot (S5)",
+        };
+        match break_even_gap(&profile, mode) {
+            Some(gap) => println!("{label}: breaks even after {gap} idle"),
+            None => println!("{label}: not supported by this profile"),
+        }
+    }
+    let rows: Vec<Vec<String>> = [60u64, 300, 900, 3600]
+        .iter()
+        .map(|&secs| {
+            let gap = SimDuration::from_secs(secs);
+            let fmt = |mode| match net_energy_saved(&profile, mode, gap) {
+                Some(j) => format!("{:+.1} kJ", j / 1000.0),
+                None => "infeasible".to_string(),
+            };
+            vec![
+                format!("{gap}"),
+                fmt(LowPowerMode::Suspend),
+                fmt(LowPowerMode::Off),
+            ]
+        })
+        .collect();
+    print!("{}", table(&["idle gap", "suspend", "off"], &rows));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("suspend").unwrap(), PowerPolicy::reactive_suspend());
+        assert_eq!(parse_policy("oracle").unwrap(), PowerPolicy::oracle());
+        assert!(parse_policy("s3").is_err());
+    }
+
+    #[test]
+    fn run_small_scenario_end_to_end() {
+        dispatch(&argv(&[
+            "run", "--hosts", "4", "--vms", "12", "--hours", "2", "--policy", "suspend",
+        ]))
+        .expect("small run succeeds");
+    }
+
+    #[test]
+    fn run_with_json_and_csv_outputs(
+    ) {
+        let dir = std::env::temp_dir().join("agilepm-cli-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let json = dir.join("r.json");
+        let csv = dir.join("r.csv");
+        dispatch(&argv(&[
+            "run",
+            "--hosts", "4", "--vms", "12", "--hours", "2",
+            "--json", json.to_str().expect("utf8 path"),
+            "--csv", csv.to_str().expect("utf8 path"),
+        ]))
+        .expect("run with outputs succeeds");
+        let report: dcsim::SimReport =
+            serde_json::from_str(&fs::read_to_string(&json).expect("json written"))
+                .expect("report round-trips");
+        assert!(report.energy_j > 0.0);
+        let csv_text = fs::read_to_string(&csv).expect("csv written");
+        assert!(csv_text.starts_with("t_hours,power_w,hosts_on,unserved_cores"));
+    }
+
+    #[test]
+    fn sweep_kinds() {
+        dispatch(&argv(&[
+            "sweep", "--kind", "headroom", "--hosts", "4", "--vms", "16",
+        ]))
+        .expect("headroom sweep runs");
+        assert!(dispatch(&argv(&["sweep", "--kind", "bogus"])).is_err());
+        assert!(dispatch(&argv(&["sweep"])).is_err());
+    }
+
+    #[test]
+    fn run_with_event_log() {
+        let dir = std::env::temp_dir().join("agilepm-cli-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("events.csv");
+        dispatch(&argv(&[
+            "run", "--hosts", "4", "--vms", "16", "--hours", "4",
+            "--events", path.to_str().expect("utf8 path"),
+        ]))
+        .expect("run with audit log succeeds");
+        let text = fs::read_to_string(&path).expect("log written");
+        assert!(text.starts_with("t_seconds,event"));
+        assert!(text.lines().count() > 1, "log should have entries");
+    }
+
+    #[test]
+    fn breakeven_profiles() {
+        for p in ["rack", "blade", "legacy"] {
+            dispatch(&argv(&["breakeven", "--profile", p])).expect("profile prints");
+        }
+        assert!(dispatch(&argv(&["breakeven", "--profile", "toaster"])).is_err());
+    }
+
+    #[test]
+    fn compare_small() {
+        dispatch(&argv(&[
+            "compare", "--hosts", "4", "--vms", "12", "--hours", "2",
+        ]))
+        .expect("compare succeeds");
+    }
+
+    #[test]
+    fn churn_workload_flag() {
+        dispatch(&argv(&[
+            "run", "--hosts", "4", "--vms", "12", "--hours", "2", "--workload", "churn",
+            "--churn", "0.5",
+        ]))
+        .expect("churn run succeeds");
+        assert!(dispatch(&argv(&["run", "--workload", "bogus"])).is_err());
+    }
+}

@@ -1,0 +1,852 @@
+//! The cluster facade: hosts + VMs + placement + migrations + power.
+
+use power::{PowerState, TransitionKind};
+use simcore::SimTime;
+
+use crate::{
+    ClusterError, Host, HostId, HostSpec, Migration, MigrationModel, PlacementMap, Resources,
+    ServiceClass, VmId, VmSpec,
+};
+
+/// Result of applying one round of VM demand to the cluster.
+///
+/// Produced by [`Cluster::apply_demand`]; the simulator derives its
+/// performance metrics (unserved demand, violations) from this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandOutcome {
+    /// Sum of all VM CPU demand this round, in cores.
+    pub offered_cores: f64,
+    /// Demand actually served, in cores.
+    pub served_cores: f64,
+    /// Demand that could not be served (overload or VM on a non-operational
+    /// host), in cores.
+    pub unserved_cores: f64,
+    /// Offered demand from interactive-class VMs, cores.
+    pub offered_interactive_cores: f64,
+    /// Offered demand from batch-class VMs, cores.
+    pub offered_batch_cores: f64,
+    /// Unserved interactive demand (interactive is served first, so this
+    /// only grows once a host is saturated by interactive load alone).
+    pub unserved_interactive_cores: f64,
+    /// Unserved batch demand (batch absorbs overload first).
+    pub unserved_batch_cores: f64,
+    /// Per-host CPU utilization in `[0, 1]` (0 for non-operational hosts).
+    pub host_utilization: Vec<f64>,
+    /// Per-host raw CPU demand (including migration tax), in cores.
+    pub host_demand_cores: Vec<f64>,
+}
+
+/// The managed datacenter: hosts, VMs, placement, in-flight migrations,
+/// and per-host power machines.
+///
+/// All mutating operations validate their preconditions and return
+/// [`ClusterError`] on violation, so management policies cannot corrupt
+/// the physical model (e.g. suspending a host that still runs VMs).
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    hosts: Vec<Host>,
+    vms: Vec<VmSpec>,
+    placement: PlacementMap,
+    /// Per-VM in-flight migration, if any.
+    migrations: Vec<Option<Migration>>,
+    /// Per-host count of inbound migrations (capacity reservations).
+    inbound: Vec<u32>,
+    model: MigrationModel,
+    migrations_started: u64,
+    migrations_completed: u64,
+    migration_busy_secs: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster with all hosts `On` and all VMs unplaced, using
+    /// the default [`MigrationModel`].
+    pub fn new(host_specs: Vec<HostSpec>, vm_specs: Vec<VmSpec>, t0: SimTime) -> Self {
+        Self::with_migration_model(host_specs, vm_specs, MigrationModel::default(), t0)
+    }
+
+    /// Creates a cluster with an explicit migration model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no hosts.
+    pub fn with_migration_model(
+        host_specs: Vec<HostSpec>,
+        vm_specs: Vec<VmSpec>,
+        model: MigrationModel,
+        t0: SimTime,
+    ) -> Self {
+        assert!(!host_specs.is_empty(), "cluster needs at least one host");
+        let hosts: Vec<Host> = host_specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Host::from_spec(HostId(i as u32), s, t0))
+            .collect();
+        let placement = PlacementMap::new(hosts.len(), vm_specs.len());
+        let inbound = vec![0; hosts.len()];
+        let migrations = vec![None; vm_specs.len()];
+        Cluster {
+            hosts,
+            vms: vm_specs,
+            placement,
+            migrations,
+            inbound,
+            model,
+            migrations_started: 0,
+            migrations_completed: 0,
+            migration_busy_secs: 0.0,
+        }
+    }
+
+    // ----- accessors -------------------------------------------------
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of VMs.
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// All VM ids.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        (0..self.vms.len() as u32).map(VmId)
+    }
+
+    /// The host with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownHost`] for an out-of-range id.
+    pub fn host(&self, id: HostId) -> Result<&Host, ClusterError> {
+        self.hosts.get(id.index()).ok_or(ClusterError::UnknownHost(id))
+    }
+
+    /// The VM spec with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownVm`] for an out-of-range id.
+    pub fn vm(&self, id: VmId) -> Result<&VmSpec, ClusterError> {
+        self.vms.get(id.index()).ok_or(ClusterError::UnknownVm(id))
+    }
+
+    /// All hosts, indexable by `HostId::index()`.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// The placement map.
+    pub fn placement(&self) -> &PlacementMap {
+        &self.placement
+    }
+
+    /// The migration model in use.
+    pub fn migration_model(&self) -> &MigrationModel {
+        &self.model
+    }
+
+    /// VMs currently on `host` (excluding inbound migrations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn vms_on(&self, host: HostId) -> Vec<VmId> {
+        self.placement.vms_on(host)
+    }
+
+    /// The in-flight migration of `vm`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    pub fn migration_of(&self, vm: VmId) -> Option<Migration> {
+        self.migrations[vm.index()]
+    }
+
+    /// Total live migrations started so far.
+    pub fn migrations_started(&self) -> u64 {
+        self.migrations_started
+    }
+
+    /// Total live migrations completed so far.
+    pub fn migrations_completed(&self) -> u64 {
+        self.migrations_completed
+    }
+
+    /// Cumulative wall-clock seconds of live-migration activity started so
+    /// far (each migration contributes its full duration at start time).
+    pub fn migration_busy_secs(&self) -> f64 {
+        self.migration_busy_secs
+    }
+
+    /// Cumulative host-seconds spent in transitional power states
+    /// (suspending/resuming/shutting down/booting), summed over hosts.
+    /// Call [`sync`](Self::sync) first for an up-to-the-instant view.
+    pub fn transition_busy_secs(&self) -> f64 {
+        use power::PowerState;
+        self.hosts
+            .iter()
+            .map(|h| {
+                let r = h.power().residency();
+                [
+                    PowerState::Suspending,
+                    PowerState::Resuming,
+                    PowerState::ShuttingDown,
+                    PowerState::Booting,
+                ]
+                .iter()
+                .map(|&s| r.in_state(s).as_secs_f64())
+                .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Ids of hosts currently in the `On` state.
+    pub fn operational_hosts(&self) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.is_operational())
+            .map(|h| h.id())
+            .collect()
+    }
+
+    /// Ids of hosts currently in `state`.
+    pub fn hosts_in_state(&self, state: PowerState) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.power_state() == state)
+            .map(|h| h.id())
+            .collect()
+    }
+
+    /// Memory committed on `host`: placed VMs plus inbound migration
+    /// reservations, in GB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn mem_committed_gb(&self, host: HostId) -> f64 {
+        let placed: f64 = self
+            .placement
+            .vms_on(host)
+            .iter()
+            .map(|&vm| self.vms[vm.index()].mem_gb())
+            .sum();
+        let inbound: f64 = self
+            .migrations
+            .iter()
+            .flatten()
+            .filter(|m| m.to == host)
+            .map(|m| self.vms[m.vm.index()].mem_gb())
+            .sum();
+        placed + inbound
+    }
+
+    /// Free memory on `host` after commitments, in GB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn mem_free_gb(&self, host: HostId) -> f64 {
+        (self.hosts[host.index()].capacity().mem_gb - self.mem_committed_gb(host)).max(0.0)
+    }
+
+    /// Whether `host` can be powered down: no placed VMs, no inbound
+    /// migrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn is_evacuated(&self, host: HostId) -> bool {
+        self.placement.is_empty_host(host) && self.inbound[host.index()] == 0
+    }
+
+    // ----- placement & migration -------------------------------------
+
+    /// Places an unplaced VM on an operational host with enough memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] if the VM is already placed, the host is
+    /// not `On`, or memory does not fit.
+    pub fn place(&mut self, vm: VmId, host: HostId) -> Result<(), ClusterError> {
+        let spec = *self.vm(vm)?;
+        let h = self.host(host)?;
+        if self.placement.host_of(vm).is_some() {
+            return Err(ClusterError::VmAlreadyPlaced(vm));
+        }
+        if !h.is_operational() {
+            return Err(ClusterError::HostNotOperational(host));
+        }
+        if spec.mem_gb() > self.mem_free_gb(host) + 1e-9 {
+            return Err(ClusterError::InsufficientCapacity { host, vm });
+        }
+        self.placement.place(vm, host);
+        Ok(())
+    }
+
+    /// Removes a VM from its host (retirement/deprovisioning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::VmMigrating`] if a live migration is in
+    /// flight (complete it first), or [`ClusterError::VmNotPlaced`] if the
+    /// VM has no host.
+    pub fn unplace(&mut self, vm: VmId) -> Result<HostId, ClusterError> {
+        self.vm(vm)?;
+        if self.migrations[vm.index()].is_some() {
+            return Err(ClusterError::VmMigrating(vm));
+        }
+        if self.placement.host_of(vm).is_none() {
+            return Err(ClusterError::VmNotPlaced(vm));
+        }
+        Ok(self.placement.remove(vm))
+    }
+
+    /// Starts a live migration of `vm` to `to`, returning when it
+    /// completes. The VM keeps running on its source until then.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] if the VM is unplaced or already
+    /// migrating, the destination equals the source, the destination is
+    /// not `On`, or memory does not fit on the destination.
+    pub fn begin_migration(
+        &mut self,
+        vm: VmId,
+        to: HostId,
+        now: SimTime,
+    ) -> Result<SimTime, ClusterError> {
+        let spec = *self.vm(vm)?;
+        let dest = self.host(to)?;
+        let from = self
+            .placement
+            .host_of(vm)
+            .ok_or(ClusterError::VmNotPlaced(vm))?;
+        if self.migrations[vm.index()].is_some() {
+            return Err(ClusterError::VmMigrating(vm));
+        }
+        if from == to {
+            return Err(ClusterError::SelfMigration(vm));
+        }
+        if !dest.is_operational() {
+            return Err(ClusterError::HostNotOperational(to));
+        }
+        if spec.mem_gb() > self.mem_free_gb(to) + 1e-9 {
+            return Err(ClusterError::InsufficientCapacity { host: to, vm });
+        }
+        let in_flight = self.migrations.iter().flatten().count();
+        let duration = self.model.duration_for_with_load(spec.mem_gb(), in_flight);
+        self.migration_busy_secs += duration.as_secs_f64();
+        let completes_at = now + duration;
+        self.migrations[vm.index()] = Some(Migration {
+            vm,
+            from,
+            to,
+            completes_at,
+        });
+        self.inbound[to.index()] += 1;
+        self.migrations_started += 1;
+        Ok(completes_at)
+    }
+
+    /// Completes the in-flight migration of `vm`, switching it to the
+    /// destination host. Must be called at the instant returned by
+    /// [`begin_migration`](Self::begin_migration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::VmNotPlaced`] variants for unknown state,
+    /// and propagates nothing else: destination capacity was reserved at
+    /// start.
+    pub fn complete_migration(&mut self, vm: VmId, now: SimTime) -> Result<Migration, ClusterError> {
+        self.vm(vm)?;
+        let migration = self.migrations[vm.index()]
+            .take()
+            .ok_or(ClusterError::VmMigrating(vm))?; // "not migrating" reuses the closest variant
+        debug_assert_eq!(migration.completes_at, now, "migration completion mistimed");
+        self.inbound[migration.to.index()] -= 1;
+        self.placement.relocate(vm, migration.to);
+        self.migrations_completed += 1;
+        Ok(migration)
+    }
+
+    // ----- power ------------------------------------------------------
+
+    /// Begins a power-state transition on `host`, returning its completion
+    /// instant.
+    ///
+    /// Power-down transitions (`Suspend`, `Shutdown`) require the host to
+    /// be fully evacuated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::HostNotEvacuated`] for a power-down on a
+    /// non-empty host, or wraps the underlying [`power::PowerError`].
+    pub fn begin_power_transition(
+        &mut self,
+        host: HostId,
+        kind: TransitionKind,
+        now: SimTime,
+    ) -> Result<SimTime, ClusterError> {
+        self.host(host)?;
+        if kind.is_power_down() && !self.is_evacuated(host) {
+            return Err(ClusterError::HostNotEvacuated(host));
+        }
+        Ok(self.hosts[host.index()].power_mut().begin(kind, now)?)
+    }
+
+    /// Completes the in-flight power transition on `host`, returning the
+    /// new state.
+    ///
+    /// # Errors
+    ///
+    /// Wraps the underlying [`power::PowerError`].
+    pub fn complete_power_transition(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+    ) -> Result<PowerState, ClusterError> {
+        self.host(host)?;
+        Ok(self.hosts[host.index()].power_mut().complete(now)?)
+    }
+
+    /// Fails the in-flight power transition on `host` (fault injection):
+    /// the host lands in the transition's failure state instead of its
+    /// target (e.g. a failed resume leaves it `Off`, requiring a boot).
+    ///
+    /// # Errors
+    ///
+    /// Wraps the underlying [`power::PowerError`].
+    pub fn fail_power_transition(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+    ) -> Result<PowerState, ClusterError> {
+        self.host(host)?;
+        Ok(self.hosts[host.index()].power_mut().fail_pending(now)?)
+    }
+
+    /// Total power-state transitions that failed across all hosts.
+    pub fn failed_transitions(&self) -> u64 {
+        self.hosts.iter().map(|h| h.power().failed_transitions()).sum()
+    }
+
+    // ----- demand -----------------------------------------------------
+
+    /// Applies one round of per-VM CPU demand (cores, indexed by
+    /// `VmId::index()`), updating every host's utilization and returning
+    /// the served/unserved accounting.
+    ///
+    /// A VM's demand is served by its *current* host (the source during a
+    /// live migration); in-flight migrations add the model's CPU tax to
+    /// both endpoints. Demand beyond a host's CPU capacity, or from
+    /// unplaced VMs, is unserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_demand_cores.len() != self.num_vms()`.
+    pub fn apply_demand(&mut self, now: SimTime, vm_demand_cores: &[f64]) -> DemandOutcome {
+        assert_eq!(
+            vm_demand_cores.len(),
+            self.vms.len(),
+            "demand vector length mismatch"
+        );
+        let n = self.hosts.len();
+        // Per-host demand split by service class; interactive is served
+        // first when a host saturates.
+        let mut host_interactive = vec![0.0f64; n];
+        let mut host_batch = vec![0.0f64; n];
+        let mut offered = 0.0f64;
+        let mut offered_interactive = 0.0f64;
+        let mut offered_batch = 0.0f64;
+        let mut unserved_unplaced = 0.0f64;
+        let mut unserved_interactive = 0.0f64;
+        let mut unserved_batch = 0.0f64;
+
+        for (i, &raw) in vm_demand_cores.iter().enumerate() {
+            let vm = VmId(i as u32);
+            let demand = raw.clamp(0.0, self.vms[i].cpu_cap_cores());
+            offered += demand;
+            let class = self.vms[i].service_class();
+            match class {
+                ServiceClass::Interactive => offered_interactive += demand,
+                ServiceClass::Batch => offered_batch += demand,
+            }
+            match self.placement.host_of(vm) {
+                Some(h) => match class {
+                    ServiceClass::Interactive => host_interactive[h.index()] += demand,
+                    ServiceClass::Batch => host_batch[h.index()] += demand,
+                },
+                None => {
+                    unserved_unplaced += demand;
+                    match class {
+                        ServiceClass::Interactive => unserved_interactive += demand,
+                        ServiceClass::Batch => unserved_batch += demand,
+                    }
+                }
+            }
+        }
+        // Migration CPU tax on both endpoints — infrastructure overhead,
+        // served ahead of VM demand (the hypervisor does not yield).
+        let tax = self.model.cpu_tax_cores();
+        let mut host_tax = vec![0.0f64; n];
+        for m in self.migrations.iter().flatten() {
+            host_tax[m.from.index()] += tax;
+            host_tax[m.to.index()] += tax;
+        }
+
+        let mut served = 0.0f64;
+        let mut unserved = unserved_unplaced;
+        let mut utilization = vec![0.0f64; n];
+        let mut host_demand = vec![0.0f64; n];
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            let cap = host.capacity().cpu_cores;
+            let demand = host_tax[i] + host_interactive[i] + host_batch[i];
+            host_demand[i] = demand;
+            if host.is_operational() {
+                let mut remaining = cap;
+                let served_tax = host_tax[i].min(remaining);
+                remaining -= served_tax;
+                let served_interactive = host_interactive[i].min(remaining);
+                remaining -= served_interactive;
+                let served_batch = host_batch[i].min(remaining);
+
+                let s = served_tax + served_interactive + served_batch;
+                served += s;
+                unserved += demand - s;
+                unserved_interactive += host_interactive[i] - served_interactive;
+                unserved_batch += host_batch[i] - served_batch;
+                utilization[i] = if cap > 0.0 { s / cap } else { 0.0 };
+                host.power_mut().set_utilization(now, utilization[i]);
+            } else {
+                // VMs must not sit on non-operational hosts (the cluster
+                // enforces evacuation), but migration taxes can reference
+                // an endpoint mid-transition; treat that demand as lost.
+                unserved += demand;
+                unserved_interactive += host_interactive[i];
+                unserved_batch += host_batch[i];
+            }
+        }
+        // Migration tax is overhead, not offered VM demand; keep the
+        // invariant offered = served + unserved by counting tax in both
+        // offered and served.
+        let total_tax: f64 = host_tax.iter().sum();
+        offered += total_tax;
+
+        DemandOutcome {
+            offered_cores: offered,
+            served_cores: served,
+            unserved_cores: unserved,
+            offered_interactive_cores: offered_interactive,
+            offered_batch_cores: offered_batch,
+            unserved_interactive_cores: unserved_interactive,
+            unserved_batch_cores: unserved_batch,
+            host_utilization: utilization,
+            host_demand_cores: host_demand,
+        }
+    }
+
+    /// Brings every host's energy/residency accounting up to `now`.
+    /// Call before reading metrics at the end of a run.
+    pub fn sync(&mut self, now: SimTime) {
+        for host in &mut self.hosts {
+            host.power_mut().sync(now);
+        }
+    }
+
+    /// Total cluster power draw right now, in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.hosts.iter().map(|h| h.power().power_w()).sum()
+    }
+
+    /// Total cluster energy consumed so far, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.hosts.iter().map(|h| h.power().meter().total_j()).sum()
+    }
+
+    /// Total aggregate CPU capacity of operational hosts, in cores.
+    pub fn operational_capacity_cores(&self) -> f64 {
+        self.hosts
+            .iter()
+            .filter(|h| h.is_operational())
+            .map(|h| h.capacity().cpu_cores)
+            .sum()
+    }
+
+    /// Total aggregate CPU capacity of all hosts, in cores.
+    pub fn total_capacity_cores(&self) -> f64 {
+        self.hosts.iter().map(|h| h.capacity().cpu_cores).sum()
+    }
+
+    /// Enables power-trace recording on every host (for trace experiments).
+    pub fn enable_power_traces(&mut self) {
+        for host in &mut self.hosts {
+            host.power_mut().enable_trace();
+        }
+    }
+
+    /// Capacity of `host` (convenience passthrough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn capacity_of(&self, host: HostId) -> Resources {
+        self.hosts[host.index()].capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power::HostPowerProfile;
+
+    fn small_cluster() -> Cluster {
+        let hosts = vec![
+            HostSpec::new(Resources::new(8.0, 32.0), HostPowerProfile::prototype_rack());
+            3
+        ];
+        let vms = vec![VmSpec::new(Resources::new(2.0, 8.0)); 6];
+        Cluster::new(hosts, vms, SimTime::ZERO)
+    }
+
+    #[test]
+    fn place_respects_memory() {
+        let mut c = small_cluster();
+        // 32 GB / 8 GB per VM -> 4 fit.
+        for i in 0..4 {
+            c.place(VmId(i), HostId(0)).unwrap();
+        }
+        let err = c.place(VmId(4), HostId(0)).unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientCapacity { .. }));
+        assert_eq!(c.mem_free_gb(HostId(0)), 0.0);
+    }
+
+    #[test]
+    fn place_rejects_double_placement() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        assert_eq!(
+            c.place(VmId(0), HostId(1)).unwrap_err(),
+            ClusterError::VmAlreadyPlaced(VmId(0))
+        );
+    }
+
+    #[test]
+    fn migration_moves_vm_and_reserves_memory() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        let done = c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        // Still on source mid-flight; memory reserved on destination.
+        assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(0)));
+        assert_eq!(c.mem_committed_gb(HostId(1)), 8.0);
+        assert!(!c.is_evacuated(HostId(1)));
+
+        let m = c.complete_migration(VmId(0), done).unwrap();
+        assert_eq!(m.from, HostId(0));
+        assert_eq!(m.to, HostId(1));
+        assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(1)));
+        assert!(c.is_evacuated(HostId(0)));
+        assert_eq!(c.migrations_completed(), 1);
+    }
+
+    #[test]
+    fn migration_rejects_self_and_double() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        assert_eq!(
+            c.begin_migration(VmId(0), HostId(0), SimTime::ZERO).unwrap_err(),
+            ClusterError::SelfMigration(VmId(0))
+        );
+        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        assert_eq!(
+            c.begin_migration(VmId(0), HostId(2), SimTime::ZERO).unwrap_err(),
+            ClusterError::VmMigrating(VmId(0))
+        );
+    }
+
+    #[test]
+    fn power_down_requires_evacuation() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        assert_eq!(
+            c.begin_power_transition(HostId(0), TransitionKind::Suspend, SimTime::ZERO)
+                .unwrap_err(),
+            ClusterError::HostNotEvacuated(HostId(0))
+        );
+        // Empty host suspends fine.
+        let done = c
+            .begin_power_transition(HostId(1), TransitionKind::Suspend, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            c.complete_power_transition(HostId(1), done).unwrap(),
+            PowerState::Suspended
+        );
+        assert_eq!(c.hosts_in_state(PowerState::Suspended), vec![HostId(1)]);
+        assert_eq!(c.operational_hosts(), vec![HostId(0), HostId(2)]);
+    }
+
+    #[test]
+    fn cannot_place_on_suspended_host() {
+        let mut c = small_cluster();
+        let done = c
+            .begin_power_transition(HostId(0), TransitionKind::Suspend, SimTime::ZERO)
+            .unwrap();
+        c.complete_power_transition(HostId(0), done).unwrap();
+        assert_eq!(
+            c.place(VmId(0), HostId(0)).unwrap_err(),
+            ClusterError::HostNotOperational(HostId(0))
+        );
+        let mut c2 = small_cluster();
+        c2.place(VmId(0), HostId(1)).unwrap();
+        let done = c2
+            .begin_power_transition(HostId(0), TransitionKind::Suspend, SimTime::ZERO)
+            .unwrap();
+        c2.complete_power_transition(HostId(0), done).unwrap();
+        assert!(matches!(
+            c2.begin_migration(VmId(0), HostId(0), done).unwrap_err(),
+            ClusterError::HostNotOperational(_)
+        ));
+    }
+
+    #[test]
+    fn demand_accounting_balances() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.place(VmId(1), HostId(0)).unwrap();
+        let mut demand = vec![0.0; 6];
+        demand[0] = 1.5;
+        demand[1] = 2.0;
+        demand[2] = 1.0; // unplaced -> unserved
+        let out = c.apply_demand(SimTime::from_secs(60), &demand);
+        assert!((out.offered_cores - 4.5).abs() < 1e-9);
+        assert!((out.served_cores - 3.5).abs() < 1e-9);
+        assert!((out.unserved_cores - 1.0).abs() < 1e-9);
+        assert!((out.host_utilization[0] - 3.5 / 8.0).abs() < 1e-9);
+        assert_eq!(out.host_utilization[1], 0.0);
+    }
+
+    #[test]
+    fn demand_clamps_to_vm_cap() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        let mut demand = vec![0.0; 6];
+        demand[0] = 100.0; // cap is 2.0
+        let out = c.apply_demand(SimTime::from_secs(1), &demand);
+        assert!((out.offered_cores - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interactive_served_before_batch_under_overload() {
+        let hosts = vec![HostSpec::new(
+            Resources::new(4.0, 128.0),
+            HostPowerProfile::prototype_rack(),
+        )];
+        let vms = vec![
+            VmSpec::new(Resources::new(3.0, 8.0)),
+            VmSpec::new(Resources::new(3.0, 8.0)).with_class(ServiceClass::Batch),
+        ];
+        let mut c = Cluster::new(hosts, vms, SimTime::ZERO);
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.place(VmId(1), HostId(0)).unwrap();
+        // 6 cores demanded, 4 available: interactive fully served, batch
+        // absorbs the whole shortfall.
+        let out = c.apply_demand(SimTime::from_secs(1), &[3.0, 3.0]);
+        assert!((out.unserved_interactive_cores - 0.0).abs() < 1e-9);
+        assert!((out.unserved_batch_cores - 2.0).abs() < 1e-9);
+        assert!((out.offered_interactive_cores - 3.0).abs() < 1e-9);
+        assert!((out.offered_batch_cores - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interactive_overload_spills_to_interactive() {
+        let hosts = vec![HostSpec::new(
+            Resources::new(4.0, 128.0),
+            HostPowerProfile::prototype_rack(),
+        )];
+        let vms = vec![
+            VmSpec::new(Resources::new(3.0, 8.0)),
+            VmSpec::new(Resources::new(3.0, 8.0)),
+        ];
+        let mut c = Cluster::new(hosts, vms, SimTime::ZERO);
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.place(VmId(1), HostId(0)).unwrap();
+        let out = c.apply_demand(SimTime::from_secs(1), &[3.0, 3.0]);
+        assert!((out.unserved_interactive_cores - 2.0).abs() < 1e-9);
+        assert_eq!(out.unserved_batch_cores, 0.0);
+    }
+
+    #[test]
+    fn overload_produces_unserved() {
+        let hosts = vec![HostSpec::new(
+            Resources::new(4.0, 128.0),
+            HostPowerProfile::prototype_rack(),
+        )];
+        let vms = vec![VmSpec::new(Resources::new(3.0, 8.0)); 2];
+        let mut c = Cluster::new(hosts, vms, SimTime::ZERO);
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.place(VmId(1), HostId(0)).unwrap();
+        let out = c.apply_demand(SimTime::from_secs(1), &[3.0, 3.0]);
+        assert!((out.offered_cores - 6.0).abs() < 1e-9);
+        assert!((out.served_cores - 4.0).abs() < 1e-9);
+        assert!((out.unserved_cores - 2.0).abs() < 1e-9);
+        assert_eq!(out.host_utilization[0], 1.0);
+    }
+
+    #[test]
+    fn migration_tax_counts_on_both_hosts() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        let out = c.apply_demand(SimTime::from_secs(1), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let tax = c.migration_model().cpu_tax_cores();
+        assert!((out.host_demand_cores[0] - (1.0 + tax)).abs() < 1e-9);
+        assert!((out.host_demand_cores[1] - tax).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_migrations_take_longer() {
+        let hosts = vec![
+            HostSpec::new(Resources::new(16.0, 128.0), HostPowerProfile::prototype_rack());
+            3
+        ];
+        let vms = vec![VmSpec::new(Resources::new(2.0, 8.0)); 4];
+        let model = MigrationModel::new(10.0, 1.0, 0.0).with_contention(1.0);
+        let mut c = Cluster::with_migration_model(hosts, vms, model, SimTime::ZERO);
+        for i in 0..4 {
+            c.place(VmId(i), HostId(0)).unwrap();
+        }
+        let d0 = c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        let d1 = c.begin_migration(VmId(1), HostId(1), SimTime::ZERO).unwrap();
+        // Second migration shares the single channel: twice as long.
+        let base = d0.since(SimTime::ZERO).as_secs_f64();
+        let second = d1.since(SimTime::ZERO).as_secs_f64();
+        assert!((second / base - 2.0).abs() < 0.01, "{second} vs {base}");
+    }
+
+    #[test]
+    fn energy_and_power_aggregate() {
+        let mut c = small_cluster();
+        let idle = HostPowerProfile::prototype_rack().curve().idle_w();
+        assert!((c.total_power_w() - 3.0 * idle).abs() < 1e-9);
+        c.sync(SimTime::from_secs(100));
+        assert!((c.total_energy_j() - 3.0 * idle * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_queries() {
+        let c = small_cluster();
+        assert_eq!(c.total_capacity_cores(), 24.0);
+        assert_eq!(c.operational_capacity_cores(), 24.0);
+        assert_eq!(c.capacity_of(HostId(1)), Resources::new(8.0, 32.0));
+    }
+}

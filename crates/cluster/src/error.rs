@@ -1,0 +1,98 @@
+//! Error type for cluster operations.
+
+use std::error::Error;
+use std::fmt;
+
+use power::PowerError;
+
+use crate::{HostId, VmId};
+
+/// Errors returned by [`crate::Cluster`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A host id outside the cluster.
+    UnknownHost(HostId),
+    /// A VM id outside the cluster.
+    UnknownVm(VmId),
+    /// The VM is already placed and must be migrated, not re-placed.
+    VmAlreadyPlaced(VmId),
+    /// The VM has no current host.
+    VmNotPlaced(VmId),
+    /// The VM is already migrating and cannot start another action.
+    VmMigrating(VmId),
+    /// The target host is not in the `On` state.
+    HostNotOperational(HostId),
+    /// The target host lacks memory capacity for the VM.
+    InsufficientCapacity {
+        /// Host that was tried.
+        host: HostId,
+        /// VM that did not fit.
+        vm: VmId,
+    },
+    /// A power-down was requested for a host that still has VMs (or VMs
+    /// migrating toward it).
+    HostNotEvacuated(HostId),
+    /// The migration source and destination are the same host.
+    SelfMigration(VmId),
+    /// An underlying power-state machine error.
+    Power(PowerError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            ClusterError::UnknownVm(v) => write!(f, "unknown VM {v}"),
+            ClusterError::VmAlreadyPlaced(v) => write!(f, "{v} is already placed"),
+            ClusterError::VmNotPlaced(v) => write!(f, "{v} is not placed on any host"),
+            ClusterError::VmMigrating(v) => write!(f, "{v} is already migrating"),
+            ClusterError::HostNotOperational(h) => write!(f, "{h} is not powered on"),
+            ClusterError::InsufficientCapacity { host, vm } => {
+                write!(f, "{vm} does not fit on {host}")
+            }
+            ClusterError::HostNotEvacuated(h) => {
+                write!(f, "{h} still hosts or is receiving VMs")
+            }
+            ClusterError::SelfMigration(v) => write!(f, "{v} cannot migrate to its own host"),
+            ClusterError::Power(e) => write!(f, "power state error: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PowerError> for ClusterError {
+    fn from(e: PowerError) -> Self {
+        ClusterError::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_ids() {
+        let e = ClusterError::InsufficientCapacity {
+            host: HostId(3),
+            vm: VmId(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("host3") && s.contains("vm9"));
+    }
+
+    #[test]
+    fn power_error_wraps_with_source() {
+        let e: ClusterError = PowerError::NotTransitioning.into();
+        assert!(matches!(e, ClusterError::Power(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

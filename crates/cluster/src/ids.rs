@@ -1,0 +1,63 @@
+//! Typed identifiers for hosts and virtual machines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical host within a [`crate::Cluster`].
+///
+/// Hosts are densely numbered from zero in creation order, so a `HostId`
+/// doubles as an index into per-host vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Identifier of a virtual machine within a [`crate::Cluster`].
+///
+/// VMs are densely numbered from zero in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl HostId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VmId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(HostId(3).to_string(), "host3");
+        assert_eq!(VmId(7).to_string(), "vm7");
+        assert_eq!(HostId(3).index(), 3);
+        assert_eq!(VmId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(HostId(1) < HostId(2));
+        assert!(VmId(0) < VmId(10));
+    }
+}

@@ -1,0 +1,123 @@
+//! Actions the manager can request from the cluster.
+
+use std::fmt;
+
+use cluster::{HostId, VmId};
+use power::breakeven::LowPowerMode;
+use serde::{Deserialize, Serialize};
+
+/// One management action, emitted by [`crate::VirtManager::plan`] and
+/// executed by the simulator (or, in a real deployment, the orchestration
+/// layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagementAction {
+    /// Live-migrate a VM to another host.
+    Migrate {
+        /// The VM to move.
+        vm: VmId,
+        /// The destination host.
+        to: HostId,
+    },
+    /// Park an evacuated host in a low-power state.
+    PowerDown {
+        /// The host to park (must be evacuated).
+        host: HostId,
+        /// Which low-power state to use (S3-class suspend vs. S5-class
+        /// off) — the policy's choice.
+        mode: LowPowerMode,
+    },
+    /// Bring a parked host back into service (resume from suspend or boot
+    /// from off, depending on its current state).
+    PowerUp {
+        /// The host to wake.
+        host: HostId,
+    },
+}
+
+/// Which management step produced an action — operator-facing
+/// attribution for debugging and overhead accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionReason {
+    /// Step 1: waking/undraining to cover predicted demand.
+    CapacityWake,
+    /// Step 2: migrating off an overloaded host (base DRM).
+    OverloadMitigation,
+    /// Step 3: evacuating an underloaded host for power-down.
+    Consolidation,
+    /// DRM background rebalancing.
+    Rebalance,
+    /// Step 4: parking a drained, empty host.
+    Park,
+}
+
+impl fmt::Display for ActionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActionReason::CapacityWake => "capacity-wake",
+            ActionReason::OverloadMitigation => "overload",
+            ActionReason::Consolidation => "consolidation",
+            ActionReason::Rebalance => "rebalance",
+            ActionReason::Park => "park",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ManagementAction {
+    /// Whether this is a power-state action (up or down) rather than a
+    /// migration.
+    pub fn is_power_action(&self) -> bool {
+        matches!(
+            self,
+            ManagementAction::PowerDown { .. } | ManagementAction::PowerUp { .. }
+        )
+    }
+}
+
+impl fmt::Display for ManagementAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagementAction::Migrate { vm, to } => write!(f, "migrate {vm} -> {to}"),
+            ManagementAction::PowerDown { host, mode } => {
+                let state = match mode {
+                    LowPowerMode::Suspend => "suspend",
+                    LowPowerMode::Off => "off",
+                };
+                write!(f, "power down {host} ({state})")
+            }
+            ManagementAction::PowerUp { host } => write!(f, "power up {host}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_display() {
+        assert_eq!(ActionReason::CapacityWake.to_string(), "capacity-wake");
+        assert_eq!(ActionReason::Consolidation.to_string(), "consolidation");
+    }
+
+    #[test]
+    fn classification_and_display() {
+        let m = ManagementAction::Migrate {
+            vm: VmId(1),
+            to: HostId(2),
+        };
+        assert!(!m.is_power_action());
+        assert_eq!(m.to_string(), "migrate vm1 -> host2");
+
+        let d = ManagementAction::PowerDown {
+            host: HostId(3),
+            mode: LowPowerMode::Suspend,
+        };
+        assert!(d.is_power_action());
+        assert_eq!(d.to_string(), "power down host3 (suspend)");
+
+        let u = ManagementAction::PowerUp { host: HostId(4) };
+        assert!(u.is_power_action());
+        assert_eq!(u.to_string(), "power up host4");
+    }
+}

@@ -1,0 +1,349 @@
+//! Consolidation: evacuate underloaded hosts so they can be parked.
+//!
+//! The power manager's core loop: whenever predicted demand fits in fewer
+//! hosts (with headroom and spares), pick the least-loaded hosts, migrate
+//! their VMs onto the remaining fleet with best-fit-decreasing packing,
+//! and mark them *draining*. Once a draining host is empty, the manager
+//! emits the power-down.
+
+use cluster::{HostId, VmId};
+use simcore::SimTime;
+
+use crate::plan::PlanContext;
+use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy};
+
+/// Continues evacuating hosts already marked as draining, then selects new
+/// drain candidates while spare capacity allows.
+///
+/// Mutates `ctx.draining` (the manager copies it back), appends migration
+/// actions, and decrements `budget`.
+pub(crate) fn plan_consolidation(
+    ctx: &mut PlanContext,
+    cfg: &ManagerConfig,
+    gate: &HysteresisGate,
+    now: SimTime,
+    actions: &mut Vec<ManagementAction>,
+    budget: &mut usize,
+) {
+    // Phase 1: keep draining hosts draining — evacuate what we can.
+    for host in 0..ctx.num_hosts() {
+        if ctx.draining[host] && ctx.operational[host] {
+            evacuate(ctx, cfg, host, actions, budget, false);
+        }
+    }
+
+    // Phase 2: select new candidates, least-loaded first.
+    let mut new_drains = 0;
+    loop {
+        if new_drains >= cfg.max_drains_per_round() || *budget == 0 {
+            return;
+        }
+        let Some(candidate) = pick_candidate(ctx, cfg, gate, now) else {
+            return;
+        };
+        // A candidate only commits if its *entire* evacuation fits the
+        // plan; otherwise we would strand VMs on a half-drained host.
+        let mut trial_actions = Vec::new();
+        let mut trial_budget = *budget;
+        let snapshot = snapshot(ctx);
+        ctx.draining[candidate] = true;
+        let complete = evacuate(ctx, cfg, candidate, &mut trial_actions, &mut trial_budget, true);
+        if complete {
+            actions.extend(trial_actions);
+            *budget = trial_budget;
+            new_drains += 1;
+        } else {
+            restore(ctx, snapshot);
+            // This candidate cannot be emptied; no smaller-utilization
+            // candidate will appear this round either, so stop.
+            return;
+        }
+    }
+}
+
+/// Picks the least-loaded drainable host, if the fleet can spare it.
+fn pick_candidate(
+    ctx: &PlanContext,
+    cfg: &ManagerConfig,
+    gate: &HysteresisGate,
+    now: SimTime,
+) -> Option<usize> {
+    let active: Vec<usize> = (0..ctx.num_hosts())
+        .filter(|&h| ctx.operational[h] && !ctx.draining[h])
+        .collect();
+    let active_capacity: f64 = active.iter().map(|&h| ctx.cpu_capacity[h]).sum();
+    let arriving_capacity: f64 = (0..ctx.num_hosts())
+        .filter(|&h| ctx.arriving[h])
+        .map(|h| ctx.cpu_capacity[h])
+        .sum();
+    let total_pred = ctx.total_predicted();
+    let max_host_cap = (0..ctx.num_hosts())
+        .map(|h| ctx.cpu_capacity[h])
+        .fold(0.0, f64::max);
+    // The dead-band separates the drain trigger from the wake trigger so
+    // demand noise across a single threshold cannot cycle hosts.
+    let required = total_pred / cfg.target_utilization()
+        + (cfg.spare_hosts() as f64 + cfg.drain_deadband_frac()) * max_host_cap;
+
+    active
+        .into_iter()
+        .filter(|&h| {
+            ctx.util(h) < cfg.underload_threshold()
+                && gate.may_power_down(HostId(h as u32), now)
+                // Removing this host must still leave enough capacity.
+                && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required
+        })
+        .min_by(|&a, &b| {
+            ctx.util(a)
+                .partial_cmp(&ctx.util(b))
+                .expect("utilization is finite")
+        })
+}
+
+/// Moves VMs off `host` with best-fit-decreasing packing. Returns whether
+/// the host's evacuation is fully planned (no movable VM left behind and
+/// none were unmovable).
+///
+/// `all_or_nothing` callers should snapshot/restore around this.
+fn evacuate(
+    ctx: &mut PlanContext,
+    cfg: &ManagerConfig,
+    host: usize,
+    actions: &mut Vec<ManagementAction>,
+    budget: &mut usize,
+    all_or_nothing: bool,
+) -> bool {
+    // Batch victims first, largest first within each class. There may
+    // also be unmovable (already-migrating) VMs; the host is not fully
+    // evacuated until they land elsewhere, but those migrations are
+    // already in flight toward other hosts, so they do not block planning.
+    let vms = ctx.disruption_candidates(host);
+    for vm in vms {
+        if *budget == 0 {
+            return false;
+        }
+        let dest = match cfg.packing() {
+            PackingPolicy::BestFit => ctx.tightest_destination(vm, cfg),
+            PackingPolicy::LeastLoaded => ctx.least_loaded_destination(vm, cfg),
+        };
+        let Some(dest) = dest else {
+            return false;
+        };
+        ctx.move_vm(vm, dest);
+        actions.push(ManagementAction::Migrate {
+            vm: VmId(vm as u32),
+            to: HostId(dest as u32),
+        });
+        *budget -= 1;
+    }
+    // For incremental drains (phase 1) partial progress is fine; report
+    // completion truthfully either way.
+    let done = ctx.movable_vms(host).is_empty();
+    if all_or_nothing {
+        done
+    } else {
+        done
+    }
+}
+
+/// Cheap undo support for the all-or-nothing candidate trial.
+struct Snapshot {
+    host_pred_cpu: Vec<f64>,
+    mem_committed: Vec<f64>,
+    vm_host: Vec<Option<usize>>,
+    migrating_vm: Vec<bool>,
+    vms_by_host: Vec<Vec<usize>>,
+    draining: Vec<bool>,
+}
+
+fn snapshot(ctx: &PlanContext) -> Snapshot {
+    Snapshot {
+        host_pred_cpu: ctx.host_pred_cpu.clone(),
+        mem_committed: ctx.mem_committed.clone(),
+        vm_host: ctx.vm_host.clone(),
+        migrating_vm: ctx.migrating_vm.clone(),
+        vms_by_host: ctx.vms_by_host.clone(),
+        draining: ctx.draining.clone(),
+    }
+}
+
+fn restore(ctx: &mut PlanContext, s: Snapshot) {
+    ctx.host_pred_cpu = s.host_pred_cpu;
+    ctx.mem_committed = s.mem_committed;
+    ctx.vm_host = s.vm_host;
+    ctx.migrating_vm = s.migrating_vm;
+    ctx.vms_by_host = s.vms_by_host;
+    ctx.draining = s.draining;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterObservation, HostObservation, PowerPolicy, VmObservation};
+    use power::PowerState;
+    use simcore::SimDuration;
+
+    /// Builds an observation where host `h` carries `demands[h]`.
+    fn obs(host_demands: &[&[f64]]) -> (ClusterObservation, Vec<f64>) {
+        let mut hosts = Vec::new();
+        let mut vms = Vec::new();
+        let mut preds = Vec::new();
+        for (h, demands) in host_demands.iter().enumerate() {
+            hosts.push(HostObservation {
+                id: HostId(h as u32),
+                state: PowerState::On,
+                pending: None,
+                cpu_capacity: 8.0,
+                mem_capacity: 64.0,
+                mem_committed: demands.len() as f64 * 8.0,
+                cpu_demand: demands.iter().sum(),
+                evacuated: demands.is_empty(),
+            });
+            for &d in *demands {
+                vms.push(VmObservation {
+                    id: VmId(vms.len() as u32),
+                    host: Some(HostId(h as u32)),
+                    cpu_demand: d,
+                    cpu_cap: 8.0,
+                    mem_gb: 8.0,
+                    migrating: false,
+                    service_class: Default::default(),
+                });
+                preds.push(d);
+            }
+        }
+        (
+            ClusterObservation {
+                now: SimTime::ZERO,
+                hosts,
+                vms,
+            },
+            preds,
+        )
+    }
+
+    fn cfg() -> ManagerConfig {
+        ManagerConfig::new(PowerPolicy::reactive_suspend()).with_spare_hosts(0)
+    }
+
+    fn open_gate(n: usize) -> HysteresisGate {
+        HysteresisGate::new(SimDuration::ZERO, SimDuration::ZERO, n)
+    }
+
+    #[test]
+    fn drains_underloaded_host() {
+        // Three hosts, light load everywhere: the least-loaded empties.
+        let (o, preds) = obs(&[&[2.0, 1.0], &[1.5], &[0.5]]);
+        let mut ctx = PlanContext::new(&o, preds, &[false; 3]);
+        let c = cfg();
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        // Host 2 (util 0.5/8) is the prime candidate and must fully drain.
+        assert!(ctx.draining[2]);
+        assert!(ctx.movable_vms(2).is_empty());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ManagementAction::Migrate { vm: VmId(3), .. })));
+    }
+
+    #[test]
+    fn keeps_enough_capacity() {
+        // Heavy total load: no host can be spared.
+        let (o, preds) = obs(&[&[5.0], &[5.0], &[5.0]]);
+        let mut ctx = PlanContext::new(&o, preds, &[false; 3]);
+        let c = cfg();
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        assert!(actions.is_empty());
+        assert!(!ctx.draining.iter().any(|&d| d));
+    }
+
+    #[test]
+    fn hysteresis_blocks_recent_power_ups() {
+        let (o, preds) = obs(&[&[2.0], &[1.0], &[0.5]]);
+        let mut ctx = PlanContext::new(&o, preds, &[false; 3]);
+        let c = cfg();
+        let mut gate = HysteresisGate::new(SimDuration::from_mins(10), SimDuration::ZERO, 3);
+        // Every host just powered up.
+        for h in 0..3 {
+            gate.record_power_up(HostId(h), SimTime::ZERO);
+        }
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(&mut ctx, &c, &gate, SimTime::from_secs(60), &mut actions, &mut budget);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn all_or_nothing_rolls_back() {
+        // Candidate host's VMs cannot all fit elsewhere (memory-bound).
+        let mut hosts = Vec::new();
+        let mut vms = Vec::new();
+        let mut preds = Vec::new();
+        // Host 0: tiny demand but two big-memory VMs; host 1: almost no
+        // free memory.
+        hosts.push(HostObservation {
+            id: HostId(0),
+            state: PowerState::On,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 64.0,
+            mem_committed: 48.0,
+            cpu_demand: 0.4,
+            evacuated: false,
+        });
+        hosts.push(HostObservation {
+            id: HostId(1),
+            state: PowerState::On,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 64.0,
+            mem_committed: 40.0,
+            cpu_demand: 2.0,
+            evacuated: false,
+        });
+        for (i, (h, mem)) in [(0u32, 24.0), (0, 24.0), (1, 40.0)].iter().enumerate() {
+            vms.push(VmObservation {
+                id: VmId(i as u32),
+                host: Some(HostId(*h)),
+                cpu_demand: 0.2,
+                cpu_cap: 8.0,
+                mem_gb: *mem,
+                migrating: false,
+                    service_class: Default::default(),
+            });
+            preds.push(0.2);
+        }
+        let o = ClusterObservation {
+            now: SimTime::ZERO,
+            hosts,
+            vms,
+        };
+        let mut ctx = PlanContext::new(&o, preds, &[false; 2]);
+        let c = cfg();
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(&mut ctx, &c, &open_gate(2), SimTime::ZERO, &mut actions, &mut budget);
+        // Only one 24 GB VM fits on host 1 (24 free); evacuation is
+        // partial, so everything must roll back.
+        assert!(actions.is_empty(), "{actions:?}");
+        assert!(!ctx.draining[0]);
+        assert_eq!(ctx.vm_host[0], Some(0));
+        assert_eq!(budget, 8);
+    }
+
+    #[test]
+    fn continues_existing_drains_first() {
+        let (o, preds) = obs(&[&[0.5, 0.5], &[2.0], &[2.0]]);
+        // Host 0 was already marked draining in a previous round.
+        let mut ctx = PlanContext::new(&o, preds, &[true, false, false]);
+        let c = cfg();
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        assert!(ctx.movable_vms(0).is_empty());
+        assert!(actions.len() >= 2);
+    }
+}

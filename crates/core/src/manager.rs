@@ -1,0 +1,564 @@
+//! The management loop body.
+
+use cluster::HostId;
+use power::PowerState;
+use serde::{Deserialize, Serialize};
+
+use crate::plan::PlanContext;
+use crate::{
+    consolidate, drm, ActionReason, ClusterObservation, DayProfile, HysteresisGate,
+    ManagementAction, ManagerConfig, PowerPolicy, Predictor,
+};
+use simcore::SimDuration;
+
+/// Cumulative counts of actions the manager has requested — the
+/// "management overhead" the paper compares against base DRM (experiment
+/// T9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Management rounds executed.
+    pub rounds: u64,
+    /// Live migrations requested.
+    pub migrations_requested: u64,
+    /// Host power-ups requested.
+    pub power_ups_requested: u64,
+    /// Host power-downs requested.
+    pub power_downs_requested: u64,
+    /// Migrations attributed to overload mitigation (base DRM work).
+    pub overload_migrations: u64,
+    /// Migrations attributed to consolidation (power-management work).
+    pub consolidation_migrations: u64,
+    /// Migrations attributed to background rebalancing.
+    pub rebalance_migrations: u64,
+}
+
+impl RoundStats {
+    /// Total power actions (up + down).
+    pub fn power_actions(&self) -> u64 {
+        self.power_ups_requested + self.power_downs_requested
+    }
+}
+
+/// The power-aware virtualization manager.
+///
+/// Owns the per-VM demand predictors, the hysteresis gate, and the set of
+/// hosts currently being drained. Each management round,
+/// [`plan`](Self::plan) turns a [`ClusterObservation`] into a list of
+/// [`ManagementAction`]s:
+///
+/// 1. **Capacity assurance** — if predicted demand (plus spares) exceeds
+///    the capacity that is on or arriving, first cancel drains, then wake
+///    parked hosts (suspended before off — the cheap state first).
+/// 2. **DRM overload mitigation** — migrate VMs off hosts predicted above
+///    the overload threshold (this step alone is the `AlwaysOn`
+///    baseline).
+/// 3. **Consolidation** — evacuate underloaded hosts (all-or-nothing per
+///    host) and mark them draining.
+/// 4. **Power-down** — drained hosts that are now empty are parked in the
+///    policy's low-power state.
+///
+/// # Example
+///
+/// ```
+/// use agile_core::{ManagerConfig, PowerPolicy, VirtManager};
+///
+/// let mut mgr = VirtManager::new(ManagerConfig::new(PowerPolicy::always_on()), 4, 16);
+/// assert_eq!(mgr.stats().rounds, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtManager {
+    config: ManagerConfig,
+    predictors: Vec<Predictor>,
+    gate: HysteresisGate,
+    draining: Vec<bool>,
+    profile: Option<DayProfile>,
+    last_reasons: Vec<ActionReason>,
+    stats: RoundStats,
+}
+
+impl VirtManager {
+    /// Creates a manager for a cluster of `num_hosts` hosts and `num_vms`
+    /// VMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` violates its cross-field invariants (see
+    /// [`ManagerConfig::validate`]).
+    pub fn new(config: ManagerConfig, num_hosts: usize, num_vms: usize) -> Self {
+        config.validate();
+        let predictors = (0..num_vms)
+            .map(|_| Predictor::new(config.predictor()))
+            .collect();
+        let gate = HysteresisGate::new(config.min_on_time(), config.min_off_time(), num_hosts);
+        let profile = config
+            .prewake_lookahead()
+            .map(|_| DayProfile::new(SimDuration::from_mins(30), 0.5));
+        VirtManager {
+            config,
+            predictors,
+            gate,
+            draining: vec![false; num_hosts],
+            profile,
+            last_reasons: Vec::new(),
+            stats: RoundStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// Cumulative action counts.
+    pub fn stats(&self) -> &RoundStats {
+        &self.stats
+    }
+
+    /// Why each action of the most recent [`plan`](Self::plan) round was
+    /// taken, aligned index-for-index with the returned actions.
+    pub fn last_round_reasons(&self) -> &[ActionReason] {
+        &self.last_reasons
+    }
+
+    /// Hosts currently marked for evacuation.
+    pub fn draining_hosts(&self) -> Vec<HostId> {
+        self.draining
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| HostId(i as u32))
+            .collect()
+    }
+
+    /// Runs one management round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's host/VM counts differ from what the
+    /// manager was created with.
+    pub fn plan(&mut self, obs: &ClusterObservation) -> Vec<ManagementAction> {
+        assert_eq!(obs.hosts.len(), self.draining.len(), "host count changed");
+        assert_eq!(obs.vms.len(), self.predictors.len(), "VM count changed");
+        self.stats.rounds += 1;
+
+        // Feed the predictors and collect per-VM predictions.
+        let predicted: Vec<f64> = obs
+            .vms
+            .iter()
+            .zip(&mut self.predictors)
+            .map(|(vm, p)| {
+                p.observe(vm.cpu_demand);
+                p.predict().clamp(0.0, vm.cpu_cap)
+            })
+            .collect();
+
+        // Feed the time-of-day profile (proactive pre-waking).
+        if let Some(profile) = &mut self.profile {
+            profile.observe(obs.now, obs.total_vm_demand());
+        }
+
+        if matches!(self.config.policy(), PowerPolicy::Oracle) {
+            // Oracle is evaluated analytically by the simulator; the
+            // manager never acts.
+            return Vec::new();
+        }
+
+        let mut ctx = PlanContext::new(obs, predicted, &self.draining);
+        let mut actions = Vec::new();
+        let mut budget = self.config.max_migrations_per_round();
+        let power_managed = matches!(self.config.policy(), PowerPolicy::Reactive { .. });
+
+        // Attribute each action to the step that produced it by tracking
+        // step boundaries in the action list.
+        let mut reasons: Vec<ActionReason> = Vec::new();
+        let mark = |reasons: &mut Vec<ActionReason>, upto: usize, r: ActionReason| {
+            while reasons.len() < upto {
+                reasons.push(r);
+            }
+        };
+
+        if power_managed {
+            self.ensure_capacity(&mut ctx, obs, &mut actions);
+        }
+        mark(&mut reasons, actions.len(), ActionReason::CapacityWake);
+        drm::mitigate_overloads(&mut ctx, &self.config, &mut actions, &mut budget);
+        mark(&mut reasons, actions.len(), ActionReason::OverloadMitigation);
+        if power_managed {
+            consolidate::plan_consolidation(
+                &mut ctx,
+                &self.config,
+                &self.gate,
+                obs.now,
+                &mut actions,
+                &mut budget,
+            );
+        }
+        mark(&mut reasons, actions.len(), ActionReason::Consolidation);
+        // Rebalance after consolidation so the trickle never refills a
+        // host that is being drained.
+        drm::rebalance(&mut ctx, &self.config, &mut actions, &mut budget);
+        mark(&mut reasons, actions.len(), ActionReason::Rebalance);
+        if power_managed {
+            self.draining = ctx.draining.clone();
+            self.park_drained(obs, &mut actions);
+        }
+        mark(&mut reasons, actions.len(), ActionReason::Park);
+
+        for (a, reason) in actions.iter().zip(&reasons) {
+            match a {
+                ManagementAction::Migrate { .. } => {
+                    self.stats.migrations_requested += 1;
+                    match reason {
+                        ActionReason::OverloadMitigation => self.stats.overload_migrations += 1,
+                        ActionReason::Consolidation => self.stats.consolidation_migrations += 1,
+                        ActionReason::Rebalance => self.stats.rebalance_migrations += 1,
+                        _ => {}
+                    }
+                }
+                ManagementAction::PowerUp { .. } => self.stats.power_ups_requested += 1,
+                ManagementAction::PowerDown { .. } => self.stats.power_downs_requested += 1,
+            }
+        }
+        self.last_reasons = reasons;
+        actions
+    }
+
+    /// Step 1: cancel drains and wake parked hosts until predicted demand
+    /// (plus spares) fits the capacity that is on or arriving.
+    fn ensure_capacity(
+        &mut self,
+        ctx: &mut PlanContext,
+        obs: &ClusterObservation,
+        actions: &mut Vec<ManagementAction>,
+    ) {
+        let cfg = &self.config;
+        let mut total_pred = ctx.total_predicted();
+        // Proactive pre-wake: recurring ramps visible in the learned
+        // profile raise the capacity requirement ahead of time.
+        if let (Some(profile), Some(lookahead)) = (&self.profile, cfg.prewake_lookahead()) {
+            if let Some(forecast) = profile.forecast_max(obs.now, lookahead) {
+                total_pred = total_pred.max(forecast);
+            }
+        }
+        let max_cap = (0..ctx.num_hosts())
+            .map(|h| ctx.cpu_capacity[h])
+            .fold(0.0, f64::max);
+        let required_urgent = total_pred / cfg.target_utilization();
+        let required = required_urgent + cfg.spare_hosts() as f64 * max_cap;
+
+        let mut available: f64 = (0..ctx.num_hosts())
+            .filter(|&h| (ctx.operational[h] && !ctx.draining[h]) || ctx.arriving[h])
+            .map(|h| ctx.cpu_capacity[h])
+            .sum();
+
+        // Cancelling a drain is free capacity: most-loaded drains first
+        // (they have the most VMs to avoid moving).
+        if available < required {
+            let mut drains: Vec<usize> = (0..ctx.num_hosts())
+                .filter(|&h| ctx.draining[h] && ctx.operational[h])
+                .collect();
+            drains.sort_by(|&a, &b| {
+                ctx.util(b)
+                    .partial_cmp(&ctx.util(a))
+                    .expect("utilization is finite")
+            });
+            for h in drains {
+                if available >= required {
+                    break;
+                }
+                ctx.draining[h] = false;
+                self.draining[h] = false;
+                available += ctx.cpu_capacity[h];
+            }
+        }
+
+        // Wake parked hosts: suspended (cheap, fast) before off.
+        let mut pool: Vec<HostId> = obs.hosts_in_state(PowerState::Suspended).collect();
+        pool.extend(obs.hosts_in_state(PowerState::Off));
+        for host in pool {
+            if available >= required {
+                break;
+            }
+            let urgent = available < required_urgent;
+            if !urgent && !self.gate.may_power_up_nonurgent(host, obs.now) {
+                continue;
+            }
+            actions.push(ManagementAction::PowerUp { host });
+            self.gate.record_power_up(host, obs.now);
+            ctx.arriving[host.index()] = true;
+            available += ctx.cpu_capacity[host.index()];
+        }
+    }
+
+    /// Step 4: park drained hosts that are now empty.
+    fn park_drained(&mut self, obs: &ClusterObservation, actions: &mut Vec<ManagementAction>) {
+        let mode = self
+            .config
+            .policy()
+            .low_power_mode()
+            .expect("park_drained only runs under a reactive policy");
+        for host in &obs.hosts {
+            let i = host.id.index();
+            if self.draining[i]
+                && host.evacuated
+                && host.is_operational()
+                && host.pending.is_none()
+            {
+                actions.push(ManagementAction::PowerDown {
+                    host: host.id,
+                    mode,
+                });
+                self.draining[i] = false;
+                self.gate.record_power_down(host.id, obs.now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostObservation, VmObservation};
+    use cluster::VmId;
+    use power::breakeven::LowPowerMode;
+    use simcore::{SimDuration, SimTime};
+
+    /// Synthetic observation builder: hosts described by (state, vm demands).
+    fn obs(now: SimTime, hosts: &[(PowerState, &[f64])]) -> ClusterObservation {
+        let mut host_obs = Vec::new();
+        let mut vms = Vec::new();
+        for (h, (state, demands)) in hosts.iter().enumerate() {
+            host_obs.push(HostObservation {
+                id: HostId(h as u32),
+                state: *state,
+                pending: None,
+                cpu_capacity: 8.0,
+                mem_capacity: 64.0,
+                mem_committed: demands.len() as f64 * 8.0,
+                cpu_demand: demands.iter().sum(),
+                evacuated: demands.is_empty(),
+            });
+            for &d in *demands {
+                vms.push(VmObservation {
+                    id: VmId(vms.len() as u32),
+                    host: Some(HostId(h as u32)),
+                    cpu_demand: d,
+                    cpu_cap: 8.0,
+                    mem_gb: 8.0,
+                    migrating: false,
+                    service_class: Default::default(),
+                });
+            }
+        }
+        ClusterObservation {
+            now,
+            hosts: host_obs,
+            vms,
+        }
+    }
+
+    fn agile_config() -> ManagerConfig {
+        ManagerConfig::new(PowerPolicy::reactive_suspend())
+            .with_spare_hosts(0)
+            .with_min_on_time(SimDuration::ZERO)
+            .with_min_off_time(SimDuration::ZERO)
+            .with_predictor(crate::PredictorConfig::LastValue)
+    }
+
+    #[test]
+    fn always_on_never_touches_power() {
+        let cfg = ManagerConfig::new(PowerPolicy::always_on());
+        let mut mgr = VirtManager::new(cfg, 3, 3);
+        // Wildly underloaded: a power-managing policy would drain hosts.
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[0.5]), (PowerState::On, &[0.3]), (PowerState::On, &[0.2])],
+        );
+        let actions = mgr.plan(&o);
+        assert!(actions.iter().all(|a| !a.is_power_action()));
+        assert_eq!(mgr.stats().power_actions(), 0);
+    }
+
+    #[test]
+    fn oracle_never_acts() {
+        let cfg = ManagerConfig::new(PowerPolicy::oracle());
+        let mut mgr = VirtManager::new(cfg, 2, 2);
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[0.5, 0.5]), (PowerState::On, &[])]);
+        assert!(mgr.plan(&o).is_empty());
+    }
+
+    #[test]
+    fn consolidates_and_parks_underloaded_host() {
+        let mut mgr = VirtManager::new(agile_config(), 2, 2);
+        // Two lightly-loaded hosts: host 1 should drain into host 0.
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let actions = mgr.plan(&o);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, ManagementAction::Migrate { vm: VmId(1), to: HostId(0) })),
+            "{actions:?}"
+        );
+        assert_eq!(mgr.draining_hosts(), vec![HostId(1)]);
+
+        // Next round: host 1 is evacuated -> power-down with suspend.
+        let o2 = obs(SimTime::from_secs(300), &[(PowerState::On, &[1.0, 0.5]), (PowerState::On, &[])]);
+        let actions2 = mgr.plan(&o2);
+        assert!(
+            actions2.iter().any(|a| matches!(
+                a,
+                ManagementAction::PowerDown {
+                    host: HostId(1),
+                    mode: LowPowerMode::Suspend
+                }
+            )),
+            "{actions2:?}"
+        );
+        assert!(mgr.draining_hosts().is_empty());
+        assert_eq!(mgr.stats().power_downs_requested, 1);
+    }
+
+    #[test]
+    fn off_policy_parks_with_shutdown() {
+        let cfg = ManagerConfig::new(PowerPolicy::reactive_off())
+            .with_spare_hosts(0)
+            .with_min_on_time(SimDuration::ZERO)
+            .with_predictor(crate::PredictorConfig::LastValue);
+        let mut mgr = VirtManager::new(cfg, 2, 1);
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[])]);
+        let actions = mgr.plan(&o);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ManagementAction::PowerDown {
+                    host: HostId(1),
+                    mode: LowPowerMode::Off
+                }
+            )),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn wakes_suspended_host_when_demand_rises() {
+        let mut mgr = VirtManager::new(agile_config(), 2, 2);
+        // Host 1 is suspended; demand on host 0 nearly saturates it.
+        let mut o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[4.0, 3.5]), (PowerState::Suspended, &[])],
+        );
+        o.hosts[1].evacuated = true;
+        let actions = mgr.plan(&o);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, ManagementAction::PowerUp { host: HostId(1) })),
+            "{actions:?}"
+        );
+        assert_eq!(mgr.stats().power_ups_requested, 1);
+    }
+
+    #[test]
+    fn prefers_suspended_over_off_when_waking() {
+        let mut mgr = VirtManager::new(agile_config(), 3, 2);
+        let mut o = obs(
+            SimTime::ZERO,
+            &[
+                (PowerState::On, &[4.0, 3.5]),
+                (PowerState::Off, &[]),
+                (PowerState::Suspended, &[]),
+            ],
+        );
+        o.hosts[1].evacuated = true;
+        o.hosts[2].evacuated = true;
+        let actions = mgr.plan(&o);
+        let wakes: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                ManagementAction::PowerUp { host } => Some(*host),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wakes.first(), Some(&HostId(2)), "suspended host wakes first");
+    }
+
+    #[test]
+    fn cancels_drain_before_waking() {
+        let mut mgr = VirtManager::new(agile_config(), 2, 2);
+        // Round 1: drain host 1.
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        mgr.plan(&o);
+        assert_eq!(mgr.draining_hosts(), vec![HostId(1)]);
+        // Round 2: demand explodes before the drain finished; the drain
+        // must be cancelled rather than waking anything (nothing to wake).
+        let o2 = obs(
+            SimTime::from_secs(300),
+            &[(PowerState::On, &[7.0]), (PowerState::On, &[6.0])],
+        );
+        let actions = mgr.plan(&o2);
+        assert!(mgr.draining_hosts().is_empty());
+        assert!(actions.iter().all(|a| !matches!(a, ManagementAction::PowerDown { .. })));
+    }
+
+    #[test]
+    fn spare_pool_keeps_extra_host() {
+        let cfg = agile_config().with_spare_hosts(1);
+        let mut mgr = VirtManager::new(cfg, 2, 1);
+        // One VM, trivially fits on host 0; with one spare required,
+        // host 1 must NOT be drained.
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[])]);
+        let actions = mgr.plan(&o);
+        assert!(
+            actions.iter().all(|a| !a.is_power_action()),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mgr = VirtManager::new(agile_config(), 2, 2);
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        mgr.plan(&o);
+        assert_eq!(mgr.stats().rounds, 1);
+        assert!(mgr.stats().migrations_requested >= 1);
+    }
+
+    #[test]
+    fn reasons_align_with_actions() {
+        let mut mgr = VirtManager::new(agile_config(), 2, 2);
+        // Consolidation round: the migration off host 1 must be
+        // attributed to consolidation.
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let actions = mgr.plan(&o);
+        let reasons = mgr.last_round_reasons();
+        assert_eq!(actions.len(), reasons.len());
+        let migration_idx = actions
+            .iter()
+            .position(|a| matches!(a, ManagementAction::Migrate { .. }))
+            .expect("consolidation migrates");
+        assert_eq!(reasons[migration_idx], crate::ActionReason::Consolidation);
+        assert_eq!(mgr.stats().consolidation_migrations, 1);
+        assert_eq!(mgr.stats().overload_migrations, 0);
+
+        // Park round: power-down attributed to Park.
+        let o2 = obs(
+            SimTime::from_secs(300),
+            &[(PowerState::On, &[1.0, 0.5]), (PowerState::On, &[])],
+        );
+        let actions2 = mgr.plan(&o2);
+        let reasons2 = mgr.last_round_reasons();
+        let park_idx = actions2
+            .iter()
+            .position(|a| matches!(a, ManagementAction::PowerDown { .. }))
+            .expect("drained host parks");
+        assert_eq!(reasons2[park_idx], crate::ActionReason::Park);
+    }
+
+    #[test]
+    #[should_panic(expected = "host count changed")]
+    fn rejects_mismatched_observation() {
+        let mut mgr = VirtManager::new(agile_config(), 3, 2);
+        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0, 0.5])]);
+        mgr.plan(&o);
+    }
+}

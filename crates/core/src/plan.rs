@@ -1,0 +1,313 @@
+//! Working state for one management round.
+//!
+//! The manager plans several actions per round; each tentative migration
+//! changes the capacity picture for the next decision. `PlanContext`
+//! carries that evolving view so the round's actions are mutually
+//! consistent (no destination is overcommitted by two moves that were
+//! each individually fine).
+
+use cluster::ServiceClass;
+
+use crate::{ClusterObservation, ManagerConfig};
+
+/// Mutable planning view of the cluster for one round.
+#[derive(Debug)]
+pub(crate) struct PlanContext {
+    /// Predicted demand per VM, cores.
+    pub predicted_vm: Vec<f64>,
+    /// Predicted demand per host after tentative moves, cores.
+    pub host_pred_cpu: Vec<f64>,
+    /// Committed memory per host after tentative moves, GB.
+    pub mem_committed: Vec<f64>,
+    /// CPU capacity per host, cores.
+    pub cpu_capacity: Vec<f64>,
+    /// Memory capacity per host, GB.
+    pub mem_capacity: Vec<f64>,
+    /// Host is `On`.
+    pub operational: Vec<bool>,
+    /// Host is `Resuming`/`Booting` (capacity arriving soon).
+    pub arriving: Vec<bool>,
+    /// Host is marked for evacuation (copied from manager state; mutated
+    /// by undrain/drain decisions this round).
+    pub draining: Vec<bool>,
+    /// VM has a live migration in flight (not movable this round).
+    pub migrating_vm: Vec<bool>,
+    /// Tentative host of each VM (by index), `None` if unplaced.
+    pub vm_host: Vec<Option<usize>>,
+    /// Memory per VM, GB.
+    pub vm_mem: Vec<f64>,
+    /// Whether each VM is batch-class (preferred for disruption).
+    pub vm_batch: Vec<bool>,
+    /// VMs per host under the tentative plan.
+    pub vms_by_host: Vec<Vec<usize>>,
+}
+
+impl PlanContext {
+    /// Builds the context from an observation, per-VM predictions, and the
+    /// manager's persistent drain set.
+    pub fn new(obs: &ClusterObservation, predicted_vm: Vec<f64>, draining: &[bool]) -> Self {
+        let nh = obs.hosts.len();
+        assert_eq!(draining.len(), nh, "drain set length mismatch");
+        assert_eq!(predicted_vm.len(), obs.vms.len(), "prediction length mismatch");
+
+        let mut vms_by_host = vec![Vec::new(); nh];
+        let mut vm_host = Vec::with_capacity(obs.vms.len());
+        for (i, vm) in obs.vms.iter().enumerate() {
+            let h = vm.host.map(|h| h.index());
+            if let Some(h) = h {
+                vms_by_host[h].push(i);
+            }
+            vm_host.push(h);
+        }
+        // Host predicted demand = sum of its VMs' predictions (migration
+        // tax is transient; plans are made on VM demand).
+        let mut host_pred_cpu = vec![0.0; nh];
+        for (i, &h) in vm_host.iter().enumerate() {
+            if let Some(h) = h {
+                host_pred_cpu[h] += predicted_vm[i];
+            }
+        }
+        PlanContext {
+            predicted_vm,
+            host_pred_cpu,
+            mem_committed: obs.hosts.iter().map(|h| h.mem_committed).collect(),
+            cpu_capacity: obs.hosts.iter().map(|h| h.cpu_capacity).collect(),
+            mem_capacity: obs.hosts.iter().map(|h| h.mem_capacity).collect(),
+            operational: obs.hosts.iter().map(|h| h.is_operational()).collect(),
+            arriving: obs
+                .hosts
+                .iter()
+                .map(|h| h.is_arriving_or_on() && !h.is_operational())
+                .collect(),
+            draining: draining.to_vec(),
+            migrating_vm: obs.vms.iter().map(|v| v.migrating).collect(),
+            vm_host,
+            vm_mem: obs.vms.iter().map(|v| v.mem_gb).collect(),
+            vm_batch: obs
+                .vms
+                .iter()
+                .map(|v| v.service_class == ServiceClass::Batch)
+                .collect(),
+            vms_by_host,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.cpu_capacity.len()
+    }
+
+    /// Predicted utilization of `host` under the tentative plan.
+    pub fn util(&self, host: usize) -> f64 {
+        if self.cpu_capacity[host] > 0.0 {
+            self.host_pred_cpu[host] / self.cpu_capacity[host]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `host` can accept `vm` under the plan: operational, not
+    /// draining, memory fits, and predicted utilization stays at or below
+    /// the config's target.
+    pub fn can_accept(&self, host: usize, vm: usize, cfg: &ManagerConfig) -> bool {
+        if !self.operational[host] || self.draining[host] {
+            return false;
+        }
+        if self.vm_host[vm] == Some(host) {
+            return false;
+        }
+        if self.mem_committed[host] + self.vm_mem[vm] > self.mem_capacity[host] + 1e-9 {
+            return false;
+        }
+        let new_cpu = self.host_pred_cpu[host] + self.predicted_vm[vm];
+        new_cpu <= cfg.target_utilization() * self.cpu_capacity[host] + 1e-9
+    }
+
+    /// Tentatively moves `vm` to `to`, updating demand and memory views.
+    ///
+    /// Memory stays committed on the source as well — mirroring the real
+    /// cluster, which reserves memory on both endpoints while the
+    /// migration is in flight — so subsequent decisions this round remain
+    /// conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is unplaced or already at `to`.
+    pub fn move_vm(&mut self, vm: usize, to: usize) {
+        let from = self.vm_host[vm].expect("moving unplaced VM");
+        assert_ne!(from, to, "moving VM to its own host");
+        self.host_pred_cpu[from] -= self.predicted_vm[vm];
+        self.host_pred_cpu[to] += self.predicted_vm[vm];
+        self.mem_committed[to] += self.vm_mem[vm];
+        self.vms_by_host[from].retain(|&v| v != vm);
+        self.vms_by_host[to].push(vm);
+        self.vm_host[vm] = Some(to);
+        self.migrating_vm[vm] = true; // one move per VM per round
+    }
+
+    /// Movable VMs on `host` (placed there and not migrating).
+    pub fn movable_vms(&self, host: usize) -> Vec<usize> {
+        self.vms_by_host[host]
+            .iter()
+            .copied()
+            .filter(|&v| !self.migrating_vm[v])
+            .collect()
+    }
+
+    /// Movable VMs on `host`, ordered for disruption: batch VMs first,
+    /// then by descending predicted demand within each class. Used
+    /// wherever the manager must pick victims to migrate.
+    pub fn disruption_candidates(&self, host: usize) -> Vec<usize> {
+        let mut vms = self.movable_vms(host);
+        vms.sort_by(|&a, &b| {
+            // Batch (true) sorts before interactive (false)...
+            self.vm_batch[b]
+                .cmp(&self.vm_batch[a])
+                // ...then larger predicted demand first.
+                .then(
+                    self.predicted_vm[b]
+                        .partial_cmp(&self.predicted_vm[a])
+                        .expect("prediction is finite"),
+                )
+        });
+        vms
+    }
+
+    /// Total predicted VM demand, cores.
+    pub fn total_predicted(&self) -> f64 {
+        self.predicted_vm.iter().sum()
+    }
+
+    /// Chooses the feasible destination for `vm` with the *lowest*
+    /// resulting utilization (load-balancing placement, used by DRM).
+    pub fn least_loaded_destination(&self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        (0..self.num_hosts())
+            .filter(|&h| self.can_accept(h, vm, cfg))
+            .min_by(|&a, &b| {
+                self.util(a)
+                    .partial_cmp(&self.util(b))
+                    .expect("utilization is finite")
+            })
+    }
+
+    /// Chooses the feasible destination for `vm` with the *highest*
+    /// resulting utilization (best-fit-decreasing packing, used by
+    /// consolidation).
+    pub fn tightest_destination(&self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        (0..self.num_hosts())
+            .filter(|&h| self.can_accept(h, vm, cfg))
+            .max_by(|&a, &b| {
+                self.util(a)
+                    .partial_cmp(&self.util(b))
+                    .expect("utilization is finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostObservation, PowerPolicy, VmObservation};
+    use cluster::{HostId, VmId};
+    use power::PowerState;
+    use simcore::SimTime;
+
+    fn obs2() -> ClusterObservation {
+        let host = |id: u32, state: PowerState, mem_committed: f64| HostObservation {
+            id: HostId(id),
+            state,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 32.0,
+            mem_committed,
+            cpu_demand: 0.0,
+            evacuated: mem_committed == 0.0,
+        };
+        let vm = |id: u32, h: u32, demand: f64| VmObservation {
+            id: VmId(id),
+            host: Some(HostId(h)),
+            cpu_demand: demand,
+            cpu_cap: 4.0,
+            mem_gb: 8.0,
+            migrating: false,
+                    service_class: Default::default(),
+        };
+        ClusterObservation {
+            now: SimTime::ZERO,
+            hosts: vec![host(0, PowerState::On, 16.0), host(1, PowerState::On, 0.0)],
+            vms: vec![vm(0, 0, 3.0), vm(1, 0, 2.0)],
+        }
+    }
+
+    fn cfg() -> ManagerConfig {
+        ManagerConfig::new(PowerPolicy::reactive_suspend())
+    }
+
+    #[test]
+    fn builds_host_views_from_vms() {
+        let ctx = PlanContext::new(&obs2(), vec![3.0, 2.0], &[false, false]);
+        assert_eq!(ctx.host_pred_cpu[0], 5.0);
+        assert_eq!(ctx.host_pred_cpu[1], 0.0);
+        assert_eq!(ctx.util(0), 5.0 / 8.0);
+        assert_eq!(ctx.vms_by_host[0], vec![0, 1]);
+        assert_eq!(ctx.total_predicted(), 5.0);
+    }
+
+    #[test]
+    fn move_updates_both_sides() {
+        let mut ctx = PlanContext::new(&obs2(), vec![3.0, 2.0], &[false, false]);
+        ctx.move_vm(0, 1);
+        assert_eq!(ctx.host_pred_cpu[0], 2.0);
+        assert_eq!(ctx.host_pred_cpu[1], 3.0);
+        // Memory reserved on destination, retained on source.
+        assert_eq!(ctx.mem_committed[1], 8.0);
+        assert_eq!(ctx.mem_committed[0], 16.0);
+        assert_eq!(ctx.vm_host[0], Some(1));
+        assert!(ctx.migrating_vm[0]);
+        assert_eq!(ctx.movable_vms(0), vec![1]);
+    }
+
+    #[test]
+    fn can_accept_honours_target_and_memory() {
+        let mut ctx = PlanContext::new(&obs2(), vec![3.0, 2.0], &[false, false]);
+        let cfg = cfg(); // target 0.75 -> 6.0 cores on an 8-core host
+        assert!(ctx.can_accept(1, 0, &cfg));
+        // Fill host 1's CPU near target.
+        ctx.host_pred_cpu[1] = 5.0;
+        assert!(!ctx.can_accept(1, 0, &cfg)); // 5 + 3 > 6
+        ctx.host_pred_cpu[1] = 0.0;
+        ctx.mem_committed[1] = 30.0;
+        assert!(!ctx.can_accept(1, 0, &cfg)); // 30 + 8 > 32
+    }
+
+    #[test]
+    fn draining_and_non_operational_hosts_rejected() {
+        let mut obs = obs2();
+        obs.hosts[1].state = PowerState::Suspended;
+        let ctx = PlanContext::new(&obs, vec![3.0, 2.0], &[false, false]);
+        assert!(!ctx.can_accept(1, 0, &cfg()));
+
+        let ctx2 = PlanContext::new(&obs2(), vec![3.0, 2.0], &[false, true]);
+        assert!(!ctx2.can_accept(1, 0, &cfg()));
+    }
+
+    #[test]
+    fn destination_selection_prefers_right_ends() {
+        let mut obs = obs2();
+        obs.hosts.push(HostObservation {
+            id: HostId(2),
+            state: PowerState::On,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 32.0,
+            mem_committed: 0.0,
+            cpu_demand: 0.0,
+            evacuated: true,
+        });
+        let mut ctx = PlanContext::new(&obs, vec![1.0, 1.0], &[false, false, false]);
+        ctx.host_pred_cpu[1] = 3.0; // host1 busier than host2
+        let cfg = cfg();
+        assert_eq!(ctx.least_loaded_destination(0, &cfg), Some(2));
+        assert_eq!(ctx.tightest_destination(0, &cfg), Some(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests of the manager: for any observation the generator
+//! can produce, planned actions must be well-formed and internally
+//! consistent.
+
+use agile_core::{
+    ClusterObservation, HostObservation, ManagementAction, ManagerConfig, PowerPolicy,
+    PredictorConfig, VirtManager, VmObservation,
+};
+use cluster::{HostId, ServiceClass, VmId};
+use power::PowerState;
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+const HOST_CAP: f64 = 16.0;
+const HOST_MEM: f64 = 128.0;
+
+/// Strategy: a random but structurally valid observation.
+fn observation(
+    max_hosts: usize,
+    max_vms: usize,
+) -> impl Strategy<Value = ClusterObservation> {
+    let host_states = proptest::collection::vec(0u8..3, 2..=max_hosts);
+    let vms = proptest::collection::vec((any::<u16>(), 0.0f64..2.0, proptest::bool::ANY), 1..=max_vms);
+    (host_states, vms).prop_map(|(states, vm_rows)| {
+        let hosts: Vec<HostObservation> = states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| HostObservation {
+                id: HostId(i as u32),
+                state: match s {
+                    0 => PowerState::On,
+                    1 => PowerState::Suspended,
+                    _ => PowerState::Off,
+                },
+                pending: None,
+                cpu_capacity: HOST_CAP,
+                mem_capacity: HOST_MEM,
+                mem_committed: 0.0, // filled below
+                cpu_demand: 0.0,
+                evacuated: true,
+            })
+            .collect();
+        let operational: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.state == PowerState::On)
+            .map(|(i, _)| i)
+            .collect();
+        let mut hosts = hosts;
+        let mut vms = Vec::new();
+        for (k, (placement_roll, demand, batch)) in vm_rows.into_iter().enumerate() {
+            // Place only on operational hosts (the cluster invariant).
+            let host = if operational.is_empty() {
+                None
+            } else {
+                Some(operational[placement_roll as usize % operational.len()])
+            };
+            if let Some(h) = host {
+                hosts[h].mem_committed += 4.0;
+                hosts[h].cpu_demand += demand;
+                hosts[h].evacuated = false;
+            }
+            vms.push(VmObservation {
+                id: VmId(k as u32),
+                host: host.map(|h| HostId(h as u32)),
+                cpu_demand: demand,
+                cpu_cap: 2.0,
+                mem_gb: 4.0,
+                migrating: false,
+                service_class: if batch {
+                    ServiceClass::Batch
+                } else {
+                    ServiceClass::Interactive
+                },
+            });
+        }
+        ClusterObservation {
+            now: SimTime::from_secs(600),
+            hosts,
+            vms,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every planned action is structurally valid: migrations target
+    /// operational hosts and move placed, non-migrating VMs; power-downs
+    /// only hit evacuated hosts; power-ups only hit parked hosts. At most
+    /// one action per VM and per host.
+    #[test]
+    fn planned_actions_are_well_formed(obs in observation(8, 24), suspend in proptest::bool::ANY) {
+        let policy = if suspend {
+            PowerPolicy::reactive_suspend()
+        } else {
+            PowerPolicy::reactive_off()
+        };
+        let config = ManagerConfig::for_fleet(policy, obs.hosts.len(), obs.vms.len())
+            .with_min_on_time(SimDuration::ZERO)
+            .with_predictor(PredictorConfig::LastValue);
+        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+        let actions = mgr.plan(&obs);
+        prop_assert_eq!(mgr.last_round_reasons().len(), actions.len());
+
+        let mut moved_vms = std::collections::HashSet::new();
+        let mut powered_hosts = std::collections::HashSet::new();
+        for action in &actions {
+            match *action {
+                ManagementAction::Migrate { vm, to } => {
+                    let v = &obs.vms[vm.index()];
+                    prop_assert!(v.host.is_some(), "migrating unplaced {}", vm);
+                    prop_assert_ne!(v.host.unwrap(), to, "self-migration of {}", vm);
+                    prop_assert!(!v.migrating, "vm {} already migrating", vm);
+                    prop_assert!(
+                        obs.hosts[to.index()].is_operational(),
+                        "migrating {} to non-operational {}",
+                        vm,
+                        to
+                    );
+                    prop_assert!(moved_vms.insert(vm), "vm {} moved twice", vm);
+                }
+                ManagementAction::PowerDown { host, .. } => {
+                    prop_assert!(
+                        obs.hosts[host.index()].evacuated,
+                        "powering down non-evacuated {}",
+                        host
+                    );
+                    prop_assert!(
+                        obs.hosts[host.index()].is_operational(),
+                        "powering down non-operational {}",
+                        host
+                    );
+                    prop_assert!(powered_hosts.insert(host), "host {} power-cycled twice", host);
+                }
+                ManagementAction::PowerUp { host } => {
+                    prop_assert!(
+                        matches!(
+                            obs.hosts[host.index()].state,
+                            PowerState::Suspended | PowerState::Off
+                        ),
+                        "waking non-parked {}",
+                        host
+                    );
+                    prop_assert!(powered_hosts.insert(host), "host {} power-cycled twice", host);
+                }
+            }
+        }
+    }
+
+    /// AlwaysOn never emits power actions, for any observation.
+    #[test]
+    fn always_on_never_power_manages(obs in observation(6, 16)) {
+        let config = ManagerConfig::for_fleet(PowerPolicy::always_on(), obs.hosts.len(), obs.vms.len());
+        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+        for action in mgr.plan(&obs) {
+            prop_assert!(!action.is_power_action(), "{}", action);
+        }
+    }
+
+    /// The migration budget is respected for any observation.
+    #[test]
+    fn migration_budget_respected(obs in observation(8, 24), budget in 1usize..4) {
+        let config = ManagerConfig::for_fleet(
+            PowerPolicy::reactive_suspend(),
+            obs.hosts.len(),
+            obs.vms.len(),
+        )
+        .with_max_migrations_per_round(budget)
+        .with_min_on_time(SimDuration::ZERO);
+        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+        let migrations = mgr
+            .plan(&obs)
+            .iter()
+            .filter(|a| matches!(a, ManagementAction::Migrate { .. }))
+            .count();
+        prop_assert!(migrations <= budget, "{migrations} > budget {budget}");
+    }
+
+    /// Planning twice on the same observation from the same state is
+    /// deterministic.
+    #[test]
+    fn planning_is_deterministic(obs in observation(6, 16)) {
+        let mk = || {
+            let config = ManagerConfig::for_fleet(
+                PowerPolicy::reactive_suspend(),
+                obs.hosts.len(),
+                obs.vms.len(),
+            );
+            VirtManager::new(config, obs.hosts.len(), obs.vms.len())
+        };
+        let a = mk().plan(&obs);
+        let b = mk().plan(&obs);
+        prop_assert_eq!(a, b);
+    }
+}

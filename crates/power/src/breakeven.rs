@@ -1,0 +1,202 @@
+//! Break-even analysis for power-down decisions.
+//!
+//! Powering a host down for an idle gap of length `T` saves energy only if
+//! the gap is long enough to amortize the down/up transition costs. With
+//! idle draw `P_idle`, low-state draw `P_low`, down transition `(t_d, E_d)`
+//! and up transition `(t_u, E_u)`:
+//!
+//! ```text
+//! E_stay(T)  = P_idle · T
+//! E_cycle(T) = E_d + E_u + P_low · (T − t_d − t_u)      for T ≥ t_d + t_u
+//! saved(T)   = E_stay(T) − E_cycle(T)
+//! ```
+//!
+//! The break-even gap is the `T` where `saved(T) = 0`. Because S3-class
+//! transitions are seconds and nearly free, their break-even gap is tens of
+//! seconds; S5-class cycles need tens of minutes — this asymmetry is the
+//! quantitative heart of the paper's argument, reproduced in experiment F3.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::{HostPowerProfile, TransitionKind};
+
+/// Which low-power state a power-down decision targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LowPowerMode {
+    /// Suspend-to-RAM (S3-class): `Suspend` down, `Resume` up.
+    Suspend,
+    /// Full power-off (S5-class): `Shutdown` down, `Boot` up.
+    Off,
+}
+
+impl LowPowerMode {
+    /// The transition that enters the low-power state.
+    pub fn down(self) -> TransitionKind {
+        match self {
+            LowPowerMode::Suspend => TransitionKind::Suspend,
+            LowPowerMode::Off => TransitionKind::Shutdown,
+        }
+    }
+
+    /// The transition that leaves the low-power state.
+    pub fn up(self) -> TransitionKind {
+        match self {
+            LowPowerMode::Suspend => TransitionKind::Resume,
+            LowPowerMode::Off => TransitionKind::Boot,
+        }
+    }
+
+    /// Resting draw of the low-power state under `profile`, in watts.
+    pub fn resting_power_w(self, profile: &HostPowerProfile) -> f64 {
+        match self {
+            LowPowerMode::Suspend => profile.suspend_power_w(),
+            LowPowerMode::Off => profile.off_power_w(),
+        }
+    }
+}
+
+/// Net energy saved (joules) by cycling through `mode` for an idle gap of
+/// length `gap`, versus idling the whole time. Negative values mean the
+/// cycle *costs* energy.
+///
+/// Returns `None` if the profile does not support `mode`, or the gap is too
+/// short to even complete the down+up transitions.
+///
+/// # Example
+///
+/// ```
+/// use power::breakeven::{net_energy_saved, LowPowerMode};
+/// use power::HostPowerProfile;
+/// use simcore::SimDuration;
+///
+/// let p = HostPowerProfile::prototype_rack();
+/// // One idle hour: suspending saves a lot.
+/// let saved = net_energy_saved(&p, LowPowerMode::Suspend, SimDuration::from_hours(1)).unwrap();
+/// assert!(saved > 0.0);
+/// ```
+pub fn net_energy_saved(
+    profile: &HostPowerProfile,
+    mode: LowPowerMode,
+    gap: SimDuration,
+) -> Option<f64> {
+    let down = profile.transitions().spec(mode.down())?;
+    let up = profile.transitions().spec(mode.up())?;
+    let overhead = down.latency() + up.latency();
+    if gap < overhead {
+        return None;
+    }
+    let idle_w = profile.curve().idle_w();
+    let low_w = mode.resting_power_w(profile);
+    let stay = idle_w * gap.as_secs_f64();
+    let cycle =
+        down.energy_j() + up.energy_j() + low_w * (gap - overhead).as_secs_f64();
+    Some(stay - cycle)
+}
+
+/// The idle-gap length at which cycling through `mode` breaks even with
+/// idling (closed form).
+///
+/// Returns `None` if the profile does not support `mode` or if the
+/// low-power state does not actually draw less than idle (no gap ever pays
+/// off).
+///
+/// # Example
+///
+/// ```
+/// use power::breakeven::{break_even_gap, LowPowerMode};
+/// use power::HostPowerProfile;
+///
+/// let p = HostPowerProfile::prototype_rack();
+/// let s3 = break_even_gap(&p, LowPowerMode::Suspend).unwrap();
+/// let s5 = break_even_gap(&p, LowPowerMode::Off).unwrap();
+/// assert!(s3 < s5, "low-latency states pay off far sooner");
+/// ```
+pub fn break_even_gap(profile: &HostPowerProfile, mode: LowPowerMode) -> Option<SimDuration> {
+    let down = profile.transitions().spec(mode.down())?;
+    let up = profile.transitions().spec(mode.up())?;
+    let idle_w = profile.curve().idle_w();
+    let low_w = mode.resting_power_w(profile);
+    if idle_w <= low_w {
+        return None;
+    }
+    let overhead = down.latency() + up.latency();
+    // Solve idle·T = E_d + E_u + low·(T − t_overhead) for T.
+    let t = (down.energy_j() + up.energy_j() - low_w * overhead.as_secs_f64())
+        / (idle_w - low_w);
+    // The cycle also cannot be shorter than the transitions themselves.
+    let t = t.max(overhead.as_secs_f64());
+    Some(SimDuration::from_secs_f64(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_is_zero_at_break_even() {
+        let p = HostPowerProfile::prototype_rack();
+        for mode in [LowPowerMode::Suspend, LowPowerMode::Off] {
+            let gap = break_even_gap(&p, mode).unwrap();
+            let saved = net_energy_saved(&p, mode, gap).unwrap();
+            // Zero to within the millisecond rounding of the gap.
+            assert!(saved.abs() < p.curve().idle_w() * 0.002, "{mode:?}: {saved}");
+        }
+    }
+
+    #[test]
+    fn saved_is_monotone_in_gap() {
+        let p = HostPowerProfile::prototype_rack();
+        let mut prev = f64::NEG_INFINITY;
+        for mins in [1u64, 2, 5, 10, 30, 60, 120] {
+            let saved =
+                net_energy_saved(&p, LowPowerMode::Suspend, SimDuration::from_mins(mins)).unwrap();
+            assert!(saved > prev);
+            prev = saved;
+        }
+    }
+
+    #[test]
+    fn s3_breaks_even_orders_of_magnitude_sooner_than_s5() {
+        let p = HostPowerProfile::prototype_rack();
+        let s3 = break_even_gap(&p, LowPowerMode::Suspend).unwrap();
+        let s5 = break_even_gap(&p, LowPowerMode::Off).unwrap();
+        // S3 pays off within a minute, S5 needs several minutes at best.
+        assert!(s3 < SimDuration::from_mins(1), "s3 break-even {s3}");
+        assert!(s5 > s3 * 5, "s5 {s5} vs s3 {s3}");
+    }
+
+    #[test]
+    fn too_short_gap_is_none() {
+        let p = HostPowerProfile::prototype_rack();
+        assert_eq!(
+            net_energy_saved(&p, LowPowerMode::Suspend, SimDuration::from_secs(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn legacy_profile_has_no_suspend_breakeven() {
+        let p = HostPowerProfile::legacy_rack();
+        assert!(break_even_gap(&p, LowPowerMode::Suspend).is_none());
+        assert!(break_even_gap(&p, LowPowerMode::Off).is_some());
+    }
+
+    #[test]
+    fn mode_transition_mapping() {
+        assert_eq!(LowPowerMode::Suspend.down(), TransitionKind::Suspend);
+        assert_eq!(LowPowerMode::Suspend.up(), TransitionKind::Resume);
+        assert_eq!(LowPowerMode::Off.down(), TransitionKind::Shutdown);
+        assert_eq!(LowPowerMode::Off.up(), TransitionKind::Boot);
+    }
+
+    #[test]
+    fn long_gap_saving_approaches_idle_minus_low_rate() {
+        let p = HostPowerProfile::prototype_rack();
+        let day = SimDuration::from_hours(24);
+        let saved = net_energy_saved(&p, LowPowerMode::Suspend, day).unwrap();
+        let asymptotic = (p.curve().idle_w() - p.suspend_power_w()) * day.as_secs_f64();
+        // Within 1% for a full day gap.
+        assert!((saved / asymptotic - 1.0).abs() < 0.01);
+    }
+}

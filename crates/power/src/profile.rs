@@ -1,0 +1,414 @@
+//! Host power profiles: curve + state powers + transition table.
+//!
+//! The presets are calibrated to the hardware class of the paper's
+//! prototypes (2013-era 2U rack and blade enterprise servers). The key
+//! quantitative relationships the evaluation depends on are preserved:
+//!
+//! * idle power is ~half of peak (the proportionality gap),
+//! * the S3-class suspended state draws a few percent of idle power,
+//! * suspend/resume complete in seconds, one to two orders of magnitude
+//!   faster and cheaper than the shutdown/boot cycle,
+//! * a cold boot burns minutes of near-peak power.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::{PowerCurve, PowerState, PsuModel, TransitionKind, TransitionSpec, TransitionTable};
+
+/// A named, immutable description of one server model's power behaviour.
+///
+/// # Example
+///
+/// ```
+/// use power::{HostPowerProfile, PowerState};
+///
+/// let p = HostPowerProfile::prototype_rack();
+/// assert!(p.supports_suspend());
+/// // Suspended draw is a few percent of idle draw.
+/// assert!(p.suspend_power_w() < 0.1 * p.curve().idle_w());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostPowerProfile {
+    name: String,
+    curve: PowerCurve,
+    suspend_power_w: f64,
+    off_power_w: f64,
+    transitions: TransitionTable,
+    psu: Option<PsuModel>,
+}
+
+impl HostPowerProfile {
+    /// Builds a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either low-power draw is negative/non-finite, or exceeds
+    /// the curve's idle power (a "low-power" state that draws more than
+    /// idle indicates a configuration error).
+    pub fn new(
+        name: impl Into<String>,
+        curve: PowerCurve,
+        suspend_power_w: f64,
+        off_power_w: f64,
+        transitions: TransitionTable,
+    ) -> Self {
+        assert!(
+            suspend_power_w.is_finite() && suspend_power_w >= 0.0,
+            "bad suspend power {suspend_power_w}"
+        );
+        assert!(
+            off_power_w.is_finite() && off_power_w >= 0.0,
+            "bad off power {off_power_w}"
+        );
+        assert!(
+            suspend_power_w <= curve.idle_w() && off_power_w <= curve.idle_w(),
+            "low-power draw exceeds idle draw"
+        );
+        HostPowerProfile {
+            name: name.into(),
+            curve,
+            suspend_power_w,
+            off_power_w,
+            transitions,
+            psu: None,
+        }
+    }
+
+    /// Attaches a PSU conversion-loss model: all powers reported by
+    /// [`state_power_w`](Self::state_power_w) become AC wall powers. Use
+    /// this when the profile's curve and state powers were specified on
+    /// the DC side; the built-in prototype presets are already calibrated
+    /// as wall measurements and need no PSU.
+    pub fn with_psu(mut self, psu: PsuModel) -> Self {
+        self.name = format!("{}+psu", self.name);
+        self.psu = Some(psu);
+        self
+    }
+
+    /// The attached PSU model, if any.
+    pub fn psu(&self) -> Option<&PsuModel> {
+        self.psu.as_ref()
+    }
+
+    /// The paper's main prototype class: a 2U rack server with a working
+    /// low-latency suspend-to-RAM path.
+    ///
+    /// Calibration: idle 155 W / peak 315 W (linear), S3 draw 8.5 W, off
+    /// standby 4.5 W; suspend 7 s @ 120 W, resume 12 s @ 180 W; shutdown
+    /// 80 s @ 140 W, boot 180 s @ 240 W.
+    pub fn prototype_rack() -> Self {
+        HostPowerProfile::new(
+            "prototype-rack-s3",
+            PowerCurve::linear(155.0, 315.0),
+            8.5,
+            4.5,
+            TransitionTable::with_suspend(
+                TransitionSpec::new(SimDuration::from_secs(7), 120.0),
+                TransitionSpec::new(SimDuration::from_secs(12), 180.0),
+                TransitionSpec::new(SimDuration::from_secs(80), 140.0),
+                TransitionSpec::new(SimDuration::from_secs(180), 240.0),
+            ),
+        )
+    }
+
+    /// The paper's blade prototype class: lower absolute power, slightly
+    /// faster transitions.
+    pub fn prototype_blade() -> Self {
+        HostPowerProfile::new(
+            "prototype-blade-s3",
+            PowerCurve::linear(95.0, 210.0),
+            6.0,
+            3.0,
+            TransitionTable::with_suspend(
+                TransitionSpec::new(SimDuration::from_secs(6), 85.0),
+                TransitionSpec::new(SimDuration::from_secs(10), 130.0),
+                TransitionSpec::new(SimDuration::from_secs(70), 100.0),
+                TransitionSpec::new(SimDuration::from_secs(150), 170.0),
+            ),
+        )
+    }
+
+    /// The rack prototype with a SPECpower-style *sub-linear* curve:
+    /// power rises steeply at low utilization and flattens toward peak
+    /// (same idle/peak endpoints and transitions as
+    /// [`prototype_rack`](Self::prototype_rack)). Used by the curve-shape
+    /// ablation (F16): the steeper the low-util region, the more
+    /// consolidation pays.
+    pub fn prototype_rack_sublinear() -> Self {
+        let base = Self::prototype_rack();
+        HostPowerProfile::new(
+            "prototype-rack-s3-sublinear",
+            PowerCurve::piecewise(vec![
+                (0.0, 155.0),
+                (0.1, 200.0),
+                (0.25, 235.0),
+                (0.5, 270.0),
+                (0.75, 295.0),
+                (1.0, 315.0),
+            ]),
+            base.suspend_power_w(),
+            base.off_power_w(),
+            base.transitions().clone(),
+        )
+    }
+
+    /// The rack prototype with a *super-linear* (convex) curve: power
+    /// stays near idle until high utilization (same endpoints and
+    /// transitions as [`prototype_rack`](Self::prototype_rack)). The
+    /// other pole of the F16 curve-shape ablation.
+    pub fn prototype_rack_superlinear() -> Self {
+        let base = Self::prototype_rack();
+        HostPowerProfile::new(
+            "prototype-rack-s3-superlinear",
+            PowerCurve::piecewise(vec![
+                (0.0, 155.0),
+                (0.25, 170.0),
+                (0.5, 195.0),
+                (0.75, 240.0),
+                (1.0, 315.0),
+            ]),
+            base.suspend_power_w(),
+            base.off_power_w(),
+            base.transitions().clone(),
+        )
+    }
+
+    /// A legacy enterprise server *without* a usable suspend path — the
+    /// status quo the paper argues against. Only shutdown/boot available,
+    /// and the boot is slow.
+    pub fn legacy_rack() -> Self {
+        HostPowerProfile::new(
+            "legacy-rack",
+            PowerCurve::linear(155.0, 315.0),
+            8.5, // state power is defined but unreachable: no suspend transition
+            4.5,
+            TransitionTable::without_suspend(
+                TransitionSpec::new(SimDuration::from_secs(90), 140.0),
+                TransitionSpec::new(SimDuration::from_secs(240), 240.0),
+            ),
+        )
+    }
+
+    /// The theoretical energy-proportional machine: power tracks load
+    /// exactly and transitions are near-free. Used as the lower bound in
+    /// proportionality plots.
+    pub fn ideal_proportional() -> Self {
+        HostPowerProfile::new(
+            "ideal-proportional",
+            PowerCurve::proportional(315.0),
+            0.0,
+            0.0,
+            TransitionTable::with_suspend(
+                TransitionSpec::new(SimDuration::from_millis(1), 0.0),
+                TransitionSpec::new(SimDuration::from_millis(1), 0.0),
+                TransitionSpec::new(SimDuration::from_millis(1), 0.0),
+                TransitionSpec::new(SimDuration::from_millis(1), 0.0),
+            ),
+        )
+    }
+
+    /// A copy of this profile with the resume latency replaced — used by the
+    /// wake-latency sensitivity sweep (experiment F7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not support suspend.
+    pub fn with_resume_latency(&self, latency: SimDuration) -> Self {
+        let t = &self.transitions;
+        let suspend = *t
+            .spec(TransitionKind::Suspend)
+            .expect("profile must support suspend");
+        let resume = t.spec(TransitionKind::Resume).expect("suspend implies resume");
+        let mut p = self.clone();
+        p.name = format!("{}+resume{}", self.name, latency);
+        p.transitions = TransitionTable::with_suspend(
+            suspend,
+            TransitionSpec::new(latency, resume.avg_power_w()),
+            *t.spec(TransitionKind::Shutdown).expect("always present"),
+            *t.spec(TransitionKind::Boot).expect("always present"),
+        );
+        p
+    }
+
+    /// Model name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The utilization→power curve used while `On`.
+    pub fn curve(&self) -> &PowerCurve {
+        &self.curve
+    }
+
+    /// Draw in the S3-class suspended state, watts.
+    pub fn suspend_power_w(&self) -> f64 {
+        self.suspend_power_w
+    }
+
+    /// Standby draw in the off state, watts.
+    pub fn off_power_w(&self) -> f64 {
+        self.off_power_w
+    }
+
+    /// The transition table.
+    pub fn transitions(&self) -> &TransitionTable {
+        &self.transitions
+    }
+
+    /// Whether the suspend/resume pair is available.
+    pub fn supports_suspend(&self) -> bool {
+        self.transitions.supports_suspend()
+    }
+
+    /// Power draw in `state` at utilization `util` (only `On` uses
+    /// `util`). If a PSU model is attached, this is AC wall power;
+    /// otherwise it is whatever side the profile was calibrated on.
+    pub fn state_power_w(&self, state: PowerState, util: f64) -> f64 {
+        let dc = self.state_power_dc_w(state, util);
+        match &self.psu {
+            Some(psu) => psu.wall_power_w(dc),
+            None => dc,
+        }
+    }
+
+    /// The pre-PSU (DC-side) draw in `state` at utilization `util`.
+    fn state_power_dc_w(&self, state: PowerState, util: f64) -> f64 {
+        match state {
+            PowerState::On => self.curve.power_at(util),
+            PowerState::Suspended => self.suspend_power_w,
+            PowerState::Off => self.off_power_w,
+            // Transitional power is whatever the in-flight spec says; the
+            // state machine overrides the meter directly during
+            // transitions, so this path only matters for ad-hoc queries.
+            PowerState::Suspending | PowerState::Resuming => self
+                .transitions
+                .spec(TransitionKind::Suspend)
+                .map_or(self.curve.idle_w(), |s| s.avg_power_w()),
+            PowerState::ShuttingDown | PowerState::Booting => self
+                .transitions
+                .spec(TransitionKind::Boot)
+                .map_or(self.curve.idle_w(), |s| s.avg_power_w()),
+        }
+    }
+}
+
+impl fmt::Display for HostPowerProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (idle {:.0} W, peak {:.0} W, suspend {:.1} W, off {:.1} W)",
+            self.name,
+            self.curve.idle_w(),
+            self.curve.peak_w(),
+            self.suspend_power_w,
+            self.off_power_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_preserves_paper_relationships() {
+        let p = HostPowerProfile::prototype_rack();
+        // Idle is roughly half of peak.
+        let frac = p.curve().idle_fraction();
+        assert!((0.4..0.6).contains(&frac), "idle fraction {frac}");
+        // Suspended draw is a few percent of idle.
+        assert!(p.suspend_power_w() < 0.1 * p.curve().idle_w());
+        // Suspend+resume is >10x faster than shutdown+boot.
+        let t = p.transitions();
+        let s3_cycle = t.spec(TransitionKind::Suspend).unwrap().latency()
+            + t.spec(TransitionKind::Resume).unwrap().latency();
+        let s5_cycle = t.spec(TransitionKind::Shutdown).unwrap().latency()
+            + t.spec(TransitionKind::Boot).unwrap().latency();
+        assert!(s5_cycle.as_secs_f64() > 10.0 * s3_cycle.as_secs_f64());
+        // ...and >10x cheaper in energy.
+        let s3_energy = t.spec(TransitionKind::Suspend).unwrap().energy_j()
+            + t.spec(TransitionKind::Resume).unwrap().energy_j();
+        let s5_energy = t.spec(TransitionKind::Shutdown).unwrap().energy_j()
+            + t.spec(TransitionKind::Boot).unwrap().energy_j();
+        assert!(s5_energy > 10.0 * s3_energy);
+    }
+
+    #[test]
+    fn legacy_has_no_suspend() {
+        let p = HostPowerProfile::legacy_rack();
+        assert!(!p.supports_suspend());
+    }
+
+    #[test]
+    fn ideal_is_proportional() {
+        let p = HostPowerProfile::ideal_proportional();
+        assert_eq!(p.state_power_w(PowerState::On, 0.0), 0.0);
+        assert_eq!(p.state_power_w(PowerState::On, 0.5), 157.5);
+    }
+
+    #[test]
+    fn state_power_dispatch() {
+        let p = HostPowerProfile::prototype_rack();
+        assert_eq!(p.state_power_w(PowerState::On, 1.0), 315.0);
+        assert_eq!(p.state_power_w(PowerState::Suspended, 1.0), 8.5);
+        assert_eq!(p.state_power_w(PowerState::Off, 1.0), 4.5);
+    }
+
+    #[test]
+    fn with_resume_latency_overrides_only_resume() {
+        let p = HostPowerProfile::prototype_rack();
+        let q = p.with_resume_latency(SimDuration::from_secs(99));
+        assert_eq!(
+            q.transitions().spec(TransitionKind::Resume).unwrap().latency(),
+            SimDuration::from_secs(99)
+        );
+        assert_eq!(
+            q.transitions().spec(TransitionKind::Suspend).unwrap().latency(),
+            p.transitions().spec(TransitionKind::Suspend).unwrap().latency()
+        );
+        assert_ne!(q.name(), p.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "low-power draw exceeds idle draw")]
+    fn rejects_suspend_above_idle() {
+        HostPowerProfile::new(
+            "bad",
+            PowerCurve::linear(100.0, 200.0),
+            150.0,
+            5.0,
+            TransitionTable::without_suspend(
+                TransitionSpec::new(SimDuration::from_secs(10), 100.0),
+                TransitionSpec::new(SimDuration::from_secs(10), 100.0),
+            ),
+        );
+    }
+
+    #[test]
+    fn psu_inflates_all_states() {
+        let dc = HostPowerProfile::prototype_rack();
+        let wall = HostPowerProfile::prototype_rack().with_psu(crate::PsuModel::eighty_plus_gold(400.0));
+        for (state, util) in [
+            (PowerState::On, 0.0),
+            (PowerState::On, 0.7),
+            (PowerState::Suspended, 0.0),
+            (PowerState::Off, 0.0),
+        ] {
+            assert!(
+                wall.state_power_w(state, util) > dc.state_power_w(state, util),
+                "{state} at {util}"
+            );
+        }
+        assert!(wall.name().ends_with("+psu"));
+        assert!(wall.psu().is_some());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = HostPowerProfile::prototype_rack().to_string();
+        assert!(s.contains("prototype-rack-s3"));
+        assert!(s.contains("155"));
+    }
+}

@@ -1,0 +1,671 @@
+//! The discrete-event simulation loop.
+
+use agile_core::{
+    ClusterObservation, HostObservation, ManagementAction, VirtManager, VmObservation,
+};
+use cluster::{Cluster, ClusterError, DemandOutcome, HostId, VmId};
+use power::PowerState;
+use simcore::{EventQueue, SimDuration, SimTime};
+use workload::DemandTrace;
+
+use crate::events::{EventKind, EventRecord};
+use crate::metrics::MetricsCollector;
+use crate::{FailureModel, Scenario, SimError, SimReport};
+use power::TransitionKind;
+use simcore::RngStream;
+use workload::Lifetime;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Demand update + management round.
+    Control,
+    /// A host's power transition completes.
+    PowerDone(HostId),
+    /// A VM's live migration completes.
+    MigrationDone(VmId),
+    /// A VM is provisioned (lifecycle churn).
+    VmArrive(VmId),
+    /// A VM is retired (lifecycle churn).
+    VmDepart(VmId),
+}
+
+/// The datacenter simulator.
+///
+/// Most callers should use [`crate::Experiment`]; `DatacenterSim` is the
+/// lower-level API for drivers that need custom instrumentation (e.g.
+/// per-host power traces).
+///
+/// Each control tick the simulator (1) applies the fleet's demand to the
+/// cluster, (2) records metrics, (3) hands the manager an observation and
+/// executes the actions it returns, scheduling completion events for
+/// migrations and power transitions. Actions that the cluster rejects
+/// (because the world moved since the manager planned) are counted as
+/// failures, not errors — exactly how a real management plane behaves.
+#[derive(Debug)]
+pub struct DatacenterSim {
+    cluster: Cluster,
+    traces: Vec<DemandTrace>,
+    vm_caps: Vec<f64>,
+    manager: Option<VirtManager>,
+    queue: EventQueue<Event>,
+    control_interval: SimDuration,
+    horizon: SimDuration,
+    collector: MetricsCollector,
+    scenario_name: String,
+    seed: u64,
+    policy_label: String,
+    failures: FailureModel,
+    failure_rng: RngStream,
+    lifetimes: Vec<Lifetime>,
+    placement_retries: u64,
+    event_log: Option<Vec<EventRecord>>,
+}
+
+impl DatacenterSim {
+    /// Builds the simulator and performs the initial VM placement
+    /// (round-robin across hosts, memory-checked).
+    ///
+    /// `manager: None` runs an unmanaged cluster (used by calibration
+    /// drivers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InitialPlacement`] if any VM fits on no host.
+    pub fn new(
+        scenario: &Scenario,
+        manager: Option<VirtManager>,
+        control_interval: SimDuration,
+        horizon: SimDuration,
+    ) -> Result<Self, SimError> {
+        let mut cluster = Cluster::new(
+            scenario.host_specs().to_vec(),
+            scenario.fleet().vm_specs().to_vec(),
+            SimTime::ZERO,
+        );
+        let lifetimes = scenario.fleet().lifetimes().lifetimes().to_vec();
+        place_round_robin(&mut cluster, &lifetimes)?;
+
+        let policy_label = manager
+            .as_ref()
+            .map(|m| m.config().policy().label().to_string())
+            .unwrap_or_else(|| "Unmanaged".to_string());
+
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, Event::Control);
+        // Lifecycle events for transient VMs.
+        let end = SimTime::ZERO + horizon;
+        for (i, life) in lifetimes.iter().enumerate() {
+            let vm = VmId(i as u32);
+            if life.arrival > SimTime::ZERO && life.arrival <= end {
+                queue.schedule(life.arrival, Event::VmArrive(vm));
+            }
+            if let Some(departure) = life.departure {
+                if departure <= end {
+                    queue.schedule(departure, Event::VmDepart(vm));
+                }
+            }
+        }
+
+        Ok(DatacenterSim {
+            cluster,
+            traces: scenario.fleet().traces().to_vec(),
+            vm_caps: scenario
+                .fleet()
+                .vm_specs()
+                .iter()
+                .map(|s| s.cpu_cap_cores())
+                .collect(),
+            manager,
+            queue,
+            control_interval,
+            horizon,
+            collector: MetricsCollector::new(control_interval),
+            scenario_name: scenario.name().to_string(),
+            seed: scenario.seed(),
+            policy_label,
+            failures: FailureModel::none(),
+            failure_rng: RngStream::new(scenario.seed()).substream(0xFA11),
+            lifetimes,
+            placement_retries: 0,
+            event_log: None,
+        })
+    }
+
+    /// Enables the audit log (see [`crate::events`]); entries land in
+    /// [`SimReport::events`]. Off by default.
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    fn log(&mut self, time: SimTime, kind: EventKind) {
+        if let Some(log) = &mut self.event_log {
+            log.push(EventRecord { time, kind });
+        }
+    }
+
+    /// Enables power-transition fault injection (off by default).
+    pub fn set_failure_model(&mut self, failures: FailureModel) {
+        self.failures = failures;
+    }
+
+    /// Enables per-host power traces (memory-heavy; off by default).
+    pub fn enable_power_traces(&mut self) {
+        self.cluster.enable_power_traces();
+    }
+
+    /// Read access to the cluster (e.g. to pull host power traces after
+    /// [`run_detailed`](Self::run_detailed)).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs to the horizon and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable cluster errors (these indicate engine
+    /// bugs; recoverable action rejections are counted in the report).
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_detailed().map(|(report, _)| report)
+    }
+
+    /// Runs to the horizon and returns the report plus the final cluster
+    /// (for per-host inspection).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_detailed(mut self) -> Result<(SimReport, Cluster), SimError> {
+        let end = SimTime::ZERO + self.horizon;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked non-empty queue");
+            match event {
+                Event::Control => self.control_tick(now, end),
+                Event::PowerDone(host) => {
+                    self.finish_power_transition(host, now)?;
+                    self.collector.record_power(now, self.cluster.total_power_w());
+                }
+                Event::MigrationDone(vm) => {
+                    self.cluster.complete_migration(vm, now)?;
+                    self.log(now, EventKind::MigrationCompleted { vm });
+                }
+                Event::VmArrive(vm) => self.vm_arrive(vm, now, end),
+                Event::VmDepart(vm) => self.vm_depart(vm, now)?,
+            }
+        }
+        self.cluster.sync(end);
+        let stats = self
+            .manager
+            .as_ref()
+            .map(|m| *m.stats())
+            .unwrap_or_default();
+        let mut report = self.collector.finalize(
+            self.scenario_name,
+            self.policy_label,
+            self.seed,
+            self.horizon,
+            self.cluster.num_hosts(),
+            self.cluster.num_vms(),
+            self.cluster.total_energy_j(),
+            self.cluster.migrations_completed(),
+            stats,
+            self.cluster.migration_busy_secs(),
+            self.cluster.transition_busy_secs(),
+            self.cluster.failed_transitions(),
+        );
+        report.placement_retries = self.placement_retries;
+        report.events = self.event_log.take().unwrap_or_default();
+        Ok((report, self.cluster))
+    }
+
+    /// Completes (or fault-injects) a due power transition.
+    fn finish_power_transition(&mut self, host: HostId, now: SimTime) -> Result<(), SimError> {
+        let pending_kind = self
+            .cluster
+            .host(host)
+            .map_err(SimError::from)?
+            .power()
+            .pending()
+            .map(|(kind, _)| kind);
+        let fail_prob = match pending_kind {
+            Some(TransitionKind::Resume) => self.failures.resume_failure_prob(),
+            Some(TransitionKind::Boot) => self.failures.boot_failure_prob(),
+            _ => 0.0,
+        };
+        if fail_prob > 0.0 && self.failure_rng.chance(fail_prob) {
+            let state = self.cluster.fail_power_transition(host, now)?;
+            self.log(now, EventKind::PowerFailed { host, state });
+        } else {
+            let state = self.cluster.complete_power_transition(host, now)?;
+            self.log(now, EventKind::PowerCompleted { host, state });
+        }
+        Ok(())
+    }
+
+    /// Provisions an arriving VM on the operational host with the most
+    /// free memory; retries next control round if nothing fits right now.
+    fn vm_arrive(&mut self, vm: VmId, now: SimTime, end: SimTime) {
+        let mem_needed = self
+            .cluster
+            .vm(vm)
+            .expect("lifecycle events reference fleet VMs")
+            .mem_gb();
+        let dest = self
+            .cluster
+            .operational_hosts()
+            .into_iter()
+            .filter(|&h| self.cluster.mem_free_gb(h) >= mem_needed)
+            .max_by(|&a, &b| {
+                self.cluster
+                    .mem_free_gb(a)
+                    .partial_cmp(&self.cluster.mem_free_gb(b))
+                    .expect("memory is finite")
+            });
+        match dest {
+            Some(host) => {
+                self.cluster
+                    .place(vm, host)
+                    .expect("destination was validated");
+                self.log(now, EventKind::VmArrived { vm, host });
+            }
+            None => {
+                // Capacity crunch: retry after the next management round
+                // (which will wake hosts once the VM's demand shows up as
+                // unserved pressure).
+                self.placement_retries += 1;
+                self.log(now, EventKind::VmArrivalDeferred { vm });
+                let retry = now + self.control_interval;
+                if retry <= end {
+                    self.queue.schedule(retry, Event::VmArrive(vm));
+                }
+            }
+        }
+    }
+
+    /// Retires a departing VM; if it is mid-migration, the departure
+    /// re-fires right after the migration completes.
+    fn vm_depart(&mut self, vm: VmId, _now: SimTime) -> Result<(), SimError> {
+        if let Some(migration) = self.cluster.migration_of(vm) {
+            // The completion event was scheduled earlier, so at
+            // completes_at it pops before this re-scheduled departure.
+            self.queue
+                .schedule(migration.completes_at, Event::VmDepart(vm));
+            return Ok(());
+        }
+        match self.cluster.unplace(vm) {
+            Ok(_) => {
+                self.log(_now, EventKind::VmDeparted { vm });
+                Ok(())
+            }
+            // Arrival never found a slot; nothing to retire.
+            Err(ClusterError::VmNotPlaced(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn control_tick(&mut self, now: SimTime, end: SimTime) {
+        // 1. Demand update.
+        let demands: Vec<f64> = self
+            .traces
+            .iter()
+            .zip(&self.vm_caps)
+            .enumerate()
+            .map(|(i, (trace, cap))| {
+                if self.lifetimes[i].is_active(now) {
+                    trace.at(now) * cap
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let outcome = self.cluster.apply_demand(now, &demands);
+        self.collector.record_tick(now, &outcome, &self.cluster);
+
+        // 2. Management round.
+        if self.manager.is_some() {
+            let obs = self.observe(now, &outcome);
+            let actions = self
+                .manager
+                .as_mut()
+                .expect("checked above")
+                .plan(&obs);
+            for action in actions {
+                if let Err(e) = self.execute(action, now) {
+                    debug_assert!(
+                        recoverable(&e),
+                        "engine bug: unrecoverable action failure {e}"
+                    );
+                    self.collector.record_action_failure();
+                    self.log(now, EventKind::ActionRejected);
+                }
+            }
+        }
+        self.collector.record_power(now, self.cluster.total_power_w());
+
+        // 3. Next tick.
+        let next = now + self.control_interval;
+        if next <= end {
+            self.queue.schedule(next, Event::Control);
+        }
+    }
+
+    fn execute(&mut self, action: ManagementAction, now: SimTime) -> Result<(), ClusterError> {
+        match action {
+            ManagementAction::Migrate { vm, to } => {
+                let done = self.cluster.begin_migration(vm, to, now)?;
+                self.queue.schedule(done, Event::MigrationDone(vm));
+                self.log(now, EventKind::MigrationStarted { vm, to });
+            }
+            ManagementAction::PowerDown { host, mode } => {
+                let done = self.cluster.begin_power_transition(host, mode.down(), now)?;
+                self.queue.schedule(done, Event::PowerDone(host));
+                self.log(now, EventKind::PowerStarted { host, kind: mode.down() });
+            }
+            ManagementAction::PowerUp { host } => {
+                let kind = match self.cluster.host(host)?.power_state() {
+                    PowerState::Suspended => power::TransitionKind::Resume,
+                    PowerState::Off => power::TransitionKind::Boot,
+                    other => {
+                        // Stale wake request (host already on or moving).
+                        return Err(ClusterError::Power(power::PowerError::InvalidTransition {
+                            from: other,
+                            kind: power::TransitionKind::Resume,
+                        }));
+                    }
+                };
+                let done = self.cluster.begin_power_transition(host, kind, now)?;
+                self.queue.schedule(done, Event::PowerDone(host));
+                self.log(now, EventKind::PowerStarted { host, kind });
+            }
+        }
+        Ok(())
+    }
+
+    fn observe(&self, now: SimTime, outcome: &DemandOutcome) -> ClusterObservation {
+        let hosts = self
+            .cluster
+            .hosts()
+            .iter()
+            .map(|h| {
+                let i = h.id().index();
+                HostObservation {
+                    id: h.id(),
+                    state: h.power_state(),
+                    pending: h.power().pending().map(|(kind, _)| kind),
+                    cpu_capacity: h.capacity().cpu_cores,
+                    mem_capacity: h.capacity().mem_gb,
+                    mem_committed: self.cluster.mem_committed_gb(h.id()),
+                    cpu_demand: outcome.host_demand_cores[i],
+                    evacuated: self.cluster.is_evacuated(h.id()),
+                }
+            })
+            .collect();
+        let vms = (0..self.cluster.num_vms())
+            .map(|i| {
+                let id = VmId(i as u32);
+                let spec = self.cluster.vm(id).expect("vm id in range");
+                let demand = if self.lifetimes[i].is_active(now) {
+                    self.traces[i].at(now) * self.vm_caps[i]
+                } else {
+                    0.0
+                };
+                VmObservation {
+                    id,
+                    host: self.cluster.placement().host_of(id),
+                    cpu_demand: demand,
+                    cpu_cap: spec.cpu_cap_cores(),
+                    mem_gb: spec.mem_gb(),
+                    migrating: self.cluster.migration_of(id).is_some(),
+                    service_class: spec.service_class(),
+                }
+            })
+            .collect();
+        ClusterObservation { now, hosts, vms }
+    }
+}
+
+/// Whether an action failure is a legitimate plan/world race rather than
+/// an engine bug.
+fn recoverable(e: &ClusterError) -> bool {
+    !matches!(e, ClusterError::UnknownHost(_) | ClusterError::UnknownVm(_))
+}
+
+/// Round-robin initial placement with memory admission. Only VMs active
+/// at the start are placed; transient VMs arrive via lifecycle events.
+fn place_round_robin(cluster: &mut Cluster, lifetimes: &[Lifetime]) -> Result<(), SimError> {
+    let n = cluster.num_hosts();
+    let vm_ids: Vec<VmId> = cluster
+        .vm_ids()
+        .filter(|vm| lifetimes[vm.index()].is_active(SimTime::ZERO))
+        .collect();
+    let mut cursor = 0usize;
+    for vm in vm_ids {
+        let mut placed = false;
+        for k in 0..n {
+            let host = HostId(((cursor + k) % n) as u32);
+            if cluster.place(vm, host).is_ok() {
+                cursor = (cursor + k + 1) % n;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(SimError::InitialPlacement { vm });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_core::{ManagerConfig, PowerPolicy};
+
+    fn manager(policy: PowerPolicy, scenario: &Scenario) -> VirtManager {
+        VirtManager::new(
+            ManagerConfig::new(policy),
+            scenario.host_specs().len(),
+            scenario.fleet().len(),
+        )
+    }
+
+    #[test]
+    fn unmanaged_run_integrates_energy() {
+        let s = Scenario::small_test(1);
+        let sim = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(2)).unwrap();
+        let report = sim.run().unwrap();
+        assert!(report.energy_j > 0.0);
+        assert_eq!(report.policy, "Unmanaged");
+        assert_eq!(report.migrations, 0);
+        // All four hosts stay on the whole time.
+        assert_eq!(report.avg_hosts_on, 4.0);
+    }
+
+    #[test]
+    fn always_on_matches_unmanaged_energy_closely() {
+        let s = Scenario::small_test(2);
+        let unmanaged =
+            DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(4))
+                .unwrap()
+                .run()
+                .unwrap();
+        let managed = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::always_on(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(4),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Base DRM may migrate a little, but energy should be within a few
+        // percent of the unmanaged cluster (all hosts stay on).
+        let ratio = managed.energy_j / unmanaged.energy_j;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+        assert_eq!(managed.power_ups + managed.power_downs, 0);
+    }
+
+    #[test]
+    fn suspend_policy_saves_energy_on_diurnal_load() {
+        let s = Scenario::datacenter(8, 32, 3);
+        let horizon = SimDuration::from_hours(24);
+        let base = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::always_on(), &s)),
+            s.demand_step(),
+            horizon,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let pm = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            horizon,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(
+            pm.savings_vs(&base) > 0.15,
+            "expected >15% savings, got {:.1}% (pm {:.1} kWh vs base {:.1} kWh)",
+            pm.savings_vs(&base) * 100.0,
+            pm.energy_kwh(),
+            base.energy_kwh()
+        );
+        // And it must actually have cycled hosts.
+        assert!(pm.power_downs > 0);
+        assert!(pm.avg_hosts_on < 8.0);
+        // With low-latency states the performance impact stays small.
+        assert!(
+            pm.unserved_ratio < 0.02,
+            "unserved ratio {}",
+            pm.unserved_ratio
+        );
+    }
+
+    #[test]
+    fn initial_placement_fails_when_oversubscribed() {
+        use cluster::{HostSpec, Resources, VmSpec};
+        use power::HostPowerProfile;
+        use workload::{DemandTrace, Fleet};
+
+        let hosts = vec![HostSpec::new(
+            Resources::new(4.0, 8.0),
+            HostPowerProfile::prototype_rack(),
+        )];
+        // Three 4 GB VMs cannot fit in 8 GB.
+        let vms = vec![VmSpec::new(Resources::new(1.0, 4.0)); 3];
+        let traces =
+            vec![DemandTrace::from_samples(SimDuration::from_mins(5), vec![0.1]); 3];
+        let fleet = Fleet::from_parts(vms, traces);
+        let s = Scenario::new("tiny", hosts, fleet, SimDuration::from_mins(5), 1);
+        let err = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(1))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InitialPlacement { .. }));
+    }
+
+    #[test]
+    fn churn_scenario_provisions_and_retires() {
+        let s = Scenario::datacenter_churn(6, 36, 0.5, 4);
+        let transient = s
+            .fleet()
+            .lifetimes()
+            .lifetimes()
+            .iter()
+            .filter(|l| l.departure.is_some())
+            .count();
+        assert!(transient > 5, "want real churn, got {transient}");
+        let (report, cluster) = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(24),
+        )
+        .unwrap()
+        .run_detailed()
+        .unwrap();
+        assert!(report.energy_j > 0.0);
+        // Departed VMs must not still be placed at the end.
+        for (i, life) in s.fleet().lifetimes().lifetimes().iter().enumerate() {
+            if let Some(d) = life.departure {
+                if d <= simcore::SimTime::ZERO + SimDuration::from_hours(24) {
+                    assert!(
+                        cluster
+                            .placement()
+                            .host_of(cluster::VmId(i as u32))
+                            .is_none(),
+                        "vm{i} departed but still placed"
+                    );
+                }
+            }
+        }
+        assert!(cluster.placement().check_invariants());
+    }
+
+    #[test]
+    fn event_log_records_lifecycle() {
+        use crate::events::EventKind;
+        let s = Scenario::datacenter(4, 16, 8);
+        let mut sim = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(6),
+        )
+        .unwrap();
+        sim.enable_event_log();
+        let report = sim.run().unwrap();
+        assert!(!report.events.is_empty());
+        // Every started migration has a completion, in time order.
+        let starts = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MigrationStarted { .. }))
+            .count();
+        let dones = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MigrationCompleted { .. }))
+            .count();
+        assert_eq!(starts, dones);
+        assert!(report.events.windows(2).all(|w| w[0].time <= w[1].time));
+        // Without enabling, the log stays empty.
+        let plain = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(6),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(plain.events.is_empty());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let s = Scenario::datacenter(4, 16, 9);
+            DatacenterSim::new(
+                &s,
+                Some(manager(PowerPolicy::reactive_suspend(), &s)),
+                s.demand_step(),
+                SimDuration::from_hours(6),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

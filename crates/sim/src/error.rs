@@ -1,0 +1,61 @@
+//! Error type for simulation runs.
+
+use std::error::Error;
+use std::fmt;
+
+use cluster::{ClusterError, VmId};
+
+/// Errors returned by [`crate::Experiment::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The initial VM placement could not fit every VM onto the fleet
+    /// (the scenario is oversubscribed on memory).
+    InitialPlacement {
+        /// The first VM that fit nowhere.
+        vm: VmId,
+    },
+    /// An unrecoverable cluster error inside the event loop (indicates a
+    /// bug — recoverable action failures are counted, not raised).
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InitialPlacement { vm } => {
+                write!(f, "initial placement failed: {vm} fits on no host")
+            }
+            SimError::Cluster(e) => write!(f, "cluster error during simulation: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for SimError {
+    fn from(e: ClusterError) -> Self {
+        SimError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SimError::InitialPlacement { vm: VmId(4) };
+        assert!(e.to_string().contains("vm4"));
+        let e: SimError = ClusterError::UnknownVm(VmId(1)).into();
+        assert!(e.to_string().contains("vm1"));
+        assert!(Error::source(&e).is_some());
+    }
+}

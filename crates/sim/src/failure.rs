@@ -1,0 +1,106 @@
+//! Fault injection for power-state transitions.
+//!
+//! Power-cycling a server is not free of risk: the paper's prototype work
+//! had to demonstrate that suspend/resume is *dependable* enough for
+//! production management. This module injects transition failures so the
+//! manager's recovery path (failed resume → host lands `Off` → cold boot)
+//! can be exercised and its cost quantified (experiment T13).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-transition failure probabilities.
+///
+/// A failed resume loses the memory image and strands the host `Off`; a
+/// failed boot leaves it `Off` for another attempt. Failed transitions
+/// still consume their full latency and energy.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::FailureModel;
+///
+/// let reliable = FailureModel::none();
+/// assert_eq!(reliable.resume_failure_prob(), 0.0);
+/// let flaky = FailureModel::new(0.05, 0.01);
+/// assert_eq!(flaky.resume_failure_prob(), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    resume_failure_prob: f64,
+    boot_failure_prob: f64,
+}
+
+impl FailureModel {
+    /// No injected failures (the default).
+    pub fn none() -> Self {
+        FailureModel {
+            resume_failure_prob: 0.0,
+            boot_failure_prob: 0.0,
+        }
+    }
+
+    /// Creates a model with the given per-attempt failure probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1)` — a probability
+    /// of 1.0 would make the host permanently unrecoverable.
+    pub fn new(resume_failure_prob: f64, boot_failure_prob: f64) -> Self {
+        for p in [resume_failure_prob, boot_failure_prob] {
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "failure probability {p} outside [0, 1)"
+            );
+        }
+        FailureModel {
+            resume_failure_prob,
+            boot_failure_prob,
+        }
+    }
+
+    /// Probability one resume attempt fails.
+    pub fn resume_failure_prob(&self) -> f64 {
+        self.resume_failure_prob
+    }
+
+    /// Probability one boot attempt fails.
+    pub fn boot_failure_prob(&self) -> f64 {
+        self.boot_failure_prob
+    }
+
+    /// Whether any failure injection is active.
+    pub fn is_active(&self) -> bool {
+        self.resume_failure_prob > 0.0 || self.boot_failure_prob > 0.0
+    }
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FailureModel::none().is_active());
+        assert!(!FailureModel::default().is_active());
+    }
+
+    #[test]
+    fn constructor_round_trips() {
+        let m = FailureModel::new(0.1, 0.02);
+        assert!(m.is_active());
+        assert_eq!(m.resume_failure_prob(), 0.1);
+        assert_eq!(m.boot_failure_prob(), 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn rejects_certain_failure() {
+        FailureModel::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end datacenter simulator for the `agilepm` workspace.
+//!
+//! This crate is the scale-out evaluation methodology of the ISCA'13
+//! paper, rebuilt: it couples the [`workload`] demand traces, the
+//! [`cluster`] virtualization substrate, the [`power`] host models, and
+//! the [`agile_core`] manager into a discrete-event simulation, and
+//! distills each run into a [`SimReport`] with the metrics the paper's
+//! tables and figures report (energy, violations, migration and
+//! power-action rates, power-over-time traces).
+//!
+//! * [`Scenario`] — a reproducible world: host fleet + VM fleet + seed.
+//! * [`Experiment`] — scenario × policy × horizon; [`Experiment::run`]
+//!   produces a [`SimReport`].
+//! * [`DatacenterSim`] — the underlying event loop, for callers that need
+//!   custom instrumentation.
+//! * [`sweeps`] — drivers for the sweep-style experiments (wake latency,
+//!   load proportionality, headroom, hysteresis).
+//! * [`report`] — plain-text table/series formatting shared by the bench
+//!   binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use agile_core::PowerPolicy;
+//! use dcsim::{Experiment, Scenario};
+//! use simcore::SimDuration;
+//!
+//! let report = Experiment::new(Scenario::small_test(42))
+//!     .policy(PowerPolicy::reactive_suspend())
+//!     .horizon(SimDuration::from_hours(2))
+//!     .run()?;
+//! assert!(report.energy_kwh() > 0.0);
+//! # Ok::<(), dcsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+pub mod events;
+mod failure;
+mod metrics;
+mod replication;
+pub mod report;
+mod runner;
+mod scenario;
+pub mod sweeps;
+
+pub use engine::DatacenterSim;
+pub use events::{EventKind, EventRecord};
+pub use error::SimError;
+pub use failure::FailureModel;
+pub use metrics::SimReport;
+pub use replication::{replicate, MetricStats, ReplicationSummary};
+pub use runner::Experiment;
+pub use scenario::Scenario;

@@ -1,0 +1,418 @@
+//! Measurement pipeline: per-tick collection and the final report.
+
+use agile_core::RoundStats;
+use cluster::{Cluster, DemandOutcome};
+
+use crate::events::EventRecord;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime, TimeSeries, Welford};
+
+/// Demand below this many cores counts as zero when deciding whether a
+/// tick had a violation (absorbs floating-point dust).
+const VIOLATION_EPS_CORES: f64 = 1e-6;
+
+/// Collects metrics during a run; folded into a [`SimReport`] at the end.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricsCollector {
+    tick_dt: SimDuration,
+    power_series: TimeSeries,
+    hosts_on_series: TimeSeries,
+    unserved_series: TimeSeries,
+    offered_core_secs: f64,
+    served_core_secs: f64,
+    unserved_core_secs: f64,
+    offered_interactive_core_secs: f64,
+    offered_batch_core_secs: f64,
+    unserved_interactive_core_secs: f64,
+    unserved_batch_core_secs: f64,
+    violation_ticks: u64,
+    ticks: u64,
+    util_on: Welford,
+    action_failures: u64,
+    latency_weighted_sum: f64,
+    latency_weight: f64,
+    peak_latency_factor: f64,
+}
+
+impl MetricsCollector {
+    pub fn new(tick_dt: SimDuration) -> Self {
+        MetricsCollector {
+            tick_dt,
+            power_series: TimeSeries::new(),
+            hosts_on_series: TimeSeries::new(),
+            unserved_series: TimeSeries::new(),
+            offered_core_secs: 0.0,
+            served_core_secs: 0.0,
+            unserved_core_secs: 0.0,
+            offered_interactive_core_secs: 0.0,
+            offered_batch_core_secs: 0.0,
+            unserved_interactive_core_secs: 0.0,
+            unserved_batch_core_secs: 0.0,
+            violation_ticks: 0,
+            ticks: 0,
+            util_on: Welford::new(),
+            action_failures: 0,
+            latency_weighted_sum: 0.0,
+            latency_weight: 0.0,
+            peak_latency_factor: 1.0,
+        }
+    }
+
+    /// Records one demand-weighted response-time-factor sample (an M/M/1
+    /// style `1/(1-rho)` stretch; rho capped at 0.98). Both the simulated
+    /// and the analytic (oracle) paths feed this.
+    pub fn record_latency_sample(&mut self, rho: f64, demand_weight: f64) {
+        if demand_weight <= 0.0 {
+            return;
+        }
+        let factor = 1.0 / (1.0 - rho.clamp(0.0, 0.98));
+        self.latency_weighted_sum += factor * demand_weight;
+        self.latency_weight += demand_weight;
+        self.peak_latency_factor = self.peak_latency_factor.max(factor);
+    }
+
+    /// Records one demand tick.
+    pub fn record_tick(&mut self, now: SimTime, outcome: &DemandOutcome, cluster: &Cluster) {
+        let dt = self.tick_dt.as_secs_f64();
+        self.offered_core_secs += outcome.offered_cores * dt;
+        self.served_core_secs += outcome.served_cores * dt;
+        self.unserved_core_secs += outcome.unserved_cores * dt;
+        self.offered_interactive_core_secs += outcome.offered_interactive_cores * dt;
+        self.offered_batch_core_secs += outcome.offered_batch_cores * dt;
+        self.unserved_interactive_core_secs += outcome.unserved_interactive_cores * dt;
+        self.unserved_batch_core_secs += outcome.unserved_batch_cores * dt;
+        self.ticks += 1;
+        if outcome.unserved_cores > VIOLATION_EPS_CORES {
+            self.violation_ticks += 1;
+        }
+        self.unserved_series.record(now, outcome.unserved_cores);
+
+        // Queueing stretch per host: demand-based utilization drives the
+        // response-time factor; demand weights the average.
+        for (i, host) in cluster.hosts().iter().enumerate() {
+            if host.is_operational() {
+                let cap = host.capacity().cpu_cores;
+                if cap > 0.0 {
+                    let rho = outcome.host_demand_cores[i] / cap;
+                    self.record_latency_sample(rho, outcome.host_demand_cores[i]);
+                }
+            }
+        }
+
+        let on = cluster.operational_hosts().len();
+        self.hosts_on_series.record(now, on as f64);
+        let on_capacity = cluster.operational_capacity_cores();
+        if on_capacity > 0.0 {
+            self.util_on.push(outcome.served_cores / on_capacity);
+        }
+    }
+
+    /// Records an instantaneous cluster power sample (ticks and power
+    /// events).
+    pub fn record_power(&mut self, now: SimTime, watts: f64) {
+        self.power_series.record(now, watts);
+    }
+
+    /// Counts a management action the cluster rejected (stale plan).
+    pub fn record_action_failure(&mut self) {
+        self.action_failures += 1;
+    }
+
+    /// Produces the final report. `energy_j` comes from the cluster's
+    /// exact meters, not the sampled power series.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finalize(
+        self,
+        scenario: String,
+        policy: String,
+        seed: u64,
+        horizon: SimDuration,
+        num_hosts: usize,
+        num_vms: usize,
+        energy_j: f64,
+        migrations: u64,
+        manager_stats: RoundStats,
+        migration_busy_secs: f64,
+        transition_busy_secs: f64,
+        transition_failures: u64,
+    ) -> SimReport {
+        let hours = horizon.as_hours_f64();
+        let host_secs = num_hosts as f64 * horizon.as_secs_f64();
+        SimReport {
+            scenario,
+            policy,
+            seed,
+            horizon,
+            num_hosts,
+            num_vms,
+            energy_j,
+            peak_power_w: self.power_series.max().unwrap_or(0.0),
+            violation_fraction: if self.ticks > 0 {
+                self.violation_ticks as f64 / self.ticks as f64
+            } else {
+                0.0
+            },
+            unserved_ratio: if self.offered_core_secs > 0.0 {
+                self.unserved_core_secs / self.offered_core_secs
+            } else {
+                0.0
+            },
+            unserved_interactive_ratio: if self.offered_interactive_core_secs > 0.0 {
+                self.unserved_interactive_core_secs / self.offered_interactive_core_secs
+            } else {
+                0.0
+            },
+            unserved_batch_ratio: if self.offered_batch_core_secs > 0.0 {
+                self.unserved_batch_core_secs / self.offered_batch_core_secs
+            } else {
+                0.0
+            },
+            migrations,
+            overload_migrations: manager_stats.overload_migrations,
+            consolidation_migrations: manager_stats.consolidation_migrations,
+            rebalance_migrations: manager_stats.rebalance_migrations,
+            power_ups: manager_stats.power_ups_requested,
+            power_downs: manager_stats.power_downs_requested,
+            migrations_per_hour: migrations as f64 / hours,
+            power_actions_per_hour: manager_stats.power_actions() as f64 / hours,
+            avg_hosts_on: self
+                .hosts_on_series
+                .time_weighted_mean(SimTime::ZERO + horizon)
+                .unwrap_or(0.0),
+            avg_util_on: self.util_on.mean(),
+            action_failures: self.action_failures,
+            migration_overhead_frac: if host_secs > 0.0 {
+                migration_busy_secs / host_secs
+            } else {
+                0.0
+            },
+            transition_overhead_frac: if host_secs > 0.0 {
+                transition_busy_secs / host_secs
+            } else {
+                0.0
+            },
+            transition_failures,
+            placement_retries: 0,
+            events: Vec::new(),
+            avg_latency_factor: if self.latency_weight > 0.0 {
+                self.latency_weighted_sum / self.latency_weight
+            } else {
+                1.0
+            },
+            peak_latency_factor: self.peak_latency_factor,
+            power_series: self.power_series,
+            hosts_on_series: self.hosts_on_series,
+            unserved_series: self.unserved_series,
+        }
+    }
+}
+
+/// The distilled result of one simulation run — every quantity the paper's
+/// tables and figures report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy label (see [`agile_core::PowerPolicy::label`]).
+    pub policy: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Number of hosts.
+    pub num_hosts: usize,
+    /// Number of VMs.
+    pub num_vms: usize,
+    /// Total cluster energy, joules.
+    pub energy_j: f64,
+    /// Peak sampled cluster power, watts.
+    pub peak_power_w: f64,
+    /// Fraction of demand ticks with any unserved demand.
+    pub violation_fraction: f64,
+    /// Unserved core-seconds over offered core-seconds.
+    pub unserved_ratio: f64,
+    /// Unserved fraction of *interactive-class* demand (served first).
+    pub unserved_interactive_ratio: f64,
+    /// Unserved fraction of *batch-class* demand (absorbs overload).
+    pub unserved_batch_ratio: f64,
+    /// Completed live migrations.
+    pub migrations: u64,
+    /// Requested migrations attributed to overload mitigation (base DRM).
+    pub overload_migrations: u64,
+    /// Requested migrations attributed to consolidation (PM work).
+    pub consolidation_migrations: u64,
+    /// Requested migrations attributed to background rebalancing.
+    pub rebalance_migrations: u64,
+    /// Host power-up actions requested.
+    pub power_ups: u64,
+    /// Host power-down actions requested.
+    pub power_downs: u64,
+    /// Migration rate.
+    pub migrations_per_hour: f64,
+    /// Power-action (up+down) rate.
+    pub power_actions_per_hour: f64,
+    /// Time-weighted average number of hosts in the `On` state.
+    pub avg_hosts_on: f64,
+    /// Average CPU utilization of powered-on capacity.
+    pub avg_util_on: f64,
+    /// Management actions the cluster rejected as stale.
+    pub action_failures: u64,
+    /// Fraction of total host-time spent carrying live migrations — the
+    /// time-based management overhead the paper compares to base DRM.
+    pub migration_overhead_frac: f64,
+    /// Fraction of total host-time spent in transitional power states.
+    pub transition_overhead_frac: f64,
+    /// Power transitions that failed (fault injection).
+    pub transition_failures: u64,
+    /// Arriving VMs that had to wait at least one round for capacity
+    /// (lifecycle churn).
+    pub placement_retries: u64,
+    /// The audit log (empty unless event recording was enabled).
+    pub events: Vec<EventRecord>,
+    /// Demand-weighted mean response-time stretch (`1/(1-rho)`, M/M/1
+    /// style) — the queueing cost of running hosts hotter.
+    pub avg_latency_factor: f64,
+    /// Worst single-host response-time stretch observed.
+    pub peak_latency_factor: f64,
+    /// Cluster power over time (step function).
+    pub power_series: TimeSeries,
+    /// Powered-on host count over time.
+    pub hosts_on_series: TimeSeries,
+    /// Unserved demand (cores) over time.
+    pub unserved_series: TimeSeries,
+}
+
+impl SimReport {
+    /// Total energy in kilowatt-hours.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_j / 3.6e6
+    }
+
+    /// Mean cluster power over the horizon, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy_j / self.horizon.as_secs_f64()
+    }
+
+    /// Energy savings relative to `baseline`, as a fraction in `[0, 1]`
+    /// for a win (negative if this run used more energy).
+    pub fn savings_vs(&self, baseline: &SimReport) -> f64 {
+        if baseline.energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_j / baseline.energy_j
+    }
+
+    /// Fraction of offered demand that was served.
+    pub fn served_fraction(&self) -> f64 {
+        1.0 - self.unserved_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{HostSpec, Resources, VmSpec};
+    use power::HostPowerProfile;
+
+    fn one_host_cluster() -> Cluster {
+        Cluster::new(
+            vec![HostSpec::new(
+                Resources::new(8.0, 64.0),
+                HostPowerProfile::prototype_rack(),
+            )],
+            vec![VmSpec::new(Resources::new(2.0, 4.0))],
+            SimTime::ZERO,
+        )
+    }
+
+    fn outcome(offered: f64, served: f64) -> DemandOutcome {
+        DemandOutcome {
+            offered_cores: offered,
+            served_cores: served,
+            unserved_cores: offered - served,
+            offered_interactive_cores: offered,
+            offered_batch_cores: 0.0,
+            unserved_interactive_cores: offered - served,
+            unserved_batch_cores: 0.0,
+            host_utilization: vec![served / 8.0],
+            host_demand_cores: vec![offered],
+        }
+    }
+
+    fn finalize(c: MetricsCollector) -> SimReport {
+        c.finalize(
+            "test".into(),
+            "AlwaysOn".into(),
+            1,
+            SimDuration::from_hours(1),
+            1,
+            1,
+            3.6e6, // exactly 1 kWh
+            6,
+            RoundStats {
+                rounds: 12,
+                migrations_requested: 6,
+                power_ups_requested: 2,
+                power_downs_requested: 2,
+                ..RoundStats::default()
+            },
+            36.0,   // migration busy seconds
+            72.0,   // transition busy seconds
+            3,      // injected transition failures
+        )
+    }
+
+    #[test]
+    fn violation_and_ratio_accounting() {
+        let cluster = one_host_cluster();
+        let mut c = MetricsCollector::new(SimDuration::from_mins(30));
+        c.record_tick(SimTime::ZERO, &outcome(4.0, 4.0), &cluster);
+        c.record_tick(SimTime::from_secs(1800), &outcome(4.0, 3.0), &cluster);
+        let r = finalize(c);
+        assert_eq!(r.violation_fraction, 0.5);
+        // 1 core * 1800 s unserved over 8 core*1800*... offered = 4*1800*2
+        assert!((r.unserved_ratio - 1.0 / 8.0).abs() < 1e-12);
+        assert!((r.served_fraction() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_derived_quantities() {
+        let cluster = one_host_cluster();
+        let mut c = MetricsCollector::new(SimDuration::from_mins(30));
+        c.record_power(SimTime::ZERO, 500.0);
+        c.record_power(SimTime::from_secs(600), 800.0);
+        c.record_tick(SimTime::ZERO, &outcome(2.0, 2.0), &cluster);
+        let r = finalize(c);
+        assert!((r.energy_kwh() - 1.0).abs() < 1e-12);
+        assert!((r.avg_power_w() - 1000.0).abs() < 1e-9);
+        assert_eq!(r.peak_power_w, 800.0);
+        assert_eq!(r.migrations_per_hour, 6.0);
+        assert_eq!(r.power_actions_per_hour, 4.0);
+    }
+
+    #[test]
+    fn savings_vs_baseline() {
+        let cluster = one_host_cluster();
+        let mk = |energy: f64| {
+            let c = MetricsCollector::new(SimDuration::from_mins(30));
+            let mut r = finalize(c);
+            r.energy_j = energy;
+            r
+        };
+        let _ = cluster;
+        let base = mk(100.0);
+        let pm = mk(60.0);
+        assert!((pm.savings_vs(&base) - 0.4).abs() < 1e-12);
+        assert!(base.savings_vs(&pm) < 0.0);
+    }
+
+    #[test]
+    fn util_tracks_operational_capacity() {
+        let cluster = one_host_cluster();
+        let mut c = MetricsCollector::new(SimDuration::from_mins(30));
+        c.record_tick(SimTime::ZERO, &outcome(4.0, 4.0), &cluster);
+        let r = finalize(c);
+        assert!((r.avg_util_on - 0.5).abs() < 1e-12);
+        assert_eq!(r.avg_hosts_on, 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Plain-text table and series formatting for experiment output.
+//!
+//! The bench binaries print the same rows/series the paper's tables and
+//! figures report; these helpers keep the formatting consistent.
+
+use simcore::{SimDuration, SimTime, TimeSeries};
+
+use crate::SimReport;
+
+/// Renders an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Example
+///
+/// ```
+/// let t = dcsim::report::table(
+///     &["policy", "kWh"],
+///     &[vec!["AlwaysOn".into(), "12.3".into()]],
+/// );
+/// assert!(t.contains("AlwaysOn"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// The standard policy-comparison table (experiment T5): energy, savings
+/// vs. the first report, violations, overhead rates.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn policy_comparison(reports: &[&SimReport]) -> String {
+    assert!(!reports.is_empty(), "need at least one report");
+    let baseline = reports[0];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.1}", r.energy_kwh()),
+                format!("{:+.1}%", r.savings_vs(baseline) * 100.0),
+                format!("{:.3}%", r.unserved_ratio * 100.0),
+                format!("{:.1}%", r.violation_fraction * 100.0),
+                format!("{:.1}", r.migrations_per_hour),
+                format!("{:.1}", r.power_actions_per_hour),
+                format!("{:.1}", r.avg_hosts_on),
+                format!("{:.0}%", r.avg_util_on * 100.0),
+                // The Oracle is an energy bound with perfect packing; it
+                // does not model service quality, so its queueing stretch
+                // is not meaningful.
+                if r.policy == "Oracle" {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}x", r.avg_latency_factor)
+                },
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "policy",
+            "energy(kWh)",
+            "savings",
+            "unserved",
+            "viol.ticks",
+            "migr/h",
+            "pwr-act/h",
+            "hosts-on",
+            "util-on",
+            "lat",
+        ],
+        &rows,
+    )
+}
+
+/// Renders one or more time series as aligned columns sampled on a fixed
+/// grid: `time, series1, series2, ...` — plot-ready figure data.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or lengths/labels mismatch.
+pub fn series_table(
+    labels: &[&str],
+    series: &[&TimeSeries],
+    step: SimDuration,
+    end: SimTime,
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    assert_eq!(labels.len(), series.len(), "labels/series mismatch");
+    let mut headers = vec!["t(h)"];
+    headers.extend_from_slice(labels);
+    let mut rows = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t <= end {
+        let mut row = vec![format!("{:.2}", t.as_hours_f64())];
+        for s in series {
+            row.push(
+                s.value_at(t)
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        rows.push(row);
+        t += step;
+    }
+    table(&headers, &rows)
+}
+
+/// Renders one or more time series as CSV sampled on a fixed grid:
+/// `t_hours,label1,label2,...` — for plotting outside the terminal.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or lengths/labels mismatch.
+pub fn series_csv(
+    labels: &[&str],
+    series: &[&TimeSeries],
+    step: SimDuration,
+    end: SimTime,
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    assert_eq!(labels.len(), series.len(), "labels/series mismatch");
+    let mut out = String::from("t_hours");
+    for label in labels {
+        out.push(',');
+        out.push_str(label);
+    }
+    out.push('\n');
+    let mut t = SimTime::ZERO;
+    while t <= end {
+        out.push_str(&format!("{:.4}", t.as_hours_f64()));
+        for s in series {
+            out.push_str(&format!(",{}", s.value_at(t).unwrap_or(0.0)));
+        }
+        out.push('\n');
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["333".to_string(), "4".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::ZERO, 5.0);
+        let csv = series_csv(
+            &["watts"],
+            &[&s],
+            SimDuration::from_hours(1),
+            SimTime::from_secs(7200),
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_hours,watts");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.0000,5"));
+    }
+
+    #[test]
+    fn series_table_samples_grid() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::from_secs(3600), 2.0);
+        let t = series_table(
+            &["watts"],
+            &[&s],
+            SimDuration::from_hours(1),
+            SimTime::from_secs(7200),
+        );
+        assert!(t.contains("0.00"));
+        assert!(t.contains("2.00"));
+        assert!(t.contains("watts"));
+    }
+}

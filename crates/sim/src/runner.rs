@@ -1,0 +1,399 @@
+//! The experiment runner: scenario × policy × horizon → report.
+
+use agile_core::{ManagerConfig, PowerPolicy, RoundStats, VirtManager};
+use cluster::Cluster;
+use simcore::{SimDuration, SimTime};
+
+use crate::metrics::MetricsCollector;
+use crate::{DatacenterSim, FailureModel, Scenario, SimError, SimReport};
+
+/// A configured simulation run.
+///
+/// `Experiment` is the main entry point of the crate: pick a
+/// [`Scenario`], a [`PowerPolicy`] (or a full [`ManagerConfig`] for the
+/// sensitivity sweeps), a horizon, and call [`run`](Self::run).
+///
+/// The [`PowerPolicy::Oracle`] policy is evaluated analytically — ideal
+/// consolidation with free transitions on the same hardware curves — and
+/// produces a report with the same shape as the simulated policies.
+///
+/// # Example
+///
+/// ```
+/// use agile_core::PowerPolicy;
+/// use dcsim::{Experiment, Scenario};
+/// use simcore::SimDuration;
+///
+/// let scenario = Scenario::small_test(7);
+/// let base = Experiment::new(scenario.clone())
+///     .policy(PowerPolicy::always_on())
+///     .horizon(SimDuration::from_hours(2))
+///     .run()?;
+/// let oracle = Experiment::new(scenario)
+///     .policy(PowerPolicy::oracle())
+///     .horizon(SimDuration::from_hours(2))
+///     .run()?;
+/// assert!(oracle.energy_j < base.energy_j);
+/// # Ok::<(), dcsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scenario: Scenario,
+    config: ConfigSource,
+    horizon: SimDuration,
+    control_interval: Option<SimDuration>,
+    failures: FailureModel,
+    record_events: bool,
+}
+
+/// Where the manager configuration comes from: a bare policy gets
+/// fleet-scaled defaults; an explicit config is used verbatim.
+#[derive(Debug, Clone)]
+enum ConfigSource {
+    Policy(PowerPolicy),
+    Explicit(ManagerConfig),
+}
+
+impl Experiment {
+    /// Creates an experiment with the `AlwaysOn` policy and a 24 h
+    /// horizon.
+    pub fn new(scenario: Scenario) -> Self {
+        Experiment {
+            scenario,
+            config: ConfigSource::Policy(PowerPolicy::always_on()),
+            horizon: SimDuration::from_hours(24),
+            control_interval: None,
+            failures: FailureModel::none(),
+            record_events: false,
+        }
+    }
+
+    /// Sets the policy; the manager configuration is derived with
+    /// [`ManagerConfig::for_fleet`] so action caps scale with the
+    /// scenario. Overrides any earlier
+    /// [`manager_config`](Self::manager_config).
+    pub fn policy(mut self, policy: PowerPolicy) -> Self {
+        self.config = ConfigSource::Policy(policy);
+        self
+    }
+
+    /// Sets the full manager configuration verbatim (for sensitivity
+    /// sweeps). Overrides any earlier [`policy`](Self::policy).
+    pub fn manager_config(mut self, config: ManagerConfig) -> Self {
+        self.config = ConfigSource::Explicit(config);
+        self
+    }
+
+    /// The manager configuration this experiment will run.
+    fn resolve_config(&self) -> ManagerConfig {
+        match &self.config {
+            ConfigSource::Policy(p) => ManagerConfig::for_fleet(
+                *p,
+                self.scenario.host_specs().len(),
+                self.scenario.fleet().len(),
+            ),
+            ConfigSource::Explicit(c) => c.clone(),
+        }
+    }
+
+    /// Enables power-transition fault injection (default: none). Ignored
+    /// by the `Oracle` policy, whose transitions are hypothetical.
+    pub fn failure_model(mut self, failures: FailureModel) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Enables the audit log (entries land in [`SimReport::events`]).
+    /// Ignored by the analytic (`Oracle`/DVFS) paths, which take no
+    /// management actions.
+    pub fn record_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    /// Sets the simulated horizon (default 24 h).
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the management/demand tick (default: the scenario's demand
+    /// step).
+    pub fn control_interval(mut self, interval: SimDuration) -> Self {
+        self.control_interval = Some(interval);
+        self
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the initial placement fails or the engine
+    /// hits an unrecoverable cluster error.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        if matches!(self.resolve_config().policy(), PowerPolicy::Oracle) {
+            return Ok(self.run_oracle());
+        }
+        self.build_sim()?.run()
+    }
+
+    /// Runs the experiment and also returns the final cluster for
+    /// per-host inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] as for [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Oracle` policy, which has no cluster.
+    pub fn run_detailed(&self) -> Result<(SimReport, Cluster), SimError> {
+        assert!(
+            !matches!(self.resolve_config().policy(), PowerPolicy::Oracle),
+            "Oracle policy has no cluster; use run()"
+        );
+        self.build_sim()?.run_detailed()
+    }
+
+    fn build_sim(&self) -> Result<DatacenterSim, SimError> {
+        let interval = self
+            .control_interval
+            .unwrap_or_else(|| self.scenario.demand_step());
+        let manager = VirtManager::new(
+            self.resolve_config(),
+            self.scenario.host_specs().len(),
+            self.scenario.fleet().len(),
+        );
+        let mut sim = DatacenterSim::new(&self.scenario, Some(manager), interval, self.horizon)?;
+        sim.set_failure_model(self.failures);
+        if self.record_events {
+            sim.enable_event_log();
+        }
+        Ok(sim)
+    }
+
+    /// Analytic DVFS-only baseline: every host stays on and
+    /// independently clocks down to the lowest sufficient frequency for
+    /// its share of demand (perfectly balanced across the fleet). No
+    /// consolidation, no power states — the classic alternative the
+    /// paper's platform low-power states are contrasted against.
+    /// Serves everything (violations zero) since capacity never leaves.
+    pub fn run_dvfs_baseline(&self, dvfs: &power::DvfsModel) -> SimReport {
+        let interval = self
+            .control_interval
+            .unwrap_or_else(|| self.scenario.demand_step());
+        let hosts = self.scenario.host_specs();
+        let num_hosts = hosts.len();
+        let total_cap: f64 = hosts.iter().map(|h| h.capacity().cpu_cores).sum();
+        let fleet = self.scenario.fleet();
+        let caps: Vec<f64> = fleet.vm_specs().iter().map(|s| s.cpu_cap_cores()).collect();
+
+        let mut collector = MetricsCollector::new(interval);
+        let mut energy_j = 0.0;
+        let end = SimTime::ZERO + self.horizon;
+        let mut t = SimTime::ZERO;
+        let mut hosts_on = simcore::TimeSeries::new();
+        let mut util_acc = simcore::Welford::new();
+        while t <= end {
+            let demand: f64 = fleet
+                .traces()
+                .iter()
+                .zip(&caps)
+                .map(|(trace, cap)| trace.at(t) * cap)
+                .sum();
+            let fleet_util = (demand / total_cap).clamp(0.0, 1.0);
+            util_acc.push(fleet_util);
+            collector.record_latency_sample(fleet_util, demand);
+            let power: f64 = hosts
+                .iter()
+                .map(|h| dvfs.best_power_w(h.profile().curve(), fleet_util))
+                .sum();
+            hosts_on.record(t, num_hosts as f64);
+            collector.record_power(t, power);
+            let dt = interval.as_secs_f64().min(end.since(t).as_secs_f64().max(0.0));
+            if t < end {
+                energy_j += power * dt;
+            }
+            t += interval;
+        }
+
+        let mut report = collector.finalize(
+            self.scenario.name().to_string(),
+            "DVFS-only".to_string(),
+            self.scenario.seed(),
+            self.horizon,
+            num_hosts,
+            fleet.len(),
+            energy_j,
+            0,
+            RoundStats::default(),
+            0.0,
+            0.0,
+            0,
+        );
+        report.avg_hosts_on = num_hosts as f64;
+        report.avg_util_on = util_acc.mean();
+        report.hosts_on_series = hosts_on;
+        report
+    }
+
+    /// The analytic proportionality bound: at every tick, the smallest
+    /// prefix of hosts (most CPU-per-peak-watt efficient first) that can
+    /// carry the offered demand runs at equal utilization on its real
+    /// power curves; everything else draws zero; transitions are free and
+    /// instant. Works for heterogeneous fleets; for a uniform fleet it
+    /// reduces to the classic ceil(demand/capacity) bound.
+    fn run_oracle(&self) -> SimReport {
+        let interval = self
+            .control_interval
+            .unwrap_or_else(|| self.scenario.demand_step());
+        let hosts = self.scenario.host_specs();
+        let num_hosts = hosts.len();
+        // Most efficient hosts first (capacity per peak watt).
+        let mut order: Vec<usize> = (0..num_hosts).collect();
+        let efficiency = |i: usize| {
+            let h = &hosts[i];
+            h.capacity().cpu_cores / h.profile().curve().peak_w().max(1e-9)
+        };
+        order.sort_by(|&a, &b| {
+            efficiency(b)
+                .partial_cmp(&efficiency(a))
+                .expect("efficiency is finite")
+        });
+        let fleet = self.scenario.fleet();
+        let caps: Vec<f64> = fleet.vm_specs().iter().map(|s| s.cpu_cap_cores()).collect();
+
+        let mut collector = MetricsCollector::new(interval);
+        let mut energy_j = 0.0;
+        let end = SimTime::ZERO + self.horizon;
+        let mut t = SimTime::ZERO;
+        let mut hosts_on = simcore::TimeSeries::new();
+        let mut util_acc = simcore::Welford::new();
+        while t <= end {
+            let demand: f64 = fleet
+                .traces()
+                .iter()
+                .zip(&caps)
+                .map(|(trace, cap)| trace.at(t) * cap)
+                .sum();
+            // Take the shortest efficient prefix that fits the demand.
+            let mut n = 0usize;
+            let mut cap_sum = 0.0;
+            if demand > 0.0 {
+                for &i in &order {
+                    n += 1;
+                    cap_sum += hosts[i].capacity().cpu_cores;
+                    if cap_sum >= demand {
+                        break;
+                    }
+                }
+            }
+            let util = if n > 0 { (demand / cap_sum).min(1.0) } else { 0.0 };
+            util_acc.push(util);
+            collector.record_latency_sample(util, demand);
+            let power: f64 = order[..n]
+                .iter()
+                .map(|&i| hosts[i].profile().curve().power_at(util))
+                .sum();
+            hosts_on.record(t, n as f64);
+            collector.record_power(t, power);
+            // The last partial interval is clipped to the horizon.
+            let dt = interval.as_secs_f64().min(end.since(t).as_secs_f64().max(0.0));
+            if t < end {
+                energy_j += power * dt;
+            }
+            t += interval;
+        }
+
+        let mut report = collector.finalize(
+            self.scenario.name().to_string(),
+            PowerPolicy::oracle().label().to_string(),
+            self.scenario.seed(),
+            self.horizon,
+            num_hosts,
+            fleet.len(),
+            energy_j,
+            0,
+            RoundStats::default(),
+            0.0,
+            0.0,
+            0,
+        );
+        // Oracle serves everything by construction.
+        report.avg_hosts_on = hosts_on.time_weighted_mean(end).unwrap_or(0.0);
+        report.avg_util_on = util_acc.mean();
+        report.hosts_on_series = hosts_on;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_ladder_orders_energy() {
+        // Oracle <= PM-Suspend < AlwaysOn on a diurnal day.
+        let scenario = Scenario::datacenter(8, 32, 11);
+        let horizon = SimDuration::from_hours(24);
+        let run = |p: PowerPolicy| {
+            Experiment::new(scenario.clone())
+                .policy(p)
+                .horizon(horizon)
+                .run()
+                .unwrap()
+        };
+        let base = run(PowerPolicy::always_on());
+        let suspend = run(PowerPolicy::reactive_suspend());
+        let oracle = run(PowerPolicy::oracle());
+        assert!(
+            oracle.energy_j < suspend.energy_j,
+            "oracle {} >= suspend {}",
+            oracle.energy_kwh(),
+            suspend.energy_kwh()
+        );
+        assert!(
+            suspend.energy_j < base.energy_j,
+            "suspend {} >= base {}",
+            suspend.energy_kwh(),
+            base.energy_kwh()
+        );
+    }
+
+    #[test]
+    fn oracle_has_no_violations_or_actions() {
+        let r = Experiment::new(Scenario::small_test(3))
+            .policy(PowerPolicy::oracle())
+            .horizon(SimDuration::from_hours(4))
+            .run()
+            .unwrap();
+        assert_eq!(r.violation_fraction, 0.0);
+        assert_eq!(r.migrations, 0);
+        assert_eq!(r.power_ups + r.power_downs, 0);
+        assert!(r.energy_j > 0.0);
+        assert_eq!(r.policy, "Oracle");
+    }
+
+    #[test]
+    fn manager_config_override_applies() {
+        let cfg = ManagerConfig::new(PowerPolicy::reactive_suspend()).with_spare_hosts(3);
+        let e = Experiment::new(Scenario::small_test(4)).manager_config(cfg);
+        // With 3 spares demanded on a 4-host cluster, consolidation can
+        // barely act; the run must still complete.
+        let r = e.horizon(SimDuration::from_hours(2)).run().unwrap();
+        assert_eq!(r.policy, "PM-Suspend(S3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "Oracle policy has no cluster")]
+    fn run_detailed_rejects_oracle() {
+        let _ = Experiment::new(Scenario::small_test(5))
+            .policy(PowerPolicy::oracle())
+            .run_detailed();
+    }
+}

@@ -1,0 +1,320 @@
+//! Summary statistics: online moments, percentiles, and histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass moments; used for per-tick metrics where
+/// storing every sample would be wasteful at scale.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than 2 samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation (0 if fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Linear-interpolated percentile of a sample set (like numpy's default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// use simcore::percentile;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 50.0), Some(2.5));
+/// assert_eq!(percentile(&data, 100.0), Some(4.0));
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// A fixed-range linear histogram.
+///
+/// Samples below the range land in the first bucket, above it in the last;
+/// the histogram never loses counts. Used for latency and utilization
+/// distributions in reports.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 10);
+/// h.push(0.05);
+/// h.push(0.95);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bucket_counts()[0], 1);
+/// assert_eq!(h.bucket_counts()[9], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal-width
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Adds a sample, clamping out-of-range values to the edge buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        let n = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.counts[idx.min(n - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The lower edge of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bucket {i} out of range");
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Fraction of samples at or below the upper edge of bucket `i`
+    /// (empirical CDF evaluated on bucket boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cdf_at(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bucket {i} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.counts[..=i].iter().sum();
+        cum as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.population_variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(9.0));
+        assert_eq!(w.count(), 7);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut whole = Welford::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(3.0);
+        let saved = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, saved);
+        let mut empty = Welford::new();
+        empty.merge(&saved);
+        assert_eq!(empty, saved);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 50.0), Some(20.0));
+        assert_eq!(percentile(&data, 75.0), Some(25.0));
+        assert_eq!(percentile(&data, 100.0), Some(30.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 3.0, 9.9, -1.0, 100.0] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 6);
+        // -1.0 and 0.5, 1.5 land in bucket 0.. wait -1.0 -> bucket 0, 0.5->0, 1.5->0, 3.0->1, 9.9->4, 100->4
+        assert_eq!(h.bucket_counts(), &[3, 1, 0, 0, 2]);
+        assert!((h.cdf_at(1) - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.cdf_at(4), 1.0);
+        assert_eq!(h.bucket_lo(1), 2.0);
+    }
+}

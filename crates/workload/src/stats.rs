@@ -1,0 +1,134 @@
+//! Summary statistics of demand traces.
+//!
+//! When substituting synthetic demand for the paper's production traces —
+//! or importing your own via [`crate::io`] — these are the numbers to
+//! compare: mean level, peak-to-mean ratio (burstiness), the p95 the
+//! capacity planner would size to, and the lag-1 autocorrelation that
+//! tells a predictor how much signal there is.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DemandTrace;
+
+/// Descriptive statistics of one demand trace.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{RngStream, SimDuration};
+/// use workload::{DemandProcess, Shape, TraceStats};
+///
+/// let trace = DemandProcess::new(Shape::diurnal(0.4, 0.3))
+///     .with_noise(0.9, 0.05)
+///     .generate(SimDuration::from_hours(24), SimDuration::from_mins(5), &mut RngStream::new(1));
+/// let stats = TraceStats::of(&trace);
+/// assert!((stats.mean - 0.4).abs() < 0.1);
+/// assert!(stats.autocorr_lag1 > 0.8, "diurnal + AR(1) is highly correlated");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Arithmetic mean demand fraction.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Largest sample.
+    pub peak: f64,
+    /// Peak over mean (1.0 = perfectly flat; 0 mean maps to 1.0).
+    pub peak_to_mean: f64,
+    /// 95th-percentile sample — what a capacity planner sizes to.
+    pub p95: f64,
+    /// Lag-1 autocorrelation (0 for traces shorter than 3 samples or
+    /// with zero variance).
+    pub autocorr_lag1: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn of(trace: &DemandTrace) -> Self {
+        let xs = trace.samples();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+        let peak = trace.peak();
+        let p95 = simcore::percentile(xs, 95.0).expect("trace is non-empty");
+
+        let autocorr_lag1 = if xs.len() >= 3 && var > 1e-12 {
+            let cov: f64 = xs
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / (n - 1.0);
+            cov / var
+        } else {
+            0.0
+        };
+
+        TraceStats {
+            mean,
+            std_dev,
+            peak,
+            peak_to_mean: if mean > 0.0 { peak / mean } else { 1.0 },
+            p95,
+            autocorr_lag1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DemandProcess, Shape};
+    use simcore::{RngStream, SimDuration};
+
+    fn trace_of(samples: Vec<f64>) -> DemandTrace {
+        DemandTrace::from_samples(SimDuration::from_mins(5), samples)
+    }
+
+    #[test]
+    fn flat_trace_stats() {
+        let s = TraceStats::of(&trace_of(vec![0.5; 20]));
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.peak_to_mean, 1.0);
+        assert_eq!(s.p95, 0.5);
+        assert_eq!(s.autocorr_lag1, 0.0); // zero variance
+    }
+
+    #[test]
+    fn alternating_trace_is_anticorrelated() {
+        let samples: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect();
+        let s = TraceStats::of(&trace_of(samples));
+        assert!(s.autocorr_lag1 < -0.9, "lag-1 {}", s.autocorr_lag1);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_trace_is_correlated() {
+        let t = DemandProcess::new(Shape::diurnal(0.4, 0.3)).generate(
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(1),
+        );
+        let s = TraceStats::of(&t);
+        assert!(s.autocorr_lag1 > 0.95);
+        assert!(s.peak_to_mean > 1.5);
+    }
+
+    #[test]
+    fn zero_trace_peak_to_mean_defined() {
+        let s = TraceStats::of(&trace_of(vec![0.0; 5]));
+        assert_eq!(s.peak_to_mean, 1.0);
+    }
+
+    #[test]
+    fn noise_raises_std_dev_not_mean() {
+        let base = DemandProcess::new(Shape::constant(0.5));
+        let noisy = base.with_noise(0.8, 0.1);
+        let t0 = base.generate(SimDuration::from_hours(12), SimDuration::from_mins(5), &mut RngStream::new(2));
+        let t1 = noisy.generate(SimDuration::from_hours(12), SimDuration::from_mins(5), &mut RngStream::new(2));
+        let (s0, s1) = (TraceStats::of(&t0), TraceStats::of(&t1));
+        assert!(s1.std_dev > s0.std_dev + 0.05);
+        assert!((s1.mean - s0.mean).abs() < 0.05);
+    }
+}

@@ -1,0 +1,45 @@
+//! Energy proportionality: cluster power as a function of offered load.
+//!
+//! The paper's efficiency claim is that virtualization power management
+//! with low-latency states delivers *close to energy-proportional* power.
+//! This example sweeps a steady load from 10 % to 90 % and prints the
+//! normalized power curve for the always-on baseline, the suspend-based
+//! manager, and the analytic oracle, next to the ideal proportional line.
+//!
+//! ```sh
+//! cargo run --release --example energy_proportionality
+//! ```
+
+use agilepm::core::PowerPolicy;
+use agilepm::sim::sweeps::proportionality_sweep;
+
+fn main() {
+    let levels = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let hosts = 16;
+    let vms = 64;
+    let seed = 5;
+
+    let base = proportionality_sweep(hosts, vms, &levels, PowerPolicy::always_on(), seed)
+        .expect("scenario is well-formed");
+    let pm = proportionality_sweep(hosts, vms, &levels, PowerPolicy::reactive_suspend(), seed)
+        .expect("scenario is well-formed");
+    let oracle = proportionality_sweep(hosts, vms, &levels, PowerPolicy::oracle(), seed)
+        .expect("scenario is well-formed");
+
+    let peak = base.last().expect("non-empty sweep").1.avg_power_w();
+    println!(
+        "{:>5}  {:>9}  {:>12}  {:>7}  {:>6}",
+        "load", "AlwaysOn", "PM-Suspend", "Oracle", "ideal"
+    );
+    for (i, &level) in levels.iter().enumerate() {
+        println!(
+            "{:>4.0}%  {:>9.2}  {:>12.2}  {:>7.2}  {:>6.2}",
+            level * 100.0,
+            base[i].1.avg_power_w() / peak,
+            pm[i].1.avg_power_w() / peak,
+            oracle[i].1.avg_power_w() / peak,
+            level,
+        );
+    }
+    println!("\n(power normalized to the always-on cluster at 90% load)");
+}

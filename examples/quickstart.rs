@@ -1,0 +1,42 @@
+//! Quickstart: simulate one day of a small power-managed cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use agilepm::core::PowerPolicy;
+use agilepm::sim::{Experiment, Scenario};
+use agilepm::simcore::SimDuration;
+
+fn main() {
+    // A reproducible world: 4 prototype hosts, 16 enterprise VMs, 24 h of
+    // diurnal demand. Same seed -> same run, bit for bit.
+    let scenario = Scenario::small_test(42);
+
+    // The paper's proposal: DRM load balancing plus consolidation with
+    // low-latency suspend-to-RAM parking.
+    let report = Experiment::new(scenario.clone())
+        .policy(PowerPolicy::reactive_suspend())
+        .horizon(SimDuration::from_hours(24))
+        .run()
+        .expect("scenario is well-formed");
+
+    // And the always-on baseline for comparison.
+    let baseline = Experiment::new(scenario)
+        .policy(PowerPolicy::always_on())
+        .horizon(SimDuration::from_hours(24))
+        .run()
+        .expect("scenario is well-formed");
+
+    println!("cluster        : {} hosts / {} VMs", report.num_hosts, report.num_vms);
+    println!("baseline energy: {:.1} kWh (always on)", baseline.energy_kwh());
+    println!("managed energy : {:.1} kWh ({})", report.energy_kwh(), report.policy);
+    println!("savings        : {:.1}%", report.savings_vs(&baseline) * 100.0);
+    println!("avg hosts on   : {:.1} of {}", report.avg_hosts_on, report.num_hosts);
+    println!("unserved demand: {:.4}%", report.unserved_ratio * 100.0);
+    println!(
+        "management     : {} migrations, {} power actions",
+        report.migrations,
+        report.power_ups + report.power_downs
+    );
+}

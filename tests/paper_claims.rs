@@ -1,0 +1,142 @@
+//! The abstract's three quantitative claims, checked as integration tests
+//! at moderate scale. These are the "shape" results the reproduction must
+//! preserve (see DESIGN.md).
+
+use agilepm::core::PowerPolicy;
+use agilepm::power::breakeven::{break_even_gap, LowPowerMode};
+use agilepm::power::HostPowerProfile;
+use agilepm::sim::sweeps::{proportionality_sweep, wake_latency_sweep};
+use agilepm::sim::{Experiment, Scenario};
+use agilepm::simcore::SimDuration;
+
+/// Claim 1: low-latency power states have dramatically lower transition
+/// latency and energy than traditional power cycling.
+#[test]
+fn claim1_low_latency_states_are_orders_of_magnitude_cheaper() {
+    for profile in [
+        HostPowerProfile::prototype_rack(),
+        HostPowerProfile::prototype_blade(),
+    ] {
+        let t = profile.transitions();
+        let s3_latency = t
+            .spec(agilepm::power::TransitionKind::Suspend)
+            .expect("prototypes support suspend")
+            .latency()
+            + t.spec(agilepm::power::TransitionKind::Resume)
+                .expect("prototypes support resume")
+                .latency();
+        let s5_latency = t
+            .spec(agilepm::power::TransitionKind::Shutdown)
+            .expect("always present")
+            .latency()
+            + t.spec(agilepm::power::TransitionKind::Boot)
+                .expect("always present")
+                .latency();
+        assert!(
+            s5_latency.as_secs_f64() / s3_latency.as_secs_f64() > 10.0,
+            "{}: S5 cycle only {:.1}x slower",
+            profile.name(),
+            s5_latency.as_secs_f64() / s3_latency.as_secs_f64()
+        );
+        // Break-even gaps differ by an order of magnitude.
+        let s3_gap = break_even_gap(&profile, LowPowerMode::Suspend).expect("suspend supported");
+        let s5_gap = break_even_gap(&profile, LowPowerMode::Off).expect("off supported");
+        assert!(
+            s5_gap.as_secs_f64() / s3_gap.as_secs_f64() > 10.0,
+            "{}: break-even ratio only {:.1}x",
+            profile.name(),
+            s5_gap.as_secs_f64() / s3_gap.as_secs_f64()
+        );
+    }
+}
+
+/// Claim 2: PM with low-latency states keeps overheads comparable to base
+/// DRM — management time fractions of the same (sub-percent) order, and
+/// responsiveness that degrades only when latency grows to S5-class.
+#[test]
+fn claim2_overheads_comparable_to_base_drm() {
+    let scenario = Scenario::datacenter_spiky(16, 96, 31);
+    let horizon = SimDuration::from_hours(24);
+    let base = Experiment::new(scenario.clone())
+        .policy(PowerPolicy::always_on())
+        .control_interval(SimDuration::from_mins(1))
+        .horizon(horizon)
+        .run()
+        .expect("scenario runs");
+    let pm = Experiment::new(scenario)
+        .policy(PowerPolicy::reactive_suspend())
+        .control_interval(SimDuration::from_mins(1))
+        .horizon(horizon)
+        .run()
+        .expect("scenario runs");
+
+    // Both spend well under 1% of host-time on management churn.
+    assert!(base.migration_overhead_frac < 0.01);
+    assert!(
+        pm.migration_overhead_frac < 0.01,
+        "PM migration time {:.3}%",
+        pm.migration_overhead_frac * 100.0
+    );
+    assert!(
+        pm.transition_overhead_frac < 0.005,
+        "PM transition time {:.3}%",
+        pm.transition_overhead_frac * 100.0
+    );
+    // And the performance cost stays near the DRM baseline.
+    assert!(
+        pm.unserved_ratio < 0.005,
+        "PM unserved {:.4}%",
+        pm.unserved_ratio * 100.0
+    );
+}
+
+/// Claim 2b: responsiveness collapses as wake latency grows into the
+/// S5-class regime — the crossover that motivates low-latency states.
+#[test]
+fn claim2b_wake_latency_crossover() {
+    let latencies = [
+        SimDuration::from_secs(12),
+        SimDuration::from_secs(120),
+        SimDuration::from_secs(600),
+    ];
+    let results = wake_latency_sweep(16, 96, &latencies, 17).expect("scenario runs");
+    let fast = results[0].1.unserved_ratio;
+    let slow = results[2].1.unserved_ratio;
+    assert!(
+        slow > 1.5 * fast,
+        "10 min boots should hurt much more than 12 s resumes ({slow:.4} vs {fast:.4})"
+    );
+    // Monotone non-decreasing across the sweep.
+    for pair in results.windows(2) {
+        assert!(
+            pair[1].1.unserved_ratio >= pair[0].1.unserved_ratio - 1e-9,
+            "unserved not monotone in latency"
+        );
+    }
+}
+
+/// Claim 3: close to energy-proportional efficiency — the managed cluster
+/// tracks the ideal proportional line far better than the always-on
+/// baseline at every load level.
+#[test]
+fn claim3_close_to_energy_proportional() {
+    // Proportionality is a fleet-scale property: the spare-host floor
+    // amortizes as the cluster grows, so test at 16 hosts.
+    let levels = [0.1, 0.3, 0.5, 0.7];
+    let base = proportionality_sweep(16, 64, &levels, PowerPolicy::always_on(), 23)
+        .expect("scenario runs");
+    let pm = proportionality_sweep(16, 64, &levels, PowerPolicy::reactive_suspend(), 23)
+        .expect("scenario runs");
+
+    let peak = base.last().expect("non-empty").1.avg_power_w() / 0.93; // approx full-load power
+    for (i, &level) in levels.iter().enumerate() {
+        let base_gap = (base[i].1.avg_power_w() / peak - level).abs();
+        let pm_gap = (pm[i].1.avg_power_w() / peak - level).abs();
+        assert!(
+            pm_gap < 0.6 * base_gap,
+            "at load {level}: PM gap {pm_gap:.2} not well below baseline gap {base_gap:.2}"
+        );
+        // Within 15 points of the ideal line everywhere.
+        assert!(pm_gap < 0.15, "at load {level}: PM gap {pm_gap:.2}");
+    }
+}
