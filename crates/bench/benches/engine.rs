@@ -1,47 +1,46 @@
 //! Micro-benchmarks of the discrete-event substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::time;
 use simcore::{EventQueue, RngStream, SimTime, TimeSeries};
 
-fn event_queue_throughput(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = RngStream::new(1);
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_millis(rng.below(1_000_000)), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            sum
-        })
+fn event_queue_throughput() {
+    time("event_queue_schedule_pop_10k", 3, 20, || {
+        let mut q = EventQueue::new();
+        let mut rng = RngStream::new(1);
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis(rng.below(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
     });
 }
 
-fn rng_throughput(c: &mut Criterion) {
-    c.bench_function("rng_normal_100k", |b| {
-        let mut rng = RngStream::new(7);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..100_000 {
-                acc += rng.normal(0.0, 1.0);
-            }
-            acc
-        })
+fn rng_throughput() {
+    let mut rng = RngStream::new(7);
+    time("rng_normal_100k", 3, 20, || {
+        let mut acc = 0.0;
+        for _ in 0..100_000 {
+            acc += rng.normal(0.0, 1.0);
+        }
+        acc
     });
 }
 
-fn series_integration(c: &mut Criterion) {
+fn series_integration() {
     let mut ts = TimeSeries::new();
     for i in 0..10_000u64 {
         ts.record(SimTime::from_secs(i * 60), (i % 97) as f64);
     }
-    c.bench_function("timeseries_integral_10k_points", |b| {
-        b.iter(|| ts.integral_until(SimTime::from_secs(10_000 * 60)))
+    time("timeseries_integral_10k_points", 3, 50, || {
+        ts.integral_until(SimTime::from_secs(10_000 * 60))
     });
 }
 
-criterion_group!(benches, event_queue_throughput, rng_throughput, series_integration);
-criterion_main!(benches);
+fn main() {
+    event_queue_throughput();
+    rng_throughput();
+    series_integration();
+}

@@ -1,8 +1,10 @@
 //! Micro-benchmarks of one management round at fleet scale.
 
-use agile_core::{ClusterObservation, HostObservation, ManagerConfig, PowerPolicy, VirtManager, VmObservation};
+use agile_core::{
+    ClusterObservation, HostObservation, ManagerConfig, PowerPolicy, VirtManager, VmObservation,
+};
+use bench::microbench::time;
 use cluster::{HostId, VmId};
-use criterion::{criterion_group, criterion_main, Criterion};
 use power::PowerState;
 use simcore::{RngStream, SimTime};
 
@@ -24,7 +26,7 @@ fn observation(hosts: usize) -> ClusterObservation {
                 cpu_cap: 2.0,
                 mem_gb: 4.0,
                 migrating: false,
-                    service_class: Default::default(),
+                service_class: Default::default(),
             });
         }
         host_obs.push(HostObservation {
@@ -45,21 +47,16 @@ fn observation(hosts: usize) -> ClusterObservation {
     }
 }
 
-fn manager_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("manager_plan");
+fn main() {
     for hosts in [64usize, 256, 1024] {
         let obs = observation(hosts);
-        group.bench_function(format!("{hosts}_hosts"), |b| {
-            let mut mgr = VirtManager::new(
-                ManagerConfig::new(PowerPolicy::reactive_suspend()),
-                hosts,
-                hosts * 4,
-            );
-            b.iter(|| mgr.plan(&obs).len())
+        let mut mgr = VirtManager::new(
+            ManagerConfig::new(PowerPolicy::reactive_suspend()),
+            hosts,
+            hosts * 4,
+        );
+        time(&format!("manager_plan_{hosts}_hosts"), 3, 20, || {
+            mgr.plan(&obs).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, manager_round);
-criterion_main!(benches);

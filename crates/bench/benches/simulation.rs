@@ -1,26 +1,18 @@
 //! End-to-end simulation throughput: a full 24 h diurnal day.
 
 use agile_core::PowerPolicy;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::time;
 use dcsim::{Experiment, Scenario};
 
-fn full_day(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_24h");
-    group.sample_size(10);
+fn main() {
     for hosts in [16usize, 64] {
         let scenario = Scenario::datacenter(hosts, hosts * 4, 42);
-        group.bench_function(format!("{hosts}_hosts_suspend"), |b| {
-            b.iter(|| {
-                Experiment::new(scenario.clone())
-                    .policy(PowerPolicy::reactive_suspend())
-                    .run()
-                    .expect("scenario runs")
-                    .energy_j
-            })
+        time(&format!("sim_24h_{hosts}_hosts_suspend"), 1, 5, || {
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_suspend())
+                .run()
+                .expect("scenario runs")
+                .energy_j
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, full_day);
-criterion_main!(benches);

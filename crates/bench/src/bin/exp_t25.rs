@@ -1,0 +1,4 @@
+//! T25: simulator phase profile.
+fn main() {
+    bench::print_experiment("T25", "Simulator phase profile", &bench::exp_profile());
+}

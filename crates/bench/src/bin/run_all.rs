@@ -1,16 +1,53 @@
 //! Runs the full evaluation: every table and figure, in experiment order.
 //!
-//! Independent experiments run on worker threads; output is printed in
-//! order once everything finishes.
+//! Independent experiments run on a bounded worker pool (one worker per
+//! available core); output is printed in order once everything finishes,
+//! followed by a per-experiment runtime table and the simulator's own
+//! phase profile.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+type Job = (
+    &'static str,
+    &'static str,
+    Box<dyn Fn() -> String + Send + Sync>,
+);
+
 fn main() {
-    let jobs: Vec<(&str, &str, Box<dyn Fn() -> String + Send>)> = vec![
-        ("T1", "Power-state characterization", Box::new(bench::exp_t1)),
-        ("F2", "Park/wake power trace (S3 vs S5)", Box::new(bench::exp_f2)),
-        ("F3", "Break-even idle gap (S3 vs S5)", Box::new(bench::exp_f3)),
-        ("F4", "Datacenter power over 24 h", Box::new(|| bench::exp_f4_t5().0)),
-        ("T5", "Policy energy/performance summary", Box::new(|| bench::exp_f4_t5().1)),
+    let jobs: Vec<Job> = vec![
+        (
+            "T1",
+            "Power-state characterization",
+            Box::new(bench::exp_t1),
+        ),
+        (
+            "F2",
+            "Park/wake power trace (S3 vs S5)",
+            Box::new(bench::exp_f2),
+        ),
+        (
+            "F3",
+            "Break-even idle gap (S3 vs S5)",
+            Box::new(bench::exp_f3),
+        ),
+        (
+            "F4",
+            "Datacenter power over 24 h",
+            Box::new(|| bench::exp_f4_t5().0),
+        ),
+        (
+            "T5",
+            "Policy energy/performance summary",
+            Box::new(|| bench::exp_f4_t5().1),
+        ),
         ("F6", "Energy proportionality", Box::new(bench::exp_f6)),
-        ("F7", "Responsiveness vs wake latency", Box::new(bench::exp_f7)),
+        (
+            "F7",
+            "Responsiveness vs wake latency",
+            Box::new(bench::exp_f7),
+        ),
         ("F8", "Scale-out", Box::new(bench::exp_f8)),
         ("T9", "Management overhead", Box::new(bench::exp_t9)),
         ("F10", "Headroom sweep", Box::new(bench::exp_f10)),
@@ -19,27 +56,98 @@ fn main() {
         ("T13", "Reliability sensitivity", Box::new(bench::exp_t13)),
         ("F14", "Lifecycle churn", Box::new(bench::exp_f14)),
         ("F15", "Heterogeneous fleet", Box::new(bench::exp_f15)),
-        ("F16", "Power-curve shape ablation", Box::new(bench::exp_f16)),
+        (
+            "F16",
+            "Power-curve shape ablation",
+            Box::new(bench::exp_f16),
+        ),
         ("F17", "Management-interval sweep", Box::new(bench::exp_f17)),
-        ("T18", "Proactive pre-wake ablation", Box::new(bench::exp_t18)),
-        ("T19", "Seed-replicated policy summary", Box::new(bench::exp_t19)),
+        (
+            "T18",
+            "Proactive pre-wake ablation",
+            Box::new(bench::exp_t18),
+        ),
+        (
+            "T19",
+            "Seed-replicated policy summary",
+            Box::new(bench::exp_t19),
+        ),
         ("T20", "Per-class SLA accounting", Box::new(bench::exp_t20)),
-        ("T21", "PSU conversion-loss sensitivity", Box::new(bench::exp_t21)),
-        ("T22", "DVFS-only vs consolidation", Box::new(bench::exp_t22)),
-        ("F23", "One-week weekday/weekend run", Box::new(bench::exp_f23)),
-        ("T24", "Consolidation packing ablation", Box::new(bench::exp_t24)),
+        (
+            "T21",
+            "PSU conversion-loss sensitivity",
+            Box::new(bench::exp_t21),
+        ),
+        (
+            "T22",
+            "DVFS-only vs consolidation",
+            Box::new(bench::exp_t22),
+        ),
+        (
+            "F23",
+            "One-week weekday/weekend run",
+            Box::new(bench::exp_f23),
+        ),
+        (
+            "T24",
+            "Consolidation packing ablation",
+            Box::new(bench::exp_t24),
+        ),
+        (
+            "T25",
+            "Simulator phase profile",
+            Box::new(bench::exp_profile),
+        ),
     ];
-    let outputs: Vec<(&str, &str, String)> = std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(id, title, f)| (id, title, s.spawn(move || f())))
-            .collect();
-        handles
-            .into_iter()
-            .map(|(id, title, h)| (id, title, h.join().expect("experiment thread panicked")))
-            .collect()
+
+    // Bounded pool: never more workers than cores. Experiments are
+    // claimed by index, so outputs land in their original slots and the
+    // report prints in experiment order regardless of completion order.
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len());
+    let wall = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<(String, Duration)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, _, f)) = jobs.get(i) else {
+                    return;
+                };
+                let t0 = Instant::now();
+                let body = f();
+                *results[i].lock().expect("result slot") = Some((body, t0.elapsed()));
+            });
+        }
     });
-    for (id, title, body) in outputs {
+    let wall = wall.elapsed();
+
+    let mut runtimes = Vec::with_capacity(results.len());
+    for ((id, title, _), slot) in jobs.iter().zip(&results) {
+        let (body, elapsed) = slot
+            .lock()
+            .expect("result slot")
+            .take()
+            .expect("every experiment ran");
         bench::print_experiment(id, title, &body);
+        runtimes.push((*id, *title, elapsed));
     }
+
+    println!(
+        "==== Runtime: {} experiments on {workers} workers ====",
+        runtimes.len()
+    );
+    let busy: Duration = runtimes.iter().map(|(_, _, d)| *d).sum();
+    for (id, title, d) in &runtimes {
+        println!("{id:<4} {title:<36} {:>8.2} s", d.as_secs_f64());
+    }
+    println!(
+        "total {:.2} s wall ({:.2} s of single-threaded work)",
+        wall.as_secs_f64(),
+        busy.as_secs_f64()
+    );
 }

@@ -39,7 +39,14 @@ pub fn exp_t1() -> String {
         .collect();
     out.push_str("State power draw (W):\n");
     out.push_str(&table(
-        &["profile", "idle", "peak", "suspend(S3)", "off(S5)", "idle/peak"],
+        &[
+            "profile",
+            "idle",
+            "peak",
+            "suspend(S3)",
+            "off(S5)",
+            "idle/peak",
+        ],
         &state_rows,
     ));
     out.push('\n');
@@ -106,9 +113,8 @@ pub fn exp_f2() -> String {
         ]);
         t += SimDuration::from_secs(30);
     }
-    let mut out = String::from(
-        "One park/wake cycle (idle 2 min, parked 20 min, wake, idle 4 min):\n",
-    );
+    let mut out =
+        String::from("One park/wake cycle (idle 2 min, parked 20 min, wake, idle 4 min):\n");
     out.push_str(&table(&["t(min)", "suspend W", "off/boot W"], &rows));
     let cycle_energy = |ts: &simcore::TimeSeries| ts.integral_until(end) / 1000.0;
     out.push_str(&format!(

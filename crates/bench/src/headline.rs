@@ -147,7 +147,14 @@ pub fn exp_t19_sized(hosts: usize, vms: usize, seeds: &[u64]) -> String {
 {}",
         seeds.len(),
         table(
-            &["policy", "energy kWh", "unserved", "migr/h", "pwr-act/h", "hosts-on"],
+            &[
+                "policy",
+                "energy kWh",
+                "unserved",
+                "migr/h",
+                "pwr-act/h",
+                "hosts-on"
+            ],
             &rows
         )
     )
@@ -196,8 +203,8 @@ pub fn exp_t22_sized(hosts: usize, vms: usize, seed: u64) -> String {
         .policy(PowerPolicy::always_on())
         .run()
         .expect("scenario runs");
-    let dvfs = Experiment::new(scenario.clone())
-        .run_dvfs_baseline(&power::DvfsModel::typical_2013());
+    let dvfs =
+        Experiment::new(scenario.clone()).run_dvfs_baseline(&power::DvfsModel::typical_2013());
     let suspend = Experiment::new(scenario.clone())
         .policy(PowerPolicy::reactive_suspend())
         .run()
@@ -222,13 +229,50 @@ pub fn exp_t22_sized(hosts: usize, vms: usize, seed: u64) -> String {
     format!(
         "DVFS-only vs consolidation, {hosts} hosts / {vms} VMs, 24 h diurnal:
 {}",
-        table(&["policy", "energy kWh", "savings", "unserved", "hosts-on"], &rows)
+        table(
+            &["policy", "energy kWh", "savings", "unserved", "hosts-on"],
+            &rows
+        )
+    )
+}
+
+/// T25: simulator self-profile — wall-clock per control phase and event
+/// dispatch, plus the peak event-queue depth, for the headline run.
+pub fn exp_profile() -> String {
+    exp_profile_sized(HEADLINE_HOSTS, HEADLINE_VMS, SEED)
+}
+
+/// Size-parameterized variant (used by tests at small scale).
+pub fn exp_profile_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let (report, profile) = Experiment::new(Scenario::datacenter(hosts, vms, seed))
+        .policy(PowerPolicy::reactive_suspend())
+        .run_profiled()
+        .expect("headline scenario runs");
+    let peak_queue = match report.metrics.get("sim.queue.peak") {
+        Some(obs::MetricValue::Gauge(v)) => *v as u64,
+        _ => 0,
+    };
+    format!(
+        "Simulator phase profile, {hosts} hosts / {vms} VMs, 24 h diurnal, seed {seed}:\n\
+         {profile}\
+         peak event queue: {peak_queue} entries\n\
+         rounds: {}\n",
+        report.metrics.counter("sim.rounds")
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_experiment_reports_phases() {
+        let body = exp_profile_sized(4, 16, 7);
+        assert!(body.contains("peak event queue"), "{body}");
+        for phase in ["observe", "plan", "execute", "dispatch"] {
+            assert!(body.contains(phase), "missing {phase} in:\n{body}");
+        }
+    }
 
     #[test]
     fn headline_shape_claims_hold_at_small_scale() {
@@ -279,8 +323,8 @@ mod tests {
             .policy(PowerPolicy::always_on())
             .run()
             .unwrap();
-        let dvfs = Experiment::new(scenario.clone())
-            .run_dvfs_baseline(&power::DvfsModel::typical_2013());
+        let dvfs =
+            Experiment::new(scenario.clone()).run_dvfs_baseline(&power::DvfsModel::typical_2013());
         let suspend = Experiment::new(scenario)
             .policy(PowerPolicy::reactive_suspend())
             .run()

@@ -1,0 +1,96 @@
+//! Dependency-free micro-benchmark timing.
+//!
+//! A deliberately small harness: untimed warmup, a fixed number of timed
+//! iterations, and a one-line report of best / mean time per iteration.
+//! Best-of-N is the headline number — it is the least noisy estimate on
+//! a shared machine — with the mean alongside as a sanity check.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing result of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label, e.g. `event_queue_schedule_pop_10k`.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Fastest single iteration.
+    pub best: Duration,
+    /// Mean over the timed iterations.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// `"name  best  mean  (iters)"` with human-scaled units.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<40} best {:>12}  mean {:>12}  ({} iters)",
+            self.name,
+            scale(self.best),
+            scale(self.mean),
+            self.iters
+        )
+    }
+}
+
+fn scale(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} us", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Times `f`: `warmup` untimed runs, then `iters` timed ones. The return
+/// value is passed through [`black_box`] so the work is not optimized
+/// away. Prints the measurement and returns it.
+pub fn time<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        best = best.min(dt);
+        total += dt;
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        best,
+        mean: total / iters as u32,
+    };
+    println!("{}", m.render());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_renders() {
+        let m = time("spin", 1, 3, || (0..1000u64).sum::<u64>());
+        assert_eq!(m.iters, 3);
+        assert!(m.best <= m.mean);
+        assert!(m.render().contains("spin"));
+    }
+
+    #[test]
+    fn scales_units() {
+        assert!(scale(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(scale(Duration::from_micros(500)).ends_with("us"));
+        assert!(scale(Duration::from_millis(500)).ends_with("ms"));
+        assert!(scale(Duration::from_secs(20)).ends_with("s"));
+    }
+}

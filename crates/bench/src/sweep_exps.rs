@@ -83,7 +83,13 @@ pub fn exp_f7_sized(hosts: usize, vms: usize, seed: u64) -> String {
     format!(
         "Flash crowd (12%→85% step at t=90min), {hosts} hosts / {vms} VMs, wake-latency sweep:\n{}",
         table(
-            &["wake latency", "unserved", "viol.ticks", "hosts-on", "wakes"],
+            &[
+                "wake latency",
+                "unserved",
+                "viol.ticks",
+                "hosts-on",
+                "wakes"
+            ],
             &rows
         )
     )
@@ -286,7 +292,12 @@ pub fn exp_f14_sized(hosts: usize, vms: usize, seed: u64) -> String {
 {}",
         table(
             &[
-                "churn", "base kWh", "PM-S3 kWh", "savings", "unserved", "arrival-waits",
+                "churn",
+                "base kWh",
+                "PM-S3 kWh",
+                "savings",
+                "unserved",
+                "arrival-waits",
                 "hosts-on"
             ],
             &rows
@@ -330,7 +341,10 @@ pub fn exp_f15_sized(racks: usize, blades: usize, vms: usize, seed: u64) -> Stri
     format!(
         "Heterogeneous fleet ({racks} racks + {blades} blades, {vms} VMs, 24 h diurnal):
 {}",
-        table(&["policy", "energy kWh", "savings", "unserved", "hosts-on"], &rows)
+        table(
+            &["policy", "energy kWh", "savings", "unserved", "hosts-on"],
+            &rows
+        )
     )
 }
 
@@ -531,8 +545,7 @@ pub fn exp_f23_sized(hosts: usize, vms: usize, seed: u64) -> String {
     };
     push("AlwaysOn", &base);
     for (label, prewake) in [("PM-Suspend(S3)", false), ("PM-S3+prewake", true)] {
-        let mut config =
-            ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms);
+        let mut config = ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms);
         if prewake {
             config = config.with_prewake(SimDuration::from_mins(15));
         }
@@ -552,7 +565,10 @@ pub fn exp_f23_sized(hosts: usize, vms: usize, seed: u64) -> String {
     format!(
         "One week (weekday/weekend pattern), {hosts} hosts / {vms} VMs:
 {}",
-        table(&["policy", "energy kWh", "savings", "unserved", "hosts-on"], &rows)
+        table(
+            &["policy", "energy kWh", "savings", "unserved", "hosts-on"],
+            &rows
+        )
     )
 }
 
@@ -590,7 +606,14 @@ pub fn exp_t24_sized(hosts: usize, vms: usize, seed: u64) -> String {
         "Consolidation packing ablation, PM-Suspend(S3), {hosts} hosts / {vms} VMs:
 {}",
         table(
-            &["packing", "energy kWh", "unserved", "hosts-on", "lat", "migr/h"],
+            &[
+                "packing",
+                "energy kWh",
+                "unserved",
+                "hosts-on",
+                "lat",
+                "migr/h"
+            ],
             &rows
         )
     )

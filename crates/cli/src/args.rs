@@ -1,15 +1,17 @@
 //! Minimal, dependency-free flag parsing.
 //!
-//! Flags are `--name value` pairs; unknown flags are errors so typos
-//! surface instead of silently using defaults.
+//! Flags are `--name value` pairs, plus valueless boolean switches
+//! (`--metrics`); unknown flags are errors so typos surface instead of
+//! silently using defaults.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Parsed `--flag value` pairs.
+/// Parsed `--flag value` pairs and boolean switches.
 #[derive(Debug, Default)]
 pub struct Flags {
     values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
 }
 
 /// A user-facing argument error.
@@ -25,20 +27,28 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Flags {
-    /// Parses `--name value` pairs, validating every flag against
-    /// `allowed`.
-    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, ArgError> {
+    /// Parses `--name value` pairs (names in `allowed`) and valueless
+    /// boolean switches (names in `switches`), rejecting anything else.
+    pub fn parse(args: &[String], allowed: &[&str], switches: &[&str]) -> Result<Flags, ArgError> {
         let mut values = BTreeMap::new();
+        let mut seen_switches = BTreeSet::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(ArgError(format!("unexpected argument `{arg}`")));
             };
+            if switches.contains(&name) {
+                if !seen_switches.insert(name.to_string()) {
+                    return Err(ArgError(format!("flag `--{name}` given twice")));
+                }
+                continue;
+            }
             if !allowed.contains(&name) {
                 return Err(ArgError(format!(
                     "unknown flag `--{name}` (expected one of: {})",
                     allowed
                         .iter()
+                        .chain(switches)
                         .map(|a| format!("--{a}"))
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -51,7 +61,15 @@ impl Flags {
                 return Err(ArgError(format!("flag `--{name}` given twice")));
             }
         }
-        Ok(Flags { values })
+        Ok(Flags {
+            values,
+            switches: seen_switches,
+        })
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// String flag with a default.
@@ -105,30 +123,53 @@ mod tests {
 
     #[test]
     fn parses_pairs() {
-        let f = Flags::parse(&argv(&["--hosts", "8", "--policy", "suspend"]), &["hosts", "policy"])
-            .unwrap();
+        let f = Flags::parse(
+            &argv(&["--hosts", "8", "--policy", "suspend"]),
+            &["hosts", "policy"],
+            &[],
+        )
+        .unwrap();
         assert_eq!(f.usize_or("hosts", 1).unwrap(), 8);
         assert_eq!(f.str_or("policy", "x"), "suspend");
         assert_eq!(f.usize_or("vms", 99).unwrap(), 99);
     }
 
     #[test]
+    fn parses_switches() {
+        let f = Flags::parse(
+            &argv(&["--metrics", "--hosts", "4"]),
+            &["hosts"],
+            &["metrics", "profile"],
+        )
+        .unwrap();
+        assert!(f.switch("metrics"));
+        assert!(!f.switch("profile"));
+        assert_eq!(f.usize_or("hosts", 1).unwrap(), 4);
+        // A switch never consumes the next token as a value.
+        let f = Flags::parse(&argv(&["--metrics"]), &[], &["metrics"]).unwrap();
+        assert!(f.switch("metrics"));
+        let e = Flags::parse(&argv(&["--metrics", "--metrics"]), &[], &["metrics"]).unwrap_err();
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
     fn rejects_unknown_flag() {
-        let e = Flags::parse(&argv(&["--bogus", "1"]), &["hosts"]).unwrap_err();
+        let e = Flags::parse(&argv(&["--bogus", "1"]), &["hosts"], &[]).unwrap_err();
         assert!(e.to_string().contains("bogus"));
     }
 
     #[test]
     fn rejects_missing_value() {
-        let e = Flags::parse(&argv(&["--hosts"]), &["hosts"]).unwrap_err();
+        let e = Flags::parse(&argv(&["--hosts"]), &["hosts"], &[]).unwrap_err();
         assert!(e.to_string().contains("needs a value"));
     }
 
     #[test]
     fn rejects_duplicates_and_bad_numbers() {
-        let e = Flags::parse(&argv(&["--hosts", "1", "--hosts", "2"]), &["hosts"]).unwrap_err();
+        let e =
+            Flags::parse(&argv(&["--hosts", "1", "--hosts", "2"]), &["hosts"], &[]).unwrap_err();
         assert!(e.to_string().contains("twice"));
-        let f = Flags::parse(&argv(&["--hosts", "abc"]), &["hosts"]).unwrap();
+        let f = Flags::parse(&argv(&["--hosts", "abc"]), &["hosts"], &[]).unwrap();
         assert!(f.usize_or("hosts", 1).is_err());
     }
 }

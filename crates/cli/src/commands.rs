@@ -39,6 +39,10 @@ run-ONLY FLAGS:
   --json PATH          write the full report as JSON
   --csv PATH           write power/hosts-on/unserved series as CSV
   --events PATH        write the management audit log as CSV
+  --trace-out PATH     stream telemetry as JSON Lines (constant memory):
+                       power transitions, migrations, VM lifecycle,
+                       manager decisions, and a final run summary
+  --metrics            print the metrics registry snapshot after the run
 
 sweep FLAGS:
   --kind K             wake-latency | headroom | interval | reliability  [required]
@@ -93,7 +97,11 @@ fn build_scenario(flags: &Flags) -> Result<Scenario, ArgError> {
     }
 }
 
-fn configure(flags: &Flags, scenario: Scenario, policy: PowerPolicy) -> Result<Experiment, ArgError> {
+fn configure(
+    flags: &Flags,
+    scenario: Scenario,
+    policy: PowerPolicy,
+) -> Result<Experiment, ArgError> {
     let hours = flags.u64_or("hours", 24)?;
     let interval = flags.u64_or("interval-mins", 5)?;
     if interval == 0 {
@@ -109,9 +117,21 @@ fn run(args: &[String]) -> CmdResult {
     let flags = Flags::parse(
         args,
         &[
-            "hosts", "vms", "seed", "hours", "interval-mins", "workload", "churn", "policy",
-            "resume-fail", "json", "csv", "events",
+            "hosts",
+            "vms",
+            "seed",
+            "hours",
+            "interval-mins",
+            "workload",
+            "churn",
+            "policy",
+            "resume-fail",
+            "json",
+            "csv",
+            "events",
+            "trace-out",
         ],
+        &["metrics"],
     )?;
     let policy = parse_policy(flags.str_or("policy", "suspend"))?;
     let scenario = build_scenario(&flags)?;
@@ -123,11 +143,20 @@ fn run(args: &[String]) -> CmdResult {
     if flags.str_opt("events").is_some() {
         experiment = experiment.record_events();
     }
+    if let Some(path) = flags.str_opt("trace-out") {
+        experiment = experiment.trace_path(path);
+    }
     let report = experiment.run()?;
     print_summary(&report);
+    if flags.switch("metrics") {
+        print!("{}", report.metrics);
+    }
+    if let Some(path) = flags.str_opt("trace-out") {
+        eprintln!("streamed trace to {path}");
+    }
 
     if let Some(path) = flags.str_opt("json") {
-        fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        fs::write(path, report.to_json().to_string_pretty())?;
         eprintln!("wrote JSON report to {path}");
     }
     if let Some(path) = flags.str_opt("events") {
@@ -171,7 +200,10 @@ fn print_summary(r: &SimReport) {
         ],
         vec![
             "latency stretch".to_string(),
-            format!("{:.2}x avg, {:.2}x peak", r.avg_latency_factor, r.peak_latency_factor),
+            format!(
+                "{:.2}x avg, {:.2}x peak",
+                r.avg_latency_factor, r.peak_latency_factor
+            ),
         ],
         vec!["migrations".to_string(), r.migrations.to_string()],
         vec![
@@ -189,7 +221,16 @@ fn print_summary(r: &SimReport) {
 fn compare(args: &[String]) -> CmdResult {
     let flags = Flags::parse(
         args,
-        &["hosts", "vms", "seed", "hours", "interval-mins", "workload", "churn"],
+        &[
+            "hosts",
+            "vms",
+            "seed",
+            "hours",
+            "interval-mins",
+            "workload",
+            "churn",
+        ],
+        &[],
     )?;
     let scenario = build_scenario(&flags)?;
     let mut reports = Vec::new();
@@ -207,7 +248,7 @@ fn compare(args: &[String]) -> CmdResult {
 
 fn sweep(args: &[String]) -> CmdResult {
     use dcsim::sweeps;
-    let flags = Flags::parse(args, &["kind", "hosts", "vms", "seed", "csv"])?;
+    let flags = Flags::parse(args, &["kind", "hosts", "vms", "seed", "csv"], &[])?;
     let hosts = flags.usize_or("hosts", 16)?;
     let vms = flags.usize_or("vms", hosts * 6)?;
     let seed = flags.u64_or("seed", 2013)?;
@@ -241,9 +282,7 @@ fn sweep(args: &[String]) -> CmdResult {
                 .collect();
             sweeps::interval_sweep(hosts, vms, &intervals, seed)?
                 .into_iter()
-                .flat_map(|(i, s3, s5)| {
-                    [(format!("{i} S3"), s3), (format!("{i} S5"), s5)]
-                })
+                .flat_map(|(i, s3, s5)| [(format!("{i} S3"), s3), (format!("{i} S5"), s5)])
                 .collect()
         }
         "reliability" => {
@@ -276,13 +315,21 @@ fn sweep(args: &[String]) -> CmdResult {
     print!(
         "{}",
         table(
-            &["knob", "energy kWh", "unserved", "migr/h", "pwr-act/h", "hosts-on"],
+            &[
+                "knob",
+                "energy kWh",
+                "unserved",
+                "migr/h",
+                "pwr-act/h",
+                "hosts-on"
+            ],
             &table_rows
         )
     );
 
     if let Some(path) = flags.str_opt("csv") {
-        let mut csv = String::from("knob,energy_kwh,unserved_ratio,migr_per_h,pwr_act_per_h,hosts_on\n");
+        let mut csv =
+            String::from("knob,energy_kwh,unserved_ratio,migr_per_h,pwr_act_per_h,hosts_on\n");
         for (knob, r) in &rows {
             csv.push_str(&format!(
                 "{},{},{},{},{},{}\n",
@@ -301,7 +348,7 @@ fn sweep(args: &[String]) -> CmdResult {
 }
 
 fn breakeven(args: &[String]) -> CmdResult {
-    let flags = Flags::parse(args, &["profile"])?;
+    let flags = Flags::parse(args, &["profile"], &[])?;
     let profile = match flags.str_or("profile", "rack") {
         "rack" => HostPowerProfile::prototype_rack(),
         "blade" => HostPowerProfile::prototype_blade(),
@@ -359,7 +406,10 @@ mod tests {
 
     #[test]
     fn policy_parsing() {
-        assert_eq!(parse_policy("suspend").unwrap(), PowerPolicy::reactive_suspend());
+        assert_eq!(
+            parse_policy("suspend").unwrap(),
+            PowerPolicy::reactive_suspend()
+        );
         assert_eq!(parse_policy("oracle").unwrap(), PowerPolicy::oracle());
         assert!(parse_policy("s3").is_err());
     }
@@ -373,25 +423,60 @@ mod tests {
     }
 
     #[test]
-    fn run_with_json_and_csv_outputs(
-    ) {
+    fn run_with_json_and_csv_outputs() {
         let dir = std::env::temp_dir().join("agilepm-cli-test");
         fs::create_dir_all(&dir).expect("temp dir");
         let json = dir.join("r.json");
         let csv = dir.join("r.csv");
         dispatch(&argv(&[
             "run",
-            "--hosts", "4", "--vms", "12", "--hours", "2",
-            "--json", json.to_str().expect("utf8 path"),
-            "--csv", csv.to_str().expect("utf8 path"),
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--json",
+            json.to_str().expect("utf8 path"),
+            "--csv",
+            csv.to_str().expect("utf8 path"),
         ]))
         .expect("run with outputs succeeds");
-        let report: dcsim::SimReport =
-            serde_json::from_str(&fs::read_to_string(&json).expect("json written"))
-                .expect("report round-trips");
+        let text = fs::read_to_string(&json).expect("json written");
+        let report = dcsim::SimReport::from_json(&obs::Json::parse(&text).expect("valid JSON"))
+            .expect("report round-trips");
         assert!(report.energy_j > 0.0);
         let csv_text = fs::read_to_string(&csv).expect("csv written");
         assert!(csv_text.starts_with("t_hours,power_w,hosts_on,unserved_cores"));
+    }
+
+    #[test]
+    fn run_with_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("agilepm-cli-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let trace = dir.join("trace.jsonl");
+        dispatch(&argv(&[
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--trace-out",
+            trace.to_str().expect("utf8 path"),
+            "--metrics",
+        ]))
+        .expect("run with trace succeeds");
+        let text = fs::read_to_string(&trace).expect("trace written");
+        assert!(text.lines().count() > 1, "trace should stream records");
+        for line in text.lines() {
+            let record = obs::Json::parse(line).expect("each line is valid JSON");
+            assert!(
+                record.get("record").is_some(),
+                "records carry a discriminator"
+            );
+        }
     }
 
     #[test]
@@ -410,8 +495,15 @@ mod tests {
         fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("events.csv");
         dispatch(&argv(&[
-            "run", "--hosts", "4", "--vms", "16", "--hours", "4",
-            "--events", path.to_str().expect("utf8 path"),
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "16",
+            "--hours",
+            "4",
+            "--events",
+            path.to_str().expect("utf8 path"),
         ]))
         .expect("run with audit log succeeds");
         let text = fs::read_to_string(&path).expect("log written");
@@ -438,8 +530,17 @@ mod tests {
     #[test]
     fn churn_workload_flag() {
         dispatch(&argv(&[
-            "run", "--hosts", "4", "--vms", "12", "--hours", "2", "--workload", "churn",
-            "--churn", "0.5",
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--workload",
+            "churn",
+            "--churn",
+            "0.5",
         ]))
         .expect("churn run succeeds");
         assert!(dispatch(&argv(&["run", "--workload", "bogus"])).is_err());

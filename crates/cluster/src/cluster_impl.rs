@@ -127,7 +127,9 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownHost`] for an out-of-range id.
     pub fn host(&self, id: HostId) -> Result<&Host, ClusterError> {
-        self.hosts.get(id.index()).ok_or(ClusterError::UnknownHost(id))
+        self.hosts
+            .get(id.index())
+            .ok_or(ClusterError::UnknownHost(id))
     }
 
     /// The VM spec with the given id.
@@ -368,7 +370,11 @@ impl Cluster {
     /// Returns [`ClusterError::VmNotPlaced`] variants for unknown state,
     /// and propagates nothing else: destination capacity was reserved at
     /// start.
-    pub fn complete_migration(&mut self, vm: VmId, now: SimTime) -> Result<Migration, ClusterError> {
+    pub fn complete_migration(
+        &mut self,
+        vm: VmId,
+        now: SimTime,
+    ) -> Result<Migration, ClusterError> {
         self.vm(vm)?;
         let migration = self.migrations[vm.index()]
             .take()
@@ -438,7 +444,10 @@ impl Cluster {
 
     /// Total power-state transitions that failed across all hosts.
     pub fn failed_transitions(&self) -> u64 {
-        self.hosts.iter().map(|h| h.power().failed_transitions()).sum()
+        self.hosts
+            .iter()
+            .map(|h| h.power().failed_transitions())
+            .sum()
     }
 
     // ----- demand -----------------------------------------------------
@@ -612,7 +621,10 @@ mod tests {
 
     fn small_cluster() -> Cluster {
         let hosts = vec![
-            HostSpec::new(Resources::new(8.0, 32.0), HostPowerProfile::prototype_rack());
+            HostSpec::new(
+                Resources::new(8.0, 32.0),
+                HostPowerProfile::prototype_rack()
+            );
             3
         ];
         let vms = vec![VmSpec::new(Resources::new(2.0, 8.0)); 6];
@@ -645,7 +657,9 @@ mod tests {
     fn migration_moves_vm_and_reserves_memory() {
         let mut c = small_cluster();
         c.place(VmId(0), HostId(0)).unwrap();
-        let done = c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        let done = c
+            .begin_migration(VmId(0), HostId(1), SimTime::ZERO)
+            .unwrap();
         // Still on source mid-flight; memory reserved on destination.
         assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(0)));
         assert_eq!(c.mem_committed_gb(HostId(1)), 8.0);
@@ -664,12 +678,15 @@ mod tests {
         let mut c = small_cluster();
         c.place(VmId(0), HostId(0)).unwrap();
         assert_eq!(
-            c.begin_migration(VmId(0), HostId(0), SimTime::ZERO).unwrap_err(),
+            c.begin_migration(VmId(0), HostId(0), SimTime::ZERO)
+                .unwrap_err(),
             ClusterError::SelfMigration(VmId(0))
         );
-        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(
-            c.begin_migration(VmId(0), HostId(2), SimTime::ZERO).unwrap_err(),
+            c.begin_migration(VmId(0), HostId(2), SimTime::ZERO)
+                .unwrap_err(),
             ClusterError::VmMigrating(VmId(0))
         );
     }
@@ -806,7 +823,8 @@ mod tests {
     fn migration_tax_counts_on_both_hosts() {
         let mut c = small_cluster();
         c.place(VmId(0), HostId(0)).unwrap();
-        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
+        c.begin_migration(VmId(0), HostId(1), SimTime::ZERO)
+            .unwrap();
         let out = c.apply_demand(SimTime::from_secs(1), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         let tax = c.migration_model().cpu_tax_cores();
         assert!((out.host_demand_cores[0] - (1.0 + tax)).abs() < 1e-9);
@@ -816,7 +834,10 @@ mod tests {
     #[test]
     fn contended_migrations_take_longer() {
         let hosts = vec![
-            HostSpec::new(Resources::new(16.0, 128.0), HostPowerProfile::prototype_rack());
+            HostSpec::new(
+                Resources::new(16.0, 128.0),
+                HostPowerProfile::prototype_rack()
+            );
             3
         ];
         let vms = vec![VmSpec::new(Resources::new(2.0, 8.0)); 4];
@@ -825,8 +846,12 @@ mod tests {
         for i in 0..4 {
             c.place(VmId(i), HostId(0)).unwrap();
         }
-        let d0 = c.begin_migration(VmId(0), HostId(1), SimTime::ZERO).unwrap();
-        let d1 = c.begin_migration(VmId(1), HostId(1), SimTime::ZERO).unwrap();
+        let d0 = c
+            .begin_migration(VmId(0), HostId(1), SimTime::ZERO)
+            .unwrap();
+        let d1 = c
+            .begin_migration(VmId(1), HostId(1), SimTime::ZERO)
+            .unwrap();
         // Second migration shares the single channel: twice as long.
         let base = d0.since(SimTime::ZERO).as_secs_f64();
         let second = d1.since(SimTime::ZERO).as_secs_f64();

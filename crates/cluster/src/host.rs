@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn host_from_spec_starts_on() {
-        let spec = HostSpec::new(Resources::new(16.0, 64.0), HostPowerProfile::prototype_rack());
+        let spec = HostSpec::new(
+            Resources::new(16.0, 64.0),
+            HostPowerProfile::prototype_rack(),
+        );
         let h = Host::from_spec(HostId(2), &spec, SimTime::ZERO);
         assert_eq!(h.id(), HostId(2));
         assert_eq!(h.capacity(), Resources::new(16.0, 64.0));
@@ -110,7 +113,10 @@ mod tests {
 
     #[test]
     fn specs_share_profile_allocation() {
-        let spec = HostSpec::new(Resources::new(8.0, 32.0), HostPowerProfile::prototype_blade());
+        let spec = HostSpec::new(
+            Resources::new(8.0, 32.0),
+            HostPowerProfile::prototype_blade(),
+        );
         let a = Host::from_spec(HostId(0), &spec, SimTime::ZERO);
         let b = Host::from_spec(HostId(1), &spec, SimTime::ZERO);
         assert_eq!(a.power().profile().name(), b.power().profile().name());
@@ -119,6 +125,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "host needs CPU capacity")]
     fn rejects_zero_capacity() {
-        HostSpec::new(Resources::new(0.0, 64.0), HostPowerProfile::prototype_rack());
+        HostSpec::new(
+            Resources::new(0.0, 64.0),
+            HostPowerProfile::prototype_rack(),
+        );
     }
 }

@@ -2,19 +2,17 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a physical host within a [`crate::Cluster`].
 ///
 /// Hosts are densely numbered from zero in creation order, so a `HostId`
 /// doubles as an index into per-host vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub u32);
 
 /// Identifier of a virtual machine within a [`crate::Cluster`].
 ///
 /// VMs are densely numbered from zero in creation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u32);
 
 impl HostId {

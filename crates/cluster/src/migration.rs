@@ -9,7 +9,6 @@
 //! * the VM consumes CPU on the *source* until the final switch-over;
 //! * both endpoints pay a CPU tax while the copy runs.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use crate::{HostId, VmId};
@@ -26,7 +25,7 @@ use crate::{HostId, VmId};
 /// let d = m.duration_for(8.0);
 /// assert!((8.0..16.0).contains(&d.as_secs_f64()), "{d}");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationModel {
     /// Usable migration network bandwidth, gigabits per second.
     bandwidth_gbps: f64,
@@ -117,7 +116,7 @@ impl Default for MigrationModel {
 }
 
 /// One in-flight live migration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Migration {
     /// The VM being moved.
     pub vm: VmId,

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A CPU/memory resource vector.
 ///
 /// CPU is measured in cores (fractional allowed — a VM demanding 0.5 cores
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(vm.fits_in(&host));
 /// assert_eq!(host - vm, Resources::new(14.0, 56.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resources {
     /// CPU capacity or demand, in cores.
     pub cpu_cores: f64,
@@ -186,7 +184,10 @@ mod tests {
         assert_eq!(Resources::new(5.0, 10.0).utilization_of(&cap), 0.5);
         assert_eq!(Resources::new(1.0, 90.0).utilization_of(&cap), 0.9);
         assert_eq!(Resources::ZERO.utilization_of(&cap), 0.0);
-        assert_eq!(Resources::new(1.0, 0.0).utilization_of(&Resources::ZERO), 1.0);
+        assert_eq!(
+            Resources::new(1.0, 0.0).utilization_of(&Resources::ZERO),
+            1.0
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Virtual-machine specifications.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Resources;
 
 /// The service class of a VM: who gets capacity first under overload.
@@ -10,7 +8,7 @@ use crate::Resources;
 /// host is CPU-overloaded, and the manager prefers disrupting batch VMs
 /// when it must migrate. Mirrors the enterprise tiering of the paper's
 /// workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ServiceClass {
     /// Latency-sensitive, served first (the default).
     #[default]
@@ -36,7 +34,7 @@ pub enum ServiceClass {
 /// assert_eq!(vm.mem_gb(), 8.0);
 /// assert_eq!(vm.service_class(), ServiceClass::Batch);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmSpec {
     resources: Resources,
     class: ServiceClass,

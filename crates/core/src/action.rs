@@ -4,12 +4,11 @@ use std::fmt;
 
 use cluster::{HostId, VmId};
 use power::breakeven::LowPowerMode;
-use serde::{Deserialize, Serialize};
 
 /// One management action, emitted by [`crate::VirtManager::plan`] and
 /// executed by the simulator (or, in a real deployment, the orchestration
 /// layer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ManagementAction {
     /// Live-migrate a VM to another host.
     Migrate {
@@ -36,7 +35,7 @@ pub enum ManagementAction {
 
 /// Which management step produced an action — operator-facing
 /// attribution for debugging and overhead accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActionReason {
     /// Step 1: waking/undraining to cover predicted demand.
     CapacityWake,

@@ -1,13 +1,12 @@
 //! Policy and configuration for the manager.
 
 use power::breakeven::LowPowerMode;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::PredictorConfig;
 
 /// How consolidation picks destinations when evacuating a host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PackingPolicy {
     /// Best-fit decreasing: place each VM on the feasible host with the
     /// *highest* resulting utilization — packs tightest, frees the most
@@ -21,7 +20,7 @@ pub enum PackingPolicy {
 }
 
 /// Which power-management regime the manager runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerPolicy {
     /// Base DRM only: load balancing via migration, every host stays on.
     /// This is the widely-deployed baseline whose *overheads* power
@@ -105,7 +104,7 @@ impl PowerPolicy {
 ///     .with_predictor(PredictorConfig::LastValue);
 /// assert_eq!(cfg.target_utilization(), 0.8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ManagerConfig {
     policy: PowerPolicy,
     target_utilization: f64,
@@ -188,7 +187,10 @@ impl ManagerConfig {
     ///
     /// Panics unless `0 <= t < 1` and it stays below the target.
     pub fn with_underload_threshold(mut self, t: f64) -> Self {
-        assert!((0.0..1.0).contains(&t), "underload threshold {t} out of range");
+        assert!(
+            (0.0..1.0).contains(&t),
+            "underload threshold {t} out of range"
+        );
         self.underload_threshold = t;
         self
     }

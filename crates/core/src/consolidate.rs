@@ -28,7 +28,7 @@ pub(crate) fn plan_consolidation(
     // Phase 1: keep draining hosts draining — evacuate what we can.
     for host in 0..ctx.num_hosts() {
         if ctx.draining[host] && ctx.operational[host] {
-            evacuate(ctx, cfg, host, actions, budget, false);
+            evacuate(ctx, cfg, host, actions, budget);
         }
     }
 
@@ -47,7 +47,7 @@ pub(crate) fn plan_consolidation(
         let mut trial_budget = *budget;
         let snapshot = snapshot(ctx);
         ctx.draining[candidate] = true;
-        let complete = evacuate(ctx, cfg, candidate, &mut trial_actions, &mut trial_budget, true);
+        let complete = evacuate(ctx, cfg, candidate, &mut trial_actions, &mut trial_budget);
         if complete {
             actions.extend(trial_actions);
             *budget = trial_budget;
@@ -104,14 +104,15 @@ fn pick_candidate(
 /// the host's evacuation is fully planned (no movable VM left behind and
 /// none were unmovable).
 ///
-/// `all_or_nothing` callers should snapshot/restore around this.
+/// All-or-nothing callers should snapshot/restore around this; for
+/// incremental drains (phase 1) partial progress is fine — completion is
+/// reported truthfully either way.
 fn evacuate(
     ctx: &mut PlanContext,
     cfg: &ManagerConfig,
     host: usize,
     actions: &mut Vec<ManagementAction>,
     budget: &mut usize,
-    all_or_nothing: bool,
 ) -> bool {
     // Batch victims first, largest first within each class. There may
     // also be unmovable (already-migrating) VMs; the host is not fully
@@ -136,14 +137,7 @@ fn evacuate(
         });
         *budget -= 1;
     }
-    // For incremental drains (phase 1) partial progress is fine; report
-    // completion truthfully either way.
-    let done = ctx.movable_vms(host).is_empty();
-    if all_or_nothing {
-        done
-    } else {
-        done
-    }
+    ctx.movable_vms(host).is_empty()
 }
 
 /// Cheap undo support for the all-or-nothing candidate trial.
@@ -238,7 +232,14 @@ mod tests {
         let c = cfg();
         let mut actions = Vec::new();
         let mut budget = 8;
-        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(3),
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+        );
         // Host 2 (util 0.5/8) is the prime candidate and must fully drain.
         assert!(ctx.draining[2]);
         assert!(ctx.movable_vms(2).is_empty());
@@ -255,7 +256,14 @@ mod tests {
         let c = cfg();
         let mut actions = Vec::new();
         let mut budget = 8;
-        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(3),
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+        );
         assert!(actions.is_empty());
         assert!(!ctx.draining.iter().any(|&d| d));
     }
@@ -272,7 +280,14 @@ mod tests {
         }
         let mut actions = Vec::new();
         let mut budget = 8;
-        plan_consolidation(&mut ctx, &c, &gate, SimTime::from_secs(60), &mut actions, &mut budget);
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &gate,
+            SimTime::from_secs(60),
+            &mut actions,
+            &mut budget,
+        );
         assert!(actions.is_empty());
     }
 
@@ -312,7 +327,7 @@ mod tests {
                 cpu_cap: 8.0,
                 mem_gb: *mem,
                 migrating: false,
-                    service_class: Default::default(),
+                service_class: Default::default(),
             });
             preds.push(0.2);
         }
@@ -325,7 +340,14 @@ mod tests {
         let c = cfg();
         let mut actions = Vec::new();
         let mut budget = 8;
-        plan_consolidation(&mut ctx, &c, &open_gate(2), SimTime::ZERO, &mut actions, &mut budget);
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(2),
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+        );
         // Only one 24 GB VM fits on host 1 (24 free); evacuation is
         // partial, so everything must roll back.
         assert!(actions.is_empty(), "{actions:?}");
@@ -342,7 +364,14 @@ mod tests {
         let c = cfg();
         let mut actions = Vec::new();
         let mut budget = 8;
-        plan_consolidation(&mut ctx, &c, &open_gate(3), SimTime::ZERO, &mut actions, &mut budget);
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(3),
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+        );
         assert!(ctx.movable_vms(0).is_empty());
         assert!(actions.len() >= 2);
     }

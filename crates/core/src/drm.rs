@@ -90,8 +90,14 @@ pub(crate) fn rebalance(
                 .partial_cmp(&ctx.util(b))
                 .expect("utilization is finite")
         };
-        let hottest = *active.iter().max_by(|a, b| by_util(a, b)).expect("non-empty");
-        let coldest = *active.iter().min_by(|a, b| by_util(a, b)).expect("non-empty");
+        let hottest = *active
+            .iter()
+            .max_by(|a, b| by_util(a, b))
+            .expect("non-empty");
+        let coldest = *active
+            .iter()
+            .min_by(|a, b| by_util(a, b))
+            .expect("non-empty");
         let spread = ctx.util(hottest) - ctx.util(coldest);
         if spread <= cfg.imbalance_threshold() {
             return;

@@ -40,6 +40,7 @@
 mod action;
 mod config;
 mod consolidate;
+mod decision;
 mod drm;
 mod hysteresis;
 mod manager;
@@ -50,6 +51,7 @@ mod prewake;
 
 pub use action::{ActionReason, ManagementAction};
 pub use config::{ManagerConfig, PackingPolicy, PowerPolicy};
+pub use decision::{DecisionActions, DecisionRecord, DecisionTrigger};
 pub use hysteresis::HysteresisGate;
 pub use manager::{RoundStats, VirtManager};
 pub use observation::{ClusterObservation, HostObservation, VmObservation};

@@ -2,19 +2,19 @@
 
 use cluster::HostId;
 use power::PowerState;
-use serde::{Deserialize, Serialize};
 
 use crate::plan::PlanContext;
 use crate::{
-    consolidate, drm, ActionReason, ClusterObservation, DayProfile, HysteresisGate,
-    ManagementAction, ManagerConfig, PowerPolicy, Predictor,
+    consolidate, drm, ActionReason, ClusterObservation, DayProfile, DecisionActions,
+    DecisionRecord, DecisionTrigger, HysteresisGate, ManagementAction, ManagerConfig, PowerPolicy,
+    Predictor,
 };
 use simcore::SimDuration;
 
 /// Cumulative counts of actions the manager has requested — the
 /// "management overhead" the paper compares against base DRM (experiment
 /// T9).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Management rounds executed.
     pub rounds: u64,
@@ -73,7 +73,20 @@ pub struct VirtManager {
     draining: Vec<bool>,
     profile: Option<DayProfile>,
     last_reasons: Vec<ActionReason>,
+    last_decision: Option<DecisionRecord>,
     stats: RoundStats,
+}
+
+/// Capacity requirement vs. supply, assessed before any action.
+struct CapacityAssessment {
+    /// Capacity urgent demand alone requires (no spares).
+    required_urgent: f64,
+    /// Full requirement: urgent demand plus the spare-host reserve.
+    required: f64,
+    /// Capacity on, arriving, or un-drained at assessment time.
+    available: f64,
+    /// Raw time-of-day forecast, when the profile produced one.
+    forecast: Option<f64>,
 }
 
 impl VirtManager {
@@ -100,6 +113,7 @@ impl VirtManager {
             draining: vec![false; num_hosts],
             profile,
             last_reasons: Vec::new(),
+            last_decision: None,
             stats: RoundStats::default(),
         }
     }
@@ -118,6 +132,14 @@ impl VirtManager {
     /// taken, aligned index-for-index with the returned actions.
     pub fn last_round_reasons(&self) -> &[ActionReason] {
         &self.last_reasons
+    }
+
+    /// The decision record of the most recent [`plan`](Self::plan)
+    /// round: what the planner saw and why it acted. `None` before the
+    /// first round and under the analytic `Oracle` policy, which never
+    /// plans.
+    pub fn last_decision(&self) -> Option<&DecisionRecord> {
+        self.last_decision.as_ref()
     }
 
     /// Hosts currently marked for evacuation.
@@ -160,6 +182,7 @@ impl VirtManager {
         if matches!(self.config.policy(), PowerPolicy::Oracle) {
             // Oracle is evaluated analytically by the simulator; the
             // manager never acts.
+            self.last_decision = None;
             return Vec::new();
         }
 
@@ -167,6 +190,24 @@ impl VirtManager {
         let mut actions = Vec::new();
         let mut budget = self.config.max_migrations_per_round();
         let power_managed = matches!(self.config.policy(), PowerPolicy::Reactive { .. });
+
+        // Snapshot the planner's view before any step mutates it — the
+        // decision record explains this round from these inputs.
+        let predicted_demand = ctx.total_predicted();
+        let overloaded_hosts = (0..ctx.num_hosts())
+            .filter(|&h| ctx.operational[h] && ctx.util(h) > self.config.overload_threshold())
+            .count();
+        let underloaded_hosts = (0..ctx.num_hosts())
+            .filter(|&h| {
+                ctx.operational[h]
+                    && !ctx.draining[h]
+                    && ctx.util(h) < self.config.underload_threshold()
+            })
+            .count();
+        let candidate_hosts = (0..ctx.num_hosts())
+            .filter(|&h| ctx.operational[h] && !ctx.draining[h])
+            .count();
+        let capacity = self.assess_capacity(&ctx, obs);
 
         // Attribute each action to the step that produced it by tracking
         // step boundaries in the action list.
@@ -177,12 +218,17 @@ impl VirtManager {
             }
         };
 
+        let mut available_capacity = capacity.available;
         if power_managed {
-            self.ensure_capacity(&mut ctx, obs, &mut actions);
+            available_capacity = self.ensure_capacity(&mut ctx, obs, &mut actions, &capacity);
         }
         mark(&mut reasons, actions.len(), ActionReason::CapacityWake);
         drm::mitigate_overloads(&mut ctx, &self.config, &mut actions, &mut budget);
-        mark(&mut reasons, actions.len(), ActionReason::OverloadMitigation);
+        mark(
+            &mut reasons,
+            actions.len(),
+            ActionReason::OverloadMitigation,
+        );
         if power_managed {
             consolidate::plan_consolidation(
                 &mut ctx,
@@ -204,40 +250,74 @@ impl VirtManager {
         }
         mark(&mut reasons, actions.len(), ActionReason::Park);
 
+        let mut round_actions = DecisionActions::default();
         for (a, reason) in actions.iter().zip(&reasons) {
             match a {
                 ManagementAction::Migrate { .. } => {
                     self.stats.migrations_requested += 1;
+                    round_actions.migrations += 1;
                     match reason {
-                        ActionReason::OverloadMitigation => self.stats.overload_migrations += 1,
-                        ActionReason::Consolidation => self.stats.consolidation_migrations += 1,
-                        ActionReason::Rebalance => self.stats.rebalance_migrations += 1,
+                        ActionReason::OverloadMitigation => {
+                            self.stats.overload_migrations += 1;
+                            round_actions.overload_migrations += 1;
+                        }
+                        ActionReason::Consolidation => {
+                            self.stats.consolidation_migrations += 1;
+                            round_actions.consolidation_migrations += 1;
+                        }
+                        ActionReason::Rebalance => {
+                            self.stats.rebalance_migrations += 1;
+                            round_actions.rebalance_migrations += 1;
+                        }
                         _ => {}
                     }
                 }
-                ManagementAction::PowerUp { .. } => self.stats.power_ups_requested += 1,
-                ManagementAction::PowerDown { .. } => self.stats.power_downs_requested += 1,
+                ManagementAction::PowerUp { .. } => {
+                    self.stats.power_ups_requested += 1;
+                    round_actions.power_ups += 1;
+                }
+                ManagementAction::PowerDown { .. } => {
+                    self.stats.power_downs_requested += 1;
+                    round_actions.power_downs += 1;
+                }
             }
         }
         self.last_reasons = reasons;
+        self.last_decision = Some(DecisionRecord {
+            round: self.stats.rounds,
+            now: obs.now,
+            trigger: DecisionTrigger {
+                overload: overloaded_hosts > 0,
+                underload: underloaded_hosts > 0,
+                prewake: capacity.forecast.is_some_and(|f| f > predicted_demand),
+            },
+            observed_demand: obs.total_vm_demand(),
+            predicted_demand,
+            prewake_forecast: capacity.forecast,
+            required_capacity: capacity.required,
+            available_capacity,
+            candidate_hosts,
+            overloaded_hosts,
+            underloaded_hosts,
+            draining_hosts: self.draining.iter().filter(|&&d| d).count(),
+            actions: round_actions,
+        });
         actions
     }
 
-    /// Step 1: cancel drains and wake parked hosts until predicted demand
-    /// (plus spares) fits the capacity that is on or arriving.
-    fn ensure_capacity(
-        &mut self,
-        ctx: &mut PlanContext,
-        obs: &ClusterObservation,
-        actions: &mut Vec<ManagementAction>,
-    ) {
+    /// Measures required vs. available capacity without acting — the
+    /// shared input of [`ensure_capacity`](Self::ensure_capacity) and the
+    /// round's decision record.
+    fn assess_capacity(&self, ctx: &PlanContext, obs: &ClusterObservation) -> CapacityAssessment {
         let cfg = &self.config;
         let mut total_pred = ctx.total_predicted();
         // Proactive pre-wake: recurring ramps visible in the learned
         // profile raise the capacity requirement ahead of time.
+        let mut forecast = None;
         if let (Some(profile), Some(lookahead)) = (&self.profile, cfg.prewake_lookahead()) {
-            if let Some(forecast) = profile.forecast_max(obs.now, lookahead) {
-                total_pred = total_pred.max(forecast);
+            if let Some(f) = profile.forecast_max(obs.now, lookahead) {
+                forecast = Some(f);
+                total_pred = total_pred.max(f);
             }
         }
         let max_cap = (0..ctx.num_hosts())
@@ -245,11 +325,31 @@ impl VirtManager {
             .fold(0.0, f64::max);
         let required_urgent = total_pred / cfg.target_utilization();
         let required = required_urgent + cfg.spare_hosts() as f64 * max_cap;
-
-        let mut available: f64 = (0..ctx.num_hosts())
+        let available: f64 = (0..ctx.num_hosts())
             .filter(|&h| (ctx.operational[h] && !ctx.draining[h]) || ctx.arriving[h])
             .map(|h| ctx.cpu_capacity[h])
             .sum();
+        CapacityAssessment {
+            required_urgent,
+            required,
+            available,
+            forecast,
+        }
+    }
+
+    /// Step 1: cancel drains and wake parked hosts until predicted demand
+    /// (plus spares) fits the capacity that is on or arriving. Returns
+    /// the available capacity after the actions it planned.
+    fn ensure_capacity(
+        &mut self,
+        ctx: &mut PlanContext,
+        obs: &ClusterObservation,
+        actions: &mut Vec<ManagementAction>,
+        capacity: &CapacityAssessment,
+    ) -> f64 {
+        let required_urgent = capacity.required_urgent;
+        let required = capacity.required;
+        let mut available = capacity.available;
 
         // Cancelling a drain is free capacity: most-loaded drains first
         // (they have the most VMs to avoid moving).
@@ -288,6 +388,7 @@ impl VirtManager {
             ctx.arriving[host.index()] = true;
             available += ctx.cpu_capacity[host.index()];
         }
+        available
     }
 
     /// Step 4: park drained hosts that are now empty.
@@ -299,10 +400,7 @@ impl VirtManager {
             .expect("park_drained only runs under a reactive policy");
         for host in &obs.hosts {
             let i = host.id.index();
-            if self.draining[i]
-                && host.evacuated
-                && host.is_operational()
-                && host.pending.is_none()
+            if self.draining[i] && host.evacuated && host.is_operational() && host.pending.is_none()
             {
                 actions.push(ManagementAction::PowerDown {
                     host: host.id,
@@ -372,7 +470,11 @@ mod tests {
         // Wildly underloaded: a power-managing policy would drain hosts.
         let o = obs(
             SimTime::ZERO,
-            &[(PowerState::On, &[0.5]), (PowerState::On, &[0.3]), (PowerState::On, &[0.2])],
+            &[
+                (PowerState::On, &[0.5]),
+                (PowerState::On, &[0.3]),
+                (PowerState::On, &[0.2]),
+            ],
         );
         let actions = mgr.plan(&o);
         assert!(actions.iter().all(|a| !a.is_power_action()));
@@ -383,7 +485,10 @@ mod tests {
     fn oracle_never_acts() {
         let cfg = ManagerConfig::new(PowerPolicy::oracle());
         let mut mgr = VirtManager::new(cfg, 2, 2);
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[0.5, 0.5]), (PowerState::On, &[])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[0.5, 0.5]), (PowerState::On, &[])],
+        );
         assert!(mgr.plan(&o).is_empty());
     }
 
@@ -391,18 +496,28 @@ mod tests {
     fn consolidates_and_parks_underloaded_host() {
         let mut mgr = VirtManager::new(agile_config(), 2, 2);
         // Two lightly-loaded hosts: host 1 should drain into host 0.
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
         let actions = mgr.plan(&o);
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, ManagementAction::Migrate { vm: VmId(1), to: HostId(0) })),
+            actions.iter().any(|a| matches!(
+                a,
+                ManagementAction::Migrate {
+                    vm: VmId(1),
+                    to: HostId(0)
+                }
+            )),
             "{actions:?}"
         );
         assert_eq!(mgr.draining_hosts(), vec![HostId(1)]);
 
         // Next round: host 1 is evacuated -> power-down with suspend.
-        let o2 = obs(SimTime::from_secs(300), &[(PowerState::On, &[1.0, 0.5]), (PowerState::On, &[])]);
+        let o2 = obs(
+            SimTime::from_secs(300),
+            &[(PowerState::On, &[1.0, 0.5]), (PowerState::On, &[])],
+        );
         let actions2 = mgr.plan(&o2);
         assert!(
             actions2.iter().any(|a| matches!(
@@ -425,7 +540,10 @@ mod tests {
             .with_min_on_time(SimDuration::ZERO)
             .with_predictor(crate::PredictorConfig::LastValue);
         let mut mgr = VirtManager::new(cfg, 2, 1);
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[])],
+        );
         let actions = mgr.plan(&o);
         assert!(
             actions.iter().any(|a| matches!(
@@ -479,14 +597,21 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(wakes.first(), Some(&HostId(2)), "suspended host wakes first");
+        assert_eq!(
+            wakes.first(),
+            Some(&HostId(2)),
+            "suspended host wakes first"
+        );
     }
 
     #[test]
     fn cancels_drain_before_waking() {
         let mut mgr = VirtManager::new(agile_config(), 2, 2);
         // Round 1: drain host 1.
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
         mgr.plan(&o);
         assert_eq!(mgr.draining_hosts(), vec![HostId(1)]);
         // Round 2: demand explodes before the drain finished; the drain
@@ -497,7 +622,9 @@ mod tests {
         );
         let actions = mgr.plan(&o2);
         assert!(mgr.draining_hosts().is_empty());
-        assert!(actions.iter().all(|a| !matches!(a, ManagementAction::PowerDown { .. })));
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, ManagementAction::PowerDown { .. })));
     }
 
     #[test]
@@ -506,18 +633,21 @@ mod tests {
         let mut mgr = VirtManager::new(cfg, 2, 1);
         // One VM, trivially fits on host 0; with one spare required,
         // host 1 must NOT be drained.
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[])]);
-        let actions = mgr.plan(&o);
-        assert!(
-            actions.iter().all(|a| !a.is_power_action()),
-            "{actions:?}"
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[])],
         );
+        let actions = mgr.plan(&o);
+        assert!(actions.iter().all(|a| !a.is_power_action()), "{actions:?}");
     }
 
     #[test]
     fn stats_accumulate() {
         let mut mgr = VirtManager::new(agile_config(), 2, 2);
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
         mgr.plan(&o);
         assert_eq!(mgr.stats().rounds, 1);
         assert!(mgr.stats().migrations_requested >= 1);
@@ -528,7 +658,10 @@ mod tests {
         let mut mgr = VirtManager::new(agile_config(), 2, 2);
         // Consolidation round: the migration off host 1 must be
         // attributed to consolidation.
-        let o = obs(SimTime::ZERO, &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])]);
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
         let actions = mgr.plan(&o);
         let reasons = mgr.last_round_reasons();
         assert_eq!(actions.len(), reasons.len());

@@ -174,9 +174,6 @@ mod tests {
             ],
         };
         assert_eq!(obs.total_vm_demand(), 2.0);
-        assert_eq!(
-            obs.hosts_in_state(PowerState::Suspended).count(),
-            1
-        );
+        assert_eq!(obs.hosts_in_state(PowerState::Suspended).count(), 1);
     }
 }

@@ -48,7 +48,11 @@ impl PlanContext {
     pub fn new(obs: &ClusterObservation, predicted_vm: Vec<f64>, draining: &[bool]) -> Self {
         let nh = obs.hosts.len();
         assert_eq!(draining.len(), nh, "drain set length mismatch");
-        assert_eq!(predicted_vm.len(), obs.vms.len(), "prediction length mismatch");
+        assert_eq!(
+            predicted_vm.len(),
+            obs.vms.len(),
+            "prediction length mismatch"
+        );
 
         let mut vms_by_host = vec![Vec::new(); nh];
         let mut vm_host = Vec::with_capacity(obs.vms.len());
@@ -230,7 +234,7 @@ mod tests {
             cpu_cap: 4.0,
             mem_gb: 8.0,
             migrating: false,
-                    service_class: Default::default(),
+            service_class: Default::default(),
         };
         ClusterObservation {
             now: SimTime::ZERO,

@@ -6,10 +6,8 @@
 //! predictor is unnecessary — experiment T12 quantifies this by swapping
 //! predictors under both power-state regimes.
 
-use serde::{Deserialize, Serialize};
-
 /// Which prediction algorithm to use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PredictorConfig {
     /// Predict the last observed value (most reactive, no smoothing).
     LastValue,
@@ -37,10 +35,7 @@ impl PredictorConfig {
         match *self {
             PredictorConfig::LastValue => {}
             PredictorConfig::Ewma { alpha } => {
-                assert!(
-                    alpha > 0.0 && alpha <= 1.0,
-                    "alpha {alpha} outside (0, 1]"
-                );
+                assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0, 1]");
             }
             PredictorConfig::WindowMax { window } => {
                 assert!(window > 0, "window must be positive");
@@ -68,13 +63,13 @@ impl Default for PredictorConfig {
 /// p.observe(0.0);
 /// assert_eq!(p.predict(), 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predictor {
     config: PredictorConfig,
     state: State,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum State {
     Scalar(Option<f64>),
     Window(Vec<f64>),

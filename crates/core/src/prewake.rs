@@ -8,7 +8,6 @@
 //! crowds are unpredictable by construction — only low-latency states
 //! cover those.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// An online time-of-day demand profile: EWMA of observed total demand
@@ -28,7 +27,7 @@ use simcore::{SimDuration, SimTime};
 /// // A never-observed bucket has no forecast.
 /// assert_eq!(p.forecast(SimTime::from_secs(3 * 3600)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayProfile {
     bucket_len: SimDuration,
     buckets: Vec<f64>,
@@ -105,7 +104,9 @@ impl DayProfile {
             if t >= end {
                 return max;
             }
-            t = t + self.bucket_len.min(end.since(t).max(SimDuration::from_millis(1)));
+            t = t + self
+                .bucket_len
+                .min(end.since(t).max(SimDuration::from_millis(1)));
         }
     }
 }
@@ -141,12 +142,18 @@ mod tests {
         p.observe(SimTime::from_secs(8 * 3600), 100.0);
         // Window reaching into the unseen 9am bucket: no forecast.
         assert_eq!(
-            p.forecast_max(SimTime::from_secs(8 * 3600 + 1800), SimDuration::from_hours(1)),
+            p.forecast_max(
+                SimTime::from_secs(8 * 3600 + 1800),
+                SimDuration::from_hours(1)
+            ),
             None
         );
         p.observe(SimTime::from_secs(9 * 3600), 300.0);
         assert_eq!(
-            p.forecast_max(SimTime::from_secs(8 * 3600 + 1800), SimDuration::from_hours(1)),
+            p.forecast_max(
+                SimTime::from_secs(8 * 3600 + 1800),
+                SimDuration::from_hours(1)
+            ),
             Some(300.0)
         );
     }

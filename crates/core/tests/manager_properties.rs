@@ -1,6 +1,10 @@
-//! Property-based tests of the manager: for any observation the generator
+//! Randomized tests of the manager: for any observation the generator
 //! can produce, planned actions must be well-formed and internally
 //! consistent.
+//!
+//! Observations are drawn from [`RngStream`] with fixed seeds, so every
+//! run checks the same cases — failures reproduce exactly without a
+//! shrinker.
 
 use agile_core::{
     ClusterObservation, HostObservation, ManagementAction, ManagerConfig, PowerPolicy,
@@ -8,90 +12,82 @@ use agile_core::{
 };
 use cluster::{HostId, ServiceClass, VmId};
 use power::PowerState;
-use proptest::prelude::*;
-use simcore::{SimDuration, SimTime};
+use simcore::{RngStream, SimDuration, SimTime};
 
 const HOST_CAP: f64 = 16.0;
 const HOST_MEM: f64 = 128.0;
 
-/// Strategy: a random but structurally valid observation.
-fn observation(
-    max_hosts: usize,
-    max_vms: usize,
-) -> impl Strategy<Value = ClusterObservation> {
-    let host_states = proptest::collection::vec(0u8..3, 2..=max_hosts);
-    let vms = proptest::collection::vec((any::<u16>(), 0.0f64..2.0, proptest::bool::ANY), 1..=max_vms);
-    (host_states, vms).prop_map(|(states, vm_rows)| {
-        let hosts: Vec<HostObservation> = states
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| HostObservation {
-                id: HostId(i as u32),
-                state: match s {
-                    0 => PowerState::On,
-                    1 => PowerState::Suspended,
-                    _ => PowerState::Off,
-                },
-                pending: None,
-                cpu_capacity: HOST_CAP,
-                mem_capacity: HOST_MEM,
-                mem_committed: 0.0, // filled below
-                cpu_demand: 0.0,
-                evacuated: true,
-            })
-            .collect();
-        let operational: Vec<usize> = hosts
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| h.state == PowerState::On)
-            .map(|(i, _)| i)
-            .collect();
-        let mut hosts = hosts;
-        let mut vms = Vec::new();
-        for (k, (placement_roll, demand, batch)) in vm_rows.into_iter().enumerate() {
-            // Place only on operational hosts (the cluster invariant).
-            let host = if operational.is_empty() {
-                None
+/// A random but structurally valid observation.
+fn observation(rng: &mut RngStream, max_hosts: usize, max_vms: usize) -> ClusterObservation {
+    let num_hosts = 2 + rng.below(max_hosts as u64 - 1) as usize;
+    let num_vms = 1 + rng.below(max_vms as u64) as usize;
+    let mut hosts: Vec<HostObservation> = (0..num_hosts)
+        .map(|i| HostObservation {
+            id: HostId(i as u32),
+            state: match rng.below(3) {
+                0 => PowerState::On,
+                1 => PowerState::Suspended,
+                _ => PowerState::Off,
+            },
+            pending: None,
+            cpu_capacity: HOST_CAP,
+            mem_capacity: HOST_MEM,
+            mem_committed: 0.0, // filled below
+            cpu_demand: 0.0,
+            evacuated: true,
+        })
+        .collect();
+    let operational: Vec<usize> = hosts
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.state == PowerState::On)
+        .map(|(i, _)| i)
+        .collect();
+    let mut vms = Vec::new();
+    for k in 0..num_vms {
+        let demand = rng.uniform(0.0, 2.0);
+        // Place only on operational hosts (the cluster invariant).
+        let host = if operational.is_empty() {
+            None
+        } else {
+            Some(operational[rng.below(operational.len() as u64) as usize])
+        };
+        if let Some(h) = host {
+            hosts[h].mem_committed += 4.0;
+            hosts[h].cpu_demand += demand;
+            hosts[h].evacuated = false;
+        }
+        vms.push(VmObservation {
+            id: VmId(k as u32),
+            host: host.map(|h| HostId(h as u32)),
+            cpu_demand: demand,
+            cpu_cap: 2.0,
+            mem_gb: 4.0,
+            migrating: false,
+            service_class: if rng.chance(0.5) {
+                ServiceClass::Batch
             } else {
-                Some(operational[placement_roll as usize % operational.len()])
-            };
-            if let Some(h) = host {
-                hosts[h].mem_committed += 4.0;
-                hosts[h].cpu_demand += demand;
-                hosts[h].evacuated = false;
-            }
-            vms.push(VmObservation {
-                id: VmId(k as u32),
-                host: host.map(|h| HostId(h as u32)),
-                cpu_demand: demand,
-                cpu_cap: 2.0,
-                mem_gb: 4.0,
-                migrating: false,
-                service_class: if batch {
-                    ServiceClass::Batch
-                } else {
-                    ServiceClass::Interactive
-                },
-            });
-        }
-        ClusterObservation {
-            now: SimTime::from_secs(600),
-            hosts,
-            vms,
-        }
-    })
+                ServiceClass::Interactive
+            },
+        });
+    }
+    ClusterObservation {
+        now: SimTime::from_secs(600),
+        hosts,
+        vms,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every planned action is structurally valid: migrations target
-    /// operational hosts and move placed, non-migrating VMs; power-downs
-    /// only hit evacuated hosts; power-ups only hit parked hosts. At most
-    /// one action per VM and per host.
-    #[test]
-    fn planned_actions_are_well_formed(obs in observation(8, 24), suspend in proptest::bool::ANY) {
-        let policy = if suspend {
+/// Every planned action is structurally valid: migrations target
+/// operational hosts and move placed, non-migrating VMs; power-downs
+/// only hit evacuated hosts; power-ups only hit parked hosts. At most
+/// one action per VM and per host.
+#[test]
+fn planned_actions_are_well_formed() {
+    let mut rng = RngStream::new(0x20);
+    for case in 0..64 {
+        let obs = observation(&mut rng, 8, 24);
+        let policy = if rng.chance(0.5) {
             PowerPolicy::reactive_suspend()
         } else {
             PowerPolicy::reactive_off()
@@ -101,7 +97,7 @@ proptest! {
             .with_predictor(PredictorConfig::LastValue);
         let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
         let actions = mgr.plan(&obs);
-        prop_assert_eq!(mgr.last_round_reasons().len(), actions.len());
+        assert_eq!(mgr.last_round_reasons().len(), actions.len(), "case {case}");
 
         let mut moved_vms = std::collections::HashSet::new();
         let mut powered_hosts = std::collections::HashSet::new();
@@ -109,58 +105,63 @@ proptest! {
             match *action {
                 ManagementAction::Migrate { vm, to } => {
                     let v = &obs.vms[vm.index()];
-                    prop_assert!(v.host.is_some(), "migrating unplaced {}", vm);
-                    prop_assert_ne!(v.host.unwrap(), to, "self-migration of {}", vm);
-                    prop_assert!(!v.migrating, "vm {} already migrating", vm);
-                    prop_assert!(
+                    assert!(v.host.is_some(), "migrating unplaced {vm}");
+                    assert_ne!(v.host.unwrap(), to, "self-migration of {vm}");
+                    assert!(!v.migrating, "vm {vm} already migrating");
+                    assert!(
                         obs.hosts[to.index()].is_operational(),
-                        "migrating {} to non-operational {}",
-                        vm,
-                        to
+                        "migrating {vm} to non-operational {to}"
                     );
-                    prop_assert!(moved_vms.insert(vm), "vm {} moved twice", vm);
+                    assert!(moved_vms.insert(vm), "vm {vm} moved twice");
                 }
                 ManagementAction::PowerDown { host, .. } => {
-                    prop_assert!(
+                    assert!(
                         obs.hosts[host.index()].evacuated,
-                        "powering down non-evacuated {}",
-                        host
+                        "powering down non-evacuated {host}"
                     );
-                    prop_assert!(
+                    assert!(
                         obs.hosts[host.index()].is_operational(),
-                        "powering down non-operational {}",
-                        host
+                        "powering down non-operational {host}"
                     );
-                    prop_assert!(powered_hosts.insert(host), "host {} power-cycled twice", host);
+                    assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
                 }
                 ManagementAction::PowerUp { host } => {
-                    prop_assert!(
+                    assert!(
                         matches!(
                             obs.hosts[host.index()].state,
                             PowerState::Suspended | PowerState::Off
                         ),
-                        "waking non-parked {}",
-                        host
+                        "waking non-parked {host}"
                     );
-                    prop_assert!(powered_hosts.insert(host), "host {} power-cycled twice", host);
+                    assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
                 }
             }
         }
     }
+}
 
-    /// AlwaysOn never emits power actions, for any observation.
-    #[test]
-    fn always_on_never_power_manages(obs in observation(6, 16)) {
-        let config = ManagerConfig::for_fleet(PowerPolicy::always_on(), obs.hosts.len(), obs.vms.len());
+/// AlwaysOn never emits power actions, for any observation.
+#[test]
+fn always_on_never_power_manages() {
+    let mut rng = RngStream::new(0x21);
+    for _ in 0..64 {
+        let obs = observation(&mut rng, 6, 16);
+        let config =
+            ManagerConfig::for_fleet(PowerPolicy::always_on(), obs.hosts.len(), obs.vms.len());
         let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
         for action in mgr.plan(&obs) {
-            prop_assert!(!action.is_power_action(), "{}", action);
+            assert!(!action.is_power_action(), "{action}");
         }
     }
+}
 
-    /// The migration budget is respected for any observation.
-    #[test]
-    fn migration_budget_respected(obs in observation(8, 24), budget in 1usize..4) {
+/// The migration budget is respected for any observation.
+#[test]
+fn migration_budget_respected() {
+    let mut rng = RngStream::new(0x22);
+    for _ in 0..64 {
+        let obs = observation(&mut rng, 8, 24);
+        let budget = 1 + rng.below(3) as usize;
         let config = ManagerConfig::for_fleet(
             PowerPolicy::reactive_suspend(),
             obs.hosts.len(),
@@ -174,13 +175,17 @@ proptest! {
             .iter()
             .filter(|a| matches!(a, ManagementAction::Migrate { .. }))
             .count();
-        prop_assert!(migrations <= budget, "{migrations} > budget {budget}");
+        assert!(migrations <= budget, "{migrations} > budget {budget}");
     }
+}
 
-    /// Planning twice on the same observation from the same state is
-    /// deterministic.
-    #[test]
-    fn planning_is_deterministic(obs in observation(6, 16)) {
+/// Planning twice on the same observation from the same state is
+/// deterministic.
+#[test]
+fn planning_is_deterministic() {
+    let mut rng = RngStream::new(0x23);
+    for _ in 0..64 {
+        let obs = observation(&mut rng, 6, 16);
         let mk = || {
             let config = ManagerConfig::for_fleet(
                 PowerPolicy::reactive_suspend(),
@@ -191,6 +196,6 @@ proptest! {
         };
         let a = mk().plan(&obs);
         let b = mk().plan(&obs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

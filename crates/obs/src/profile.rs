@@ -1,0 +1,259 @@
+//! Wall-clock phase profiling.
+//!
+//! The simulator is bit-deterministic in simulated time; wall-clock
+//! measurement must therefore live entirely outside the simulation
+//! state. [`PhaseProfiler`] accumulates real elapsed time per named
+//! phase (observe, plan, execute, dispatch, ...) using monotonic
+//! [`Instant`]s, and freezes into a [`ProfileSummary`] that never feeds
+//! back into simulation results.
+//!
+//! Disabled profilers return `None` from [`PhaseProfiler::start`], so
+//! the hot-path cost when off is a branch — no clock read.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Handle to a registered phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(usize);
+
+#[derive(Debug, Clone, Default)]
+struct PhaseAcc {
+    total: Duration,
+    calls: u64,
+}
+
+/// Accumulates wall-clock time per phase.
+#[derive(Debug, Clone)]
+pub struct PhaseProfiler {
+    phases: Vec<(String, PhaseAcc)>,
+    enabled: bool,
+    created: Instant,
+}
+
+impl PhaseProfiler {
+    /// A profiler that records nothing until [`enable`](Self::enable)d.
+    pub fn new() -> Self {
+        PhaseProfiler {
+            phases: Vec::new(),
+            enabled: false,
+            created: Instant::now(),
+        }
+    }
+
+    /// An enabled profiler.
+    pub fn enabled() -> Self {
+        let mut p = PhaseProfiler::new();
+        p.enable();
+        p
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether the profiler is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-finds) a phase by name.
+    pub fn phase(&mut self, name: &str) -> PhaseId {
+        if let Some(i) = self.phases.iter().position(|(n, _)| n == name) {
+            return PhaseId(i);
+        }
+        self.phases.push((name.to_string(), PhaseAcc::default()));
+        PhaseId(self.phases.len() - 1)
+    }
+
+    /// Reads the clock if enabled. Pass the result to
+    /// [`stop`](Self::stop).
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Accumulates the time since `started` into `phase` (no-op when
+    /// `started` is `None`, i.e. the profiler was disabled at start).
+    #[inline]
+    pub fn stop(&mut self, phase: PhaseId, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let acc = &mut self.phases[phase.0].1;
+            acc.total += t0.elapsed();
+            acc.calls += 1;
+        }
+    }
+
+    /// Freezes the accumulated phases into a summary.
+    pub fn summary(&self) -> ProfileSummary {
+        ProfileSummary {
+            phases: self
+                .phases
+                .iter()
+                .map(|(name, acc)| PhaseStat {
+                    name: name.clone(),
+                    calls: acc.calls,
+                    total_secs: acc.total.as_secs_f64(),
+                })
+                .collect(),
+            wall_secs: self.created.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler::new()
+    }
+}
+
+/// Frozen per-phase wall-clock totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name, e.g. `plan`.
+    pub name: String,
+    /// Number of start/stop pairs.
+    pub calls: u64,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+}
+
+impl PhaseStat {
+    /// Mean microseconds per call (0 when never called).
+    pub fn mean_micros(&self) -> f64 {
+        if self.calls > 0 {
+            self.total_secs * 1e6 / self.calls as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A profiler's frozen output: phase totals plus the profiler's own
+/// lifetime (an upper bound covering unattributed time).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileSummary {
+    /// Per-phase stats, in registration order.
+    pub phases: Vec<PhaseStat>,
+    /// Wall-clock seconds since the profiler was created.
+    pub wall_secs: f64,
+}
+
+impl ProfileSummary {
+    /// Looks up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of attributed phase time, seconds.
+    pub fn attributed_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_secs).sum()
+    }
+
+    /// JSON rendering (for the end-of-run trace record).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("wall_secs", Json::Num(self.wall_secs)),
+            (
+                "phases",
+                Json::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("name", Json::Str(p.name.clone())),
+                                ("calls", Json::Int(p.calls as i64)),
+                                ("total_secs", Json::Num(p.total_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for ProfileSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "wall-clock: {:.3} s", self.wall_secs)?;
+        let width = self
+            .phases
+            .iter()
+            .map(|p| p.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<width$}  {:>10.3} s  {:>10} calls  {:>10.1} us/call",
+                p.name,
+                p.total_secs,
+                p.calls,
+                p.mean_micros()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = PhaseProfiler::new();
+        let id = p.phase("plan");
+        let t = p.start();
+        assert!(t.is_none());
+        p.stop(id, t);
+        assert_eq!(p.summary().phase("plan").unwrap().calls, 0);
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates() {
+        let mut p = PhaseProfiler::enabled();
+        let id = p.phase("dispatch");
+        for _ in 0..3 {
+            let t = p.start();
+            std::hint::black_box(0u64);
+            p.stop(id, t);
+        }
+        let s = p.summary();
+        let stat = s.phase("dispatch").unwrap();
+        assert_eq!(stat.calls, 3);
+        assert!(stat.total_secs >= 0.0);
+        assert!(s.wall_secs >= stat.total_secs);
+        assert!(s.attributed_secs() >= stat.total_secs);
+    }
+
+    #[test]
+    fn phase_ids_are_stable() {
+        let mut p = PhaseProfiler::enabled();
+        let a = p.phase("a");
+        let b = p.phase("b");
+        assert_ne!(a, b);
+        assert_eq!(p.phase("a"), a);
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let mut p = PhaseProfiler::enabled();
+        let id = p.phase("x");
+        let t = p.start();
+        p.stop(id, t);
+        let json = p.summary().to_json();
+        assert!(json.get("wall_secs").is_some());
+        let phases = json.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(phases[0].get("calls").unwrap().as_i64(), Some(1));
+    }
+}

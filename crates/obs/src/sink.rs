@@ -1,0 +1,238 @@
+//! Streaming trace sinks.
+//!
+//! A [`TraceSink`] receives one [`Json`] record per telemetry event. The
+//! contract that keeps week-long runs feasible: sinks either stream
+//! (constant resident memory, like [`JsonlSink`]) or are explicitly
+//! test-only ([`MemorySink`]). Hot paths must check [`TraceSink::enabled`]
+//! before building a record so the disabled case ([`NullSink`]) costs one
+//! branch and no allocation.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::Json;
+
+/// A destination for telemetry records.
+///
+/// `Debug` is a supertrait so producers holding a `Box<dyn TraceSink>`
+/// can stay `#[derive(Debug)]`.
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether emitting is worthwhile. Producers should skip record
+    /// construction entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one record.
+    fn emit(&mut self, record: &Json);
+
+    /// Flushes buffered output (no-op for non-buffering sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for file-backed sinks.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Records emitted so far.
+    fn records_emitted(&self) -> u64;
+}
+
+/// Discards everything without looking at it; `enabled()` is `false`, so
+/// producers never even build records. The zero-overhead default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _record: &Json) {}
+
+    fn records_emitted(&self) -> u64 {
+        0
+    }
+}
+
+/// Counts records and discards them — measures trace volume without
+/// paying for storage.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    emitted: u64,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn emit(&mut self, _record: &Json) {
+        self.emitted += 1;
+    }
+
+    fn records_emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// Buffers records in memory — for tests and short interactive runs
+/// only (memory grows with the horizon).
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    records: Vec<Json>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The records received so far, in order.
+    pub fn records(&self) -> &[Json] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning its records.
+    pub fn into_records(self) -> Vec<Json> {
+        self.records
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, record: &Json) {
+        self.records.push(record.clone());
+    }
+
+    fn records_emitted(&self) -> u64 {
+        self.records.len() as u64
+    }
+}
+
+/// Streams records as JSON Lines (one compact document per line) through
+/// a [`BufWriter`]. Resident memory is the buffer size, independent of
+/// how many records pass through.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    emitted: u64,
+    bytes: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL file sink at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer (callers wanting buffering supply their own
+    /// [`BufWriter`]; [`JsonlSink::create`] does this for files).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            emitted: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Bytes written so far (before any buffering still in flight).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, record: &Json) {
+        let mut line = record.to_string_compact();
+        line.push('\n');
+        // Trace output is advisory; a full disk must not abort the
+        // simulation. Errors surface at flush().
+        let _ = self.writer.write_all(line.as_bytes());
+        self.emitted += 1;
+        self.bytes += line.len() as u64;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn records_emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("emitted", &self.emitted)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: i64) -> Json {
+        Json::obj([("seq", Json::Int(i)), ("kind", Json::Str("test".into()))])
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_counts_nothing() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.emit(&record(1));
+        assert_eq!(s.records_emitted(), 0);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::new();
+        assert!(s.enabled());
+        for i in 0..5 {
+            s.emit(&record(i));
+        }
+        assert_eq!(s.records_emitted(), 5);
+    }
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let mut s = MemorySink::new();
+        s.emit(&record(1));
+        s.emit(&record(2));
+        assert_eq!(s.records()[0].get("seq").unwrap().as_i64(), Some(1));
+        assert_eq!(s.records()[1].get("seq").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut buf = Vec::new();
+        {
+            let mut s = JsonlSink::new(&mut buf);
+            s.emit(&record(1));
+            s.emit(&record(2));
+            s.flush().unwrap();
+            assert_eq!(s.records_emitted(), 2);
+            assert!(s.bytes_written() > 0);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("seq").unwrap().as_i64(), Some(i as i64 + 1));
+        }
+    }
+}

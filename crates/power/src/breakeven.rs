@@ -16,13 +16,12 @@
 //! seconds; S5-class cycles need tens of minutes — this asymmetry is the
 //! quantitative heart of the paper's argument, reproduced in experiment F3.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::{HostPowerProfile, TransitionKind};
 
 /// Which low-power state a power-down decision targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LowPowerMode {
     /// Suspend-to-RAM (S3-class): `Suspend` down, `Resume` up.
     Suspend,
@@ -89,8 +88,7 @@ pub fn net_energy_saved(
     let idle_w = profile.curve().idle_w();
     let low_w = mode.resting_power_w(profile);
     let stay = idle_w * gap.as_secs_f64();
-    let cycle =
-        down.energy_j() + up.energy_j() + low_w * (gap - overhead).as_secs_f64();
+    let cycle = down.energy_j() + up.energy_j() + low_w * (gap - overhead).as_secs_f64();
     Some(stay - cycle)
 }
 
@@ -122,8 +120,7 @@ pub fn break_even_gap(profile: &HostPowerProfile, mode: LowPowerMode) -> Option<
     }
     let overhead = down.latency() + up.latency();
     // Solve idle·T = E_d + E_u + low·(T − t_overhead) for T.
-    let t = (down.energy_j() + up.energy_j() - low_w * overhead.as_secs_f64())
-        / (idle_w - low_w);
+    let t = (down.energy_j() + up.energy_j() - low_w * overhead.as_secs_f64()) / (idle_w - low_w);
     // The cycle also cannot be shorter than the transitions themselves.
     let t = t.max(overhead.as_secs_f64());
     Some(SimDuration::from_secs_f64(t))
@@ -140,7 +137,10 @@ mod tests {
             let gap = break_even_gap(&p, mode).unwrap();
             let saved = net_energy_saved(&p, mode, gap).unwrap();
             // Zero to within the millisecond rounding of the gap.
-            assert!(saved.abs() < p.curve().idle_w() * 0.002, "{mode:?}: {saved}");
+            assert!(
+                saved.abs() < p.curve().idle_w() * 0.002,
+                "{mode:?}: {saved}"
+            );
         }
     }
 

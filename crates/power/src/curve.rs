@@ -1,7 +1,5 @@
 //! Utilization-to-power curves for operational (powered-on) hosts.
 
-use serde::{Deserialize, Serialize};
-
 /// Maps CPU utilization (`0.0..=1.0`) to active power draw in watts.
 ///
 /// Three families cover the hardware in the paper's evaluation:
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.power_at(0.5), 225.0);
 /// assert_eq!(c.power_at(1.0), 300.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PowerCurve {
     /// `idle_w + (peak_w - idle_w) · u`.
     Linear {

@@ -8,13 +8,11 @@
 //! evaluation's DVFS-only baseline (experiment T22) shows frequency
 //! scaling alone cannot approach energy proportionality.
 
-use serde::{Deserialize, Serialize};
-
 use crate::PowerCurve;
 
 /// A DVFS operating point: relative frequency and the scale factor it
 /// applies to the *dynamic* (utilization-dependent) power component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsLevel {
     /// Clock fraction of nominal, in `(0, 1]` — also the capacity
     /// fraction the host can serve at this level.
@@ -39,7 +37,7 @@ pub struct DvfsLevel {
 /// assert!(scaled < curve.power_at(0.3));
 /// assert!(scaled >= curve.idle_w() * 0.99);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsModel {
     levels: Vec<DvfsLevel>,
 }
@@ -84,10 +82,22 @@ impl DvfsModel {
     /// dynamic-power scaling.
     pub fn typical_2013() -> Self {
         DvfsModel::new(vec![
-            DvfsLevel { freq_frac: 0.4, dyn_power_scale: 0.25 },
-            DvfsLevel { freq_frac: 0.6, dyn_power_scale: 0.42 },
-            DvfsLevel { freq_frac: 0.8, dyn_power_scale: 0.66 },
-            DvfsLevel { freq_frac: 1.0, dyn_power_scale: 1.0 },
+            DvfsLevel {
+                freq_frac: 0.4,
+                dyn_power_scale: 0.25,
+            },
+            DvfsLevel {
+                freq_frac: 0.6,
+                dyn_power_scale: 0.42,
+            },
+            DvfsLevel {
+                freq_frac: 0.8,
+                dyn_power_scale: 0.66,
+            },
+            DvfsLevel {
+                freq_frac: 1.0,
+                dyn_power_scale: 1.0,
+            },
         ])
     }
 
@@ -190,6 +200,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "top level must be nominal")]
     fn rejects_missing_nominal_level() {
-        DvfsModel::new(vec![DvfsLevel { freq_frac: 0.5, dyn_power_scale: 0.4 }]);
+        DvfsModel::new(vec![DvfsLevel {
+            freq_frac: 0.5,
+            dyn_power_scale: 0.4,
+        }]);
     }
 }

@@ -1,6 +1,5 @@
 //! Exact energy accounting for a single host.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimTime, TimeSeries};
 
 use crate::PowerState;
@@ -23,7 +22,7 @@ use crate::PowerState;
 /// assert_eq!(meter.total_j(), 100.0 * 10.0 + 50.0 * 10.0);
 /// assert_eq!(meter.state_j(PowerState::Suspended), 500.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyMeter {
     last_time: SimTime,
     last_power_w: f64,
@@ -72,10 +71,7 @@ impl EnergyMeter {
     /// Panics if `now` precedes the previous sample or `power_w` is
     /// negative/non-finite.
     pub fn set_power(&mut self, now: SimTime, power_w: f64, state: PowerState) {
-        assert!(
-            power_w.is_finite() && power_w >= 0.0,
-            "bad power {power_w}"
-        );
+        assert!(power_w.is_finite() && power_w >= 0.0, "bad power {power_w}");
         self.accumulate(now);
         self.last_power_w = power_w;
         self.last_state = state;

@@ -12,7 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::{PowerCurve, PowerState, PsuModel, TransitionKind, TransitionSpec, TransitionTable};
@@ -29,7 +28,7 @@ use crate::{PowerCurve, PowerState, PsuModel, TransitionKind, TransitionSpec, Tr
 /// // Suspended draw is a few percent of idle draw.
 /// assert!(p.suspend_power_w() < 0.1 * p.curve().idle_w());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostPowerProfile {
     name: String,
     curve: PowerCurve,
@@ -220,7 +219,9 @@ impl HostPowerProfile {
         let suspend = *t
             .spec(TransitionKind::Suspend)
             .expect("profile must support suspend");
-        let resume = t.spec(TransitionKind::Resume).expect("suspend implies resume");
+        let resume = t
+            .spec(TransitionKind::Resume)
+            .expect("suspend implies resume");
         let mut p = self.clone();
         p.name = format!("{}+resume{}", self.name, latency);
         p.transitions = TransitionTable::with_suspend(
@@ -361,12 +362,21 @@ mod tests {
         let p = HostPowerProfile::prototype_rack();
         let q = p.with_resume_latency(SimDuration::from_secs(99));
         assert_eq!(
-            q.transitions().spec(TransitionKind::Resume).unwrap().latency(),
+            q.transitions()
+                .spec(TransitionKind::Resume)
+                .unwrap()
+                .latency(),
             SimDuration::from_secs(99)
         );
         assert_eq!(
-            q.transitions().spec(TransitionKind::Suspend).unwrap().latency(),
-            p.transitions().spec(TransitionKind::Suspend).unwrap().latency()
+            q.transitions()
+                .spec(TransitionKind::Suspend)
+                .unwrap()
+                .latency(),
+            p.transitions()
+                .spec(TransitionKind::Suspend)
+                .unwrap()
+                .latency()
         );
         assert_ne!(q.name(), p.name());
     }
@@ -389,7 +399,8 @@ mod tests {
     #[test]
     fn psu_inflates_all_states() {
         let dc = HostPowerProfile::prototype_rack();
-        let wall = HostPowerProfile::prototype_rack().with_psu(crate::PsuModel::eighty_plus_gold(400.0));
+        let wall =
+            HostPowerProfile::prototype_rack().with_psu(crate::PsuModel::eighty_plus_gold(400.0));
         for (state, util) in [
             (PowerState::On, 0.0),
             (PowerState::On, 0.7),

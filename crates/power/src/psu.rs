@@ -10,8 +10,6 @@
 //! [`crate::HostPowerProfile`] into wall power; attach one with
 //! [`crate::HostPowerProfile::with_psu`].
 
-use serde::{Deserialize, Serialize};
-
 /// A load-dependent PSU efficiency model.
 ///
 /// Efficiency is piecewise-linear in the *DC load fraction*
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// // Light load is much less efficient.
 /// assert!(psu.efficiency_at(10.0) < 0.80);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PsuModel {
     capacity_w: f64,
     /// `(load_fraction, efficiency)` knots, sorted, covering 0.0..=1.0.
@@ -51,7 +49,11 @@ impl PsuModel {
         );
         assert!(knots.len() >= 2, "need at least two efficiency knots");
         assert_eq!(knots[0].0, 0.0, "first knot must be at load 0.0");
-        assert_eq!(knots[knots.len() - 1].0, 1.0, "last knot must be at load 1.0");
+        assert_eq!(
+            knots[knots.len() - 1].0,
+            1.0,
+            "last knot must be at load 1.0"
+        );
         for pair in knots.windows(2) {
             assert!(pair[0].0 < pair[1].0, "knots must be strictly increasing");
         }

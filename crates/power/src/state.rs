@@ -3,7 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use crate::{EnergyMeter, HostPowerProfile, PowerError, TransitionKind};
@@ -12,7 +11,7 @@ use crate::{EnergyMeter, HostPowerProfile, PowerError, TransitionKind};
 ///
 /// Three *stable* states (`On`, `Suspended`, `Off`) and four *transitional*
 /// states, one per [`TransitionKind`]. A host serves load only in `On`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerState {
     /// Fully operational; power follows the profile's utilization curve.
     On,
@@ -46,7 +45,10 @@ impl PowerState {
 
     /// Whether this is a stable (non-transitional) state.
     pub fn is_stable(self) -> bool {
-        matches!(self, PowerState::On | PowerState::Suspended | PowerState::Off)
+        matches!(
+            self,
+            PowerState::On | PowerState::Suspended | PowerState::Off
+        )
     }
 
     /// Whether a host in this state can serve VM load.
@@ -84,7 +86,7 @@ impl fmt::Display for PowerState {
 }
 
 /// Cumulative time spent in each power state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StateResidency {
     durations: [SimDuration; 7],
 }
@@ -264,8 +266,11 @@ impl PowerStateMachine {
         let util = util.clamp(0.0, 1.0);
         self.advance(now);
         self.utilization = util;
-        self.meter
-            .set_power(now, self.profile.state_power_w(self.state, util), self.state);
+        self.meter.set_power(
+            now,
+            self.profile.state_power_w(self.state, util),
+            self.state,
+        );
     }
 
     /// Begins a power-state transition, returning the instant it completes.
@@ -411,7 +416,9 @@ mod tests {
     #[test]
     fn suspend_resume_cycle() {
         let mut m = machine();
-        let done = m.begin(TransitionKind::Suspend, SimTime::from_secs(10)).unwrap();
+        let done = m
+            .begin(TransitionKind::Suspend, SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(m.state(), PowerState::Suspending);
         assert!(!m.is_operational());
         assert_eq!(m.pending(), Some((TransitionKind::Suspend, done)));
@@ -444,7 +451,10 @@ mod tests {
     fn rejects_unsupported_suspend_on_legacy() {
         let mut m = PowerStateMachine::new(HostPowerProfile::legacy_rack(), SimTime::ZERO);
         let err = m.begin(TransitionKind::Suspend, SimTime::ZERO).unwrap_err();
-        assert_eq!(err, PowerError::UnsupportedTransition(TransitionKind::Suspend));
+        assert_eq!(
+            err,
+            PowerError::UnsupportedTransition(TransitionKind::Suspend)
+        );
         // Shutdown still works.
         assert!(m.begin(TransitionKind::Shutdown, SimTime::ZERO).is_ok());
     }
@@ -462,7 +472,10 @@ mod tests {
     #[test]
     fn complete_without_begin_errors() {
         let mut m = machine();
-        assert_eq!(m.complete(SimTime::ZERO).unwrap_err(), PowerError::NotTransitioning);
+        assert_eq!(
+            m.complete(SimTime::ZERO).unwrap_err(),
+            PowerError::NotTransitioning
+        );
     }
 
     #[test]
@@ -497,7 +510,10 @@ mod tests {
         m.complete(done).unwrap();
         let end = done + SimDuration::from_secs(30);
         m.sync(end);
-        assert_eq!(m.residency().in_state(PowerState::On), SimDuration::from_secs(50));
+        assert_eq!(
+            m.residency().in_state(PowerState::On),
+            SimDuration::from_secs(50)
+        );
         assert_eq!(
             m.residency().in_state(PowerState::Suspending),
             done.since(t1)
@@ -556,11 +572,15 @@ mod tests {
         let mut m = machine();
         let done = m.begin(TransitionKind::Suspend, SimTime::ZERO).unwrap();
         assert!(matches!(
-            m.fail_pending(done + SimDuration::from_millis(1)).unwrap_err(),
+            m.fail_pending(done + SimDuration::from_millis(1))
+                .unwrap_err(),
             PowerError::CompletionTimeMismatch { .. }
         ));
         assert_eq!(m.fail_pending(done).unwrap(), PowerState::On);
-        assert_eq!(m.fail_pending(done).unwrap_err(), PowerError::NotTransitioning);
+        assert_eq!(
+            m.fail_pending(done).unwrap_err(),
+            PowerError::NotTransitioning
+        );
     }
 
     #[test]

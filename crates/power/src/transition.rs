@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::PowerState;
@@ -17,7 +16,7 @@ use crate::PowerState;
 /// | `Resume`   | `Suspended` | `Resuming`     | `On`        |
 /// | `Shutdown` | `On`        | `ShuttingDown` | `Off`       |
 /// | `Boot`     | `Off`       | `Booting`      | `On`        |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TransitionKind {
     /// Enter the low-latency suspend-to-RAM (S3-class) state.
     Suspend,
@@ -117,7 +116,7 @@ impl fmt::Display for TransitionKind {
 /// let resume = TransitionSpec::new(SimDuration::from_secs(12), 180.0);
 /// assert_eq!(resume.energy_j(), 12.0 * 180.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionSpec {
     latency: SimDuration,
     avg_power_w: f64,
@@ -165,7 +164,7 @@ impl TransitionSpec {
 /// `Suspend`/`Resume` are optional: legacy enterprise servers often lack a
 /// working suspend-to-RAM path, which is exactly the gap the paper's
 /// prototypes close. `Shutdown`/`Boot` are always present.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionTable {
     suspend: Option<TransitionSpec>,
     resume: Option<TransitionSpec>,
@@ -259,9 +258,17 @@ mod tests {
 
     #[test]
     fn table_lookup_and_support() {
-        let full = TransitionTable::with_suspend(spec(7, 120.0), spec(12, 180.0), spec(80, 140.0), spec(180, 220.0));
+        let full = TransitionTable::with_suspend(
+            spec(7, 120.0),
+            spec(12, 180.0),
+            spec(80, 140.0),
+            spec(180, 220.0),
+        );
         assert!(full.supports_suspend());
-        assert_eq!(full.spec(TransitionKind::Resume).unwrap().latency(), SimDuration::from_secs(12));
+        assert_eq!(
+            full.spec(TransitionKind::Resume).unwrap().latency(),
+            SimDuration::from_secs(12)
+        );
 
         let legacy = TransitionTable::without_suspend(spec(80, 140.0), spec(240, 220.0));
         assert!(!legacy.supports_suspend());

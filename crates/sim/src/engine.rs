@@ -10,7 +10,9 @@ use workload::DemandTrace;
 
 use crate::events::{EventKind, EventRecord};
 use crate::metrics::MetricsCollector;
+use crate::trace::{self, SimTelemetry};
 use crate::{FailureModel, Scenario, SimError, SimReport};
+use obs::{NullSink, PhaseId, PhaseProfiler, ProfileSummary, TraceSink};
 use power::TransitionKind;
 use simcore::RngStream;
 use workload::Lifetime;
@@ -60,6 +62,14 @@ pub struct DatacenterSim {
     lifetimes: Vec<Lifetime>,
     placement_retries: u64,
     event_log: Option<Vec<EventRecord>>,
+    sink: Box<dyn TraceSink>,
+    telemetry: SimTelemetry,
+    profiler: PhaseProfiler,
+    ph_observe: PhaseId,
+    ph_plan: PhaseId,
+    ph_execute: PhaseId,
+    ph_dispatch: PhaseId,
+    peak_queue_len: usize,
 }
 
 impl DatacenterSim {
@@ -90,6 +100,12 @@ impl DatacenterSim {
             .as_ref()
             .map(|m| m.config().policy().label().to_string())
             .unwrap_or_else(|| "Unmanaged".to_string());
+
+        let mut profiler = PhaseProfiler::new();
+        let ph_observe = profiler.phase("observe");
+        let ph_plan = profiler.phase("plan");
+        let ph_execute = profiler.phase("execute");
+        let ph_dispatch = profiler.phase("dispatch");
 
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Event::Control);
@@ -129,6 +145,14 @@ impl DatacenterSim {
             lifetimes,
             placement_retries: 0,
             event_log: None,
+            sink: Box::new(NullSink),
+            telemetry: SimTelemetry::new(),
+            profiler,
+            ph_observe,
+            ph_plan,
+            ph_execute,
+            ph_dispatch,
+            peak_queue_len: 0,
         })
     }
 
@@ -140,7 +164,31 @@ impl DatacenterSim {
         }
     }
 
+    /// Streams trace records into `sink` (power transitions, migrations,
+    /// VM lifecycle, manager decisions, and one final `run-summary`).
+    /// Defaults to [`obs::NullSink`], which costs one branch per event.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The trace sink, e.g. to read counts back after a run.
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        self.sink.as_ref()
+    }
+
+    /// Turns on wall-clock phase timing (observe/plan/execute/dispatch).
+    /// The numbers only ever leave through the `run-summary` trace record
+    /// and [`run_profiled`](Self::run_profiled) — never the report, which
+    /// must stay bit-deterministic.
+    pub fn enable_profiling(&mut self) {
+        self.profiler.enable();
+    }
+
     fn log(&mut self, time: SimTime, kind: EventKind) {
+        self.telemetry.count_event(&kind);
+        if self.sink.enabled() {
+            self.sink.emit(&trace::event_json(time, &kind));
+        }
         if let Some(log) = &mut self.event_log {
             log.push(EventRecord { time, kind });
         }
@@ -178,34 +226,73 @@ impl DatacenterSim {
     /// # Errors
     ///
     /// See [`run`](Self::run).
-    pub fn run_detailed(mut self) -> Result<(SimReport, Cluster), SimError> {
+    pub fn run_detailed(self) -> Result<(SimReport, Cluster), SimError> {
+        self.run_inner()
+            .map(|(report, cluster, _)| (report, cluster))
+    }
+
+    /// Runs to the horizon and returns the report plus the wall-clock
+    /// phase profile (enable timing first with
+    /// [`enable_profiling`](Self::enable_profiling)). The profile is
+    /// returned out-of-band because wall time must never enter the
+    /// bit-deterministic [`SimReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_profiled(self) -> Result<(SimReport, ProfileSummary), SimError> {
+        self.run_inner()
+            .map(|(report, _, profile)| (report, profile))
+    }
+
+    fn run_inner(mut self) -> Result<(SimReport, Cluster, ProfileSummary), SimError> {
         let end = SimTime::ZERO + self.horizon;
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
+            self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
             let (now, event) = self.queue.pop().expect("peeked non-empty queue");
             match event {
+                // Control ticks time their own observe/plan/execute
+                // phases; `dispatch` covers the event-loop work proper.
                 Event::Control => self.control_tick(now, end),
                 Event::PowerDone(host) => {
+                    let t0 = self.profiler.start();
                     self.finish_power_transition(host, now)?;
-                    self.collector.record_power(now, self.cluster.total_power_w());
+                    self.collector
+                        .record_power(now, self.cluster.total_power_w());
+                    self.profiler.stop(self.ph_dispatch, t0);
                 }
                 Event::MigrationDone(vm) => {
+                    let t0 = self.profiler.start();
                     self.cluster.complete_migration(vm, now)?;
                     self.log(now, EventKind::MigrationCompleted { vm });
+                    self.profiler.stop(self.ph_dispatch, t0);
                 }
-                Event::VmArrive(vm) => self.vm_arrive(vm, now, end),
-                Event::VmDepart(vm) => self.vm_depart(vm, now)?,
+                Event::VmArrive(vm) => {
+                    let t0 = self.profiler.start();
+                    self.vm_arrive(vm, now, end);
+                    self.profiler.stop(self.ph_dispatch, t0);
+                }
+                Event::VmDepart(vm) => {
+                    let t0 = self.profiler.start();
+                    self.vm_depart(vm, now)?;
+                    self.profiler.stop(self.ph_dispatch, t0);
+                }
             }
         }
         self.cluster.sync(end);
+        self.telemetry.record_residency(&self.cluster);
+        self.telemetry
+            .registry
+            .set(self.telemetry.peak_queue, self.peak_queue_len as f64);
         let stats = self
             .manager
             .as_ref()
             .map(|m| *m.stats())
             .unwrap_or_default();
-        let mut report = self.collector.finalize(
+        let report = self.collector.finalize(
             self.scenario_name,
             self.policy_label,
             self.seed,
@@ -218,10 +305,17 @@ impl DatacenterSim {
             self.cluster.migration_busy_secs(),
             self.cluster.transition_busy_secs(),
             self.cluster.failed_transitions(),
+            self.placement_retries,
+            self.event_log.take().unwrap_or_default(),
+            self.telemetry.registry.snapshot(),
         );
-        report.placement_retries = self.placement_retries;
-        report.events = self.event_log.take().unwrap_or_default();
-        Ok((report, self.cluster))
+        let profile = self.profiler.summary();
+        if self.sink.enabled() {
+            self.sink.emit(&trace::run_summary_json(&report, &profile));
+        }
+        // Trace output is advisory; a failed flush must not fail the run.
+        let _ = self.sink.flush();
+        Ok((report, self.cluster, profile))
     }
 
     /// Completes (or fault-injects) a due power transition.
@@ -329,12 +423,30 @@ impl DatacenterSim {
 
         // 2. Management round.
         if self.manager.is_some() {
+            let t0 = self.profiler.start();
             let obs = self.observe(now, &outcome);
-            let actions = self
-                .manager
-                .as_mut()
-                .expect("checked above")
-                .plan(&obs);
+            self.profiler.stop(self.ph_observe, t0);
+
+            let t0 = self.profiler.start();
+            let actions = self.manager.as_mut().expect("checked above").plan(&obs);
+            self.profiler.stop(self.ph_plan, t0);
+
+            self.telemetry.registry.inc(self.telemetry.rounds);
+            self.telemetry
+                .registry
+                .observe(self.telemetry.actions_per_round, actions.len() as f64);
+            if self.sink.enabled() {
+                if let Some(decision) = self
+                    .manager
+                    .as_ref()
+                    .expect("checked above")
+                    .last_decision()
+                {
+                    self.sink.emit(&decision.to_json());
+                }
+            }
+
+            let t0 = self.profiler.start();
             for action in actions {
                 if let Err(e) = self.execute(action, now) {
                     debug_assert!(
@@ -345,8 +457,14 @@ impl DatacenterSim {
                     self.log(now, EventKind::ActionRejected);
                 }
             }
+            self.profiler.stop(self.ph_execute, t0);
         }
-        self.collector.record_power(now, self.cluster.total_power_w());
+        self.collector
+            .record_power(now, self.cluster.total_power_w());
+        self.telemetry.registry.set(
+            self.telemetry.hosts_on,
+            self.cluster.operational_hosts().len() as f64,
+        );
 
         // 3. Next tick.
         let next = now + self.control_interval;
@@ -360,12 +478,28 @@ impl DatacenterSim {
             ManagementAction::Migrate { vm, to } => {
                 let done = self.cluster.begin_migration(vm, to, now)?;
                 self.queue.schedule(done, Event::MigrationDone(vm));
+                self.telemetry
+                    .registry
+                    .observe(self.telemetry.migration_secs, done.since(now).as_secs_f64());
                 self.log(now, EventKind::MigrationStarted { vm, to });
             }
             ManagementAction::PowerDown { host, mode } => {
-                let done = self.cluster.begin_power_transition(host, mode.down(), now)?;
+                let done = self
+                    .cluster
+                    .begin_power_transition(host, mode.down(), now)?;
                 self.queue.schedule(done, Event::PowerDone(host));
-                self.log(now, EventKind::PowerStarted { host, kind: mode.down() });
+                self.telemetry.registry.inc(self.telemetry.power_downs);
+                self.telemetry.registry.observe(
+                    self.telemetry.transition_secs,
+                    done.since(now).as_secs_f64(),
+                );
+                self.log(
+                    now,
+                    EventKind::PowerStarted {
+                        host,
+                        kind: mode.down(),
+                    },
+                );
             }
             ManagementAction::PowerUp { host } => {
                 let kind = match self.cluster.host(host)?.power_state() {
@@ -381,6 +515,11 @@ impl DatacenterSim {
                 };
                 let done = self.cluster.begin_power_transition(host, kind, now)?;
                 self.queue.schedule(done, Event::PowerDone(host));
+                self.telemetry.registry.inc(self.telemetry.power_ups);
+                self.telemetry.registry.observe(
+                    self.telemetry.transition_secs,
+                    done.since(now).as_secs_f64(),
+                );
                 self.log(now, EventKind::PowerStarted { host, kind });
             }
         }
@@ -478,7 +617,8 @@ mod tests {
     #[test]
     fn unmanaged_run_integrates_energy() {
         let s = Scenario::small_test(1);
-        let sim = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(2)).unwrap();
+        let sim =
+            DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(2)).unwrap();
         let report = sim.run().unwrap();
         assert!(report.energy_j > 0.0);
         assert_eq!(report.policy, "Unmanaged");
@@ -490,11 +630,10 @@ mod tests {
     #[test]
     fn always_on_matches_unmanaged_energy_closely() {
         let s = Scenario::small_test(2);
-        let unmanaged =
-            DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(4))
-                .unwrap()
-                .run()
-                .unwrap();
+        let unmanaged = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(4))
+            .unwrap()
+            .run()
+            .unwrap();
         let managed = DatacenterSim::new(
             &s,
             Some(manager(PowerPolicy::always_on(), &s)),
@@ -563,12 +702,11 @@ mod tests {
         )];
         // Three 4 GB VMs cannot fit in 8 GB.
         let vms = vec![VmSpec::new(Resources::new(1.0, 4.0)); 3];
-        let traces =
-            vec![DemandTrace::from_samples(SimDuration::from_mins(5), vec![0.1]); 3];
+        let traces = vec![DemandTrace::from_samples(SimDuration::from_mins(5), vec![0.1]); 3];
         let fleet = Fleet::from_parts(vms, traces);
         let s = Scenario::new("tiny", hosts, fleet, SimDuration::from_mins(5), 1);
-        let err = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(1))
-            .unwrap_err();
+        let err =
+            DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(1)).unwrap_err();
         assert!(matches!(err, SimError::InitialPlacement { .. }));
     }
 

@@ -18,6 +18,13 @@ pub enum SimError {
     /// An unrecoverable cluster error inside the event loop (indicates a
     /// bug — recoverable action failures are counted, not raised).
     Cluster(ClusterError),
+    /// The trace output file could not be created.
+    TraceIo {
+        /// Where the sink was supposed to write.
+        path: String,
+        /// The OS error text (the `io::Error` itself is not `Clone`).
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +34,9 @@ impl fmt::Display for SimError {
                 write!(f, "initial placement failed: {vm} fits on no host")
             }
             SimError::Cluster(e) => write!(f, "cluster error during simulation: {e}"),
+            SimError::TraceIo { path, message } => {
+                write!(f, "cannot open trace output {path}: {message}")
+            }
         }
     }
 }

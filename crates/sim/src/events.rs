@@ -6,13 +6,13 @@
 //! generates thousands of entries).
 
 use cluster::{HostId, VmId};
+use obs::{Json, JsonError};
 use power::{PowerState, TransitionKind};
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::fmt;
 
 /// One timestamped entry in the audit log.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EventRecord {
     /// When the event happened.
     pub time: SimTime,
@@ -21,7 +21,7 @@ pub struct EventRecord {
 }
 
 /// The event vocabulary of the audit log.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum EventKind {
     /// A live migration started.
@@ -80,11 +80,184 @@ pub enum EventKind {
     },
 }
 
+fn parse_state(s: &str) -> Result<PowerState, JsonError> {
+    PowerState::ALL
+        .into_iter()
+        .find(|st| st.to_string() == s)
+        .ok_or_else(|| JsonError {
+            message: format!("unknown power state {s:?}"),
+            offset: 0,
+        })
+}
+
+fn parse_kind(s: &str) -> Result<TransitionKind, JsonError> {
+    [
+        TransitionKind::Suspend,
+        TransitionKind::Resume,
+        TransitionKind::Shutdown,
+        TransitionKind::Boot,
+    ]
+    .into_iter()
+    .find(|k| k.to_string() == s)
+    .ok_or_else(|| JsonError {
+        message: format!("unknown transition kind {s:?}"),
+        offset: 0,
+    })
+}
+
+fn field_err(what: &str) -> JsonError {
+    JsonError {
+        message: format!("event record missing or malformed field {what:?}"),
+        offset: 0,
+    }
+}
+
+impl EventRecord {
+    /// Renders the event as a flat JSON object — the same schema the
+    /// engine streams to trace sinks (`record` discriminator +
+    /// `t_seconds` + event-specific fields).
+    pub fn to_json(&self) -> Json {
+        let t = ("t_seconds", Json::Num(self.time.as_secs_f64()));
+        match self.kind {
+            EventKind::MigrationStarted { vm, to } => Json::obj([
+                ("record", Json::Str("migration".into())),
+                t,
+                ("phase", Json::Str("started".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+                ("to_host", Json::Int(to.index() as i64)),
+            ]),
+            EventKind::MigrationCompleted { vm } => Json::obj([
+                ("record", Json::Str("migration".into())),
+                t,
+                ("phase", Json::Str("completed".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+            ]),
+            EventKind::PowerStarted { host, kind } => Json::obj([
+                ("record", Json::Str("power-transition".into())),
+                t,
+                ("phase", Json::Str("started".into())),
+                ("host", Json::Int(host.index() as i64)),
+                ("kind", Json::Str(kind.to_string())),
+            ]),
+            EventKind::PowerCompleted { host, state } => Json::obj([
+                ("record", Json::Str("power-transition".into())),
+                t,
+                ("phase", Json::Str("completed".into())),
+                ("host", Json::Int(host.index() as i64)),
+                ("state", Json::Str(state.to_string())),
+            ]),
+            EventKind::PowerFailed { host, state } => Json::obj([
+                ("record", Json::Str("power-transition".into())),
+                t,
+                ("phase", Json::Str("failed".into())),
+                ("host", Json::Int(host.index() as i64)),
+                ("state", Json::Str(state.to_string())),
+            ]),
+            EventKind::ActionRejected => {
+                Json::obj([("record", Json::Str("action-rejected".into())), t])
+            }
+            EventKind::VmArrived { vm, host } => Json::obj([
+                ("record", Json::Str("vm-lifecycle".into())),
+                t,
+                ("phase", Json::Str("arrived".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+                ("host", Json::Int(host.index() as i64)),
+            ]),
+            EventKind::VmArrivalDeferred { vm } => Json::obj([
+                ("record", Json::Str("vm-lifecycle".into())),
+                t,
+                ("phase", Json::Str("deferred".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+            ]),
+            EventKind::VmDeparted { vm } => Json::obj([
+                ("record", Json::Str("vm-lifecycle".into())),
+                t,
+                ("phase", Json::Str("departed".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+            ]),
+        }
+    }
+
+    /// Parses a record produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the discriminator, phase, or any
+    /// required field is missing or of the wrong type.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let str_field = |k: &str| -> Result<&str, JsonError> {
+            json.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_err(k))
+        };
+        let vm = |k: &str| -> Result<VmId, JsonError> {
+            Ok(VmId(
+                json.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| field_err(k))? as u32,
+            ))
+        };
+        let host = |k: &str| -> Result<HostId, JsonError> {
+            Ok(HostId(
+                json.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| field_err(k))? as u32,
+            ))
+        };
+        let time = SimTime::from_millis(
+            (json
+                .get("t_seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err("t_seconds"))?
+                * 1000.0)
+                .round() as u64,
+        );
+        let kind = match (
+            str_field("record")?,
+            json.get("phase").and_then(Json::as_str),
+        ) {
+            ("migration", Some("started")) => EventKind::MigrationStarted {
+                vm: vm("vm")?,
+                to: host("to_host")?,
+            },
+            ("migration", Some("completed")) => EventKind::MigrationCompleted { vm: vm("vm")? },
+            ("power-transition", Some("started")) => EventKind::PowerStarted {
+                host: host("host")?,
+                kind: parse_kind(str_field("kind")?)?,
+            },
+            ("power-transition", Some("completed")) => EventKind::PowerCompleted {
+                host: host("host")?,
+                state: parse_state(str_field("state")?)?,
+            },
+            ("power-transition", Some("failed")) => EventKind::PowerFailed {
+                host: host("host")?,
+                state: parse_state(str_field("state")?)?,
+            },
+            ("action-rejected", _) => EventKind::ActionRejected,
+            ("vm-lifecycle", Some("arrived")) => EventKind::VmArrived {
+                vm: vm("vm")?,
+                host: host("host")?,
+            },
+            ("vm-lifecycle", Some("deferred")) => EventKind::VmArrivalDeferred { vm: vm("vm")? },
+            ("vm-lifecycle", Some("departed")) => EventKind::VmDeparted { vm: vm("vm")? },
+            (record, phase) => {
+                return Err(JsonError {
+                    message: format!("unknown event record {record:?} phase {phase:?}"),
+                    offset: 0,
+                })
+            }
+        };
+        Ok(EventRecord { time, kind })
+    }
+}
+
 impl fmt::Display for EventRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] ", self.time)?;
         match self.kind {
-            EventKind::MigrationStarted { vm, to } => write!(f, "migration of {vm} to {to} started"),
+            EventKind::MigrationStarted { vm, to } => {
+                write!(f, "migration of {vm} to {to} started")
+            }
             EventKind::MigrationCompleted { vm } => write!(f, "migration of {vm} completed"),
             EventKind::PowerStarted { host, kind } => write!(f, "{host} began {kind}"),
             EventKind::PowerCompleted { host, state } => write!(f, "{host} is now {state}"),
@@ -105,10 +278,7 @@ pub fn events_csv(events: &[EventRecord]) -> String {
     for e in events {
         // The display text contains no commas; quote-free CSV is safe.
         let text = e.to_string();
-        let text = text
-            .split_once("] ")
-            .map(|(_, rest)| rest)
-            .unwrap_or(&text);
+        let text = text.split_once("] ").map(|(_, rest)| rest).unwrap_or(&text);
         out.push_str(&format!("{},{}\n", e.time.as_secs_f64(), text));
     }
     out
@@ -128,6 +298,55 @@ mod tests {
             },
         };
         assert_eq!(e.to_string(), "[1m30s] host3 began resume");
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        let kinds = [
+            EventKind::MigrationStarted {
+                vm: VmId(4),
+                to: HostId(2),
+            },
+            EventKind::MigrationCompleted { vm: VmId(4) },
+            EventKind::PowerStarted {
+                host: HostId(3),
+                kind: TransitionKind::Resume,
+            },
+            EventKind::PowerCompleted {
+                host: HostId(3),
+                state: PowerState::On,
+            },
+            EventKind::PowerFailed {
+                host: HostId(3),
+                state: PowerState::Suspended,
+            },
+            EventKind::ActionRejected,
+            EventKind::VmArrived {
+                vm: VmId(1),
+                host: HostId(0),
+            },
+            EventKind::VmArrivalDeferred { vm: VmId(1) },
+            EventKind::VmDeparted { vm: VmId(1) },
+        ];
+        for kind in kinds {
+            let e = EventRecord {
+                time: SimTime::from_millis(90_500),
+                kind,
+            };
+            let json = e.to_json();
+            // Through the writer and parser too, not just the value model.
+            let reparsed = Json::parse(&json.to_string_compact()).unwrap();
+            assert_eq!(EventRecord::from_json(&reparsed).unwrap(), e, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_record() {
+        let j = Json::obj([
+            ("record", Json::Str("nonsense".into())),
+            ("t_seconds", Json::Num(1.0)),
+        ]);
+        assert!(EventRecord::from_json(&j).is_err());
     }
 
     #[test]

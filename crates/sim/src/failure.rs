@@ -6,8 +6,6 @@
 //! manager's recovery path (failed resume → host lands `Off` → cold boot)
 //! can be exercised and its cost quantified (experiment T13).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-transition failure probabilities.
 ///
 /// A failed resume loses the memory image and strands the host `Off`; a
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let flaky = FailureModel::new(0.05, 0.01);
 /// assert_eq!(flaky.resume_failure_prob(), 0.05);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureModel {
     resume_failure_prob: f64,
     boot_failure_prob: f64,

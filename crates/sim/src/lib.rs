@@ -46,10 +46,11 @@ pub mod report;
 mod runner;
 mod scenario;
 pub mod sweeps;
+mod trace;
 
 pub use engine::DatacenterSim;
-pub use events::{EventKind, EventRecord};
 pub use error::SimError;
+pub use events::{EventKind, EventRecord};
 pub use failure::FailureModel;
 pub use metrics::SimReport;
 pub use replication::{replicate, MetricStats, ReplicationSummary};

@@ -2,9 +2,9 @@
 
 use agile_core::RoundStats;
 use cluster::{Cluster, DemandOutcome};
+use obs::{Json, JsonError, MetricsSnapshot};
 
 use crate::events::EventRecord;
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime, TimeSeries, Welford};
 
 /// Demand below this many cores counts as zero when deciding whether a
@@ -135,6 +135,9 @@ impl MetricsCollector {
         migration_busy_secs: f64,
         transition_busy_secs: f64,
         transition_failures: u64,
+        placement_retries: u64,
+        events: Vec<EventRecord>,
+        metrics: MetricsSnapshot,
     ) -> SimReport {
         let hours = horizon.as_hours_f64();
         let host_secs = num_hosts as f64 * horizon.as_secs_f64();
@@ -192,8 +195,9 @@ impl MetricsCollector {
                 0.0
             },
             transition_failures,
-            placement_retries: 0,
-            events: Vec::new(),
+            placement_retries,
+            events,
+            metrics,
             avg_latency_factor: if self.latency_weight > 0.0 {
                 self.latency_weighted_sum / self.latency_weight
             } else {
@@ -209,7 +213,7 @@ impl MetricsCollector {
 
 /// The distilled result of one simulation run — every quantity the paper's
 /// tables and figures report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Scenario name.
     pub scenario: String,
@@ -269,6 +273,11 @@ pub struct SimReport {
     pub placement_retries: u64,
     /// The audit log (empty unless event recording was enabled).
     pub events: Vec<EventRecord>,
+    /// Deterministic snapshot of the engine's metrics registry
+    /// (counters, gauges, and histograms — names in `DESIGN.md`). Empty
+    /// for reports produced by analytic paths that never tick the
+    /// engine.
+    pub metrics: MetricsSnapshot,
     /// Demand-weighted mean response-time stretch (`1/(1-rho)`, M/M/1
     /// style) — the queueing cost of running hosts hotter.
     pub avg_latency_factor: f64,
@@ -306,6 +315,197 @@ impl SimReport {
     pub fn served_fraction(&self) -> f64 {
         1.0 - self.unserved_ratio
     }
+
+    /// Renders the full report as a JSON object (scalar fields by name,
+    /// series as `[millis, value]` pair arrays, events in the trace
+    /// schema, metrics via [`MetricsSnapshot::to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("policy", Json::Str(self.policy.clone())),
+            ("seed", Json::Int(self.seed as i64)),
+            ("horizon_millis", Json::Int(self.horizon.as_millis() as i64)),
+            ("num_hosts", Json::Int(self.num_hosts as i64)),
+            ("num_vms", Json::Int(self.num_vms as i64)),
+            ("energy_j", Json::Num(self.energy_j)),
+            ("peak_power_w", Json::Num(self.peak_power_w)),
+            ("violation_fraction", Json::Num(self.violation_fraction)),
+            ("unserved_ratio", Json::Num(self.unserved_ratio)),
+            (
+                "unserved_interactive_ratio",
+                Json::Num(self.unserved_interactive_ratio),
+            ),
+            ("unserved_batch_ratio", Json::Num(self.unserved_batch_ratio)),
+            ("migrations", Json::Int(self.migrations as i64)),
+            (
+                "overload_migrations",
+                Json::Int(self.overload_migrations as i64),
+            ),
+            (
+                "consolidation_migrations",
+                Json::Int(self.consolidation_migrations as i64),
+            ),
+            (
+                "rebalance_migrations",
+                Json::Int(self.rebalance_migrations as i64),
+            ),
+            ("power_ups", Json::Int(self.power_ups as i64)),
+            ("power_downs", Json::Int(self.power_downs as i64)),
+            ("migrations_per_hour", Json::Num(self.migrations_per_hour)),
+            (
+                "power_actions_per_hour",
+                Json::Num(self.power_actions_per_hour),
+            ),
+            ("avg_hosts_on", Json::Num(self.avg_hosts_on)),
+            ("avg_util_on", Json::Num(self.avg_util_on)),
+            ("action_failures", Json::Int(self.action_failures as i64)),
+            (
+                "migration_overhead_frac",
+                Json::Num(self.migration_overhead_frac),
+            ),
+            (
+                "transition_overhead_frac",
+                Json::Num(self.transition_overhead_frac),
+            ),
+            (
+                "transition_failures",
+                Json::Int(self.transition_failures as i64),
+            ),
+            (
+                "placement_retries",
+                Json::Int(self.placement_retries as i64),
+            ),
+            (
+                "events",
+                Json::Array(self.events.iter().map(EventRecord::to_json).collect()),
+            ),
+            ("metrics", self.metrics.to_json()),
+            ("avg_latency_factor", Json::Num(self.avg_latency_factor)),
+            ("peak_latency_factor", Json::Num(self.peak_latency_factor)),
+            ("power_series", series_to_json(&self.power_series)),
+            ("hosts_on_series", series_to_json(&self.hosts_on_series)),
+            ("unserved_series", series_to_json(&self.unserved_series)),
+        ])
+    }
+
+    /// Parses a report produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the first missing or mistyped
+    /// field.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let str_f = |k: &str| -> Result<String, JsonError> {
+            Ok(json
+                .get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| report_field_err(k))?
+                .to_string())
+        };
+        let u64_f = |k: &str| -> Result<u64, JsonError> {
+            json.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| report_field_err(k))
+        };
+        let f64_f = |k: &str| -> Result<f64, JsonError> {
+            json.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| report_field_err(k))
+        };
+        let series_f = |k: &str| -> Result<TimeSeries, JsonError> {
+            series_from_json(json.get(k).ok_or_else(|| report_field_err(k))?)
+        };
+        let events = json
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| report_field_err("events"))?
+            .iter()
+            .map(EventRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = MetricsSnapshot::from_json(
+            json.get("metrics")
+                .ok_or_else(|| report_field_err("metrics"))?,
+        )?;
+        Ok(SimReport {
+            scenario: str_f("scenario")?,
+            policy: str_f("policy")?,
+            seed: u64_f("seed")?,
+            horizon: SimDuration::from_millis(u64_f("horizon_millis")?),
+            num_hosts: u64_f("num_hosts")? as usize,
+            num_vms: u64_f("num_vms")? as usize,
+            energy_j: f64_f("energy_j")?,
+            peak_power_w: f64_f("peak_power_w")?,
+            violation_fraction: f64_f("violation_fraction")?,
+            unserved_ratio: f64_f("unserved_ratio")?,
+            unserved_interactive_ratio: f64_f("unserved_interactive_ratio")?,
+            unserved_batch_ratio: f64_f("unserved_batch_ratio")?,
+            migrations: u64_f("migrations")?,
+            overload_migrations: u64_f("overload_migrations")?,
+            consolidation_migrations: u64_f("consolidation_migrations")?,
+            rebalance_migrations: u64_f("rebalance_migrations")?,
+            power_ups: u64_f("power_ups")?,
+            power_downs: u64_f("power_downs")?,
+            migrations_per_hour: f64_f("migrations_per_hour")?,
+            power_actions_per_hour: f64_f("power_actions_per_hour")?,
+            avg_hosts_on: f64_f("avg_hosts_on")?,
+            avg_util_on: f64_f("avg_util_on")?,
+            action_failures: u64_f("action_failures")?,
+            migration_overhead_frac: f64_f("migration_overhead_frac")?,
+            transition_overhead_frac: f64_f("transition_overhead_frac")?,
+            transition_failures: u64_f("transition_failures")?,
+            placement_retries: u64_f("placement_retries")?,
+            events,
+            metrics,
+            avg_latency_factor: f64_f("avg_latency_factor")?,
+            peak_latency_factor: f64_f("peak_latency_factor")?,
+            power_series: series_f("power_series")?,
+            hosts_on_series: series_f("hosts_on_series")?,
+            unserved_series: series_f("unserved_series")?,
+        })
+    }
+}
+
+fn report_field_err(field: &str) -> JsonError {
+    JsonError {
+        message: format!("report missing or malformed field {field:?}"),
+        offset: 0,
+    }
+}
+
+/// `[[millis, value], ...]` — exact, since sample times are integral
+/// milliseconds and values round-trip through the shortest-float writer.
+fn series_to_json(series: &TimeSeries) -> Json {
+    Json::Array(
+        series
+            .points()
+            .iter()
+            .map(|p| {
+                Json::Array(vec![
+                    Json::Int(p.time.as_millis() as i64),
+                    Json::Num(p.value),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn series_from_json(json: &Json) -> Result<TimeSeries, JsonError> {
+    let pairs = json.as_array().ok_or_else(|| report_field_err("series"))?;
+    let mut series = TimeSeries::new();
+    for pair in pairs {
+        let pair = pair
+            .as_array()
+            .ok_or_else(|| report_field_err("series point"))?;
+        let (millis, value) = match pair {
+            [t, v] => (
+                t.as_u64().ok_or_else(|| report_field_err("series time"))?,
+                v.as_f64().ok_or_else(|| report_field_err("series value"))?,
+            ),
+            _ => return Err(report_field_err("series point")),
+        };
+        series.record(SimTime::from_millis(millis), value);
+    }
+    Ok(series)
 }
 
 #[cfg(test)]
@@ -356,9 +556,12 @@ mod tests {
                 power_downs_requested: 2,
                 ..RoundStats::default()
             },
-            36.0,   // migration busy seconds
-            72.0,   // transition busy seconds
-            3,      // injected transition failures
+            36.0, // migration busy seconds
+            72.0, // transition busy seconds
+            3,    // injected transition failures
+            0,
+            Vec::new(),
+            MetricsSnapshot::new(),
         )
     }
 

@@ -5,13 +5,12 @@
 //! each headline metric to summary statistics, so the recorded tables can
 //! state how stable a number is.
 
-use serde::{Deserialize, Serialize};
 use simcore::Welford;
 
 use crate::{SimError, SimReport};
 
 /// Summary statistics of one metric across replications.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricStats {
     /// Sample mean.
     pub mean: f64,
@@ -44,7 +43,7 @@ impl MetricStats {
 }
 
 /// Replicated headline metrics of one experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplicationSummary {
     /// Policy label of the replicated runs.
     pub policy: String,

@@ -1,7 +1,10 @@
 //! The experiment runner: scenario × policy × horizon → report.
 
+use std::path::PathBuf;
+
 use agile_core::{ManagerConfig, PowerPolicy, RoundStats, VirtManager};
 use cluster::Cluster;
+use obs::{JsonlSink, MetricsSnapshot};
 use simcore::{SimDuration, SimTime};
 
 use crate::metrics::MetricsCollector;
@@ -44,6 +47,7 @@ pub struct Experiment {
     control_interval: Option<SimDuration>,
     failures: FailureModel,
     record_events: bool,
+    trace_path: Option<PathBuf>,
 }
 
 /// Where the manager configuration comes from: a bare policy gets
@@ -65,6 +69,7 @@ impl Experiment {
             control_interval: None,
             failures: FailureModel::none(),
             record_events: false,
+            trace_path: None,
         }
     }
 
@@ -108,6 +113,15 @@ impl Experiment {
     /// management actions.
     pub fn record_events(mut self) -> Self {
         self.record_events = true;
+        self
+    }
+
+    /// Streams trace records (JSON Lines, constant memory) to `path`.
+    /// Ignored by the analytic (`Oracle`/DVFS) paths, which have no
+    /// event loop. The path is stored, not opened — the sink is created
+    /// when the run starts, so `Experiment` stays `Clone`.
+    pub fn trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
         self
     }
 
@@ -160,6 +174,29 @@ impl Experiment {
         self.build_sim()?.run_detailed()
     }
 
+    /// Runs the experiment with wall-clock phase profiling enabled and
+    /// returns the profile alongside the report. The profile is returned
+    /// out-of-band because wall time must never enter the
+    /// bit-deterministic [`SimReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] as for [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Oracle` policy, which has no event loop to
+    /// profile.
+    pub fn run_profiled(&self) -> Result<(SimReport, obs::ProfileSummary), SimError> {
+        assert!(
+            !matches!(self.resolve_config().policy(), PowerPolicy::Oracle),
+            "Oracle policy has no event loop; use run()"
+        );
+        let mut sim = self.build_sim()?;
+        sim.enable_profiling();
+        sim.run_profiled()
+    }
+
     fn build_sim(&self) -> Result<DatacenterSim, SimError> {
         let interval = self
             .control_interval
@@ -173,6 +210,13 @@ impl Experiment {
         sim.set_failure_model(self.failures);
         if self.record_events {
             sim.enable_event_log();
+        }
+        if let Some(path) = &self.trace_path {
+            let sink = JsonlSink::create(path).map_err(|e| SimError::TraceIo {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            sim.set_trace_sink(Box::new(sink));
         }
         Ok(sim)
     }
@@ -215,7 +259,9 @@ impl Experiment {
                 .sum();
             hosts_on.record(t, num_hosts as f64);
             collector.record_power(t, power);
-            let dt = interval.as_secs_f64().min(end.since(t).as_secs_f64().max(0.0));
+            let dt = interval
+                .as_secs_f64()
+                .min(end.since(t).as_secs_f64().max(0.0));
             if t < end {
                 energy_j += power * dt;
             }
@@ -235,6 +281,9 @@ impl Experiment {
             0.0,
             0.0,
             0,
+            0,
+            Vec::new(),
+            MetricsSnapshot::new(),
         );
         report.avg_hosts_on = num_hosts as f64;
         report.avg_util_on = util_acc.mean();
@@ -293,7 +342,11 @@ impl Experiment {
                     }
                 }
             }
-            let util = if n > 0 { (demand / cap_sum).min(1.0) } else { 0.0 };
+            let util = if n > 0 {
+                (demand / cap_sum).min(1.0)
+            } else {
+                0.0
+            };
             util_acc.push(util);
             collector.record_latency_sample(util, demand);
             let power: f64 = order[..n]
@@ -303,7 +356,9 @@ impl Experiment {
             hosts_on.record(t, n as f64);
             collector.record_power(t, power);
             // The last partial interval is clipped to the horizon.
-            let dt = interval.as_secs_f64().min(end.since(t).as_secs_f64().max(0.0));
+            let dt = interval
+                .as_secs_f64()
+                .min(end.since(t).as_secs_f64().max(0.0));
             if t < end {
                 energy_j += power * dt;
             }
@@ -323,6 +378,9 @@ impl Experiment {
             0.0,
             0.0,
             0,
+            0,
+            Vec::new(),
+            MetricsSnapshot::new(),
         );
         // Oracle serves everything by construction.
         report.avg_hosts_on = hosts_on.time_weighted_mean(end).unwrap_or(0.0);

@@ -109,13 +109,8 @@ impl Scenario {
             horizon,
             seed,
         );
-        let plan = LifetimePlan::with_churn(
-            vms,
-            churn_frac,
-            SimDuration::from_hours(4),
-            horizon,
-            seed,
-        );
+        let plan =
+            LifetimePlan::with_churn(vms, churn_frac, SimDuration::from_hours(4), horizon, seed);
         scenario.fleet = scenario.fleet.with_lifetime_plan(plan);
         scenario
     }

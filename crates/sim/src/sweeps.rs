@@ -31,9 +31,8 @@ pub fn wake_latency_sweep(
 ) -> Result<Vec<(SimDuration, SimReport)>, SimError> {
     let horizon = SimDuration::from_hours(3);
     let step = SimDuration::from_mins(1);
-    let fleet = presets::flash_crowd(0.12, 0.85, SimDuration::from_mins(90)).generate(
-        vms, horizon, step, seed,
-    );
+    let fleet = presets::flash_crowd(0.12, 0.85, SimDuration::from_mins(90))
+        .generate(vms, horizon, step, seed);
     let mut out = Vec::with_capacity(latencies.len());
     for &latency in latencies {
         let profile = HostPowerProfile::prototype_rack().with_resume_latency(latency);
@@ -241,7 +240,10 @@ pub fn curve_shape_sweep(
     let profiles = [
         ("sub-linear", HostPowerProfile::prototype_rack_sublinear()),
         ("linear", HostPowerProfile::prototype_rack()),
-        ("super-linear", HostPowerProfile::prototype_rack_superlinear()),
+        (
+            "super-linear",
+            HostPowerProfile::prototype_rack_superlinear(),
+        ),
     ];
     let mut out = Vec::with_capacity(profiles.len());
     for (name, profile) in profiles {
@@ -374,7 +376,10 @@ pub fn psu_sweep(
     };
     let variants: Vec<(&str, power::HostPowerProfile)> = vec![
         ("dc (no psu)", dc_profile()),
-        ("80+ gold", dc_profile().with_psu(PsuModel::eighty_plus_gold(400.0))),
+        (
+            "80+ gold",
+            dc_profile().with_psu(PsuModel::eighty_plus_gold(400.0)),
+        ),
         ("legacy psu", dc_profile().with_psu(PsuModel::legacy(400.0))),
     ];
     let mut out = Vec::with_capacity(variants.len());

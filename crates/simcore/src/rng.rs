@@ -81,7 +81,10 @@ impl RngStream {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -134,7 +137,10 @@ impl RngStream {
     ///
     /// Panics if `std_dev` is negative.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+        assert!(
+            std_dev >= 0.0,
+            "std_dev must be non-negative, got {std_dev}"
+        );
         mean + std_dev * self.standard_normal()
     }
 

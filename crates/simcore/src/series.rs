@@ -1,11 +1,9 @@
 //! Step-function time series used for power traces and utilization records.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{SimDuration, SimTime};
 
 /// One sample of a time series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
     /// Instant the value took effect.
     pub time: SimTime,
@@ -32,7 +30,7 @@ pub struct SeriesPoint {
 /// assert_eq!(power.integral_until(SimTime::from_secs(20)), 3000.0);
 /// assert_eq!(power.time_weighted_mean(SimTime::from_secs(20)), Some(150.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<SeriesPoint>,
 }
@@ -128,16 +126,18 @@ impl TimeSeries {
 
     /// Maximum sample value, or `None` if empty.
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Minimum sample value, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Resamples the series onto a regular grid of `step`-spaced instants

@@ -1,7 +1,5 @@
 //! Summary statistics: online moments, percentiles, and histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford's online algorithm for mean and variance.
 ///
 /// Numerically stable single-pass moments; used for per-tick metrics where
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(w.mean(), 5.0);
 /// assert_eq!(w.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -105,7 +103,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -161,7 +160,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
 /// assert_eq!(h.bucket_counts()[0], 1);
 /// assert_eq!(h.bucket_counts()[9], 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulation clock, in milliseconds since simulation
 /// start.
 ///
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_millis(), 90_000);
 /// assert_eq!(format!("{t}"), "1m30s");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in milliseconds.
@@ -38,7 +36,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_mins(2) + SimDuration::from_secs(30);
 /// assert_eq!(d.as_secs_f64(), 150.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -258,14 +256,20 @@ mod tests {
     fn time_arithmetic_round_trips() {
         let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
         assert_eq!(t.as_millis(), 10_500);
-        assert_eq!(t.since(SimTime::from_secs(10)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(10)),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_hours(2), SimDuration::from_mins(120));
         assert_eq!(SimDuration::from_mins(3), SimDuration::from_secs(180));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]

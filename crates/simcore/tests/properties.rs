@@ -1,22 +1,30 @@
-//! Property-based tests for the simulation substrate.
+//! Randomized tests for the simulation substrate.
+//!
+//! Cases are drawn from [`RngStream`] with fixed seeds, so runs are
+//! reproducible without an external property-testing framework.
 
-use proptest::prelude::*;
 use simcore::{percentile, EventQueue, RngStream, SimDuration, SimTime, TimeSeries, Welford};
 
-/// Strategy: a small, time-ordered list of (time-gap, value) samples.
-fn samples() -> impl Strategy<Value = Vec<(u64, f64)>> {
-    proptest::collection::vec((1u64..10_000, -1.0e6f64..1.0e6), 1..40)
+/// A small, time-ordered list of (time-gap, value) samples.
+fn samples(rng: &mut RngStream) -> Vec<(u64, f64)> {
+    let n = 1 + rng.below(39) as usize;
+    (0..n)
+        .map(|_| (1 + rng.below(9_999), rng.uniform(-1.0e6, 1.0e6)))
+        .collect()
 }
 
-proptest! {
-    /// The step-function integral equals the hand-computed sum of
-    /// value × holding-time.
-    #[test]
-    fn integral_matches_manual_sum(samples in samples(), tail_ms in 0u64..100_000) {
+/// The step-function integral equals the hand-computed sum of
+/// value × holding-time.
+#[test]
+fn integral_matches_manual_sum() {
+    let mut rng = RngStream::new(1);
+    for _ in 0..100 {
+        let sams = samples(&mut rng);
+        let tail_ms = rng.below(100_000);
         let mut ts = TimeSeries::new();
         let mut t = 0u64;
         let mut points = Vec::new();
-        for (gap, v) in samples {
+        for (gap, v) in sams {
             ts.record(SimTime::from_millis(t), v);
             points.push((t, v));
             t += gap;
@@ -29,16 +37,24 @@ proptest! {
         }
         let got = ts.integral_until(SimTime::from_millis(end));
         let scale = manual.abs().max(1.0);
-        prop_assert!((got - manual).abs() / scale < 1e-9, "got {got}, manual {manual}");
+        assert!(
+            (got - manual).abs() / scale < 1e-9,
+            "got {got}, manual {manual}"
+        );
     }
+}
 
-    /// value_at always returns the most recent sample at or before t.
-    #[test]
-    fn value_at_is_last_sample(samples in samples(), query_ms in 0u64..500_000) {
+/// value_at always returns the most recent sample at or before t.
+#[test]
+fn value_at_is_last_sample() {
+    let mut rng = RngStream::new(2);
+    for _ in 0..100 {
+        let sams = samples(&mut rng);
+        let query_ms = rng.below(500_000);
         let mut ts = TimeSeries::new();
         let mut t = 0u64;
         let mut points = Vec::new();
-        for (gap, v) in samples {
+        for (gap, v) in sams {
             ts.record(SimTime::from_millis(t), v);
             points.push((t, v));
             t += gap;
@@ -48,12 +64,17 @@ proptest! {
             .rev()
             .find(|&&(s, _)| s <= query_ms)
             .map(|&(_, v)| v);
-        prop_assert_eq!(ts.value_at(SimTime::from_millis(query_ms)), expected);
+        assert_eq!(ts.value_at(SimTime::from_millis(query_ms)), expected);
     }
+}
 
-    /// Summing series pointwise equals the sum of individual integrals.
-    #[test]
-    fn sum_preserves_integral(a in samples(), b in samples()) {
+/// Summing series pointwise equals the sum of individual integrals.
+#[test]
+fn sum_preserves_integral() {
+    let mut rng = RngStream::new(3);
+    for _ in 0..100 {
+        let a = samples(&mut rng);
+        let b = samples(&mut rng);
         let build = |sams: &[(u64, f64)]| {
             let mut ts = TimeSeries::new();
             let mut t = 0u64;
@@ -70,43 +91,62 @@ proptest! {
         let lhs = total.integral_until(end);
         let rhs = ts_a.integral_until(end) + ts_b.integral_until(end);
         let scale = rhs.abs().max(1.0);
-        prop_assert!((lhs - rhs).abs() / scale < 1e-9, "{lhs} vs {rhs}");
+        assert!((lhs - rhs).abs() / scale < 1e-9, "{lhs} vs {rhs}");
     }
+}
 
-    /// Welford merge is associative with sequential accumulation.
-    #[test]
-    fn welford_merge_matches_sequential(xs in proptest::collection::vec(-1.0e3f64..1.0e3, 1..100), split in 0usize..100) {
-        let split = split % xs.len();
+/// Welford merge is associative with sequential accumulation.
+#[test]
+fn welford_merge_matches_sequential() {
+    let mut rng = RngStream::new(4);
+    for _ in 0..100 {
+        let n = 1 + rng.below(99) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0e3, 1.0e3)).collect();
+        let split = rng.below(100) as usize % xs.len();
         let mut left = Welford::new();
         let mut right = Welford::new();
         let mut whole = Welford::new();
         for (i, &x) in xs.iter().enumerate() {
-            if i < split { left.push(x) } else { right.push(x) }
+            if i < split {
+                left.push(x)
+            } else {
+                right.push(x)
+            }
             whole.push(x);
         }
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
     }
+}
 
-    /// Percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentile_monotone_and_bounded(xs in proptest::collection::vec(-1.0e3f64..1.0e3, 1..60)) {
+/// Percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentile_monotone_and_bounded() {
+    let mut rng = RngStream::new(5);
+    for _ in 0..100 {
+        let n = 1 + rng.below(59) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0e3, 1.0e3)).collect();
         let p0 = percentile(&xs, 0.0).unwrap();
         let p50 = percentile(&xs, 50.0).unwrap();
         let p100 = percentile(&xs, 100.0).unwrap();
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p0 <= p50 && p50 <= p100);
-        prop_assert!((p0 - min).abs() < 1e-12);
-        prop_assert!((p100 - max).abs() < 1e-12);
+        assert!(p0 <= p50 && p50 <= p100);
+        assert!((p0 - min).abs() < 1e-12);
+        assert!((p100 - max).abs() < 1e-12);
     }
+}
 
-    /// The event queue is a stable priority queue: output is sorted by
-    /// time, and equal times preserve insertion order.
-    #[test]
-    fn event_queue_stable_sort(times in proptest::collection::vec(0u64..50, 1..80)) {
+/// The event queue is a stable priority queue: output is sorted by
+/// time, and equal times preserve insertion order.
+#[test]
+fn event_queue_stable_sort() {
+    let mut rng = RngStream::new(6);
+    for _ in 0..100 {
+        let n = 1 + rng.below(79) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(50)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), i);
@@ -114,32 +154,43 @@ proptest! {
         let mut prev: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((pt, pi)) = prev {
-                prop_assert!(pt <= t);
+                assert!(pt <= t);
                 if pt == t {
-                    prop_assert!(pi < i, "FIFO violated at {t}");
+                    assert!(pi < i, "FIFO violated at {t}");
                 }
             }
             prev = Some((t, i));
         }
     }
+}
 
-    /// Uniform draws respect their bounds; `below` respects n.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, width in 0.0f64..100.0, n in 1u64..1000) {
+/// Uniform draws respect their bounds; `below` respects n.
+#[test]
+fn rng_bounds() {
+    let mut gen = RngStream::new(7);
+    for _ in 0..100 {
+        let seed = gen.below(u64::MAX);
+        let lo = gen.uniform(-100.0, 100.0);
+        let width = gen.uniform(0.0, 100.0);
+        let n = 1 + gen.below(999);
         let mut r = RngStream::new(seed);
         let hi = lo + width;
         for _ in 0..50 {
             let u = r.uniform(lo, hi);
-            prop_assert!(u >= lo && (u < hi || width == 0.0));
-            prop_assert!(r.below(n) < n);
+            assert!(u >= lo && (u < hi || width == 0.0));
+            assert!(r.below(n) < n);
         }
     }
+}
 
-    /// Durations round-trip through f64 seconds within 1 ms.
-    #[test]
-    fn duration_secs_round_trip(ms in 0u64..10_000_000) {
+/// Durations round-trip through f64 seconds within 1 ms.
+#[test]
+fn duration_secs_round_trip() {
+    let mut rng = RngStream::new(8);
+    for _ in 0..200 {
+        let ms = rng.below(10_000_000);
         let d = SimDuration::from_millis(ms);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
-        prop_assert_eq!(back, d);
+        assert_eq!(back, d);
     }
 }

@@ -1,13 +1,12 @@
 //! Demand processes: deterministic shapes plus stochastic modifiers.
 
-use serde::{Deserialize, Serialize};
 use simcore::{RngStream, SimDuration, SimTime};
 
 use crate::DemandTrace;
 
 /// The deterministic component of a demand process, as a fraction of the
 /// VM's CPU cap.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Shape {
     /// Flat demand at `level`.
     Constant {
@@ -196,7 +195,7 @@ impl Shape {
 /// `x(k+1) = rho·x(k) + sigma·√(1−rho²)·ε`, giving stationary standard
 /// deviation `sigma` and correlation time `−step/ln(rho)`. This reproduces
 /// the minutes-scale burstiness of real utilization traces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ar1Noise {
     /// Correlation coefficient per step, in `[0, 1)`.
     pub rho: f64,
@@ -211,7 +210,7 @@ pub struct Ar1Noise {
 /// generation draws ONE window set per VM class and applies it to every
 /// VM — the flash-crowd regime where an entire service surges at once,
 /// which is what makes host wake-up latency matter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpikeProcess {
     /// Mean spike arrivals per 24 h.
     pub rate_per_day: f64,
@@ -235,7 +234,7 @@ pub struct SpikeProcess {
 /// let trace = p.generate(SimDuration::from_hours(1), SimDuration::from_mins(1), &mut RngStream::new(1));
 /// assert_eq!(trace.len(), 60);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandProcess {
     shape: Shape,
     noise: Option<Ar1Noise>,
@@ -270,8 +269,16 @@ impl DemandProcess {
     ///
     /// Panics if the rate or magnitude is negative, or the mean duration
     /// is zero.
-    pub fn with_spikes(mut self, rate_per_day: f64, magnitude: f64, mean_duration: SimDuration) -> Self {
-        assert!(rate_per_day >= 0.0 && magnitude >= 0.0, "negative spike params");
+    pub fn with_spikes(
+        mut self,
+        rate_per_day: f64,
+        magnitude: f64,
+        mean_duration: SimDuration,
+    ) -> Self {
+        assert!(
+            rate_per_day >= 0.0 && magnitude >= 0.0,
+            "negative spike params"
+        );
         assert!(!mean_duration.is_zero(), "zero spike duration");
         self.spikes = Some(SpikeProcess {
             rate_per_day,
@@ -496,17 +503,33 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let p = DemandProcess::new(Shape::diurnal(0.4, 0.2)).with_noise(0.9, 0.08);
-        let a = p.generate(SimDuration::from_hours(4), SimDuration::from_mins(5), &mut RngStream::new(3));
-        let b = p.generate(SimDuration::from_hours(4), SimDuration::from_mins(5), &mut RngStream::new(3));
+        let a = p.generate(
+            SimDuration::from_hours(4),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(3),
+        );
+        let b = p.generate(
+            SimDuration::from_hours(4),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(3),
+        );
         assert_eq!(a, b);
-        let c = p.generate(SimDuration::from_hours(4), SimDuration::from_mins(5), &mut RngStream::new(4));
+        let c = p.generate(
+            SimDuration::from_hours(4),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(4),
+        );
         assert_ne!(a, c);
     }
 
     #[test]
     fn noise_perturbs_but_tracks_shape() {
         let p = DemandProcess::new(Shape::constant(0.5)).with_noise(0.8, 0.05);
-        let t = p.generate(SimDuration::from_hours(24), SimDuration::from_mins(1), &mut RngStream::new(9));
+        let t = p.generate(
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(1),
+            &mut RngStream::new(9),
+        );
         assert!((t.mean() - 0.5).abs() < 0.05, "mean {}", t.mean());
         // And it actually varies.
         assert!(t.peak() - t.trough() > 0.05);
@@ -516,8 +539,16 @@ mod tests {
     fn spikes_raise_peak() {
         let base = DemandProcess::new(Shape::constant(0.2));
         let spiky = base.with_spikes(24.0, 0.6, SimDuration::from_mins(20));
-        let t_base = base.generate(SimDuration::from_hours(24), SimDuration::from_mins(1), &mut RngStream::new(5));
-        let t_spiky = spiky.generate(SimDuration::from_hours(24), SimDuration::from_mins(1), &mut RngStream::new(5));
+        let t_base = base.generate(
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(1),
+            &mut RngStream::new(5),
+        );
+        let t_spiky = spiky.generate(
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(1),
+            &mut RngStream::new(5),
+        );
         assert_eq!(t_base.peak(), 0.2);
         assert!(t_spiky.peak() > 0.7, "peak {}", t_spiky.peak());
         assert!(t_spiky.mean() > t_base.mean());
@@ -526,7 +557,11 @@ mod tests {
     #[test]
     fn samples_always_clamped() {
         let p = DemandProcess::new(Shape::diurnal(0.6, 0.4)).with_noise(0.5, 0.5);
-        let t = p.generate(SimDuration::from_hours(24), SimDuration::from_mins(1), &mut RngStream::new(11));
+        let t = p.generate(
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(1),
+            &mut RngStream::new(11),
+        );
         for &s in t.samples() {
             assert!((0.0..=1.0).contains(&s));
         }

@@ -144,14 +144,10 @@ impl FleetSpec {
             .iter()
             .enumerate()
             .map(|(ci, class)| {
-                class
-                    .process
-                    .spikes()
-                    .filter(|s| s.correlated)
-                    .map(|_| {
-                        let mut class_rng = root.substream(1_000_000 + ci as u64);
-                        class.process.draw_spike_windows(horizon, &mut class_rng)
-                    })
+                class.process.spikes().filter(|s| s.correlated).map(|_| {
+                    let mut class_rng = root.substream(1_000_000 + ci as u64);
+                    class.process.draw_spike_windows(horizon, &mut class_rng)
+                })
             })
             .collect();
 
@@ -325,8 +321,15 @@ mod tests {
     #[test]
     fn class_mix_roughly_matches_weights() {
         let s = spec();
-        let fleet = s.generate(1000, SimDuration::from_hours(1), SimDuration::from_mins(5), 7);
-        let web = (0..fleet.len()).filter(|&i| fleet.class_name(i) == "web").count();
+        let fleet = s.generate(
+            1000,
+            SimDuration::from_hours(1),
+            SimDuration::from_mins(5),
+            7,
+        );
+        let web = (0..fleet.len())
+            .filter(|&i| fleet.class_name(i) == "web")
+            .count();
         assert!((600..800).contains(&web), "web count {web}");
     }
 
@@ -338,7 +341,12 @@ mod tests {
             DemandProcess::new(Shape::diurnal(0.4, 0.3)),
             1.0,
         )]);
-        let fleet = s.generate(10, SimDuration::from_hours(24), SimDuration::from_mins(30), 3);
+        let fleet = s.generate(
+            10,
+            SimDuration::from_hours(24),
+            SimDuration::from_mins(30),
+            3,
+        );
         // Without jitter all traces would be identical; with it they differ.
         let first = &fleet.traces()[0];
         assert!(fleet.traces().iter().any(|t| t != first));
@@ -375,7 +383,10 @@ mod tests {
     #[test]
     fn from_parts_round_trips() {
         let vms = vec![VmSpec::new(Resources::new(1.0, 2.0))];
-        let traces = vec![DemandTrace::from_samples(SimDuration::from_mins(1), vec![0.5])];
+        let traces = vec![DemandTrace::from_samples(
+            SimDuration::from_mins(1),
+            vec![0.5],
+        )];
         let fleet = Fleet::from_parts(vms, traces);
         assert_eq!(fleet.len(), 1);
         assert_eq!(fleet.class_name(0), "custom");

@@ -7,11 +7,10 @@
 //! an active window `[arrival, departure)`; outside it the VM does not
 //! exist (no demand, no memory footprint).
 
-use serde::{Deserialize, Serialize};
 use simcore::{RngStream, SimDuration, SimTime};
 
 /// One VM's active window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lifetime {
     /// When the VM is provisioned (0 = present from the start).
     pub arrival: SimTime,
@@ -28,7 +27,7 @@ impl Lifetime {
 
     /// Whether the VM is active at `t`.
     pub fn is_active(&self, t: SimTime) -> bool {
-        t >= self.arrival && self.departure.map_or(true, |d| t < d)
+        t >= self.arrival && self.departure.is_none_or(|d| t < d)
     }
 }
 
@@ -55,7 +54,7 @@ impl Default for Lifetime {
 /// );
 /// assert_eq!(plan.len(), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LifetimePlan {
     lifetimes: Vec<Lifetime>,
 }
@@ -177,8 +176,20 @@ mod tests {
 
     #[test]
     fn churn_is_deterministic() {
-        let a = LifetimePlan::with_churn(50, 0.5, SimDuration::from_hours(2), SimDuration::from_hours(12), 3);
-        let b = LifetimePlan::with_churn(50, 0.5, SimDuration::from_hours(2), SimDuration::from_hours(12), 3);
+        let a = LifetimePlan::with_churn(
+            50,
+            0.5,
+            SimDuration::from_hours(2),
+            SimDuration::from_hours(12),
+            3,
+        );
+        let b = LifetimePlan::with_churn(
+            50,
+            0.5,
+            SimDuration::from_hours(2),
+            SimDuration::from_hours(12),
+            3,
+        );
         assert_eq!(a, b);
     }
 

@@ -178,7 +178,9 @@ mod tests {
         // Aggregate demand at the daily peak should be well above the
         // trough — the swing consolidation exploits.
         let samples = fleet.traces()[0].len();
-        let series: Vec<f64> = (0..samples).map(|k| fleet.aggregate_demand_cores(k)).collect();
+        let series: Vec<f64> = (0..samples)
+            .map(|k| fleet.aggregate_demand_cores(k))
+            .collect();
         let peak = series.iter().copied().fold(0.0, f64::max);
         let trough = series.iter().copied().fold(f64::MAX, f64::min);
         assert!(
@@ -198,8 +200,12 @@ mod tests {
         // Compare the same daytime window on day 2 (weekday) and day 6
         // (weekend).
         let k = |day: usize, hour: usize| (day * 24 + hour) * 2; // 30-min samples
-        let weekday: f64 = (10..16).map(|h| fleet.aggregate_demand_cores(k(1, h))).sum();
-        let weekend: f64 = (10..16).map(|h| fleet.aggregate_demand_cores(k(5, h))).sum();
+        let weekday: f64 = (10..16)
+            .map(|h| fleet.aggregate_demand_cores(k(1, h)))
+            .sum();
+        let weekend: f64 = (10..16)
+            .map(|h| fleet.aggregate_demand_cores(k(5, h)))
+            .sum();
         assert!(
             weekend < 0.75 * weekday,
             "weekend {weekend:.0} not damped vs weekday {weekday:.0}"
@@ -222,7 +228,8 @@ mod tests {
 
     #[test]
     fn steady_is_flat() {
-        let fleet = steady(0.5).generate(5, SimDuration::from_hours(1), SimDuration::from_mins(5), 1);
+        let fleet =
+            steady(0.5).generate(5, SimDuration::from_hours(1), SimDuration::from_mins(5), 1);
         for t in fleet.traces() {
             assert!(t.samples().iter().all(|&s| s == 0.5));
         }
@@ -234,10 +241,22 @@ mod tests {
         // demand mass rather than a single peak, across a few seeds.
         let mut spikier = 0;
         for seed in 1..=5 {
-            let calm = enterprise_diurnal().generate(100, SimDuration::from_hours(24), SimDuration::from_mins(5), seed);
-            let spiky = enterprise_with_spikes().generate(100, SimDuration::from_hours(24), SimDuration::from_mins(5), seed);
+            let calm = enterprise_diurnal().generate(
+                100,
+                SimDuration::from_hours(24),
+                SimDuration::from_mins(5),
+                seed,
+            );
+            let spiky = enterprise_with_spikes().generate(
+                100,
+                SimDuration::from_hours(24),
+                SimDuration::from_mins(5),
+                seed,
+            );
             let mass = |f: &crate::Fleet| -> f64 {
-                (0..f.traces()[0].len()).map(|k| f.aggregate_demand_cores(k)).sum()
+                (0..f.traces()[0].len())
+                    .map(|k| f.aggregate_demand_cores(k))
+                    .sum()
             };
             if mass(&spiky) > mass(&calm) {
                 spikier += 1;
@@ -263,9 +282,7 @@ mod tests {
         let jump_instant = |i: usize| -> usize {
             let s = fleet.traces()[i].samples();
             (1..s.len())
-                .max_by(|&a, &b| {
-                    (s[a] - s[a - 1]).partial_cmp(&(s[b] - s[b - 1])).unwrap()
-                })
+                .max_by(|&a, &b| (s[a] - s[a - 1]).partial_cmp(&(s[b] - s[b - 1])).unwrap())
                 .unwrap()
         };
         let first = jump_instant(web[0]);

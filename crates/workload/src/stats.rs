@@ -6,8 +6,6 @@
 //! capacity planner would size to, and the lag-1 autocorrelation that
 //! tells a predictor how much signal there is.
 
-use serde::{Deserialize, Serialize};
-
 use crate::DemandTrace;
 
 /// Descriptive statistics of one demand trace.
@@ -25,7 +23,7 @@ use crate::DemandTrace;
 /// assert!((stats.mean - 0.4).abs() < 0.1);
 /// assert!(stats.autocorr_lag1 > 0.8, "diurnal + AR(1) is highly correlated");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Arithmetic mean demand fraction.
     pub mean: f64,
@@ -97,7 +95,9 @@ mod tests {
 
     #[test]
     fn alternating_trace_is_anticorrelated() {
-        let samples: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect();
+        let samples: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
         let s = TraceStats::of(&trace_of(samples));
         assert!(s.autocorr_lag1 < -0.9, "lag-1 {}", s.autocorr_lag1);
         assert!((s.mean - 0.5).abs() < 1e-9);
@@ -125,8 +125,16 @@ mod tests {
     fn noise_raises_std_dev_not_mean() {
         let base = DemandProcess::new(Shape::constant(0.5));
         let noisy = base.with_noise(0.8, 0.1);
-        let t0 = base.generate(SimDuration::from_hours(12), SimDuration::from_mins(5), &mut RngStream::new(2));
-        let t1 = noisy.generate(SimDuration::from_hours(12), SimDuration::from_mins(5), &mut RngStream::new(2));
+        let t0 = base.generate(
+            SimDuration::from_hours(12),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(2),
+        );
+        let t1 = noisy.generate(
+            SimDuration::from_hours(12),
+            SimDuration::from_mins(5),
+            &mut RngStream::new(2),
+        );
         let (s0, s1) = (TraceStats::of(&t0), TraceStats::of(&t1));
         assert!(s1.std_dev > s0.std_dev + 0.05);
         assert!((s1.mean - s0.mean).abs() < 0.05);

@@ -1,6 +1,5 @@
 //! Sampled demand traces.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// A VM's demand over time, sampled at a fixed step, as a fraction of the
@@ -21,7 +20,7 @@ use simcore::{SimDuration, SimTime};
 /// assert_eq!(t.at(SimTime::from_secs(299)), 0.2);
 /// assert_eq!(t.at(SimTime::from_secs(300)), 0.8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandTrace {
     step: SimDuration,
     samples: Vec<f64>,

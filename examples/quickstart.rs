@@ -28,11 +28,27 @@ fn main() {
         .run()
         .expect("scenario is well-formed");
 
-    println!("cluster        : {} hosts / {} VMs", report.num_hosts, report.num_vms);
-    println!("baseline energy: {:.1} kWh (always on)", baseline.energy_kwh());
-    println!("managed energy : {:.1} kWh ({})", report.energy_kwh(), report.policy);
-    println!("savings        : {:.1}%", report.savings_vs(&baseline) * 100.0);
-    println!("avg hosts on   : {:.1} of {}", report.avg_hosts_on, report.num_hosts);
+    println!(
+        "cluster        : {} hosts / {} VMs",
+        report.num_hosts, report.num_vms
+    );
+    println!(
+        "baseline energy: {:.1} kWh (always on)",
+        baseline.energy_kwh()
+    );
+    println!(
+        "managed energy : {:.1} kWh ({})",
+        report.energy_kwh(),
+        report.policy
+    );
+    println!(
+        "savings        : {:.1}%",
+        report.savings_vs(&baseline) * 100.0
+    );
+    println!(
+        "avg hosts on   : {:.1} of {}",
+        report.avg_hosts_on, report.num_hosts
+    );
     println!("unserved demand: {:.4}%", report.unserved_ratio * 100.0);
     println!(
         "management     : {} migrations, {} power actions",

@@ -16,6 +16,9 @@
 //!   power-aware virtualization manager and its policy suite.
 //! * [`sim`] (crate `dcsim`) — the end-to-end datacenter simulator,
 //!   metrics, and experiment runners.
+//! * [`obs`] — the telemetry substrate: streaming trace sinks, the
+//!   metrics registry, wall-clock phase profiling, and the
+//!   dependency-free JSON used throughout.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use agile_core as core;
 pub use cluster;
 pub use dcsim as sim;
+pub use obs;
 pub use power;
 pub use simcore;
 pub use workload;

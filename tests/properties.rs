@@ -1,27 +1,27 @@
-//! Property-based integration tests: invariants that must hold for any
+//! Randomized integration tests: invariants that must hold for any
 //! scenario the generator can produce.
+//!
+//! Inputs are drawn from the workspace's own deterministic [`RngStream`]
+//! (seeded per test), so every run checks the same cases — failures
+//! reproduce exactly without a shrinker.
 
-use agilepm::cluster::{Cluster, HostSpec, Resources, VmSpec};
+use agilepm::cluster::{Cluster, HostId, HostSpec, Resources, VmId, VmSpec};
 use agilepm::core::PowerPolicy;
 use agilepm::power::{HostPowerProfile, PowerState, PowerStateMachine, TransitionKind};
 use agilepm::sim::{Experiment, Scenario};
-use agilepm::simcore::{SimDuration, SimTime};
+use agilepm::simcore::{RngStream, SimDuration, SimTime};
 use agilepm::workload::{presets, DemandProcess, Shape};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Any small scenario simulates without panicking, and the report's
-    /// conservation laws hold.
-    #[test]
-    fn simulation_invariants(
-        hosts in 2usize..10,
-        vms_per_host in 1usize..8,
-        seed in 0u64..1000,
-        suspend in proptest::bool::ANY,
-    ) {
-        let policy = if suspend {
+/// Any small scenario simulates without panicking, and the report's
+/// conservation laws hold.
+#[test]
+fn simulation_invariants() {
+    let mut gen = RngStream::new(0xA11CE);
+    for case in 0..16 {
+        let hosts = 2 + gen.below(8) as usize;
+        let vms_per_host = 1 + gen.below(7) as usize;
+        let seed = gen.below(1000);
+        let policy = if gen.chance(0.5) {
             PowerPolicy::reactive_suspend()
         } else {
             PowerPolicy::reactive_off()
@@ -32,29 +32,50 @@ proptest! {
             .horizon(SimDuration::from_hours(4))
             .run()
             .expect("scenario runs");
-        prop_assert!(r.energy_j > 0.0);
-        prop_assert!(r.unserved_ratio >= 0.0 && r.unserved_ratio <= 1.0);
-        prop_assert!(r.avg_hosts_on >= 0.0 && r.avg_hosts_on <= hosts as f64 + 1e-9);
+        let ctx = format!("case {case}: {hosts} hosts x {vms_per_host} VMs, seed {seed}");
+        assert!(r.energy_j > 0.0, "{ctx}");
+        assert!((0.0..=1.0).contains(&r.unserved_ratio), "{ctx}");
+        assert!(
+            r.avg_hosts_on >= 0.0 && r.avg_hosts_on <= hosts as f64 + 1e-9,
+            "{ctx}"
+        );
         // Energy is bounded by every host at peak the whole time.
         let max_j = hosts as f64 * 315.0 * 4.0 * 3600.0;
-        prop_assert!(r.energy_j <= max_j * 1.01, "energy {} above physical cap {}", r.energy_j, max_j);
+        assert!(
+            r.energy_j <= max_j * 1.01,
+            "{ctx}: energy {} above physical cap {max_j}",
+            r.energy_j
+        );
         // ...and at least every host parked the whole time.
         let min_j = hosts as f64 * 4.5 * 4.0 * 3600.0 * 0.9;
-        prop_assert!(r.energy_j >= min_j, "energy {} below park floor {}", r.energy_j, min_j);
+        assert!(
+            r.energy_j >= min_j,
+            "{ctx}: energy {} below park floor {min_j}",
+            r.energy_j
+        );
     }
+}
 
-    /// Any legal sequence of power transitions keeps the residency,
-    /// energy, and state bookkeeping consistent.
-    #[test]
-    fn power_machine_random_walk(steps in 1usize..40, seed in 0u64..1000) {
-        let mut rng = agilepm::simcore::RngStream::new(seed);
+/// Any legal sequence of power transitions keeps the residency, energy,
+/// and state bookkeeping consistent.
+#[test]
+fn power_machine_random_walk() {
+    let mut gen = RngStream::new(0xB0B);
+    for case in 0..50 {
+        let steps = 1 + gen.below(39) as usize;
+        let seed = gen.below(1000);
+        let mut rng = RngStream::new(seed);
         let mut m = PowerStateMachine::new(HostPowerProfile::prototype_rack(), SimTime::ZERO);
         let mut now = SimTime::ZERO;
         for _ in 0..steps {
-            now = now + SimDuration::from_secs(rng.below(600) + 1);
+            now += SimDuration::from_secs(rng.below(600) + 1);
             let kind = match m.state() {
                 PowerState::On => {
-                    if rng.chance(0.5) { TransitionKind::Suspend } else { TransitionKind::Shutdown }
+                    if rng.chance(0.5) {
+                        TransitionKind::Suspend
+                    } else {
+                        TransitionKind::Shutdown
+                    }
                 }
                 PowerState::Suspended => TransitionKind::Resume,
                 PowerState::Off => TransitionKind::Boot,
@@ -65,114 +86,146 @@ proptest! {
             now = done;
         }
         m.sync(now);
+        let ctx = format!("case {case}: {steps} steps, seed {seed}");
         // Residency sums to elapsed time exactly.
-        let total = m.residency().total();
-        prop_assert_eq!(total, now.since(SimTime::ZERO));
+        assert_eq!(m.residency().total(), now.since(SimTime::ZERO), "{ctx}");
         // Energy equals the per-state breakdown.
         let by_state: f64 = PowerState::ALL.iter().map(|&s| m.meter().state_j(s)).sum();
-        prop_assert!((by_state - m.meter().total_j()).abs() < 1e-6);
+        assert!((by_state - m.meter().total_j()).abs() < 1e-6, "{ctx}");
         // Transition counts match the walk length.
-        prop_assert_eq!(m.total_transitions(), steps as u64);
+        assert_eq!(m.total_transitions(), steps as u64, "{ctx}");
     }
+}
 
-    /// Cluster placement bookkeeping stays consistent under random
-    /// place/migrate/power sequences.
-    #[test]
-    fn cluster_random_operations(ops in 1usize..60, seed in 0u64..1000) {
-        let mut rng = agilepm::simcore::RngStream::new(seed);
+/// Cluster placement bookkeeping stays consistent under random
+/// place/migrate/power sequences.
+#[test]
+fn cluster_random_operations() {
+    let mut gen = RngStream::new(0xC1A5);
+    for case in 0..50 {
+        let ops = 1 + gen.below(59) as usize;
+        let seed = gen.below(1000);
+        let mut rng = RngStream::new(seed);
         let hosts = vec![
-            HostSpec::new(Resources::new(16.0, 64.0), HostPowerProfile::prototype_rack());
+            HostSpec::new(
+                Resources::new(16.0, 64.0),
+                HostPowerProfile::prototype_rack()
+            );
             4
         ];
         let vms = vec![VmSpec::new(Resources::new(2.0, 4.0)); 12];
         let mut cluster = Cluster::new(hosts, vms, SimTime::ZERO);
         let mut now = SimTime::ZERO;
-        let mut pending_migrations: Vec<(agilepm::cluster::VmId, SimTime)> = Vec::new();
-        let mut pending_power: Vec<(agilepm::cluster::HostId, SimTime)> = Vec::new();
+        let mut pending_migrations: Vec<(VmId, SimTime)> = Vec::new();
+        let mut pending_power: Vec<(HostId, SimTime)> = Vec::new();
 
         for _ in 0..ops {
-            now = now + SimDuration::from_secs(rng.below(120) + 1);
+            now += SimDuration::from_secs(rng.below(120) + 1);
             // Complete anything due.
             pending_migrations.retain(|&(vm, at)| {
                 if at <= now {
-                    cluster.complete_migration(vm, at).expect("scheduled completion");
+                    cluster
+                        .complete_migration(vm, at)
+                        .expect("scheduled completion");
                     false
-                } else { true }
+                } else {
+                    true
+                }
             });
             pending_power.retain(|&(h, at)| {
                 if at <= now {
-                    cluster.complete_power_transition(h, at).expect("scheduled completion");
+                    cluster
+                        .complete_power_transition(h, at)
+                        .expect("scheduled completion");
                     false
-                } else { true }
+                } else {
+                    true
+                }
             });
 
-            let vm = agilepm::cluster::VmId(rng.below(12) as u32);
-            let host = agilepm::cluster::HostId(rng.below(4) as u32);
+            let vm = VmId(rng.below(12) as u32);
+            let host = HostId(rng.below(4) as u32);
             match rng.below(4) {
-                0 => { let _ = cluster.place(vm, host); }
+                0 => {
+                    let _ = cluster.place(vm, host);
+                }
                 1 => {
                     if let Ok(done) = cluster.begin_migration(vm, host, now) {
                         pending_migrations.push((vm, done));
                     }
                 }
                 2 => {
-                    if let Ok(done) = cluster.begin_power_transition(host, TransitionKind::Suspend, now) {
+                    if let Ok(done) =
+                        cluster.begin_power_transition(host, TransitionKind::Suspend, now)
+                    {
                         pending_power.push((host, done));
                     }
                 }
                 _ => {
-                    if let Ok(done) = cluster.begin_power_transition(host, TransitionKind::Resume, now) {
+                    if let Ok(done) =
+                        cluster.begin_power_transition(host, TransitionKind::Resume, now)
+                    {
                         pending_power.push((host, done));
                     }
                 }
             }
-            prop_assert!(cluster.placement().check_invariants());
+            let ctx = format!("case {case}: seed {seed}");
+            assert!(cluster.placement().check_invariants(), "{ctx}");
             // Memory never overcommitted on any host.
             for h in 0..4u32 {
-                let id = agilepm::cluster::HostId(h);
-                prop_assert!(cluster.mem_committed_gb(id) <= 64.0 + 1e-9);
+                assert!(cluster.mem_committed_gb(HostId(h)) <= 64.0 + 1e-9, "{ctx}");
             }
         }
     }
+}
 
-    /// Demand traces are always within [0, 1] and deterministic.
-    #[test]
-    fn demand_process_bounds(
-        base in 0.0f64..0.7,
-        amplitude in 0.0f64..0.3,
-        rho in 0.0f64..0.99,
-        sigma in 0.0f64..0.4,
-        seed in 0u64..1000,
-    ) {
+/// Demand traces are always within [0, 1] and deterministic.
+#[test]
+fn demand_process_bounds() {
+    let mut gen = RngStream::new(0xD00D);
+    for _ in 0..50 {
+        let base = gen.uniform(0.0, 0.7);
+        let amplitude = gen.uniform(0.0, 0.3);
+        let rho = gen.uniform(0.0, 0.99);
+        let sigma = gen.uniform(0.0, 0.4);
+        let seed = gen.below(1000);
         let p = DemandProcess::new(Shape::diurnal(base, amplitude)).with_noise(rho, sigma);
         let t1 = p.generate(
             SimDuration::from_hours(6),
             SimDuration::from_mins(5),
-            &mut agilepm::simcore::RngStream::new(seed),
+            &mut RngStream::new(seed),
         );
         let t2 = p.generate(
             SimDuration::from_hours(6),
             SimDuration::from_mins(5),
-            &mut agilepm::simcore::RngStream::new(seed),
+            &mut RngStream::new(seed),
         );
-        prop_assert_eq!(&t1, &t2);
+        assert_eq!(&t1, &t2);
         for &s in t1.samples() {
-            prop_assert!((0.0..=1.0).contains(&s));
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "sample {s} out of range (base {base}, amp {amplitude}, rho {rho}, sigma {sigma})"
+            );
         }
     }
+}
 
-    /// Fleet generation conserves counts and footprints for any mix size.
-    #[test]
-    fn fleet_generation_counts(count in 1usize..200, seed in 0u64..1000) {
+/// Fleet generation conserves counts and footprints for any mix size.
+#[test]
+fn fleet_generation_counts() {
+    let mut gen = RngStream::new(0xF1EE7);
+    for _ in 0..30 {
+        let count = 1 + gen.below(199) as usize;
+        let seed = gen.below(1000);
         let fleet = presets::enterprise_diurnal().generate(
             count,
             SimDuration::from_hours(2),
             SimDuration::from_mins(10),
             seed,
         );
-        prop_assert_eq!(fleet.len(), count);
-        prop_assert_eq!(fleet.traces().len(), count);
-        prop_assert!(fleet.total_mem_gb() >= count as f64 * 4.0);
-        prop_assert!(fleet.total_cpu_cap_cores() >= count as f64 * 2.0);
+        assert_eq!(fleet.len(), count);
+        assert_eq!(fleet.traces().len(), count);
+        assert!(fleet.total_mem_gb() >= count as f64 * 4.0);
+        assert!(fleet.total_cpu_cap_cores() >= count as f64 * 2.0);
     }
 }
