@@ -1,0 +1,57 @@
+//! Hot-path micro-benchmarks for the scale-out work.
+//!
+//! Each case isolates one optimized mechanism; `scaleout` measures the
+//! composed effect. Run with `cargo run --release -p bench --bin
+//! microbench`. Numbers are best-of-N per [`bench::microbench::time`].
+
+use agile_core::PowerPolicy;
+use cluster::AccountingMode;
+use dcsim::{Experiment, Scenario};
+use workload::DemandTrace;
+
+fn main() {
+    // The composed steady-state loop: a full simulated day at 64 hosts,
+    // incremental accounting vs the O(hosts × VMs) scan reference.
+    let scenario = Scenario::datacenter(64, 384, bench::SEED);
+    bench::microbench::time("sim_day_64hosts_incremental", 1, 5, || {
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .run()
+            .expect("sim run failed")
+    });
+    bench::microbench::time("sim_day_64hosts_scan_reference", 1, 5, || {
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .accounting(AccountingMode::Scan)
+            .run()
+            .expect("sim run failed")
+    });
+
+    // Trace reads through the compact (quantized u16) representation vs
+    // dense f64 storage: same `at(t)` API, 4x smaller.
+    let step = scenario.demand_step();
+    let samples: Vec<f64> = (0..2016) // one week at 5-min steps
+        .map(|k| 0.5 + 0.4 * (k as f64 / 32.0).sin())
+        .collect();
+    let dense = DemandTrace::from_samples(step, samples);
+    let quantized = dense.clone().quantized();
+    let horizon = simcore::SimTime::ZERO + step * dense.len() as u64;
+    bench::microbench::time("trace_at_dense_2016", 8, 64, || {
+        let mut acc = 0.0;
+        let mut t = simcore::SimTime::ZERO;
+        while t < horizon {
+            acc += dense.at(t);
+            t += step;
+        }
+        acc
+    });
+    bench::microbench::time("trace_at_quantized_2016", 8, 64, || {
+        let mut acc = 0.0;
+        let mut t = simcore::SimTime::ZERO;
+        while t < horizon {
+            acc += quantized.at(t);
+            t += step;
+        }
+        acc
+    });
+}

@@ -5,8 +5,6 @@
 //! followed by a per-experiment runtime table and the simulator's own
 //! phase profile.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 type Job = (
@@ -100,39 +98,22 @@ fn main() {
         ),
     ];
 
-    // Bounded pool: never more workers than cores. Experiments are
-    // claimed by index, so outputs land in their original slots and the
-    // report prints in experiment order regardless of completion order.
+    // Shared bounded pool (see `simcore::pool`): never more workers than
+    // cores, outputs in experiment order regardless of completion order.
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(jobs.len());
     let wall = Instant::now();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<(String, Duration)>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((_, _, f)) = jobs.get(i) else {
-                    return;
-                };
-                let t0 = Instant::now();
-                let body = f();
-                *results[i].lock().expect("result slot") = Some((body, t0.elapsed()));
-            });
-        }
+    let results = simcore::pool::run_indexed(jobs.len(), |i| {
+        let t0 = Instant::now();
+        let body = jobs[i].2();
+        (body, t0.elapsed())
     });
     let wall = wall.elapsed();
 
     let mut runtimes = Vec::with_capacity(results.len());
-    for ((id, title, _), slot) in jobs.iter().zip(&results) {
-        let (body, elapsed) = slot
-            .lock()
-            .expect("result slot")
-            .take()
-            .expect("every experiment ran");
+    for ((id, title, _), (body, elapsed)) in jobs.iter().zip(results) {
         bench::print_experiment(id, title, &body);
         runtimes.push((*id, *title, elapsed));
     }

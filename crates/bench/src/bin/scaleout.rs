@@ -1,0 +1,275 @@
+//! Scale-out hot-path benchmark (the F8 companion): wall-clock ticks/sec,
+//! profiler attribution, and peak RSS at increasing cluster sizes.
+//!
+//! Writes `BENCH_scaleout.json`. With `--check-baseline FILE` the run
+//! fails (exit 1) if ticks/sec at any matching size regresses more than
+//! 30 % below the checked-in baseline — the CI perf smoke gate.
+
+use std::time::Instant;
+
+use agile_core::PowerPolicy;
+use cluster::AccountingMode;
+use dcsim::{Experiment, Scenario};
+
+/// Pre-optimization reference numbers, measured on this benchmark before
+/// the incremental-accounting/zero-alloc work landed (same scenario
+/// family, release build, single worker): `(hosts, ticks_per_sec,
+/// peak_rss_kb)`.
+const BEFORE: &[(usize, f64, u64)] = &[
+    (64, 17_979.0, 4_824),
+    (256, 2_575.0, 10_752),
+    (1024, 183.5, 33_940),
+    (4096, 12.7, 126_300),
+];
+
+/// Largest size at which the run is repeated in [`AccountingMode::Scan`]
+/// to cross-check the incremental report (the scan reference costs
+/// O(hosts × VMs) per tick, so very large sizes skip it — the
+/// `determinism` integration test covers the semantics).
+const VERIFY_SCAN_MAX_HOSTS: usize = 1024;
+
+/// One measured run at a given cluster size.
+struct Row {
+    hosts: usize,
+    vms: usize,
+    ticks: u64,
+    wall_secs: f64,
+    ticks_per_sec: f64,
+    peak_rss_kb: u64,
+    /// Ticks/sec of the scan-reference rerun, when it was performed (and
+    /// its report matched bit-for-bit — a mismatch aborts the bench).
+    scan_ticks_per_sec: Option<f64>,
+    phases: Vec<(String, f64)>,
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![64, 256, 1024];
+    let mut out_path = String::from("BENCH_scaleout.json");
+    let mut baseline: Option<String> = None;
+    let mut repeat = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let list = args.next().expect("--sizes needs a comma-separated list");
+                sizes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad size"))
+                    .collect();
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check-baseline" => {
+                baseline = Some(args.next().expect("--check-baseline needs a path"))
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("bad repeat count");
+                assert!(repeat >= 1, "--repeat must be at least 1");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &hosts in &sizes {
+        let row = measure(hosts, hosts <= VERIFY_SCAN_MAX_HOSTS, repeat);
+        let before = BEFORE.iter().find(|(h, _, _)| *h == hosts);
+        println!(
+            "{:>5} hosts {:>6} vms: {:>8.0} ticks/s ({:.2} s wall, peak RSS {} MB){}{}",
+            row.hosts,
+            row.vms,
+            row.ticks_per_sec,
+            row.wall_secs,
+            row.peak_rss_kb / 1024,
+            match row.scan_ticks_per_sec {
+                Some(tps) => format!(", scan ref {tps:.0} ticks/s, reports identical"),
+                None => String::from(", scan ref skipped (size cap)"),
+            },
+            match before {
+                Some((_, tps, _)) => format!(", {:.1}x vs pre-opt", row.ticks_per_sec / tps),
+                None => String::new(),
+            },
+        );
+        rows.push(row);
+    }
+
+    let json = render_json(&rows);
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        check_baseline(&rows, &text);
+        println!("baseline check passed ({path})");
+    }
+}
+
+fn measure(hosts: usize, verify_scan: bool, repeat: usize) -> Row {
+    let vms = hosts * 6;
+    let scenario = Scenario::datacenter(hosts, vms, bench::SEED);
+    let step = scenario.demand_step();
+    // Best-of-N: the minimum wall time is the least scheduler-noise-
+    // polluted sample; every repeat is the same deterministic simulation,
+    // so only timing varies.
+    let mut best: Option<(f64, _, _)> = None;
+    for _ in 0..repeat {
+        let exp = Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend());
+        let t0 = Instant::now();
+        let run = exp.run_profiled().expect("scale-out run failed");
+        let wall = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
+            best = Some((wall, run.0, run.1));
+        }
+    }
+    let (wall_secs, report, profile) = best.expect("at least one repeat");
+    let ticks = report.horizon.as_millis() / step.as_millis() + 1;
+
+    // Rerun against the O(n)-scan reference accounting and require a
+    // bit-identical report — the optimization must be unobservable.
+    let scan_ticks_per_sec = verify_scan.then(|| {
+        let exp = Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_suspend())
+            .accounting(AccountingMode::Scan);
+        let t0 = Instant::now();
+        let scan_report = exp.run().expect("scan reference run failed");
+        let scan_wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report, scan_report,
+            "incremental vs scan reports diverged at {hosts} hosts"
+        );
+        ticks as f64 / scan_wall
+    });
+
+    Row {
+        hosts,
+        vms,
+        ticks,
+        wall_secs,
+        ticks_per_sec: ticks as f64 / wall_secs,
+        peak_rss_kb: peak_rss_kb(),
+        scan_ticks_per_sec,
+        phases: profile
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.total_secs))
+            .collect(),
+    }
+}
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`; 0 where
+/// `/proc` is unavailable).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"before\": [\n");
+    for (i, (hosts, tps, rss)) in BEFORE.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {hosts}, \"ticks_per_sec\": {tps:.1}, \"peak_rss_kb\": {rss}}}{}\n",
+            if i + 1 < BEFORE.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"vms\": {}, \"ticks\": {}, \"wall_secs\": {:.4}, \
+             \"ticks_per_sec\": {:.1}, \"peak_rss_kb\": {}, ",
+            r.hosts, r.vms, r.ticks, r.wall_secs, r.ticks_per_sec, r.peak_rss_kb
+        ));
+        if let Some(tps) = r.scan_ticks_per_sec {
+            out.push_str(&format!(
+                "\"scan_ticks_per_sec\": {tps:.1}, \"scan_report_identical\": true, "
+            ));
+        }
+        if let Some((_, before_tps, _)) = BEFORE.iter().find(|(h, _, _)| *h == r.hosts) {
+            out.push_str(&format!(
+                "\"speedup_vs_before\": {:.2}, ",
+                r.ticks_per_sec / before_tps
+            ));
+        }
+        out.push_str("\"phases\": {");
+        for (j, (name, secs)) in r.phases.iter().enumerate() {
+            out.push_str(&format!("\"{name}\": {secs:.4}"));
+            if j + 1 < r.phases.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}}");
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Fails the process if any measured size is >30 % slower than the
+/// baseline. The baseline file holds `{"hosts": N, "ticks_per_sec": X}`
+/// objects; parsing is a minimal scan to stay dependency-free.
+fn check_baseline(rows: &[Row], baseline: &str) {
+    let mut failed = false;
+    for (hosts, base_tps) in parse_pairs(baseline) {
+        let Some(row) = rows.iter().find(|r| r.hosts == hosts) else {
+            continue;
+        };
+        let floor = 0.7 * base_tps;
+        if row.ticks_per_sec < floor {
+            eprintln!(
+                "PERF REGRESSION at {hosts} hosts: {:.0} ticks/s < 70% of baseline {:.0}",
+                row.ticks_per_sec, base_tps
+            );
+            failed = true;
+        } else {
+            println!(
+                "{hosts:>5} hosts: {:.0} ticks/s vs baseline {:.0} (floor {:.0}) ok",
+                row.ticks_per_sec, base_tps, floor
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Extracts every `"hosts": N ... "ticks_per_sec": X` pair, in order.
+fn parse_pairs(text: &str) -> Vec<(usize, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = text;
+    while let Some(h) = rest.find("\"hosts\":") {
+        rest = &rest[h + "\"hosts\":".len()..];
+        let hosts: usize = match lead_number(rest).parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let Some(t) = rest.find("\"ticks_per_sec\":") else {
+            break;
+        };
+        let after = &rest[t + "\"ticks_per_sec\":".len()..];
+        if let Ok(tps) = lead_number(after).parse() {
+            pairs.push((hosts, tps));
+        }
+        rest = after;
+    }
+    pairs
+}
+
+fn lead_number(s: &str) -> &str {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(s.len());
+    &s[..end]
+}

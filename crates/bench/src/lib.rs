@@ -7,7 +7,8 @@
 //!
 //! Scale note: the headline experiments run at 64 hosts / 256 VMs —
 //! large enough for the fleet-level effects, small enough to regenerate
-//! in seconds. The scale-out sweep (F8) goes to 512 hosts.
+//! in seconds. The scale-out sweep (F8) goes to 4096 hosts; base and PM
+//! runs at every size share one worker-pool batch.
 
 pub mod charact;
 pub mod headline;

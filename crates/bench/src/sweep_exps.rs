@@ -97,19 +97,23 @@ pub fn exp_f7_sized(hosts: usize, vms: usize, seed: u64) -> String {
 
 /// F8: scale-out — savings and overheads vs. cluster size.
 pub fn exp_f8() -> String {
-    exp_f8_sized(&[8, 16, 32, 64, 128, 256, 512], SEED)
+    exp_f8_sized(&[8, 16, 32, 64, 128, 256, 512, 1024, 4096], SEED)
 }
 
-/// Size-parameterized variant.
+/// Size-parameterized variant. Base and PM runs at every size go through
+/// one worker-pool batch (`scale_sweep_policies`).
 pub fn exp_f8_sized(host_counts: &[usize], seed: u64) -> String {
-    let base = sweeps::scale_sweep(host_counts, PowerPolicy::always_on(), seed)
-        .expect("scale scenarios run");
-    let pm = sweeps::scale_sweep(host_counts, PowerPolicy::reactive_suspend(), seed)
-        .expect("scale scenarios run");
-    let rows: Vec<Vec<String>> = base
-        .iter()
-        .zip(&pm)
-        .map(|((hosts, b), (_, p))| {
+    let grid = sweeps::scale_sweep_policies(
+        host_counts,
+        &[PowerPolicy::always_on(), PowerPolicy::reactive_suspend()],
+        seed,
+    )
+    .expect("scale scenarios run");
+    // Size-major, policies in the order passed: chunk into (base, pm).
+    let rows: Vec<Vec<String>> = grid
+        .chunks_exact(2)
+        .map(|pair| {
+            let ((hosts, _, b), (_, _, p)) = (&pair[0], &pair[1]);
             vec![
                 format!("{hosts}"),
                 format!("{:.0}", b.energy_kwh()),
@@ -121,6 +125,7 @@ pub fn exp_f8_sized(host_counts: &[usize], seed: u64) -> String {
             ]
         })
         .collect();
+    debug_assert_eq!(rows.len(), host_counts.len());
     format!(
         "Scale-out (6 VMs/host, 24 h diurnal), seed {seed}:\n{}",
         table(

@@ -1,5 +1,7 @@
 //! The cluster facade: hosts + VMs + placement + migrations + power.
 
+use std::cell::Cell;
+
 use power::{PowerState, TransitionKind};
 use simcore::SimTime;
 
@@ -8,11 +10,46 @@ use crate::{
     ServiceClass, VmId, VmSpec,
 };
 
+/// How the cluster maintains its aggregate accounting (total power,
+/// operational capacity/count, per-host committed memory).
+///
+/// `Incremental` keeps running values updated at power and placement
+/// transitions so steady-state queries are O(1); `Scan` recomputes from
+/// first principles on every query. Both modes produce bit-identical
+/// results — the incremental caches are revalidated with the *same*
+/// index-order folds the scans use, and debug builds cross-check every
+/// incremental read against a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccountingMode {
+    /// O(1) running totals and lazily-revalidated caches (the default).
+    #[default]
+    Incremental,
+    /// Full rescans on every query — the reference the incremental path
+    /// is checked against (see `crates/sim/tests/determinism.rs`).
+    Scan,
+}
+
+/// Reusable scratch for [`Cluster::apply_demand_into`]: the per-host
+/// interactive/batch demand splits and migration-tax vector. Owned by the
+/// cluster so steady-state ticks allocate nothing after the first.
+#[derive(Debug, Clone, Default)]
+struct DemandScratch {
+    interactive: Vec<f64>,
+    batch: Vec<f64>,
+    tax: Vec<f64>,
+}
+
+/// Clears and re-zeroes a scratch vector without shrinking its capacity.
+fn reset_zeroed(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
 /// Result of applying one round of VM demand to the cluster.
 ///
 /// Produced by [`Cluster::apply_demand`]; the simulator derives its
 /// performance metrics (unserved demand, violations) from this.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DemandOutcome {
     /// Sum of all VM CPU demand this round, in cores.
     pub offered_cores: f64,
@@ -57,6 +94,22 @@ pub struct Cluster {
     migrations_started: u64,
     migrations_completed: u64,
     migration_busy_secs: f64,
+    accounting: AccountingMode,
+    /// Lazy total-power cache. Marked dirty whenever any host's draw may
+    /// have changed; revalidated with the same index-order fold as the
+    /// scan, so reads are bit-identical to [`AccountingMode::Scan`].
+    power_cache: Cell<f64>,
+    power_dirty: Cell<bool>,
+    /// Lazy operational-capacity cache, revalidated on power transitions.
+    cap_cache: Cell<f64>,
+    cap_dirty: Cell<bool>,
+    /// Exact running count of operational hosts (integer, never drifts).
+    on_count: usize,
+    /// Running per-host committed memory: placed VMs plus inbound
+    /// migration reservations, GB.
+    host_mem_committed: Vec<f64>,
+    /// Reusable buffers for [`apply_demand_into`](Self::apply_demand_into).
+    scratch: DemandScratch,
 }
 
 impl Cluster {
@@ -86,6 +139,8 @@ impl Cluster {
         let placement = PlacementMap::new(hosts.len(), vm_specs.len());
         let inbound = vec![0; hosts.len()];
         let migrations = vec![None; vm_specs.len()];
+        let on_count = hosts.iter().filter(|h| h.is_operational()).count();
+        let host_mem_committed = vec![0.0; hosts.len()];
         Cluster {
             hosts,
             vms: vm_specs,
@@ -96,7 +151,29 @@ impl Cluster {
             migrations_started: 0,
             migrations_completed: 0,
             migration_busy_secs: 0.0,
+            accounting: AccountingMode::default(),
+            power_cache: Cell::new(0.0),
+            power_dirty: Cell::new(true),
+            cap_cache: Cell::new(0.0),
+            cap_dirty: Cell::new(true),
+            on_count,
+            host_mem_committed,
+            scratch: DemandScratch::default(),
         }
+    }
+
+    /// Switches between incremental and scan-based accounting. Both modes
+    /// are bit-identical by construction; `Scan` exists as the reference
+    /// for determinism tests and debugging.
+    pub fn set_accounting_mode(&mut self, mode: AccountingMode) {
+        self.accounting = mode;
+        self.power_dirty.set(true);
+        self.cap_dirty.set(true);
+    }
+
+    /// The accounting mode in use.
+    pub fn accounting_mode(&self) -> AccountingMode {
+        self.accounting
     }
 
     // ----- accessors -------------------------------------------------
@@ -221,6 +298,23 @@ impl Cluster {
             .collect()
     }
 
+    /// Number of hosts currently in the `On` state — O(1) under
+    /// incremental accounting (prefer this over
+    /// `operational_hosts().len()` in per-tick code).
+    pub fn num_operational_hosts(&self) -> usize {
+        match self.accounting {
+            AccountingMode::Scan => self.hosts.iter().filter(|h| h.is_operational()).count(),
+            AccountingMode::Incremental => {
+                debug_assert_eq!(
+                    self.on_count,
+                    self.hosts.iter().filter(|h| h.is_operational()).count(),
+                    "operational-host running count drifted"
+                );
+                self.on_count
+            }
+        }
+    }
+
     /// Ids of hosts currently in `state`.
     pub fn hosts_in_state(&self, state: PowerState) -> Vec<HostId> {
         self.hosts
@@ -237,19 +331,39 @@ impl Cluster {
     ///
     /// Panics if `host` is out of range.
     pub fn mem_committed_gb(&self, host: HostId) -> f64 {
-        let placed: f64 = self
+        match self.accounting {
+            AccountingMode::Scan => self.scan_mem_committed_gb(host),
+            AccountingMode::Incremental => {
+                let v = self.host_mem_committed[host.index()];
+                debug_assert!(
+                    (v - self.scan_mem_committed_gb(host)).abs() < 1e-6,
+                    "committed-memory running total drifted on host {host}: \
+                     running {v}, scan {}",
+                    self.scan_mem_committed_gb(host)
+                );
+                v
+            }
+        }
+    }
+
+    /// Scan-based reference for [`mem_committed_gb`](Self::mem_committed_gb):
+    /// O(VMs on host) + O(in-flight migrations).
+    fn scan_mem_committed_gb(&self, host: HostId) -> f64 {
+        // Folded from +0.0 (not `Iterator::sum`, whose -0.0 identity
+        // would make an empty host bitwise-differ from the running total).
+        let placed = self
             .placement
             .vms_on(host)
             .iter()
             .map(|&vm| self.vms[vm.index()].mem_gb())
-            .sum();
-        let inbound: f64 = self
+            .fold(0.0f64, |a, b| a + b);
+        let inbound = self
             .migrations
             .iter()
             .flatten()
             .filter(|m| m.to == host)
             .map(|m| self.vms[m.vm.index()].mem_gb())
-            .sum();
+            .fold(0.0f64, |a, b| a + b);
         placed + inbound
     }
 
@@ -293,6 +407,7 @@ impl Cluster {
             return Err(ClusterError::InsufficientCapacity { host, vm });
         }
         self.placement.place(vm, host);
+        self.host_mem_committed[host.index()] += spec.mem_gb();
         Ok(())
     }
 
@@ -311,7 +426,9 @@ impl Cluster {
         if self.placement.host_of(vm).is_none() {
             return Err(ClusterError::VmNotPlaced(vm));
         }
-        Ok(self.placement.remove(vm))
+        let host = self.placement.remove(vm);
+        self.host_mem_committed[host.index()] -= self.vms[vm.index()].mem_gb();
+        Ok(host)
     }
 
     /// Starts a live migration of `vm` to `to`, returning when it
@@ -357,6 +474,7 @@ impl Cluster {
             completes_at,
         });
         self.inbound[to.index()] += 1;
+        self.host_mem_committed[to.index()] += spec.mem_gb();
         self.migrations_started += 1;
         Ok(completes_at)
     }
@@ -382,6 +500,9 @@ impl Cluster {
         debug_assert_eq!(migration.completes_at, now, "migration completion mistimed");
         self.inbound[migration.to.index()] -= 1;
         self.placement.relocate(vm, migration.to);
+        // The inbound reservation becomes the placed footprint on the
+        // destination (net zero there); the source gives the memory up.
+        self.host_mem_committed[migration.from.index()] -= self.vms[vm.index()].mem_gb();
         self.migrations_completed += 1;
         Ok(migration)
     }
@@ -408,7 +529,10 @@ impl Cluster {
         if kind.is_power_down() && !self.is_evacuated(host) {
             return Err(ClusterError::HostNotEvacuated(host));
         }
-        Ok(self.hosts[host.index()].power_mut().begin(kind, now)?)
+        let was_on = self.hosts[host.index()].is_operational();
+        let done = self.hosts[host.index()].power_mut().begin(kind, now)?;
+        self.note_power_changed(host.index(), was_on);
+        Ok(done)
     }
 
     /// Completes the in-flight power transition on `host`, returning the
@@ -423,7 +547,10 @@ impl Cluster {
         now: SimTime,
     ) -> Result<PowerState, ClusterError> {
         self.host(host)?;
-        Ok(self.hosts[host.index()].power_mut().complete(now)?)
+        let was_on = self.hosts[host.index()].is_operational();
+        let state = self.hosts[host.index()].power_mut().complete(now)?;
+        self.note_power_changed(host.index(), was_on);
+        Ok(state)
     }
 
     /// Fails the in-flight power transition on `host` (fault injection):
@@ -439,7 +566,26 @@ impl Cluster {
         now: SimTime,
     ) -> Result<PowerState, ClusterError> {
         self.host(host)?;
-        Ok(self.hosts[host.index()].power_mut().fail_pending(now)?)
+        let was_on = self.hosts[host.index()].is_operational();
+        let state = self.hosts[host.index()].power_mut().fail_pending(now)?;
+        self.note_power_changed(host.index(), was_on);
+        Ok(state)
+    }
+
+    /// Bookkeeping after any power-state mutation on host `i`: the power
+    /// total is stale, and the operational count/capacity change when the
+    /// host crossed the `On` boundary.
+    fn note_power_changed(&mut self, i: usize, was_on: bool) {
+        self.power_dirty.set(true);
+        let is_on = self.hosts[i].is_operational();
+        if is_on != was_on {
+            self.cap_dirty.set(true);
+            if is_on {
+                self.on_count += 1;
+            } else {
+                self.on_count -= 1;
+            }
+        }
     }
 
     /// Total power-state transitions that failed across all hosts.
@@ -465,6 +611,25 @@ impl Cluster {
     ///
     /// Panics if `vm_demand_cores.len() != self.num_vms()`.
     pub fn apply_demand(&mut self, now: SimTime, vm_demand_cores: &[f64]) -> DemandOutcome {
+        let mut out = DemandOutcome::default();
+        self.apply_demand_into(now, vm_demand_cores, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`apply_demand`](Self::apply_demand):
+    /// writes the outcome into a caller-owned buffer and reuses the
+    /// cluster's internal scratch vectors, so steady-state ticks allocate
+    /// nothing once buffers reach fleet size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_demand_cores.len() != self.num_vms()`.
+    pub fn apply_demand_into(
+        &mut self,
+        now: SimTime,
+        vm_demand_cores: &[f64],
+        out: &mut DemandOutcome,
+    ) {
         assert_eq!(
             vm_demand_cores.len(),
             self.vms.len(),
@@ -472,9 +637,13 @@ impl Cluster {
         );
         let n = self.hosts.len();
         // Per-host demand split by service class; interactive is served
-        // first when a host saturates.
-        let mut host_interactive = vec![0.0f64; n];
-        let mut host_batch = vec![0.0f64; n];
+        // first when a host saturates. Scratch is taken out of `self` so
+        // the host loop below can borrow `self.hosts` mutably.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let host_interactive = &mut scratch.interactive;
+        let host_batch = &mut scratch.batch;
+        reset_zeroed(host_interactive, n);
+        reset_zeroed(host_batch, n);
         let mut offered = 0.0f64;
         let mut offered_interactive = 0.0f64;
         let mut offered_batch = 0.0f64;
@@ -508,7 +677,8 @@ impl Cluster {
         // Migration CPU tax on both endpoints — infrastructure overhead,
         // served ahead of VM demand (the hypervisor does not yield).
         let tax = self.model.cpu_tax_cores();
-        let mut host_tax = vec![0.0f64; n];
+        let host_tax = &mut scratch.tax;
+        reset_zeroed(host_tax, n);
         for m in self.migrations.iter().flatten() {
             host_tax[m.from.index()] += tax;
             host_tax[m.to.index()] += tax;
@@ -516,8 +686,10 @@ impl Cluster {
 
         let mut served = 0.0f64;
         let mut unserved = unserved_unplaced;
-        let mut utilization = vec![0.0f64; n];
-        let mut host_demand = vec![0.0f64; n];
+        let utilization = &mut out.host_utilization;
+        let host_demand = &mut out.host_demand_cores;
+        reset_zeroed(utilization, n);
+        reset_zeroed(host_demand, n);
         for (i, host) in self.hosts.iter_mut().enumerate() {
             let cap = host.capacity().cpu_cores;
             let demand = host_tax[i] + host_interactive[i] + host_batch[i];
@@ -552,17 +724,17 @@ impl Cluster {
         let total_tax: f64 = host_tax.iter().sum();
         offered += total_tax;
 
-        DemandOutcome {
-            offered_cores: offered,
-            served_cores: served,
-            unserved_cores: unserved,
-            offered_interactive_cores: offered_interactive,
-            offered_batch_cores: offered_batch,
-            unserved_interactive_cores: unserved_interactive,
-            unserved_batch_cores: unserved_batch,
-            host_utilization: utilization,
-            host_demand_cores: host_demand,
-        }
+        self.scratch = scratch;
+        // Every operational host's utilization (and thus draw) changed.
+        self.power_dirty.set(true);
+
+        out.offered_cores = offered;
+        out.served_cores = served;
+        out.unserved_cores = unserved;
+        out.offered_interactive_cores = offered_interactive;
+        out.offered_batch_cores = offered_batch;
+        out.unserved_interactive_cores = unserved_interactive;
+        out.unserved_batch_cores = unserved_batch;
     }
 
     /// Brings every host's energy/residency accounting up to `now`.
@@ -574,7 +746,31 @@ impl Cluster {
     }
 
     /// Total cluster power draw right now, in watts.
+    ///
+    /// Under incremental accounting the value is cached between power
+    /// changes; revalidation performs the exact same index-order fold as
+    /// the scan, so both modes are bit-identical.
     pub fn total_power_w(&self) -> f64 {
+        match self.accounting {
+            AccountingMode::Scan => self.scan_total_power_w(),
+            AccountingMode::Incremental => {
+                if self.power_dirty.get() {
+                    self.power_cache.set(self.scan_total_power_w());
+                    self.power_dirty.set(false);
+                }
+                let v = self.power_cache.get();
+                debug_assert_eq!(
+                    v.to_bits(),
+                    self.scan_total_power_w().to_bits(),
+                    "stale total-power cache"
+                );
+                v
+            }
+        }
+    }
+
+    /// Scan-based reference for [`total_power_w`](Self::total_power_w).
+    fn scan_total_power_w(&self) -> f64 {
         self.hosts.iter().map(|h| h.power().power_w()).sum()
     }
 
@@ -584,7 +780,32 @@ impl Cluster {
     }
 
     /// Total aggregate CPU capacity of operational hosts, in cores.
+    ///
+    /// Cached between power transitions under incremental accounting
+    /// (same bit-identical revalidation as
+    /// [`total_power_w`](Self::total_power_w)).
     pub fn operational_capacity_cores(&self) -> f64 {
+        match self.accounting {
+            AccountingMode::Scan => self.scan_operational_capacity_cores(),
+            AccountingMode::Incremental => {
+                if self.cap_dirty.get() {
+                    self.cap_cache.set(self.scan_operational_capacity_cores());
+                    self.cap_dirty.set(false);
+                }
+                let v = self.cap_cache.get();
+                debug_assert_eq!(
+                    v.to_bits(),
+                    self.scan_operational_capacity_cores().to_bits(),
+                    "stale operational-capacity cache"
+                );
+                v
+            }
+        }
+    }
+
+    /// Scan-based reference for
+    /// [`operational_capacity_cores`](Self::operational_capacity_cores).
+    fn scan_operational_capacity_cores(&self) -> f64 {
         self.hosts
             .iter()
             .filter(|h| h.is_operational())
@@ -873,5 +1094,82 @@ mod tests {
         assert_eq!(c.total_capacity_cores(), 24.0);
         assert_eq!(c.operational_capacity_cores(), 24.0);
         assert_eq!(c.capacity_of(HostId(1)), Resources::new(8.0, 32.0));
+    }
+
+    /// Drives one cluster through placements, migrations, power cycles,
+    /// and demand in the given accounting mode; returns a fingerprint of
+    /// every aggregate query.
+    fn accounting_fingerprint(mode: AccountingMode) -> Vec<f64> {
+        let mut c = small_cluster();
+        c.set_accounting_mode(mode);
+        let mut probes = Vec::new();
+        let mut probe = |c: &Cluster| {
+            probes.push(c.total_power_w());
+            probes.push(c.operational_capacity_cores());
+            probes.push(c.num_operational_hosts() as f64);
+            for h in c.host_ids() {
+                probes.push(c.mem_committed_gb(h));
+            }
+        };
+        c.place(VmId(0), HostId(0)).unwrap();
+        c.place(VmId(1), HostId(0)).unwrap();
+        c.place(VmId(2), HostId(1)).unwrap();
+        probe(&c);
+        let done = c
+            .begin_migration(VmId(2), HostId(0), SimTime::ZERO)
+            .unwrap();
+        probe(&c);
+        c.apply_demand(SimTime::from_secs(1), &[1.5, 0.5, 1.0, 0.0, 0.0, 0.0]);
+        probe(&c);
+        c.complete_migration(VmId(2), done).unwrap();
+        c.unplace(VmId(1)).unwrap();
+        probe(&c);
+        let off = c
+            .begin_power_transition(HostId(1), TransitionKind::Suspend, done)
+            .unwrap();
+        probe(&c);
+        c.complete_power_transition(HostId(1), off).unwrap();
+        c.apply_demand(off, &[2.0, 0.0, 0.5, 0.0, 0.0, 0.0]);
+        probe(&c);
+        let on = c
+            .begin_power_transition(
+                HostId(1),
+                TransitionKind::Resume,
+                off + simcore::SimDuration::from_secs(600),
+            )
+            .unwrap();
+        c.fail_power_transition(HostId(1), on).unwrap();
+        probe(&c);
+        probes
+    }
+
+    #[test]
+    fn incremental_accounting_matches_scan_bitwise() {
+        let incr = accounting_fingerprint(AccountingMode::Incremental);
+        let scan = accounting_fingerprint(AccountingMode::Scan);
+        assert_eq!(incr.len(), scan.len());
+        for (k, (a, b)) in incr.iter().zip(&scan).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "probe {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_demand_into_reuses_buffers() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        let demand = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let reference = c.apply_demand(SimTime::from_secs(1), &demand);
+        // A reused (dirty) outcome buffer must produce identical results.
+        let mut out = DemandOutcome {
+            offered_cores: 99.0,
+            host_utilization: vec![7.0; 9],
+            host_demand_cores: vec![3.0; 1],
+            ..DemandOutcome::default()
+        };
+        c.apply_demand_into(SimTime::from_secs(2), &demand, &mut out);
+        assert_eq!(out.host_utilization.len(), c.num_hosts());
+        assert_eq!(out.offered_cores, reference.offered_cores);
+        assert_eq!(out.host_utilization, reference.host_utilization);
+        assert_eq!(out.host_demand_cores, reference.host_demand_cores);
     }
 }

@@ -28,12 +28,14 @@ pub(crate) fn plan_consolidation(
     // Phase 1: keep draining hosts draining — evacuate what we can.
     for host in 0..ctx.num_hosts() {
         if ctx.draining[host] && ctx.operational[host] {
-            evacuate(ctx, cfg, host, actions, budget);
+            evacuate(ctx, cfg, host, actions, budget, None);
         }
     }
 
     // Phase 2: select new candidates, least-loaded first.
     let mut new_drains = 0;
+    let mut trial_actions = Vec::new();
+    let mut journal = Vec::new();
     loop {
         if new_drains >= cfg.max_drains_per_round() || *budget == 0 {
             return;
@@ -43,17 +45,25 @@ pub(crate) fn plan_consolidation(
         };
         // A candidate only commits if its *entire* evacuation fits the
         // plan; otherwise we would strand VMs on a half-drained host.
-        let mut trial_actions = Vec::new();
+        trial_actions.clear();
+        journal.clear();
         let mut trial_budget = *budget;
-        let snapshot = snapshot(ctx);
         ctx.draining[candidate] = true;
-        let complete = evacuate(ctx, cfg, candidate, &mut trial_actions, &mut trial_budget);
+        let complete = evacuate(
+            ctx,
+            cfg,
+            candidate,
+            &mut trial_actions,
+            &mut trial_budget,
+            Some(&mut journal),
+        );
         if complete {
-            actions.extend(trial_actions);
+            actions.append(&mut trial_actions);
             *budget = trial_budget;
             new_drains += 1;
         } else {
-            restore(ctx, snapshot);
+            undo_moves(ctx, &journal);
+            ctx.draining[candidate] = false;
             // This candidate cannot be emptied; no smaller-utilization
             // candidate will appear this round either, so stop.
             return;
@@ -68,51 +78,71 @@ fn pick_candidate(
     gate: &HysteresisGate,
     now: SimTime,
 ) -> Option<usize> {
-    let active: Vec<usize> = (0..ctx.num_hosts())
-        .filter(|&h| ctx.operational[h] && !ctx.draining[h])
-        .collect();
-    let active_capacity: f64 = active.iter().map(|&h| ctx.cpu_capacity[h]).sum();
-    let arriving_capacity: f64 = (0..ctx.num_hosts())
-        .filter(|&h| ctx.arriving[h])
-        .map(|h| ctx.cpu_capacity[h])
-        .sum();
+    // One allocation-free pass for the capacity aggregates. The fold
+    // seeds mirror the iterator versions this replaced (`Sum<f64>` starts
+    // from -0.0; capacities are positive, so the sums are bit-identical).
+    let mut active_capacity = -0.0f64;
+    let mut arriving_capacity = -0.0f64;
+    let mut max_host_cap = 0.0f64;
+    for h in 0..ctx.num_hosts() {
+        if ctx.operational[h] && !ctx.draining[h] {
+            active_capacity += ctx.cpu_capacity[h];
+        }
+        if ctx.arriving[h] {
+            arriving_capacity += ctx.cpu_capacity[h];
+        }
+        max_host_cap = max_host_cap.max(ctx.cpu_capacity[h]);
+    }
     let total_pred = ctx.total_predicted();
-    let max_host_cap = (0..ctx.num_hosts())
-        .map(|h| ctx.cpu_capacity[h])
-        .fold(0.0, f64::max);
     // The dead-band separates the drain trigger from the wake trigger so
     // demand noise across a single threshold cannot cycle hosts.
     let required = total_pred / cfg.target_utilization()
         + (cfg.spare_hosts() as f64 + cfg.drain_deadband_frac()) * max_host_cap;
 
-    active
-        .into_iter()
-        .filter(|&h| {
-            ctx.util(h) < cfg.underload_threshold()
-                && gate.may_power_down(HostId(h as u32), now)
-                // Removing this host must still leave enough capacity.
-                && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required
-        })
-        .min_by(|&a, &b| {
-            ctx.util(a)
-                .partial_cmp(&ctx.util(b))
-                .expect("utilization is finite")
-        })
+    // Least-loaded qualifying host; first wins on ties, matching
+    // `Iterator::min_by` over ascending indices.
+    let mut best: Option<usize> = None;
+    for h in 0..ctx.num_hosts() {
+        let qualifies = ctx.operational[h]
+            && !ctx.draining[h]
+            && ctx.util(h) < cfg.underload_threshold()
+            && gate.may_power_down(HostId(h as u32), now)
+            // Removing this host must still leave enough capacity.
+            && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required;
+        if !qualifies {
+            continue;
+        }
+        best = match best {
+            Some(b)
+                if ctx
+                    .util(h)
+                    .partial_cmp(&ctx.util(b))
+                    .expect("utilization is finite")
+                    .is_lt() =>
+            {
+                Some(h)
+            }
+            Some(b) => Some(b),
+            None => Some(h),
+        };
+    }
+    best
 }
 
 /// Moves VMs off `host` with best-fit-decreasing packing. Returns whether
 /// the host's evacuation is fully planned (no movable VM left behind and
 /// none were unmovable).
 ///
-/// All-or-nothing callers should snapshot/restore around this; for
-/// incremental drains (phase 1) partial progress is fine — completion is
-/// reported truthfully either way.
+/// All-or-nothing callers pass a `journal` and roll back with
+/// [`undo_moves`] on failure; for incremental drains (phase 1) partial
+/// progress is fine — completion is reported truthfully either way.
 fn evacuate(
     ctx: &mut PlanContext,
     cfg: &ManagerConfig,
     host: usize,
     actions: &mut Vec<ManagementAction>,
     budget: &mut usize,
+    mut journal: Option<&mut Vec<MoveUndo>>,
 ) -> bool {
     // Batch victims first, largest first within each class. There may
     // also be unmovable (already-migrating) VMs; the host is not fully
@@ -130,6 +160,9 @@ fn evacuate(
         let Some(dest) = dest else {
             return false;
         };
+        if let Some(journal) = journal.as_deref_mut() {
+            journal.push(MoveUndo::capture(ctx, vm, dest));
+        }
         ctx.move_vm(vm, dest);
         actions.push(ManagementAction::Migrate {
             vm: VmId(vm as u32),
@@ -140,34 +173,58 @@ fn evacuate(
     ctx.movable_vms(host).is_empty()
 }
 
-/// Cheap undo support for the all-or-nothing candidate trial.
-struct Snapshot {
-    host_pred_cpu: Vec<f64>,
-    mem_committed: Vec<f64>,
-    vm_host: Vec<Option<usize>>,
-    migrating_vm: Vec<bool>,
-    vms_by_host: Vec<Vec<usize>>,
-    draining: Vec<bool>,
+/// One journaled migration, holding the bitwise-original values
+/// [`PlanContext::move_vm`] overwrote. Rolling back restores those saved
+/// values rather than re-deriving them arithmetically, so an undone trial
+/// leaves the context *exactly* as it was — no accumulated floating-point
+/// drift that could flip a later threshold comparison.
+struct MoveUndo {
+    vm: usize,
+    from: usize,
+    to: usize,
+    /// Position of `vm` in `vms_by_host[from]` before the move, so the
+    /// rollback reinserts it in place (order is the tie-break for the
+    /// stable disruption-candidate sort).
+    from_idx: usize,
+    old_pred_from: f64,
+    old_pred_to: f64,
+    old_mem_to: f64,
 }
 
-fn snapshot(ctx: &PlanContext) -> Snapshot {
-    Snapshot {
-        host_pred_cpu: ctx.host_pred_cpu.clone(),
-        mem_committed: ctx.mem_committed.clone(),
-        vm_host: ctx.vm_host.clone(),
-        migrating_vm: ctx.migrating_vm.clone(),
-        vms_by_host: ctx.vms_by_host.clone(),
-        draining: ctx.draining.clone(),
+impl MoveUndo {
+    fn capture(ctx: &PlanContext, vm: usize, to: usize) -> Self {
+        let from = ctx.vm_host[vm].expect("journaling unplaced VM");
+        MoveUndo {
+            vm,
+            from,
+            to,
+            from_idx: ctx.vms_by_host[from]
+                .iter()
+                .position(|&v| v == vm)
+                .expect("VM missing from its host list"),
+            old_pred_from: ctx.host_pred_cpu[from],
+            old_pred_to: ctx.host_pred_cpu[to],
+            old_mem_to: ctx.mem_committed[to],
+        }
     }
 }
 
-fn restore(ctx: &mut PlanContext, s: Snapshot) {
-    ctx.host_pred_cpu = s.host_pred_cpu;
-    ctx.mem_committed = s.mem_committed;
-    ctx.vm_host = s.vm_host;
-    ctx.migrating_vm = s.migrating_vm;
-    ctx.vms_by_host = s.vms_by_host;
-    ctx.draining = s.draining;
+/// Reverses journaled moves in LIFO order. Each undo step sees exactly
+/// the state its move produced, so the saved values and list positions
+/// apply verbatim.
+fn undo_moves(ctx: &mut PlanContext, journal: &[MoveUndo]) {
+    for u in journal.iter().rev() {
+        let popped = ctx.vms_by_host[u.to].pop();
+        debug_assert_eq!(popped, Some(u.vm), "undo out of order");
+        ctx.vms_by_host[u.from].insert(u.from_idx, u.vm);
+        ctx.vm_host[u.vm] = Some(u.from);
+        // Trial moves only ever pick non-migrating VMs, so the flag's
+        // prior value is always false.
+        ctx.migrating_vm[u.vm] = false;
+        ctx.host_pred_cpu[u.from] = u.old_pred_from;
+        ctx.host_pred_cpu[u.to] = u.old_pred_to;
+        ctx.mem_committed[u.to] = u.old_mem_to;
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,11 @@ pub struct VirtManager {
     last_reasons: Vec<ActionReason>,
     last_decision: Option<DecisionRecord>,
     stats: RoundStats,
+    /// Reusable per-round buffers: predictions and the planning context
+    /// keep their allocations across rounds so steady-state planning
+    /// allocates nothing.
+    predicted_buf: Vec<f64>,
+    ctx: PlanContext,
 }
 
 /// Capacity requirement vs. supply, assessed before any action.
@@ -115,6 +120,8 @@ impl VirtManager {
             last_reasons: Vec::new(),
             last_decision: None,
             stats: RoundStats::default(),
+            predicted_buf: Vec::new(),
+            ctx: PlanContext::default(),
         }
     }
 
@@ -163,16 +170,15 @@ impl VirtManager {
         assert_eq!(obs.vms.len(), self.predictors.len(), "VM count changed");
         self.stats.rounds += 1;
 
-        // Feed the predictors and collect per-VM predictions.
-        let predicted: Vec<f64> = obs
-            .vms
-            .iter()
-            .zip(&mut self.predictors)
-            .map(|(vm, p)| {
+        // Feed the predictors and collect per-VM predictions into the
+        // reusable buffer.
+        self.predicted_buf.clear();
+        let predictors = &mut self.predictors;
+        self.predicted_buf
+            .extend(obs.vms.iter().zip(predictors).map(|(vm, p)| {
                 p.observe(vm.cpu_demand);
                 p.predict().clamp(0.0, vm.cpu_cap)
-            })
-            .collect();
+            }));
 
         // Feed the time-of-day profile (proactive pre-waking).
         if let Some(profile) = &mut self.profile {
@@ -186,7 +192,8 @@ impl VirtManager {
             return Vec::new();
         }
 
-        let mut ctx = PlanContext::new(obs, predicted, &self.draining);
+        let mut ctx = std::mem::take(&mut self.ctx);
+        ctx.rebuild(obs, &self.predicted_buf, &self.draining);
         let mut actions = Vec::new();
         let mut budget = self.config.max_migrations_per_round();
         let power_managed = matches!(self.config.policy(), PowerPolicy::Reactive { .. });
@@ -245,10 +252,13 @@ impl VirtManager {
         drm::rebalance(&mut ctx, &self.config, &mut actions, &mut budget);
         mark(&mut reasons, actions.len(), ActionReason::Rebalance);
         if power_managed {
-            self.draining = ctx.draining.clone();
+            self.draining.clear();
+            self.draining.extend_from_slice(&ctx.draining);
             self.park_drained(obs, &mut actions);
         }
         mark(&mut reasons, actions.len(), ActionReason::Park);
+        // Hand the context back for reuse next round.
+        self.ctx = ctx;
 
         let mut round_actions = DecisionActions::default();
         for (a, reason) in actions.iter().zip(&reasons) {

@@ -92,6 +92,18 @@ pub struct ClusterObservation {
     pub vms: Vec<VmObservation>,
 }
 
+impl Default for ClusterObservation {
+    /// An empty observation at time zero — the initial state of reusable
+    /// observation buffers (see the engine's per-tick buffer reuse).
+    fn default() -> Self {
+        ClusterObservation {
+            now: SimTime::ZERO,
+            hosts: Vec::new(),
+            vms: Vec::new(),
+        }
+    }
+}
+
 impl ClusterObservation {
     /// Total measured VM demand, cores (excludes migration tax).
     pub fn total_vm_demand(&self) -> f64 {

@@ -11,7 +11,11 @@ use cluster::ServiceClass;
 use crate::{ClusterObservation, ManagerConfig};
 
 /// Mutable planning view of the cluster for one round.
-#[derive(Debug)]
+///
+/// The manager owns one instance and [`rebuild`](Self::rebuild)s it each
+/// round, so the ~13 vectors below keep their allocations across rounds
+/// and steady-state planning allocates nothing.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct PlanContext {
     /// Predicted demand per VM, cores.
     pub predicted_vm: Vec<f64>,
@@ -40,12 +44,25 @@ pub(crate) struct PlanContext {
     pub vm_batch: Vec<bool>,
     /// VMs per host under the tentative plan.
     pub vms_by_host: Vec<Vec<usize>>,
+    /// Sum of `predicted_vm`, computed once per rebuild (predictions are
+    /// immutable within a round, so hot paths read this instead of
+    /// re-summing O(VMs)).
+    total_predicted_cache: f64,
 }
 
 impl PlanContext {
-    /// Builds the context from an observation, per-VM predictions, and the
-    /// manager's persistent drain set.
+    /// Builds a fresh context from an observation, per-VM predictions,
+    /// and the manager's persistent drain set.
+    #[cfg(test)]
     pub fn new(obs: &ClusterObservation, predicted_vm: Vec<f64>, draining: &[bool]) -> Self {
+        let mut ctx = PlanContext::default();
+        ctx.rebuild(obs, &predicted_vm, draining);
+        ctx
+    }
+
+    /// Refills the context in place from this round's observation,
+    /// reusing every vector's allocation from the previous round.
+    pub fn rebuild(&mut self, obs: &ClusterObservation, predicted_vm: &[f64], draining: &[bool]) {
         let nh = obs.hosts.len();
         assert_eq!(draining.len(), nh, "drain set length mismatch");
         assert_eq!(
@@ -54,46 +71,66 @@ impl PlanContext {
             "prediction length mismatch"
         );
 
-        let mut vms_by_host = vec![Vec::new(); nh];
-        let mut vm_host = Vec::with_capacity(obs.vms.len());
+        self.predicted_vm.clear();
+        self.predicted_vm.extend_from_slice(predicted_vm);
+
+        // Keep inner per-host Vec allocations alive across rounds.
+        self.vms_by_host.truncate(nh);
+        for v in &mut self.vms_by_host {
+            v.clear();
+        }
+        self.vms_by_host.resize_with(nh, Vec::new);
+
+        self.vm_host.clear();
         for (i, vm) in obs.vms.iter().enumerate() {
             let h = vm.host.map(|h| h.index());
             if let Some(h) = h {
-                vms_by_host[h].push(i);
+                self.vms_by_host[h].push(i);
             }
-            vm_host.push(h);
+            self.vm_host.push(h);
         }
         // Host predicted demand = sum of its VMs' predictions (migration
         // tax is transient; plans are made on VM demand).
-        let mut host_pred_cpu = vec![0.0; nh];
-        for (i, &h) in vm_host.iter().enumerate() {
+        self.host_pred_cpu.clear();
+        self.host_pred_cpu.resize(nh, 0.0);
+        for (i, &h) in self.vm_host.iter().enumerate() {
             if let Some(h) = h {
-                host_pred_cpu[h] += predicted_vm[i];
+                self.host_pred_cpu[h] += predicted_vm[i];
             }
         }
-        PlanContext {
-            predicted_vm,
-            host_pred_cpu,
-            mem_committed: obs.hosts.iter().map(|h| h.mem_committed).collect(),
-            cpu_capacity: obs.hosts.iter().map(|h| h.cpu_capacity).collect(),
-            mem_capacity: obs.hosts.iter().map(|h| h.mem_capacity).collect(),
-            operational: obs.hosts.iter().map(|h| h.is_operational()).collect(),
-            arriving: obs
-                .hosts
+
+        self.mem_committed.clear();
+        self.mem_committed
+            .extend(obs.hosts.iter().map(|h| h.mem_committed));
+        self.cpu_capacity.clear();
+        self.cpu_capacity
+            .extend(obs.hosts.iter().map(|h| h.cpu_capacity));
+        self.mem_capacity.clear();
+        self.mem_capacity
+            .extend(obs.hosts.iter().map(|h| h.mem_capacity));
+        self.operational.clear();
+        self.operational
+            .extend(obs.hosts.iter().map(|h| h.is_operational()));
+        self.arriving.clear();
+        self.arriving.extend(
+            obs.hosts
                 .iter()
-                .map(|h| h.is_arriving_or_on() && !h.is_operational())
-                .collect(),
-            draining: draining.to_vec(),
-            migrating_vm: obs.vms.iter().map(|v| v.migrating).collect(),
-            vm_host,
-            vm_mem: obs.vms.iter().map(|v| v.mem_gb).collect(),
-            vm_batch: obs
-                .vms
+                .map(|h| h.is_arriving_or_on() && !h.is_operational()),
+        );
+        self.draining.clear();
+        self.draining.extend_from_slice(draining);
+        self.migrating_vm.clear();
+        self.migrating_vm
+            .extend(obs.vms.iter().map(|v| v.migrating));
+        self.vm_mem.clear();
+        self.vm_mem.extend(obs.vms.iter().map(|v| v.mem_gb));
+        self.vm_batch.clear();
+        self.vm_batch.extend(
+            obs.vms
                 .iter()
-                .map(|v| v.service_class == ServiceClass::Batch)
-                .collect(),
-            vms_by_host,
-        }
+                .map(|v| v.service_class == ServiceClass::Batch),
+        );
+        self.total_predicted_cache = self.predicted_vm.iter().sum();
     }
 
     /// Number of hosts.
@@ -179,7 +216,12 @@ impl PlanContext {
 
     /// Total predicted VM demand, cores.
     pub fn total_predicted(&self) -> f64 {
-        self.predicted_vm.iter().sum()
+        debug_assert_eq!(
+            self.total_predicted_cache.to_bits(),
+            self.predicted_vm.iter().sum::<f64>().to_bits(),
+            "stale total-prediction cache"
+        );
+        self.total_predicted_cache
     }
 
     /// Chooses the feasible destination for `vm` with the *lowest*

@@ -159,6 +159,11 @@ pub struct PowerStateMachine {
     residency: StateResidency,
     transition_counts: [u64; 4],
     failed_transitions: u64,
+    /// Memoized `state_power_w(state, utilization)`, refreshed on every
+    /// state or utilization change so [`power_w`](Self::power_w) — called
+    /// once per host on every cluster power read — never re-evaluates the
+    /// power curve.
+    cached_power_w: f64,
 }
 
 impl PowerStateMachine {
@@ -194,6 +199,7 @@ impl PowerStateMachine {
             residency: StateResidency::default(),
             transition_counts: [0; 4],
             failed_transitions: 0,
+            cached_power_w: power,
         }
     }
 
@@ -225,7 +231,15 @@ impl PowerStateMachine {
 
     /// Current instantaneous power draw, in watts.
     pub fn power_w(&self) -> f64 {
-        self.profile.state_power_w(self.state, self.utilization)
+        debug_assert_eq!(
+            self.cached_power_w.to_bits(),
+            self.profile
+                .state_power_w(self.state, self.utilization)
+                .to_bits(),
+            "stale power cache in state {}",
+            self.state
+        );
+        self.cached_power_w
     }
 
     /// Energy accounting (totals, per-state breakdown, optional trace).
@@ -266,11 +280,9 @@ impl PowerStateMachine {
         let util = util.clamp(0.0, 1.0);
         self.advance(now);
         self.utilization = util;
-        self.meter.set_power(
-            now,
-            self.profile.state_power_w(self.state, util),
-            self.state,
-        );
+        let power = self.profile.state_power_w(self.state, util);
+        self.cached_power_w = power;
+        self.meter.set_power(now, power, self.state);
     }
 
     /// Begins a power-state transition, returning the instant it completes.
@@ -299,6 +311,7 @@ impl PowerStateMachine {
         self.advance(now);
         self.enter_state(via, now);
         self.meter.set_power(now, spec.avg_power_w(), via);
+        self.cached_power_w = self.profile.state_power_w(via, self.utilization);
         self.pending = Some((kind, completes_at));
         Ok(completes_at)
     }
@@ -327,6 +340,7 @@ impl PowerStateMachine {
         // A freshly-resumed/booted host starts at its current recorded
         // utilization; the simulator refreshes it on the next tick.
         let power = self.profile.state_power_w(target, self.utilization);
+        self.cached_power_w = power;
         self.meter.set_power(now, power, target);
         self.transition_counts[match kind {
             TransitionKind::Suspend => 0,
@@ -363,6 +377,7 @@ impl PowerStateMachine {
         self.advance(now);
         self.enter_state(target, now);
         let power = self.profile.state_power_w(target, self.utilization);
+        self.cached_power_w = power;
         self.meter.set_power(now, power, target);
         self.failed_transitions += 1;
         Ok(target)

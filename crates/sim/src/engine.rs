@@ -3,7 +3,7 @@
 use agile_core::{
     ClusterObservation, HostObservation, ManagementAction, VirtManager, VmObservation,
 };
-use cluster::{Cluster, ClusterError, DemandOutcome, HostId, VmId};
+use cluster::{AccountingMode, Cluster, ClusterError, DemandOutcome, HostId, VmId};
 use power::PowerState;
 use simcore::{EventQueue, SimDuration, SimTime};
 use workload::DemandTrace;
@@ -70,6 +70,12 @@ pub struct DatacenterSim {
     ph_execute: PhaseId,
     ph_dispatch: PhaseId,
     peak_queue_len: usize,
+    /// Reusable per-tick buffers: the demand vector, the demand outcome,
+    /// and the manager observation. Steady-state ticks allocate nothing
+    /// once these reach fleet size.
+    demand_buf: Vec<f64>,
+    outcome_buf: DemandOutcome,
+    obs_buf: ClusterObservation,
 }
 
 impl DatacenterSim {
@@ -153,7 +159,17 @@ impl DatacenterSim {
             ph_execute,
             ph_dispatch,
             peak_queue_len: 0,
+            demand_buf: Vec::new(),
+            outcome_buf: DemandOutcome::default(),
+            obs_buf: ClusterObservation::default(),
         })
+    }
+
+    /// Selects the cluster's accounting mode (see
+    /// [`cluster::AccountingMode`]); the default is incremental. `Scan`
+    /// is the O(hosts)-per-query reference used by determinism tests.
+    pub fn set_accounting_mode(&mut self, mode: AccountingMode) {
+        self.cluster.set_accounting_mode(mode);
     }
 
     /// Enables the audit log (see [`crate::events`]); entries land in
@@ -352,8 +368,10 @@ impl DatacenterSim {
             .mem_gb();
         let dest = self
             .cluster
-            .operational_hosts()
-            .into_iter()
+            .hosts()
+            .iter()
+            .filter(|h| h.is_operational())
+            .map(|h| h.id())
             .filter(|&h| self.cluster.mem_free_gb(h) >= mem_needed)
             .max_by(|&a, &b| {
                 self.cluster
@@ -404,31 +422,39 @@ impl DatacenterSim {
     }
 
     fn control_tick(&mut self, now: SimTime, end: SimTime) {
-        // 1. Demand update.
-        let demands: Vec<f64> = self
-            .traces
-            .iter()
-            .zip(&self.vm_caps)
-            .enumerate()
-            .map(|(i, (trace, cap))| {
-                if self.lifetimes[i].is_active(now) {
-                    trace.at(now) * cap
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let outcome = self.cluster.apply_demand(now, &demands);
-        self.collector.record_tick(now, &outcome, &self.cluster);
+        // 1. Demand update, through the reusable tick buffers.
+        let traces = &self.traces;
+        let lifetimes = &self.lifetimes;
+        self.demand_buf.clear();
+        self.demand_buf
+            .extend(
+                traces
+                    .iter()
+                    .zip(&self.vm_caps)
+                    .enumerate()
+                    .map(|(i, (trace, cap))| {
+                        if lifetimes[i].is_active(now) {
+                            trace.at(now) * cap
+                        } else {
+                            0.0
+                        }
+                    }),
+            );
+        self.cluster
+            .apply_demand_into(now, &self.demand_buf, &mut self.outcome_buf);
+        self.collector
+            .record_tick(now, &self.outcome_buf, &self.cluster);
 
         // 2. Management round.
         if self.manager.is_some() {
             let t0 = self.profiler.start();
-            let obs = self.observe(now, &outcome);
+            let mut obs = std::mem::take(&mut self.obs_buf);
+            self.fill_observation(now, &mut obs);
             self.profiler.stop(self.ph_observe, t0);
 
             let t0 = self.profiler.start();
             let actions = self.manager.as_mut().expect("checked above").plan(&obs);
+            self.obs_buf = obs;
             self.profiler.stop(self.ph_plan, t0);
 
             self.telemetry.registry.inc(self.telemetry.rounds);
@@ -463,7 +489,7 @@ impl DatacenterSim {
             .record_power(now, self.cluster.total_power_w());
         self.telemetry.registry.set(
             self.telemetry.hosts_on,
-            self.cluster.operational_hosts().len() as f64,
+            self.cluster.num_operational_hosts() as f64,
         );
 
         // 3. Next tick.
@@ -526,46 +552,44 @@ impl DatacenterSim {
         Ok(())
     }
 
-    fn observe(&self, now: SimTime, outcome: &DemandOutcome) -> ClusterObservation {
-        let hosts = self
-            .cluster
-            .hosts()
-            .iter()
-            .map(|h| {
-                let i = h.id().index();
-                HostObservation {
-                    id: h.id(),
-                    state: h.power_state(),
-                    pending: h.power().pending().map(|(kind, _)| kind),
-                    cpu_capacity: h.capacity().cpu_cores,
-                    mem_capacity: h.capacity().mem_gb,
-                    mem_committed: self.cluster.mem_committed_gb(h.id()),
-                    cpu_demand: outcome.host_demand_cores[i],
-                    evacuated: self.cluster.is_evacuated(h.id()),
-                }
-            })
-            .collect();
-        let vms = (0..self.cluster.num_vms())
-            .map(|i| {
-                let id = VmId(i as u32);
-                let spec = self.cluster.vm(id).expect("vm id in range");
-                let demand = if self.lifetimes[i].is_active(now) {
-                    self.traces[i].at(now) * self.vm_caps[i]
-                } else {
-                    0.0
-                };
-                VmObservation {
-                    id,
-                    host: self.cluster.placement().host_of(id),
-                    cpu_demand: demand,
-                    cpu_cap: spec.cpu_cap_cores(),
-                    mem_gb: spec.mem_gb(),
-                    migrating: self.cluster.migration_of(id).is_some(),
-                    service_class: spec.service_class(),
-                }
-            })
-            .collect();
-        ClusterObservation { now, hosts, vms }
+    /// Refills the reusable observation buffer from the cluster and the
+    /// tick's demand outcome — the zero-alloc replacement for collecting
+    /// fresh host/VM vectors every round.
+    fn fill_observation(&self, now: SimTime, obs: &mut ClusterObservation) {
+        obs.now = now;
+        obs.hosts.clear();
+        obs.hosts.extend(self.cluster.hosts().iter().map(|h| {
+            let i = h.id().index();
+            HostObservation {
+                id: h.id(),
+                state: h.power_state(),
+                pending: h.power().pending().map(|(kind, _)| kind),
+                cpu_capacity: h.capacity().cpu_cores,
+                mem_capacity: h.capacity().mem_gb,
+                mem_committed: self.cluster.mem_committed_gb(h.id()),
+                cpu_demand: self.outcome_buf.host_demand_cores[i],
+                evacuated: self.cluster.is_evacuated(h.id()),
+            }
+        }));
+        obs.vms.clear();
+        obs.vms.extend((0..self.cluster.num_vms()).map(|i| {
+            let id = VmId(i as u32);
+            let spec = self.cluster.vm(id).expect("vm id in range");
+            let demand = if self.lifetimes[i].is_active(now) {
+                self.traces[i].at(now) * self.vm_caps[i]
+            } else {
+                0.0
+            };
+            VmObservation {
+                id,
+                host: self.cluster.placement().host_of(id),
+                cpu_demand: demand,
+                cpu_cap: spec.cpu_cap_cores(),
+                mem_gb: spec.mem_gb(),
+                migrating: self.cluster.migration_of(id).is_some(),
+                service_class: spec.service_class(),
+            }
+        }));
     }
 }
 

@@ -99,7 +99,7 @@ impl MetricsCollector {
             }
         }
 
-        let on = cluster.operational_hosts().len();
+        let on = cluster.num_operational_hosts();
         self.hosts_on_series.record(now, on as f64);
         let on_capacity = cluster.operational_capacity_cores();
         if on_capacity > 0.0 {

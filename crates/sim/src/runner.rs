@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use agile_core::{ManagerConfig, PowerPolicy, RoundStats, VirtManager};
-use cluster::Cluster;
+use cluster::{AccountingMode, Cluster};
 use obs::{JsonlSink, MetricsSnapshot};
 use simcore::{SimDuration, SimTime};
 
@@ -48,6 +48,7 @@ pub struct Experiment {
     failures: FailureModel,
     record_events: bool,
     trace_path: Option<PathBuf>,
+    accounting: AccountingMode,
 }
 
 /// Where the manager configuration comes from: a bare policy gets
@@ -70,6 +71,7 @@ impl Experiment {
             failures: FailureModel::none(),
             record_events: false,
             trace_path: None,
+            accounting: AccountingMode::default(),
         }
     }
 
@@ -122,6 +124,16 @@ impl Experiment {
     /// when the run starts, so `Experiment` stays `Clone`.
     pub fn trace_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Selects the cluster accounting mode (default:
+    /// [`AccountingMode::Incremental`]). The scan mode recomputes every
+    /// aggregate from scratch each query and exists as the reference the
+    /// incremental mode is verified against — reports must be
+    /// bit-identical between the two.
+    pub fn accounting(mut self, mode: AccountingMode) -> Self {
+        self.accounting = mode;
         self
     }
 
@@ -207,6 +219,7 @@ impl Experiment {
             self.scenario.fleet().len(),
         );
         let mut sim = DatacenterSim::new(&self.scenario, Some(manager), interval, self.horizon)?;
+        sim.set_accounting_mode(self.accounting);
         sim.set_failure_model(self.failures);
         if self.record_events {
             sim.enable_event_log();

@@ -153,21 +153,53 @@ pub fn hysteresis_sweep(
 /// Experiment F8: scale-out — the same diurnal day at increasing cluster
 /// sizes (VMs scale at 6 per host, the headline density).
 ///
+/// Runs all sizes through the bounded worker pool; results stay in
+/// `host_counts` order and each run is independently seeded, so the
+/// output is identical to the sequential loop.
+///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the first failing run (lowest host count first).
 pub fn scale_sweep(
     host_counts: &[usize],
     policy: PowerPolicy,
     seed: u64,
 ) -> Result<Vec<(usize, SimReport)>, SimError> {
-    let mut out = Vec::with_capacity(host_counts.len());
-    for &hosts in host_counts {
+    let results = scale_sweep_policies(host_counts, &[policy], seed)?;
+    Ok(results
+        .into_iter()
+        .map(|(hosts, _, report)| (hosts, report))
+        .collect())
+}
+
+/// The full F8 grid: every `(host count, policy)` pair, all dispatched
+/// through one bounded worker pool so a base-vs-PM comparison at several
+/// sizes costs one batch, not two sequential sweeps.
+///
+/// Results are ordered size-major (`host_counts` order, then `policies`
+/// order within a size).
+///
+/// # Errors
+///
+/// Propagates the first failing run in output order.
+pub fn scale_sweep_policies(
+    host_counts: &[usize],
+    policies: &[PowerPolicy],
+    seed: u64,
+) -> Result<Vec<(usize, PowerPolicy, SimReport)>, SimError> {
+    let jobs: Vec<(usize, PowerPolicy)> = host_counts
+        .iter()
+        .flat_map(|&hosts| policies.iter().map(move |&p| (hosts, p)))
+        .collect();
+    let reports = simcore::pool::run_indexed(jobs.len(), |i| {
+        let (hosts, policy) = jobs[i];
         let scenario = Scenario::datacenter(hosts, hosts * 6, seed);
-        let report = Experiment::new(scenario).policy(policy).run()?;
-        out.push((hosts, report));
-    }
-    Ok(out)
+        Experiment::new(scenario).policy(policy).run()
+    });
+    jobs.into_iter()
+        .zip(reports)
+        .map(|((hosts, policy), report)| Ok((hosts, policy, report?)))
+        .collect()
 }
 
 /// Experiment T13: reliability sensitivity — the cost of resume failures.
@@ -430,6 +462,21 @@ mod tests {
         // Energy roughly scales with fleet size.
         let ratio = results[1].1.energy_j / results[0].1.energy_j;
         assert!((1.2..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn policy_grid_matches_single_policy_sweep() {
+        let sizes = [4, 8];
+        let policies = [PowerPolicy::always_on(), PowerPolicy::reactive_suspend()];
+        let grid = scale_sweep_policies(&sizes, &policies, 13).unwrap();
+        assert_eq!(grid.len(), 4);
+        // Size-major ordering, and pooled execution changes nothing: the
+        // PM rows equal a standalone single-policy sweep exactly.
+        let pm = scale_sweep(&sizes, PowerPolicy::reactive_suspend(), 13).unwrap();
+        assert_eq!(grid[0].0, 4);
+        assert_eq!(grid[3].0, 8);
+        assert_eq!(grid[1].2, pm[0].1);
+        assert_eq!(grid[3].2, pm[1].1);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Incremental-vs-scan accounting determinism.
+//!
+//! The incremental cluster accounting (running totals, lazy caches,
+//! memoized host power) is a pure performance change: the paper's
+//! numbers must not move. These tests run the same scenario under both
+//! [`AccountingMode`]s and require the reports to be identical — both
+//! structurally and in their serialized form, so `-0.0`/`+0.0` or NaN
+//! sleights of hand cannot hide behind `==`.
+
+use agile_core::PowerPolicy;
+use cluster::AccountingMode;
+use dcsim::{Experiment, Scenario};
+
+fn run(scenario: &Scenario, policy: PowerPolicy, mode: AccountingMode) -> dcsim::SimReport {
+    Experiment::new(scenario.clone())
+        .policy(policy)
+        .accounting(mode)
+        .record_events()
+        .run()
+        .expect("scenario runs")
+}
+
+fn assert_identical(scenario: &Scenario, policy: PowerPolicy) {
+    let incremental = run(scenario, policy, AccountingMode::Incremental);
+    let scan = run(scenario, policy, AccountingMode::Scan);
+    assert_eq!(
+        incremental, scan,
+        "incremental accounting changed the report"
+    );
+    assert_eq!(
+        incremental.to_json().to_string(),
+        scan.to_json().to_string(),
+        "serialized reports differ"
+    );
+}
+
+#[test]
+fn golden_32_host_day_is_bit_identical() {
+    // The satellite's golden case: a 32-host diurnal day under the
+    // paper's suspend policy, full migration/park/wake churn.
+    let scenario = Scenario::datacenter(32, 192, 2013);
+    assert_identical(&scenario, PowerPolicy::reactive_suspend());
+}
+
+#[test]
+fn off_policy_and_baseline_are_bit_identical() {
+    // S5 exercises boot/shutdown transitions; AlwaysOn exercises the
+    // no-transition path where only demand accounting runs.
+    let scenario = Scenario::datacenter(16, 96, 7);
+    assert_identical(&scenario, PowerPolicy::reactive_off());
+    assert_identical(&scenario, PowerPolicy::always_on());
+}
+
+#[test]
+fn churn_scenario_is_bit_identical() {
+    // VM arrivals/retirements stress placement/unplacement accounting.
+    let scenario = Scenario::datacenter_churn(12, 72, 0.3, 5);
+    assert_identical(&scenario, PowerPolicy::reactive_suspend());
+}

@@ -14,6 +14,8 @@
 //! * [`TimeSeries`], [`Histogram`], [`Welford`] — the measurement toolkit
 //!   used by the simulator's metrics pipeline (time-weighted integrals,
 //!   percentiles, online moments).
+//! * [`pool`] — a bounded worker pool for running independent jobs (whole
+//!   simulations, sweep points) in parallel with index-ordered results.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod pool;
 mod rng;
 mod series;
 mod stats;

@@ -1,0 +1,92 @@
+//! A minimal bounded worker pool for embarrassingly-parallel job sets.
+//!
+//! Callers hand over a job count and an indexed closure; the pool claims
+//! indices atomically, runs jobs on `available_parallelism()` scoped
+//! threads, and returns the results in index order. On single-core
+//! machines (or for a single job) it degrades to a plain sequential loop
+//! with no thread or synchronization overhead, so results are identical
+//! either way — per-job determinism is the caller's responsibility and
+//! the pool never reorders outputs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Runs `num_jobs` jobs, `run(i)` for each index, on a bounded pool of
+/// worker threads; returns the results in index order.
+///
+/// The worker count is `min(available_parallelism, num_jobs)`. With one
+/// worker the jobs run sequentially on the calling thread.
+///
+/// # Panics
+///
+/// Panics if any job panics (the panic is propagated once all workers
+/// have stopped).
+pub fn run_indexed<T, F>(num_jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(num_jobs);
+    if workers <= 1 {
+        return (0..num_jobs).map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..num_jobs).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_jobs {
+                    break;
+                }
+                let result = run(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let out = run_indexed(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u32> = run_indexed(0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        assert_eq!(run_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn jobs_each_run_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counters: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        run_indexed(64, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+}

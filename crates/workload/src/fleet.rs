@@ -265,7 +265,7 @@ impl Fleet {
         self.vm_specs
             .iter()
             .zip(&self.traces)
-            .map(|(spec, t)| t.samples()[k.min(t.len() - 1)] * spec.cpu_cap_cores())
+            .map(|(spec, t)| t.sample(k.min(t.len() - 1)) * spec.cpu_cap_cores())
             .sum()
     }
 
