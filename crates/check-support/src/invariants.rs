@@ -1,0 +1,231 @@
+//! The invariant catalog: what must hold after *every* simulated run.
+//!
+//! Each check takes the artifacts of a finished run and returns
+//! `Err(description)` on violation, so the catalog composes directly
+//! with `check` properties. [`check_report`] is the portmanteau most
+//! property tests call after each generated run.
+
+use cluster::Cluster;
+use dcsim::{EventKind, Scenario, SimReport};
+
+/// Slack multiplier on the physical power ceiling: transition states may
+/// briefly draw above the utilization curve's peak (boot surges), and
+/// the sampled peak is a step function.
+const POWER_CEILING_SLACK: f64 = 1.25;
+
+/// Tolerance for quantities that are ratios of accumulated floats.
+const EPS: f64 = 1e-9;
+
+/// The fleet's physical power ceiling in watts: every host flat out,
+/// with transition slack.
+fn power_ceiling_w(scenario: &Scenario) -> f64 {
+    scenario
+        .host_specs()
+        .iter()
+        .map(|h| h.profile().curve().peak_w())
+        .sum::<f64>()
+        * POWER_CEILING_SLACK
+}
+
+/// Energy and capacity conservation plus report-shape sanity:
+///
+/// * energy is finite, non-negative, and below the fleet's physical
+///   ceiling over the horizon;
+/// * sampled peak power respects the same ceiling;
+/// * every ratio field lies in `[0, 1]`;
+/// * host/VM counts echo the scenario;
+/// * the event log (if any) is time-ordered;
+/// * the report survives its own JSON round-trip bit-exactly.
+pub fn check_report(scenario: &Scenario, report: &SimReport) -> Result<(), String> {
+    if !report.energy_j.is_finite() || report.energy_j < 0.0 {
+        return Err(format!("energy {} J is not physical", report.energy_j));
+    }
+    let ceiling_w = power_ceiling_w(scenario);
+    let max_energy = ceiling_w * report.horizon.as_secs_f64();
+    if report.energy_j > max_energy {
+        return Err(format!(
+            "energy {} J exceeds the fleet ceiling {} J",
+            report.energy_j, max_energy
+        ));
+    }
+    if report.peak_power_w > ceiling_w + EPS {
+        return Err(format!(
+            "peak power {} W exceeds the fleet ceiling {} W",
+            report.peak_power_w, ceiling_w
+        ));
+    }
+    for (name, value) in [
+        ("violation_fraction", report.violation_fraction),
+        ("unserved_ratio", report.unserved_ratio),
+        (
+            "unserved_interactive_ratio",
+            report.unserved_interactive_ratio,
+        ),
+        ("unserved_batch_ratio", report.unserved_batch_ratio),
+        ("avg_util_on", report.avg_util_on),
+    ] {
+        if !value.is_finite() || !(-EPS..=1.0 + EPS).contains(&value) {
+            return Err(format!("{name} = {value} outside [0, 1]"));
+        }
+    }
+    if report.avg_hosts_on < -EPS || report.avg_hosts_on > report.num_hosts as f64 + EPS {
+        return Err(format!(
+            "avg_hosts_on {} outside [0, {}]",
+            report.avg_hosts_on, report.num_hosts
+        ));
+    }
+    if report.num_hosts != scenario.host_specs().len() {
+        return Err(format!(
+            "report says {} hosts, scenario has {}",
+            report.num_hosts,
+            scenario.host_specs().len()
+        ));
+    }
+    if report.num_vms != scenario.fleet().len() {
+        return Err(format!(
+            "report says {} VMs, scenario has {}",
+            report.num_vms,
+            scenario.fleet().len()
+        ));
+    }
+    check_event_log(report)?;
+    check_json_round_trip(report)
+}
+
+/// The audit log must be time-ordered, and when events were recorded the
+/// `PowerFailed` entries must agree with the `transition_failures`
+/// counter.
+pub fn check_event_log(report: &SimReport) -> Result<(), String> {
+    for pair in report.events.windows(2) {
+        if pair[1].time < pair[0].time {
+            return Err(format!(
+                "event log goes backwards: {} after {}",
+                pair[1], pair[0]
+            ));
+        }
+    }
+    if !report.events.is_empty() {
+        let failed = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
+            .count() as u64;
+        if failed != report.transition_failures {
+            return Err(format!(
+                "{} PowerFailed events but transition_failures = {}",
+                failed, report.transition_failures
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `to_json` → text → parse → `from_json` must reproduce the report
+/// bit-exactly (the serialization layer may not lose precision).
+pub fn check_json_round_trip(report: &SimReport) -> Result<(), String> {
+    let text = report.to_json().to_string_compact();
+    let parsed = obs::Json::parse(&text).map_err(|e| format!("report JSON unparsable: {e:?}"))?;
+    let round_tripped =
+        SimReport::from_json(&parsed).map_err(|e| format!("report JSON undecodable: {e:?}"))?;
+    if &round_tripped != report {
+        return Err("report changed across its JSON round-trip".to_string());
+    }
+    Ok(())
+}
+
+/// Placement sanity on a finished cluster: a host that is not
+/// operational can hold no VMs (the manager must evacuate before
+/// parking, and a parked host can never receive a placement).
+pub fn check_cluster(cluster: &Cluster) -> Result<(), String> {
+    for host in cluster.hosts() {
+        if !host.is_operational() {
+            let stranded = cluster.vms_on(host.id());
+            if !stranded.is_empty() {
+                return Err(format!(
+                    "host {:?} is {} but holds {} VMs",
+                    host.id(),
+                    host.power_state(),
+                    stranded.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The policy ladder: on the same world, the analytic Oracle bound must
+/// not exceed a power-managing run, which must not exceed always-on.
+/// `tolerance` is a relative slack (e.g. `0.001`) absorbing boundary
+/// effects on tiny fleets.
+pub fn check_energy_ordering(
+    oracle: &SimReport,
+    managed: &SimReport,
+    always_on: &SimReport,
+    tolerance: f64,
+) -> Result<(), String> {
+    let slack = 1.0 + tolerance;
+    if oracle.energy_j > managed.energy_j * slack {
+        return Err(format!(
+            "Oracle energy {} J exceeds managed {} J",
+            oracle.energy_j, managed.energy_j
+        ));
+    }
+    if managed.energy_j > always_on.energy_j * slack {
+        return Err(format!(
+            "managed energy {} J exceeds always-on {} J",
+            managed.energy_j, always_on.energy_j
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_core::PowerPolicy;
+    use dcsim::Experiment;
+    use simcore::SimDuration;
+
+    #[test]
+    fn catalog_passes_on_a_reference_run() {
+        let scenario = Scenario::small_test(3);
+        let experiment = Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(2))
+            .record_events();
+        let (report, cluster) = experiment.run_detailed().unwrap();
+        check_report(&scenario, &report).unwrap();
+        check_cluster(&cluster).unwrap();
+    }
+
+    #[test]
+    fn catalog_rejects_a_cooked_report() {
+        let scenario = Scenario::small_test(3);
+        let mut report = Experiment::new(scenario.clone())
+            .policy(PowerPolicy::always_on())
+            .horizon(SimDuration::from_hours(2))
+            .run()
+            .unwrap();
+        report.unserved_ratio = 1.5; // physically impossible
+        let err = check_report(&scenario, &report).unwrap_err();
+        assert!(err.contains("unserved_ratio"), "{err}");
+    }
+
+    #[test]
+    fn ladder_check_orders_the_reference_policies() {
+        let scenario = Scenario::datacenter(4, 16, 11);
+        let run = |p: PowerPolicy| {
+            Experiment::new(scenario.clone())
+                .policy(p)
+                .horizon(SimDuration::from_hours(24))
+                .run()
+                .unwrap()
+        };
+        let oracle = run(PowerPolicy::oracle());
+        let managed = run(PowerPolicy::reactive_suspend());
+        let base = run(PowerPolicy::always_on());
+        check_energy_ordering(&oracle, &managed, &base, 0.001).unwrap();
+        // And the check really is a check: a flipped ladder fails.
+        assert!(check_energy_ordering(&base, &managed, &oracle, 0.001).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Domain generators and the invariant catalog for property-testing the
+//! simulator.
+//!
+//! The [`check`] crate knows nothing about datacenters; this layer does.
+//! [`generators`] produces arbitrary (but small and fast) worlds —
+//! scenarios, policies, failure models, demand traces, fleet mixes — as
+//! shrink-friendly spec values. [`invariants`] is the catalog of
+//! properties every finished run must satisfy: energy and capacity
+//! conservation, event-log time ordering, placement sanity, JSON
+//! round-tripping, and the Oracle ≤ managed ≤ always-on energy ladder.
+//!
+//! The differential-verification suite (`tests/differential.rs` at the
+//! workspace root) combines both: generated scenarios run through the
+//! execution paths the codebase promises are equivalent, asserting
+//! bit-identical reports and checking the catalog after every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod invariants;
+
+pub use generators::{
+    demand_trace, experiment_spec, failure_spec, fleet_mix, managed_policy, policy, scenario_spec,
+    workload_kind, ExperimentSpec, FailureSpec, FleetMix, ScenarioSpec, WorkloadKind,
+};
+pub use invariants::{
+    check_cluster, check_energy_ordering, check_event_log, check_json_round_trip, check_report,
+};

@@ -1,0 +1,287 @@
+//! Composable value generators.
+//!
+//! A [`Gen<T>`] is a pure function from a choice [`Source`] to a value.
+//! Combinators (`map`, `filter`, `zip`, `and_then`, [`vec_of`],
+//! [`choice`], ...) compose generators without any loss of
+//! shrinkability, because shrinking happens on the underlying choice
+//! sequence (see [`crate::shrink`]), never on the produced values.
+//!
+//! Generation can *reject* (return `None`): a [`Gen::filter`] that runs
+//! out of retries, or a replayed choice sequence that decodes to nothing
+//! useful. The runner counts rejections and draws a fresh case.
+
+use std::ops::RangeInclusive;
+use std::rc::Rc;
+
+use crate::source::Source;
+
+/// How many fresh draws [`Gen::filter`] attempts before rejecting.
+const FILTER_RETRIES: usize = 64;
+
+type GenFn<T> = Rc<dyn Fn(&mut Source) -> Option<T>>;
+
+/// A composable generator of `T` values.
+pub struct Gen<T> {
+    run: GenFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw generation function. The function must derive the
+    /// value *only* from choices drawn from the source (never ambient
+    /// state), so that replaying the choices reproduces the value.
+    pub fn new(f: impl Fn(&mut Source) -> Option<T> + 'static) -> Self {
+        Gen { run: Rc::new(f) }
+    }
+
+    /// Runs the generator against a source.
+    pub fn sample(&self, src: &mut Source) -> Option<T> {
+        (self.run)(src)
+    }
+
+    /// Applies a function to every generated value.
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| run(src).map(&f))
+    }
+
+    /// Keeps only values satisfying `keep`, retrying with fresh choices a
+    /// bounded number of times before rejecting the case.
+    pub fn filter(&self, keep: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| {
+            for _ in 0..FILTER_RETRIES {
+                match run(src) {
+                    Some(v) if keep(&v) => return Some(v),
+                    Some(_) => continue,
+                    None => return None,
+                }
+            }
+            None
+        })
+    }
+
+    /// Monadic bind: picks a follow-up generator from the value.
+    pub fn and_then<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| f(run(src)?).sample(src))
+    }
+
+    /// Pairs this generator with another.
+    pub fn zip<U: 'static>(&self, other: &Gen<U>) -> Gen<(T, U)> {
+        let a = Rc::clone(&self.run);
+        let b = other.clone();
+        Gen::new(move |src| {
+            let x = a(src)?;
+            let y = b.sample(src)?;
+            Some((x, y))
+        })
+    }
+}
+
+/// Always produces a clone of `value` (consumes no choices; shrinking
+/// cannot simplify it further).
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| Some(value.clone()))
+}
+
+/// Uniform `u64` in an inclusive range; shrinks toward the lower bound.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn u64_in(range: RangeInclusive<u64>) -> Gen<u64> {
+    let (lo, hi) = (*range.start(), *range.end());
+    assert!(lo <= hi, "empty range {lo}..={hi}");
+    Gen::new(move |src| {
+        let raw = src.draw();
+        Some(if lo == 0 && hi == u64::MAX {
+            raw
+        } else {
+            lo + raw % (hi - lo + 1)
+        })
+    })
+}
+
+/// Uniform `usize` in an inclusive range; shrinks toward the lower bound.
+pub fn usize_in(range: RangeInclusive<usize>) -> Gen<usize> {
+    u64_in(*range.start() as u64..=*range.end() as u64).map(|v| v as usize)
+}
+
+/// Uniform `i64` in an inclusive range; shrinks toward the lower bound.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn i64_in(range: RangeInclusive<i64>) -> Gen<i64> {
+    let (lo, hi) = (*range.start(), *range.end());
+    assert!(lo <= hi, "empty range {lo}..={hi}");
+    let span = hi.abs_diff(lo);
+    u64_in(0..=span).map(move |off| lo.wrapping_add_unsigned(off))
+}
+
+/// Uniform `f64` in `[0, 1)`; shrinks toward `0`.
+pub fn f64_unit() -> Gen<f64> {
+    Gen::new(|src| Some((src.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)))
+}
+
+/// Uniform `f64` in `[lo, hi)` (`lo` when the range is empty); shrinks
+/// toward `lo`.
+///
+/// # Panics
+///
+/// Panics if either bound is not finite or `lo > hi`.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "bad range [{lo}, {hi})"
+    );
+    f64_unit().map(move |u| lo + u * (hi - lo))
+}
+
+/// `true` or `false`; shrinks toward `false`.
+pub fn boolean() -> Gen<bool> {
+    u64_in(0..=1).map(|b| b == 1)
+}
+
+/// Picks one of the listed values; shrinks toward the first.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn one_of<T: Clone + 'static>(options: Vec<T>) -> Gen<T> {
+    assert!(!options.is_empty(), "one_of needs at least one option");
+    let n = options.len();
+    usize_in(0..=n - 1).map(move |i| options[i].clone())
+}
+
+/// Runs one of the listed generators; shrinks toward the first.
+///
+/// # Panics
+///
+/// Panics if `gens` is empty.
+pub fn choice<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "choice needs at least one generator");
+    let n = gens.len();
+    let index = usize_in(0..=n - 1);
+    Gen::new(move |src| {
+        let i = index.sample(src)?;
+        gens[i].sample(src)
+    })
+}
+
+/// A vector of `elem` values with a length drawn from `len`; shrinks
+/// toward shorter vectors of simpler elements.
+///
+/// # Panics
+///
+/// Panics if the length range is empty.
+pub fn vec_of<T: 'static>(elem: &Gen<T>, len: RangeInclusive<usize>) -> Gen<Vec<T>> {
+    let length = usize_in(len);
+    let elem = elem.clone();
+    Gen::new(move |src| {
+        let n = length.sample(src)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(elem.sample(src)?);
+        }
+        Some(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample100<T>(gen: &Gen<T>) -> Vec<T>
+    where
+        T: 'static,
+    {
+        let mut src = Source::fresh(1);
+        (0..100).filter_map(|_| gen.sample(&mut src)).collect()
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        for v in sample100(&u64_in(3..=9)) {
+            assert!((3..=9).contains(&v));
+        }
+        for v in sample100(&i64_in(-5..=5)) {
+            assert!((-5..=5).contains(&v));
+        }
+        for v in sample100(&f64_in(-2.0, 2.0)) {
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_allowed() {
+        let gen = u64_in(0..=u64::MAX);
+        let mut src = Source::fresh(9);
+        // No panic, and values vary.
+        let a = gen.sample(&mut src).unwrap();
+        let b = gen.sample(&mut src).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_zip_compose() {
+        let gen = u64_in(0..=9).map(|v| v * 10).zip(&boolean());
+        for (v, _) in sample100(&gen) {
+            assert_eq!(v % 10, 0);
+            assert!(v <= 90);
+        }
+    }
+
+    #[test]
+    fn filter_retries_then_rejects() {
+        let some_even = u64_in(0..=100).filter(|v| v % 2 == 0);
+        let sampled = sample100(&some_even);
+        assert!(!sampled.is_empty());
+        assert!(sampled.iter().all(|v| v % 2 == 0));
+        let impossible = u64_in(0..=100).filter(|_| false);
+        assert_eq!(impossible.sample(&mut Source::fresh(1)), None);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let gen = vec_of(&u64_in(0..=5), 2..=4);
+        for v in sample100(&gen) {
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn replayed_zeros_hit_lower_bounds() {
+        // The all-zero choice stream is the canonical "simplest" input:
+        // every generator must map it to its simplest value.
+        let mut src = Source::replay(&[]);
+        assert_eq!(u64_in(7..=20).sample(&mut src), Some(7));
+        assert_eq!(f64_in(1.5, 9.0).sample(&mut src), Some(1.5));
+        assert_eq!(boolean().sample(&mut src), Some(false));
+        assert_eq!(vec_of(&u64_in(0..=9), 0..=5).sample(&mut src), Some(vec![]));
+    }
+
+    #[test]
+    fn and_then_chains_dependent_draws() {
+        let gen = usize_in(1..=3).and_then(|n| vec_of(&u64_in(0..=9), n..=n));
+        for v in sample100(&gen) {
+            assert!((1..=3).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = vec_of(&u64_in(0..=1000), 0..=10);
+        let a = gen.sample(&mut Source::fresh(5));
+        let b = gen.sample(&mut Source::fresh(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Zero-dependency property-based testing with deterministic replay.
+//!
+//! `check` is the workspace's answer to proptest under the std-only
+//! constraint: composable [`Gen<T>`](gen::Gen) generators driven by a
+//! recorded choice stream ([`source::Source`]), greedy choice-sequence
+//! shrinking ([`shrink`]), and a runner ([`runner`]) that prints a
+//! `replay seed = 0x…` on failure. Re-running with that seed — via
+//! [`AGILEPM_CHECK_REPLAY`](runner::REPLAY_ENV) or
+//! [`Config::with_replay`](runner::Config::with_replay) — regenerates
+//! the same case and re-shrinks it to the same minimal counterexample,
+//! because generation, properties, and shrinking are all pure functions
+//! of the seed.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use check::gen::{u64_in, vec_of};
+//!
+//! check::check("reverse is an involution", &vec_of(&u64_in(0..=100), 0..=16), |v| {
+//!     let mut twice = v.clone();
+//!     twice.reverse();
+//!     twice.reverse();
+//!     check::prop_assert_eq!(&twice, v);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Case count defaults to [`runner::DEFAULT_CASES`] and is raised in CI
+//! via the [`AGILEPM_CHECK_CASES`](runner::CASES_ENV) environment
+//! variable. Properties return `Result<(), String>`; the
+//! [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assert_ne!`]
+//! macros build the error strings, and plain panics inside a property
+//! are caught and shrunk too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod runner;
+pub mod shrink;
+pub mod source;
+
+pub use gen::Gen;
+pub use runner::{check, check_cases, check_with, run_check, CheckStats, Config, Failure};
+pub use source::Source;
+
+/// Fails the enclosing property unless the condition holds.
+///
+/// Like `assert!`, but returns an `Err(String)` instead of panicking,
+/// which keeps failure messages clean in shrink reports. Accepts an
+/// optional `format!`-style message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Fails the enclosing property unless the two expressions are equal,
+/// reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: {:?} vs {:?}",
+                format!($($arg)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "{} == {}: both {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "{}: both {:?}",
+                format!($($arg)+),
+                l
+            ));
+        }
+    }};
+}

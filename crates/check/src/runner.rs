@@ -1,0 +1,487 @@
+//! The property runner: case generation, failure detection, shrinking,
+//! and replay.
+//!
+//! [`run_check`] drives `cases` generated values through a property. On
+//! the first failure it shrinks the recorded choice sequence to a
+//! minimal counterexample and returns a [`Failure`] carrying a *replay
+//! seed*. Re-running the same property with that seed (via
+//! `AGILEPM_CHECK_REPLAY` or [`Config::replay`]) deterministically
+//! regenerates the same failing case and re-shrinks it to the same
+//! minimal counterexample — generation, property, and shrinking are all
+//! pure functions of the seed.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use simcore::RngStream;
+
+use crate::gen::Gen;
+use crate::shrink::shrink;
+use crate::source::Source;
+
+/// Environment variable overriding the number of generated cases.
+pub const CASES_ENV: &str = "AGILEPM_CHECK_CASES";
+/// Environment variable forcing a single-case replay of a failure seed.
+pub const REPLAY_ENV: &str = "AGILEPM_CHECK_REPLAY";
+
+/// Default number of cases per property when no override is set.
+pub const DEFAULT_CASES: usize = 64;
+/// Default budget of candidate sequences evaluated while shrinking.
+pub const DEFAULT_SHRINK_ATTEMPTS: usize = 4096;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many generated cases to run.
+    pub cases: usize,
+    /// Master seed; per-case seeds are split off this stream.
+    pub seed: u64,
+    /// Maximum candidate sequences evaluated while shrinking a failure.
+    pub max_shrink_attempts: usize,
+    /// When set, skip generation and replay exactly this case seed.
+    pub replay: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::from_env()
+    }
+}
+
+impl Config {
+    /// The built-in defaults, ignoring the environment.
+    pub fn fixed() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: 0x5EED_CAFE_F00D_0001,
+            max_shrink_attempts: DEFAULT_SHRINK_ATTEMPTS,
+            replay: None,
+        }
+    }
+
+    /// Defaults with `AGILEPM_CHECK_CASES` / `AGILEPM_CHECK_REPLAY`
+    /// applied. Unparseable values are ignored rather than panicking so
+    /// a stray variable never masks the suite.
+    pub fn from_env() -> Self {
+        let mut config = Config::fixed();
+        if let Ok(raw) = std::env::var(CASES_ENV) {
+            if let Ok(cases) = raw.trim().parse::<usize>() {
+                if cases > 0 {
+                    config.cases = cases;
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var(REPLAY_ENV) {
+            config.replay = parse_seed(&raw);
+        }
+        config
+    }
+
+    /// This configuration with a different case count.
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// This configuration replaying one specific case seed.
+    pub fn with_replay(mut self, seed: u64) -> Self {
+        self.replay = Some(seed);
+        self
+    }
+}
+
+/// Parses a replay seed: hexadecimal with an optional `0x` prefix
+/// (the format failures print), or plain decimal.
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        u64::from_str_radix(raw, 16)
+            .ok()
+            .or_else(|| raw.parse().ok())
+    }
+}
+
+/// Statistics from a passing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Cases that generated a value and passed the property.
+    pub passed: usize,
+    /// Cases rejected during generation (e.g. a filter ran dry).
+    pub rejected: usize,
+}
+
+/// A minimal counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Name of the failing property.
+    pub property: String,
+    /// Seed that deterministically reproduces this exact failure.
+    pub replay_seed: u64,
+    /// Index of the failing case within the run.
+    pub case: usize,
+    /// `Debug` rendering of the minimal counterexample value.
+    pub minimal: String,
+    /// The property's error (or captured panic) on the minimal value.
+    pub message: String,
+    /// Candidate sequences evaluated while shrinking.
+    pub shrink_attempts: usize,
+}
+
+impl Failure {
+    /// The multi-line report printed when a property fails, including
+    /// the `replay seed = 0x…` line the replay workflow keys off.
+    pub fn report(&self) -> String {
+        format!(
+            "property `{}` failed (case {})\n  minimal counterexample: {}\n  error: {}\n  \
+             replay seed = {:#018x}  (set {}={:#x} to re-run exactly this case)\n  \
+             shrink attempts: {}",
+            self.property,
+            self.case,
+            self.minimal,
+            self.message,
+            self.replay_seed,
+            REPLAY_ENV,
+            self.replay_seed,
+            self.shrink_attempts,
+        )
+    }
+}
+
+thread_local! {
+    /// True while this thread is probing a property for failure; the
+    /// global panic hook stays quiet so shrink re-runs don't spam
+    /// stderr with hundreds of expected panics.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses output
+/// for panics raised while probing properties and defers to the
+/// previous hook otherwise.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Generates a value from `choices` and evaluates the property,
+/// catching panics. `Ok(None)` means generation rejected the case.
+fn eval<T: Debug + 'static>(
+    gen: &Gen<T>,
+    prop: &dyn Fn(&T) -> Result<(), String>,
+    choices: &[u64],
+) -> EvalOutcome {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let generated = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut src = Source::replay(choices);
+        gen.sample(&mut src).map(|v| (v, src.into_choices()))
+    }));
+    let (value, consumed) = match generated {
+        Err(_) => {
+            QUIET_PANICS.with(|q| q.set(false));
+            return EvalOutcome::Panicked;
+        }
+        Ok(None) => {
+            QUIET_PANICS.with(|q| q.set(false));
+            return EvalOutcome::Rejected;
+        }
+        Ok(Some(pair)) => pair,
+    };
+    let verdict = panic::catch_unwind(AssertUnwindSafe(|| prop(&value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match verdict {
+        Ok(Ok(())) => EvalOutcome::Passed,
+        Ok(Err(message)) => EvalOutcome::Failed {
+            consumed,
+            minimal: format!("{value:?}"),
+            message,
+        },
+        // A panicking property is an ordinary failure: the value and the
+        // consumed choices are intact, so it shrinks like any other.
+        Err(payload) => EvalOutcome::Failed {
+            consumed,
+            minimal: format!("{value:?}"),
+            message: panic_message(payload),
+        },
+    }
+}
+
+enum EvalOutcome {
+    Rejected,
+    Passed,
+    Failed {
+        consumed: Vec<u64>,
+        minimal: String,
+        message: String,
+    },
+    /// The *generator* panicked; there is no value and no reliable
+    /// consumed prefix. (Fresh-path generator panics are reported
+    /// directly by [`run_case`]; here the candidate is just discarded.)
+    Panicked,
+}
+
+/// Runs one case from its seed; `Some` is a (shrunk) failure.
+fn run_case<T: Debug + 'static>(
+    property: &str,
+    gen: &Gen<T>,
+    prop: &dyn Fn(&T) -> Result<(), String>,
+    case: usize,
+    case_seed: u64,
+    config: &Config,
+) -> Option<Result<(), Box<Failure>>> {
+    // Record this case's fresh choice sequence, then route everything —
+    // failure detection, shrinking, final rendering — through the one
+    // replay-based eval path.
+    let mut src = Source::fresh(case_seed);
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let generated = panic::catch_unwind(AssertUnwindSafe(|| gen.sample(&mut src).is_some()));
+    QUIET_PANICS.with(|q| q.set(false));
+    let initial = match generated {
+        Err(payload) => {
+            // Generator itself panicked: not shrinkable, report as-is.
+            return Some(Err(Box::new(Failure {
+                property: property.to_string(),
+                replay_seed: case_seed,
+                case,
+                minimal: "<generator panicked>".to_string(),
+                message: panic_message(payload),
+                shrink_attempts: 0,
+            })));
+        }
+        Ok(false) => return Some(Ok(())), // rejected
+        Ok(true) => src.into_choices(),
+    };
+    let (consumed, mut minimal, mut message) = match eval(gen, prop, &initial) {
+        EvalOutcome::Passed => return None,
+        EvalOutcome::Rejected | EvalOutcome::Panicked => return Some(Ok(())),
+        EvalOutcome::Failed {
+            consumed,
+            minimal,
+            message,
+        } => (consumed, minimal, message),
+    };
+
+    let outcome = shrink(consumed, config.max_shrink_attempts, |cand| {
+        match eval(gen, prop, cand) {
+            EvalOutcome::Failed { consumed, .. } => Some(consumed),
+            EvalOutcome::Passed | EvalOutcome::Rejected | EvalOutcome::Panicked => None,
+        }
+    });
+    // Render the minimal value and its error for the report.
+    if let EvalOutcome::Failed {
+        minimal: m,
+        message: e,
+        ..
+    } = eval(gen, prop, &outcome.choices)
+    {
+        minimal = m;
+        message = e;
+    }
+    Some(Err(Box::new(Failure {
+        property: property.to_string(),
+        replay_seed: case_seed,
+        case,
+        minimal,
+        message,
+        shrink_attempts: outcome.attempts,
+    })))
+}
+
+/// Runs `prop` against values from `gen` under `config`.
+///
+/// Returns run statistics, or the first (shrunk) failure. Boxed because
+/// a [`Failure`] is much larger than the stats.
+pub fn run_check<T: Debug + 'static>(
+    property: &str,
+    config: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) -> Result<CheckStats, Box<Failure>> {
+    if let Some(seed) = config.replay {
+        return match run_case(property, gen, &prop, 0, seed, config) {
+            None => Ok(CheckStats {
+                passed: 1,
+                rejected: 0,
+            }),
+            Some(Ok(())) => Ok(CheckStats {
+                passed: 0,
+                rejected: 1,
+            }),
+            Some(Err(failure)) => Err(failure),
+        };
+    }
+    let mut master = RngStream::new(config.seed);
+    let mut stats = CheckStats {
+        passed: 0,
+        rejected: 0,
+    };
+    for case in 0..config.cases {
+        let case_seed = master.next_u64();
+        match run_case(property, gen, &prop, case, case_seed, config) {
+            None => stats.passed += 1,
+            Some(Ok(())) => stats.rejected += 1,
+            Some(Err(failure)) => return Err(failure),
+        }
+    }
+    Ok(stats)
+}
+
+/// Runs a property under the environment-derived [`Config`], panicking
+/// with a full report (including the replay seed) on failure.
+///
+/// This is the entry point ordinary tests use:
+///
+/// ```
+/// use check::gen::u64_in;
+/// check::check("addition commutes", &u64_in(0..=9).zip(&u64_in(0..=9)), |&(a, b)| {
+///     check::prop_assert_eq!(a + b, b + a);
+///     Ok(())
+/// });
+/// ```
+pub fn check<T: Debug + 'static>(
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    check_with(name, &Config::from_env(), gen, prop);
+}
+
+/// [`check`] with an explicit case count (still honoring a replay
+/// request from the environment).
+pub fn check_cases<T: Debug + 'static>(
+    name: &str,
+    cases: usize,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    check_with(name, &Config::from_env().with_cases(cases), gen, prop);
+}
+
+/// [`check`] with a fully explicit configuration.
+pub fn check_with<T: Debug + 'static>(
+    name: &str,
+    config: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    if let Err(failure) = run_check(name, config, gen, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{u64_in, vec_of};
+
+    #[test]
+    fn passing_property_reports_stats() {
+        let stats = run_check(
+            "u64 fits its range",
+            &Config::fixed(),
+            &u64_in(10..=20),
+            |&v| {
+                if (10..=20).contains(&v) {
+                    Ok(())
+                } else {
+                    Err(format!("{v} out of range"))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.passed, DEFAULT_CASES);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        let failure = run_check(
+            "all values below 100",
+            &Config::fixed(),
+            &u64_in(0..=1_000_000),
+            |&v| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} >= 100"))
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.minimal, "100");
+        assert_eq!(failure.message, "100 >= 100");
+        assert!(failure.report().contains("replay seed = 0x"));
+    }
+
+    #[test]
+    fn replay_seed_reproduces_identical_failure() {
+        let prop = |v: &Vec<u64>| {
+            if v.iter().sum::<u64>() < 50 {
+                Ok(())
+            } else {
+                Err("sum too large".to_string())
+            }
+        };
+        let gen = vec_of(&u64_in(0..=40), 0..=8);
+        let first = run_check("bounded sum", &Config::fixed(), &gen, prop).unwrap_err();
+        let replayed = run_check(
+            "bounded sum",
+            &Config::fixed().with_replay(first.replay_seed),
+            &gen,
+            prop,
+        )
+        .unwrap_err();
+        assert_eq!(first.minimal, replayed.minimal);
+        assert_eq!(first.message, replayed.message);
+        assert_eq!(first.replay_seed, replayed.replay_seed);
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let failure = run_check("no panics", &Config::fixed(), &u64_in(0..=10_000), |&v| {
+            assert!(v < 37, "hit {v}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(failure.minimal, "37");
+        assert!(failure.message.contains("hit 37"));
+    }
+
+    #[test]
+    fn rejection_heavy_generators_count_rejections() {
+        let gen = u64_in(0..=1).filter(|_| false);
+        let stats = run_check("never runs", &Config::fixed(), &gen, |_| Ok(())).unwrap();
+        assert_eq!(stats.passed, 0);
+        assert_eq!(stats.rejected, DEFAULT_CASES);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x1f"), Some(31));
+        assert_eq!(parse_seed("0X1F"), Some(31));
+        assert_eq!(parse_seed("1f"), Some(31));
+        assert_eq!(parse_seed(" 42 "), Some(66)); // hex first, like the report prints
+        assert_eq!(parse_seed("zz"), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Greedy choice-sequence shrinking.
+//!
+//! A failing case is a recorded choice sequence. The shrinker edits that
+//! sequence — deleting chunks, zeroing chunks, and bisecting individual
+//! choices toward zero — and keeps any edit that still fails. Because
+//! generators map *smaller choices to simpler values* (see
+//! [`crate::source`]), minimizing the sequence minimizes the
+//! counterexample, for any composition of generators.
+//!
+//! The shrinker is deterministic: the same failing sequence and the same
+//! property always reduce to the same minimal sequence.
+
+/// Chunk sizes tried by the deletion and zeroing passes, largest first.
+const CHUNK_SIZES: [usize; 5] = [32, 8, 4, 2, 1];
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimal failing choice sequence found.
+    pub choices: Vec<u64>,
+    /// How many candidate sequences were evaluated.
+    pub attempts: usize,
+}
+
+/// Is `a` strictly simpler than `b`? Fewer choices, or the same number
+/// but lexicographically smaller. This is a well-founded order, so
+/// shrinking always terminates even without the attempt budget.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+/// Minimizes a failing choice sequence.
+///
+/// `still_fails` replays a candidate sequence through the generator and
+/// the property; it returns the *normalized* (actually consumed) choices
+/// when the candidate still generates a value and the property still
+/// fails, and `None` otherwise. `initial` must be such a normalized
+/// failing sequence. At most `budget` candidates are evaluated.
+pub fn shrink(
+    initial: Vec<u64>,
+    budget: usize,
+    mut still_fails: impl FnMut(&[u64]) -> Option<Vec<u64>>,
+) -> ShrinkOutcome {
+    let mut best = initial;
+    let mut attempts = 0usize;
+
+    // One closure-free helper keeps the borrow checker happy: evaluate a
+    // candidate, return the normalized sequence if it fails and is
+    // simpler than the current best.
+    macro_rules! try_improve {
+        ($cand:expr) => {{
+            attempts += 1;
+            match still_fails(&$cand) {
+                Some(norm) if simpler(&norm, &best) => {
+                    best = norm;
+                    true
+                }
+                Some(_) => false,
+                None => false,
+            }
+        }};
+    }
+
+    let mut improved = true;
+    while improved && attempts < budget {
+        improved = false;
+
+        // Pass 1: delete chunks, largest first, scanning from the end so
+        // trailing (often unused) choices go first.
+        for size in CHUNK_SIZES {
+            let mut start = best.len().saturating_sub(size);
+            loop {
+                if attempts >= budget || best.is_empty() {
+                    break;
+                }
+                if start + size <= best.len() {
+                    let mut cand = best.clone();
+                    cand.drain(start..start + size);
+                    if try_improve!(cand) {
+                        improved = true;
+                        start = start.min(best.len());
+                    }
+                }
+                if start == 0 {
+                    break;
+                }
+                start = start.saturating_sub(size);
+            }
+        }
+
+        // Pass 2: zero chunks that are not already zero.
+        for size in CHUNK_SIZES {
+            let mut start = 0usize;
+            while start + size <= best.len() && attempts < budget {
+                if best[start..start + size].iter().any(|&c| c != 0) {
+                    let mut cand = best.clone();
+                    cand[start..start + size].fill(0);
+                    if try_improve!(cand) {
+                        improved = true;
+                    }
+                }
+                start += size;
+            }
+        }
+
+        // Pass 3: bisect each choice toward zero. Zero is tried by pass
+        // 2; here we find the smallest still-failing value assuming the
+        // failure region is (locally) upward-closed — when it is not,
+        // the greedy outer loop still converges, just less far.
+        let mut i = 0usize;
+        while i < best.len() && attempts < budget {
+            if best[i] > 0 {
+                let mut lo = 0u64; // assumed passing (pass 2 tried it)
+                let mut hi = best[i]; // known failing
+                while hi - lo > 1 && attempts < budget {
+                    let mid = lo + (hi - lo) / 2;
+                    let mut cand = best.clone();
+                    cand[i] = mid;
+                    if try_improve!(cand) {
+                        improved = true;
+                        // best changed; re-anchor on the same index if it
+                        // still exists, else abandon this element.
+                        if i >= best.len() {
+                            break;
+                        }
+                        hi = best[i].min(mid);
+                    } else {
+                        lo = mid;
+                    }
+                    if hi <= lo {
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    ShrinkOutcome {
+        choices: best,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{u64_in, vec_of};
+    use crate::source::Source;
+
+    /// Shrinks against a real generator + property pipeline.
+    fn shrink_prop<T: 'static>(
+        gen: &crate::gen::Gen<T>,
+        fails: impl Fn(&T) -> bool + Copy,
+        seed: u64,
+    ) -> Option<T> {
+        // Find a failing case first.
+        let mut found = None;
+        for case in 0..1000 {
+            let mut src = Source::fresh(seed.wrapping_add(case));
+            if let Some(v) = gen.sample(&mut src) {
+                if fails(&v) {
+                    found = Some(src.into_choices());
+                    break;
+                }
+            }
+        }
+        let initial = found?;
+        let outcome = shrink(initial, 10_000, |cand| {
+            let mut src = Source::replay(cand);
+            let v = gen.sample(&mut src)?;
+            if fails(&v) {
+                Some(src.into_choices())
+            } else {
+                None
+            }
+        });
+        let mut src = Source::replay(&outcome.choices);
+        gen.sample(&mut src)
+    }
+
+    #[test]
+    fn integer_shrinks_to_boundary() {
+        // "fails iff >= 100" must shrink to exactly 100.
+        let minimal = shrink_prop(&u64_in(0..=100_000), |&v| v >= 100, 1).unwrap();
+        assert_eq!(minimal, 100);
+    }
+
+    #[test]
+    fn offset_range_shrinks_to_boundary() {
+        let minimal = shrink_prop(&u64_in(50..=100_000), |&v| v > 72, 2).unwrap();
+        assert_eq!(minimal, 73);
+    }
+
+    #[test]
+    fn vector_shrinks_length_and_elements() {
+        // "fails iff it contains an element >= 10" must shrink to the
+        // single-element vector [10].
+        let gen = vec_of(&u64_in(0..=1000), 0..=20);
+        let minimal = shrink_prop(&gen, |v| v.iter().any(|&x| x >= 10), 3).unwrap();
+        assert_eq!(minimal, vec![10]);
+    }
+
+    #[test]
+    fn termination_without_budget_pressure() {
+        // A property that always fails shrinks to the empty sequence's
+        // value (the simplest representable case).
+        let minimal = shrink_prop(&u64_in(5..=50), |_| true, 4).unwrap();
+        assert_eq!(minimal, 5);
+    }
+}

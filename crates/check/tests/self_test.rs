@@ -1,0 +1,80 @@
+//! End-to-end self-test of the harness: a deliberately broken
+//! test-local model must be shrunk to its minimal counterexample, and
+//! the printed replay seed must reproduce that exact failure
+//! deterministically (the ISSUE 3 acceptance criterion).
+
+use check::gen::u64_in;
+use check::{run_check, Config};
+
+/// A test-local capacity model with a planted off-by-one: integer
+/// division floors, silently dropping the fractional host. The correct
+/// model is `demand.div_ceil(per_host)`.
+fn hosts_needed_buggy(demand: u64, per_host: u64) -> u64 {
+    demand / per_host
+}
+
+fn capacity_covers_demand(&(demand, per_host): &(u64, u64)) -> Result<(), String> {
+    let hosts = hosts_needed_buggy(demand, per_host);
+    check::prop_assert!(
+        hosts * per_host >= demand,
+        "{hosts} hosts x {per_host} cap cannot serve demand {demand}"
+    );
+    Ok(())
+}
+
+fn demand_and_cap() -> check::Gen<(u64, u64)> {
+    u64_in(0..=1_000_000).zip(&u64_in(1..=4096))
+}
+
+#[test]
+fn planted_off_by_one_shrinks_to_minimal_counterexample() {
+    let failure = run_check(
+        "capacity covers demand",
+        &Config::fixed(),
+        &demand_and_cap(),
+        capacity_covers_demand,
+    )
+    .expect_err("the planted bug must be found");
+
+    // The smallest input exposing floor-vs-ceil is one unit of demand on
+    // two-unit hosts: 1 / 2 == 0 hosts.
+    assert_eq!(
+        failure.minimal,
+        "(1, 2)",
+        "full report:\n{}",
+        failure.report()
+    );
+    assert!(failure.message.contains("0 hosts x 2 cap"));
+    assert!(failure.report().contains("replay seed = 0x"));
+
+    // The printed seed reproduces the identical minimal counterexample,
+    // run after run.
+    for _ in 0..3 {
+        let replayed = run_check(
+            "capacity covers demand",
+            &Config::fixed().with_replay(failure.replay_seed),
+            &demand_and_cap(),
+            capacity_covers_demand,
+        )
+        .expect_err("replay must fail the same way");
+        assert_eq!(replayed.minimal, failure.minimal);
+        assert_eq!(replayed.message, failure.message);
+        assert_eq!(replayed.replay_seed, failure.replay_seed);
+    }
+}
+
+#[test]
+fn fixed_model_passes_the_same_property() {
+    let stats = run_check(
+        "capacity covers demand (div_ceil)",
+        &Config::fixed(),
+        &demand_and_cap(),
+        |&(demand, per_host)| {
+            let hosts = demand.div_ceil(per_host);
+            check::prop_assert!(hosts * per_host >= demand, "under-provisioned");
+            Ok(())
+        },
+    )
+    .expect("the corrected model must satisfy the property");
+    assert!(stats.passed > 0);
+}

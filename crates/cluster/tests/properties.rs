@@ -1,0 +1,71 @@
+//! Property tests for the placement map, on the [`check`] framework:
+//! the bidirectional VM→host index is checked against a naive
+//! model under arbitrary place/remove/relocate sequences.
+
+use std::collections::HashMap;
+
+use check::gen::{usize_in, vec_of, Gen};
+use check::{prop_assert, prop_assert_eq};
+use cluster::{HostId, PlacementMap, VmId};
+
+const HOSTS: usize = 4;
+const VMS: usize = 8;
+
+/// One raw operation: (opcode, vm pick, host pick).
+type RawOp = ((usize, usize), usize);
+
+fn ops() -> Gen<Vec<RawOp>> {
+    vec_of(
+        &usize_in(0..=2)
+            .zip(&usize_in(0..=VMS - 1))
+            .zip(&usize_in(0..=HOSTS - 1)),
+        0..=64,
+    )
+}
+
+/// The placement map agrees with a naive `HashMap` model after any
+/// operation sequence, and its own invariant check stays green.
+#[test]
+fn placement_map_matches_naive_model() {
+    check::check("PlacementMap == naive model", &ops(), |script| {
+        let mut map = PlacementMap::new(HOSTS, VMS);
+        let mut model: HashMap<VmId, HostId> = HashMap::new();
+        for &((op, vm_raw), host_raw) in script {
+            let vm = VmId(vm_raw as u32);
+            let host = HostId(host_raw as u32);
+            match op {
+                0 if !model.contains_key(&vm) => {
+                    map.place(vm, host);
+                    model.insert(vm, host);
+                }
+                1 if model.contains_key(&vm) => {
+                    let was = map.remove(vm);
+                    prop_assert_eq!(Some(was), model.remove(&vm));
+                }
+                2 if model.contains_key(&vm) => {
+                    let was = map.relocate(vm, host);
+                    prop_assert_eq!(Some(was), model.insert(vm, host));
+                }
+                _ => continue, // op not applicable to this VM's state
+            }
+            prop_assert!(map.check_invariants(), "internal indexes disagree");
+            prop_assert_eq!(map.placed_count(), model.len());
+            for k in 0..VMS {
+                prop_assert_eq!(
+                    map.host_of(VmId(k as u32)),
+                    model.get(&VmId(k as u32)).copied()
+                );
+            }
+            for h in 0..HOSTS {
+                let on_host = map.vms_on(HostId(h as u32));
+                let expected = model
+                    .iter()
+                    .filter(|&(_, &mh)| mh == HostId(h as u32))
+                    .count();
+                prop_assert_eq!(on_host.len(), expected);
+                prop_assert!(on_host.windows(2).all(|w| w[0] < w[1]), "vms_on not sorted");
+            }
+        }
+        Ok(())
+    });
+}

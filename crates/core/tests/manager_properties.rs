@@ -1,30 +1,34 @@
-//! Randomized tests of the manager: for any observation the generator
-//! can produce, planned actions must be well-formed and internally
-//! consistent.
-//!
-//! Observations are drawn from [`RngStream`] with fixed seeds, so every
-//! run checks the same cases — failures reproduce exactly without a
-//! shrinker.
+//! Property tests of the manager, on the [`check`] framework: for any
+//! observation the generator can produce, planned actions must be
+//! well-formed and internally consistent. Failing observations shrink
+//! toward the smallest all-on cluster and replay from the printed seed.
 
 use agile_core::{
     ClusterObservation, HostObservation, ManagementAction, ManagerConfig, PowerPolicy,
     PredictorConfig, VirtManager, VmObservation,
 };
+use check::gen::{boolean, f64_in, u64_in, usize_in, vec_of, Gen};
+use check::prop_assert;
 use cluster::{HostId, ServiceClass, VmId};
 use power::PowerState;
-use simcore::{RngStream, SimDuration, SimTime};
+use simcore::{SimDuration, SimTime};
 
 const HOST_CAP: f64 = 16.0;
 const HOST_MEM: f64 = 128.0;
 
-/// A random but structurally valid observation.
-fn observation(rng: &mut RngStream, max_hosts: usize, max_vms: usize) -> ClusterObservation {
-    let num_hosts = 2 + rng.below(max_hosts as u64 - 1) as usize;
-    let num_vms = 1 + rng.below(max_vms as u64) as usize;
-    let mut hosts: Vec<HostObservation> = (0..num_hosts)
-        .map(|i| HostObservation {
+/// Raw material for one VM: (cpu demand, host pick, is-batch).
+type RawVm = ((f64, u64), bool);
+
+/// Decodes raw generator choices into a structurally valid observation:
+/// VMs land only on operational hosts (the cluster invariant), and host
+/// commitments are the sums of their VMs.
+fn build_observation(states: Vec<usize>, raw_vms: Vec<RawVm>) -> ClusterObservation {
+    let mut hosts: Vec<HostObservation> = states
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| HostObservation {
             id: HostId(i as u32),
-            state: match rng.below(3) {
+            state: match s {
                 0 => PowerState::On,
                 1 => PowerState::Suspended,
                 _ => PowerState::Off,
@@ -44,13 +48,11 @@ fn observation(rng: &mut RngStream, max_hosts: usize, max_vms: usize) -> Cluster
         .map(|(i, _)| i)
         .collect();
     let mut vms = Vec::new();
-    for k in 0..num_vms {
-        let demand = rng.uniform(0.0, 2.0);
-        // Place only on operational hosts (the cluster invariant).
+    for (k, ((demand, pick), batch)) in raw_vms.into_iter().enumerate() {
         let host = if operational.is_empty() {
             None
         } else {
-            Some(operational[rng.below(operational.len() as u64) as usize])
+            Some(operational[(pick % operational.len() as u64) as usize])
         };
         if let Some(h) = host {
             hosts[h].mem_committed += 4.0;
@@ -64,7 +66,7 @@ fn observation(rng: &mut RngStream, max_hosts: usize, max_vms: usize) -> Cluster
             cpu_cap: 2.0,
             mem_gb: 4.0,
             migrating: false,
-            service_class: if rng.chance(0.5) {
+            service_class: if batch {
                 ServiceClass::Batch
             } else {
                 ServiceClass::Interactive
@@ -78,114 +80,134 @@ fn observation(rng: &mut RngStream, max_hosts: usize, max_vms: usize) -> Cluster
     }
 }
 
+/// Arbitrary structurally valid observations; shrinks toward two all-on
+/// hosts and one idle interactive VM on the first host.
+fn observations(max_hosts: usize, max_vms: usize) -> Gen<ClusterObservation> {
+    let states = vec_of(&usize_in(0..=2), 2..=max_hosts);
+    let raw_vms = vec_of(
+        &f64_in(0.0, 2.0).zip(&u64_in(0..=u64::MAX)).zip(&boolean()),
+        1..=max_vms,
+    );
+    states.zip(&raw_vms).map(|(s, v)| build_observation(s, v))
+}
+
 /// Every planned action is structurally valid: migrations target
 /// operational hosts and move placed, non-migrating VMs; power-downs
 /// only hit evacuated hosts; power-ups only hit parked hosts. At most
 /// one action per VM and per host.
 #[test]
 fn planned_actions_are_well_formed() {
-    let mut rng = RngStream::new(0x20);
-    for case in 0..64 {
-        let obs = observation(&mut rng, 8, 24);
-        let policy = if rng.chance(0.5) {
-            PowerPolicy::reactive_suspend()
-        } else {
-            PowerPolicy::reactive_off()
-        };
-        let config = ManagerConfig::for_fleet(policy, obs.hosts.len(), obs.vms.len())
-            .with_min_on_time(SimDuration::ZERO)
-            .with_predictor(PredictorConfig::LastValue);
-        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
-        let actions = mgr.plan(&obs);
-        assert_eq!(mgr.last_round_reasons().len(), actions.len(), "case {case}");
+    check::check(
+        "planned actions well-formed",
+        &observations(8, 24).zip(&boolean()),
+        |(obs, suspend)| {
+            let policy = if *suspend {
+                PowerPolicy::reactive_suspend()
+            } else {
+                PowerPolicy::reactive_off()
+            };
+            let config = ManagerConfig::for_fleet(policy, obs.hosts.len(), obs.vms.len())
+                .with_min_on_time(SimDuration::ZERO)
+                .with_predictor(PredictorConfig::LastValue);
+            let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+            let actions = mgr.plan(obs);
+            prop_assert!(
+                mgr.last_round_reasons().len() == actions.len(),
+                "reasons and actions disagree"
+            );
 
-        let mut moved_vms = std::collections::HashSet::new();
-        let mut powered_hosts = std::collections::HashSet::new();
-        for action in &actions {
-            match *action {
-                ManagementAction::Migrate { vm, to } => {
-                    let v = &obs.vms[vm.index()];
-                    assert!(v.host.is_some(), "migrating unplaced {vm}");
-                    assert_ne!(v.host.unwrap(), to, "self-migration of {vm}");
-                    assert!(!v.migrating, "vm {vm} already migrating");
-                    assert!(
-                        obs.hosts[to.index()].is_operational(),
-                        "migrating {vm} to non-operational {to}"
-                    );
-                    assert!(moved_vms.insert(vm), "vm {vm} moved twice");
-                }
-                ManagementAction::PowerDown { host, .. } => {
-                    assert!(
-                        obs.hosts[host.index()].evacuated,
-                        "powering down non-evacuated {host}"
-                    );
-                    assert!(
-                        obs.hosts[host.index()].is_operational(),
-                        "powering down non-operational {host}"
-                    );
-                    assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
-                }
-                ManagementAction::PowerUp { host } => {
-                    assert!(
-                        matches!(
-                            obs.hosts[host.index()].state,
-                            PowerState::Suspended | PowerState::Off
-                        ),
-                        "waking non-parked {host}"
-                    );
-                    assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
+            let mut moved_vms = std::collections::HashSet::new();
+            let mut powered_hosts = std::collections::HashSet::new();
+            for action in &actions {
+                match *action {
+                    ManagementAction::Migrate { vm, to } => {
+                        let v = &obs.vms[vm.index()];
+                        prop_assert!(v.host.is_some(), "migrating unplaced {vm}");
+                        prop_assert!(v.host.unwrap() != to, "self-migration of {vm}");
+                        prop_assert!(!v.migrating, "vm {vm} already migrating");
+                        prop_assert!(
+                            obs.hosts[to.index()].is_operational(),
+                            "migrating {vm} to non-operational {to}"
+                        );
+                        prop_assert!(moved_vms.insert(vm), "vm {vm} moved twice");
+                    }
+                    ManagementAction::PowerDown { host, .. } => {
+                        prop_assert!(
+                            obs.hosts[host.index()].evacuated,
+                            "powering down non-evacuated {host}"
+                        );
+                        prop_assert!(
+                            obs.hosts[host.index()].is_operational(),
+                            "powering down non-operational {host}"
+                        );
+                        prop_assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
+                    }
+                    ManagementAction::PowerUp { host } => {
+                        prop_assert!(
+                            matches!(
+                                obs.hosts[host.index()].state,
+                                PowerState::Suspended | PowerState::Off
+                            ),
+                            "waking non-parked {host}"
+                        );
+                        prop_assert!(powered_hosts.insert(host), "host {host} power-cycled twice");
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// AlwaysOn never emits power actions, for any observation.
 #[test]
 fn always_on_never_power_manages() {
-    let mut rng = RngStream::new(0x21);
-    for _ in 0..64 {
-        let obs = observation(&mut rng, 6, 16);
-        let config =
-            ManagerConfig::for_fleet(PowerPolicy::always_on(), obs.hosts.len(), obs.vms.len());
-        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
-        for action in mgr.plan(&obs) {
-            assert!(!action.is_power_action(), "{action}");
-        }
-    }
+    check::check(
+        "AlwaysOn never power-manages",
+        &observations(6, 16),
+        |obs| {
+            let config =
+                ManagerConfig::for_fleet(PowerPolicy::always_on(), obs.hosts.len(), obs.vms.len());
+            let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+            for action in mgr.plan(obs) {
+                prop_assert!(!action.is_power_action(), "power action {action}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// The migration budget is respected for any observation.
 #[test]
 fn migration_budget_respected() {
-    let mut rng = RngStream::new(0x22);
-    for _ in 0..64 {
-        let obs = observation(&mut rng, 8, 24);
-        let budget = 1 + rng.below(3) as usize;
-        let config = ManagerConfig::for_fleet(
-            PowerPolicy::reactive_suspend(),
-            obs.hosts.len(),
-            obs.vms.len(),
-        )
-        .with_max_migrations_per_round(budget)
-        .with_min_on_time(SimDuration::ZERO);
-        let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
-        let migrations = mgr
-            .plan(&obs)
-            .iter()
-            .filter(|a| matches!(a, ManagementAction::Migrate { .. }))
-            .count();
-        assert!(migrations <= budget, "{migrations} > budget {budget}");
-    }
+    check::check(
+        "migration budget respected",
+        &observations(8, 24).zip(&usize_in(1..=3)),
+        |(obs, budget)| {
+            let config = ManagerConfig::for_fleet(
+                PowerPolicy::reactive_suspend(),
+                obs.hosts.len(),
+                obs.vms.len(),
+            )
+            .with_max_migrations_per_round(*budget)
+            .with_min_on_time(SimDuration::ZERO);
+            let mut mgr = VirtManager::new(config, obs.hosts.len(), obs.vms.len());
+            let migrations = mgr
+                .plan(obs)
+                .iter()
+                .filter(|a| matches!(a, ManagementAction::Migrate { .. }))
+                .count();
+            prop_assert!(migrations <= *budget, "{migrations} > budget {budget}");
+            Ok(())
+        },
+    );
 }
 
 /// Planning twice on the same observation from the same state is
 /// deterministic.
 #[test]
 fn planning_is_deterministic() {
-    let mut rng = RngStream::new(0x23);
-    for _ in 0..64 {
-        let obs = observation(&mut rng, 6, 16);
+    check::check("planning is deterministic", &observations(6, 16), |obs| {
         let mk = || {
             let config = ManagerConfig::for_fleet(
                 PowerPolicy::reactive_suspend(),
@@ -194,8 +216,9 @@ fn planning_is_deterministic() {
             );
             VirtManager::new(config, obs.hosts.len(), obs.vms.len())
         };
-        let a = mk().plan(&obs);
-        let b = mk().plan(&obs);
-        assert_eq!(a, b);
-    }
+        let a = mk().plan(obs);
+        let b = mk().plan(obs);
+        check::prop_assert_eq!(a, b);
+        Ok(())
+    });
 }

@@ -1,9 +1,9 @@
-//! Randomized tests for the power substrate.
-//!
-//! Cases are drawn from [`RngStream`](simcore::RngStream) with fixed
-//! seeds, so runs are reproducible without an external
-//! property-testing framework.
+//! Property tests for the power substrate, on the [`check`] framework:
+//! failures shrink to minimal counterexamples and replay from the
+//! printed seed.
 
+use check::gen::{boolean, f64_in, u64_in, usize_in};
+use check::{prop_assert, prop_assert_eq};
 use power::breakeven::{break_even_gap, net_energy_saved, LowPowerMode};
 use power::{
     HostPowerProfile, PowerCurve, PowerState, PowerStateMachine, PsuModel, TransitionKind,
@@ -13,43 +13,44 @@ use simcore::{RngStream, SimDuration, SimTime};
 /// Linear curves interpolate exactly and stay within [idle, peak].
 #[test]
 fn linear_curve_bounded() {
-    let mut rng = RngStream::new(0x10);
-    for _ in 0..200 {
-        let idle = rng.uniform(0.0, 300.0);
-        let peak = idle + rng.uniform(0.0, 300.0);
-        let u = rng.uniform(-1.0, 2.0);
+    let input = f64_in(0.0, 300.0)
+        .zip(&f64_in(0.0, 300.0))
+        .zip(&f64_in(-1.0, 2.0));
+    check::check("linear curve bounded", &input, |&((idle, extra), u)| {
+        let peak = idle + extra;
         let c = PowerCurve::linear(idle, peak);
         let p = c.power_at(u);
-        assert!(p >= idle - 1e-9 && p <= peak + 1e-9);
+        prop_assert!(p >= idle - 1e-9 && p <= peak + 1e-9, "{p} outside curve");
         // Exact at the endpoints regardless of clamping.
-        assert!((c.power_at(0.0) - idle).abs() < 1e-12);
-        assert!((c.power_at(1.0) - peak).abs() < 1e-12);
-    }
+        prop_assert!((c.power_at(0.0) - idle).abs() < 1e-12);
+        prop_assert!((c.power_at(1.0) - peak).abs() < 1e-12);
+        Ok(())
+    });
 }
 
 /// Energy saved at the break-even gap is ~zero, positive beyond it,
 /// negative (or infeasible) short of it.
 #[test]
 fn breakeven_is_a_zero_crossing() {
-    let mut rng = RngStream::new(0x11);
-    for _ in 0..100 {
+    let input = boolean().zip(&u64_in(5..=3599));
+    check::check("break-even zero crossing", &input, |&(off, delta_secs)| {
         let p = HostPowerProfile::prototype_rack();
-        let mode = if rng.chance(0.5) {
-            LowPowerMode::Suspend
-        } else {
+        let mode = if off {
             LowPowerMode::Off
+        } else {
+            LowPowerMode::Suspend
         };
-        let delta_secs = 5 + rng.below(3595);
         let gap = break_even_gap(&p, mode).expect("prototype supports both modes");
         let longer = gap + SimDuration::from_secs(delta_secs);
-        assert!(net_energy_saved(&p, mode, longer).expect("feasible beyond break-even") > 0.0);
+        prop_assert!(net_energy_saved(&p, mode, longer).expect("feasible beyond break-even") > 0.0);
         if gap.as_secs_f64() > delta_secs as f64 {
             let shorter = gap - SimDuration::from_secs(delta_secs);
             if let Some(saved) = net_energy_saved(&p, mode, shorter) {
-                assert!(saved <= 1e-6, "positive saving {saved} before break-even");
+                prop_assert!(saved <= 1e-6, "positive saving {saved} before break-even");
             }
         }
-    }
+        Ok(())
+    });
 }
 
 /// Energy is conserved across arbitrary legal state walks: the meter
@@ -58,95 +59,101 @@ fn breakeven_is_a_zero_crossing() {
 /// profile too.)
 #[test]
 fn machine_accounting_consistent() {
-    let mut gen = RngStream::new(0x12);
-    for _ in 0..60 {
-        let profile = if gen.chance(0.5) {
-            HostPowerProfile::prototype_blade()
-        } else {
-            HostPowerProfile::prototype_rack()
-        };
-        let steps = 1 + gen.below(24) as usize;
-        let seed = gen.below(u64::MAX);
-        let mut rng = RngStream::new(seed);
-        let mut m = PowerStateMachine::new(profile, SimTime::ZERO);
-        let mut now = SimTime::ZERO;
-        for _ in 0..steps {
-            now += SimDuration::from_secs(rng.below(1000) + 1);
-            if m.state() == PowerState::On {
-                m.set_utilization(now, rng.next_f64());
-            }
-            let kind = match m.state() {
-                PowerState::On => {
-                    if rng.chance(0.5) {
-                        TransitionKind::Suspend
-                    } else {
-                        TransitionKind::Shutdown
-                    }
-                }
-                PowerState::Suspended => TransitionKind::Resume,
-                PowerState::Off => TransitionKind::Boot,
-                _ => unreachable!("walk only visits stable states"),
+    let input = boolean().zip(&usize_in(1..=24)).zip(&u64_in(0..=u64::MAX));
+    check::check(
+        "machine accounting consistent",
+        &input,
+        |&((blade, steps), seed)| {
+            let profile = if blade {
+                HostPowerProfile::prototype_blade()
+            } else {
+                HostPowerProfile::prototype_rack()
             };
-            let done = m.begin(kind, now).expect("legal transition");
-            now = done;
-            m.complete(done).expect("scheduled completion");
-        }
-        m.sync(now);
-        let by_state: f64 = PowerState::ALL.iter().map(|&s| m.meter().state_j(s)).sum();
-        assert!((by_state - m.meter().total_j()).abs() < 1e-6);
-        assert_eq!(m.residency().total(), now.since(SimTime::ZERO));
-        // Energy is bounded by peak power times elapsed time.
-        let max_j = m.profile().curve().peak_w() * now.as_secs_f64();
-        assert!(m.meter().total_j() <= max_j + 1e-6);
-    }
+            let mut rng = RngStream::new(seed);
+            let mut m = PowerStateMachine::new(profile, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            for _ in 0..steps {
+                now += SimDuration::from_secs(rng.below(1000) + 1);
+                if m.state() == PowerState::On {
+                    m.set_utilization(now, rng.next_f64());
+                }
+                let kind = match m.state() {
+                    PowerState::On => {
+                        if rng.chance(0.5) {
+                            TransitionKind::Suspend
+                        } else {
+                            TransitionKind::Shutdown
+                        }
+                    }
+                    PowerState::Suspended => TransitionKind::Resume,
+                    PowerState::Off => TransitionKind::Boot,
+                    _ => unreachable!("walk only visits stable states"),
+                };
+                let done = m.begin(kind, now).expect("legal transition");
+                now = done;
+                m.complete(done).expect("scheduled completion");
+            }
+            m.sync(now);
+            let by_state: f64 = PowerState::ALL.iter().map(|&s| m.meter().state_j(s)).sum();
+            prop_assert!((by_state - m.meter().total_j()).abs() < 1e-6);
+            prop_assert_eq!(m.residency().total(), now.since(SimTime::ZERO));
+            // Energy is bounded by peak power times elapsed time.
+            let max_j = m.profile().curve().peak_w() * now.as_secs_f64();
+            prop_assert!(m.meter().total_j() <= max_j + 1e-6);
+            Ok(())
+        },
+    );
 }
 
 /// PSU wall power is monotone in DC power and never below it.
 #[test]
 fn psu_wall_power_monotone() {
-    let mut rng = RngStream::new(0x13);
-    for _ in 0..200 {
-        let capacity = rng.uniform(100.0, 1000.0);
-        let a = rng.uniform(0.0, 500.0);
-        let b = rng.uniform(0.0, 500.0);
+    let input = f64_in(100.0, 1000.0)
+        .zip(&f64_in(0.0, 500.0))
+        .zip(&f64_in(0.0, 500.0));
+    check::check("PSU wall power monotone", &input, |&((capacity, a), b)| {
         let psu = PsuModel::eighty_plus_gold(capacity);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let w_lo = psu.wall_power_w(lo);
         let w_hi = psu.wall_power_w(hi);
-        assert!(w_lo >= lo && w_hi >= hi);
-        assert!(
+        prop_assert!(w_lo >= lo && w_hi >= hi);
+        prop_assert!(
             w_lo <= w_hi + 1e-9,
             "wall power not monotone: {w_lo} > {w_hi}"
         );
-    }
+        Ok(())
+    });
 }
 
 /// with_resume_latency preserves everything except the resume spec.
 #[test]
 fn resume_latency_override_is_local() {
-    let mut rng = RngStream::new(0x14);
-    for _ in 0..100 {
-        let secs = 1 + rng.below(3999);
-        let base = HostPowerProfile::prototype_rack();
-        let modified = base.with_resume_latency(SimDuration::from_secs(secs));
-        assert_eq!(
-            modified
-                .transitions()
-                .spec(TransitionKind::Resume)
-                .unwrap()
-                .latency(),
-            SimDuration::from_secs(secs)
-        );
-        for kind in [
-            TransitionKind::Suspend,
-            TransitionKind::Shutdown,
-            TransitionKind::Boot,
-        ] {
-            assert_eq!(
-                modified.transitions().spec(kind).unwrap().latency(),
-                base.transitions().spec(kind).unwrap().latency()
+    check::check(
+        "resume latency override is local",
+        &u64_in(1..=3999),
+        |&secs| {
+            let base = HostPowerProfile::prototype_rack();
+            let modified = base.with_resume_latency(SimDuration::from_secs(secs));
+            prop_assert_eq!(
+                modified
+                    .transitions()
+                    .spec(TransitionKind::Resume)
+                    .unwrap()
+                    .latency(),
+                SimDuration::from_secs(secs)
             );
-        }
-        assert_eq!(modified.curve(), base.curve());
-    }
+            for kind in [
+                TransitionKind::Suspend,
+                TransitionKind::Shutdown,
+                TransitionKind::Boot,
+            ] {
+                prop_assert_eq!(
+                    modified.transitions().spec(kind).unwrap().latency(),
+                    base.transitions().spec(kind).unwrap().latency()
+                );
+            }
+            prop_assert_eq!(modified.curve(), base.curve());
+            Ok(())
+        },
+    );
 }

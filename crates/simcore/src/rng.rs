@@ -63,6 +63,17 @@ impl RngStream {
         }
     }
 
+    /// Splits off an independent child stream, advancing this one.
+    ///
+    /// Unlike [`RngStream::substream`], which derives a stream from a
+    /// fixed id without touching the parent, `split` consumes one draw
+    /// from the parent per child, so a loop can mint an unbounded
+    /// sequence of mutually independent streams (one per generated test
+    /// case, one per worker, ...) without inventing ids.
+    pub fn split(&mut self) -> RngStream {
+        RngStream::new(self.next_u64())
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
@@ -230,6 +241,27 @@ mod tests {
         let mut s2 = root.substream(2);
         assert_eq!(s1.next_u64(), s1b.next_u64());
         assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_reproducible() {
+        let mut parent = RngStream::new(11);
+        let mut twin = RngStream::new(11);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let mut a2 = twin.split();
+        let mut b2 = twin.split();
+        assert_eq!(a.next_u64(), a2.next_u64(), "same parent, same children");
+        assert_eq!(b.next_u64(), b2.next_u64());
+        assert_ne!(a.next_u64(), b.next_u64(), "children are distinct");
+    }
+
+    #[test]
+    fn split_advances_the_parent() {
+        let mut split_once = RngStream::new(11);
+        let _child = split_once.split();
+        let mut untouched = RngStream::new(11);
+        assert_ne!(split_once.next_u64(), untouched.next_u64());
     }
 
     #[test]

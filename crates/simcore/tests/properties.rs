@@ -1,196 +1,221 @@
-//! Randomized tests for the simulation substrate.
-//!
-//! Cases are drawn from [`RngStream`] with fixed seeds, so runs are
-//! reproducible without an external property-testing framework.
+//! Property tests for the simulation substrate, on the [`check`]
+//! framework: generated cases shrink to minimal counterexamples and
+//! reproduce from the printed replay seed.
 
+use check::gen::{f64_in, u64_in, usize_in, vec_of, Gen};
+use check::{prop_assert, prop_assert_eq};
 use simcore::{percentile, EventQueue, RngStream, SimDuration, SimTime, TimeSeries, Welford};
 
-/// A small, time-ordered list of (time-gap, value) samples.
-fn samples(rng: &mut RngStream) -> Vec<(u64, f64)> {
-    let n = 1 + rng.below(39) as usize;
-    (0..n)
-        .map(|_| (1 + rng.below(9_999), rng.uniform(-1.0e6, 1.0e6)))
-        .collect()
+/// A small list of (time-gap-ms, value) samples; gaps are strictly
+/// positive so recorded times are strictly increasing.
+fn samples() -> Gen<Vec<(u64, f64)>> {
+    vec_of(&u64_in(1..=10_000).zip(&f64_in(-1.0e6, 1.0e6)), 1..=40)
+}
+
+/// Builds a series from gap/value pairs, returning the series, the
+/// absolute sample times, and the time of the last sample.
+fn build(sams: &[(u64, f64)]) -> (TimeSeries, Vec<(u64, f64)>, u64) {
+    let mut ts = TimeSeries::new();
+    let mut t = 0u64;
+    let mut points = Vec::new();
+    for &(gap, v) in sams {
+        ts.record(SimTime::from_millis(t), v);
+        points.push((t, v));
+        t += gap;
+    }
+    (ts, points, t)
 }
 
 /// The step-function integral equals the hand-computed sum of
 /// value × holding-time.
 #[test]
 fn integral_matches_manual_sum() {
-    let mut rng = RngStream::new(1);
-    for _ in 0..100 {
-        let sams = samples(&mut rng);
-        let tail_ms = rng.below(100_000);
-        let mut ts = TimeSeries::new();
-        let mut t = 0u64;
-        let mut points = Vec::new();
-        for (gap, v) in sams {
-            ts.record(SimTime::from_millis(t), v);
-            points.push((t, v));
-            t += gap;
-        }
-        let end = t + tail_ms;
-        let mut manual = 0.0;
-        for (i, &(start, v)) in points.iter().enumerate() {
-            let stop = points.get(i + 1).map(|&(s, _)| s).unwrap_or(end);
-            manual += v * (stop - start) as f64 / 1000.0;
-        }
-        let got = ts.integral_until(SimTime::from_millis(end));
-        let scale = manual.abs().max(1.0);
-        assert!(
-            (got - manual).abs() / scale < 1e-9,
-            "got {got}, manual {manual}"
-        );
-    }
+    check::check(
+        "TimeSeries integral == manual sum",
+        &samples().zip(&u64_in(0..=100_000)),
+        |(sams, tail_ms)| {
+            let (ts, points, t) = build(sams);
+            let end = t + tail_ms;
+            let mut manual = 0.0;
+            for (i, &(start, v)) in points.iter().enumerate() {
+                let stop = points.get(i + 1).map(|&(s, _)| s).unwrap_or(end);
+                manual += v * (stop - start) as f64 / 1000.0;
+            }
+            let got = ts.integral_until(SimTime::from_millis(end));
+            let scale = manual.abs().max(1.0);
+            prop_assert!(
+                (got - manual).abs() / scale < 1e-9,
+                "got {got}, manual {manual}"
+            );
+            Ok(())
+        },
+    );
 }
 
 /// value_at always returns the most recent sample at or before t.
 #[test]
 fn value_at_is_last_sample() {
-    let mut rng = RngStream::new(2);
-    for _ in 0..100 {
-        let sams = samples(&mut rng);
-        let query_ms = rng.below(500_000);
-        let mut ts = TimeSeries::new();
-        let mut t = 0u64;
-        let mut points = Vec::new();
-        for (gap, v) in sams {
-            ts.record(SimTime::from_millis(t), v);
-            points.push((t, v));
-            t += gap;
-        }
-        let expected = points
-            .iter()
-            .rev()
-            .find(|&&(s, _)| s <= query_ms)
-            .map(|&(_, v)| v);
-        assert_eq!(ts.value_at(SimTime::from_millis(query_ms)), expected);
-    }
+    check::check(
+        "TimeSeries value_at == last sample",
+        &samples().zip(&u64_in(0..=500_000)),
+        |(sams, query_ms)| {
+            let (ts, points, _) = build(sams);
+            let expected = points
+                .iter()
+                .rev()
+                .find(|&&(s, _)| s <= *query_ms)
+                .map(|&(_, v)| v);
+            prop_assert_eq!(ts.value_at(SimTime::from_millis(*query_ms)), expected);
+            Ok(())
+        },
+    );
 }
 
 /// Summing series pointwise equals the sum of individual integrals.
 #[test]
 fn sum_preserves_integral() {
-    let mut rng = RngStream::new(3);
-    for _ in 0..100 {
-        let a = samples(&mut rng);
-        let b = samples(&mut rng);
-        let build = |sams: &[(u64, f64)]| {
-            let mut ts = TimeSeries::new();
-            let mut t = 0u64;
-            for &(gap, v) in sams {
-                ts.record(SimTime::from_millis(t), v);
-                t += gap;
-            }
-            (ts, t)
-        };
-        let (ts_a, end_a) = build(&a);
-        let (ts_b, end_b) = build(&b);
-        let end = SimTime::from_millis(end_a.max(end_b) + 1000);
-        let total = TimeSeries::sum(&[&ts_a, &ts_b]);
-        let lhs = total.integral_until(end);
-        let rhs = ts_a.integral_until(end) + ts_b.integral_until(end);
-        let scale = rhs.abs().max(1.0);
-        assert!((lhs - rhs).abs() / scale < 1e-9, "{lhs} vs {rhs}");
-    }
+    check::check(
+        "TimeSeries sum preserves integral",
+        &samples().zip(&samples()),
+        |(a, b)| {
+            let (ts_a, _, end_a) = build(a);
+            let (ts_b, _, end_b) = build(b);
+            let end = SimTime::from_millis(end_a.max(end_b) + 1000);
+            let total = TimeSeries::sum(&[&ts_a, &ts_b]);
+            let lhs = total.integral_until(end);
+            let rhs = ts_a.integral_until(end) + ts_b.integral_until(end);
+            let scale = rhs.abs().max(1.0);
+            prop_assert!((lhs - rhs).abs() / scale < 1e-9, "{lhs} vs {rhs}");
+            Ok(())
+        },
+    );
 }
 
 /// Welford merge is associative with sequential accumulation.
 #[test]
 fn welford_merge_matches_sequential() {
-    let mut rng = RngStream::new(4);
-    for _ in 0..100 {
-        let n = 1 + rng.below(99) as usize;
-        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0e3, 1.0e3)).collect();
-        let split = rng.below(100) as usize % xs.len();
-        let mut left = Welford::new();
-        let mut right = Welford::new();
-        let mut whole = Welford::new();
-        for (i, &x) in xs.iter().enumerate() {
-            if i < split {
-                left.push(x)
-            } else {
-                right.push(x)
+    check::check(
+        "Welford merge == sequential",
+        &vec_of(&f64_in(-1.0e3, 1.0e3), 1..=100).zip(&usize_in(0..=99)),
+        |(xs, split_raw)| {
+            let split = split_raw % xs.len();
+            let mut left = Welford::new();
+            let mut right = Welford::new();
+            let mut whole = Welford::new();
+            for (i, &x) in xs.iter().enumerate() {
+                if i < split {
+                    left.push(x)
+                } else {
+                    right.push(x)
+                }
+                whole.push(x);
             }
-            whole.push(x);
-        }
-        left.merge(&right);
-        assert_eq!(left.count(), whole.count());
-        assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
-    }
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
+            Ok(())
+        },
+    );
 }
 
 /// Percentiles are monotone in p and bounded by min/max.
 #[test]
 fn percentile_monotone_and_bounded() {
-    let mut rng = RngStream::new(5);
-    for _ in 0..100 {
-        let n = 1 + rng.below(59) as usize;
-        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0e3, 1.0e3)).collect();
-        let p0 = percentile(&xs, 0.0).unwrap();
-        let p50 = percentile(&xs, 50.0).unwrap();
-        let p100 = percentile(&xs, 100.0).unwrap();
-        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(p0 <= p50 && p50 <= p100);
-        assert!((p0 - min).abs() < 1e-12);
-        assert!((p100 - max).abs() < 1e-12);
-    }
+    check::check(
+        "percentile monotone and bounded",
+        &vec_of(&f64_in(-1.0e3, 1.0e3), 1..=60),
+        |xs| {
+            let p0 = percentile(xs, 0.0).unwrap();
+            let p50 = percentile(xs, 50.0).unwrap();
+            let p100 = percentile(xs, 100.0).unwrap();
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p0 <= p50 && p50 <= p100);
+            prop_assert!((p0 - min).abs() < 1e-12);
+            prop_assert!((p100 - max).abs() < 1e-12);
+            Ok(())
+        },
+    );
 }
 
 /// The event queue is a stable priority queue: output is sorted by
 /// time, and equal times preserve insertion order.
 #[test]
 fn event_queue_stable_sort() {
-    let mut rng = RngStream::new(6);
-    for _ in 0..100 {
-        let n = 1 + rng.below(79) as usize;
-        let times: Vec<u64> = (0..n).map(|_| rng.below(50)).collect();
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_millis(t), i);
-        }
-        let mut prev: Option<(SimTime, usize)> = None;
-        while let Some((t, i)) = q.pop() {
-            if let Some((pt, pi)) = prev {
-                assert!(pt <= t);
-                if pt == t {
-                    assert!(pi < i, "FIFO violated at {t}");
-                }
+    check::check(
+        "EventQueue stable sort",
+        &vec_of(&u64_in(0..=49), 1..=80),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(t), i);
             }
-            prev = Some((t, i));
-        }
-    }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((pt, pi)) = prev {
+                    prop_assert!(pt <= t);
+                    if pt == t {
+                        prop_assert!(pi < i, "FIFO violated at {t}");
+                    }
+                }
+                prev = Some((t, i));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Uniform draws respect their bounds; `below` respects n.
 #[test]
 fn rng_bounds() {
-    let mut gen = RngStream::new(7);
-    for _ in 0..100 {
-        let seed = gen.below(u64::MAX);
-        let lo = gen.uniform(-100.0, 100.0);
-        let width = gen.uniform(0.0, 100.0);
-        let n = 1 + gen.below(999);
+    let input = u64_in(0..=u64::MAX)
+        .zip(&f64_in(-100.0, 100.0))
+        .zip(&f64_in(0.0, 100.0))
+        .zip(&u64_in(1..=1000));
+    check::check("RngStream bounds", &input, |&(((seed, lo), width), n)| {
         let mut r = RngStream::new(seed);
         let hi = lo + width;
         for _ in 0..50 {
             let u = r.uniform(lo, hi);
-            assert!(u >= lo && (u < hi || width == 0.0));
-            assert!(r.below(n) < n);
+            prop_assert!(u >= lo && (u < hi || width == 0.0));
+            prop_assert!(r.below(n) < n);
         }
-    }
+        Ok(())
+    });
+}
+
+/// Split streams are reproducible and independent of later parent use.
+#[test]
+fn split_streams_are_reproducible() {
+    check::check(
+        "RngStream split reproducible",
+        &u64_in(0..=u64::MAX),
+        |&seed| {
+            let mut parent_a = RngStream::new(seed);
+            let mut child_a = parent_a.split();
+            let mut parent_b = RngStream::new(seed);
+            let mut child_b = parent_b.split();
+            let _ = parent_b.next_u64(); // parent use must not affect the child
+            for _ in 0..16 {
+                prop_assert_eq!(child_a.next_u64(), child_b.next_u64());
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Durations round-trip through f64 seconds within 1 ms.
 #[test]
 fn duration_secs_round_trip() {
-    let mut rng = RngStream::new(8);
-    for _ in 0..200 {
-        let ms = rng.below(10_000_000);
-        let d = SimDuration::from_millis(ms);
-        let back = SimDuration::from_secs_f64(d.as_secs_f64());
-        assert_eq!(back, d);
-    }
+    check::check(
+        "SimDuration secs round-trip",
+        &u64_in(0..=10_000_000),
+        |&ms| {
+            let d = SimDuration::from_millis(ms);
+            let back = SimDuration::from_secs_f64(d.as_secs_f64());
+            prop_assert_eq!(back, d);
+            Ok(())
+        },
+    );
 }

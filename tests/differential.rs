@@ -1,0 +1,227 @@
+//! Differential verification: generated scenarios run through the
+//! execution paths the codebase promises are equivalent, asserting
+//! bit-identical [`SimReport`]s, with the invariant catalog
+//! ([`check_support::invariants`]) applied after every generated run.
+//!
+//! The equivalence pairs under test:
+//!
+//! * incremental vs `Scan` cluster accounting (PR 2's speedup);
+//! * `u16`-quantized vs dense f64 demand traces carrying the same
+//!   decoded samples;
+//! * pooled (`scale_sweep_policies`) vs serial sweep execution;
+//! * a JSONL trace sink attached vs no sink at all.
+//!
+//! Case counts default to 64 per property (`AGILEPM_CHECK_CASES`
+//! raises them in CI), so each pair is exercised on at least 64
+//! generated scenarios under plain `cargo test`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use agilepm::cluster::AccountingMode;
+use agilepm::core::PowerPolicy;
+use agilepm::sim::{sweeps, Experiment, Scenario, SimReport};
+use agilepm::simcore::SimDuration;
+use agilepm::workload::{DemandTrace, Fleet};
+use check::gen;
+use check_support::{check_energy_ordering, check_report, experiment_spec, scenario_spec};
+
+/// Bit-identical comparison plus the serialized form, plus the invariant
+/// catalog on both halves of the pair.
+fn assert_equivalent(
+    scenario: &Scenario,
+    left: &SimReport,
+    right: &SimReport,
+    what: &str,
+) -> Result<(), String> {
+    check_report(scenario, left)?;
+    check_report(scenario, right)?;
+    check::prop_assert!(
+        left == right,
+        "{what}: reports differ (energy {} vs {} J, {} vs {} migrations)",
+        left.energy_j,
+        right.energy_j,
+        left.migrations,
+        right.migrations
+    );
+    check::prop_assert_eq!(
+        left.to_json().to_string_compact(),
+        right.to_json().to_string_compact(),
+        "{what}: serialized reports differ"
+    );
+    Ok(())
+}
+
+#[test]
+fn incremental_accounting_matches_scan_reference() {
+    check::check(
+        "incremental == Scan accounting",
+        &experiment_spec(),
+        |spec| {
+            let scenario = spec.scenario.build();
+            let run = |mode: AccountingMode| {
+                spec.experiment()
+                    .accounting(mode)
+                    .record_events()
+                    .run()
+                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            };
+            let incremental = run(AccountingMode::Incremental)?;
+            let scan = run(AccountingMode::Scan)?;
+            assert_equivalent(&scenario, &incremental, &scan, "incremental-vs-scan")
+        },
+    );
+}
+
+#[test]
+fn quantized_traces_match_dense_traces_with_the_same_samples() {
+    // Quantization itself is lossy, so the fair comparison is a
+    // quantized fleet against a dense fleet built from the *decoded*
+    // samples — those two must simulate bit-identically.
+    check::check(
+        "quantized == dense-decoded traces",
+        &experiment_spec(),
+        |spec| {
+            let base = spec.scenario.build();
+            let decoded = |t: &DemandTrace| -> Vec<f64> {
+                let q = t.clone().quantized();
+                (0..q.len()).map(|k| q.sample(k)).collect()
+            };
+            let rebuild = |quantize: bool| {
+                let traces: Vec<DemandTrace> = base
+                    .fleet()
+                    .traces()
+                    .iter()
+                    .map(|t| {
+                        let dense = DemandTrace::from_samples(t.step(), decoded(t));
+                        if quantize {
+                            dense.quantized()
+                        } else {
+                            dense
+                        }
+                    })
+                    .collect();
+                let fleet = Fleet::from_parts(base.fleet().vm_specs().to_vec(), traces)
+                    .with_lifetime_plan(base.fleet().lifetimes().clone());
+                Scenario::new(
+                    base.name().to_string(),
+                    base.host_specs().to_vec(),
+                    fleet,
+                    base.demand_step(),
+                    base.seed(),
+                )
+            };
+            let run = |scenario: Scenario| {
+                Experiment::new(scenario)
+                    .policy(spec.policy)
+                    .horizon(SimDuration::from_hours(spec.horizon_hours))
+                    .control_interval(SimDuration::from_mins(spec.control_mins))
+                    .record_events()
+                    .run()
+                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            };
+            let quantized = run(rebuild(true))?;
+            let dense = run(rebuild(false))?;
+            assert_equivalent(&rebuild(false), &quantized, &dense, "quantized-vs-dense")
+        },
+    );
+}
+
+#[test]
+fn pooled_sweep_matches_serial_loop() {
+    // scale_sweep_policies dispatches the (size, policy) grid through
+    // the bounded worker pool; the result must equal running the same
+    // grid serially, run by run.
+    let sizes_and_seed = gen::usize_in(2..=4)
+        .zip(&gen::usize_in(5..=7))
+        .zip(&gen::u64_in(0..=999));
+    check::check_cases(
+        "pooled == serial sweeps",
+        16,
+        &sizes_and_seed,
+        |&((small, large), seed)| {
+            let host_counts = [small, large];
+            let policies = [PowerPolicy::always_on(), PowerPolicy::reactive_suspend()];
+            let pooled = sweeps::scale_sweep_policies(&host_counts, &policies, seed)
+                .map_err(|e| format!("pooled sweep failed: {e:?}"))?;
+            let mut serial = Vec::new();
+            for &hosts in &host_counts {
+                for &policy in &policies {
+                    let scenario = Scenario::datacenter(hosts, hosts * 6, seed);
+                    let report = Experiment::new(scenario.clone())
+                        .policy(policy)
+                        .run()
+                        .map_err(|e| format!("serial run failed: {e:?}"))?;
+                    check_report(&scenario, &report)?;
+                    serial.push((hosts, policy, report));
+                }
+            }
+            check::prop_assert_eq!(pooled.len(), serial.len());
+            for (p, s) in pooled.iter().zip(&serial) {
+                check::prop_assert!(
+                    p == s,
+                    "pooled and serial disagree at {} hosts / {:?}",
+                    s.0,
+                    s.1
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn jsonl_sink_does_not_perturb_the_simulation() {
+    static SINK_SERIAL: AtomicU64 = AtomicU64::new(0);
+    check::check("JSONL sink == null sink", &experiment_spec(), |spec| {
+        let scenario = spec.scenario.build();
+        let path = std::env::temp_dir().join(format!(
+            "agilepm-differential-{}-{}.jsonl",
+            std::process::id(),
+            SINK_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        let with_sink = spec
+            .experiment()
+            .record_events()
+            .trace_path(&path)
+            .run()
+            .map_err(|e| format!("{spec:?}: sink run failed: {e:?}"));
+        let trace_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let _ = std::fs::remove_file(&path);
+        let with_sink = with_sink?;
+        let without = spec
+            .experiment()
+            .record_events()
+            .run()
+            .map_err(|e| format!("{spec:?}: null run failed: {e:?}"))?;
+        check::prop_assert!(trace_len > 0, "sink produced an empty trace file");
+        assert_equivalent(&scenario, &with_sink, &without, "sink-vs-null")
+    });
+}
+
+#[test]
+fn policy_ladder_orders_energy_on_generated_diurnal_worlds() {
+    // Oracle <= managed <= always-on, on worlds where consolidation has
+    // something to harvest (the diurnal mix over a full day).
+    let world = scenario_spec().map(|mut spec| {
+        spec.workload = check_support::WorkloadKind::Diurnal;
+        spec.hosts = spec.hosts.max(4);
+        spec.vms_per_host = spec.vms_per_host.max(3);
+        spec
+    });
+    check::check_cases("Oracle <= managed <= AlwaysOn", 8, &world, |spec| {
+        let scenario = spec.build();
+        let run = |p: PowerPolicy| {
+            Experiment::new(scenario.clone())
+                .policy(p)
+                .horizon(SimDuration::from_hours(24))
+                .run()
+                .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+        };
+        let oracle = run(PowerPolicy::oracle())?;
+        let managed = run(PowerPolicy::reactive_suspend())?;
+        let base = run(PowerPolicy::always_on())?;
+        check_report(&scenario, &managed)?;
+        check_report(&scenario, &base)?;
+        check_energy_ordering(&oracle, &managed, &base, 0.002).map_err(|e| format!("{spec:?}: {e}"))
+    });
+}

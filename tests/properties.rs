@@ -1,9 +1,6 @@
-//! Randomized integration tests: invariants that must hold for any
-//! scenario the generator can produce.
-//!
-//! Inputs are drawn from the workspace's own deterministic [`RngStream`]
-//! (seeded per test), so every run checks the same cases — failures
-//! reproduce exactly without a shrinker.
+//! Randomized integration tests, on the [`check`] framework: invariants
+//! that must hold for any scenario the generators can produce. Failures
+//! shrink to minimal counterexamples and replay from the printed seed.
 
 use agilepm::cluster::{Cluster, HostId, HostSpec, Resources, VmId, VmSpec};
 use agilepm::core::PowerPolicy;
@@ -11,59 +8,61 @@ use agilepm::power::{HostPowerProfile, PowerState, PowerStateMachine, Transition
 use agilepm::sim::{Experiment, Scenario};
 use agilepm::simcore::{RngStream, SimDuration, SimTime};
 use agilepm::workload::{presets, DemandProcess, Shape};
+use check::gen::{boolean, f64_in, u64_in, usize_in};
+use check::{prop_assert, prop_assert_eq};
+use check_support::check_report;
 
-/// Any small scenario simulates without panicking, and the report's
-/// conservation laws hold.
+/// Any small scenario simulates without panicking, the report's
+/// conservation laws hold, and the full invariant catalog passes.
 #[test]
 fn simulation_invariants() {
-    let mut gen = RngStream::new(0xA11CE);
-    for case in 0..16 {
-        let hosts = 2 + gen.below(8) as usize;
-        let vms_per_host = 1 + gen.below(7) as usize;
-        let seed = gen.below(1000);
-        let policy = if gen.chance(0.5) {
-            PowerPolicy::reactive_suspend()
-        } else {
-            PowerPolicy::reactive_off()
-        };
-        let scenario = Scenario::datacenter(hosts, hosts * vms_per_host, seed);
-        let r = Experiment::new(scenario)
-            .policy(policy)
-            .horizon(SimDuration::from_hours(4))
-            .run()
-            .expect("scenario runs");
-        let ctx = format!("case {case}: {hosts} hosts x {vms_per_host} VMs, seed {seed}");
-        assert!(r.energy_j > 0.0, "{ctx}");
-        assert!((0.0..=1.0).contains(&r.unserved_ratio), "{ctx}");
-        assert!(
-            r.avg_hosts_on >= 0.0 && r.avg_hosts_on <= hosts as f64 + 1e-9,
-            "{ctx}"
-        );
-        // Energy is bounded by every host at peak the whole time.
-        let max_j = hosts as f64 * 315.0 * 4.0 * 3600.0;
-        assert!(
-            r.energy_j <= max_j * 1.01,
-            "{ctx}: energy {} above physical cap {max_j}",
-            r.energy_j
-        );
-        // ...and at least every host parked the whole time.
-        let min_j = hosts as f64 * 4.5 * 4.0 * 3600.0 * 0.9;
-        assert!(
-            r.energy_j >= min_j,
-            "{ctx}: energy {} below park floor {min_j}",
-            r.energy_j
-        );
-    }
+    let input = usize_in(2..=9)
+        .zip(&usize_in(1..=7))
+        .zip(&u64_in(0..=999))
+        .zip(&boolean());
+    check::check_cases(
+        "simulation invariants",
+        16,
+        &input,
+        |&(((hosts, vms_per_host), seed), suspend)| {
+            let policy = if suspend {
+                PowerPolicy::reactive_suspend()
+            } else {
+                PowerPolicy::reactive_off()
+            };
+            let scenario = Scenario::datacenter(hosts, hosts * vms_per_host, seed);
+            let r = Experiment::new(scenario.clone())
+                .policy(policy)
+                .horizon(SimDuration::from_hours(4))
+                .run()
+                .map_err(|e| format!("scenario failed to run: {e:?}"))?;
+            check_report(&scenario, &r)?;
+            prop_assert!(r.energy_j > 0.0, "zero energy");
+            // Energy is bounded by every host at peak the whole time...
+            let max_j = hosts as f64 * 315.0 * 4.0 * 3600.0;
+            prop_assert!(
+                r.energy_j <= max_j * 1.01,
+                "energy {} above physical cap {max_j}",
+                r.energy_j
+            );
+            // ...and at least every host parked the whole time.
+            let min_j = hosts as f64 * 4.5 * 4.0 * 3600.0 * 0.9;
+            prop_assert!(
+                r.energy_j >= min_j,
+                "energy {} below park floor {min_j}",
+                r.energy_j
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Any legal sequence of power transitions keeps the residency, energy,
 /// and state bookkeeping consistent.
 #[test]
 fn power_machine_random_walk() {
-    let mut gen = RngStream::new(0xB0B);
-    for case in 0..50 {
-        let steps = 1 + gen.below(39) as usize;
-        let seed = gen.below(1000);
+    let input = usize_in(1..=40).zip(&u64_in(0..=999));
+    check::check("power machine random walk", &input, |&(steps, seed)| {
         let mut rng = RngStream::new(seed);
         let mut m = PowerStateMachine::new(HostPowerProfile::prototype_rack(), SimTime::ZERO);
         let mut now = SimTime::ZERO;
@@ -86,25 +85,23 @@ fn power_machine_random_walk() {
             now = done;
         }
         m.sync(now);
-        let ctx = format!("case {case}: {steps} steps, seed {seed}");
         // Residency sums to elapsed time exactly.
-        assert_eq!(m.residency().total(), now.since(SimTime::ZERO), "{ctx}");
+        prop_assert_eq!(m.residency().total(), now.since(SimTime::ZERO));
         // Energy equals the per-state breakdown.
         let by_state: f64 = PowerState::ALL.iter().map(|&s| m.meter().state_j(s)).sum();
-        assert!((by_state - m.meter().total_j()).abs() < 1e-6, "{ctx}");
+        prop_assert!((by_state - m.meter().total_j()).abs() < 1e-6);
         // Transition counts match the walk length.
-        assert_eq!(m.total_transitions(), steps as u64, "{ctx}");
-    }
+        prop_assert_eq!(m.total_transitions(), steps as u64);
+        Ok(())
+    });
 }
 
 /// Cluster placement bookkeeping stays consistent under random
 /// place/migrate/power sequences.
 #[test]
 fn cluster_random_operations() {
-    let mut gen = RngStream::new(0xC1A5);
-    for case in 0..50 {
-        let ops = 1 + gen.below(59) as usize;
-        let seed = gen.below(1000);
+    let input = usize_in(1..=60).zip(&u64_in(0..=999));
+    check::check("cluster random operations", &input, |&(ops, seed)| {
         let mut rng = RngStream::new(seed);
         let hosts = vec![
             HostSpec::new(
@@ -169,63 +166,66 @@ fn cluster_random_operations() {
                     }
                 }
             }
-            let ctx = format!("case {case}: seed {seed}");
-            assert!(cluster.placement().check_invariants(), "{ctx}");
+            prop_assert!(cluster.placement().check_invariants(), "placement broken");
             // Memory never overcommitted on any host.
             for h in 0..4u32 {
-                assert!(cluster.mem_committed_gb(HostId(h)) <= 64.0 + 1e-9, "{ctx}");
+                prop_assert!(
+                    cluster.mem_committed_gb(HostId(h)) <= 64.0 + 1e-9,
+                    "host {h} memory overcommitted"
+                );
             }
         }
-    }
+        Ok(())
+    });
 }
 
 /// Demand traces are always within [0, 1] and deterministic.
 #[test]
 fn demand_process_bounds() {
-    let mut gen = RngStream::new(0xD00D);
-    for _ in 0..50 {
-        let base = gen.uniform(0.0, 0.7);
-        let amplitude = gen.uniform(0.0, 0.3);
-        let rho = gen.uniform(0.0, 0.99);
-        let sigma = gen.uniform(0.0, 0.4);
-        let seed = gen.below(1000);
-        let p = DemandProcess::new(Shape::diurnal(base, amplitude)).with_noise(rho, sigma);
-        let t1 = p.generate(
-            SimDuration::from_hours(6),
-            SimDuration::from_mins(5),
-            &mut RngStream::new(seed),
-        );
-        let t2 = p.generate(
-            SimDuration::from_hours(6),
-            SimDuration::from_mins(5),
-            &mut RngStream::new(seed),
-        );
-        assert_eq!(&t1, &t2);
-        for &s in t1.samples() {
-            assert!(
-                (0.0..=1.0).contains(&s),
-                "sample {s} out of range (base {base}, amp {amplitude}, rho {rho}, sigma {sigma})"
+    let input = f64_in(0.0, 0.7)
+        .zip(&f64_in(0.0, 0.3))
+        .zip(&f64_in(0.0, 0.99))
+        .zip(&f64_in(0.0, 0.4))
+        .zip(&u64_in(0..=999));
+    check::check(
+        "demand process bounds",
+        &input,
+        |&((((base, amplitude), rho), sigma), seed)| {
+            let p = DemandProcess::new(Shape::diurnal(base, amplitude)).with_noise(rho, sigma);
+            let t1 = p.generate(
+                SimDuration::from_hours(6),
+                SimDuration::from_mins(5),
+                &mut RngStream::new(seed),
             );
-        }
-    }
+            let t2 = p.generate(
+                SimDuration::from_hours(6),
+                SimDuration::from_mins(5),
+                &mut RngStream::new(seed),
+            );
+            prop_assert_eq!(&t1, &t2);
+            for &s in t1.samples() {
+                prop_assert!((0.0..=1.0).contains(&s), "sample {s} out of range");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Fleet generation conserves counts and footprints for any mix size.
 #[test]
 fn fleet_generation_counts() {
-    let mut gen = RngStream::new(0xF1EE7);
-    for _ in 0..30 {
-        let count = 1 + gen.below(199) as usize;
-        let seed = gen.below(1000);
+    let input = usize_in(1..=200).zip(&u64_in(0..=999));
+    check::check_cases("fleet generation counts", 30, &input, |&(count, seed)| {
         let fleet = presets::enterprise_diurnal().generate(
             count,
             SimDuration::from_hours(2),
             SimDuration::from_mins(10),
             seed,
         );
-        assert_eq!(fleet.len(), count);
-        assert_eq!(fleet.traces().len(), count);
-        assert!(fleet.total_mem_gb() >= count as f64 * 4.0);
-        assert!(fleet.total_cpu_cap_cores() >= count as f64 * 2.0);
-    }
+        prop_assert_eq!(fleet.len(), count);
+        prop_assert_eq!(fleet.traces().len(), count);
+        prop_assert!(fleet.total_mem_gb() >= count as f64 * 4.0);
+        prop_assert!(fleet.total_cpu_cap_cores() >= count as f64 * 2.0);
+        Ok(())
+    });
 }

@@ -3,6 +3,8 @@
 
 use agilepm::prelude::*;
 use agilepm::sim::events::EventKind;
+use check::prop_assert;
+use check_support::{check_report, experiment_spec, failure_spec};
 
 #[test]
 fn failures_churn_and_audit_log_compose() {
@@ -98,6 +100,45 @@ fn resume_failures_force_recovery_boots() {
         // recovery boot should follow.
         assert!(boots_after > 0, "no recovery boot after a failed resume");
     }
+}
+
+/// For any generated world and any failure probabilities in [0, 0.5),
+/// the audit ledger stays exact — every injected failure is logged as a
+/// `PowerFailed` event, and the counter agrees — and service quality
+/// stays bounded despite the faults.
+#[test]
+fn generated_failure_models_keep_the_ledger_and_service_quality() {
+    let input = experiment_spec().zip(&failure_spec(499));
+    check::check(
+        "failure ledger and service quality",
+        &input,
+        |(spec, failures)| {
+            let scenario = spec.scenario.build();
+            let report = spec
+                .experiment()
+                .failure_model(failures.build())
+                .record_events()
+                .run()
+                .map_err(|e| format!("{spec:?}: run failed: {e:?}"))?;
+            // The full catalog, which includes the PowerFailed-vs-counter
+            // ledger check; repeat the count here so a violation names it.
+            check_report(&scenario, &report)?;
+            let logged = report
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
+                .count() as u64;
+            check::prop_assert_eq!(logged, report.transition_failures);
+            prop_assert!(
+                report.unserved_ratio <= 0.05,
+                "failures at ({}, {}) permille degraded service to {:.4}%",
+                failures.resume_permille,
+                failures.boot_permille,
+                report.unserved_ratio * 100.0
+            );
+            Ok(())
+        },
+    );
 }
 
 #[test]
