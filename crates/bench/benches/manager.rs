@@ -38,6 +38,7 @@ fn observation(hosts: usize) -> ClusterObservation {
             mem_committed: 16.0,
             cpu_demand: demand,
             evacuated: false,
+            failed_transitions: 0,
         });
     }
     ClusterObservation {

@@ -52,6 +52,7 @@ fn main() {
         ("F11", "Hysteresis sweep", Box::new(bench::exp_f11)),
         ("T12", "Predictor ablation", Box::new(bench::exp_t12)),
         ("T13", "Reliability sensitivity", Box::new(bench::exp_t13)),
+        ("T13b", "Failure-rate overhead", Box::new(bench::exp_t13b)),
         ("F14", "Lifecycle churn", Box::new(bench::exp_f14)),
         ("F15", "Heterogeneous fleet", Box::new(bench::exp_f15)),
         (

@@ -385,6 +385,54 @@ pub fn exp_t13_sized(hosts: usize, vms: usize, seed: u64) -> String {
     )
 }
 
+/// T13b: failure-rate overhead — managed savings and recovery pressure
+/// across the full fault surface (resume/boot failures, migration
+/// aborts, transition hangs, rack bursts scaled together).
+pub fn exp_t13b() -> String {
+    exp_t13b_sized(32, 128, SEED)
+}
+
+/// Size-parameterized variant.
+pub fn exp_t13b_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let intensities = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
+    let results = sweeps::failure_overhead_sweep(hosts, vms, &intensities, seed)
+        .expect("failure-overhead scenarios run");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(p, base, pm)| {
+            vec![
+                format!("{:.0}%", p * 100.0),
+                format!("{:.0}", base.energy_kwh()),
+                format!("{:.0}", pm.energy_kwh()),
+                format!("{:.1}%", pm.savings_vs(base) * 100.0),
+                format!("{:.4}%", pm.unserved_ratio * 100.0),
+                format!("{}", pm.transition_failures),
+                format!("{}", pm.migration_failures),
+                format!("{}", pm.hung_transitions),
+                format!("{:.1}", pm.power_actions_per_hour),
+            ]
+        })
+        .collect();
+    format!(
+        "Failure-rate overhead (full fault surface; recovery active), {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &[
+                "intensity",
+                "base kWh",
+                "PM-S3 kWh",
+                "savings",
+                "unserved",
+                "pwr-fail",
+                "migr-fail",
+                "hung",
+                "pwr-act/h"
+            ],
+            &rows
+        )
+    )
+}
+
 /// F16: power-curve shape ablation.
 pub fn exp_f16() -> String {
     exp_f16_sized(32, 192, SEED)
@@ -695,6 +743,16 @@ mod tests {
         // The 0% row injects no failures.
         let zero_row = t.lines().nth(3).expect("first data row");
         assert!(zero_row.contains(" 0 "), "{zero_row}");
+    }
+
+    #[test]
+    fn t13b_zero_intensity_row_matches_failure_free_managed_run() {
+        let t = exp_t13b_sized(8, 32, 3);
+        assert!(t.contains("intensity"));
+        // The 0% row injects nothing, so all three fault columns are 0.
+        let zero_row = t.lines().nth(3).expect("first data row");
+        let cells: Vec<&str> = zero_row.split_whitespace().collect();
+        assert_eq!(&cells[cells.len() - 4..cells.len() - 1], &["0", "0", "0"]);
     }
 
     #[test]

@@ -174,6 +174,17 @@ pub struct FailureSpec {
     pub resume_permille: u16,
     /// Boot failure probability, permille.
     pub boot_permille: u16,
+    /// Migration-abort probability, permille.
+    pub migration_permille: u16,
+    /// Transition-hang probability, permille.
+    pub hang_permille: u16,
+    /// Hang stretch factor (× nominal latency), in `[2, 8]`; only
+    /// meaningful when `hang_permille > 0`.
+    pub hang_factor: u8,
+    /// Per-epoch per-rack outage-burst probability, permille.
+    pub rack_burst_permille: u16,
+    /// Hosts per rack for correlated bursts, in `[2, 4]`.
+    pub rack_size: u8,
 }
 
 impl FailureSpec {
@@ -187,23 +198,67 @@ impl FailureSpec {
         f64::from(self.boot_permille) / 1000.0
     }
 
-    /// The corresponding [`FailureModel`].
+    /// Migration-abort probability as a float in `[0, 1)`.
+    pub fn migration_prob(&self) -> f64 {
+        f64::from(self.migration_permille) / 1000.0
+    }
+
+    /// Transition-hang probability as a float in `[0, 1)`.
+    pub fn hang_prob(&self) -> f64 {
+        f64::from(self.hang_permille) / 1000.0
+    }
+
+    /// Rack-burst probability as a float in `[0, 1)`.
+    pub fn rack_burst_prob(&self) -> f64 {
+        f64::from(self.rack_burst_permille) / 1000.0
+    }
+
+    /// The corresponding [`FailureModel`]. Inactive dimensions (zero
+    /// permille) stay off so the zero spec builds an inert model.
     pub fn build(&self) -> FailureModel {
-        FailureModel::new(self.resume_prob(), self.boot_prob())
+        let mut model = FailureModel::new(self.resume_prob(), self.boot_prob());
+        if self.migration_permille > 0 {
+            model = model.with_migration_failures(self.migration_prob());
+        }
+        if self.hang_permille > 0 {
+            model = model.with_hangs(self.hang_prob(), f64::from(self.hang_factor));
+        }
+        if self.rack_burst_permille > 0 {
+            model = model.with_rack_bursts(
+                usize::from(self.rack_size),
+                self.rack_burst_prob(),
+                SimDuration::from_mins(30),
+            );
+        }
+        model
     }
 }
 
-/// Failure models with both probabilities up to `max_permille`
-/// (capped at 499 so hosts stay recoverable); shrinks toward no
-/// failures.
+/// Failure models with every dimension up to `max_permille` (transition
+/// and migration failures capped at 499 so hosts and migrations stay
+/// recoverable; correlated rack bursts capped at 125 so the fleet is not
+/// permanently dark); shrinks toward no failures.
 pub fn failure_spec(max_permille: u16) -> Gen<FailureSpec> {
     let cap = u64::from(max_permille.min(499));
+    let rack_cap = u64::from(max_permille.min(125));
     gen::u64_in(0..=cap)
         .zip(&gen::u64_in(0..=cap))
-        .map(|(resume, boot)| FailureSpec {
-            resume_permille: resume as u16,
-            boot_permille: boot as u16,
-        })
+        .zip(&gen::u64_in(0..=cap))
+        .zip(&gen::u64_in(0..=cap))
+        .zip(&gen::u64_in(2..=8))
+        .zip(&gen::u64_in(0..=rack_cap))
+        .zip(&gen::u64_in(2..=4))
+        .map(
+            |((((((resume, boot), migration), hang), factor), rack), rack_size)| FailureSpec {
+                resume_permille: resume as u16,
+                boot_permille: boot as u16,
+                migration_permille: migration as u16,
+                hang_permille: hang as u16,
+                hang_factor: factor as u8,
+                rack_burst_permille: rack as u16,
+                rack_size: rack_size as u8,
+            },
+        )
 }
 
 /// Dense demand traces: 1–`max_len` samples in `[0, 1]` at a 5-minute
@@ -289,8 +344,30 @@ mod tests {
             let model = spec.build();
             check::prop_assert!(model.resume_failure_prob() < 0.5, "resume too failing");
             check::prop_assert!(model.boot_failure_prob() < 0.5, "boot too failing");
+            check::prop_assert!(
+                model.migration_failure_prob() < 0.5,
+                "migrations too failing"
+            );
+            check::prop_assert!(model.hang_prob() < 0.5, "hangs too frequent");
+            check::prop_assert!(model.rack_burst_prob() < 0.5, "bursts too frequent");
+            check::prop_assert!(
+                model.hang_prob() == 0.0 || model.hang_factor() >= 2.0,
+                "hang factor below 2x"
+            );
             Ok(())
         });
+    }
+
+    #[test]
+    fn simplest_failure_spec_is_inert() {
+        // The all-zero choice stream must decode to a model that injects
+        // nothing, so shrinking converges on the failure-free world.
+        let spec = failure_spec(499).sample(&mut Source::replay(&[])).unwrap();
+        assert!(!spec.build().is_active());
+        assert_eq!(spec.resume_permille, 0);
+        assert_eq!(spec.migration_permille, 0);
+        assert_eq!(spec.hang_permille, 0);
+        assert_eq!(spec.rack_burst_permille, 0);
     }
 
     #[test]

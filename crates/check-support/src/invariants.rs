@@ -93,8 +93,10 @@ pub fn check_report(scenario: &Scenario, report: &SimReport) -> Result<(), Strin
 }
 
 /// The audit log must be time-ordered, and when events were recorded the
-/// `PowerFailed` entries must agree with the `transition_failures`
-/// counter.
+/// fault ledger must be *exact*: `PowerFailed`, `MigrationFailed`,
+/// `PowerStuck`, and `VmArrivalRejected` entries must each agree with
+/// their report counter, and no VM may be both admitted and rejected
+/// (the silent-drop class of bug).
 pub fn check_event_log(report: &SimReport) -> Result<(), String> {
     for pair in report.events.windows(2) {
         if pair[1].time < pair[0].time {
@@ -105,16 +107,68 @@ pub fn check_event_log(report: &SimReport) -> Result<(), String> {
         }
     }
     if !report.events.is_empty() {
-        let failed = report
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
-            .count() as u64;
-        if failed != report.transition_failures {
-            return Err(format!(
-                "{} PowerFailed events but transition_failures = {}",
-                failed, report.transition_failures
-            ));
+        let mut failed = 0u64;
+        let mut migrations_failed = 0u64;
+        let mut stuck = 0u64;
+        let mut rejected = 0u64;
+        for e in &report.events {
+            match e.kind {
+                EventKind::PowerFailed { .. } => failed += 1,
+                EventKind::MigrationFailed { .. } => migrations_failed += 1,
+                EventKind::PowerStuck { .. } => stuck += 1,
+                EventKind::VmArrivalRejected { .. } => rejected += 1,
+                _ => {}
+            }
+        }
+        for (name, events, counter) in [
+            ("transition_failures", failed, report.transition_failures),
+            (
+                "migration_failures",
+                migrations_failed,
+                report.migration_failures,
+            ),
+            ("hung_transitions", stuck, report.hung_transitions),
+            ("rejected_admissions", rejected, report.rejected_admissions),
+        ] {
+            if events != counter {
+                return Err(format!(
+                    "{events} {name} events but the report counter says {counter}"
+                ));
+            }
+        }
+        check_no_vm_lost(report)?;
+    }
+    Ok(())
+}
+
+/// No VM is silently lost at admission: a VM either arrives or is
+/// rejected, never both — and a rejected VM must make no further
+/// lifecycle appearance (it was turned away, not dropped mid-life).
+pub fn check_no_vm_lost(report: &SimReport) -> Result<(), String> {
+    let mut arrived = std::collections::BTreeSet::new();
+    let mut rejected = std::collections::BTreeSet::new();
+    for e in &report.events {
+        match e.kind {
+            EventKind::VmArrived { vm, .. } => {
+                if rejected.contains(&vm) {
+                    return Err(format!("{vm:?} arrived after being rejected"));
+                }
+                arrived.insert(vm);
+            }
+            EventKind::VmArrivalRejected { vm } => {
+                if arrived.contains(&vm) {
+                    return Err(format!("{vm:?} rejected after arriving"));
+                }
+                if !rejected.insert(vm) {
+                    return Err(format!("{vm:?} rejected twice"));
+                }
+            }
+            EventKind::VmDeparted { vm } | EventKind::MigrationStarted { vm, .. }
+                if rejected.contains(&vm) =>
+            {
+                return Err(format!("rejected {vm:?} re-appeared in the lifecycle"));
+            }
+            _ => {}
         }
     }
     Ok(())

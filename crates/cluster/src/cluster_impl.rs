@@ -93,6 +93,7 @@ pub struct Cluster {
     model: MigrationModel,
     migrations_started: u64,
     migrations_completed: u64,
+    migrations_failed: u64,
     migration_busy_secs: f64,
     accounting: AccountingMode,
     /// Lazy total-power cache. Marked dirty whenever any host's draw may
@@ -150,6 +151,7 @@ impl Cluster {
             model,
             migrations_started: 0,
             migrations_completed: 0,
+            migrations_failed: 0,
             migration_busy_secs: 0.0,
             accounting: AccountingMode::default(),
             power_cache: Cell::new(0.0),
@@ -259,6 +261,11 @@ impl Cluster {
     /// Total live migrations completed so far.
     pub fn migrations_completed(&self) -> u64 {
         self.migrations_completed
+    }
+
+    /// Total live migrations that aborted mid-flight (fault injection).
+    pub fn migrations_failed(&self) -> u64 {
+        self.migrations_failed
     }
 
     /// Cumulative wall-clock seconds of live-migration activity started so
@@ -507,6 +514,31 @@ impl Cluster {
         Ok(migration)
     }
 
+    /// Aborts the in-flight migration of `vm` (fault injection): the VM
+    /// stays placed on its source host and the destination's inbound
+    /// reservation is released. Must be called at the instant returned by
+    /// [`begin_migration`](Self::begin_migration) — the transfer runs to
+    /// the end before the abort is detected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::VmMigrating`] if `vm` has no migration in
+    /// flight (the variant doubles as "not migrating", matching
+    /// [`complete_migration`](Self::complete_migration)).
+    pub fn fail_migration(&mut self, vm: VmId, now: SimTime) -> Result<Migration, ClusterError> {
+        self.vm(vm)?;
+        let migration = self.migrations[vm.index()]
+            .take()
+            .ok_or(ClusterError::VmMigrating(vm))?;
+        debug_assert_eq!(migration.completes_at, now, "migration abort mistimed");
+        // Reverse the destination-side reservation made at begin time; the
+        // source-side placement and footprint never moved.
+        self.inbound[migration.to.index()] -= 1;
+        self.host_mem_committed[migration.to.index()] -= self.vms[vm.index()].mem_gb();
+        self.migrations_failed += 1;
+        Ok(migration)
+    }
+
     // ----- power ------------------------------------------------------
 
     /// Begins a power-state transition on `host`, returning its completion
@@ -570,6 +602,28 @@ impl Cluster {
         let state = self.hosts[host.index()].power_mut().fail_pending(now)?;
         self.note_power_changed(host.index(), was_on);
         Ok(state)
+    }
+
+    /// Stretches the in-flight power transition on `host` to complete at
+    /// `new_done` (fault injection: a *hung* transition). The host keeps
+    /// burning transition power for the whole stuck interval; callers must
+    /// complete or fail the transition exactly at `new_done`. Returns the
+    /// previously scheduled completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Wraps the underlying [`power::PowerError`].
+    pub fn delay_power_transition(
+        &mut self,
+        host: HostId,
+        new_done: SimTime,
+    ) -> Result<SimTime, ClusterError> {
+        self.host(host)?;
+        // No note_power_changed: the host stays in its transitional state,
+        // so neither the power draw nor the operational count moves here.
+        Ok(self.hosts[host.index()]
+            .power_mut()
+            .delay_pending(new_done)?)
     }
 
     /// Bookkeeping after any power-state mutation on host `i`: the power
@@ -892,6 +946,55 @@ mod tests {
         assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(1)));
         assert!(c.is_evacuated(HostId(0)));
         assert_eq!(c.migrations_completed(), 1);
+    }
+
+    #[test]
+    fn failed_migration_leaves_vm_on_source() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        let done = c
+            .begin_migration(VmId(0), HostId(1), SimTime::ZERO)
+            .unwrap();
+        let m = c.fail_migration(VmId(0), done).unwrap();
+        assert_eq!(m.from, HostId(0));
+        assert_eq!(m.to, HostId(1));
+        // VM never moved; the destination reservation is fully released.
+        assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(0)));
+        assert_eq!(c.mem_committed_gb(HostId(0)), 8.0);
+        assert_eq!(c.mem_committed_gb(HostId(1)), 0.0);
+        assert!(c.is_evacuated(HostId(1)));
+        assert_eq!(c.migrations_failed(), 1);
+        assert_eq!(c.migrations_completed(), 0);
+        assert!(c.migration_of(VmId(0)).is_none());
+        // The VM can retry the same move afterwards.
+        let done2 = c.begin_migration(VmId(0), HostId(1), done).unwrap();
+        c.complete_migration(VmId(0), done2).unwrap();
+        assert_eq!(c.placement().host_of(VmId(0)), Some(HostId(1)));
+    }
+
+    #[test]
+    fn fail_migration_requires_in_flight() {
+        let mut c = small_cluster();
+        c.place(VmId(0), HostId(0)).unwrap();
+        assert_eq!(
+            c.fail_migration(VmId(0), SimTime::ZERO).unwrap_err(),
+            ClusterError::VmMigrating(VmId(0))
+        );
+    }
+
+    #[test]
+    fn delayed_power_transition_stays_pending() {
+        let mut c = small_cluster();
+        let done = c
+            .begin_power_transition(HostId(0), TransitionKind::Suspend, SimTime::ZERO)
+            .unwrap();
+        let stuck = done + simcore::SimDuration::from_secs(60);
+        assert_eq!(c.delay_power_transition(HostId(0), stuck).unwrap(), done);
+        // The old instant no longer completes; the stretched one fails.
+        assert!(c.complete_power_transition(HostId(0), done).is_err());
+        c.fail_power_transition(HostId(0), stuck).unwrap();
+        assert_eq!(c.failed_transitions(), 1);
+        assert!(c.host(HostId(0)).unwrap().is_operational());
     }
 
     #[test]

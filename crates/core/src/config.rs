@@ -3,7 +3,7 @@
 use power::breakeven::LowPowerMode;
 use simcore::SimDuration;
 
-use crate::PredictorConfig;
+use crate::{PredictorConfig, RecoveryConfig};
 
 /// How consolidation picks destinations when evacuating a host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +120,7 @@ pub struct ManagerConfig {
     prewake_lookahead: Option<SimDuration>,
     packing: PackingPolicy,
     predictor: PredictorConfig,
+    recovery: RecoveryConfig,
 }
 
 impl ManagerConfig {
@@ -143,6 +144,7 @@ impl ManagerConfig {
             prewake_lookahead: None,
             packing: PackingPolicy::default(),
             predictor: PredictorConfig::default(),
+            recovery: RecoveryConfig::new(),
         }
     }
 
@@ -293,6 +295,14 @@ impl ManagerConfig {
         self
     }
 
+    /// Sets the failure-recovery policy (bounded retries, quarantine,
+    /// fleet fail-safe). [`RecoveryConfig`]'s own builders validate the
+    /// individual knobs.
+    pub fn with_recovery(mut self, r: RecoveryConfig) -> Self {
+        self.recovery = r;
+        self
+    }
+
     /// Checks the cross-field invariants (underload < target < overload).
     /// [`crate::VirtManager::new`] calls this, so an inconsistent
     /// configuration fails fast at manager construction rather than
@@ -384,6 +394,11 @@ impl ManagerConfig {
     /// The demand predictor configuration.
     pub fn predictor(&self) -> PredictorConfig {
         self.predictor
+    }
+
+    /// The failure-recovery policy.
+    pub fn recovery(&self) -> &RecoveryConfig {
+        &self.recovery
     }
 }
 

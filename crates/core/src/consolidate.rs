@@ -10,7 +10,7 @@ use cluster::{HostId, VmId};
 use simcore::SimTime;
 
 use crate::plan::PlanContext;
-use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy};
+use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy, RecoveryTracker};
 
 /// Continues evacuating hosts already marked as draining, then selects new
 /// drain candidates while spare capacity allows.
@@ -21,6 +21,7 @@ pub(crate) fn plan_consolidation(
     ctx: &mut PlanContext,
     cfg: &ManagerConfig,
     gate: &HysteresisGate,
+    recovery: &RecoveryTracker,
     now: SimTime,
     actions: &mut Vec<ManagementAction>,
     budget: &mut usize,
@@ -40,7 +41,7 @@ pub(crate) fn plan_consolidation(
         if new_drains >= cfg.max_drains_per_round() || *budget == 0 {
             return;
         }
-        let Some(candidate) = pick_candidate(ctx, cfg, gate, now) else {
+        let Some(candidate) = pick_candidate(ctx, cfg, gate, recovery, now) else {
             return;
         };
         // A candidate only commits if its *entire* evacuation fits the
@@ -76,6 +77,7 @@ fn pick_candidate(
     ctx: &PlanContext,
     cfg: &ManagerConfig,
     gate: &HysteresisGate,
+    recovery: &RecoveryTracker,
     now: SimTime,
 ) -> Option<usize> {
     // One allocation-free pass for the capacity aggregates. The fold
@@ -107,6 +109,10 @@ fn pick_candidate(
             && !ctx.draining[h]
             && ctx.util(h) < cfg.underload_threshold()
             && gate.may_power_down(HostId(h as u32), now)
+            // Quarantined hosts stay out of the park-candidate set:
+            // evacuating one would strand it on (its power-down is
+            // blocked) while paying the migration cost anyway.
+            && !recovery.is_quarantined(h)
             // Removing this host must still leave enough capacity.
             && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required;
         if !qualifies {
@@ -230,7 +236,7 @@ fn undo_moves(ctx: &mut PlanContext, journal: &[MoveUndo]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClusterObservation, HostObservation, PowerPolicy, VmObservation};
+    use crate::{ClusterObservation, HostObservation, PowerPolicy, RecoveryConfig, VmObservation};
     use power::PowerState;
     use simcore::SimDuration;
 
@@ -249,6 +255,7 @@ mod tests {
                 mem_committed: demands.len() as f64 * 8.0,
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
+                failed_transitions: 0,
             });
             for &d in *demands {
                 vms.push(VmObservation {
@@ -281,6 +288,10 @@ mod tests {
         HysteresisGate::new(SimDuration::ZERO, SimDuration::ZERO, n)
     }
 
+    fn clean_recovery(n: usize) -> RecoveryTracker {
+        RecoveryTracker::new(RecoveryConfig::new(), n)
+    }
+
     #[test]
     fn drains_underloaded_host() {
         // Three hosts, light load everywhere: the least-loaded empties.
@@ -293,6 +304,7 @@ mod tests {
             &mut ctx,
             &c,
             &open_gate(3),
+            &clean_recovery(3),
             SimTime::ZERO,
             &mut actions,
             &mut budget,
@@ -303,6 +315,34 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, ManagementAction::Migrate { vm: VmId(3), .. })));
+    }
+
+    #[test]
+    fn quarantined_host_is_not_a_drain_candidate() {
+        // Same fleet as `drains_underloaded_host`, but the prime
+        // candidate (host 2) is quarantined: the next-least-loaded host
+        // must be picked instead.
+        let (o, preds) = obs(&[&[2.0, 1.0], &[1.5], &[0.5]]);
+        let mut ctx = PlanContext::new(&o, preds, &[false; 3]);
+        let c = cfg();
+        let mut recovery = RecoveryTracker::new(RecoveryConfig::new().with_max_retries(1), 3);
+        let mut failing = o.clone();
+        failing.hosts[2].failed_transitions = 1;
+        recovery.observe(&failing);
+        assert!(recovery.is_quarantined(2));
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(3),
+            &recovery,
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+        );
+        assert!(!ctx.draining[2], "quarantined host was drained");
+        assert!(ctx.draining[1], "healthy underloaded host should drain");
     }
 
     #[test]
@@ -317,6 +357,7 @@ mod tests {
             &mut ctx,
             &c,
             &open_gate(3),
+            &clean_recovery(3),
             SimTime::ZERO,
             &mut actions,
             &mut budget,
@@ -341,6 +382,7 @@ mod tests {
             &mut ctx,
             &c,
             &gate,
+            &clean_recovery(3),
             SimTime::from_secs(60),
             &mut actions,
             &mut budget,
@@ -365,6 +407,7 @@ mod tests {
             mem_committed: 48.0,
             cpu_demand: 0.4,
             evacuated: false,
+            failed_transitions: 0,
         });
         hosts.push(HostObservation {
             id: HostId(1),
@@ -375,6 +418,7 @@ mod tests {
             mem_committed: 40.0,
             cpu_demand: 2.0,
             evacuated: false,
+            failed_transitions: 0,
         });
         for (i, (h, mem)) in [(0u32, 24.0), (0, 24.0), (1, 40.0)].iter().enumerate() {
             vms.push(VmObservation {
@@ -401,6 +445,7 @@ mod tests {
             &mut ctx,
             &c,
             &open_gate(2),
+            &clean_recovery(2),
             SimTime::ZERO,
             &mut actions,
             &mut budget,
@@ -425,6 +470,7 @@ mod tests {
             &mut ctx,
             &c,
             &open_gate(3),
+            &clean_recovery(3),
             SimTime::ZERO,
             &mut actions,
             &mut budget,

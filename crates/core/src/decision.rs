@@ -95,6 +95,10 @@ pub struct DecisionRecord {
     pub underloaded_hosts: usize,
     /// Hosts marked draining when the round ended.
     pub draining_hosts: usize,
+    /// Hosts quarantined by the recovery tracker this round.
+    pub quarantined_hosts: usize,
+    /// Whether the fleet fail-safe suppressed consolidation and parking.
+    pub failsafe: bool,
     /// Actions emitted, bucketed by planning step.
     pub actions: DecisionActions,
 }
@@ -136,6 +140,11 @@ impl DecisionRecord {
                 Json::Int(self.underloaded_hosts as i64),
             ),
             ("draining_hosts", Json::Int(self.draining_hosts as i64)),
+            (
+                "quarantined_hosts",
+                Json::Int(self.quarantined_hosts as i64),
+            ),
+            ("failsafe", Json::Bool(self.failsafe)),
             ("migrations", Json::Int(self.actions.migrations as i64)),
             (
                 "overload_migrations",
@@ -177,6 +186,8 @@ mod tests {
             overloaded_hosts: 1,
             underloaded_hosts: 0,
             draining_hosts: 0,
+            quarantined_hosts: 1,
+            failsafe: false,
             actions: DecisionActions {
                 migrations: 2,
                 overload_migrations: 2,
@@ -231,6 +242,8 @@ mod tests {
         assert_eq!(j.get("t_seconds").unwrap().as_f64(), Some(900.0));
         assert_eq!(j.get("prewake_forecast").unwrap().as_f64(), Some(14.0));
         assert_eq!(j.get("overload_migrations").unwrap().as_i64(), Some(2));
+        assert_eq!(j.get("quarantined_hosts").unwrap().as_i64(), Some(1));
+        assert_eq!(j.get("failsafe").unwrap().as_bool(), Some(false));
         // Compact text parses back.
         let parsed = obs::Json::parse(&j.to_string_compact()).unwrap();
         assert_eq!(parsed, j);

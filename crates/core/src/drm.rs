@@ -147,6 +147,7 @@ mod tests {
                 mem_committed: demands.len() as f64 * 8.0,
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
+                failed_transitions: 0,
             });
             for &d in *demands {
                 vms.push(VmObservation {

@@ -48,6 +48,7 @@ mod observation;
 mod plan;
 mod predict;
 mod prewake;
+mod recovery;
 
 pub use action::{ActionReason, ManagementAction};
 pub use config::{ManagerConfig, PackingPolicy, PowerPolicy};
@@ -57,3 +58,4 @@ pub use manager::{RoundStats, VirtManager};
 pub use observation::{ClusterObservation, HostObservation, VmObservation};
 pub use predict::{Predictor, PredictorConfig};
 pub use prewake::DayProfile;
+pub use recovery::{RecoveryConfig, RecoveryStats, RecoveryTracker};

@@ -7,7 +7,7 @@ use crate::plan::PlanContext;
 use crate::{
     consolidate, drm, ActionReason, ClusterObservation, DayProfile, DecisionActions,
     DecisionRecord, DecisionTrigger, HysteresisGate, ManagementAction, ManagerConfig, PowerPolicy,
-    Predictor,
+    Predictor, RecoveryTracker,
 };
 use simcore::SimDuration;
 
@@ -30,6 +30,12 @@ pub struct RoundStats {
     pub consolidation_migrations: u64,
     /// Migrations attributed to background rebalancing.
     pub rebalance_migrations: u64,
+    /// Fresh power-transition failures the recovery tracker detected.
+    pub failures_detected: u64,
+    /// Hosts newly quarantined by the recovery tracker.
+    pub quarantines: u64,
+    /// Rounds planned with the fleet fail-safe tripped.
+    pub failsafe_rounds: u64,
 }
 
 impl RoundStats {
@@ -71,6 +77,7 @@ pub struct VirtManager {
     predictors: Vec<Predictor>,
     gate: HysteresisGate,
     draining: Vec<bool>,
+    recovery: RecoveryTracker,
     profile: Option<DayProfile>,
     last_reasons: Vec<ActionReason>,
     last_decision: Option<DecisionRecord>,
@@ -111,11 +118,13 @@ impl VirtManager {
         let profile = config
             .prewake_lookahead()
             .map(|_| DayProfile::new(SimDuration::from_mins(30), 0.5));
+        let recovery = RecoveryTracker::new(config.recovery().clone(), num_hosts);
         VirtManager {
             config,
             predictors,
             gate,
             draining: vec![false; num_hosts],
+            recovery,
             profile,
             last_reasons: Vec::new(),
             last_decision: None,
@@ -149,6 +158,12 @@ impl VirtManager {
         self.last_decision.as_ref()
     }
 
+    /// The failure-recovery tracker: per-host backoff, health, and
+    /// quarantine state plus the fleet fail-safe.
+    pub fn recovery(&self) -> &RecoveryTracker {
+        &self.recovery
+    }
+
     /// Hosts currently marked for evacuation.
     pub fn draining_hosts(&self) -> Vec<HostId> {
         self.draining
@@ -169,6 +184,14 @@ impl VirtManager {
         assert_eq!(obs.hosts.len(), self.draining.len(), "host count changed");
         assert_eq!(obs.vms.len(), self.predictors.len(), "VM count changed");
         self.stats.rounds += 1;
+
+        // Detect fresh transition failures before any planning: backoff,
+        // quarantine, and the fleet fail-safe gate the steps below.
+        self.recovery.observe(obs);
+        let rstats = *self.recovery.stats();
+        self.stats.failures_detected = rstats.failures_observed;
+        self.stats.quarantines = rstats.quarantines;
+        self.stats.failsafe_rounds = rstats.failsafe_rounds;
 
         // Feed the predictors and collect per-VM predictions into the
         // reusable buffer.
@@ -194,6 +217,18 @@ impl VirtManager {
 
         let mut ctx = std::mem::take(&mut self.ctx);
         ctx.rebuild(obs, &self.predicted_buf, &self.draining);
+
+        // Recovery gating: a quarantined host must not keep draining (its
+        // power-down would never be issued), and a tripped fail-safe
+        // cancels every drain — the fleet holds near AlwaysOn until the
+        // failure burst clears.
+        let failsafe = self.recovery.failsafe_active();
+        for h in 0..ctx.num_hosts() {
+            if ctx.draining[h] && (failsafe || self.recovery.is_quarantined(h)) {
+                ctx.draining[h] = false;
+                self.draining[h] = false;
+            }
+        }
         let mut actions = Vec::new();
         let mut budget = self.config.max_migrations_per_round();
         let power_managed = matches!(self.config.policy(), PowerPolicy::Reactive { .. });
@@ -236,11 +271,12 @@ impl VirtManager {
             actions.len(),
             ActionReason::OverloadMitigation,
         );
-        if power_managed {
+        if power_managed && !failsafe {
             consolidate::plan_consolidation(
                 &mut ctx,
                 &self.config,
                 &self.gate,
+                &self.recovery,
                 obs.now,
                 &mut actions,
                 &mut budget,
@@ -254,7 +290,9 @@ impl VirtManager {
         if power_managed {
             self.draining.clear();
             self.draining.extend_from_slice(&ctx.draining);
-            self.park_drained(obs, &mut actions);
+            if !failsafe {
+                self.park_drained(obs, &mut actions);
+            }
         }
         mark(&mut reasons, actions.len(), ActionReason::Park);
         // Hand the context back for reuse next round.
@@ -310,6 +348,8 @@ impl VirtManager {
             overloaded_hosts,
             underloaded_hosts,
             draining_hosts: self.draining.iter().filter(|&&d| d).count(),
+            quarantined_hosts: self.recovery.quarantined_count(),
+            failsafe,
             actions: round_actions,
         });
         actions
@@ -389,6 +429,11 @@ impl VirtManager {
             if available >= required {
                 break;
             }
+            // Recovery gating: no wake attempts into a quarantined host
+            // or inside a post-failure backoff window.
+            if !self.recovery.may_power_cycle(host.index(), obs.now) {
+                continue;
+            }
             let urgent = available < required_urgent;
             if !urgent && !self.gate.may_power_up_nonurgent(host, obs.now) {
                 continue;
@@ -410,6 +455,11 @@ impl VirtManager {
             .expect("park_drained only runs under a reactive policy");
         for host in &obs.hosts {
             let i = host.id.index();
+            // Recovery gating: a host in backoff keeps draining and parks
+            // once the window expires; a quarantined host never parks.
+            if !self.recovery.may_power_cycle(i, obs.now) {
+                continue;
+            }
             if self.draining[i] && host.evacuated && host.is_operational() && host.pending.is_none()
             {
                 actions.push(ManagementAction::PowerDown {
@@ -445,6 +495,7 @@ mod tests {
                 mem_committed: demands.len() as f64 * 8.0,
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
+                failed_transitions: 0,
             });
             for &d in *demands {
                 vms.push(VmObservation {
@@ -695,6 +746,133 @@ mod tests {
             .position(|a| matches!(a, ManagementAction::PowerDown { .. }))
             .expect("drained host parks");
         assert_eq!(reasons2[park_idx], crate::ActionReason::Park);
+    }
+
+    #[test]
+    fn quarantined_host_is_not_woken() {
+        let cfg = agile_config().with_recovery(crate::RecoveryConfig::new().with_max_retries(1));
+        let mut mgr = VirtManager::new(cfg, 2, 2);
+        // Host 1 is suspended and just failed a resume: one strike
+        // quarantines it, so even saturating demand must not wake it.
+        let mut o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[4.0, 3.5]), (PowerState::Suspended, &[])],
+        );
+        o.hosts[1].evacuated = true;
+        o.hosts[1].failed_transitions = 1;
+        let actions = mgr.plan(&o);
+        assert!(mgr.recovery().is_quarantined(1));
+        assert!(
+            actions
+                .iter()
+                .all(|a| !matches!(a, ManagementAction::PowerUp { .. })),
+            "{actions:?}"
+        );
+        assert_eq!(mgr.stats().quarantines, 1);
+        assert_eq!(mgr.stats().failures_detected, 1);
+    }
+
+    #[test]
+    fn backoff_defers_wake_until_window_expires() {
+        let recovery = crate::RecoveryConfig::new()
+            .with_max_retries(10)
+            .with_backoff(SimDuration::from_mins(2), SimDuration::from_mins(32));
+        let mut mgr = VirtManager::new(agile_config().with_recovery(recovery), 2, 2);
+        let mut o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[4.0, 3.5]), (PowerState::Suspended, &[])],
+        );
+        o.hosts[1].evacuated = true;
+        o.hosts[1].failed_transitions = 1;
+        // Round 1: inside the 2-minute backoff window — no wake.
+        let actions = mgr.plan(&o);
+        assert!(!mgr.recovery().is_quarantined(1));
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, ManagementAction::PowerUp { .. })));
+        // Round 2, past the window: the retry goes out.
+        let mut o2 = o.clone();
+        o2.now = SimTime::from_secs(300);
+        let actions2 = mgr.plan(&o2);
+        assert!(
+            actions2
+                .iter()
+                .any(|a| matches!(a, ManagementAction::PowerUp { host: HostId(1) })),
+            "{actions2:?}"
+        );
+    }
+
+    #[test]
+    fn failsafe_suppresses_consolidation_and_parking() {
+        let recovery = crate::RecoveryConfig::new()
+            .with_max_retries(100)
+            .with_health(0.001, 0.05)
+            .with_failsafe(SimDuration::from_mins(30), 1);
+        let mut mgr = VirtManager::new(agile_config().with_recovery(recovery), 2, 2);
+        // Wildly underloaded — without the fail-safe this consolidates
+        // (see `consolidates_and_parks_underloaded_host`) — but one
+        // fleet failure trips the single-failure fail-safe.
+        let mut o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
+        o.hosts[0].failed_transitions = 1;
+        let actions = mgr.plan(&o);
+        assert!(mgr.recovery().failsafe_active());
+        assert!(actions.is_empty(), "{actions:?}");
+        assert!(mgr.draining_hosts().is_empty());
+        let d = mgr.last_decision().unwrap();
+        assert!(d.failsafe);
+        assert_eq!(mgr.stats().failsafe_rounds, 1);
+
+        // Once the window drains the fail-safe clears and consolidation
+        // resumes.
+        let mut o2 = o.clone();
+        o2.now = SimTime::from_secs(40 * 60);
+        let actions2 = mgr.plan(&o2);
+        assert!(!mgr.recovery().failsafe_active());
+        assert!(
+            actions2
+                .iter()
+                .any(|a| matches!(a, ManagementAction::Migrate { .. })),
+            "{actions2:?}"
+        );
+    }
+
+    #[test]
+    fn quarantined_drain_is_cancelled_not_parked() {
+        let mut mgr = VirtManager::new(
+            agile_config().with_recovery(crate::RecoveryConfig::new().with_max_retries(1)),
+            2,
+            2,
+        );
+        // Round 1: host 1 drains normally.
+        let o = obs(
+            SimTime::ZERO,
+            &[(PowerState::On, &[1.0]), (PowerState::On, &[0.5])],
+        );
+        mgr.plan(&o);
+        assert_eq!(mgr.draining_hosts(), vec![HostId(1)]);
+        // Round 2: host 1 is evacuated but reports a transition failure
+        // (e.g. a previous suspend attempt failed): the drain is
+        // cancelled and no power-down is issued.
+        let mut o2 = obs(
+            SimTime::from_secs(300),
+            &[(PowerState::On, &[1.0, 0.5]), (PowerState::On, &[])],
+        );
+        o2.hosts[1].failed_transitions = 1;
+        let actions2 = mgr.plan(&o2);
+        assert!(mgr.recovery().is_quarantined(1));
+        assert!(
+            actions2
+                .iter()
+                .all(|a| !matches!(a, ManagementAction::PowerDown { .. })),
+            "{actions2:?}"
+        );
+        // Quarantine cancels host 1's drain (it may still *serve*, so the
+        // planner is free to consolidate onto it — just never cycle it).
+        assert!(!mgr.draining_hosts().contains(&HostId(1)));
+        assert_eq!(mgr.last_decision().unwrap().quarantined_hosts, 1);
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct HostObservation {
     /// Whether the host currently hosts no VMs and has no inbound
     /// migrations (i.e. may be powered down).
     pub evacuated: bool,
+    /// Cumulative power transitions that failed on this host — the error
+    /// feed a real management plane gets from the BMC/IPMI path. The
+    /// manager diffs it against the previous round to detect fresh
+    /// failures.
+    pub failed_transitions: u64,
 }
 
 impl HostObservation {
@@ -133,6 +138,7 @@ mod tests {
             mem_committed: 24.0,
             cpu_demand: demand,
             evacuated: false,
+            failed_transitions: 0,
         }
     }
 

@@ -39,6 +39,7 @@ fn build_observation(states: Vec<usize>, raw_vms: Vec<RawVm>) -> ClusterObservat
             mem_committed: 0.0, // filled below
             cpu_demand: 0.0,
             evacuated: true,
+            failed_transitions: 0,
         })
         .collect();
     let operational: Vec<usize> = hosts

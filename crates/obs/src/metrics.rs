@@ -43,6 +43,9 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// Non-finite samples rejected by [`observe`](Self::observe) — kept
+    /// out of every aggregate so one NaN cannot poison `sum`/`mean`.
+    dropped: u64,
 }
 
 /// Smallest bucket upper bound, as a power of two (2^-10 ≈ 0.001).
@@ -58,10 +61,18 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            dropped: 0,
         }
     }
 
     fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            // A single NaN would make sum/mean NaN forever (and the
+            // bucketing would shunt it to underflow, masking the
+            // corruption); infinities would pin min/max. Count and drop.
+            self.dropped += 1;
+            return;
+        }
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
@@ -72,6 +83,11 @@ impl Histogram {
     /// Total samples observed.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Non-finite samples rejected (excluded from every aggregate).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Sum of all samples.
@@ -315,6 +331,7 @@ impl MetricsSnapshot {
                         MetricValue::Histogram(h) => {
                             pairs.push(("type".to_string(), Json::Str("histogram".into())));
                             pairs.push(("count".to_string(), Json::Int(h.count as i64)));
+                            pairs.push(("dropped".to_string(), Json::Int(h.dropped as i64)));
                             pairs.push(("sum".to_string(), Json::Num(h.sum)));
                             pairs.push(("min".to_string(), Json::Num(h.min().unwrap_or(0.0))));
                             pairs.push(("max".to_string(), Json::Num(h.max().unwrap_or(0.0))));
@@ -385,6 +402,9 @@ impl MetricsSnapshot {
                     Histogram {
                         counts,
                         count,
+                        // Absent in snapshots serialized before the
+                        // non-finite guard existed.
+                        dropped: item.get("dropped").and_then(Json::as_u64).unwrap_or(0),
                         sum: item.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
                         min: if count > 0 {
                             item.get("min").and_then(Json::as_f64).unwrap_or(0.0)
@@ -489,6 +509,41 @@ mod tests {
         let p99 = h.quantile_upper(0.99).unwrap();
         assert!(p50 <= p99);
         assert!(p99 <= 100_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        // Regression: a single NaN used to make sum/mean NaN forever
+        // because observe() added the sample before bucketing.
+        let mut h = Histogram::new();
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(4.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.dropped(), 3);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(4.0));
+        // No bucket absorbed the rejects.
+        assert_eq!(h.buckets().iter().map(|&(_, c)| c).sum::<u64>(), 2);
+        // The dropped count survives the JSON round trip.
+        let mut reg = MetricsRegistry::new();
+        let id = reg.histogram("with.nans");
+        reg.observe(id, f64::NAN);
+        reg.observe(id, 1.0);
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        match back.get("with.nans") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.dropped(), 1);
+                assert_eq!(h.count(), 1);
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
     }
 
     #[test]

@@ -383,6 +383,34 @@ impl PowerStateMachine {
         Ok(target)
     }
 
+    /// Stretches the in-flight transition to complete at `new_completion`
+    /// instead of the instant [`begin`](Self::begin) returned — a *hung*
+    /// transition. The host stays in the transitional state (the "stuck"
+    /// interval, observable via [`pending`](Self::pending)) and keeps
+    /// burning the transition's average power until the caller invokes
+    /// [`complete`](Self::complete) or [`fail_pending`](Self::fail_pending)
+    /// exactly at `new_completion`.
+    ///
+    /// Returns the previously scheduled completion instant.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::NotTransitioning`] if nothing is in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_completion` precedes the scheduled completion —
+    /// hangs only ever extend a transition.
+    pub fn delay_pending(&mut self, new_completion: SimTime) -> Result<SimTime, PowerError> {
+        let (kind, expected) = self.pending.ok_or(PowerError::NotTransitioning)?;
+        assert!(
+            new_completion >= expected,
+            "hang must extend the transition ({new_completion} < {expected})"
+        );
+        self.pending = Some((kind, new_completion));
+        Ok(expected)
+    }
+
     /// How many in-flight transitions have failed (via
     /// [`fail_pending`](Self::fail_pending)).
     pub fn failed_transitions(&self) -> u64 {
@@ -594,6 +622,47 @@ mod tests {
         assert_eq!(m.fail_pending(done).unwrap(), PowerState::On);
         assert_eq!(
             m.fail_pending(done).unwrap_err(),
+            PowerError::NotTransitioning
+        );
+    }
+
+    #[test]
+    fn delayed_transition_hangs_then_fails() {
+        let mut m = machine();
+        let profile = HostPowerProfile::prototype_rack();
+        let done = m.begin(TransitionKind::Suspend, SimTime::ZERO).unwrap();
+        // Stretch the transition to 4x its nominal latency: the machine
+        // stays Suspending for the whole stuck interval.
+        let stuck_done =
+            SimTime::ZERO + SimDuration::from_millis(4 * done.since(SimTime::ZERO).as_millis());
+        assert_eq!(m.delay_pending(stuck_done).unwrap(), done);
+        assert_eq!(m.pending(), Some((TransitionKind::Suspend, stuck_done)));
+        assert_eq!(m.state(), PowerState::Suspending);
+        // The old completion instant is no longer valid.
+        assert!(matches!(
+            m.complete(done).unwrap_err(),
+            PowerError::CompletionTimeMismatch { .. }
+        ));
+        // Failing at the stretched instant lands the failure target and
+        // counts as a failed transition.
+        assert_eq!(m.fail_pending(stuck_done).unwrap(), PowerState::On);
+        assert_eq!(m.failed_transitions(), 1);
+        // The stuck interval burned transition power the whole time.
+        let spec = profile.transitions().spec(TransitionKind::Suspend).unwrap();
+        let expected = spec.avg_power_w() * stuck_done.since(SimTime::ZERO).as_secs_f64();
+        assert!(
+            (m.meter().total_j() - expected).abs() < 1e-6,
+            "got {} want {}",
+            m.meter().total_j(),
+            expected
+        );
+    }
+
+    #[test]
+    fn delay_pending_requires_in_flight_transition() {
+        let mut m = machine();
+        assert_eq!(
+            m.delay_pending(SimTime::from_secs(1)).unwrap_err(),
             PowerError::NotTransitioning
         );
     }

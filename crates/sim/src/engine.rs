@@ -59,8 +59,18 @@ pub struct DatacenterSim {
     policy_label: String,
     failures: FailureModel,
     failure_rng: RngStream,
+    migration_fail_rng: RngStream,
+    hang_rng: RngStream,
+    /// Hosts whose in-flight transition hung: at its (stretched)
+    /// completion it force-fails without consuming a random draw.
+    hung: Vec<bool>,
+    hung_transitions: u64,
+    /// Correlated rack-outage windows `(rack, start, end)`, pre-generated
+    /// at run start; transitions completing inside one force-fail.
+    rack_bursts: Vec<(usize, SimTime, SimTime)>,
     lifetimes: Vec<Lifetime>,
     placement_retries: u64,
+    rejected_admissions: u64,
     event_log: Option<Vec<EventRecord>>,
     sink: Box<dyn TraceSink>,
     telemetry: SimTelemetry,
@@ -129,6 +139,7 @@ impl DatacenterSim {
             }
         }
 
+        let num_hosts = cluster.num_hosts();
         Ok(DatacenterSim {
             cluster,
             traces: scenario.fleet().traces().to_vec(),
@@ -147,9 +158,19 @@ impl DatacenterSim {
             seed: scenario.seed(),
             policy_label,
             failures: FailureModel::none(),
+            // Each injection kind draws from its own substream (created
+            // unconditionally) so enabling one knob never perturbs the
+            // draw positions of another — and a knob at zero consumes no
+            // draws at all, keeping injection-off runs byte-identical.
             failure_rng: RngStream::new(scenario.seed()).substream(0xFA11),
+            migration_fail_rng: RngStream::new(scenario.seed()).substream(0x4D16),
+            hang_rng: RngStream::new(scenario.seed()).substream(0x57CC),
+            hung: vec![false; num_hosts],
+            hung_transitions: 0,
+            rack_bursts: Vec::new(),
             lifetimes,
             placement_retries: 0,
+            rejected_admissions: 0,
             event_log: None,
             sink: Box::new(NullSink),
             telemetry: SimTelemetry::new(),
@@ -263,6 +284,7 @@ impl DatacenterSim {
 
     fn run_inner(mut self) -> Result<(SimReport, Cluster, ProfileSummary), SimError> {
         let end = SimTime::ZERO + self.horizon;
+        self.generate_rack_bursts(end);
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
@@ -282,8 +304,14 @@ impl DatacenterSim {
                 }
                 Event::MigrationDone(vm) => {
                     let t0 = self.profiler.start();
-                    self.cluster.complete_migration(vm, now)?;
-                    self.log(now, EventKind::MigrationCompleted { vm });
+                    let p = self.failures.migration_failure_prob();
+                    if p > 0.0 && self.migration_fail_rng.chance(p) {
+                        self.cluster.fail_migration(vm, now)?;
+                        self.log(now, EventKind::MigrationFailed { vm });
+                    } else {
+                        self.cluster.complete_migration(vm, now)?;
+                        self.log(now, EventKind::MigrationCompleted { vm });
+                    }
                     self.profiler.stop(self.ph_dispatch, t0);
                 }
                 Event::VmArrive(vm) => {
@@ -320,8 +348,13 @@ impl DatacenterSim {
             stats,
             self.cluster.migration_busy_secs(),
             self.cluster.transition_busy_secs(),
-            self.cluster.failed_transitions(),
-            self.placement_retries,
+            crate::metrics::FaultCounters {
+                transition_failures: self.cluster.failed_transitions(),
+                placement_retries: self.placement_retries,
+                migration_failures: self.cluster.migrations_failed(),
+                rejected_admissions: self.rejected_admissions,
+                hung_transitions: self.hung_transitions,
+            },
             self.event_log.take().unwrap_or_default(),
             self.telemetry.registry.snapshot(),
         );
@@ -336,6 +369,20 @@ impl DatacenterSim {
 
     /// Completes (or fault-injects) a due power transition.
     fn finish_power_transition(&mut self, host: HostId, now: SimTime) -> Result<(), SimError> {
+        // A hung transition already committed to failing when the stuck
+        // interval was scheduled — no draw is consumed here.
+        if std::mem::take(&mut self.hung[host.index()]) {
+            let state = self.cluster.fail_power_transition(host, now)?;
+            self.log(now, EventKind::PowerFailed { host, state });
+            return Ok(());
+        }
+        // Correlated outage: every transition completing on a bursting
+        // rack fails, again without consuming an independent draw.
+        if self.rack_bursting(host, now) {
+            let state = self.cluster.fail_power_transition(host, now)?;
+            self.log(now, EventKind::PowerFailed { host, state });
+            return Ok(());
+        }
         let pending_kind = self
             .cluster
             .host(host)
@@ -356,6 +403,68 @@ impl DatacenterSim {
             self.log(now, EventKind::PowerCompleted { host, state });
         }
         Ok(())
+    }
+
+    /// Pre-generates correlated rack-outage windows for the whole run,
+    /// one decision per rack per control epoch, from a dedicated
+    /// substream. A model with bursts disabled consumes zero draws.
+    fn generate_rack_bursts(&mut self, end: SimTime) {
+        let prob = self.failures.rack_burst_prob();
+        let rack_size = self.failures.rack_size();
+        if prob <= 0.0 || rack_size == 0 {
+            return;
+        }
+        let racks = self.cluster.num_hosts().div_ceil(rack_size);
+        let duration = self.failures.rack_burst_duration();
+        let mut rng = RngStream::new(self.seed).substream(0x7ACC);
+        let mut t = SimTime::ZERO;
+        while t <= end {
+            for rack in 0..racks {
+                if rng.chance(prob) {
+                    self.rack_bursts.push((rack, t, t + duration));
+                }
+            }
+            t += self.control_interval;
+        }
+    }
+
+    /// Whether `host`'s rack has an outage window covering `now`.
+    fn rack_bursting(&self, host: HostId, now: SimTime) -> bool {
+        let rack_size = self.failures.rack_size();
+        if rack_size == 0 || self.rack_bursts.is_empty() {
+            return false;
+        }
+        let rack = host.index() / rack_size;
+        self.rack_bursts
+            .iter()
+            .any(|&(r, start, stop)| r == rack && start <= now && now < stop)
+    }
+
+    /// Rolls the hang die for a transition just begun; on a hang, the
+    /// completion stretches to `hang_factor`× the nominal latency and the
+    /// host is marked to force-fail at the stretched instant. Returns the
+    /// instant the `PowerDone` event should fire at.
+    fn maybe_hang(
+        &mut self,
+        host: HostId,
+        kind: TransitionKind,
+        now: SimTime,
+        done: SimTime,
+    ) -> SimTime {
+        let p = self.failures.hang_prob();
+        if p <= 0.0 || !self.hang_rng.chance(p) {
+            return done;
+        }
+        let nominal_ms = done.since(now).as_millis() as f64;
+        let stuck = now
+            + SimDuration::from_millis((nominal_ms * self.failures.hang_factor()).round() as u64);
+        self.cluster
+            .delay_power_transition(host, stuck)
+            .expect("transition just began");
+        self.hung[host.index()] = true;
+        self.hung_transitions += 1;
+        self.log(now, EventKind::PowerStuck { host, kind });
+        stuck
     }
 
     /// Provisions an arriving VM on the operational host with the most
@@ -395,6 +504,11 @@ impl DatacenterSim {
                 let retry = now + self.control_interval;
                 if retry <= end {
                     self.queue.schedule(retry, Event::VmArrive(vm));
+                } else {
+                    // The horizon closes before another attempt: record
+                    // the rejection instead of dropping the VM silently.
+                    self.rejected_admissions += 1;
+                    self.log(now, EventKind::VmArrivalRejected { vm });
                 }
             }
         }
@@ -513,6 +627,7 @@ impl DatacenterSim {
                 let done = self
                     .cluster
                     .begin_power_transition(host, mode.down(), now)?;
+                let done = self.maybe_hang(host, mode.down(), now, done);
                 self.queue.schedule(done, Event::PowerDone(host));
                 self.telemetry.registry.inc(self.telemetry.power_downs);
                 self.telemetry.registry.observe(
@@ -540,6 +655,7 @@ impl DatacenterSim {
                     }
                 };
                 let done = self.cluster.begin_power_transition(host, kind, now)?;
+                let done = self.maybe_hang(host, kind, now, done);
                 self.queue.schedule(done, Event::PowerDone(host));
                 self.telemetry.registry.inc(self.telemetry.power_ups);
                 self.telemetry.registry.observe(
@@ -569,6 +685,7 @@ impl DatacenterSim {
                 mem_committed: self.cluster.mem_committed_gb(h.id()),
                 cpu_demand: self.outcome_buf.host_demand_cores[i],
                 evacuated: self.cluster.is_evacuated(h.id()),
+                failed_transitions: h.power().failed_transitions(),
             }
         }));
         obs.vms.clear();
@@ -810,6 +927,171 @@ mod tests {
         .run()
         .unwrap();
         assert!(plain.events.is_empty());
+    }
+
+    #[test]
+    fn late_arrival_on_full_cluster_is_rejected_not_dropped() {
+        use cluster::{HostSpec, Resources, VmSpec};
+        use power::HostPowerProfile;
+        use workload::{DemandTrace, Fleet, Lifetime, LifetimePlan};
+
+        // One host whose memory the permanent VM fills completely; the
+        // transient VM arrives in the last control interval and can never
+        // be placed before the horizon.
+        let hosts = vec![HostSpec::new(
+            Resources::new(4.0, 8.0),
+            HostPowerProfile::prototype_rack(),
+        )];
+        let vms = vec![
+            VmSpec::new(Resources::new(1.0, 8.0)),
+            VmSpec::new(Resources::new(1.0, 4.0)),
+        ];
+        let traces = vec![DemandTrace::from_samples(SimDuration::from_mins(5), vec![0.1]); 2];
+        let horizon = SimDuration::from_hours(1);
+        let late = SimTime::ZERO + horizon - SimDuration::from_mins(2);
+        let fleet =
+            Fleet::from_parts(vms, traces).with_lifetime_plan(LifetimePlan::from_lifetimes(vec![
+                Lifetime::PERMANENT,
+                Lifetime {
+                    arrival: late,
+                    departure: None,
+                },
+            ]));
+        let s = Scenario::new("full-house", hosts, fleet, SimDuration::from_mins(5), 1);
+        let mut sim = DatacenterSim::new(&s, None, SimDuration::from_mins(5), horizon).unwrap();
+        sim.enable_event_log();
+        let report = sim.run().unwrap();
+        // The silent-drop bug: previously this arrival vanished without a
+        // trace. Now it is a counted, logged rejection.
+        assert_eq!(report.rejected_admissions, 1);
+        assert_eq!(report.placement_retries, 1);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::VmArrivalRejected { vm } if vm == VmId(1))));
+        assert_eq!(report.metrics.counter("sim.vm.rejected"), 1);
+    }
+
+    #[test]
+    fn migration_failures_keep_vm_on_source_and_ledger_exact() {
+        let s = Scenario::datacenter(6, 24, 11);
+        let mk = |p: f64| {
+            let mut sim = DatacenterSim::new(
+                &s,
+                Some(manager(PowerPolicy::reactive_suspend(), &s)),
+                s.demand_step(),
+                SimDuration::from_hours(24),
+            )
+            .unwrap();
+            sim.set_failure_model(FailureModel::none().with_migration_failures(p));
+            sim.enable_event_log();
+            sim.run_detailed().unwrap()
+        };
+        let (report, cluster) = mk(0.3);
+        assert!(
+            report.migration_failures > 0,
+            "a day of consolidation at p=0.3 must abort some migrations"
+        );
+        let failed_events = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MigrationFailed { .. }))
+            .count() as u64;
+        assert_eq!(failed_events, report.migration_failures);
+        assert_eq!(report.migrations, cluster.migrations_completed());
+        assert!(cluster.placement().check_invariants());
+        // Injection off keeps the field at zero.
+        let (clean, _) = mk(0.0);
+        assert_eq!(clean.migration_failures, 0);
+    }
+
+    #[test]
+    fn hangs_stretch_transitions_and_always_fail() {
+        let s = Scenario::datacenter(6, 24, 12);
+        let mut sim = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(24),
+        )
+        .unwrap();
+        sim.set_failure_model(FailureModel::none().with_hangs(0.4, 8.0));
+        sim.enable_event_log();
+        let report = sim.run().unwrap();
+        assert!(report.hung_transitions > 0, "p=0.4 must hang something");
+        let stuck = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PowerStuck { .. }))
+            .count() as u64;
+        let failed = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
+            .count() as u64;
+        assert_eq!(stuck, report.hung_transitions);
+        // Every hang ends in a failure; independent coin flips are off, so
+        // hangs are the only failure source.
+        assert_eq!(failed, report.hung_transitions);
+        assert_eq!(report.transition_failures, failed);
+    }
+
+    #[test]
+    fn rack_bursts_fail_correlated_transitions() {
+        let s = Scenario::datacenter(8, 32, 13);
+        let mut sim = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(24),
+        )
+        .unwrap();
+        sim.set_failure_model(FailureModel::none().with_rack_bursts(
+            4,
+            0.05,
+            SimDuration::from_mins(30),
+        ));
+        sim.enable_event_log();
+        let report = sim.run().unwrap();
+        assert!(
+            report.transition_failures > 0,
+            "a day of 5%-per-epoch rack bursts must catch some transitions"
+        );
+        let failed = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
+            .count() as u64;
+        assert_eq!(failed, report.transition_failures);
+    }
+
+    #[test]
+    fn injected_failures_are_bit_reproducible() {
+        let run = || {
+            let s = Scenario::datacenter_churn(6, 36, 0.5, 14);
+            let mut sim = DatacenterSim::new(
+                &s,
+                Some(manager(PowerPolicy::reactive_suspend(), &s)),
+                s.demand_step(),
+                SimDuration::from_hours(24),
+            )
+            .unwrap();
+            sim.set_failure_model(
+                FailureModel::new(0.1, 0.05)
+                    .with_migration_failures(0.1)
+                    .with_hangs(0.1, 4.0)
+                    .with_rack_bursts(3, 0.02, SimDuration::from_mins(20)),
+            );
+            sim.enable_event_log();
+            sim.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact()
+        );
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum EventKind {
         /// The VM that moved.
         vm: VmId,
     },
+    /// A live migration aborted at its scheduled completion (fault
+    /// injection); the VM stayed on its source host.
+    MigrationFailed {
+        /// The VM that failed to move.
+        vm: VmId,
+    },
     /// A power transition started.
     PowerStarted {
         /// The host transitioning.
@@ -58,6 +64,15 @@ pub enum EventKind {
         /// The state it fell back to.
         state: PowerState,
     },
+    /// A power transition hung (fault injection): it will hold its
+    /// transitional state for a multiple of the nominal latency before
+    /// failing. Logged when the stuck interval is detected at begin time.
+    PowerStuck {
+        /// The host whose transition hung.
+        host: HostId,
+        /// The transition kind that hung.
+        kind: TransitionKind,
+    },
     /// The cluster rejected a management action as stale.
     ActionRejected,
     /// A transient VM was provisioned onto a host.
@@ -70,6 +85,12 @@ pub enum EventKind {
     /// A transient VM's arrival found no capacity and was deferred one
     /// round.
     VmArrivalDeferred {
+        /// The VM.
+        vm: VmId,
+    },
+    /// A transient VM's deferred arrival could not be retried before the
+    /// horizon: the admission was rejected outright.
+    VmArrivalRejected {
         /// The VM.
         vm: VmId,
     },
@@ -132,6 +153,12 @@ impl EventRecord {
                 ("phase", Json::Str("completed".into())),
                 ("vm", Json::Int(vm.index() as i64)),
             ]),
+            EventKind::MigrationFailed { vm } => Json::obj([
+                ("record", Json::Str("migration".into())),
+                t,
+                ("phase", Json::Str("failed".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+            ]),
             EventKind::PowerStarted { host, kind } => Json::obj([
                 ("record", Json::Str("power-transition".into())),
                 t,
@@ -153,6 +180,13 @@ impl EventRecord {
                 ("host", Json::Int(host.index() as i64)),
                 ("state", Json::Str(state.to_string())),
             ]),
+            EventKind::PowerStuck { host, kind } => Json::obj([
+                ("record", Json::Str("power-transition".into())),
+                t,
+                ("phase", Json::Str("stuck".into())),
+                ("host", Json::Int(host.index() as i64)),
+                ("kind", Json::Str(kind.to_string())),
+            ]),
             EventKind::ActionRejected => {
                 Json::obj([("record", Json::Str("action-rejected".into())), t])
             }
@@ -167,6 +201,12 @@ impl EventRecord {
                 ("record", Json::Str("vm-lifecycle".into())),
                 t,
                 ("phase", Json::Str("deferred".into())),
+                ("vm", Json::Int(vm.index() as i64)),
+            ]),
+            EventKind::VmArrivalRejected { vm } => Json::obj([
+                ("record", Json::Str("vm-lifecycle".into())),
+                t,
+                ("phase", Json::Str("rejected".into())),
                 ("vm", Json::Int(vm.index() as i64)),
             ]),
             EventKind::VmDeparted { vm } => Json::obj([
@@ -221,6 +261,7 @@ impl EventRecord {
                 to: host("to_host")?,
             },
             ("migration", Some("completed")) => EventKind::MigrationCompleted { vm: vm("vm")? },
+            ("migration", Some("failed")) => EventKind::MigrationFailed { vm: vm("vm")? },
             ("power-transition", Some("started")) => EventKind::PowerStarted {
                 host: host("host")?,
                 kind: parse_kind(str_field("kind")?)?,
@@ -233,12 +274,17 @@ impl EventRecord {
                 host: host("host")?,
                 state: parse_state(str_field("state")?)?,
             },
+            ("power-transition", Some("stuck")) => EventKind::PowerStuck {
+                host: host("host")?,
+                kind: parse_kind(str_field("kind")?)?,
+            },
             ("action-rejected", _) => EventKind::ActionRejected,
             ("vm-lifecycle", Some("arrived")) => EventKind::VmArrived {
                 vm: vm("vm")?,
                 host: host("host")?,
             },
             ("vm-lifecycle", Some("deferred")) => EventKind::VmArrivalDeferred { vm: vm("vm")? },
+            ("vm-lifecycle", Some("rejected")) => EventKind::VmArrivalRejected { vm: vm("vm")? },
             ("vm-lifecycle", Some("departed")) => EventKind::VmDeparted { vm: vm("vm")? },
             (record, phase) => {
                 return Err(JsonError {
@@ -259,14 +305,23 @@ impl fmt::Display for EventRecord {
                 write!(f, "migration of {vm} to {to} started")
             }
             EventKind::MigrationCompleted { vm } => write!(f, "migration of {vm} completed"),
+            EventKind::MigrationFailed { vm } => {
+                write!(f, "migration of {vm} ABORTED; staying on source")
+            }
             EventKind::PowerStarted { host, kind } => write!(f, "{host} began {kind}"),
             EventKind::PowerCompleted { host, state } => write!(f, "{host} is now {state}"),
             EventKind::PowerFailed { host, state } => {
                 write!(f, "{host} transition FAILED, fell back to {state}")
             }
+            EventKind::PowerStuck { host, kind } => {
+                write!(f, "{host} {kind} HUNG; will fail after the stuck interval")
+            }
             EventKind::ActionRejected => write!(f, "stale management action rejected"),
             EventKind::VmArrived { vm, host } => write!(f, "{vm} provisioned on {host}"),
             EventKind::VmArrivalDeferred { vm } => write!(f, "{vm} arrival deferred (no capacity)"),
+            EventKind::VmArrivalRejected { vm } => {
+                write!(f, "{vm} admission rejected (no capacity before horizon)")
+            }
             EventKind::VmDeparted { vm } => write!(f, "{vm} retired"),
         }
     }
@@ -308,6 +363,7 @@ mod tests {
                 to: HostId(2),
             },
             EventKind::MigrationCompleted { vm: VmId(4) },
+            EventKind::MigrationFailed { vm: VmId(4) },
             EventKind::PowerStarted {
                 host: HostId(3),
                 kind: TransitionKind::Resume,
@@ -320,12 +376,17 @@ mod tests {
                 host: HostId(3),
                 state: PowerState::Suspended,
             },
+            EventKind::PowerStuck {
+                host: HostId(3),
+                kind: TransitionKind::Suspend,
+            },
             EventKind::ActionRejected,
             EventKind::VmArrived {
                 vm: VmId(1),
                 host: HostId(0),
             },
             EventKind::VmArrivalDeferred { vm: VmId(1) },
+            EventKind::VmArrivalRejected { vm: VmId(1) },
             EventKind::VmDeparted { vm: VmId(1) },
         ];
         for kind in kinds {

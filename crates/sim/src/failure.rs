@@ -1,16 +1,36 @@
-//! Fault injection for power-state transitions.
+//! Fault injection for power-state transitions, migrations, and racks.
 //!
 //! Power-cycling a server is not free of risk: the paper's prototype work
 //! had to demonstrate that suspend/resume is *dependable* enough for
 //! production management. This module injects transition failures so the
 //! manager's recovery path (failed resume → host lands `Off` → cold boot)
-//! can be exercised and its cost quantified (experiment T13).
+//! can be exercised and its cost quantified (experiments T13/T13b).
+//!
+//! Beyond independent resume/boot coin flips the model covers:
+//!
+//! - **migration aborts** — a live migration that runs to its scheduled
+//!   completion and then fails, leaving the VM on its source host;
+//! - **transition hangs** — a suspend/resume/boot that takes
+//!   [`hang_factor`](FailureModel::hang_factor)× its nominal latency
+//!   (the *stuck* interval, burning transition power throughout) and
+//!   then fails;
+//! - **rack outage bursts** — correlated windows during which every
+//!   power transition completing on one rack
+//!   ([`rack_size`](FailureModel::rack_size) contiguous hosts) fails.
+//!
+//! All draws come from dedicated [`simcore::RngStream`] substreams, so a
+//! model with every knob at zero consumes zero random draws and produces
+//! byte-identical reports to a run without injection.
 
-/// Per-transition failure probabilities.
+use simcore::SimDuration;
+
+/// Failure-injection knobs: per-transition probabilities plus hang and
+/// correlated-burst parameters.
 ///
 /// A failed resume loses the memory image and strands the host `Off`; a
 /// failed boot leaves it `Off` for another attempt. Failed transitions
-/// still consume their full latency and energy.
+/// still consume their full latency and energy; hung transitions consume
+/// a multiple of it.
 ///
 /// # Example
 ///
@@ -19,13 +39,29 @@
 ///
 /// let reliable = FailureModel::none();
 /// assert_eq!(reliable.resume_failure_prob(), 0.0);
-/// let flaky = FailureModel::new(0.05, 0.01);
+/// let flaky = FailureModel::new(0.05, 0.01)
+///     .with_migration_failures(0.02)
+///     .with_hangs(0.01, 4.0);
 /// assert_eq!(flaky.resume_failure_prob(), 0.05);
+/// assert_eq!(flaky.hang_factor(), 4.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureModel {
     resume_failure_prob: f64,
     boot_failure_prob: f64,
+    migration_failure_prob: f64,
+    hang_prob: f64,
+    hang_factor: f64,
+    rack_size: usize,
+    rack_burst_prob: f64,
+    rack_burst_duration: SimDuration,
+}
+
+fn assert_prob(p: f64) {
+    assert!(
+        p.is_finite() && (0.0..1.0).contains(&p),
+        "failure probability {p} outside [0, 1)"
+    );
 }
 
 impl FailureModel {
@@ -34,26 +70,84 @@ impl FailureModel {
         FailureModel {
             resume_failure_prob: 0.0,
             boot_failure_prob: 0.0,
+            migration_failure_prob: 0.0,
+            hang_prob: 0.0,
+            hang_factor: 1.0,
+            rack_size: 0,
+            rack_burst_prob: 0.0,
+            rack_burst_duration: SimDuration::ZERO,
         }
     }
 
-    /// Creates a model with the given per-attempt failure probabilities.
+    /// Creates a model with the given per-attempt transition failure
+    /// probabilities and no other failure kinds.
     ///
     /// # Panics
     ///
     /// Panics if either probability is outside `[0, 1)` — a probability
     /// of 1.0 would make the host permanently unrecoverable.
     pub fn new(resume_failure_prob: f64, boot_failure_prob: f64) -> Self {
-        for p in [resume_failure_prob, boot_failure_prob] {
-            assert!(
-                p.is_finite() && (0.0..1.0).contains(&p),
-                "failure probability {p} outside [0, 1)"
-            );
-        }
+        assert_prob(resume_failure_prob);
+        assert_prob(boot_failure_prob);
         FailureModel {
             resume_failure_prob,
             boot_failure_prob,
+            ..FailureModel::none()
         }
+    }
+
+    /// Adds per-attempt migration aborts: each live migration fails at
+    /// its scheduled completion with probability `prob`, leaving the VM
+    /// on its source host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1)`.
+    pub fn with_migration_failures(mut self, prob: f64) -> Self {
+        assert_prob(prob);
+        self.migration_failure_prob = prob;
+        self
+    }
+
+    /// Adds transition hangs: each power transition hangs with
+    /// probability `prob`, stretching to `factor`× its nominal latency
+    /// before failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1)` or `factor < 1`.
+    pub fn with_hangs(mut self, prob: f64, factor: f64) -> Self {
+        assert_prob(prob);
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "hang factor {factor} must be >= 1"
+        );
+        self.hang_prob = prob;
+        self.hang_factor = factor;
+        self
+    }
+
+    /// Adds correlated rack outage bursts: hosts are grouped into racks
+    /// of `rack_size` contiguous indices, and each control epoch each
+    /// rack independently starts a burst with probability `prob` lasting
+    /// `duration`; every power transition completing on a bursting rack
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack_size == 0`, `prob` is outside `[0, 1)`, or
+    /// `duration` is zero while `prob > 0`.
+    pub fn with_rack_bursts(mut self, rack_size: usize, prob: f64, duration: SimDuration) -> Self {
+        assert!(rack_size > 0, "rack size must be positive");
+        assert_prob(prob);
+        assert!(
+            prob == 0.0 || duration > SimDuration::ZERO,
+            "rack burst duration must be positive"
+        );
+        self.rack_size = rack_size;
+        self.rack_burst_prob = prob;
+        self.rack_burst_duration = duration;
+        self
     }
 
     /// Probability one resume attempt fails.
@@ -66,9 +160,47 @@ impl FailureModel {
         self.boot_failure_prob
     }
 
+    /// Probability one live migration aborts at completion.
+    pub fn migration_failure_prob(&self) -> f64 {
+        self.migration_failure_prob
+    }
+
+    /// Probability one power transition hangs.
+    pub fn hang_prob(&self) -> f64 {
+        self.hang_prob
+    }
+
+    /// Latency multiplier for a hung transition (≥ 1).
+    pub fn hang_factor(&self) -> f64 {
+        self.hang_factor
+    }
+
+    /// Hosts per rack for correlated bursts (0 = bursts disabled).
+    pub fn rack_size(&self) -> usize {
+        if self.rack_burst_prob > 0.0 {
+            self.rack_size
+        } else {
+            0
+        }
+    }
+
+    /// Per-epoch, per-rack probability a burst starts.
+    pub fn rack_burst_prob(&self) -> f64 {
+        self.rack_burst_prob
+    }
+
+    /// How long one rack burst lasts.
+    pub fn rack_burst_duration(&self) -> SimDuration {
+        self.rack_burst_duration
+    }
+
     /// Whether any failure injection is active.
     pub fn is_active(&self) -> bool {
-        self.resume_failure_prob > 0.0 || self.boot_failure_prob > 0.0
+        self.resume_failure_prob > 0.0
+            || self.boot_failure_prob > 0.0
+            || self.migration_failure_prob > 0.0
+            || self.hang_prob > 0.0
+            || self.rack_burst_prob > 0.0
     }
 }
 
@@ -97,8 +229,43 @@ mod tests {
     }
 
     #[test]
+    fn builders_round_trip() {
+        let m = FailureModel::none()
+            .with_migration_failures(0.03)
+            .with_hangs(0.02, 6.0)
+            .with_rack_bursts(8, 0.01, SimDuration::from_secs(600));
+        assert!(m.is_active());
+        assert_eq!(m.migration_failure_prob(), 0.03);
+        assert_eq!(m.hang_prob(), 0.02);
+        assert_eq!(m.hang_factor(), 6.0);
+        assert_eq!(m.rack_size(), 8);
+        assert_eq!(m.rack_burst_prob(), 0.01);
+        assert_eq!(m.rack_burst_duration(), SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn rack_size_reads_zero_when_bursts_off() {
+        // A rack size without a burst probability is inert.
+        let m = FailureModel::none().with_rack_bursts(8, 0.0, SimDuration::ZERO);
+        assert_eq!(m.rack_size(), 0);
+        assert!(!m.is_active());
+    }
+
+    #[test]
     #[should_panic(expected = "outside [0, 1)")]
     fn rejects_certain_failure() {
         FailureModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn rejects_shrinking_hang() {
+        FailureModel::none().with_hangs(0.1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rack burst duration")]
+    fn rejects_zero_length_burst() {
+        FailureModel::none().with_rack_bursts(4, 0.1, SimDuration::ZERO);
     }
 }

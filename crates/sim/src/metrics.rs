@@ -11,6 +11,22 @@ use simcore::{SimDuration, SimTime, TimeSeries, Welford};
 /// tick had a violation (absorbs floating-point dust).
 const VIOLATION_EPS_CORES: f64 = 1e-6;
 
+/// Fault-and-churn tallies the engine hands to
+/// [`MetricsCollector::finalize`] in one bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FaultCounters {
+    /// Power transitions that failed (fault injection).
+    pub transition_failures: u64,
+    /// Arriving VMs deferred at least one round for capacity.
+    pub placement_retries: u64,
+    /// Live migrations that aborted mid-flight (fault injection).
+    pub migration_failures: u64,
+    /// Deferred arrivals that ran out of horizon and were rejected.
+    pub rejected_admissions: u64,
+    /// Power transitions that hung (stuck intervals, fault injection).
+    pub hung_transitions: u64,
+}
+
 /// Collects metrics during a run; folded into a [`SimReport`] at the end.
 #[derive(Debug, Clone)]
 pub(crate) struct MetricsCollector {
@@ -134,8 +150,7 @@ impl MetricsCollector {
         manager_stats: RoundStats,
         migration_busy_secs: f64,
         transition_busy_secs: f64,
-        transition_failures: u64,
-        placement_retries: u64,
+        faults: FaultCounters,
         events: Vec<EventRecord>,
         metrics: MetricsSnapshot,
     ) -> SimReport {
@@ -194,8 +209,11 @@ impl MetricsCollector {
             } else {
                 0.0
             },
-            transition_failures,
-            placement_retries,
+            transition_failures: faults.transition_failures,
+            placement_retries: faults.placement_retries,
+            migration_failures: faults.migration_failures,
+            rejected_admissions: faults.rejected_admissions,
+            hung_transitions: faults.hung_transitions,
             events,
             metrics,
             avg_latency_factor: if self.latency_weight > 0.0 {
@@ -271,6 +289,15 @@ pub struct SimReport {
     /// Arriving VMs that had to wait at least one round for capacity
     /// (lifecycle churn).
     pub placement_retries: u64,
+    /// Live migrations that aborted mid-flight (fault injection); the VM
+    /// stayed on its source host.
+    pub migration_failures: u64,
+    /// Deferred arrivals whose retry would have landed past the horizon:
+    /// the admission was rejected outright instead of silently dropped.
+    pub rejected_admissions: u64,
+    /// Power transitions that hung in a stuck interval before failing
+    /// (fault injection); also counted in `transition_failures`.
+    pub hung_transitions: u64,
     /// The audit log (empty unless event recording was enabled).
     pub events: Vec<EventRecord>,
     /// Deterministic snapshot of the engine's metrics registry
@@ -376,6 +403,15 @@ impl SimReport {
                 Json::Int(self.placement_retries as i64),
             ),
             (
+                "migration_failures",
+                Json::Int(self.migration_failures as i64),
+            ),
+            (
+                "rejected_admissions",
+                Json::Int(self.rejected_admissions as i64),
+            ),
+            ("hung_transitions", Json::Int(self.hung_transitions as i64)),
+            (
                 "events",
                 Json::Array(self.events.iter().map(EventRecord::to_json).collect()),
             ),
@@ -454,6 +490,9 @@ impl SimReport {
             transition_overhead_frac: f64_f("transition_overhead_frac")?,
             transition_failures: u64_f("transition_failures")?,
             placement_retries: u64_f("placement_retries")?,
+            migration_failures: u64_f("migration_failures")?,
+            rejected_admissions: u64_f("rejected_admissions")?,
+            hung_transitions: u64_f("hung_transitions")?,
             events,
             metrics,
             avg_latency_factor: f64_f("avg_latency_factor")?,
@@ -491,7 +530,12 @@ fn series_to_json(series: &TimeSeries) -> Json {
 
 fn series_from_json(json: &Json) -> Result<TimeSeries, JsonError> {
     let pairs = json.as_array().ok_or_else(|| report_field_err("series"))?;
-    let mut series = TimeSeries::new();
+    // Reconstruct verbatim rather than replaying through `record`: a
+    // recorded series can contain consecutive equal values (a
+    // same-instant overwrite may converge two neighbouring samples),
+    // and `record` would coalesce the second away, losing a point
+    // across the round-trip.
+    let mut points = Vec::with_capacity(pairs.len());
     for pair in pairs {
         let pair = pair
             .as_array()
@@ -503,9 +547,16 @@ fn series_from_json(json: &Json) -> Result<TimeSeries, JsonError> {
             ),
             _ => return Err(report_field_err("series point")),
         };
-        series.record(SimTime::from_millis(millis), value);
+        if !value.is_finite() {
+            return Err(report_field_err("series value"));
+        }
+        let time = SimTime::from_millis(millis);
+        if points.last().is_some_and(|&(last, _)| last >= time) {
+            return Err(report_field_err("series order"));
+        }
+        points.push((time, value));
     }
-    Ok(series)
+    Ok(TimeSeries::from_points(points))
 }
 
 #[cfg(test)]
@@ -558,8 +609,10 @@ mod tests {
             },
             36.0, // migration busy seconds
             72.0, // transition busy seconds
-            3,    // injected transition failures
-            0,
+            FaultCounters {
+                transition_failures: 3,
+                ..FaultCounters::default()
+            },
             Vec::new(),
             MetricsSnapshot::new(),
         )
@@ -591,6 +644,25 @@ mod tests {
         assert_eq!(r.peak_power_w, 800.0);
         assert_eq!(r.migrations_per_hour, 6.0);
         assert_eq!(r.power_actions_per_hour, 4.0);
+    }
+
+    #[test]
+    fn converged_series_samples_survive_the_json_round_trip() {
+        // A same-instant overwrite can leave the power series with two
+        // consecutive equal-valued samples; deserialization must keep
+        // both rather than coalescing the second away (regression: the
+        // parse path used to replay through `TimeSeries::record`).
+        let cluster = one_host_cluster();
+        let mut c = MetricsCollector::new(SimDuration::from_mins(30));
+        c.record_power(SimTime::ZERO, 500.0);
+        c.record_power(SimTime::from_secs(600), 800.0);
+        c.record_power(SimTime::from_secs(600), 500.0);
+        c.record_tick(SimTime::ZERO, &outcome(2.0, 2.0), &cluster);
+        let r = finalize(c);
+        assert_eq!(r.power_series.len(), 2, "converged neighbours recorded");
+        let text = r.to_json().to_string_compact();
+        let back = SimReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r, "round-trip must preserve every sample");
     }
 
     #[test]

@@ -293,8 +293,7 @@ impl Experiment {
             RoundStats::default(),
             0.0,
             0.0,
-            0,
-            0,
+            crate::metrics::FaultCounters::default(),
             Vec::new(),
             MetricsSnapshot::new(),
         );
@@ -390,8 +389,7 @@ impl Experiment {
             RoundStats::default(),
             0.0,
             0.0,
-            0,
-            0,
+            crate::metrics::FaultCounters::default(),
             Vec::new(),
             MetricsSnapshot::new(),
         );

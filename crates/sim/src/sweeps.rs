@@ -231,6 +231,64 @@ pub fn reliability_sweep(
     Ok(out)
 }
 
+/// The full fault surface at one intensity `p`: resume failures at `p`,
+/// boot failures, migration aborts, and transition hangs at half of it,
+/// and correlated rack bursts at a tenth. At `p == 0` the model is
+/// inert, so that row reproduces the failure-free run bit-exactly.
+fn full_fault_surface(p: f64) -> FailureModel {
+    let mut model = FailureModel::new(p, p * 0.5);
+    if p > 0.0 {
+        model = model
+            .with_migration_failures(p * 0.5)
+            .with_hangs(p * 0.5, 4.0)
+            .with_rack_bursts(4, p * 0.1, SimDuration::from_mins(30));
+    }
+    model
+}
+
+/// Experiment T13b: failure-rate overhead — managed vs. always-on as the
+/// whole fault surface (resume/boot failures, migration aborts, hangs,
+/// rack bursts) scales up together. AlwaysOn barely exercises power
+/// transitions, so the gap between the two columns shows how much of
+/// the managed savings survive as the infrastructure gets flakier and
+/// recovery (backoff, quarantine, fail-safe) throttles power actions.
+///
+/// Every `(intensity, policy)` pair runs through one bounded worker
+/// pool; results stay in `intensities` order as `(p, base, managed)`.
+///
+/// # Errors
+///
+/// Propagates the first failing run in output order.
+pub fn failure_overhead_sweep(
+    hosts: usize,
+    vms: usize,
+    intensities: &[f64],
+    seed: u64,
+) -> Result<Vec<(f64, SimReport, SimReport)>, SimError> {
+    let scenario = Scenario::datacenter_spiky(hosts, vms, seed);
+    let policies = [PowerPolicy::always_on(), PowerPolicy::reactive_suspend()];
+    let jobs: Vec<(f64, PowerPolicy)> = intensities
+        .iter()
+        .flat_map(|&p| policies.iter().map(move |&policy| (p, policy)))
+        .collect();
+    let reports = simcore::pool::run_indexed(jobs.len(), |i| {
+        let (p, policy) = jobs[i];
+        Experiment::new(scenario.clone())
+            .policy(policy)
+            .failure_model(full_fault_surface(p))
+            .control_interval(SimDuration::from_mins(1))
+            .run()
+    });
+    let mut results = reports.into_iter();
+    let mut out = Vec::with_capacity(intensities.len());
+    for &p in intensities {
+        let base = results.next().expect("one result per job")?;
+        let managed = results.next().expect("one result per job")?;
+        out.push((p, base, managed));
+    }
+    Ok(out)
+}
+
 /// Experiment T12: predictor ablation under one power mode.
 ///
 /// # Errors

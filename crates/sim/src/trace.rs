@@ -59,18 +59,24 @@ pub(crate) struct SimTelemetry {
     pub migrations_started: CounterId,
     /// `sim.migrations.completed`.
     pub migrations_completed: CounterId,
+    /// `sim.migrations.failed` — fault-injected migration aborts.
+    pub migrations_failed: CounterId,
     /// `sim.power.ups` — power-up transitions begun.
     pub power_ups: CounterId,
     /// `sim.power.downs` — power-down transitions begun.
     pub power_downs: CounterId,
     /// `sim.power.failed` — fault-injected transition failures.
     pub power_failures: CounterId,
+    /// `sim.power.stuck` — fault-injected transition hangs.
+    pub power_hangs: CounterId,
     /// `sim.actions.rejected` — stale actions the cluster refused.
     pub action_rejections: CounterId,
     /// `sim.vm.arrivals`.
     pub vm_arrivals: CounterId,
     /// `sim.vm.deferred`.
     pub vm_deferrals: CounterId,
+    /// `sim.vm.rejected` — admissions that never found capacity.
+    pub vm_rejections: CounterId,
     /// `sim.vm.departures`.
     pub vm_departures: CounterId,
     /// `sim.migration.duration_secs` — scheduled migration durations.
@@ -91,12 +97,15 @@ impl SimTelemetry {
         let rounds = registry.counter("sim.rounds");
         let migrations_started = registry.counter("sim.migrations.started");
         let migrations_completed = registry.counter("sim.migrations.completed");
+        let migrations_failed = registry.counter("sim.migrations.failed");
         let power_ups = registry.counter("sim.power.ups");
         let power_downs = registry.counter("sim.power.downs");
         let power_failures = registry.counter("sim.power.failed");
+        let power_hangs = registry.counter("sim.power.stuck");
         let action_rejections = registry.counter("sim.actions.rejected");
         let vm_arrivals = registry.counter("sim.vm.arrivals");
         let vm_deferrals = registry.counter("sim.vm.deferred");
+        let vm_rejections = registry.counter("sim.vm.rejected");
         let vm_departures = registry.counter("sim.vm.departures");
         let migration_secs = registry.histogram("sim.migration.duration_secs");
         let transition_secs = registry.histogram("sim.power.transition_secs");
@@ -108,12 +117,15 @@ impl SimTelemetry {
             rounds,
             migrations_started,
             migrations_completed,
+            migrations_failed,
             power_ups,
             power_downs,
             power_failures,
+            power_hangs,
             action_rejections,
             vm_arrivals,
             vm_deferrals,
+            vm_rejections,
             vm_departures,
             migration_secs,
             transition_secs,
@@ -129,12 +141,15 @@ impl SimTelemetry {
         match kind {
             EventKind::MigrationStarted { .. } => self.registry.inc(self.migrations_started),
             EventKind::MigrationCompleted { .. } => self.registry.inc(self.migrations_completed),
+            EventKind::MigrationFailed { .. } => self.registry.inc(self.migrations_failed),
             EventKind::PowerStarted { .. } => {}
             EventKind::PowerCompleted { .. } => {}
             EventKind::PowerFailed { .. } => self.registry.inc(self.power_failures),
+            EventKind::PowerStuck { .. } => self.registry.inc(self.power_hangs),
             EventKind::ActionRejected => self.registry.inc(self.action_rejections),
             EventKind::VmArrived { .. } => self.registry.inc(self.vm_arrivals),
             EventKind::VmArrivalDeferred { .. } => self.registry.inc(self.vm_deferrals),
+            EventKind::VmArrivalRejected { .. } => self.registry.inc(self.vm_rejections),
             EventKind::VmDeparted { .. } => self.registry.inc(self.vm_departures),
         }
     }

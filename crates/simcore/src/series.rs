@@ -71,6 +71,35 @@ impl TimeSeries {
         self.points.push(SeriesPoint { time, value });
     }
 
+    /// Rebuilds a series from already-recorded samples, verbatim.
+    ///
+    /// Unlike [`record`](Self::record), equal consecutive values are
+    /// *not* coalesced: a recorded series may legitimately contain them
+    /// (a same-instant overwrite can converge a sample with its
+    /// predecessor after both were pushed), and deserializers must
+    /// preserve every point so a serialize/parse round-trip is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples are not time-ordered, contain duplicate
+    /// timestamps, or hold a non-finite value.
+    pub fn from_points(points: impl IntoIterator<Item = (SimTime, f64)>) -> Self {
+        let mut series = TimeSeries::new();
+        for (time, value) in points {
+            assert!(value.is_finite(), "non-finite sample {value} at {time}");
+            if let Some(last) = series.points.last() {
+                assert!(
+                    last.time < time,
+                    "samples must be strictly time-ordered: {} after {}",
+                    time,
+                    last.time
+                );
+            }
+            series.points.push(SeriesPoint { time, value });
+        }
+        series
+    }
+
     /// The samples, in time order.
     pub fn points(&self) -> &[SeriesPoint] {
         &self.points
@@ -222,6 +251,26 @@ mod tests {
         ts.record(s(0), 3.0);
         assert_eq!(ts.len(), 1);
         assert_eq!(ts.value_at(s(0)), Some(3.0));
+    }
+
+    #[test]
+    fn from_points_preserves_converged_neighbours() {
+        // An overwrite can leave two consecutive samples with equal
+        // values; `record` would coalesce the second on replay, but a
+        // verbatim rebuild must keep it.
+        let mut ts = TimeSeries::new();
+        ts.record(s(0), 5.0);
+        ts.record(s(10), 7.0);
+        ts.record(s(10), 5.0);
+        assert_eq!(ts.len(), 2);
+        let rebuilt = TimeSeries::from_points(ts.points().iter().map(|p| (p.time, p.value)));
+        assert_eq!(rebuilt, ts);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly time-ordered")]
+    fn from_points_rejects_unordered_samples() {
+        TimeSeries::from_points([(s(10), 1.0), (s(5), 2.0)]);
     }
 
     #[test]

@@ -115,6 +115,12 @@ impl Welford {
 ///
 /// Returns `None` for an empty slice.
 ///
+/// Samples are ordered with [`f64::total_cmp`] (IEEE 754 total order),
+/// so NaN input never panics: positive NaNs sort after `+inf` and
+/// negative NaNs before `-inf`. A NaN that lands inside the requested
+/// rank window propagates into the result — callers who need a clean
+/// answer should filter non-finite samples first.
+///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 100]`.
@@ -134,7 +140,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -301,6 +307,19 @@ mod tests {
         assert_eq!(percentile(&data, 75.0), Some(25.0));
         assert_eq!(percentile(&data, 100.0), Some(30.0));
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_input() {
+        // Regression: this used to panic via partial_cmp().expect().
+        // Total order puts the (positive) NaN after +inf, so low
+        // percentiles still read the finite samples.
+        let data = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 100.0 / 3.0), Some(2.0));
+        // Ranks that touch the NaN propagate it instead of panicking.
+        assert!(percentile(&data, 100.0).unwrap().is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).unwrap().is_nan());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Integration tests combining the resilience features: fault injection,
 //! lifecycle churn, audit logging, and their interactions.
 
+use agilepm::core::{ClusterObservation, HostObservation, RecoveryConfig, RecoveryTracker};
 use agilepm::prelude::*;
 use agilepm::sim::events::EventKind;
-use check::prop_assert;
+use check::{gen, prop_assert};
 use check_support::{check_report, experiment_spec, failure_spec};
 
 #[test]
@@ -123,12 +124,25 @@ fn generated_failure_models_keep_the_ledger_and_service_quality() {
             // The full catalog, which includes the PowerFailed-vs-counter
             // ledger check; repeat the count here so a violation names it.
             check_report(&scenario, &report)?;
-            let logged = report
-                .events
-                .iter()
-                .filter(|e| matches!(e.kind, EventKind::PowerFailed { .. }))
-                .count() as u64;
-            check::prop_assert_eq!(logged, report.transition_failures);
+            let count = |pred: fn(&EventKind) -> bool| {
+                report.events.iter().filter(|e| pred(&e.kind)).count() as u64
+            };
+            check::prop_assert_eq!(
+                count(|k| matches!(k, EventKind::PowerFailed { .. })),
+                report.transition_failures
+            );
+            check::prop_assert_eq!(
+                count(|k| matches!(k, EventKind::MigrationFailed { .. })),
+                report.migration_failures
+            );
+            check::prop_assert_eq!(
+                count(|k| matches!(k, EventKind::PowerStuck { .. })),
+                report.hung_transitions
+            );
+            check::prop_assert_eq!(
+                count(|k| matches!(k, EventKind::VmArrivalRejected { .. })),
+                report.rejected_admissions
+            );
             prop_assert!(
                 report.unserved_ratio <= 0.05,
                 "failures at ({}, {}) permille degraded service to {:.4}%",
@@ -139,6 +153,120 @@ fn generated_failure_models_keep_the_ledger_and_service_quality() {
             Ok(())
         },
     );
+}
+
+/// For any generated failure schedule, every host that stops failing is
+/// eventually readmitted to service (free to power-cycle again), and any
+/// host still quarantined got there through a release time that only
+/// ever moved *later* — never earlier — while quarantined.
+#[test]
+fn failing_hosts_eventually_return_or_stay_quarantined() {
+    // A schedule is, per host, the set of 5-minute rounds (out of 24)
+    // in which one transition failure lands.
+    let schedule = gen::usize_in(1..=4).zip(&gen::vec_of(
+        &gen::u64_in(0..=23).zip(&gen::u64_in(0..=3)),
+        0..=16,
+    ));
+    check::check(
+        "failing hosts return or stay quarantined",
+        &schedule,
+        |(num_hosts, failures)| {
+            let num_hosts = *num_hosts;
+            let config = RecoveryConfig::new();
+            let mut tracker = RecoveryTracker::new(config.clone(), num_hosts);
+            let mut cumulative = vec![0u64; num_hosts];
+            let mut last_release = vec![None; num_hosts];
+            let observe = |tracker: &mut RecoveryTracker, now: SimTime, cumulative: &[u64]| {
+                let hosts = cumulative
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &failed)| HostObservation {
+                        id: HostId(i as u32),
+                        state: PowerState::On,
+                        pending: None,
+                        cpu_capacity: 8.0,
+                        mem_capacity: 64.0,
+                        mem_committed: 0.0,
+                        cpu_demand: 0.0,
+                        evacuated: true,
+                        failed_transitions: failed,
+                    })
+                    .collect();
+                tracker.observe(&ClusterObservation {
+                    now,
+                    hosts,
+                    vms: Vec::new(),
+                });
+            };
+            // Phase 1: 24 rounds with the generated failures landing.
+            for round in 0..24u64 {
+                for &(r, host) in failures {
+                    if r == round && (host as usize) < num_hosts {
+                        cumulative[host as usize] += 1;
+                    }
+                }
+                let now = SimTime::from_secs(round * 300);
+                observe(&mut tracker, now, &cumulative);
+                for (h, last) in last_release.iter_mut().enumerate() {
+                    let release = tracker.quarantine_release(h);
+                    if let (Some(prev), Some(cur)) = (*last, release) {
+                        prop_assert!(
+                            cur >= prev,
+                            "host {h}: quarantine release moved earlier ({cur} < {prev})"
+                        );
+                    }
+                    *last = release;
+                }
+            }
+            // Phase 2: failures stop. After probation plus the longest
+            // backoff, every host must be back in service.
+            let quiet = SimTime::from_secs(24 * 300)
+                + config.probation()
+                + config.backoff_cap()
+                + SimDuration::from_mins(5);
+            observe(&mut tracker, quiet, &cumulative);
+            for h in 0..num_hosts {
+                prop_assert!(
+                    tracker.may_power_cycle(h, quiet),
+                    "host {h} never returned to service after failures stopped"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Runs with recovery active and heavy fault injection stay bit-exactly
+/// reproducible: same seed, same report, byte-identical JSON.
+#[test]
+fn recovery_under_injection_is_bit_reproducible() {
+    let run = || {
+        Experiment::new(Scenario::datacenter_churn(8, 40, 0.3, 55))
+            .policy(PowerPolicy::reactive_suspend())
+            .failure_model(
+                FailureModel::new(0.3, 0.1)
+                    .with_migration_failures(0.15)
+                    .with_hangs(0.1, 4.0)
+                    .with_rack_bursts(4, 0.02, SimDuration::from_mins(30)),
+            )
+            .control_interval(SimDuration::from_mins(1))
+            .record_events()
+            .run()
+            .expect("faulty run completes")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "recovery made the run non-deterministic");
+    assert_eq!(
+        a.to_json().to_string_compact(),
+        b.to_json().to_string_compact()
+    );
+    // The hard modes actually fired.
+    assert!(a.transition_failures > 0, "no transition failures injected");
+    assert!(a.events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::MigrationFailed { .. } | EventKind::PowerStuck { .. }
+    )));
 }
 
 #[test]
