@@ -2,17 +2,18 @@
 
 use agile_core::PowerPolicy;
 use bench::microbench::time;
-use dcsim::{Experiment, Scenario};
+use dcsim::{Experiment, Scenario, SimulationBuilder};
 
 fn main() {
     for hosts in [16usize, 64] {
         let scenario = Scenario::datacenter(hosts, hosts * 4, 42);
         time(&format!("sim_24h_{hosts}_hosts_suspend"), 1, 5, || {
-            Experiment::new(scenario.clone())
-                .policy(PowerPolicy::reactive_suspend())
-                .run()
-                .expect("scenario runs")
-                .energy_j
+            SimulationBuilder::new(
+                Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend()),
+            )
+            .run_report()
+            .expect("scenario runs")
+            .energy_j
         });
     }
 }

@@ -6,7 +6,7 @@
 
 use agile_core::PowerPolicy;
 use cluster::AccountingMode;
-use dcsim::{Experiment, Scenario};
+use dcsim::{Experiment, Scenario, SimulationBuilder};
 use workload::DemandTrace;
 
 fn main() {
@@ -14,17 +14,20 @@ fn main() {
     // incremental accounting vs the O(hosts × VMs) scan reference.
     let scenario = Scenario::datacenter(64, 384, bench::SEED);
     bench::microbench::time("sim_day_64hosts_incremental", 1, 5, || {
-        Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
-            .run()
-            .expect("sim run failed")
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend()),
+        )
+        .run_report()
+        .expect("sim run failed")
     });
     bench::microbench::time("sim_day_64hosts_scan_reference", 1, 5, || {
-        Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
-            .accounting(AccountingMode::Scan)
-            .run()
-            .expect("sim run failed")
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_suspend())
+                .accounting(AccountingMode::Scan),
+        )
+        .run_report()
+        .expect("sim run failed")
     });
 
     // Trace reads through the compact (quantized u16) representation vs

@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use agile_core::PowerPolicy;
 use cluster::AccountingMode;
-use dcsim::{Experiment, Scenario};
+use dcsim::{Experiment, Scenario, SimulationBuilder};
 
 /// Pre-optimization reference numbers, measured on this benchmark before
 /// the incremental-accounting/zero-alloc work landed (same scenario
@@ -47,6 +47,7 @@ fn main() {
     let mut out_path = String::from("BENCH_scaleout.json");
     let mut baseline: Option<String> = None;
     let mut repeat = 3usize;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,13 +70,21 @@ fn main() {
                     .expect("bad repeat count");
                 assert!(repeat >= 1, "--repeat must be at least 1");
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("bad thread count");
+                assert!(threads >= 1, "--threads must be at least 1");
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
 
     let mut rows = Vec::new();
     for &hosts in &sizes {
-        let row = measure(hosts, hosts <= VERIFY_SCAN_MAX_HOSTS, repeat);
+        let row = measure(hosts, hosts <= VERIFY_SCAN_MAX_HOSTS, repeat, threads);
         let before = BEFORE.iter().find(|(h, _, _)| *h == hosts);
         println!(
             "{:>5} hosts {:>6} vms: {:>8.0} ticks/s ({:.2} s wall, peak RSS {} MB){}{}",
@@ -96,7 +105,7 @@ fn main() {
         rows.push(row);
     }
 
-    let json = render_json(&rows);
+    let json = render_json(&rows, threads);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");
 
@@ -107,7 +116,7 @@ fn main() {
     }
 }
 
-fn measure(hosts: usize, verify_scan: bool, repeat: usize) -> Row {
+fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Row {
     let vms = hosts * 6;
     let scenario = Scenario::datacenter(hosts, vms, bench::SEED);
     let step = scenario.demand_step();
@@ -118,10 +127,16 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize) -> Row {
     for _ in 0..repeat {
         let exp = Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend());
         let t0 = Instant::now();
-        let run = exp.run_profiled().expect("scale-out run failed");
+        let out = SimulationBuilder::new(exp)
+            .threads(threads)
+            .profiling(true)
+            .build()
+            .and_then(|sim| sim.run())
+            .expect("scale-out run failed");
         let wall = t0.elapsed().as_secs_f64();
+        let profile = out.profile.expect("profiled run returns a profile");
         if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
-            best = Some((wall, run.0, run.1));
+            best = Some((wall, out.report, profile));
         }
     }
     let (wall_secs, report, profile) = best.expect("at least one repeat");
@@ -134,7 +149,10 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize) -> Row {
             .policy(PowerPolicy::reactive_suspend())
             .accounting(AccountingMode::Scan);
         let t0 = Instant::now();
-        let scan_report = exp.run().expect("scan reference run failed");
+        let scan_report = SimulationBuilder::new(exp)
+            .threads(threads)
+            .run_report()
+            .expect("scan reference run failed");
         let scan_wall = t0.elapsed().as_secs_f64();
         assert_eq!(
             report, scan_report,
@@ -173,8 +191,8 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn render_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"before\": [\n");
+fn render_json(rows: &[Row], threads: usize) -> String {
+    let mut out = format!("{{\n  \"threads\": {threads},\n  \"before\": [\n");
     for (i, (hosts, tps, rss)) in BEFORE.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"hosts\": {hosts}, \"ticks_per_sec\": {tps:.1}, \"peak_rss_kb\": {rss}}}{}\n",

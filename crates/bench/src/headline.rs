@@ -2,7 +2,7 @@
 
 use agile_core::PowerPolicy;
 use dcsim::report::{policy_comparison, series_table, table};
-use dcsim::{Experiment, Scenario, SimReport};
+use dcsim::{Experiment, Scenario, SimReport, SimulationBuilder};
 use simcore::{SimDuration, SimTime};
 
 use crate::{HEADLINE_HOSTS, HEADLINE_VMS, SEED};
@@ -23,11 +23,13 @@ fn headline_runs(hosts: usize, vms: usize, seed: u64) -> Vec<SimReport> {
     ]
     .into_iter()
     .map(|p| {
-        Experiment::new(scenario.clone())
-            .policy(p)
-            .control_interval(SimDuration::from_mins(1))
-            .run()
-            .expect("headline scenario runs")
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(p)
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()
+        .expect("headline scenario runs")
     })
     .collect()
 }
@@ -123,10 +125,12 @@ pub fn exp_t19_sized(hosts: usize, vms: usize, seeds: &[u64]) -> String {
         PowerPolicy::oracle(),
     ] {
         let summary = replicate(seeds, |seed| {
-            Experiment::new(Scenario::datacenter_spiky(hosts, vms, seed))
-                .policy(policy)
-                .control_interval(SimDuration::from_mins(1))
-                .run()
+            SimulationBuilder::new(
+                Experiment::new(Scenario::datacenter_spiky(hosts, vms, seed))
+                    .policy(policy)
+                    .control_interval(SimDuration::from_mins(1)),
+            )
+            .run_report()
         })
         .expect("replications run");
         rows.push(vec![
@@ -199,19 +203,21 @@ pub fn exp_t22() -> String {
 /// Size-parameterized variant.
 pub fn exp_t22_sized(hosts: usize, vms: usize, seed: u64) -> String {
     let scenario = Scenario::datacenter(hosts, vms, seed);
-    let base = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::always_on())
-        .run()
-        .expect("scenario runs");
-    let dvfs =
-        Experiment::new(scenario.clone()).run_dvfs_baseline(&power::DvfsModel::typical_2013());
-    let suspend = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::reactive_suspend())
-        .run()
-        .expect("scenario runs");
-    let oracle = Experiment::new(scenario)
-        .policy(PowerPolicy::oracle())
-        .run()
+    let base =
+        SimulationBuilder::new(Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()))
+            .run_report()
+            .expect("scenario runs");
+    let dvfs = SimulationBuilder::new(Experiment::new(scenario.clone()))
+        .dvfs_baseline(power::DvfsModel::typical_2013())
+        .run_report()
+        .expect("analytic baseline runs");
+    let suspend = SimulationBuilder::new(
+        Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend()),
+    )
+    .run_report()
+    .expect("scenario runs");
+    let oracle = SimulationBuilder::new(Experiment::new(scenario).policy(PowerPolicy::oracle()))
+        .run_report()
         .expect("scenario runs");
 
     let rows: Vec<Vec<String>> = [&base, &dvfs, &suspend, &oracle]
@@ -244,10 +250,16 @@ pub fn exp_profile() -> String {
 
 /// Size-parameterized variant (used by tests at small scale).
 pub fn exp_profile_sized(hosts: usize, vms: usize, seed: u64) -> String {
-    let (report, profile) = Experiment::new(Scenario::datacenter(hosts, vms, seed))
-        .policy(PowerPolicy::reactive_suspend())
-        .run_profiled()
-        .expect("headline scenario runs");
+    let out = SimulationBuilder::new(
+        Experiment::new(Scenario::datacenter(hosts, vms, seed))
+            .policy(PowerPolicy::reactive_suspend()),
+    )
+    .profiling(true)
+    .build()
+    .and_then(|sim| sim.run())
+    .expect("headline scenario runs");
+    let report = out.report;
+    let profile = out.profile.expect("profiled run returns a profile");
     let peak_queue = match report.metrics.get("sim.queue.peak") {
         Some(obs::MetricValue::Gauge(v)) => *v as u64,
         _ => 0,
@@ -319,16 +331,20 @@ mod tests {
         assert!(t.contains("DVFS-only"));
         // Structural check via a direct rerun at the same size.
         let scenario = Scenario::datacenter(6, 36, 5);
-        let base = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::always_on())
-            .run()
-            .unwrap();
-        let dvfs =
-            Experiment::new(scenario.clone()).run_dvfs_baseline(&power::DvfsModel::typical_2013());
-        let suspend = Experiment::new(scenario)
-            .policy(PowerPolicy::reactive_suspend())
-            .run()
-            .unwrap();
+        let base = SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()),
+        )
+        .run_report()
+        .unwrap();
+        let dvfs = SimulationBuilder::new(Experiment::new(scenario.clone()))
+            .dvfs_baseline(power::DvfsModel::typical_2013())
+            .run_report()
+            .expect("analytic baseline runs");
+        let suspend = SimulationBuilder::new(
+            Experiment::new(scenario).policy(PowerPolicy::reactive_suspend()),
+        )
+        .run_report()
+        .unwrap();
         // DVFS saves something, consolidation saves much more: the idle
         // floor bounds what frequency scaling can reach.
         assert!(dvfs.energy_j < base.energy_j);

@@ -7,8 +7,11 @@
 //!
 //! Scale note: the headline experiments run at 64 hosts / 256 VMs —
 //! large enough for the fleet-level effects, small enough to regenerate
-//! in seconds. The scale-out sweep (F8) goes to 4096 hosts; base and PM
+//! in seconds. The scale-out sweep (F8) goes to 16384 hosts; base and PM
 //! runs at every size share one worker-pool batch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod charact;
 pub mod headline;

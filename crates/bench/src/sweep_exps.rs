@@ -8,7 +8,7 @@ use simcore::SimDuration;
 
 use crate::{HEADLINE_HOSTS, HEADLINE_VMS, SEED};
 use agile_core::{ManagerConfig, PackingPolicy};
-use dcsim::{Experiment, Scenario};
+use dcsim::{Experiment, Scenario, SimulationBuilder};
 use workload::presets;
 
 /// F6: energy proportionality — average cluster power vs. offered load,
@@ -97,7 +97,7 @@ pub fn exp_f7_sized(hosts: usize, vms: usize, seed: u64) -> String {
 
 /// F8: scale-out — savings and overheads vs. cluster size.
 pub fn exp_f8() -> String {
-    exp_f8_sized(&[8, 16, 32, 64, 128, 256, 512, 1024, 4096], SEED)
+    exp_f8_sized(&[8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384], SEED)
 }
 
 /// Size-parameterized variant. Base and PM runs at every size go through
@@ -274,14 +274,16 @@ pub fn exp_f14_sized(hosts: usize, vms: usize, seed: u64) -> String {
     let mut rows = Vec::new();
     for &frac in &churn_fracs {
         let scenario = Scenario::datacenter_churn(hosts, vms, frac, seed);
-        let base = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::always_on())
-            .run()
-            .expect("churn scenario runs");
-        let pm = Experiment::new(scenario)
-            .policy(PowerPolicy::reactive_suspend())
-            .run()
-            .expect("churn scenario runs");
+        let base = SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()),
+        )
+        .run_report()
+        .expect("churn scenario runs");
+        let pm = SimulationBuilder::new(
+            Experiment::new(scenario).policy(PowerPolicy::reactive_suspend()),
+        )
+        .run_report()
+        .expect("churn scenario runs");
         rows.push(vec![
             format!("{:.0}%", frac * 100.0),
             format!("{:.0}", base.energy_kwh()),
@@ -327,9 +329,8 @@ pub fn exp_f15_sized(racks: usize, blades: usize, vms: usize, seed: u64) -> Stri
         PowerPolicy::oracle(),
     ] {
         reports.push(
-            Experiment::new(scenario.clone())
-                .policy(policy)
-                .run()
+            SimulationBuilder::new(Experiment::new(scenario.clone()).policy(policy))
+                .run_report()
                 .expect("heterogeneous scenario runs"),
         );
     }
@@ -582,11 +583,13 @@ pub fn exp_f23_sized(hosts: usize, vms: usize, seed: u64) -> String {
         seed,
     );
     let mut rows = Vec::new();
-    let base = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::always_on())
-        .horizon(horizon)
-        .run()
-        .expect("weekly scenario runs");
+    let base = SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::always_on())
+            .horizon(horizon),
+    )
+    .run_report()
+    .expect("weekly scenario runs");
     let mut push = |label: &str, r: &dcsim::SimReport| {
         rows.push(vec![
             label.to_string(),
@@ -602,18 +605,22 @@ pub fn exp_f23_sized(hosts: usize, vms: usize, seed: u64) -> String {
         if prewake {
             config = config.with_prewake(SimDuration::from_mins(15));
         }
-        let r = Experiment::new(scenario.clone())
-            .manager_config(config)
-            .horizon(horizon)
-            .run()
-            .expect("weekly scenario runs");
+        let r = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .manager_config(config)
+                .horizon(horizon),
+        )
+        .run_report()
+        .expect("weekly scenario runs");
         push(label, &r);
     }
-    let oracle = Experiment::new(scenario)
-        .policy(PowerPolicy::oracle())
-        .horizon(horizon)
-        .run()
-        .expect("weekly scenario runs");
+    let oracle = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::oracle())
+            .horizon(horizon),
+    )
+    .run_report()
+    .expect("weekly scenario runs");
     push("Oracle", &oracle);
     format!(
         "One week (weekday/weekend pattern), {hosts} hosts / {vms} VMs:
@@ -641,11 +648,13 @@ pub fn exp_t24_sized(hosts: usize, vms: usize, seed: u64) -> String {
     ] {
         let config = ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms)
             .with_packing(packing);
-        let r = Experiment::new(scenario.clone())
-            .manager_config(config)
-            .control_interval(SimDuration::from_mins(1))
-            .run()
-            .expect("packing scenario runs");
+        let r = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .manager_config(config)
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()
+        .expect("packing scenario runs");
         rows.push(vec![
             label.to_string(),
             format!("{:.0}", r.energy_kwh()),

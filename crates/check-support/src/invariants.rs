@@ -237,7 +237,7 @@ pub fn check_energy_ordering(
 mod tests {
     use super::*;
     use agile_core::PowerPolicy;
-    use dcsim::Experiment;
+    use dcsim::{Experiment, SimulationBuilder};
     use simcore::SimDuration;
 
     #[test]
@@ -247,19 +247,26 @@ mod tests {
             .policy(PowerPolicy::reactive_suspend())
             .horizon(SimDuration::from_hours(2))
             .record_events();
-        let (report, cluster) = experiment.run_detailed().unwrap();
-        check_report(&scenario, &report).unwrap();
+        let out = SimulationBuilder::new(experiment)
+            .capture_cluster(true)
+            .build()
+            .and_then(|sim| sim.run())
+            .unwrap();
+        let cluster = out.cluster.expect("capture_cluster returns the cluster");
+        check_report(&scenario, &out.report).unwrap();
         check_cluster(&cluster).unwrap();
     }
 
     #[test]
     fn catalog_rejects_a_cooked_report() {
         let scenario = Scenario::small_test(3);
-        let mut report = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::always_on())
-            .horizon(SimDuration::from_hours(2))
-            .run()
-            .unwrap();
+        let mut report = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::always_on())
+                .horizon(SimDuration::from_hours(2)),
+        )
+        .run_report()
+        .unwrap();
         report.unserved_ratio = 1.5; // physically impossible
         let err = check_report(&scenario, &report).unwrap_err();
         assert!(err.contains("unserved_ratio"), "{err}");
@@ -269,11 +276,13 @@ mod tests {
     fn ladder_check_orders_the_reference_policies() {
         let scenario = Scenario::datacenter(4, 16, 11);
         let run = |p: PowerPolicy| {
-            Experiment::new(scenario.clone())
-                .policy(p)
-                .horizon(SimDuration::from_hours(24))
-                .run()
-                .unwrap()
+            SimulationBuilder::new(
+                Experiment::new(scenario.clone())
+                    .policy(p)
+                    .horizon(SimDuration::from_hours(24)),
+            )
+            .run_report()
+            .unwrap()
         };
         let oracle = run(PowerPolicy::oracle());
         let managed = run(PowerPolicy::reactive_suspend());

@@ -2,7 +2,7 @@
 //!
 //! Every generator decision reduces to a sequence of raw `u64` *choices*.
 //! A [`Source`] either draws fresh choices from a seeded
-//! [`RngStream`](simcore::RngStream) (recording each one), or replays a
+//! [`simcore::RngStream`] (recording each one), or replays a
 //! previously recorded sequence. Because generators are pure functions of
 //! their choice stream, *shrinking operates on the choices, not the
 //! values*: any edit to the sequence re-runs the generator and yields

@@ -5,7 +5,7 @@ use std::fs;
 
 use agile_core::PowerPolicy;
 use dcsim::report::{policy_comparison, series_csv, table};
-use dcsim::{Experiment, FailureModel, Scenario, SimReport};
+use dcsim::{Experiment, FailureModel, Scenario, SimReport, SimulationBuilder};
 use power::breakeven::{break_even_gap, net_energy_saved, LowPowerMode};
 use power::HostPowerProfile;
 use simcore::{SimDuration, SimTime};
@@ -32,6 +32,7 @@ COMMON FLAGS (run, compare):
   --interval-mins N    management interval           [default 5]
   --workload KIND      diurnal | spiky | churn       [default diurnal]
   --churn F            transient VM fraction (workload churn) [default 0.3]
+  --threads N          worker threads for the sharded tick engine [default 1]
 
 run-ONLY FLAGS:
   --policy P           always-on | suspend | off | oracle  [default suspend]
@@ -124,6 +125,7 @@ fn run(args: &[String]) -> CmdResult {
             "interval-mins",
             "workload",
             "churn",
+            "threads",
             "policy",
             "resume-fail",
             "json",
@@ -146,7 +148,15 @@ fn run(args: &[String]) -> CmdResult {
     if let Some(path) = flags.str_opt("trace-out") {
         experiment = experiment.trace_path(path);
     }
-    let report = experiment.run()?;
+    let threads = flags.usize_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError(
+            "`--threads` must be positive".to_string(),
+        )));
+    }
+    let report = SimulationBuilder::new(experiment)
+        .threads(threads)
+        .run_report()?;
     print_summary(&report);
     if flags.switch("metrics") {
         print!("{}", report.metrics);
@@ -229,10 +239,17 @@ fn compare(args: &[String]) -> CmdResult {
             "interval-mins",
             "workload",
             "churn",
+            "threads",
         ],
         &[],
     )?;
     let scenario = build_scenario(&flags)?;
+    let threads = flags.usize_or("threads", 1)?;
+    if threads == 0 {
+        return Err(Box::new(ArgError(
+            "`--threads` must be positive".to_string(),
+        )));
+    }
     let mut reports = Vec::new();
     for policy in [
         PowerPolicy::always_on(),
@@ -240,7 +257,12 @@ fn compare(args: &[String]) -> CmdResult {
         PowerPolicy::reactive_suspend(),
         PowerPolicy::oracle(),
     ] {
-        reports.push(configure(&flags, scenario.clone(), policy)?.run()?);
+        let experiment = configure(&flags, scenario.clone(), policy)?;
+        reports.push(
+            SimulationBuilder::new(experiment)
+                .threads(threads)
+                .run_report()?,
+        );
     }
     print!("{}", policy_comparison(&reports.iter().collect::<Vec<_>>()));
     Ok(())
@@ -420,6 +442,26 @@ mod tests {
             "run", "--hosts", "4", "--vms", "12", "--hours", "2", "--policy", "suspend",
         ]))
         .expect("small run succeeds");
+    }
+
+    #[test]
+    fn run_with_threads_flag() {
+        dispatch(&argv(&[
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--threads",
+            "2",
+        ]))
+        .expect("sharded run succeeds");
+        assert!(
+            dispatch(&argv(&["run", "--hosts", "4", "--threads", "0"])).is_err(),
+            "zero threads must be rejected"
+        );
     }
 
     #[test]

@@ -1,9 +1,71 @@
 //! Policy and configuration for the manager.
 
+use std::fmt;
+
 use power::breakeven::LowPowerMode;
 use simcore::SimDuration;
 
 use crate::{PredictorConfig, RecoveryConfig};
+
+/// A rejected configuration value, returned by the `try_with_*` builder
+/// variants on [`ManagerConfig`] and [`RecoveryConfig`] (the `with_*`
+/// builders panic with the same message instead).
+///
+/// Marked `#[non_exhaustive]`: more variants may appear as knobs grow
+/// validation, so downstream matches need a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A scalar knob is outside its allowed range.
+    OutOfRange {
+        /// Which knob was rejected.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The constraint it violated, e.g. `"outside (0,1]"`.
+        constraint: &'static str,
+    },
+    /// Two knobs must be strictly ordered and are not.
+    Ordering {
+        /// Name of the knob that must be smaller.
+        lower: &'static str,
+        /// Its value.
+        lower_value: f64,
+        /// Name of the knob that must be larger.
+        upper: &'static str,
+        /// Its value.
+        upper_value: f64,
+    },
+    /// A structural constraint failed (zero count, zero window, …).
+    Invalid {
+        /// What was wrong, as a complete sentence fragment.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                field,
+                value,
+                constraint,
+            } => write!(f, "{field} {value} {constraint}"),
+            ConfigError::Ordering {
+                lower,
+                lower_value,
+                upper,
+                upper_value,
+            } => write!(
+                f,
+                "{lower} {lower_value} must be below {upper} {upper_value}"
+            ),
+            ConfigError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How consolidation picks destinations when evacuating a host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,6 +166,7 @@ impl PowerPolicy {
 ///     .with_predictor(PredictorConfig::LastValue);
 /// assert_eq!(cfg.target_utilization(), 0.8);
 /// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManagerConfig {
     policy: PowerPolicy,
@@ -164,11 +227,31 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics unless `0 < t <= 1` and `t` stays below the overload
-    /// threshold.
-    pub fn with_target_utilization(mut self, t: f64) -> Self {
-        assert!(t > 0.0 && t <= 1.0, "target {t} outside (0,1]");
+    /// threshold. [`try_with_target_utilization`](Self::try_with_target_utilization)
+    /// is the non-panicking variant.
+    pub fn with_target_utilization(self, t: f64) -> Self {
+        match self.try_with_target_utilization(t) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_target_utilization`](Self::with_target_utilization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `0 < t <= 1`.
+    pub fn try_with_target_utilization(mut self, t: f64) -> Result<Self, ConfigError> {
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "target",
+                value: t,
+                constraint: "outside (0,1]",
+            });
+        }
         self.target_utilization = t;
-        self
+        Ok(self)
     }
 
     /// Sets the DRM overload trigger.
@@ -176,10 +259,31 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics unless `0 < t <= 1.5` and it stays above the target.
-    pub fn with_overload_threshold(mut self, t: f64) -> Self {
-        assert!(t > 0.0 && t <= 1.5, "overload threshold {t} out of range");
+    /// [`try_with_overload_threshold`](Self::try_with_overload_threshold)
+    /// is the non-panicking variant.
+    pub fn with_overload_threshold(self, t: f64) -> Self {
+        match self.try_with_overload_threshold(t) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_overload_threshold`](Self::with_overload_threshold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `0 < t <= 1.5`.
+    pub fn try_with_overload_threshold(mut self, t: f64) -> Result<Self, ConfigError> {
+        if !(t > 0.0 && t <= 1.5) {
+            return Err(ConfigError::OutOfRange {
+                field: "overload threshold",
+                value: t,
+                constraint: "out of range",
+            });
+        }
         self.overload_threshold = t;
-        self
+        Ok(self)
     }
 
     /// Sets the underload threshold below which a host becomes an
@@ -188,13 +292,31 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics unless `0 <= t < 1` and it stays below the target.
-    pub fn with_underload_threshold(mut self, t: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&t),
-            "underload threshold {t} out of range"
-        );
+    /// [`try_with_underload_threshold`](Self::try_with_underload_threshold)
+    /// is the non-panicking variant.
+    pub fn with_underload_threshold(self, t: f64) -> Self {
+        match self.try_with_underload_threshold(t) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_underload_threshold`](Self::with_underload_threshold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `0 <= t < 1`.
+    pub fn try_with_underload_threshold(mut self, t: f64) -> Result<Self, ConfigError> {
+        if !(0.0..1.0).contains(&t) {
+            return Err(ConfigError::OutOfRange {
+                field: "underload threshold",
+                value: t,
+                constraint: "out of range",
+            });
+        }
         self.underload_threshold = t;
-        self
+        Ok(self)
     }
 
     /// Sets the minimum in-service residency before a host may be drained.
@@ -221,10 +343,29 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics if `n` is zero.
-    pub fn with_max_migrations_per_round(mut self, n: usize) -> Self {
-        assert!(n > 0, "need at least one migration per round");
+    /// [`try_with_max_migrations_per_round`](Self::try_with_max_migrations_per_round)
+    /// is the non-panicking variant.
+    pub fn with_max_migrations_per_round(self, n: usize) -> Self {
+        match self.try_with_max_migrations_per_round(n) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_max_migrations_per_round`](Self::with_max_migrations_per_round).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `n` is zero.
+    pub fn try_with_max_migrations_per_round(mut self, n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::Invalid {
+                message: "need at least one migration per round",
+            });
+        }
         self.max_migrations_per_round = n;
-        self
+        Ok(self)
     }
 
     /// Caps hosts newly selected for draining per round.
@@ -232,10 +373,29 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics if `n` is zero.
-    pub fn with_max_drains_per_round(mut self, n: usize) -> Self {
-        assert!(n > 0, "need at least one drain per round");
+    /// [`try_with_max_drains_per_round`](Self::try_with_max_drains_per_round)
+    /// is the non-panicking variant.
+    pub fn with_max_drains_per_round(self, n: usize) -> Self {
+        match self.try_with_max_drains_per_round(n) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_max_drains_per_round`](Self::with_max_drains_per_round).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `n` is zero.
+    pub fn try_with_max_drains_per_round(mut self, n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::Invalid {
+                message: "need at least one drain per round",
+            });
+        }
         self.max_drains_per_round = n;
-        self
+        Ok(self)
     }
 
     /// Sets the utilization spread (hottest minus coldest host) beyond
@@ -244,10 +404,31 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics unless `0 < t <= 1`.
-    pub fn with_imbalance_threshold(mut self, t: f64) -> Self {
-        assert!(t > 0.0 && t <= 1.0, "imbalance threshold {t} out of range");
+    /// [`try_with_imbalance_threshold`](Self::try_with_imbalance_threshold)
+    /// is the non-panicking variant.
+    pub fn with_imbalance_threshold(self, t: f64) -> Self {
+        match self.try_with_imbalance_threshold(t) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of
+    /// [`with_imbalance_threshold`](Self::with_imbalance_threshold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `0 < t <= 1`.
+    pub fn try_with_imbalance_threshold(mut self, t: f64) -> Result<Self, ConfigError> {
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "imbalance threshold",
+                value: t,
+                constraint: "out of range",
+            });
+        }
         self.imbalance_threshold = t;
-        self
+        Ok(self)
     }
 
     /// Sets the drain dead-band: the surplus capacity (as a fraction of
@@ -258,10 +439,31 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics if `f` is negative or not finite.
-    pub fn with_drain_deadband(mut self, f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "bad dead-band {f}");
+    /// [`try_with_drain_deadband`](Self::try_with_drain_deadband) is the
+    /// non-panicking variant.
+    pub fn with_drain_deadband(self, f: f64) -> Self {
+        match self.try_with_drain_deadband(f) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("bad {e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_drain_deadband`](Self::with_drain_deadband).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] if `f` is negative or not
+    /// finite.
+    pub fn try_with_drain_deadband(mut self, f: f64) -> Result<Self, ConfigError> {
+        if !(f.is_finite() && f >= 0.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "dead-band",
+                value: f,
+                constraint: "must be finite and non-negative",
+            });
+        }
         self.drain_deadband_frac = f;
-        self
+        Ok(self)
     }
 
     /// Enables proactive pre-waking: capacity decisions also consider the
@@ -272,10 +474,28 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics if `lookahead` is zero.
-    pub fn with_prewake(mut self, lookahead: SimDuration) -> Self {
-        assert!(!lookahead.is_zero(), "lookahead must be non-zero");
+    /// [`try_with_prewake`](Self::try_with_prewake) is the non-panicking
+    /// variant.
+    pub fn with_prewake(self, lookahead: SimDuration) -> Self {
+        match self.try_with_prewake(lookahead) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_prewake`](Self::with_prewake).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `lookahead` is zero.
+    pub fn try_with_prewake(mut self, lookahead: SimDuration) -> Result<Self, ConfigError> {
+        if lookahead.is_zero() {
+            return Err(ConfigError::Invalid {
+                message: "lookahead must be non-zero",
+            });
+        }
         self.prewake_lookahead = Some(lookahead);
-        self
+        Ok(self)
     }
 
     /// Sets the consolidation packing policy.
@@ -311,19 +531,38 @@ impl ManagerConfig {
     /// # Panics
     ///
     /// Panics if the thresholds are not strictly ordered.
+    /// [`try_validate`](Self::try_validate) is the non-panicking variant.
     pub fn validate(&self) {
-        assert!(
-            self.underload_threshold < self.target_utilization,
-            "underload {} must be below target {}",
-            self.underload_threshold,
-            self.target_utilization
-        );
-        assert!(
-            self.target_utilization < self.overload_threshold,
-            "target {} must be below overload {}",
-            self.target_utilization,
-            self.overload_threshold
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`validate`](Self::validate): checks the
+    /// cross-field invariants (underload < target < overload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Ordering`] if the thresholds are not
+    /// strictly ordered.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.underload_threshold >= self.target_utilization {
+            return Err(ConfigError::Ordering {
+                lower: "underload",
+                lower_value: self.underload_threshold,
+                upper: "target",
+                upper_value: self.target_utilization,
+            });
+        }
+        if self.target_utilization >= self.overload_threshold {
+            return Err(ConfigError::Ordering {
+                lower: "target",
+                lower_value: self.target_utilization,
+                upper: "overload",
+                upper_value: self.overload_threshold,
+            });
+        }
+        Ok(())
     }
 
     /// The power policy.

@@ -6,8 +6,10 @@
 //! and mark them *draining*. Once a draining host is empty, the manager
 //! emits the power-down.
 
+use std::ops::Range;
+
 use cluster::{HostId, VmId};
-use simcore::SimTime;
+use simcore::{pool, SimTime};
 
 use crate::plan::PlanContext;
 use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy, RecoveryTracker};
@@ -16,7 +18,11 @@ use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy, Reco
 /// drain candidates while spare capacity allows.
 ///
 /// Mutates `ctx.draining` (the manager copies it back), appends migration
-/// actions, and decrements `budget`.
+/// actions, and decrements `budget`. `threads > 1` shards the candidate
+/// scoring scan across worker threads (deterministically — see
+/// [`pick_candidate`]); planning, evacuation, and the LIFO undo journal
+/// always stay serial.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_consolidation(
     ctx: &mut PlanContext,
     cfg: &ManagerConfig,
@@ -25,6 +31,7 @@ pub(crate) fn plan_consolidation(
     now: SimTime,
     actions: &mut Vec<ManagementAction>,
     budget: &mut usize,
+    threads: usize,
 ) {
     // Phase 1: keep draining hosts draining — evacuate what we can.
     for host in 0..ctx.num_hosts() {
@@ -41,7 +48,7 @@ pub(crate) fn plan_consolidation(
         if new_drains >= cfg.max_drains_per_round() || *budget == 0 {
             return;
         }
-        let Some(candidate) = pick_candidate(ctx, cfg, gate, recovery, now) else {
+        let Some(candidate) = pick_candidate(ctx, cfg, gate, recovery, now, threads) else {
             return;
         };
         // A candidate only commits if its *entire* evacuation fits the
@@ -73,12 +80,21 @@ pub(crate) fn plan_consolidation(
 }
 
 /// Picks the least-loaded drainable host, if the fleet can spare it.
+///
+/// With `threads > 1` the qualification scan is sharded: each worker
+/// finds its shard's first-wins minimum over a fixed contiguous index
+/// range, and the shard winners are merged here in ascending shard order
+/// with the same strict less-than rule. Because shard ranges are
+/// ascending and first-wins-within-shard plus first-wins-across-shards
+/// composes to first-wins-globally, the result is identical to the
+/// serial scan for any thread count.
 fn pick_candidate(
     ctx: &PlanContext,
     cfg: &ManagerConfig,
     gate: &HysteresisGate,
     recovery: &RecoveryTracker,
     now: SimTime,
+    threads: usize,
 ) -> Option<usize> {
     // One allocation-free pass for the capacity aggregates. The fold
     // seeds mirror the iterator versions this replaced (`Sum<f64>` starts
@@ -103,36 +119,64 @@ fn pick_candidate(
 
     // Least-loaded qualifying host; first wins on ties, matching
     // `Iterator::min_by` over ascending indices.
-    let mut best: Option<usize> = None;
-    for h in 0..ctx.num_hosts() {
-        let qualifies = ctx.operational[h]
-            && !ctx.draining[h]
-            && ctx.util(h) < cfg.underload_threshold()
-            && gate.may_power_down(HostId(h as u32), now)
-            // Quarantined hosts stay out of the park-candidate set:
-            // evacuating one would strand it on (its power-down is
-            // blocked) while paying the migration cost anyway.
-            && !recovery.is_quarantined(h)
-            // Removing this host must still leave enough capacity.
-            && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required;
-        if !qualifies {
-            continue;
-        }
-        best = match best {
-            Some(b)
-                if ctx
-                    .util(h)
-                    .partial_cmp(&ctx.util(b))
-                    .expect("utilization is finite")
-                    .is_lt() =>
-            {
-                Some(h)
+    let scan_range = |range: Range<usize>| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for h in range {
+            let qualifies = ctx.operational[h]
+                && !ctx.draining[h]
+                && ctx.util(h) < cfg.underload_threshold()
+                && gate.may_power_down(HostId(h as u32), now)
+                // Quarantined hosts stay out of the park-candidate set:
+                // evacuating one would strand it on (its power-down is
+                // blocked) while paying the migration cost anyway.
+                && !recovery.is_quarantined(h)
+                // Removing this host must still leave enough capacity.
+                && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required;
+            if !qualifies {
+                continue;
             }
-            Some(b) => Some(b),
-            None => Some(h),
-        };
+            best = match best {
+                Some(b)
+                    if ctx
+                        .util(h)
+                        .partial_cmp(&ctx.util(b))
+                        .expect("utilization is finite")
+                        .is_lt() =>
+                {
+                    Some(h)
+                }
+                Some(b) => Some(b),
+                None => Some(h),
+            };
+        }
+        best
+    };
+    let n = ctx.num_hosts();
+    if threads > 1 && n > 1 {
+        let ranges = pool::shard_ranges(n, threads);
+        let winners = pool::map_shards(threads, ranges, |_, r| scan_range(r));
+        // Merge in ascending shard order with the same strict less-than:
+        // an earlier shard's winner survives a tie, matching first-wins.
+        let mut best: Option<usize> = None;
+        for h in winners.into_iter().flatten() {
+            best = match best {
+                Some(b)
+                    if ctx
+                        .util(h)
+                        .partial_cmp(&ctx.util(b))
+                        .expect("utilization is finite")
+                        .is_lt() =>
+                {
+                    Some(h)
+                }
+                Some(b) => Some(b),
+                None => Some(h),
+            };
+        }
+        best
+    } else {
+        scan_range(0..n)
     }
-    best
 }
 
 /// Moves VMs off `host` with best-fit-decreasing packing. Returns whether
@@ -308,6 +352,7 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
             &mut budget,
+            1,
         );
         // Host 2 (util 0.5/8) is the prime candidate and must fully drain.
         assert!(ctx.draining[2]);
@@ -340,6 +385,7 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
             &mut budget,
+            1,
         );
         assert!(!ctx.draining[2], "quarantined host was drained");
         assert!(ctx.draining[1], "healthy underloaded host should drain");
@@ -361,6 +407,7 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
             &mut budget,
+            1,
         );
         assert!(actions.is_empty());
         assert!(!ctx.draining.iter().any(|&d| d));
@@ -386,6 +433,7 @@ mod tests {
             SimTime::from_secs(60),
             &mut actions,
             &mut budget,
+            1,
         );
         assert!(actions.is_empty());
     }
@@ -449,6 +497,7 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
             &mut budget,
+            1,
         );
         // Only one 24 GB VM fits on host 1 (24 free); evacuation is
         // partial, so everything must roll back.
@@ -474,6 +523,7 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
             &mut budget,
+            1,
         );
         assert!(ctx.movable_vms(0).is_empty());
         assert!(actions.len() >= 2);

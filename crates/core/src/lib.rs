@@ -51,7 +51,7 @@ mod prewake;
 mod recovery;
 
 pub use action::{ActionReason, ManagementAction};
-pub use config::{ManagerConfig, PackingPolicy, PowerPolicy};
+pub use config::{ConfigError, ManagerConfig, PackingPolicy, PowerPolicy};
 pub use decision::{DecisionActions, DecisionRecord, DecisionTrigger};
 pub use hysteresis::HysteresisGate;
 pub use manager::{RoundStats, VirtManager};

@@ -9,7 +9,7 @@ use crate::{
     DecisionRecord, DecisionTrigger, HysteresisGate, ManagementAction, ManagerConfig, PowerPolicy,
     Predictor, RecoveryTracker,
 };
-use simcore::SimDuration;
+use simcore::{pool, SimDuration};
 
 /// Cumulative counts of actions the manager has requested — the
 /// "management overhead" the paper compares against base DRM (experiment
@@ -87,6 +87,9 @@ pub struct VirtManager {
     /// allocates nothing.
     predicted_buf: Vec<f64>,
     ctx: PlanContext,
+    /// Worker threads for the sharded prediction fill and consolidation
+    /// candidate scan; `1` keeps planning fully serial.
+    threads: usize,
 }
 
 /// Capacity requirement vs. supply, assessed before any action.
@@ -131,7 +134,23 @@ impl VirtManager {
             stats: RoundStats::default(),
             predicted_buf: Vec::new(),
             ctx: PlanContext::default(),
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for the sharded planning paths (the
+    /// per-VM prediction fill and the consolidation candidate scan). `1`
+    /// (the default) keeps planning fully serial; any count produces
+    /// bit-identical plans — shard boundaries are fixed and every
+    /// floating-point reduction stays on the calling thread in index
+    /// order.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker-thread count for sharded planning.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configuration.
@@ -194,14 +213,41 @@ impl VirtManager {
         self.stats.failsafe_rounds = rstats.failsafe_rounds;
 
         // Feed the predictors and collect per-VM predictions into the
-        // reusable buffer.
-        self.predicted_buf.clear();
-        let predictors = &mut self.predictors;
-        self.predicted_buf
-            .extend(obs.vms.iter().zip(predictors).map(|(vm, p)| {
-                p.observe(vm.cpu_demand);
-                p.predict().clamp(0.0, vm.cpu_cap)
-            }));
+        // reusable buffer. Each prediction only touches its own predictor
+        // and output slot, so the sharded fill is trivially identical to
+        // the serial one.
+        let n_vms = obs.vms.len();
+        if self.threads > 1 && n_vms > 1 {
+            self.predicted_buf.clear();
+            self.predicted_buf.resize(n_vms, 0.0);
+            let ranges = pool::shard_ranges(n_vms, self.threads);
+            let mut pred_it = pool::split_mut(&mut self.predictors, &ranges).into_iter();
+            let mut out_it = pool::split_mut(&mut self.predicted_buf, &ranges).into_iter();
+            let shards: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    (
+                        &obs.vms[r.clone()],
+                        pred_it.next().expect("one chunk per range"),
+                        out_it.next().expect("one chunk per range"),
+                    )
+                })
+                .collect();
+            pool::for_each_shard(self.threads, shards, |_, (vms, preds, out)| {
+                for ((vm, p), o) in vms.iter().zip(preds.iter_mut()).zip(out.iter_mut()) {
+                    p.observe(vm.cpu_demand);
+                    *o = p.predict().clamp(0.0, vm.cpu_cap);
+                }
+            });
+        } else {
+            self.predicted_buf.clear();
+            let predictors = &mut self.predictors;
+            self.predicted_buf
+                .extend(obs.vms.iter().zip(predictors).map(|(vm, p)| {
+                    p.observe(vm.cpu_demand);
+                    p.predict().clamp(0.0, vm.cpu_cap)
+                }));
+        }
 
         // Feed the time-of-day profile (proactive pre-waking).
         if let Some(profile) = &mut self.profile {
@@ -280,6 +326,7 @@ impl VirtManager {
                 obs.now,
                 &mut actions,
                 &mut budget,
+                self.threads,
             );
         }
         mark(&mut reasons, actions.len(), ActionReason::Consolidation);

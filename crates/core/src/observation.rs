@@ -36,6 +36,25 @@ pub struct HostObservation {
     pub failed_transitions: u64,
 }
 
+impl Default for HostObservation {
+    /// A zero-capacity placeholder (`Off`, id 0) — the pre-fill value of
+    /// reusable observation buffers; the sharded observation fill
+    /// overwrites every slot before the manager sees it.
+    fn default() -> Self {
+        HostObservation {
+            id: HostId(0),
+            state: PowerState::Off,
+            pending: None,
+            cpu_capacity: 0.0,
+            mem_capacity: 0.0,
+            mem_committed: 0.0,
+            cpu_demand: 0.0,
+            evacuated: false,
+            failed_transitions: 0,
+        }
+    }
+}
+
 impl HostObservation {
     /// Free memory after commitments, GB.
     pub fn mem_free(&self) -> f64 {
@@ -84,6 +103,23 @@ pub struct VmObservation {
     pub migrating: bool,
     /// The VM's service class (the manager prefers disrupting batch VMs).
     pub service_class: ServiceClass,
+}
+
+impl Default for VmObservation {
+    /// An unplaced, idle placeholder (id 0) — the pre-fill value of
+    /// reusable observation buffers; the sharded observation fill
+    /// overwrites every slot before the manager sees it.
+    fn default() -> Self {
+        VmObservation {
+            id: VmId(0),
+            host: None,
+            cpu_demand: 0.0,
+            cpu_cap: 0.0,
+            mem_gb: 0.0,
+            migrating: false,
+            service_class: ServiceClass::default(),
+        }
+    }
 }
 
 /// A full snapshot handed to [`crate::VirtManager::plan`].

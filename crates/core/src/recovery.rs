@@ -32,7 +32,7 @@ use std::collections::VecDeque;
 
 use simcore::{SimDuration, SimTime};
 
-use crate::ClusterObservation;
+use crate::{ClusterObservation, ConfigError};
 
 /// Knobs of the failure-recovery policy.
 ///
@@ -48,6 +48,7 @@ use crate::ClusterObservation;
 ///     .with_probation(SimDuration::from_mins(30));
 /// assert_eq!(cfg.max_retries(), 2);
 /// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryConfig {
     max_retries: u32,
@@ -87,10 +88,28 @@ impl RecoveryConfig {
     /// # Panics
     ///
     /// Panics if `n` is zero.
-    pub fn with_max_retries(mut self, n: u32) -> Self {
-        assert!(n > 0, "need at least one retry before quarantine");
+    /// [`try_with_max_retries`](Self::try_with_max_retries) is the
+    /// non-panicking variant.
+    pub fn with_max_retries(self, n: u32) -> Self {
+        match self.try_with_max_retries(n) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_max_retries`](Self::with_max_retries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `n` is zero.
+    pub fn try_with_max_retries(mut self, n: u32) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::Invalid {
+                message: "need at least one retry before quarantine",
+            });
+        }
         self.max_retries = n;
-        self
+        Ok(self)
     }
 
     /// Sets the exponential-backoff base and cap.
@@ -98,12 +117,38 @@ impl RecoveryConfig {
     /// # Panics
     ///
     /// Panics if `base` is zero or `cap < base`.
-    pub fn with_backoff(mut self, base: SimDuration, cap: SimDuration) -> Self {
-        assert!(!base.is_zero(), "backoff base must be non-zero");
-        assert!(cap >= base, "backoff cap below base");
+    /// [`try_with_backoff`](Self::try_with_backoff) is the non-panicking
+    /// variant.
+    pub fn with_backoff(self, base: SimDuration, cap: SimDuration) -> Self {
+        match self.try_with_backoff(base, cap) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_backoff`](Self::with_backoff).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `base` is zero or `cap < base`.
+    pub fn try_with_backoff(
+        mut self,
+        base: SimDuration,
+        cap: SimDuration,
+    ) -> Result<Self, ConfigError> {
+        if base.is_zero() {
+            return Err(ConfigError::Invalid {
+                message: "backoff base must be non-zero",
+            });
+        }
+        if cap < base {
+            return Err(ConfigError::Invalid {
+                message: "backoff cap below base",
+            });
+        }
         self.backoff_base = base;
         self.backoff_cap = cap;
-        self
+        Ok(self)
     }
 
     /// Sets the health floor below which a host is quarantined and the
@@ -112,18 +157,38 @@ impl RecoveryConfig {
     /// # Panics
     ///
     /// Panics unless both lie in `(0, 1)`.
-    pub fn with_health(mut self, floor: f64, recovery: f64) -> Self {
-        assert!(
-            floor > 0.0 && floor < 1.0,
-            "health floor {floor} outside (0,1)"
-        );
-        assert!(
-            recovery > 0.0 && recovery < 1.0,
-            "health recovery {recovery} outside (0,1)"
-        );
+    /// [`try_with_health`](Self::try_with_health) is the non-panicking
+    /// variant.
+    pub fn with_health(self, floor: f64, recovery: f64) -> Self {
+        match self.try_with_health(floor, recovery) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_health`](Self::with_health).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless both lie in `(0, 1)`.
+    pub fn try_with_health(mut self, floor: f64, recovery: f64) -> Result<Self, ConfigError> {
+        if !(floor > 0.0 && floor < 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "health floor",
+                value: floor,
+                constraint: "outside (0,1)",
+            });
+        }
+        if !(recovery > 0.0 && recovery < 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "health recovery",
+                value: recovery,
+                constraint: "outside (0,1)",
+            });
+        }
         self.health_floor = floor;
         self.health_recovery = recovery;
-        self
+        Ok(self)
     }
 
     /// Sets the quarantine probation window.
@@ -131,10 +196,28 @@ impl RecoveryConfig {
     /// # Panics
     ///
     /// Panics if `d` is zero.
-    pub fn with_probation(mut self, d: SimDuration) -> Self {
-        assert!(!d.is_zero(), "probation must be non-zero");
+    /// [`try_with_probation`](Self::try_with_probation) is the
+    /// non-panicking variant.
+    pub fn with_probation(self, d: SimDuration) -> Self {
+        match self.try_with_probation(d) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_probation`](Self::with_probation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `d` is zero.
+    pub fn try_with_probation(mut self, d: SimDuration) -> Result<Self, ConfigError> {
+        if d.is_zero() {
+            return Err(ConfigError::Invalid {
+                message: "probation must be non-zero",
+            });
+        }
         self.probation = d;
-        self
+        Ok(self)
     }
 
     /// Sets the fleet fail-safe: trip after `trip` failures inside
@@ -143,12 +226,39 @@ impl RecoveryConfig {
     /// # Panics
     ///
     /// Panics if `window` is zero or `trip` is zero.
-    pub fn with_failsafe(mut self, window: SimDuration, trip: u32) -> Self {
-        assert!(!window.is_zero(), "fail-safe window must be non-zero");
-        assert!(trip > 0, "fail-safe trip threshold must be non-zero");
+    /// [`try_with_failsafe`](Self::try_with_failsafe) is the non-panicking
+    /// variant.
+    pub fn with_failsafe(self, window: SimDuration, trip: u32) -> Self {
+        match self.try_with_failsafe(window, trip) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`with_failsafe`](Self::with_failsafe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] if `window` is zero or `trip` is
+    /// zero.
+    pub fn try_with_failsafe(
+        mut self,
+        window: SimDuration,
+        trip: u32,
+    ) -> Result<Self, ConfigError> {
+        if window.is_zero() {
+            return Err(ConfigError::Invalid {
+                message: "fail-safe window must be non-zero",
+            });
+        }
+        if trip == 0 {
+            return Err(ConfigError::Invalid {
+                message: "fail-safe trip threshold must be non-zero",
+            });
+        }
         self.failsafe_window = window;
         self.failsafe_trip = trip;
-        self
+        Ok(self)
     }
 
     /// Consecutive failures before quarantine.

@@ -1,0 +1,404 @@
+//! The unified simulation entry point.
+//!
+//! [`SimulationBuilder`] is the one front door to every way this crate
+//! can evaluate an [`Experiment`]: the discrete-event engine (optionally
+//! sharded across worker threads, optionally profiled, optionally
+//! returning the final cluster), the analytic `Oracle` bound, and the
+//! analytic DVFS-only baseline. It replaces the four legacy entry points
+//! (`Experiment::run`, `run_detailed`, `run_profiled`,
+//! `run_dvfs_baseline`), which remain as thin deprecated shims for one
+//! release.
+//!
+//! The builder validates the whole configuration up front:
+//! [`SimulationBuilder::build`] returns [`SimError::InvalidConfig`]
+//! instead of panicking mid-run, so drivers can surface bad sweeps as
+//! errors.
+//!
+//! # Example
+//!
+//! ```
+//! use agile_core::PowerPolicy;
+//! use dcsim::{Experiment, Scenario, SimulationBuilder};
+//! use simcore::SimDuration;
+//!
+//! let experiment = Experiment::new(Scenario::small_test(7))
+//!     .policy(PowerPolicy::reactive_suspend())
+//!     .horizon(SimDuration::from_hours(2));
+//! let out = SimulationBuilder::new(experiment)
+//!     .threads(2) // bit-identical to the serial engine
+//!     .capture_cluster(true)
+//!     .build()?
+//!     .run()?;
+//! assert!(out.report.energy_kwh() > 0.0);
+//! assert!(out.cluster.is_some());
+//! # Ok::<(), dcsim::SimError>(())
+//! ```
+
+use cluster::Cluster;
+use obs::ProfileSummary;
+use power::DvfsModel;
+
+use crate::{Experiment, SimError, SimReport};
+
+/// Builder for a validated, ready-to-run [`Simulation`].
+///
+/// Wraps an [`Experiment`] (the *what*: scenario, policy, horizon,
+/// failure model, sinks) with execution options (the *how*: worker
+/// threads, profiling, cluster capture, analytic DVFS mode).
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    experiment: Experiment,
+    threads: usize,
+    profiling: bool,
+    capture_cluster: bool,
+    dvfs: Option<DvfsModel>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder around `experiment` with serial execution and no
+    /// extra outputs.
+    pub fn new(experiment: Experiment) -> Self {
+        SimulationBuilder {
+            experiment,
+            threads: 1,
+            profiling: false,
+            capture_cluster: false,
+            dvfs: None,
+        }
+    }
+
+    /// Sets the worker-thread count for the deterministic sharded tick
+    /// engine (default 1 — the original serial engine). Any count
+    /// produces a bit-identical [`SimReport`]; the count is honored
+    /// exactly, never capped by the machine's core count.
+    /// [`build`](Self::build) rejects `0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables wall-clock phase profiling; the profile comes back in
+    /// [`SimOutput::profile`], out-of-band of the bit-deterministic
+    /// report. Incompatible with the analytic (Oracle/DVFS) modes.
+    pub fn profiling(mut self, enable: bool) -> Self {
+        self.profiling = enable;
+        self
+    }
+
+    /// Returns the final [`Cluster`] in [`SimOutput::cluster`] for
+    /// per-host inspection. Incompatible with the analytic (Oracle/DVFS)
+    /// modes, which simulate no cluster.
+    pub fn capture_cluster(mut self, enable: bool) -> Self {
+        self.capture_cluster = enable;
+        self
+    }
+
+    /// Evaluates the analytic DVFS-only baseline instead of the event
+    /// loop: every host stays on and clocks down to the lowest
+    /// sufficient frequency. The experiment's policy is ignored.
+    pub fn dvfs_baseline(mut self, model: DvfsModel) -> Self {
+        self.dvfs = Some(model);
+        self
+    }
+
+    /// Builds and runs in one step, returning just the report — the
+    /// common case for sweeps that want neither the cluster nor the
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Self::build) and [`Simulation::run`].
+    pub fn run_report(self) -> Result<SimReport, SimError> {
+        Ok(self.build()?.run()?.report)
+    }
+
+    /// Validates the configuration and constructs the simulation
+    /// (including the initial VM placement for engine runs).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an inconsistent configuration
+    /// (zero threads, zero horizon, control interval longer than the
+    /// horizon, invalid manager thresholds, or cluster/profile capture
+    /// requested from an analytic mode);
+    /// [`SimError::InitialPlacement`] / [`SimError::TraceIo`] as for the
+    /// engine.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let invalid = |message: String| SimError::InvalidConfig { message };
+        if self.threads == 0 {
+            return Err(invalid("threads must be at least 1".to_string()));
+        }
+        let horizon = self.experiment.horizon_duration();
+        if horizon.as_secs_f64() <= 0.0 {
+            return Err(invalid("horizon must be non-zero".to_string()));
+        }
+        let interval = self.experiment.resolved_interval();
+        if interval.as_secs_f64() <= 0.0 {
+            return Err(invalid("control interval must be non-zero".to_string()));
+        }
+        if interval > horizon {
+            return Err(invalid(format!(
+                "control interval ({interval}) exceeds the horizon ({horizon})"
+            )));
+        }
+        self.experiment
+            .resolve_config()
+            .try_validate()
+            .map_err(|e| invalid(format!("manager config: {e}")))?;
+
+        let analytic = if self.dvfs.is_some() {
+            Some("the DVFS baseline")
+        } else if self.experiment.is_oracle() {
+            Some("the Oracle policy")
+        } else {
+            None
+        };
+        if let Some(mode) = analytic {
+            if self.capture_cluster {
+                return Err(invalid(format!("{mode} simulates no cluster to capture")));
+            }
+            if self.profiling {
+                return Err(invalid(format!("{mode} has no event loop to profile")));
+            }
+            let inner = match self.dvfs {
+                Some(model) => SimKind::Dvfs {
+                    experiment: self.experiment,
+                    model,
+                },
+                None => SimKind::Oracle {
+                    experiment: self.experiment,
+                },
+            };
+            return Ok(Simulation { inner });
+        }
+
+        let mut sim = self.experiment.build_sim()?;
+        sim.set_threads(self.threads);
+        if self.profiling {
+            sim.enable_profiling();
+        }
+        Ok(Simulation {
+            inner: SimKind::Engine {
+                sim: Box::new(sim),
+                profiling: self.profiling,
+                capture_cluster: self.capture_cluster,
+            },
+        })
+    }
+}
+
+/// A validated simulation, ready to [`run`](Self::run) exactly once.
+#[derive(Debug)]
+pub struct Simulation {
+    inner: SimKind,
+}
+
+/// How the run is evaluated: the discrete-event engine or one of the two
+/// analytic models.
+#[derive(Debug)]
+enum SimKind {
+    Engine {
+        /// Boxed: the engine is much larger than the analytic variants.
+        sim: Box<crate::DatacenterSim>,
+        profiling: bool,
+        capture_cluster: bool,
+    },
+    Oracle {
+        experiment: Experiment,
+    },
+    Dvfs {
+        experiment: Experiment,
+        model: DvfsModel,
+    },
+}
+
+impl Simulation {
+    /// Runs to the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable engine errors (see [`SimError`]); the
+    /// analytic modes cannot fail.
+    pub fn run(self) -> Result<SimOutput, SimError> {
+        match self.inner {
+            SimKind::Engine {
+                sim,
+                profiling,
+                capture_cluster,
+            } => {
+                let (report, cluster, profile) = sim.run_inner()?;
+                Ok(SimOutput {
+                    report,
+                    cluster: capture_cluster.then_some(cluster),
+                    profile: profiling.then_some(profile),
+                })
+            }
+            SimKind::Oracle { experiment } => Ok(SimOutput {
+                report: experiment.run_oracle(),
+                cluster: None,
+                profile: None,
+            }),
+            SimKind::Dvfs { experiment, model } => Ok(SimOutput {
+                report: experiment.dvfs_report(&model),
+                cluster: None,
+                profile: None,
+            }),
+        }
+    }
+}
+
+/// Everything a run can produce. The report is always present; the
+/// cluster and profile appear only when requested on the builder.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct SimOutput {
+    /// The bit-deterministic run report.
+    pub report: SimReport,
+    /// The final cluster, when built with
+    /// [`SimulationBuilder::capture_cluster`].
+    pub cluster: Option<Cluster>,
+    /// The wall-clock phase profile, when built with
+    /// [`SimulationBuilder::profiling`].
+    pub profile: Option<ProfileSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use agile_core::{ManagerConfig, PowerPolicy};
+    use simcore::SimDuration;
+
+    fn experiment(seed: u64) -> Experiment {
+        Experiment::new(Scenario::small_test(seed))
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(2))
+    }
+
+    #[test]
+    fn default_build_runs_serial_engine() {
+        let out = SimulationBuilder::new(experiment(1))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.report.energy_j > 0.0);
+        assert!(out.cluster.is_none());
+        assert!(out.profile.is_none());
+    }
+
+    #[test]
+    fn capture_and_profile_are_opt_in() {
+        let out = SimulationBuilder::new(experiment(2))
+            .capture_cluster(true)
+            .profiling(true)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let cluster = out.cluster.expect("requested cluster");
+        assert!(cluster.placement().check_invariants());
+        assert!(out.profile.is_some());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let err = SimulationBuilder::new(experiment(3))
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn interval_beyond_horizon_is_rejected() {
+        let e = experiment(4).control_interval(SimDuration::from_hours(3));
+        let err = SimulationBuilder::new(e).build().unwrap_err();
+        assert!(err.to_string().contains("exceeds the horizon"));
+    }
+
+    #[test]
+    fn invalid_manager_config_is_an_error_not_a_panic() {
+        // The default underload threshold (0.65) sits above this target:
+        // the legacy entry points panicked inside `VirtManager::new`; the
+        // builder reports the inconsistency as a value.
+        let cfg = ManagerConfig::new(PowerPolicy::reactive_suspend()).with_target_utilization(0.6);
+        let e = Experiment::new(Scenario::small_test(5)).manager_config(cfg);
+        let err = SimulationBuilder::new(e).build().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("must be below"), "{err}");
+    }
+
+    #[test]
+    fn oracle_rejects_cluster_capture() {
+        let e = Experiment::new(Scenario::small_test(6)).policy(PowerPolicy::oracle());
+        let err = SimulationBuilder::new(e.clone())
+            .capture_cluster(true)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no cluster"));
+        let err = SimulationBuilder::new(e)
+            .profiling(true)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no event loop"));
+    }
+
+    #[test]
+    fn oracle_runs_analytically() {
+        let e = Experiment::new(Scenario::small_test(7))
+            .policy(PowerPolicy::oracle())
+            .horizon(SimDuration::from_hours(2));
+        let out = SimulationBuilder::new(e).build().unwrap().run().unwrap();
+        assert_eq!(out.report.policy, "Oracle");
+        assert!(out.cluster.is_none());
+    }
+
+    #[test]
+    fn dvfs_baseline_ignores_policy() {
+        let e = experiment(8);
+        let out = SimulationBuilder::new(e)
+            .dvfs_baseline(power::DvfsModel::typical_2013())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(out.report.policy, "DVFS-only");
+        assert_eq!(out.report.violation_fraction, 0.0);
+    }
+
+    #[test]
+    fn threaded_build_matches_serial_report() {
+        let serial = SimulationBuilder::new(experiment(9))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let sharded = SimulationBuilder::new(experiment(9))
+            .threads(4)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(serial.report, sharded.report);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_builder() {
+        let e = experiment(10);
+        let via_shim = e.run().unwrap();
+        let via_builder = SimulationBuilder::new(e.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(via_shim, via_builder.report);
+        let (detailed, cluster) = e.run_detailed().unwrap();
+        assert_eq!(detailed, via_shim);
+        assert!(cluster.placement().check_invariants());
+        let dvfs = e.run_dvfs_baseline(&power::DvfsModel::typical_2013());
+        assert_eq!(dvfs.policy, "DVFS-only");
+    }
+}

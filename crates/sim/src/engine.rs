@@ -5,7 +5,7 @@ use agile_core::{
 };
 use cluster::{AccountingMode, Cluster, ClusterError, DemandOutcome, HostId, VmId};
 use power::PowerState;
-use simcore::{EventQueue, SimDuration, SimTime};
+use simcore::{pool, EventQueue, SimDuration, SimTime};
 use workload::DemandTrace;
 
 use crate::events::{EventKind, EventRecord};
@@ -80,6 +80,11 @@ pub struct DatacenterSim {
     ph_execute: PhaseId,
     ph_dispatch: PhaseId,
     peak_queue_len: usize,
+    /// Worker-thread count for the sharded per-tick paths (demand fill,
+    /// demand serve, power scan, observation fill, candidate scoring).
+    /// `1` keeps every computation on the calling thread via the original
+    /// serial code; any count yields bit-identical reports.
+    threads: usize,
     /// Reusable per-tick buffers: the demand vector, the demand outcome,
     /// and the manager observation. Steady-state ticks allocate nothing
     /// once these reach fleet size.
@@ -180,6 +185,7 @@ impl DatacenterSim {
             ph_execute,
             ph_dispatch,
             peak_queue_len: 0,
+            threads: 1,
             demand_buf: Vec::new(),
             outcome_buf: DemandOutcome::default(),
             obs_buf: ClusterObservation::default(),
@@ -236,6 +242,28 @@ impl DatacenterSim {
         self.failures = failures;
     }
 
+    /// Sets the worker-thread count for the deterministic sharded tick
+    /// engine and forwards it to the cluster's demand/power paths and the
+    /// manager's prediction/consolidation scoring. `1` (the default) is
+    /// the original serial engine; any count produces a bit-identical
+    /// [`SimReport`], because shard boundaries are a pure function of the
+    /// fleet size and every floating-point reduction stays on the calling
+    /// thread in index order. The count is honored exactly — it is never
+    /// capped by the machine's core count — so determinism tests can
+    /// exercise the sharded paths anywhere.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.cluster.set_threads(self.threads);
+        if let Some(m) = &mut self.manager {
+            m.set_threads(self.threads);
+        }
+    }
+
+    /// The worker-thread count (see [`set_threads`](Self::set_threads)).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Enables per-host power traces (memory-heavy; off by default).
     pub fn enable_power_traces(&mut self) {
         self.cluster.enable_power_traces();
@@ -253,8 +281,12 @@ impl DatacenterSim {
     ///
     /// Propagates unrecoverable cluster errors (these indicate engine
     /// bugs; recoverable action rejections are counted in the report).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder` (`agilepm::SimulationBuilder::new(experiment).build()?.run()`)"
+    )]
     pub fn run(self) -> Result<SimReport, SimError> {
-        self.run_detailed().map(|(report, _)| report)
+        self.run_inner().map(|(report, _, _)| report)
     }
 
     /// Runs to the horizon and returns the report plus the final cluster
@@ -262,7 +294,11 @@ impl DatacenterSim {
     ///
     /// # Errors
     ///
-    /// See [`run`](Self::run).
+    /// Same as [`run`](Self::run): unrecoverable cluster errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).capture_cluster(true)` and read `SimOutput::cluster`"
+    )]
     pub fn run_detailed(self) -> Result<(SimReport, Cluster), SimError> {
         self.run_inner()
             .map(|(report, cluster, _)| (report, cluster))
@@ -276,13 +312,26 @@ impl DatacenterSim {
     ///
     /// # Errors
     ///
-    /// See [`run`](Self::run).
+    /// Same as [`run`](Self::run): unrecoverable cluster errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).profiling(true)` and read `SimOutput::profile`"
+    )]
     pub fn run_profiled(self) -> Result<(SimReport, ProfileSummary), SimError> {
         self.run_inner()
             .map(|(report, _, profile)| (report, profile))
     }
 
-    fn run_inner(mut self) -> Result<(SimReport, Cluster, ProfileSummary), SimError> {
+    /// Runs to the horizon and returns every output the engine produces:
+    /// the bit-deterministic report, the final cluster, and the wall-clock
+    /// phase profile. This is the single execution path behind
+    /// [`crate::SimulationBuilder`] (and the deprecated `run*` shims).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable cluster errors (these indicate engine
+    /// bugs; recoverable action rejections are counted in the report).
+    pub(crate) fn run_inner(mut self) -> Result<(SimReport, Cluster, ProfileSummary), SimError> {
         let end = SimTime::ZERO + self.horizon;
         self.generate_rack_bursts(end);
         while let Some(t) = self.queue.peek_time() {
@@ -539,21 +588,48 @@ impl DatacenterSim {
         // 1. Demand update, through the reusable tick buffers.
         let traces = &self.traces;
         let lifetimes = &self.lifetimes;
-        self.demand_buf.clear();
-        self.demand_buf
-            .extend(
-                traces
-                    .iter()
-                    .zip(&self.vm_caps)
-                    .enumerate()
-                    .map(|(i, (trace, cap))| {
-                        if lifetimes[i].is_active(now) {
-                            trace.at(now) * cap
-                        } else {
-                            0.0
-                        }
-                    }),
-            );
+        let n_vms = traces.len();
+        if self.threads > 1 && n_vms > 1 {
+            // Sharded fill: each worker writes its own contiguous span of
+            // the demand vector; every element is computed by the same
+            // expression as the serial path, so the result is
+            // bit-identical.
+            self.demand_buf.clear();
+            self.demand_buf.resize(n_vms, 0.0);
+            let ranges = pool::shard_ranges(n_vms, self.threads);
+            let vm_caps = &self.vm_caps;
+            let shards: Vec<_> = pool::split_mut(&mut self.demand_buf, &ranges)
+                .into_iter()
+                .zip(ranges.iter())
+                .map(|(out, r)| (out, r.start))
+                .collect();
+            pool::for_each_shard(self.threads, shards, |_, (out, base)| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let i = base + k;
+                    *slot = if lifetimes[i].is_active(now) {
+                        traces[i].at(now) * vm_caps[i]
+                    } else {
+                        0.0
+                    };
+                }
+            });
+        } else {
+            self.demand_buf.clear();
+            self.demand_buf
+                .extend(
+                    traces
+                        .iter()
+                        .zip(&self.vm_caps)
+                        .enumerate()
+                        .map(|(i, (trace, cap))| {
+                            if lifetimes[i].is_active(now) {
+                                trace.at(now) * cap
+                            } else {
+                                0.0
+                            }
+                        }),
+                );
+        }
         self.cluster
             .apply_demand_into(now, &self.demand_buf, &mut self.outcome_buf);
         self.collector
@@ -671,8 +747,19 @@ impl DatacenterSim {
     /// Refills the reusable observation buffer from the cluster and the
     /// tick's demand outcome — the zero-alloc replacement for collecting
     /// fresh host/VM vectors every round.
+    ///
+    /// With `threads > 1` the fill is sharded: workers overwrite disjoint
+    /// contiguous spans of the host and VM observation vectors through a
+    /// [`cluster::ClusterShardView`] (the `Cluster` itself is not `Sync`).
+    /// Every slot is computed by the same per-element expressions as the
+    /// serial path, and no cross-element reduction happens here, so the
+    /// observation — and hence the whole run — is bit-identical.
     fn fill_observation(&self, now: SimTime, obs: &mut ClusterObservation) {
         obs.now = now;
+        if self.threads > 1 && (self.cluster.num_hosts() > 1 || self.cluster.num_vms() > 1) {
+            self.fill_observation_sharded(now, obs);
+            return;
+        }
         obs.hosts.clear();
         obs.hosts.extend(self.cluster.hosts().iter().map(|h| {
             let i = h.id().index();
@@ -707,6 +794,75 @@ impl DatacenterSim {
                 service_class: spec.service_class(),
             }
         }));
+    }
+
+    /// The sharded body of [`fill_observation`](Self::fill_observation).
+    fn fill_observation_sharded(&self, now: SimTime, obs: &mut ClusterObservation) {
+        let view = self.cluster.shard_view();
+        let host_demand = &self.outcome_buf.host_demand_cores;
+
+        let n_hosts = self.cluster.num_hosts();
+        obs.hosts.clear();
+        obs.hosts.resize_with(n_hosts, HostObservation::default);
+        let ranges = pool::shard_ranges(n_hosts, self.threads);
+        let shards: Vec<_> = pool::split_mut(&mut obs.hosts, &ranges)
+            .into_iter()
+            .zip(ranges.iter())
+            .map(|(out, r)| (out, r.start))
+            .collect();
+        pool::for_each_shard(self.threads, shards, |_, (out, base)| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                let h = &view.hosts()[base + k];
+                let i = h.id().index();
+                *slot = HostObservation {
+                    id: h.id(),
+                    state: h.power_state(),
+                    pending: h.power().pending().map(|(kind, _)| kind),
+                    cpu_capacity: h.capacity().cpu_cores,
+                    mem_capacity: h.capacity().mem_gb,
+                    mem_committed: view.mem_committed_gb(h.id()),
+                    cpu_demand: host_demand[i],
+                    evacuated: view.is_evacuated(h.id()),
+                    failed_transitions: h.power().failed_transitions(),
+                };
+            }
+        });
+
+        let n_vms = self.cluster.num_vms();
+        obs.vms.clear();
+        obs.vms.resize_with(n_vms, VmObservation::default);
+        let ranges = pool::shard_ranges(n_vms, self.threads);
+        // The closure must not capture `self` — the cluster's lazy caches
+        // make `DatacenterSim` non-`Sync` — so borrow the plain fields.
+        let lifetimes = &self.lifetimes;
+        let traces = &self.traces;
+        let vm_caps = &self.vm_caps;
+        let shards: Vec<_> = pool::split_mut(&mut obs.vms, &ranges)
+            .into_iter()
+            .zip(ranges.iter())
+            .map(|(out, r)| (out, r.start))
+            .collect();
+        pool::for_each_shard(self.threads, shards, |_, (out, base)| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                let i = base + k;
+                let id = VmId(i as u32);
+                let spec = &view.vm_specs()[i];
+                let demand = if lifetimes[i].is_active(now) {
+                    traces[i].at(now) * vm_caps[i]
+                } else {
+                    0.0
+                };
+                *slot = VmObservation {
+                    id,
+                    host: view.host_of(id),
+                    cpu_demand: demand,
+                    cpu_cap: spec.cpu_cap_cores(),
+                    mem_gb: spec.mem_gb(),
+                    migrating: view.is_migrating(id),
+                    service_class: spec.service_class(),
+                };
+            }
+        });
     }
 }
 
@@ -760,7 +916,7 @@ mod tests {
         let s = Scenario::small_test(1);
         let sim =
             DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(2)).unwrap();
-        let report = sim.run().unwrap();
+        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
         assert!(report.energy_j > 0.0);
         assert_eq!(report.policy, "Unmanaged");
         assert_eq!(report.migrations, 0);
@@ -773,7 +929,8 @@ mod tests {
         let s = Scenario::small_test(2);
         let unmanaged = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(4))
             .unwrap()
-            .run()
+            .run_inner()
+            .map(|(r, _, _)| r)
             .unwrap();
         let managed = DatacenterSim::new(
             &s,
@@ -782,7 +939,8 @@ mod tests {
             SimDuration::from_hours(4),
         )
         .unwrap()
-        .run()
+        .run_inner()
+        .map(|(r, _, _)| r)
         .unwrap();
         // Base DRM may migrate a little, but energy should be within a few
         // percent of the unmanaged cluster (all hosts stay on).
@@ -802,7 +960,8 @@ mod tests {
             horizon,
         )
         .unwrap()
-        .run()
+        .run_inner()
+        .map(|(r, _, _)| r)
         .unwrap();
         let pm = DatacenterSim::new(
             &s,
@@ -811,7 +970,8 @@ mod tests {
             horizon,
         )
         .unwrap()
-        .run()
+        .run_inner()
+        .map(|(r, _, _)| r)
         .unwrap();
         assert!(
             pm.savings_vs(&base) > 0.15,
@@ -869,7 +1029,8 @@ mod tests {
             SimDuration::from_hours(24),
         )
         .unwrap()
-        .run_detailed()
+        .run_inner()
+        .map(|(r, c, _)| (r, c))
         .unwrap();
         assert!(report.energy_j > 0.0);
         // Departed VMs must not still be placed at the end.
@@ -901,7 +1062,7 @@ mod tests {
         )
         .unwrap();
         sim.enable_event_log();
-        let report = sim.run().unwrap();
+        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
         assert!(!report.events.is_empty());
         // Every started migration has a completion, in time order.
         let starts = report
@@ -924,7 +1085,8 @@ mod tests {
             SimDuration::from_hours(6),
         )
         .unwrap()
-        .run()
+        .run_inner()
+        .map(|(r, _, _)| r)
         .unwrap();
         assert!(plain.events.is_empty());
     }
@@ -960,7 +1122,7 @@ mod tests {
         let s = Scenario::new("full-house", hosts, fleet, SimDuration::from_mins(5), 1);
         let mut sim = DatacenterSim::new(&s, None, SimDuration::from_mins(5), horizon).unwrap();
         sim.enable_event_log();
-        let report = sim.run().unwrap();
+        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
         // The silent-drop bug: previously this arrival vanished without a
         // trace. Now it is a counted, logged rejection.
         assert_eq!(report.rejected_admissions, 1);
@@ -985,7 +1147,7 @@ mod tests {
             .unwrap();
             sim.set_failure_model(FailureModel::none().with_migration_failures(p));
             sim.enable_event_log();
-            sim.run_detailed().unwrap()
+            sim.run_inner().map(|(r, c, _)| (r, c)).unwrap()
         };
         let (report, cluster) = mk(0.3);
         assert!(
@@ -1017,7 +1179,7 @@ mod tests {
         .unwrap();
         sim.set_failure_model(FailureModel::none().with_hangs(0.4, 8.0));
         sim.enable_event_log();
-        let report = sim.run().unwrap();
+        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
         assert!(report.hung_transitions > 0, "p=0.4 must hang something");
         let stuck = report
             .events
@@ -1052,7 +1214,7 @@ mod tests {
             SimDuration::from_mins(30),
         ));
         sim.enable_event_log();
-        let report = sim.run().unwrap();
+        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
         assert!(
             report.transition_failures > 0,
             "a day of 5%-per-epoch rack bursts must catch some transitions"
@@ -1083,7 +1245,7 @@ mod tests {
                     .with_rack_bursts(3, 0.02, SimDuration::from_mins(20)),
             );
             sim.enable_event_log();
-            sim.run().unwrap()
+            sim.run_inner().map(|(r, _, _)| r).unwrap()
         };
         let a = run();
         let b = run();
@@ -1105,7 +1267,8 @@ mod tests {
                 SimDuration::from_hours(6),
             )
             .unwrap()
-            .run()
+            .run_inner()
+            .map(|(r, _, _)| r)
             .unwrap()
         };
         let a = run();

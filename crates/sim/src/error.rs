@@ -25,6 +25,12 @@ pub enum SimError {
         /// The OS error text (the `io::Error` itself is not `Clone`).
         message: String,
     },
+    /// The simulation was configured inconsistently — rejected by
+    /// [`crate::SimulationBuilder::build`] before anything ran.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +42,9 @@ impl fmt::Display for SimError {
             SimError::Cluster(e) => write!(f, "cluster error during simulation: {e}"),
             SimError::TraceIo { path, message } => {
                 write!(f, "cannot open trace output {path}: {message}")
+            }
+            SimError::InvalidConfig { message } => {
+                write!(f, "invalid simulation configuration: {message}")
             }
         }
     }

@@ -24,6 +24,8 @@
 
 use simcore::SimDuration;
 
+use crate::SimError;
+
 /// Failure-injection knobs: per-transition probabilities plus hang and
 /// correlated-burst parameters.
 ///
@@ -57,11 +59,20 @@ pub struct FailureModel {
     rack_burst_duration: SimDuration,
 }
 
+fn check_prob(p: f64) -> Result<(), SimError> {
+    if p.is_finite() && (0.0..1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidConfig {
+            message: format!("failure probability {p} outside [0, 1)"),
+        })
+    }
+}
+
 fn assert_prob(p: f64) {
-    assert!(
-        p.is_finite() && (0.0..1.0).contains(&p),
-        "failure probability {p} outside [0, 1)"
-    );
+    if let Err(e) = check_prob(p) {
+        panic!("{e}");
+    }
 }
 
 impl FailureModel {
@@ -96,6 +107,23 @@ impl FailureModel {
         }
     }
 
+    /// Fallible [`new`](FailureModel::new): the same validation, but an
+    /// out-of-range probability comes back as
+    /// [`SimError::InvalidConfig`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if either probability is outside `[0, 1)`.
+    pub fn try_new(resume_failure_prob: f64, boot_failure_prob: f64) -> Result<Self, SimError> {
+        check_prob(resume_failure_prob)?;
+        check_prob(boot_failure_prob)?;
+        Ok(FailureModel {
+            resume_failure_prob,
+            boot_failure_prob,
+            ..FailureModel::none()
+        })
+    }
+
     /// Adds per-attempt migration aborts: each live migration fails at
     /// its scheduled completion with probability `prob`, leaving the VM
     /// on its source host.
@@ -109,6 +137,18 @@ impl FailureModel {
         self
     }
 
+    /// Fallible
+    /// [`with_migration_failures`](FailureModel::with_migration_failures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `prob` is outside `[0, 1)`.
+    pub fn try_with_migration_failures(mut self, prob: f64) -> Result<Self, SimError> {
+        check_prob(prob)?;
+        self.migration_failure_prob = prob;
+        Ok(self)
+    }
+
     /// Adds transition hangs: each power transition hangs with
     /// probability `prob`, stretching to `factor`× its nominal latency
     /// before failing.
@@ -116,15 +156,29 @@ impl FailureModel {
     /// # Panics
     ///
     /// Panics if `prob` is outside `[0, 1)` or `factor < 1`.
-    pub fn with_hangs(mut self, prob: f64, factor: f64) -> Self {
-        assert_prob(prob);
-        assert!(
-            factor.is_finite() && factor >= 1.0,
-            "hang factor {factor} must be >= 1"
-        );
+    pub fn with_hangs(self, prob: f64, factor: f64) -> Self {
+        match self.try_with_hangs(prob, factor) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`with_hangs`](FailureModel::with_hangs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `prob` is outside `[0, 1)`
+    /// or `factor < 1`.
+    pub fn try_with_hangs(mut self, prob: f64, factor: f64) -> Result<Self, SimError> {
+        check_prob(prob)?;
+        if !(factor.is_finite() && factor >= 1.0) {
+            return Err(SimError::InvalidConfig {
+                message: format!("hang factor {factor} must be >= 1"),
+            });
+        }
         self.hang_prob = prob;
         self.hang_factor = factor;
-        self
+        Ok(self)
     }
 
     /// Adds correlated rack outage bursts: hosts are grouped into racks
@@ -137,17 +191,40 @@ impl FailureModel {
     ///
     /// Panics if `rack_size == 0`, `prob` is outside `[0, 1)`, or
     /// `duration` is zero while `prob > 0`.
-    pub fn with_rack_bursts(mut self, rack_size: usize, prob: f64, duration: SimDuration) -> Self {
-        assert!(rack_size > 0, "rack size must be positive");
-        assert_prob(prob);
-        assert!(
-            prob == 0.0 || duration > SimDuration::ZERO,
-            "rack burst duration must be positive"
-        );
+    pub fn with_rack_bursts(self, rack_size: usize, prob: f64, duration: SimDuration) -> Self {
+        match self.try_with_rack_bursts(rack_size, prob, duration) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`with_rack_bursts`](FailureModel::with_rack_bursts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `rack_size == 0`, `prob`
+    /// is outside `[0, 1)`, or `duration` is zero while `prob > 0`.
+    pub fn try_with_rack_bursts(
+        mut self,
+        rack_size: usize,
+        prob: f64,
+        duration: SimDuration,
+    ) -> Result<Self, SimError> {
+        if rack_size == 0 {
+            return Err(SimError::InvalidConfig {
+                message: "rack size must be positive".to_string(),
+            });
+        }
+        check_prob(prob)?;
+        if prob > 0.0 && duration == SimDuration::ZERO {
+            return Err(SimError::InvalidConfig {
+                message: "rack burst duration must be positive".to_string(),
+            });
+        }
         self.rack_size = rack_size;
         self.rack_burst_prob = prob;
         self.rack_burst_duration = duration;
-        self
+        Ok(self)
     }
 
     /// Probability one resume attempt fails.
@@ -249,6 +326,30 @@ mod tests {
         let m = FailureModel::none().with_rack_bursts(8, 0.0, SimDuration::ZERO);
         assert_eq!(m.rack_size(), 0);
         assert!(!m.is_active());
+    }
+
+    #[test]
+    fn try_variants_mirror_the_panicking_constructors() {
+        assert_eq!(
+            FailureModel::try_new(0.1, 0.02).unwrap(),
+            FailureModel::new(0.1, 0.02)
+        );
+        let err = FailureModel::try_new(1.0, 0.0).unwrap_err();
+        assert!(format!("{err}").contains("outside [0, 1)"), "{err}");
+        assert!(FailureModel::none()
+            .try_with_migration_failures(-0.1)
+            .is_err());
+        assert!(FailureModel::none().try_with_hangs(0.1, 0.5).is_err());
+        assert!(FailureModel::none()
+            .try_with_rack_bursts(0, 0.1, SimDuration::from_secs(60))
+            .is_err());
+        assert!(FailureModel::none()
+            .try_with_rack_bursts(4, 0.1, SimDuration::ZERO)
+            .is_err());
+        let ok = FailureModel::none()
+            .try_with_rack_bursts(8, 0.01, SimDuration::from_secs(600))
+            .unwrap();
+        assert_eq!(ok.rack_size(), 8);
     }
 
     #[test]

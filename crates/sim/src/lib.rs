@@ -9,8 +9,10 @@
 //! power-action rates, power-over-time traces).
 //!
 //! * [`Scenario`] — a reproducible world: host fleet + VM fleet + seed.
-//! * [`Experiment`] — scenario × policy × horizon; [`Experiment::run`]
-//!   produces a [`SimReport`].
+//! * [`Experiment`] — scenario × policy × horizon (*what* to simulate).
+//! * [`SimulationBuilder`] — the single entry point that validates and
+//!   runs an experiment (*how*: threads, profiling, cluster capture,
+//!   analytic DVFS mode) and produces a [`SimOutput`].
 //! * [`DatacenterSim`] — the underlying event loop, for callers that need
 //!   custom instrumentation.
 //! * [`sweeps`] — drivers for the sweep-style experiments (wake latency,
@@ -22,20 +24,21 @@
 //!
 //! ```
 //! use agile_core::PowerPolicy;
-//! use dcsim::{Experiment, Scenario};
+//! use dcsim::{Experiment, Scenario, SimulationBuilder};
 //! use simcore::SimDuration;
 //!
-//! let report = Experiment::new(Scenario::small_test(42))
+//! let experiment = Experiment::new(Scenario::small_test(42))
 //!     .policy(PowerPolicy::reactive_suspend())
-//!     .horizon(SimDuration::from_hours(2))
-//!     .run()?;
-//! assert!(report.energy_kwh() > 0.0);
+//!     .horizon(SimDuration::from_hours(2));
+//! let out = SimulationBuilder::new(experiment).build()?.run()?;
+//! assert!(out.report.energy_kwh() > 0.0);
 //! # Ok::<(), dcsim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod engine;
 mod error;
 pub mod events;
@@ -48,6 +51,7 @@ mod scenario;
 pub mod sweeps;
 mod trace;
 
+pub use builder::{SimOutput, Simulation, SimulationBuilder};
 pub use engine::DatacenterSim;
 pub use error::SimError;
 pub use events::{EventKind, EventRecord};

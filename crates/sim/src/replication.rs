@@ -76,14 +76,16 @@ pub struct ReplicationSummary {
 ///
 /// ```
 /// use agile_core::PowerPolicy;
-/// use dcsim::{replicate, Experiment, Scenario};
+/// use dcsim::{replicate, Experiment, Scenario, SimulationBuilder};
 /// use simcore::SimDuration;
 ///
 /// let summary = replicate(&[1, 2, 3], |seed| {
-///     Experiment::new(Scenario::small_test(seed))
-///         .policy(PowerPolicy::reactive_suspend())
-///         .horizon(SimDuration::from_hours(2))
-///         .run()
+///     SimulationBuilder::new(
+///         Experiment::new(Scenario::small_test(seed))
+///             .policy(PowerPolicy::reactive_suspend())
+///             .horizon(SimDuration::from_hours(2)),
+///     )
+///     .run_report()
 /// })?;
 /// assert_eq!(summary.runs, 3);
 /// assert!(summary.energy_kwh.mean > 0.0);
@@ -120,15 +122,17 @@ pub fn replicate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Experiment, Scenario};
+    use crate::{Experiment, Scenario, SimulationBuilder};
     use agile_core::PowerPolicy;
     use simcore::SimDuration;
 
     fn run(seed: u64) -> Result<SimReport, SimError> {
-        Experiment::new(Scenario::datacenter(4, 16, seed))
-            .policy(PowerPolicy::reactive_suspend())
-            .horizon(SimDuration::from_hours(4))
-            .run()
+        SimulationBuilder::new(
+            Experiment::new(Scenario::datacenter(4, 16, seed))
+                .policy(PowerPolicy::reactive_suspend())
+                .horizon(SimDuration::from_hours(4)),
+        )
+        .run_report()
     }
 
     #[test]

@@ -10,11 +10,12 @@ use simcore::{SimDuration, SimTime};
 use crate::metrics::MetricsCollector;
 use crate::{DatacenterSim, FailureModel, Scenario, SimError, SimReport};
 
-/// A configured simulation run.
+/// A configured simulation run: scenario × policy × horizon.
 ///
-/// `Experiment` is the main entry point of the crate: pick a
-/// [`Scenario`], a [`PowerPolicy`] (or a full [`ManagerConfig`] for the
-/// sensitivity sweeps), a horizon, and call [`run`](Self::run).
+/// `Experiment` describes *what* to simulate; hand it to
+/// [`crate::SimulationBuilder`] to choose *how* to run it (thread count,
+/// profiling, cluster capture) and to execute. The legacy `run*` methods
+/// on this type are thin deprecated shims over the builder.
 ///
 /// The [`PowerPolicy::Oracle`] policy is evaluated analytically — ideal
 /// consolidation with free transitions on the same hardware curves — and
@@ -24,19 +25,25 @@ use crate::{DatacenterSim, FailureModel, Scenario, SimError, SimReport};
 ///
 /// ```
 /// use agile_core::PowerPolicy;
-/// use dcsim::{Experiment, Scenario};
+/// use dcsim::{Experiment, Scenario, SimulationBuilder};
 /// use simcore::SimDuration;
 ///
 /// let scenario = Scenario::small_test(7);
-/// let base = Experiment::new(scenario.clone())
-///     .policy(PowerPolicy::always_on())
-///     .horizon(SimDuration::from_hours(2))
-///     .run()?;
-/// let oracle = Experiment::new(scenario)
-///     .policy(PowerPolicy::oracle())
-///     .horizon(SimDuration::from_hours(2))
-///     .run()?;
-/// assert!(oracle.energy_j < base.energy_j);
+/// let base = SimulationBuilder::new(
+///     Experiment::new(scenario.clone())
+///         .policy(PowerPolicy::always_on())
+///         .horizon(SimDuration::from_hours(2)),
+/// )
+/// .build()?
+/// .run()?;
+/// let oracle = SimulationBuilder::new(
+///     Experiment::new(scenario)
+///         .policy(PowerPolicy::oracle())
+///         .horizon(SimDuration::from_hours(2)),
+/// )
+/// .build()?
+/// .run()?;
+/// assert!(oracle.report.energy_j < base.report.energy_j);
 /// # Ok::<(), dcsim::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -92,7 +99,7 @@ impl Experiment {
     }
 
     /// The manager configuration this experiment will run.
-    fn resolve_config(&self) -> ManagerConfig {
+    pub(crate) fn resolve_config(&self) -> ManagerConfig {
         match &self.config {
             ConfigSource::Policy(p) => ManagerConfig::for_fleet(
                 *p,
@@ -155,17 +162,39 @@ impl Experiment {
         &self.scenario
     }
 
+    /// Whether this experiment resolves to the analytic `Oracle` policy
+    /// (no event loop, no cluster).
+    pub(crate) fn is_oracle(&self) -> bool {
+        matches!(self.resolve_config().policy(), PowerPolicy::Oracle)
+    }
+
+    /// The effective management tick (explicit override or the scenario's
+    /// demand step).
+    pub(crate) fn resolved_interval(&self) -> SimDuration {
+        self.control_interval
+            .unwrap_or_else(|| self.scenario.demand_step())
+    }
+
+    /// The simulated horizon.
+    pub(crate) fn horizon_duration(&self) -> SimDuration {
+        self.horizon
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if the initial placement fails or the engine
     /// hits an unrecoverable cluster error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).build()?.run()`"
+    )]
     pub fn run(&self) -> Result<SimReport, SimError> {
-        if matches!(self.resolve_config().policy(), PowerPolicy::Oracle) {
-            return Ok(self.run_oracle());
-        }
-        self.build_sim()?.run()
+        crate::SimulationBuilder::new(self.clone())
+            .build()?
+            .run()
+            .map(|out| out.report)
     }
 
     /// Runs the experiment and also returns the final cluster for
@@ -178,12 +207,18 @@ impl Experiment {
     /// # Panics
     ///
     /// Panics for the `Oracle` policy, which has no cluster.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).capture_cluster(true)` and read `SimOutput::cluster`"
+    )]
     pub fn run_detailed(&self) -> Result<(SimReport, Cluster), SimError> {
-        assert!(
-            !matches!(self.resolve_config().policy(), PowerPolicy::Oracle),
-            "Oracle policy has no cluster; use run()"
-        );
-        self.build_sim()?.run_detailed()
+        assert!(!self.is_oracle(), "Oracle policy has no cluster; use run()");
+        let out = crate::SimulationBuilder::new(self.clone())
+            .capture_cluster(true)
+            .build()?
+            .run()?;
+        let cluster = out.cluster.expect("engine run captured the cluster");
+        Ok((out.report, cluster))
     }
 
     /// Runs the experiment with wall-clock phase profiling enabled and
@@ -199,17 +234,24 @@ impl Experiment {
     ///
     /// Panics for the `Oracle` policy, which has no event loop to
     /// profile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).profiling(true)` and read `SimOutput::profile`"
+    )]
     pub fn run_profiled(&self) -> Result<(SimReport, obs::ProfileSummary), SimError> {
         assert!(
-            !matches!(self.resolve_config().policy(), PowerPolicy::Oracle),
+            !self.is_oracle(),
             "Oracle policy has no event loop; use run()"
         );
-        let mut sim = self.build_sim()?;
-        sim.enable_profiling();
-        sim.run_profiled()
+        let out = crate::SimulationBuilder::new(self.clone())
+            .profiling(true)
+            .build()?
+            .run()?;
+        let profile = out.profile.expect("profiled run returned a profile");
+        Ok((out.report, profile))
     }
 
-    fn build_sim(&self) -> Result<DatacenterSim, SimError> {
+    pub(crate) fn build_sim(&self) -> Result<DatacenterSim, SimError> {
         let interval = self
             .control_interval
             .unwrap_or_else(|| self.scenario.demand_step());
@@ -240,7 +282,18 @@ impl Experiment {
     /// consolidation, no power states — the classic alternative the
     /// paper's platform low-power states are contrasted against.
     /// Serves everything (violations zero) since capacity never leaves.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimulationBuilder::new(experiment).dvfs_baseline(model)`"
+    )]
     pub fn run_dvfs_baseline(&self, dvfs: &power::DvfsModel) -> SimReport {
+        self.dvfs_report(dvfs)
+    }
+
+    /// The analytic DVFS-only evaluation behind
+    /// [`run_dvfs_baseline`](Self::run_dvfs_baseline) and the builder's
+    /// DVFS mode.
+    pub(crate) fn dvfs_report(&self, dvfs: &power::DvfsModel) -> SimReport {
         let interval = self
             .control_interval
             .unwrap_or_else(|| self.scenario.demand_step());
@@ -309,7 +362,7 @@ impl Experiment {
     /// power curves; everything else draws zero; transitions are free and
     /// instant. Works for heterogeneous fleets; for a uniform fleet it
     /// reduces to the classic ceil(demand/capacity) bound.
-    fn run_oracle(&self) -> SimReport {
+    pub(crate) fn run_oracle(&self) -> SimReport {
         let interval = self
             .control_interval
             .unwrap_or_else(|| self.scenario.demand_step());
@@ -401,7 +454,12 @@ impl Experiment {
     }
 }
 
+// These tests exercise the deprecated `Experiment::run*` shims on
+// purpose — they are the compatibility coverage for the one-release
+// deprecation window. Everything else in the workspace goes through
+// `SimulationBuilder`.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -9,7 +9,7 @@ use power::HostPowerProfile;
 use simcore::SimDuration;
 use workload::presets;
 
-use crate::{Experiment, FailureModel, Scenario, SimError, SimReport};
+use crate::{Experiment, FailureModel, Scenario, SimError, SimReport, SimulationBuilder};
 
 /// Experiment F7: flash-crowd responsiveness vs. host wake-up latency.
 ///
@@ -46,10 +46,12 @@ pub fn wake_latency_sweep(
         let config = ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), hosts, vms)
             .with_min_on_time(SimDuration::from_mins(5))
             .with_max_migrations_per_round(vms.max(8));
-        let report = Experiment::new(scenario)
-            .manager_config(config)
-            .horizon(horizon)
-            .run()?;
+        let report = SimulationBuilder::new(
+            Experiment::new(scenario)
+                .manager_config(config)
+                .horizon(horizon),
+        )
+        .run_report()?;
         out.push((latency, report));
     }
     Ok(out)
@@ -82,10 +84,9 @@ pub fn proportionality_sweep(
             horizon,
             seed,
         );
-        let report = Experiment::new(scenario)
-            .policy(policy)
-            .horizon(horizon)
-            .run()?;
+        let report =
+            SimulationBuilder::new(Experiment::new(scenario).policy(policy).horizon(horizon))
+                .run_report()?;
         out.push((level, report));
     }
     Ok(out)
@@ -111,9 +112,9 @@ pub fn headroom_sweep(
             .with_overload_threshold((target + 0.05).max(0.90))
             .with_underload_threshold((target - 0.15).max(0.05))
             .with_target_utilization(target);
-        let report = Experiment::new(scenario.clone())
-            .manager_config(config)
-            .run()?;
+        let report =
+            SimulationBuilder::new(Experiment::new(scenario.clone()).manager_config(config))
+                .run_report()?;
         out.push((target, report));
     }
     Ok(out)
@@ -141,10 +142,12 @@ pub fn hysteresis_sweep(
             .with_min_on_time(min_on)
             .with_drain_deadband(0.0)
             .with_predictor(PredictorConfig::LastValue);
-        let report = Experiment::new(scenario.clone())
-            .manager_config(config)
-            .control_interval(SimDuration::from_mins(1))
-            .run()?;
+        let report = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .manager_config(config)
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()?;
         out.push((min_on, report));
     }
     Ok(out)
@@ -194,7 +197,7 @@ pub fn scale_sweep_policies(
     let reports = simcore::pool::run_indexed(jobs.len(), |i| {
         let (hosts, policy) = jobs[i];
         let scenario = Scenario::datacenter(hosts, hosts * 6, seed);
-        Experiment::new(scenario).policy(policy).run()
+        SimulationBuilder::new(Experiment::new(scenario).policy(policy)).run_report()
     });
     jobs.into_iter()
         .zip(reports)
@@ -221,11 +224,13 @@ pub fn reliability_sweep(
     let scenario = Scenario::datacenter_spiky(hosts, vms, seed);
     let mut out = Vec::with_capacity(failure_probs.len());
     for &p in failure_probs {
-        let report = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
-            .failure_model(FailureModel::new(p, 0.0))
-            .control_interval(SimDuration::from_mins(1))
-            .run()?;
+        let report = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_suspend())
+                .failure_model(FailureModel::new(p, 0.0))
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()?;
         out.push((p, report));
     }
     Ok(out)
@@ -273,11 +278,13 @@ pub fn failure_overhead_sweep(
         .collect();
     let reports = simcore::pool::run_indexed(jobs.len(), |i| {
         let (p, policy) = jobs[i];
-        Experiment::new(scenario.clone())
-            .policy(policy)
-            .failure_model(full_fault_surface(p))
-            .control_interval(SimDuration::from_mins(1))
-            .run()
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(policy)
+                .failure_model(full_fault_surface(p))
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()
     });
     let mut results = reports.into_iter();
     let mut out = Vec::with_capacity(intensities.len());
@@ -306,10 +313,12 @@ pub fn predictor_sweep(
     for (name, p) in predictors {
         let config =
             ManagerConfig::for_fleet(PowerPolicy::Reactive { mode }, hosts, vms).with_predictor(*p);
-        let report = Experiment::new(scenario.clone())
-            .manager_config(config)
-            .control_interval(SimDuration::from_mins(1))
-            .run()?;
+        let report = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .manager_config(config)
+                .control_interval(SimDuration::from_mins(1)),
+        )
+        .run_report()?;
         out.push((name.to_string(), report));
     }
     Ok(out)
@@ -338,12 +347,14 @@ pub fn curve_shape_sweep(
     let mut out = Vec::with_capacity(profiles.len());
     for (name, profile) in profiles {
         let scenario = Scenario::datacenter(hosts, vms, seed).with_host_profile(profile);
-        let base = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::always_on())
-            .run()?;
-        let pm = Experiment::new(scenario)
-            .policy(PowerPolicy::reactive_suspend())
-            .run()?;
+        let base = SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()),
+        )
+        .run_report()?;
+        let pm = SimulationBuilder::new(
+            Experiment::new(scenario).policy(PowerPolicy::reactive_suspend()),
+        )
+        .run_report()?;
         out.push((name.to_string(), base, pm));
     }
     Ok(out)
@@ -366,14 +377,18 @@ pub fn interval_sweep(
     let scenario = Scenario::datacenter_spiky(hosts, vms, seed);
     let mut out = Vec::with_capacity(intervals.len());
     for &interval in intervals {
-        let s3 = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
-            .control_interval(interval)
-            .run()?;
-        let s5 = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_off())
-            .control_interval(interval)
-            .run()?;
+        let s3 = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_suspend())
+                .control_interval(interval),
+        )
+        .run_report()?;
+        let s5 = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_off())
+                .control_interval(interval),
+        )
+        .run_report()?;
         out.push((interval, s3, s5));
     }
     Ok(out)
@@ -419,11 +434,13 @@ pub fn prewake_sweep(
                 },
                 if prewake.is_some() { "+prewake" } else { "" }
             );
-            let report = Experiment::new(scenario.clone())
-                .manager_config(config)
-                .control_interval(SimDuration::from_mins(1))
-                .horizon(horizon)
-                .run()?;
+            let report = SimulationBuilder::new(
+                Experiment::new(scenario.clone())
+                    .manager_config(config)
+                    .control_interval(SimDuration::from_mins(1))
+                    .horizon(horizon),
+            )
+            .run_report()?;
             out.push((label, report));
         }
     }
@@ -475,12 +492,14 @@ pub fn psu_sweep(
     let mut out = Vec::with_capacity(variants.len());
     for (name, profile) in variants {
         let scenario = Scenario::datacenter(hosts, vms, seed).with_host_profile(profile);
-        let base = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::always_on())
-            .run()?;
-        let pm = Experiment::new(scenario)
-            .policy(PowerPolicy::reactive_suspend())
-            .run()?;
+        let base = SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()),
+        )
+        .run_report()?;
+        let pm = SimulationBuilder::new(
+            Experiment::new(scenario).policy(PowerPolicy::reactive_suspend()),
+        )
+        .run_report()?;
         out.push((name.to_string(), base, pm));
     }
     Ok(out)

@@ -9,15 +9,17 @@
 
 use agile_core::PowerPolicy;
 use cluster::AccountingMode;
-use dcsim::{Experiment, Scenario};
+use dcsim::{Experiment, Scenario, SimulationBuilder};
 
 fn run(scenario: &Scenario, policy: PowerPolicy, mode: AccountingMode) -> dcsim::SimReport {
-    Experiment::new(scenario.clone())
-        .policy(policy)
-        .accounting(mode)
-        .record_events()
-        .run()
-        .expect("scenario runs")
+    SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .policy(policy)
+            .accounting(mode)
+            .record_events(),
+    )
+    .run_report()
+    .expect("scenario runs")
 }
 
 fn assert_identical(scenario: &Scenario, policy: PowerPolicy) {

@@ -3,7 +3,7 @@
 //! results).
 
 use agile_core::PowerPolicy;
-use dcsim::{Experiment, Scenario, SimReport};
+use dcsim::{Experiment, Scenario, SimReport, SimulationBuilder};
 use obs::Json;
 use simcore::SimDuration;
 use std::path::PathBuf;
@@ -21,7 +21,9 @@ fn temp_trace(tag: &str) -> PathBuf {
 #[test]
 fn jsonl_trace_streams_parseable_records() {
     let path = temp_trace("stream");
-    let with_trace = experiment(21).trace_path(&path).run().unwrap();
+    let with_trace = SimulationBuilder::new(experiment(21).trace_path(&path))
+        .run_report()
+        .unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);
 
@@ -55,9 +57,11 @@ fn jsonl_trace_streams_parseable_records() {
 
 #[test]
 fn trace_sink_choice_does_not_change_the_report() {
-    let baseline = experiment(22).run().unwrap();
+    let baseline = SimulationBuilder::new(experiment(22)).run_report().unwrap();
     let path = temp_trace("determinism");
-    let traced = experiment(22).trace_path(&path).run().unwrap();
+    let traced = SimulationBuilder::new(experiment(22).trace_path(&path))
+        .run_report()
+        .unwrap();
     let _ = std::fs::remove_file(&path);
     // Bit-identical: telemetry observes, never steers.
     assert_eq!(baseline, traced);
@@ -65,7 +69,7 @@ fn trace_sink_choice_does_not_change_the_report() {
 
 #[test]
 fn metrics_snapshot_matches_report_counters() {
-    let report = experiment(23).run().unwrap();
+    let report = SimulationBuilder::new(experiment(23)).run_report().unwrap();
     let m = &report.metrics;
     assert_eq!(m.counter("sim.migrations.completed"), report.migrations);
     assert_eq!(
@@ -100,7 +104,9 @@ fn metrics_snapshot_matches_report_counters() {
 
 #[test]
 fn report_json_round_trips() {
-    let report = experiment(24).record_events().run().unwrap();
+    let report = SimulationBuilder::new(experiment(24).record_events())
+        .run_report()
+        .unwrap();
     assert!(!report.events.is_empty());
     let json = report.to_json();
     let reparsed = SimReport::from_json(&Json::parse(&json.to_string_compact()).unwrap()).unwrap();

@@ -13,7 +13,7 @@ use agilepm::cluster::{HostSpec, Resources};
 use agilepm::core::PowerPolicy;
 use agilepm::power::breakeven::{break_even_gap, LowPowerMode};
 use agilepm::power::{HostPowerProfile, PowerCurve, TransitionSpec, TransitionTable};
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 use agilepm::workload::presets;
 
@@ -55,14 +55,14 @@ fn main() {
     );
     let scenario = Scenario::new("nextgen-fleet", hosts, fleet, SimDuration::from_mins(5), 3);
 
-    let base = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::always_on())
-        .run()
-        .expect("scenario is well-formed");
-    let pm = Experiment::new(scenario)
-        .policy(PowerPolicy::reactive_suspend())
-        .run()
-        .expect("scenario is well-formed");
+    let base =
+        SimulationBuilder::new(Experiment::new(scenario.clone()).policy(PowerPolicy::always_on()))
+            .run_report()
+            .expect("scenario is well-formed");
+    let pm =
+        SimulationBuilder::new(Experiment::new(scenario).policy(PowerPolicy::reactive_suspend()))
+            .run_report()
+            .expect("scenario is well-formed");
 
     println!(
         "\n12x nextgen-1U, 72 VMs, 24 h diurnal: {:.1} kWh always-on -> {:.1} kWh managed ({:.1}% saved, {:.4}% unserved)",

@@ -8,7 +8,7 @@
 
 use agilepm::core::PowerPolicy;
 use agilepm::sim::report::{policy_comparison, series_table};
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::{SimDuration, SimTime};
 
 fn main() {
@@ -23,9 +23,8 @@ fn main() {
     let reports: Vec<_> = policies
         .into_iter()
         .map(|p| {
-            Experiment::new(scenario.clone())
-                .policy(p)
-                .run()
+            SimulationBuilder::new(Experiment::new(scenario.clone()).policy(p))
+                .run_report()
                 .expect("scenario is well-formed")
         })
         .collect();

@@ -5,7 +5,7 @@
 //! ```
 
 use agilepm::core::PowerPolicy;
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 
 fn main() {
@@ -15,18 +15,22 @@ fn main() {
 
     // The paper's proposal: DRM load balancing plus consolidation with
     // low-latency suspend-to-RAM parking.
-    let report = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::reactive_suspend())
-        .horizon(SimDuration::from_hours(24))
-        .run()
-        .expect("scenario is well-formed");
+    let report = SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(24)),
+    )
+    .run_report()
+    .expect("scenario is well-formed");
 
     // And the always-on baseline for comparison.
-    let baseline = Experiment::new(scenario)
-        .policy(PowerPolicy::always_on())
-        .horizon(SimDuration::from_hours(24))
-        .run()
-        .expect("scenario is well-formed");
+    let baseline = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::always_on())
+            .horizon(SimDuration::from_hours(24)),
+    )
+    .run_report()
+    .expect("scenario is well-formed");
 
     println!(
         "cluster        : {} hosts / {} VMs",

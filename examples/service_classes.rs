@@ -10,7 +10,7 @@
 
 use agilepm::cluster::Resources;
 use agilepm::core::PowerPolicy;
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 use agilepm::workload::{DemandProcess, FleetSpec, Shape, VmClass};
 
@@ -45,12 +45,14 @@ fn main() {
     let scenario = Scenario::new("two-tier", hosts, fleet, SimDuration::from_mins(5), 11);
 
     for policy in [PowerPolicy::always_on(), PowerPolicy::reactive_suspend()] {
-        let r = Experiment::new(scenario.clone())
-            .policy(policy)
-            .control_interval(SimDuration::from_mins(1))
-            .horizon(horizon)
-            .run()
-            .expect("scenario is well-formed");
+        let r = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(policy)
+                .control_interval(SimDuration::from_mins(1))
+                .horizon(horizon),
+        )
+        .run_report()
+        .expect("scenario is well-formed");
         println!(
             "{:<15} energy {:>6.1} kWh | unserved total {:.4}%  interactive {:.4}%  batch {:.4}% | lat {:.2}x",
             r.policy,

@@ -22,21 +22,29 @@
 //!
 //! # Quickstart
 //!
+//! An [`sim::Experiment`] describes *what* to simulate; the
+//! [`sim::SimulationBuilder`] decides *how* to run it (worker threads,
+//! profiling, cluster capture) and validates the whole configuration
+//! before anything executes:
+//!
 //! ```
-//! use agilepm::sim::{Experiment, Scenario};
+//! use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 //! use agilepm::core::PowerPolicy;
 //! use agilepm::simcore::SimDuration;
 //!
 //! let scenario = Scenario::small_test(42);
-//! let report = Experiment::new(scenario)
-//!     .policy(PowerPolicy::reactive_suspend())
-//!     .horizon(SimDuration::from_hours(2))
-//!     .run()
-//!     .expect("simulation runs");
+//! let report = SimulationBuilder::new(
+//!     Experiment::new(scenario)
+//!         .policy(PowerPolicy::reactive_suspend())
+//!         .horizon(SimDuration::from_hours(2)),
+//! )
+//! .run_report()
+//! .expect("simulation runs");
 //! assert!(report.energy_kwh() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use agile_core as core;
 pub use cluster;
@@ -51,7 +59,10 @@ pub use workload;
 pub mod prelude {
     pub use agile_core::{ManagerConfig, PowerPolicy, PredictorConfig, VirtManager};
     pub use cluster::{HostId, HostSpec, Resources, ServiceClass, VmId, VmSpec};
-    pub use dcsim::{replicate, Experiment, FailureModel, Scenario, SimReport};
+    pub use dcsim::{
+        replicate, Experiment, FailureModel, Scenario, SimOutput, SimReport, Simulation,
+        SimulationBuilder,
+    };
     pub use power::{HostPowerProfile, PowerCurve, PowerState};
     pub use simcore::{RngStream, SimDuration, SimTime};
     pub use workload::{presets, DemandProcess, FleetSpec, Shape, VmClass};

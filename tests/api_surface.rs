@@ -1,0 +1,146 @@
+//! Public-API surface snapshot.
+//!
+//! Every workspace library's crate root is scanned for the items it
+//! exports (`pub use`, `pub mod`, `pub fn`, `pub struct`, ...) and the
+//! result is compared against the checked-in snapshot at
+//! `tests/api_surface.snapshot`. An unreviewed export change — a leaked
+//! type, a renamed re-export, a silently dropped module — fails CI with
+//! a line diff; an intentional change is blessed by re-running with
+//! `AGILEPM_BLESS=1` and committing the updated snapshot.
+//!
+//! The scan is deliberately shallow: it reads only the crate *root*
+//! (`lib.rs`), where this workspace concentrates its re-export surface.
+//! Items inside public modules are covered by `#![warn(missing_docs)]`
+//! plus rustdoc in CI, not by this snapshot.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The library crate roots whose export surface is under snapshot.
+const ROOTS: &[(&str, &str)] = &[
+    ("agilepm", "src/lib.rs"),
+    ("simcore", "crates/simcore/src/lib.rs"),
+    ("power", "crates/power/src/lib.rs"),
+    ("cluster", "crates/cluster/src/lib.rs"),
+    ("workload", "crates/workload/src/lib.rs"),
+    ("agile-core", "crates/core/src/lib.rs"),
+    ("dcsim", "crates/sim/src/lib.rs"),
+    ("obs", "crates/obs/src/lib.rs"),
+    ("check", "crates/check/src/lib.rs"),
+    ("check-support", "crates/check-support/src/lib.rs"),
+];
+
+/// Extracts the `pub` items of one crate-root source file, one
+/// normalized line per item, in source order.
+fn surface_of(source: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut pending: Option<String> = None;
+    for raw in source.lines() {
+        let line = raw.trim();
+        if let Some(mut stmt) = pending.take() {
+            // A multi-line `pub use` statement continues to the `;`.
+            stmt.push(' ');
+            stmt.push_str(line);
+            if line.ends_with(';') {
+                items.push(normalize(&stmt));
+            } else {
+                pending = Some(stmt);
+            }
+            continue;
+        }
+        if line.starts_with("pub use ") || line.starts_with("pub mod ") {
+            if line.ends_with(';') || line.ends_with('{') && line.starts_with("pub mod ") {
+                items.push(normalize(line.trim_end_matches('{').trim()));
+            } else {
+                pending = Some(line.to_string());
+            }
+        } else if [
+            "pub fn ",
+            "pub struct ",
+            "pub enum ",
+            "pub trait ",
+            "pub type ",
+            "pub const ",
+            "pub static ",
+        ]
+        .iter()
+        .any(|p| line.starts_with(p))
+        {
+            // Keep just the item kind and name — signatures may evolve
+            // without changing the *surface*.
+            let head: String = line
+                .split(['(', '{', '=', '<', ';'])
+                .next()
+                .unwrap_or(line)
+                .trim()
+                .to_string();
+            items.push(normalize(&head));
+        }
+    }
+    assert!(
+        pending.is_none(),
+        "unterminated pub use statement in crate root"
+    );
+    items
+}
+
+/// Collapses interior whitespace so formatting churn never shows up as
+/// a surface change.
+fn normalize(stmt: &str) -> String {
+    stmt.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn render_snapshot(root: &Path) -> String {
+    let mut out = String::from(
+        "# Public-API surface snapshot. Regenerate with:\n\
+         #   AGILEPM_BLESS=1 cargo test --test api_surface\n\
+         # Review the diff — every changed line is a public-API change.\n",
+    );
+    for (name, rel) in ROOTS {
+        let source =
+            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        writeln!(out, "\n[{name}] ({rel})").expect("string write");
+        for item in surface_of(&source) {
+            writeln!(out, "{item}").expect("string write");
+        }
+    }
+    out
+}
+
+#[test]
+fn exported_surface_matches_the_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let snapshot_path = root.join("tests/api_surface.snapshot");
+    let actual = render_snapshot(root);
+
+    if std::env::var_os("AGILEPM_BLESS").is_some() {
+        std::fs::write(&snapshot_path, &actual).expect("write snapshot");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&snapshot_path)
+        .expect("tests/api_surface.snapshot missing — run with AGILEPM_BLESS=1 to create it");
+    if actual == expected {
+        return;
+    }
+
+    // A reviewable, line-level diff: everything removed from or added to
+    // the snapshot, in file order.
+    let mut diff = String::new();
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    for line in &expected_lines {
+        if !actual_lines.contains(line) {
+            writeln!(diff, "- {line}").expect("string write");
+        }
+    }
+    for line in &actual_lines {
+        if !expected_lines.contains(line) {
+            writeln!(diff, "+ {line}").expect("string write");
+        }
+    }
+    panic!(
+        "public-API surface changed (run AGILEPM_BLESS=1 cargo test --test api_surface \
+         and commit the snapshot if intentional):\n{diff}"
+    );
+}

@@ -6,6 +6,8 @@
 //! The equivalence pairs under test:
 //!
 //! * incremental vs `Scan` cluster accounting (PR 2's speedup);
+//! * the serial tick engine vs the sharded engine at 2, 4, and 8
+//!   worker threads (the deterministic-sharding contract);
 //! * `u16`-quantized vs dense f64 demand traces carrying the same
 //!   decoded samples;
 //! * pooled (`scale_sweep_policies`) vs serial sweep execution;
@@ -19,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use agilepm::cluster::AccountingMode;
 use agilepm::core::PowerPolicy;
-use agilepm::sim::{sweeps, Experiment, Scenario, SimReport};
+use agilepm::sim::{sweeps, Experiment, Scenario, SimReport, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 use agilepm::workload::{DemandTrace, Fleet};
 use check::gen;
@@ -59,15 +61,43 @@ fn incremental_accounting_matches_scan_reference() {
         |spec| {
             let scenario = spec.scenario.build();
             let run = |mode: AccountingMode| {
-                spec.experiment()
-                    .accounting(mode)
-                    .record_events()
-                    .run()
+                check_support::run_experiment(spec.experiment().accounting(mode).record_events())
                     .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
             };
             let incremental = run(AccountingMode::Incremental)?;
             let scan = run(AccountingMode::Scan)?;
             assert_equivalent(&scenario, &incremental, &scan, "incremental-vs-scan")
+        },
+    );
+}
+
+#[test]
+fn sharded_engine_matches_serial() {
+    // The deterministic-sharding contract: the same experiment at 2, 4,
+    // and 8 worker threads must produce a report bit-identical to the
+    // serial engine's — sharding may change wall-clock, never physics.
+    check::check(
+        "sharded == serial tick engine",
+        &experiment_spec(),
+        |spec| {
+            let scenario = spec.scenario.build();
+            let run = |threads: usize| {
+                SimulationBuilder::new(spec.experiment().record_events())
+                    .threads(threads)
+                    .run_report()
+                    .map_err(|e| format!("{spec:?}: {threads}-thread run failed: {e:?}"))
+            };
+            let serial = run(1)?;
+            for threads in [2, 4, 8] {
+                let sharded = run(threads)?;
+                assert_equivalent(
+                    &scenario,
+                    &serial,
+                    &sharded,
+                    &format!("serial-vs-{threads}-threads"),
+                )?;
+            }
+            Ok(())
         },
     );
 }
@@ -111,13 +141,15 @@ fn quantized_traces_match_dense_traces_with_the_same_samples() {
                 )
             };
             let run = |scenario: Scenario| {
-                Experiment::new(scenario)
-                    .policy(spec.policy)
-                    .horizon(SimDuration::from_hours(spec.horizon_hours))
-                    .control_interval(SimDuration::from_mins(spec.control_mins))
-                    .record_events()
-                    .run()
-                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+                SimulationBuilder::new(
+                    Experiment::new(scenario)
+                        .policy(spec.policy)
+                        .horizon(SimDuration::from_hours(spec.horizon_hours))
+                        .control_interval(SimDuration::from_mins(spec.control_mins))
+                        .record_events(),
+                )
+                .run_report()
+                .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
             };
             let quantized = run(rebuild(true))?;
             let dense = run(rebuild(false))?;
@@ -147,10 +179,10 @@ fn pooled_sweep_matches_serial_loop() {
             for &hosts in &host_counts {
                 for &policy in &policies {
                     let scenario = Scenario::datacenter(hosts, hosts * 6, seed);
-                    let report = Experiment::new(scenario.clone())
-                        .policy(policy)
-                        .run()
-                        .map_err(|e| format!("serial run failed: {e:?}"))?;
+                    let report =
+                        SimulationBuilder::new(Experiment::new(scenario.clone()).policy(policy))
+                            .run_report()
+                            .map_err(|e| format!("serial run failed: {e:?}"))?;
                     check_report(&scenario, &report)?;
                     serial.push((hosts, policy, report));
                 }
@@ -179,19 +211,13 @@ fn jsonl_sink_does_not_perturb_the_simulation() {
             std::process::id(),
             SINK_SERIAL.fetch_add(1, Ordering::Relaxed)
         ));
-        let with_sink = spec
-            .experiment()
-            .record_events()
-            .trace_path(&path)
-            .run()
-            .map_err(|e| format!("{spec:?}: sink run failed: {e:?}"));
+        let with_sink =
+            check_support::run_experiment(spec.experiment().record_events().trace_path(&path))
+                .map_err(|e| format!("{spec:?}: sink run failed: {e:?}"));
         let trace_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let _ = std::fs::remove_file(&path);
         let with_sink = with_sink?;
-        let without = spec
-            .experiment()
-            .record_events()
-            .run()
+        let without = check_support::run_experiment(spec.experiment().record_events())
             .map_err(|e| format!("{spec:?}: null run failed: {e:?}"))?;
         check::prop_assert!(trace_len > 0, "sink produced an empty trace file");
         assert_equivalent(&scenario, &with_sink, &without, "sink-vs-null")
@@ -211,11 +237,13 @@ fn policy_ladder_orders_energy_on_generated_diurnal_worlds() {
     check::check_cases("Oracle <= managed <= AlwaysOn", 8, &world, |spec| {
         let scenario = spec.build();
         let run = |p: PowerPolicy| {
-            Experiment::new(scenario.clone())
-                .policy(p)
-                .horizon(SimDuration::from_hours(24))
-                .run()
-                .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            SimulationBuilder::new(
+                Experiment::new(scenario.clone())
+                    .policy(p)
+                    .horizon(SimDuration::from_hours(24)),
+            )
+            .run_report()
+            .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
         };
         let oracle = run(PowerPolicy::oracle())?;
         let managed = run(PowerPolicy::reactive_suspend())?;

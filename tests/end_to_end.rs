@@ -2,17 +2,19 @@
 //! generation → simulation → report.
 
 use agilepm::core::{ManagerConfig, PowerPolicy, PredictorConfig};
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 
 #[test]
 fn full_pipeline_is_bit_reproducible() {
     let run = || {
-        Experiment::new(Scenario::datacenter(8, 48, 123))
-            .policy(PowerPolicy::reactive_suspend())
-            .horizon(SimDuration::from_hours(8))
-            .run()
-            .expect("scenario runs")
+        SimulationBuilder::new(
+            Experiment::new(Scenario::datacenter(8, 48, 123))
+                .policy(PowerPolicy::reactive_suspend())
+                .horizon(SimDuration::from_hours(8)),
+        )
+        .run_report()
+        .expect("scenario runs")
     };
     assert_eq!(run(), run());
 }
@@ -20,22 +22,26 @@ fn full_pipeline_is_bit_reproducible() {
 #[test]
 fn different_seeds_differ() {
     let run = |seed| {
-        Experiment::new(Scenario::datacenter(8, 48, seed))
-            .policy(PowerPolicy::reactive_suspend())
-            .horizon(SimDuration::from_hours(8))
-            .run()
-            .expect("scenario runs")
+        SimulationBuilder::new(
+            Experiment::new(Scenario::datacenter(8, 48, seed))
+                .policy(PowerPolicy::reactive_suspend())
+                .horizon(SimDuration::from_hours(8)),
+        )
+        .run_report()
+        .expect("scenario runs")
     };
     assert_ne!(run(1).energy_j, run(2).energy_j);
 }
 
 #[test]
 fn report_internal_consistency() {
-    let r = Experiment::new(Scenario::datacenter(8, 48, 9))
-        .policy(PowerPolicy::reactive_suspend())
-        .horizon(SimDuration::from_hours(12))
-        .run()
-        .expect("scenario runs");
+    let r = SimulationBuilder::new(
+        Experiment::new(Scenario::datacenter(8, 48, 9))
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(12)),
+    )
+    .run_report()
+    .expect("scenario runs");
 
     // Energy must agree with the sampled power trace to within the
     // trace's step-function resolution.
@@ -62,26 +68,30 @@ fn report_internal_consistency() {
 #[test]
 fn explicit_manager_config_changes_behaviour() {
     let scenario = Scenario::datacenter(8, 48, 4);
-    let aggressive = Experiment::new(scenario.clone())
-        .manager_config(
-            ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), 8, 48)
-                .with_target_utilization(0.85)
-                .with_spare_hosts(1)
-                .with_predictor(PredictorConfig::LastValue),
-        )
-        .horizon(SimDuration::from_hours(12))
-        .run()
-        .expect("scenario runs");
-    let conservative = Experiment::new(scenario)
-        .manager_config(
-            ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), 8, 48)
-                .with_target_utilization(0.55)
-                .with_underload_threshold(0.4)
-                .with_spare_hosts(2),
-        )
-        .horizon(SimDuration::from_hours(12))
-        .run()
-        .expect("scenario runs");
+    let aggressive = SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .manager_config(
+                ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), 8, 48)
+                    .with_target_utilization(0.85)
+                    .with_spare_hosts(1)
+                    .with_predictor(PredictorConfig::LastValue),
+            )
+            .horizon(SimDuration::from_hours(12)),
+    )
+    .run_report()
+    .expect("scenario runs");
+    let conservative = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .manager_config(
+                ManagerConfig::for_fleet(PowerPolicy::reactive_suspend(), 8, 48)
+                    .with_target_utilization(0.55)
+                    .with_underload_threshold(0.4)
+                    .with_spare_hosts(2),
+            )
+            .horizon(SimDuration::from_hours(12)),
+    )
+    .run_report()
+    .expect("scenario runs");
     // Tighter packing with fewer spares must keep fewer hosts on.
     assert!(
         aggressive.avg_hosts_on < conservative.avg_hosts_on,
@@ -95,12 +105,14 @@ fn explicit_manager_config_changes_behaviour() {
 fn control_interval_changes_granularity_not_sanity() {
     let scenario = Scenario::datacenter(8, 48, 5);
     for mins in [1u64, 5] {
-        let r = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
-            .control_interval(SimDuration::from_mins(mins))
-            .horizon(SimDuration::from_hours(6))
-            .run()
-            .expect("scenario runs");
+        let r = SimulationBuilder::new(
+            Experiment::new(scenario.clone())
+                .policy(PowerPolicy::reactive_suspend())
+                .control_interval(SimDuration::from_mins(mins))
+                .horizon(SimDuration::from_hours(6)),
+        )
+        .run_report()
+        .expect("scenario runs");
         assert!(r.energy_j > 0.0);
         assert!(r.unserved_ratio < 0.05);
     }
@@ -113,17 +125,21 @@ fn legacy_hardware_still_power_manages_via_off() {
         Scenario::datacenter(8, 48, 6).with_host_profile(HostPowerProfile::legacy_rack());
     // Suspend-based policy on suspend-less hardware: every park attempt
     // is rejected by the cluster, counted as stale, and the sim completes.
-    let r = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::reactive_suspend())
-        .horizon(SimDuration::from_hours(6))
-        .run()
-        .expect("scenario runs");
+    let r = SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(6)),
+    )
+    .run_report()
+    .expect("scenario runs");
     assert_eq!(r.power_series.min().map(|v| v > 0.0), Some(true));
     // Off-based policy works on the same hardware.
-    let r2 = Experiment::new(scenario)
-        .policy(PowerPolicy::reactive_off())
-        .horizon(SimDuration::from_hours(6))
-        .run()
-        .expect("scenario runs");
+    let r2 = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_off())
+            .horizon(SimDuration::from_hours(6)),
+    )
+    .run_report()
+    .expect("scenario runs");
     assert!(r2.power_downs > 0);
 }

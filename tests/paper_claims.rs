@@ -6,7 +6,7 @@ use agilepm::core::PowerPolicy;
 use agilepm::power::breakeven::{break_even_gap, LowPowerMode};
 use agilepm::power::HostPowerProfile;
 use agilepm::sim::sweeps::{proportionality_sweep, wake_latency_sweep};
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 
 /// Claim 1: low-latency power states have dramatically lower transition
@@ -57,18 +57,22 @@ fn claim1_low_latency_states_are_orders_of_magnitude_cheaper() {
 fn claim2_overheads_comparable_to_base_drm() {
     let scenario = Scenario::datacenter_spiky(16, 96, 31);
     let horizon = SimDuration::from_hours(24);
-    let base = Experiment::new(scenario.clone())
-        .policy(PowerPolicy::always_on())
-        .control_interval(SimDuration::from_mins(1))
-        .horizon(horizon)
-        .run()
-        .expect("scenario runs");
-    let pm = Experiment::new(scenario)
-        .policy(PowerPolicy::reactive_suspend())
-        .control_interval(SimDuration::from_mins(1))
-        .horizon(horizon)
-        .run()
-        .expect("scenario runs");
+    let base = SimulationBuilder::new(
+        Experiment::new(scenario.clone())
+            .policy(PowerPolicy::always_on())
+            .control_interval(SimDuration::from_mins(1))
+            .horizon(horizon),
+    )
+    .run_report()
+    .expect("scenario runs");
+    let pm = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_suspend())
+            .control_interval(SimDuration::from_mins(1))
+            .horizon(horizon),
+    )
+    .run_report()
+    .expect("scenario runs");
 
     // Both spend well under 1% of host-time on management churn.
     assert!(base.migration_overhead_frac < 0.01);

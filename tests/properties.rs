@@ -5,7 +5,7 @@
 use agilepm::cluster::{Cluster, HostId, HostSpec, Resources, VmId, VmSpec};
 use agilepm::core::PowerPolicy;
 use agilepm::power::{HostPowerProfile, PowerState, PowerStateMachine, TransitionKind};
-use agilepm::sim::{Experiment, Scenario};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::{RngStream, SimDuration, SimTime};
 use agilepm::workload::{presets, DemandProcess, Shape};
 use check::gen::{boolean, f64_in, u64_in, usize_in};
@@ -31,11 +31,13 @@ fn simulation_invariants() {
                 PowerPolicy::reactive_off()
             };
             let scenario = Scenario::datacenter(hosts, hosts * vms_per_host, seed);
-            let r = Experiment::new(scenario.clone())
-                .policy(policy)
-                .horizon(SimDuration::from_hours(4))
-                .run()
-                .map_err(|e| format!("scenario failed to run: {e:?}"))?;
+            let r = SimulationBuilder::new(
+                Experiment::new(scenario.clone())
+                    .policy(policy)
+                    .horizon(SimDuration::from_hours(4)),
+            )
+            .run_report()
+            .map_err(|e| format!("scenario failed to run: {e:?}"))?;
             check_report(&scenario, &r)?;
             prop_assert!(r.energy_j > 0.0, "zero energy");
             // Energy is bounded by every host at peak the whole time...

@@ -12,13 +12,15 @@ fn failures_churn_and_audit_log_compose() {
     // All the hard modes at once: transient VMs, resume failures, spiky
     // demand, agile loop, full audit trail.
     let scenario = Scenario::datacenter_churn(8, 48, 0.4, 77);
-    let report = Experiment::new(scenario)
-        .policy(PowerPolicy::reactive_suspend())
-        .failure_model(FailureModel::new(0.1, 0.02))
-        .control_interval(SimDuration::from_mins(1))
-        .record_events()
-        .run()
-        .expect("hard-mode scenario runs");
+    let report = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_suspend())
+            .failure_model(FailureModel::new(0.1, 0.02))
+            .control_interval(SimDuration::from_mins(1))
+            .record_events(),
+    )
+    .run_report()
+    .expect("hard-mode scenario runs");
 
     // The run completed with sane outputs.
     assert!(report.energy_j > 0.0);
@@ -54,13 +56,15 @@ fn resume_failures_force_recovery_boots() {
     // With a high failure rate on a suspend-heavy day, the log must show
     // the recovery path: PowerFailed followed eventually by a boot.
     let scenario = Scenario::datacenter(8, 48, 31);
-    let report = Experiment::new(scenario)
-        .policy(PowerPolicy::reactive_suspend())
-        .failure_model(FailureModel::new(0.5, 0.0))
-        .control_interval(SimDuration::from_mins(1))
-        .record_events()
-        .run()
-        .expect("scenario runs");
+    let report = SimulationBuilder::new(
+        Experiment::new(scenario)
+            .policy(PowerPolicy::reactive_suspend())
+            .failure_model(FailureModel::new(0.5, 0.0))
+            .control_interval(SimDuration::from_mins(1))
+            .record_events(),
+    )
+    .run_report()
+    .expect("scenario runs");
     // Whether any failures fired is seed-dependent; what must hold is
     // that the log agrees with the counter and service quality survived.
     let logged_failures = report
@@ -115,12 +119,12 @@ fn generated_failure_models_keep_the_ledger_and_service_quality() {
         &input,
         |(spec, failures)| {
             let scenario = spec.scenario.build();
-            let report = spec
-                .experiment()
-                .failure_model(failures.build())
-                .record_events()
-                .run()
-                .map_err(|e| format!("{spec:?}: run failed: {e:?}"))?;
+            let report = check_support::run_experiment(
+                spec.experiment()
+                    .failure_model(failures.build())
+                    .record_events(),
+            )
+            .map_err(|e| format!("{spec:?}: run failed: {e:?}"))?;
             // The full catalog, which includes the PowerFailed-vs-counter
             // ledger check; repeat the count here so a violation names it.
             check_report(&scenario, &report)?;
@@ -241,18 +245,20 @@ fn failing_hosts_eventually_return_or_stay_quarantined() {
 #[test]
 fn recovery_under_injection_is_bit_reproducible() {
     let run = || {
-        Experiment::new(Scenario::datacenter_churn(8, 40, 0.3, 55))
-            .policy(PowerPolicy::reactive_suspend())
-            .failure_model(
-                FailureModel::new(0.3, 0.1)
-                    .with_migration_failures(0.15)
-                    .with_hangs(0.1, 4.0)
-                    .with_rack_bursts(4, 0.02, SimDuration::from_mins(30)),
-            )
-            .control_interval(SimDuration::from_mins(1))
-            .record_events()
-            .run()
-            .expect("faulty run completes")
+        SimulationBuilder::new(
+            Experiment::new(Scenario::datacenter_churn(8, 40, 0.3, 55))
+                .policy(PowerPolicy::reactive_suspend())
+                .failure_model(
+                    FailureModel::new(0.3, 0.1)
+                        .with_migration_failures(0.15)
+                        .with_hangs(0.1, 4.0)
+                        .with_rack_bursts(4, 0.02, SimDuration::from_mins(30)),
+                )
+                .control_interval(SimDuration::from_mins(1))
+                .record_events(),
+        )
+        .run_report()
+        .expect("faulty run completes")
     };
     let a = run();
     let b = run();
@@ -271,12 +277,14 @@ fn recovery_under_injection_is_bit_reproducible() {
 
 #[test]
 fn report_round_trips_through_json() {
-    let report = Experiment::new(Scenario::small_test(3))
-        .policy(PowerPolicy::reactive_suspend())
-        .horizon(SimDuration::from_hours(4))
-        .record_events()
-        .run()
-        .expect("scenario runs");
+    let report = SimulationBuilder::new(
+        Experiment::new(Scenario::small_test(3))
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(4))
+            .record_events(),
+    )
+    .run_report()
+    .expect("scenario runs");
     let json = report.to_json().to_string_compact();
     let back = SimReport::from_json(&agilepm::obs::Json::parse(&json).expect("valid JSON"))
         .expect("report deserializes");
@@ -289,11 +297,13 @@ fn report_round_trips_through_json() {
 
 #[test]
 fn per_class_ratios_are_consistent_with_total() {
-    let report = Experiment::new(Scenario::datacenter_spiky(8, 48, 3))
-        .policy(PowerPolicy::reactive_suspend())
-        .control_interval(SimDuration::from_mins(1))
-        .run()
-        .expect("scenario runs");
+    let report = SimulationBuilder::new(
+        Experiment::new(Scenario::datacenter_spiky(8, 48, 3))
+            .policy(PowerPolicy::reactive_suspend())
+            .control_interval(SimDuration::from_mins(1)),
+    )
+    .run_report()
+    .expect("scenario runs");
     // Interactive is served first, so its unserved ratio can never exceed
     // batch's under this workload (both tiers present on every host mix).
     assert!(
