@@ -7,6 +7,7 @@
 use agile_core::PowerPolicy;
 use cluster::AccountingMode;
 use dcsim::{Experiment, Scenario, SimulationBuilder};
+use obs::SpanTracer;
 use workload::DemandTrace;
 
 fn main() {
@@ -29,6 +30,62 @@ fn main() {
         .run_report()
         .expect("sim run failed")
     });
+
+    // Span-tracer overhead: the tick loop calls enter/exit
+    // unconditionally, so the disabled path must stay within noise of
+    // the enabled one (which does strictly more work — recording). The
+    // factor is generous because CI machines are shared and noisy.
+    let off = bench::microbench::time("sim_day_64hosts_tracer_off", 1, 5, || {
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend()),
+        )
+        .profiling(false)
+        .run_report()
+        .expect("sim run failed")
+    });
+    let on = bench::microbench::time("sim_day_64hosts_tracer_on", 1, 5, || {
+        SimulationBuilder::new(
+            Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend()),
+        )
+        .profiling(true)
+        .run_report()
+        .expect("sim run failed")
+    });
+    assert!(
+        off.best.as_secs_f64() <= on.best.as_secs_f64() * 1.25 + 0.05,
+        "tracer-disabled run slower than tracer-enabled: {:?} vs {:?}",
+        off.best,
+        on.best
+    );
+
+    // The raw disabled enter/exit pair: an early-return no-op that never
+    // touches the tracer's arena or event ring — node_count and
+    // event_count staying at zero is the allocation-free evidence (the
+    // arena and ring are the only growable state the hot path can
+    // reach).
+    let mut disabled = SpanTracer::new();
+    let tick = disabled.name("tick");
+    bench::microbench::time("span_enter_exit_disabled_100k", 8, 64, || {
+        for _ in 0..100_000 {
+            disabled.enter(tick);
+            disabled.exit(tick);
+        }
+    });
+    assert_eq!(
+        disabled.node_count(),
+        1, // just the preallocated root
+        "disabled tracer touched its arena"
+    );
+    assert_eq!(disabled.event_count(), 0, "disabled tracer recorded events");
+    let mut enabled = SpanTracer::enabled();
+    let tick = enabled.name("tick");
+    bench::microbench::time("span_enter_exit_enabled_100k", 8, 64, || {
+        for _ in 0..100_000 {
+            enabled.enter(tick);
+            enabled.exit(tick);
+        }
+    });
+    assert!(enabled.node_count() > 1, "enabled tracer must record");
 
     // Trace reads through the compact (quantized u16) representation vs
     // dense f64 storage: same `at(t)` API, 4x smaller.

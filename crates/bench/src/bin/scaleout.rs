@@ -10,6 +10,7 @@ use std::time::Instant;
 use agile_core::PowerPolicy;
 use cluster::AccountingMode;
 use dcsim::{Experiment, Scenario, SimulationBuilder};
+use obs::{Json, SpanSummary};
 
 /// Pre-optimization reference numbers, measured on this benchmark before
 /// the incremental-accounting/zero-alloc work landed (same scenario
@@ -40,6 +41,11 @@ struct Row {
     /// its report matched bit-for-bit — a mismatch aborts the bench).
     scan_ticks_per_sec: Option<f64>,
     phases: Vec<(String, f64)>,
+    /// Full hierarchical span summary of the best run.
+    spans: Option<SpanSummary>,
+    /// Deterministic `work.*` op-counters from the metrics snapshot —
+    /// the wall-clock-free superlinearity evidence.
+    work: Vec<(String, u64)>,
 }
 
 fn main() {
@@ -123,7 +129,7 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
     // Best-of-N: the minimum wall time is the least scheduler-noise-
     // polluted sample; every repeat is the same deterministic simulation,
     // so only timing varies.
-    let mut best: Option<(f64, _, _)> = None;
+    let mut best: Option<(f64, _, _, _)> = None;
     for _ in 0..repeat {
         let exp = Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend());
         let t0 = Instant::now();
@@ -135,11 +141,11 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
             .expect("scale-out run failed");
         let wall = t0.elapsed().as_secs_f64();
         let profile = out.profile.expect("profiled run returns a profile");
-        if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
-            best = Some((wall, out.report, profile));
+        if best.as_ref().is_none_or(|(w, _, _, _)| wall < *w) {
+            best = Some((wall, out.report, profile, out.spans));
         }
     }
-    let (wall_secs, report, profile) = best.expect("at least one repeat");
+    let (wall_secs, report, profile, spans) = best.expect("at least one repeat");
     let ticks = report.horizon.as_millis() / step.as_millis() + 1;
 
     // Rerun against the O(n)-scan reference accounting and require a
@@ -173,6 +179,18 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
             .phases
             .iter()
             .map(|p| (p.name.clone(), p.total_secs))
+            .collect(),
+        spans,
+        work: report
+            .metrics
+            .entries
+            .iter()
+            .filter_map(|e| match &e.value {
+                obs::MetricValue::Counter(v) if e.name.starts_with("work.") => {
+                    Some((e.name.clone(), *v))
+                }
+                _ => None,
+            })
             .collect(),
     }
 }
@@ -224,7 +242,19 @@ fn render_json(rows: &[Row], threads: usize) -> String {
                 out.push_str(", ");
             }
         }
-        out.push_str("}}");
+        out.push_str("}, \"work\": {");
+        for (j, (name, value)) in r.work.iter().enumerate() {
+            out.push_str(&format!("\"{name}\": {value}"));
+            if j + 1 < r.work.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}, \"spans\": ");
+        match &r.spans {
+            Some(s) => out.push_str(&s.to_json().to_string_compact()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         if i + 1 < rows.len() {
             out.push(',');
         }
@@ -235,11 +265,26 @@ fn render_json(rows: &[Row], threads: usize) -> String {
 }
 
 /// Fails the process if any measured size is >30 % slower than the
-/// baseline. The baseline file holds `{"hosts": N, "ticks_per_sec": X}`
-/// objects; parsing is a minimal scan to stay dependency-free.
+/// baseline. The baseline file holds a `baseline` array of `{"hosts": N,
+/// "ticks_per_sec": X, "phases": {...}}` entries, where `phases` maps
+/// each phase to its wall seconds at baseline time. On a regression the
+/// phase whose *share* of attributed time grew the most over the
+/// baseline's shares is named — the gate says *where* the time went,
+/// not just that it went (shares, not raw seconds, so a uniformly
+/// slower CI machine does not finger an innocent phase).
 fn check_baseline(rows: &[Row], baseline: &str) {
+    let parsed = Json::parse(baseline).expect("baseline file is valid JSON");
+    let entries = parsed
+        .get("baseline")
+        .and_then(Json::as_array)
+        .expect("baseline file has a `baseline` array");
     let mut failed = false;
-    for (hosts, base_tps) in parse_pairs(baseline) {
+    for entry in entries {
+        let hosts = entry.get("hosts").and_then(Json::as_f64).expect("hosts") as usize;
+        let base_tps = entry
+            .get("ticks_per_sec")
+            .and_then(Json::as_f64)
+            .expect("ticks_per_sec");
         let Some(row) = rows.iter().find(|r| r.hosts == hosts) else {
             continue;
         };
@@ -249,6 +294,9 @@ fn check_baseline(rows: &[Row], baseline: &str) {
                 "PERF REGRESSION at {hosts} hosts: {:.0} ticks/s < 70% of baseline {:.0}",
                 row.ticks_per_sec, base_tps
             );
+            if let Some(mover) = biggest_mover(row, entry) {
+                eprintln!("  phase that moved: {mover}");
+            }
             failed = true;
         } else {
             println!(
@@ -262,32 +310,38 @@ fn check_baseline(rows: &[Row], baseline: &str) {
     }
 }
 
-/// Extracts every `"hosts": N ... "ticks_per_sec": X` pair, in order.
-fn parse_pairs(text: &str) -> Vec<(usize, f64)> {
-    let mut pairs = Vec::new();
-    let mut rest = text;
-    while let Some(h) = rest.find("\"hosts\":") {
-        rest = &rest[h + "\"hosts\":".len()..];
-        let hosts: usize = match lead_number(rest).parse() {
-            Ok(v) => v,
-            Err(_) => continue,
-        };
-        let Some(t) = rest.find("\"ticks_per_sec\":") else {
-            break;
-        };
-        let after = &rest[t + "\"ticks_per_sec\":".len()..];
-        if let Ok(tps) = lead_number(after).parse() {
-            pairs.push((hosts, tps));
-        }
-        rest = after;
+/// Names the phase whose share of attributed wall time grew the most
+/// over the baseline's shares (`None` when the baseline entry records
+/// no phases).
+fn biggest_mover(row: &Row, entry: &Json) -> Option<String> {
+    let base = entry.get("phases")?.as_object()?;
+    let total: f64 = row.phases.iter().map(|(_, s)| s).sum();
+    let base_total: f64 = base.iter().filter_map(|(_, v)| v.as_f64()).sum();
+    if total <= 0.0 || base_total <= 0.0 {
+        return None;
     }
-    pairs
-}
-
-fn lead_number(s: &str) -> &str {
-    let s = s.trim_start();
-    let end = s
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(s.len());
-    &s[..end]
+    let mut best: Option<(String, f64, f64)> = None;
+    for (name, secs) in &row.phases {
+        let now = secs / total;
+        let was = base
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(0.0)
+            / base_total;
+        let growth = now - was;
+        if best
+            .as_ref()
+            .is_none_or(|(_, b_was, b_now)| growth > b_now - b_was)
+        {
+            best = Some((name.clone(), was, now));
+        }
+    }
+    best.map(|(name, was, now)| {
+        format!(
+            "{name} ({:.0}% of attributed time, baseline {:.0}%)",
+            now * 100.0,
+            was * 100.0
+        )
+    })
 }

@@ -89,7 +89,38 @@ pub fn check_report(scenario: &Scenario, report: &SimReport) -> Result<(), Strin
         ));
     }
     check_event_log(report)?;
+    check_work_counters(report)?;
     check_json_round_trip(report)
+}
+
+/// The deterministic op-counters must be internally consistent: every
+/// trial evacuation scans at least one candidate first, a rollback
+/// implies an attempt, and every planned migration is accounted for as
+/// either executed or aborted by the cluster — no third fate.
+pub fn check_work_counters(report: &SimReport) -> Result<(), String> {
+    let c = |name: &str| report.metrics.counter(name);
+    let candidates = c("work.plan.candidates_scanned");
+    let trials = c("work.plan.trials_attempted");
+    let rolled_back = c("work.plan.trials_rolled_back");
+    let planned = c("work.plan.migrations_planned");
+    let executed = c("work.migrations.executed");
+    let aborted = c("work.migrations.aborted");
+    if trials > candidates {
+        return Err(format!(
+            "{trials} trial evacuations but only {candidates} candidates scanned"
+        ));
+    }
+    if rolled_back > trials {
+        return Err(format!(
+            "{rolled_back} rollbacks but only {trials} trials attempted"
+        ));
+    }
+    if planned != executed + aborted {
+        return Err(format!(
+            "{planned} migrations planned but {executed} executed + {aborted} aborted"
+        ));
+    }
+    Ok(())
 }
 
 /// The audit log must be time-ordered, and when events were recorded the

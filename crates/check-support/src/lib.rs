@@ -48,4 +48,5 @@ pub use generators::{
 };
 pub use invariants::{
     check_cluster, check_energy_ordering, check_event_log, check_json_round_trip, check_report,
+    check_work_counters,
 };

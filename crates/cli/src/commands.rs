@@ -6,6 +6,7 @@ use std::fs;
 use agile_core::PowerPolicy;
 use dcsim::report::{policy_comparison, series_csv, table};
 use dcsim::{Experiment, FailureModel, Scenario, SimReport, SimulationBuilder};
+use obs::{Json, SpanStat, SpanSummary};
 use power::breakeven::{break_even_gap, net_energy_saved, LowPowerMode};
 use power::HostPowerProfile;
 use simcore::{SimDuration, SimTime};
@@ -22,6 +23,8 @@ USAGE:
   agilepm compare   run AlwaysOn / PM-OffOn / PM-Suspend / Oracle side by side
   agilepm sweep     run a parameter sweep (wake-latency | headroom | interval | reliability)
   agilepm breakeven print power-state characterization and break-even analysis
+  agilepm perf-report FILE          render a per-phase attribution table
+  agilepm perf-report diff A B      per-phase wall-time deltas between two runs
   agilepm help      show this help
 
 COMMON FLAGS (run, compare):
@@ -44,6 +47,15 @@ run-ONLY FLAGS:
                        power transitions, migrations, VM lifecycle,
                        manager decisions, and a final run summary
   --metrics            print the metrics registry snapshot after the run
+  --profile            enable the hierarchical span tracer; the trace's
+                       run-summary record then carries the span tree for
+                       `perf-report` (timing never enters the report)
+
+perf-report:
+  reads a JSON Lines trace (the `--trace-out` file), a bare span-summary
+  JSON object, or a scaleout bench artifact (BENCH_scaleout.json), and
+  prints the attribution table. `diff` matches spans by call path and
+  prints deltas sorted by magnitude, naming the biggest mover.
 
 sweep FLAGS:
   --kind K             wake-latency | headroom | interval | reliability  [required]
@@ -61,6 +73,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("compare") => compare(&argv[1..]),
         Some("sweep") => sweep(&argv[1..]),
         Some("breakeven") => breakeven(&argv[1..]),
+        Some("perf-report") => perf_report(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -133,7 +146,7 @@ fn run(args: &[String]) -> CmdResult {
             "events",
             "trace-out",
         ],
-        &["metrics"],
+        &["metrics", "profile"],
     )?;
     let policy = parse_policy(flags.str_or("policy", "suspend"))?;
     let scenario = build_scenario(&flags)?;
@@ -156,6 +169,7 @@ fn run(args: &[String]) -> CmdResult {
     }
     let report = SimulationBuilder::new(experiment)
         .threads(threads)
+        .profiling(flags.switch("profile"))
         .run_report()?;
     print_summary(&report);
     if flags.switch("metrics") {
@@ -411,6 +425,257 @@ fn breakeven(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// One labeled attribution section: a trace yields a single section, a
+/// scaleout bench artifact yields one per fleet size.
+struct PerfSection {
+    label: String,
+    summary: SpanSummary,
+}
+
+fn perf_report(args: &[String]) -> CmdResult {
+    const USAGE: &str = "usage: agilepm perf-report FILE | agilepm perf-report diff A B";
+    match args.first().map(String::as_str) {
+        Some("diff") => match args {
+            [_, a, b] => perf_diff(a, b),
+            _ => Err(Box::new(ArgError(format!(
+                "`perf-report diff` takes exactly two files\n{USAGE}"
+            )))),
+        },
+        Some(path) if !path.starts_with('-') && args.len() == 1 => {
+            for section in load_sections(path)? {
+                println!("== {}", section.label);
+                print!("{}", section.summary);
+                print_attribution(&section.summary);
+            }
+            Ok(())
+        }
+        _ => Err(Box::new(ArgError(USAGE.to_string()))),
+    }
+}
+
+/// For every top-level span that has named children, prints how much of
+/// its wall time those children account for — the "is the attribution
+/// complete?" headline.
+fn print_attribution(summary: &SpanSummary) {
+    for span in summary.spans.iter().filter(|s| s.depth == 1) {
+        if summary.children_of(&span.path).is_empty() {
+            continue;
+        }
+        if let Some(frac) = summary.attributed_fraction(&span.path) {
+            println!(
+                "{}: {:.1}% attributed to named sub-spans",
+                span.name,
+                frac * 100.0
+            );
+        }
+    }
+}
+
+/// Per-path wall-time deltas between two runs, sorted by magnitude.
+/// Sections are matched positionally (trace vs trace, or size-by-size
+/// for two scaleout artifacts).
+fn perf_diff(path_a: &str, path_b: &str) -> CmdResult {
+    let a_sections = load_sections(path_a)?;
+    let b_sections = load_sections(path_b)?;
+    for (a, b) in a_sections.iter().zip(&b_sections) {
+        println!("== {} vs {}", a.label, b.label);
+        // Compare only down to the depth both sides recorded: a flat
+        // phase baseline against a full span tree diffs at the phase
+        // level instead of flagging every sub-span as new.
+        let deepest = |s: &SpanSummary| s.spans.iter().map(|x| x.depth).max().unwrap_or(1);
+        let cap = deepest(&a.summary).min(deepest(&b.summary));
+        let mut paths: Vec<&str> = a
+            .summary
+            .spans
+            .iter()
+            .filter(|s| s.depth <= cap)
+            .map(|s| s.path.as_str())
+            .collect();
+        for s in b.summary.spans.iter().filter(|s| s.depth <= cap) {
+            if !paths.contains(&s.path.as_str()) {
+                paths.push(&s.path);
+            }
+        }
+        let secs =
+            |summary: &SpanSummary, path: &str| summary.span(path).map_or(0.0, |s| s.total_secs);
+        let mut rows: Vec<(String, f64, f64, f64)> = paths
+            .iter()
+            .map(|p| {
+                let (sa, sb) = (secs(&a.summary, p), secs(&b.summary, p));
+                (p.to_string(), sa, sb, sb - sa)
+            })
+            .collect();
+        rows.sort_by(|x, y| y.3.abs().total_cmp(&x.3.abs()));
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(path, sa, sb, delta)| {
+                let rel = if *sa > 0.0 {
+                    format!("{:+.1}%", 100.0 * delta / sa)
+                } else {
+                    "new".to_string()
+                };
+                vec![
+                    path.clone(),
+                    format!("{sa:.3}"),
+                    format!("{sb:.3}"),
+                    format!("{delta:+.3}"),
+                    rel,
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            table(&["span", "a secs", "b secs", "delta", "rel"], &table_rows)
+        );
+        if let Some((path, sa, _, delta)) = rows.iter().find(|(_, _, _, d)| *d > 0.0) {
+            let rel = if *sa > 0.0 {
+                format!(" ({:+.1}%)", 100.0 * delta / sa)
+            } else {
+                String::new()
+            };
+            println!("biggest regression: {path} {delta:+.3} s{rel}");
+        }
+    }
+    Ok(())
+}
+
+/// Loads attribution data from any artifact the toolchain produces: a
+/// JSON Lines trace (uses the `run-summary` record's span tree, falling
+/// back to the flat phase profile), a bare span-summary object, or a
+/// scaleout bench artifact (`"runs"` with per-phase totals).
+fn load_sections(path: &str) -> Result<Vec<PerfSection>, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    for line in text.lines() {
+        let Ok(record) = Json::parse(line) else {
+            continue;
+        };
+        if record.get("record").and_then(Json::as_str) == Some("run-summary") {
+            return Ok(vec![trace_section(&record)?]);
+        }
+    }
+    let json = Json::parse(&text)
+        .map_err(|e| ArgError(format!("{path}: not a trace or bench artifact: {e:?}")))?;
+    // `runs` is a scaleout artifact; `baseline` is the checked-in perf
+    // baseline — same per-entry shape, so both diff against each other.
+    for key in ["runs", "baseline"] {
+        if let Some(runs) = json.get(key).and_then(Json::as_array) {
+            let sections: Result<Vec<_>, _> = runs.iter().map(scaleout_section).collect();
+            let sections = sections?;
+            if sections.is_empty() {
+                return Err(Box::new(ArgError(format!("{path}: empty `{key}` array"))));
+            }
+            return Ok(sections);
+        }
+    }
+    if json.get("spans").is_some() {
+        return Ok(vec![PerfSection {
+            label: path.to_string(),
+            summary: SpanSummary::from_json(&json).map_err(|e| ArgError(format!("{e:?}")))?,
+        }]);
+    }
+    Err(Box::new(ArgError(format!(
+        "{path}: found neither a run-summary record, a span summary, nor a `runs` array"
+    ))))
+}
+
+/// Builds a section from a trace's `run-summary` record. Prefers the
+/// hierarchical span tree (present when the run was profiled); falls
+/// back to the flat wall-clock phase profile.
+fn trace_section(record: &Json) -> Result<PerfSection, Box<dyn Error>> {
+    let label = format!(
+        "{} / {}",
+        record.get("scenario").and_then(Json::as_str).unwrap_or("?"),
+        record.get("policy").and_then(Json::as_str).unwrap_or("?"),
+    );
+    let summary = match record.get("spans") {
+        Some(spans) if *spans != Json::Null => {
+            SpanSummary::from_json(spans).map_err(|e| ArgError(format!("{e:?}")))?
+        }
+        _ => {
+            let profile = record
+                .get("profile")
+                .ok_or_else(|| ArgError("run-summary has no profile".to_string()))?;
+            flat_summary_from_profile(profile)?
+        }
+    };
+    Ok(PerfSection { label, summary })
+}
+
+/// Converts a `ProfileSummary` JSON rendering into a depth-1 span
+/// summary so the report and diff paths are uniform.
+fn flat_summary_from_profile(profile: &Json) -> Result<SpanSummary, Box<dyn Error>> {
+    let wall_secs = profile
+        .get("wall_secs")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let phases = profile
+        .get("phases")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ArgError("profile has no `phases` array".to_string()))?;
+    let spans = phases
+        .iter()
+        .map(|p| {
+            let name = p
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let total_secs = p.get("total_secs").and_then(Json::as_f64).unwrap_or(0.0);
+            SpanStat {
+                path: name.clone(),
+                name,
+                depth: 1,
+                calls: p.get("calls").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                total_secs,
+                self_secs: total_secs,
+            }
+        })
+        .collect();
+    Ok(SpanSummary { spans, wall_secs })
+}
+
+/// Builds a section from one entry of a scaleout artifact's `runs`
+/// array. Uses the embedded span tree when present, else the flat
+/// per-phase totals.
+fn scaleout_section(run: &Json) -> Result<PerfSection, Box<dyn Error>> {
+    let hosts = run.get("hosts").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let label = format!("hosts={hosts}");
+    if let Some(spans) = run.get("spans") {
+        if *spans != Json::Null {
+            return Ok(PerfSection {
+                label,
+                summary: SpanSummary::from_json(spans).map_err(|e| ArgError(format!("{e:?}")))?,
+            });
+        }
+    }
+    let phases = run
+        .get("phases")
+        .and_then(Json::as_object)
+        .ok_or_else(|| ArgError(format!("{label}: run has neither spans nor phases")))?;
+    let spans: Vec<SpanStat> = phases
+        .iter()
+        .map(|(name, secs)| {
+            let total_secs = secs.as_f64().unwrap_or(0.0);
+            SpanStat {
+                path: name.clone(),
+                name: name.clone(),
+                depth: 1,
+                calls: 0,
+                total_secs,
+                self_secs: total_secs,
+            }
+        })
+        .collect();
+    let wall_secs = run
+        .get("wall_secs")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| spans.iter().map(|s| s.total_secs).sum());
+    Ok(PerfSection {
+        label,
+        summary: SpanSummary { spans, wall_secs },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +832,105 @@ mod tests {
             "compare", "--hosts", "4", "--vms", "12", "--hours", "2",
         ]))
         .expect("compare succeeds");
+    }
+
+    #[test]
+    fn perf_report_renders_and_diffs_profiled_traces() {
+        let dir = std::env::temp_dir().join("agilepm-cli-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let a = dir.join("perf_a.jsonl");
+        let b = dir.join("perf_b.jsonl");
+        for (path, seed) in [(&a, "1"), (&b, "2")] {
+            dispatch(&argv(&[
+                "run",
+                "--hosts",
+                "4",
+                "--vms",
+                "12",
+                "--hours",
+                "2",
+                "--seed",
+                seed,
+                "--profile",
+                "--trace-out",
+                path.to_str().expect("utf8 path"),
+            ]))
+            .expect("profiled run succeeds");
+        }
+        let a = a.to_str().expect("utf8 path");
+        let b = b.to_str().expect("utf8 path");
+        dispatch(&argv(&["perf-report", a])).expect("attribution table renders");
+        dispatch(&argv(&["perf-report", "diff", a, b])).expect("diff renders");
+        assert!(dispatch(&argv(&["perf-report"])).is_err());
+        assert!(dispatch(&argv(&["perf-report", "diff", a])).is_err());
+        assert!(dispatch(&argv(&["perf-report", "/nonexistent/trace.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn perf_report_loads_traces_spans_and_bench_artifacts() {
+        let dir = std::env::temp_dir().join("agilepm-cli-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+
+        // A profiled trace exposes the hierarchical span tree.
+        let trace = dir.join("perf_sections.jsonl");
+        dispatch(&argv(&[
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--profile",
+            "--trace-out",
+            trace.to_str().expect("utf8 path"),
+        ]))
+        .expect("profiled run succeeds");
+        let text = fs::read_to_string(&trace).expect("trace written");
+        let summary_line = text
+            .lines()
+            .find(|l| l.contains("\"run-summary\""))
+            .expect("trace has a run-summary");
+        let record = obs::Json::parse(summary_line).expect("valid JSON");
+        let spans = record.get("spans").expect("summary carries spans");
+        assert!(*spans != obs::Json::Null, "profiled run must emit spans");
+        let sections = load_sections(trace.to_str().expect("utf8 path")).expect("trace loads");
+        assert_eq!(sections.len(), 1);
+        assert!(
+            sections[0].summary.span("plan").is_some(),
+            "span tree has the plan phase"
+        );
+
+        // A bare span-summary object loads too.
+        let bare = dir.join("perf_bare.json");
+        fs::write(&bare, spans.to_string_pretty()).expect("write span summary");
+        let sections = load_sections(bare.to_str().expect("utf8 path")).expect("bare loads");
+        assert!(sections[0].summary.wall_secs >= 0.0);
+
+        // And a scaleout-shaped artifact yields one section per size.
+        let bench = dir.join("perf_bench.json");
+        fs::write(
+            &bench,
+            r#"{"runs": [
+                {"hosts": 64, "wall_secs": 1.0, "phases": {"plan": 0.6, "execute": 0.2}},
+                {"hosts": 256, "wall_secs": 4.0, "phases": {"plan": 2.9, "execute": 0.7}}
+            ]}"#,
+        )
+        .expect("write bench artifact");
+        let sections = load_sections(bench.to_str().expect("utf8 path")).expect("bench loads");
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[1].label, "hosts=256");
+        assert_eq!(
+            sections[1].summary.span("plan").map(|s| s.total_secs),
+            Some(2.9)
+        );
+        dispatch(&argv(&[
+            "perf-report",
+            "diff",
+            bench.to_str().expect("utf8 path"),
+            bench.to_str().expect("utf8 path"),
+        ]))
+        .expect("self-diff renders");
     }
 
     #[test]

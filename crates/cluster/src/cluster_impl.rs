@@ -266,6 +266,12 @@ pub struct Cluster {
     threads: usize,
     /// Reusable per-host power buffer for the sharded power scan.
     power_scratch: RefCell<Vec<f64>>,
+    /// Deterministic count of cache invalidations (dirty marks) at
+    /// mutation sites. Counted where state *changes* — never at the
+    /// read-and-clear revalidation sites, which fire on a mode-dependent
+    /// schedule — so the count is identical across accounting modes and
+    /// thread counts.
+    dirty_marks: u64,
 }
 
 impl Cluster {
@@ -318,6 +324,7 @@ impl Cluster {
             scratch: DemandScratch::default(),
             threads: 1,
             power_scratch: RefCell::new(Vec::new()),
+            dirty_marks: 0,
         }
     }
 
@@ -359,6 +366,14 @@ impl Cluster {
         self.accounting = mode;
         self.power_dirty.set(true);
         self.cap_dirty.set(true);
+        self.dirty_marks += 2;
+    }
+
+    /// Deterministic count of cache invalidations performed so far (see
+    /// the `dirty_marks` field): a pure function of the scenario,
+    /// identical across accounting modes and thread counts.
+    pub fn dirty_marks(&self) -> u64 {
+        self.dirty_marks
     }
 
     /// The accounting mode in use.
@@ -819,9 +834,11 @@ impl Cluster {
     /// host crossed the `On` boundary.
     fn note_power_changed(&mut self, i: usize, was_on: bool) {
         self.power_dirty.set(true);
+        self.dirty_marks += 1;
         let is_on = self.hosts[i].is_operational();
         if is_on != was_on {
             self.cap_dirty.set(true);
+            self.dirty_marks += 1;
             if is_on {
                 self.on_count += 1;
             } else {
@@ -1018,6 +1035,7 @@ impl Cluster {
         self.scratch = scratch;
         // Every operational host's utilization (and thus draw) changed.
         self.power_dirty.set(true);
+        self.dirty_marks += 1;
 
         out.offered_cores = offered;
         out.served_cores = served;

@@ -9,6 +9,7 @@
 use std::ops::Range;
 
 use cluster::{HostId, VmId};
+use obs::SpanTracer;
 use simcore::{pool, SimTime};
 
 use crate::plan::PlanContext;
@@ -32,13 +33,23 @@ pub(crate) fn plan_consolidation(
     actions: &mut Vec<ManagementAction>,
     budget: &mut usize,
     threads: usize,
+    tracer: &mut SpanTracer,
 ) {
+    let s_drain = tracer.name("drain");
+    let s_scan = tracer.name("candidate_scan");
+    let s_trial = tracer.name("trial");
+    let s_undo = tracer.name("undo");
+
     // Phase 1: keep draining hosts draining — evacuate what we can.
+    tracer.enter(s_drain);
     for host in 0..ctx.num_hosts() {
         if ctx.draining[host] && ctx.operational[host] {
+            let before = actions.len();
             evacuate(ctx, cfg, host, actions, budget, None);
+            ctx.work.migrations_planned += (actions.len() - before) as u64;
         }
     }
+    tracer.exit(s_drain);
 
     // Phase 2: select new candidates, least-loaded first.
     let mut new_drains = 0;
@@ -48,7 +59,10 @@ pub(crate) fn plan_consolidation(
         if new_drains >= cfg.max_drains_per_round() || *budget == 0 {
             return;
         }
-        let Some(candidate) = pick_candidate(ctx, cfg, gate, recovery, now, threads) else {
+        tracer.enter(s_scan);
+        let picked = pick_candidate(ctx, cfg, gate, recovery, now, threads);
+        tracer.exit(s_scan);
+        let Some(candidate) = picked else {
             return;
         };
         // A candidate only commits if its *entire* evacuation fits the
@@ -57,6 +71,8 @@ pub(crate) fn plan_consolidation(
         journal.clear();
         let mut trial_budget = *budget;
         ctx.draining[candidate] = true;
+        ctx.work.trials_attempted += 1;
+        tracer.enter(s_trial);
         let complete = evacuate(
             ctx,
             cfg,
@@ -65,13 +81,24 @@ pub(crate) fn plan_consolidation(
             &mut trial_budget,
             Some(&mut journal),
         );
-        if complete {
+        ctx.work.undo_depth_max = ctx.work.undo_depth_max.max(journal.len() as u64);
+        let committed = if complete {
             actions.append(&mut trial_actions);
             *budget = trial_budget;
             new_drains += 1;
+            ctx.work.migrations_planned += journal.len() as u64;
+            true
         } else {
+            tracer.enter(s_undo);
             undo_moves(ctx, &journal);
+            tracer.exit(s_undo);
             ctx.draining[candidate] = false;
+            ctx.work.trials_rolled_back += 1;
+            ctx.work.rollback_moves += journal.len() as u64;
+            false
+        };
+        tracer.exit(s_trial);
+        if !committed {
             // This candidate cannot be emptied; no smaller-utilization
             // candidate will appear this round either, so stop.
             return;
@@ -89,13 +116,19 @@ pub(crate) fn plan_consolidation(
 /// composes to first-wins-globally, the result is identical to the
 /// serial scan for any thread count.
 fn pick_candidate(
-    ctx: &PlanContext,
+    ctx: &mut PlanContext,
     cfg: &ManagerConfig,
     gate: &HysteresisGate,
     recovery: &RecoveryTracker,
     now: SimTime,
     threads: usize,
 ) -> Option<usize> {
+    // Work accounting happens up front, on the coordinating side, so the
+    // counts are identical for every thread count: the aggregate fold and
+    // the qualification scan each visit every host exactly once.
+    ctx.work.fold_elements += ctx.num_hosts() as u64;
+    ctx.work.candidates_scanned += ctx.num_hosts() as u64;
+    let ctx = &*ctx;
     // One allocation-free pass for the capacity aggregates. The fold
     // seeds mirror the iterator versions this replaced (`Sum<f64>` starts
     // from -0.0; capacities are positive, so the sums are bit-identical).
@@ -353,6 +386,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         // Host 2 (util 0.5/8) is the prime candidate and must fully drain.
         assert!(ctx.draining[2]);
@@ -386,6 +420,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         assert!(!ctx.draining[2], "quarantined host was drained");
         assert!(ctx.draining[1], "healthy underloaded host should drain");
@@ -408,6 +443,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         assert!(actions.is_empty());
         assert!(!ctx.draining.iter().any(|&d| d));
@@ -434,6 +470,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         assert!(actions.is_empty());
     }
@@ -498,6 +535,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         // Only one 24 GB VM fits on host 1 (24 free); evacuation is
         // partial, so everything must roll back.
@@ -524,6 +562,7 @@ mod tests {
             &mut actions,
             &mut budget,
             1,
+            &mut SpanTracer::new(),
         );
         assert!(ctx.movable_vms(0).is_empty());
         assert!(actions.len() >= 2);

@@ -6,7 +6,7 @@
 //! any power action without replaying the run. The record is pure data:
 //! building it never changes what the planner decides.
 
-use obs::Json;
+use obs::{Json, Quantiles};
 use simcore::SimTime;
 
 /// What pushed the planner off the steady state this round.
@@ -101,6 +101,11 @@ pub struct DecisionRecord {
     pub failsafe: bool,
     /// Actions emitted, bucketed by planning step.
     pub actions: DecisionActions,
+    /// Percentile summary (conservative upper bounds) of total actions
+    /// per round across all rounds so far, from the manager's
+    /// deterministic log-bucket histogram. `None` only when the
+    /// histogram is empty.
+    pub actions_per_round: Option<Quantiles>,
 }
 
 impl DecisionRecord {
@@ -160,6 +165,27 @@ impl DecisionRecord {
             ),
             ("power_ups", Json::Int(self.actions.power_ups as i64)),
             ("power_downs", Json::Int(self.actions.power_downs as i64)),
+            (
+                "actions_per_round_p50",
+                match self.actions_per_round {
+                    Some(q) => Json::Num(q.p50),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "actions_per_round_p95",
+                match self.actions_per_round {
+                    Some(q) => Json::Num(q.p95),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "actions_per_round_p99",
+                match self.actions_per_round {
+                    Some(q) => Json::Num(q.p99),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -193,6 +219,11 @@ mod tests {
                 overload_migrations: 2,
                 ..DecisionActions::default()
             },
+            actions_per_round: Some(Quantiles {
+                p50: 2.0,
+                p95: 4.0,
+                p99: 4.0,
+            }),
         }
     }
 
@@ -244,6 +275,7 @@ mod tests {
         assert_eq!(j.get("overload_migrations").unwrap().as_i64(), Some(2));
         assert_eq!(j.get("quarantined_hosts").unwrap().as_i64(), Some(1));
         assert_eq!(j.get("failsafe").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("actions_per_round_p95").unwrap().as_f64(), Some(4.0));
         // Compact text parses back.
         let parsed = obs::Json::parse(&j.to_string_compact()).unwrap();
         assert_eq!(parsed, j);

@@ -49,6 +49,7 @@ mod plan;
 mod predict;
 mod prewake;
 mod recovery;
+mod work;
 
 pub use action::{ActionReason, ManagementAction};
 pub use config::{ConfigError, ManagerConfig, PackingPolicy, PowerPolicy};
@@ -59,3 +60,4 @@ pub use observation::{ClusterObservation, HostObservation, VmObservation};
 pub use predict::{Predictor, PredictorConfig};
 pub use prewake::DayProfile;
 pub use recovery::{RecoveryConfig, RecoveryStats, RecoveryTracker};
+pub use work::WorkCounters;

@@ -7,8 +7,9 @@ use crate::plan::PlanContext;
 use crate::{
     consolidate, drm, ActionReason, ClusterObservation, DayProfile, DecisionActions,
     DecisionRecord, DecisionTrigger, HysteresisGate, ManagementAction, ManagerConfig, PowerPolicy,
-    Predictor, RecoveryTracker,
+    Predictor, RecoveryTracker, WorkCounters,
 };
+use obs::{Histogram, SpanTracer};
 use simcore::{pool, SimDuration};
 
 /// Cumulative counts of actions the manager has requested — the
@@ -90,6 +91,10 @@ pub struct VirtManager {
     /// Worker threads for the sharded prediction fill and consolidation
     /// candidate scan; `1` keeps planning fully serial.
     threads: usize,
+    /// Log-bucket histogram of total actions per round — deterministic
+    /// (counts actions, not time), feeds the decision record's
+    /// percentile summary.
+    actions_hist: Histogram,
 }
 
 /// Capacity requirement vs. supply, assessed before any action.
@@ -135,6 +140,7 @@ impl VirtManager {
             predicted_buf: Vec::new(),
             ctx: PlanContext::default(),
             threads: 1,
+            actions_hist: Histogram::new(),
         }
     }
 
@@ -193,6 +199,13 @@ impl VirtManager {
             .collect()
     }
 
+    /// Deterministic counts of the planning work done so far (candidate
+    /// scans, trial evacuations, rollbacks, destination re-scores),
+    /// accumulated across rounds.
+    pub fn work_counters(&self) -> WorkCounters {
+        self.ctx.work
+    }
+
     /// Runs one management round.
     ///
     /// # Panics
@@ -200,9 +213,37 @@ impl VirtManager {
     /// Panics if the observation's host/VM counts differ from what the
     /// manager was created with.
     pub fn plan(&mut self, obs: &ClusterObservation) -> Vec<ManagementAction> {
+        self.plan_traced(obs, &mut SpanTracer::new())
+    }
+
+    /// Runs one management round, recording each planning step as a
+    /// child span of the caller's current span (`rescore`,
+    /// `capacity_wake`, `overload`, `consolidate` with its
+    /// `candidate_scan`/`trial`/`undo` subtree, `rebalance`, `park`).
+    ///
+    /// Tracing observes and never steers: with a disabled tracer this is
+    /// byte-for-byte the same plan as [`plan`](Self::plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's host/VM counts differ from what the
+    /// manager was created with.
+    pub fn plan_traced(
+        &mut self,
+        obs: &ClusterObservation,
+        tracer: &mut SpanTracer,
+    ) -> Vec<ManagementAction> {
         assert_eq!(obs.hosts.len(), self.draining.len(), "host count changed");
         assert_eq!(obs.vms.len(), self.predictors.len(), "VM count changed");
         self.stats.rounds += 1;
+
+        let s_rescore = tracer.name("rescore");
+        let s_wake = tracer.name("capacity_wake");
+        let s_overload = tracer.name("overload");
+        let s_consolidate = tracer.name("consolidate");
+        let s_rebalance = tracer.name("rebalance");
+        let s_park = tracer.name("park");
+        tracer.enter(s_rescore);
 
         // Detect fresh transition failures before any planning: backoff,
         // quarantine, and the fleet fail-safe gate the steps below.
@@ -257,6 +298,7 @@ impl VirtManager {
         if matches!(self.config.policy(), PowerPolicy::Oracle) {
             // Oracle is evaluated analytically by the simulator; the
             // manager never acts.
+            tracer.exit(s_rescore);
             self.last_decision = None;
             return Vec::new();
         }
@@ -296,6 +338,7 @@ impl VirtManager {
             .filter(|&h| ctx.operational[h] && !ctx.draining[h])
             .count();
         let capacity = self.assess_capacity(&ctx, obs);
+        tracer.exit(s_rescore);
 
         // Attribute each action to the step that produced it by tracking
         // step boundaries in the action list.
@@ -307,16 +350,21 @@ impl VirtManager {
         };
 
         let mut available_capacity = capacity.available;
+        tracer.enter(s_wake);
         if power_managed {
             available_capacity = self.ensure_capacity(&mut ctx, obs, &mut actions, &capacity);
         }
+        tracer.exit(s_wake);
         mark(&mut reasons, actions.len(), ActionReason::CapacityWake);
+        tracer.enter(s_overload);
         drm::mitigate_overloads(&mut ctx, &self.config, &mut actions, &mut budget);
+        tracer.exit(s_overload);
         mark(
             &mut reasons,
             actions.len(),
             ActionReason::OverloadMitigation,
         );
+        tracer.enter(s_consolidate);
         if power_managed && !failsafe {
             consolidate::plan_consolidation(
                 &mut ctx,
@@ -327,13 +375,18 @@ impl VirtManager {
                 &mut actions,
                 &mut budget,
                 self.threads,
+                tracer,
             );
         }
+        tracer.exit(s_consolidate);
         mark(&mut reasons, actions.len(), ActionReason::Consolidation);
         // Rebalance after consolidation so the trickle never refills a
         // host that is being drained.
+        tracer.enter(s_rebalance);
         drm::rebalance(&mut ctx, &self.config, &mut actions, &mut budget);
+        tracer.exit(s_rebalance);
         mark(&mut reasons, actions.len(), ActionReason::Rebalance);
+        tracer.enter(s_park);
         if power_managed {
             self.draining.clear();
             self.draining.extend_from_slice(&ctx.draining);
@@ -341,6 +394,7 @@ impl VirtManager {
                 self.park_drained(obs, &mut actions);
             }
         }
+        tracer.exit(s_park);
         mark(&mut reasons, actions.len(), ActionReason::Park);
         // Hand the context back for reuse next round.
         self.ctx = ctx;
@@ -378,6 +432,7 @@ impl VirtManager {
             }
         }
         self.last_reasons = reasons;
+        self.actions_hist.observe(actions.len() as f64);
         self.last_decision = Some(DecisionRecord {
             round: self.stats.rounds,
             now: obs.now,
@@ -398,6 +453,7 @@ impl VirtManager {
             quarantined_hosts: self.recovery.quarantined_count(),
             failsafe,
             actions: round_actions,
+            actions_per_round: self.actions_hist.quantiles(),
         });
         actions
     }

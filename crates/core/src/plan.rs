@@ -8,7 +8,7 @@
 
 use cluster::ServiceClass;
 
-use crate::{ClusterObservation, ManagerConfig};
+use crate::{ClusterObservation, ManagerConfig, WorkCounters};
 
 /// Mutable planning view of the cluster for one round.
 ///
@@ -48,6 +48,9 @@ pub(crate) struct PlanContext {
     /// immutable within a round, so hot paths read this instead of
     /// re-summing O(VMs)).
     total_predicted_cache: f64,
+    /// Deterministic op-counters, accumulated *across* rounds —
+    /// [`rebuild`](Self::rebuild) deliberately leaves them untouched.
+    pub work: WorkCounters,
 }
 
 impl PlanContext {
@@ -226,7 +229,11 @@ impl PlanContext {
 
     /// Chooses the feasible destination for `vm` with the *lowest*
     /// resulting utilization (load-balancing placement, used by DRM).
-    pub fn least_loaded_destination(&self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+    ///
+    /// Takes `&mut self` only to count the re-scoring work; the scan
+    /// itself never mutates the plan.
+    pub fn least_loaded_destination(&mut self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        self.work.hosts_rescored += self.num_hosts() as u64;
         (0..self.num_hosts())
             .filter(|&h| self.can_accept(h, vm, cfg))
             .min_by(|&a, &b| {
@@ -239,7 +246,11 @@ impl PlanContext {
     /// Chooses the feasible destination for `vm` with the *highest*
     /// resulting utilization (best-fit-decreasing packing, used by
     /// consolidation).
-    pub fn tightest_destination(&self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+    ///
+    /// Takes `&mut self` only to count the re-scoring work; the scan
+    /// itself never mutates the plan.
+    pub fn tightest_destination(&mut self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        self.work.hosts_rescored += self.num_hosts() as u64;
         (0..self.num_hosts())
             .filter(|&h| self.can_accept(h, vm, cfg))
             .max_by(|&a, &b| {

@@ -13,10 +13,15 @@
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
 //!   log-bucketed histograms, frozen into deterministic
 //!   [`MetricsSnapshot`]s that land in simulation reports.
-//! * [`profile`] — monotonic wall-clock [`PhaseProfiler`] for the
-//!   simulator's observe/plan/execute/dispatch phases. Wall time never
-//!   touches simulation state, so runs stay bit-deterministic with
-//!   profiling on or off.
+//! * [`span`] — the hierarchical wall-clock [`SpanTracer`]: nested
+//!   spans (`plan > consolidate > candidate_scan`, ...) aggregated per
+//!   call path, exportable as attribution tables, chrome://tracing
+//!   JSON, and collapsed-stack flamegraph text. Wall time never touches
+//!   simulation state, so runs stay bit-deterministic with tracing on
+//!   or off.
+//! * [`profile`] — the frozen [`ProfileSummary`] table (still the flat
+//!   top-level view of a trace) and the deprecated flat
+//!   `PhaseProfiler`, superseded by [`SpanTracer`].
 //!
 //! # Design rule: observe, never steer
 //!
@@ -32,11 +37,14 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod span;
 
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{
     CounterId, GaugeId, Histogram, HistogramId, MetricEntry, MetricValue, MetricsRegistry,
-    MetricsSnapshot,
+    MetricsSnapshot, Quantiles,
 };
+#[allow(deprecated)]
 pub use profile::{PhaseId, PhaseProfiler, PhaseStat, ProfileSummary};
 pub use sink::{CountingSink, JsonlSink, MemorySink, NullSink, TraceSink};
+pub use span::{SpanName, SpanStat, SpanSummary, SpanTracer};

@@ -38,6 +38,8 @@ pub struct MetricsRegistry {
 /// seconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
+    // Default is implemented manually below (min/max need non-zero
+    // sentinels).
     counts: Vec<u64>,
     count: u64,
     sum: f64,
@@ -54,7 +56,10 @@ const BUCKET_MIN_EXP: i32 = -10;
 const BUCKET_COUNT: usize = 28;
 
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram. Public so deterministic components (e.g. the
+    /// manager's per-round action sizes) can own one directly instead of
+    /// going through a [`MetricsRegistry`].
+    pub fn new() -> Self {
         Histogram {
             counts: vec![0; BUCKET_COUNT],
             count: 0,
@@ -65,7 +70,8 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Records one sample (non-finite samples are counted and dropped).
+    pub fn observe(&mut self, value: f64) {
         if !value.is_finite() {
             // A single NaN would make sum/mean NaN forever (and the
             // bucketing would shunt it to underflow, masking the
@@ -141,6 +147,36 @@ impl Histogram {
         }
         Some(self.max)
     }
+
+    /// The standard p50/p95/p99 summary block (`None` when the
+    /// histogram holds no samples). Each value is the conservative
+    /// bucket-boundary upper bound from
+    /// [`quantile_upper`](Self::quantile_upper).
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        Some(Quantiles {
+            p50: self.quantile_upper(0.50)?,
+            p95: self.quantile_upper(0.95)?,
+            p99: self.quantile_upper(0.99)?,
+        })
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A percentile summary block: conservative upper bounds on the p50,
+/// p95, and p99 of a [`Histogram`]'s samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Upper bound on the median.
+    pub p50: f64,
+    /// Upper bound on the 95th percentile.
+    pub p95: f64,
+    /// Upper bound on the 99th percentile.
+    pub p99: f64,
 }
 
 /// Bucket index of a sample.
@@ -445,15 +481,23 @@ impl fmt::Display for MetricsSnapshot {
                     if h.count() == 0 {
                         writeln!(f, "{:<width$}  (no samples)", e.name)?;
                     } else {
+                        let q = h.quantiles().unwrap_or(Quantiles {
+                            p50: 0.0,
+                            p95: 0.0,
+                            p99: 0.0,
+                        });
                         writeln!(
                             f,
-                            "{:<width$}  n={} mean={:.3} min={:.3} max={:.3} p99<={:.3}",
+                            "{:<width$}  n={} mean={:.3} min={:.3} max={:.3} \
+                             p50<={:.3} p95<={:.3} p99<={:.3}",
                             e.name,
                             h.count(),
                             h.mean(),
                             h.min().unwrap_or(0.0),
                             h.max().unwrap_or(0.0),
-                            h.quantile_upper(0.99).unwrap_or(0.0),
+                            q.p50,
+                            q.p95,
+                            q.p99,
                         )?;
                     }
                 }

@@ -1,14 +1,15 @@
-//! Wall-clock phase profiling.
+//! Wall-clock phase profiling (flat view).
 //!
 //! The simulator is bit-deterministic in simulated time; wall-clock
 //! measurement must therefore live entirely outside the simulation
-//! state. [`PhaseProfiler`] accumulates real elapsed time per named
-//! phase (observe, plan, execute, dispatch, ...) using monotonic
-//! [`Instant`]s, and freezes into a [`ProfileSummary`] that never feeds
-//! back into simulation results.
+//! state. [`ProfileSummary`] is the frozen flat table of per-phase
+//! totals that never feeds back into simulation results; since the
+//! hierarchical [`SpanTracer`](crate::span::SpanTracer) landed it is
+//! produced by [`SpanTracer::flat_summary`](crate::span::SpanTracer::flat_summary)
+//! as the top-level view of the span tree.
 //!
-//! Disabled profilers return `None` from [`PhaseProfiler::start`], so
-//! the hot-path cost when off is a branch — no clock read.
+//! The flat `PhaseProfiler` that used to fill it cannot represent
+//! nested phases and is deprecated; use the span tracer instead.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -16,6 +17,10 @@ use std::time::{Duration, Instant};
 use crate::json::Json;
 
 /// Handle to a registered phase.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `obs::span::SpanTracer` and `SpanName`; the flat profiler cannot nest phases"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseId(usize);
 
@@ -25,7 +30,12 @@ struct PhaseAcc {
     calls: u64,
 }
 
-/// Accumulates wall-clock time per phase.
+/// Accumulates wall-clock time per phase (flat — no nesting).
+#[deprecated(
+    since = "0.3.0",
+    note = "use `obs::span::SpanTracer`, whose `flat_summary()` is a drop-in replacement \
+            for `PhaseProfiler::summary()`"
+)]
 #[derive(Debug, Clone)]
 pub struct PhaseProfiler {
     phases: Vec<(String, PhaseAcc)>,
@@ -33,6 +43,7 @@ pub struct PhaseProfiler {
     created: Instant,
 }
 
+#[allow(deprecated)]
 impl PhaseProfiler {
     /// A profiler that records nothing until [`enable`](Self::enable)d.
     pub fn new() -> Self {
@@ -108,6 +119,7 @@ impl PhaseProfiler {
     }
 }
 
+#[allow(deprecated)]
 impl Default for PhaseProfiler {
     fn default() -> Self {
         PhaseProfiler::new()
@@ -205,6 +217,7 @@ impl fmt::Display for ProfileSummary {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

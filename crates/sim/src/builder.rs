@@ -35,7 +35,7 @@
 //! ```
 
 use cluster::Cluster;
-use obs::ProfileSummary;
+use obs::{ProfileSummary, SpanSummary};
 use power::DvfsModel;
 
 use crate::{Experiment, SimError, SimReport};
@@ -226,22 +226,25 @@ impl Simulation {
                 profiling,
                 capture_cluster,
             } => {
-                let (report, cluster, profile) = sim.run_inner()?;
+                let (report, cluster, profile, spans) = sim.run_inner()?;
                 Ok(SimOutput {
                     report,
                     cluster: capture_cluster.then_some(cluster),
                     profile: profiling.then_some(profile),
+                    spans,
                 })
             }
             SimKind::Oracle { experiment } => Ok(SimOutput {
                 report: experiment.run_oracle(),
                 cluster: None,
                 profile: None,
+                spans: None,
             }),
             SimKind::Dvfs { experiment, model } => Ok(SimOutput {
                 report: experiment.dvfs_report(&model),
                 cluster: None,
                 profile: None,
+                spans: None,
             }),
         }
     }
@@ -260,6 +263,10 @@ pub struct SimOutput {
     /// The wall-clock phase profile, when built with
     /// [`SimulationBuilder::profiling`].
     pub profile: Option<ProfileSummary>,
+    /// The full hierarchical span summary (per-phase attribution down to
+    /// `candidate_scan`/`trial`/`undo`), when built with
+    /// [`SimulationBuilder::profiling`].
+    pub spans: Option<SpanSummary>,
 }
 
 #[cfg(test)]

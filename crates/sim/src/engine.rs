@@ -12,7 +12,7 @@ use crate::events::{EventKind, EventRecord};
 use crate::metrics::MetricsCollector;
 use crate::trace::{self, SimTelemetry};
 use crate::{FailureModel, Scenario, SimError, SimReport};
-use obs::{NullSink, PhaseId, PhaseProfiler, ProfileSummary, TraceSink};
+use obs::{NullSink, ProfileSummary, SpanName, SpanSummary, SpanTracer, TraceSink};
 use power::TransitionKind;
 use simcore::RngStream;
 use workload::Lifetime;
@@ -74,11 +74,18 @@ pub struct DatacenterSim {
     event_log: Option<Vec<EventRecord>>,
     sink: Box<dyn TraceSink>,
     telemetry: SimTelemetry,
-    profiler: PhaseProfiler,
-    ph_observe: PhaseId,
-    ph_plan: PhaseId,
-    ph_execute: PhaseId,
-    ph_dispatch: PhaseId,
+    /// Hierarchical wall-clock tracer. Top-level spans are the tick
+    /// phases (`demand`/`observe`/`plan`/`execute`/`dispatch`); the
+    /// manager and the action executor nest their sub-steps beneath
+    /// them. Disabled by default — one branch per enter/exit.
+    tracer: SpanTracer,
+    s_demand: SpanName,
+    s_observe: SpanName,
+    s_plan: SpanName,
+    s_execute: SpanName,
+    s_dispatch: SpanName,
+    s_migration: SpanName,
+    s_power: SpanName,
     peak_queue_len: usize,
     /// Worker-thread count for the sharded per-tick paths (demand fill,
     /// demand serve, power scan, observation fill, candidate scoring).
@@ -122,11 +129,14 @@ impl DatacenterSim {
             .map(|m| m.config().policy().label().to_string())
             .unwrap_or_else(|| "Unmanaged".to_string());
 
-        let mut profiler = PhaseProfiler::new();
-        let ph_observe = profiler.phase("observe");
-        let ph_plan = profiler.phase("plan");
-        let ph_execute = profiler.phase("execute");
-        let ph_dispatch = profiler.phase("dispatch");
+        let mut tracer = SpanTracer::new();
+        let s_demand = tracer.name("demand");
+        let s_observe = tracer.name("observe");
+        let s_plan = tracer.name("plan");
+        let s_execute = tracer.name("execute");
+        let s_dispatch = tracer.name("dispatch");
+        let s_migration = tracer.name("migration");
+        let s_power = tracer.name("power");
 
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Event::Control);
@@ -179,11 +189,14 @@ impl DatacenterSim {
             event_log: None,
             sink: Box::new(NullSink),
             telemetry: SimTelemetry::new(),
-            profiler,
-            ph_observe,
-            ph_plan,
-            ph_execute,
-            ph_dispatch,
+            tracer,
+            s_demand,
+            s_observe,
+            s_plan,
+            s_execute,
+            s_dispatch,
+            s_migration,
+            s_power,
             peak_queue_len: 0,
             threads: 1,
             demand_buf: Vec::new(),
@@ -219,12 +232,16 @@ impl DatacenterSim {
         self.sink.as_ref()
     }
 
-    /// Turns on wall-clock phase timing (observe/plan/execute/dispatch).
-    /// The numbers only ever leave through the `run-summary` trace record
-    /// and [`run_profiled`](Self::run_profiled) — never the report, which
-    /// must stay bit-deterministic.
+    /// Turns on wall-clock span tracing: the tick phases
+    /// (`demand`/`observe`/`plan`/`execute`/`dispatch`) plus the nested
+    /// sub-steps the manager records under `plan`
+    /// (`rescore`/`overload`/`consolidate` > `candidate_scan`/`trial` >
+    /// `undo`/...) and the executor records under `execute`
+    /// (`migration`/`power`). The numbers only ever leave through the
+    /// `run-summary` trace record and the out-of-band profile/span
+    /// summaries — never the report, which must stay bit-deterministic.
     pub fn enable_profiling(&mut self) {
-        self.profiler.enable();
+        self.tracer.enable();
     }
 
     fn log(&mut self, time: SimTime, kind: EventKind) {
@@ -286,7 +303,7 @@ impl DatacenterSim {
         note = "use `SimulationBuilder` (`agilepm::SimulationBuilder::new(experiment).build()?.run()`)"
     )]
     pub fn run(self) -> Result<SimReport, SimError> {
-        self.run_inner().map(|(report, _, _)| report)
+        self.run_inner().map(|(report, _, _, _)| report)
     }
 
     /// Runs to the horizon and returns the report plus the final cluster
@@ -301,7 +318,7 @@ impl DatacenterSim {
     )]
     pub fn run_detailed(self) -> Result<(SimReport, Cluster), SimError> {
         self.run_inner()
-            .map(|(report, cluster, _)| (report, cluster))
+            .map(|(report, cluster, _, _)| (report, cluster))
     }
 
     /// Runs to the horizon and returns the report plus the wall-clock
@@ -319,19 +336,23 @@ impl DatacenterSim {
     )]
     pub fn run_profiled(self) -> Result<(SimReport, ProfileSummary), SimError> {
         self.run_inner()
-            .map(|(report, _, profile)| (report, profile))
+            .map(|(report, _, profile, _)| (report, profile))
     }
 
     /// Runs to the horizon and returns every output the engine produces:
-    /// the bit-deterministic report, the final cluster, and the wall-clock
-    /// phase profile. This is the single execution path behind
-    /// [`crate::SimulationBuilder`] (and the deprecated `run*` shims).
+    /// the bit-deterministic report, the final cluster, the wall-clock
+    /// flat phase profile, and (when tracing was enabled) the full
+    /// hierarchical span summary. This is the single execution path
+    /// behind [`crate::SimulationBuilder`] (and the deprecated `run*`
+    /// shims).
     ///
     /// # Errors
     ///
     /// Propagates unrecoverable cluster errors (these indicate engine
     /// bugs; recoverable action rejections are counted in the report).
-    pub(crate) fn run_inner(mut self) -> Result<(SimReport, Cluster, ProfileSummary), SimError> {
+    pub(crate) fn run_inner(
+        mut self,
+    ) -> Result<(SimReport, Cluster, ProfileSummary, Option<SpanSummary>), SimError> {
         let end = SimTime::ZERO + self.horizon;
         self.generate_rack_bursts(end);
         while let Some(t) = self.queue.peek_time() {
@@ -344,15 +365,18 @@ impl DatacenterSim {
                 // Control ticks time their own observe/plan/execute
                 // phases; `dispatch` covers the event-loop work proper.
                 Event::Control => self.control_tick(now, end),
+                // A `?` below leaves the dispatch span open, but those
+                // errors are unrecoverable engine bugs that abort the
+                // whole run — the tracer is dropped with it.
                 Event::PowerDone(host) => {
-                    let t0 = self.profiler.start();
+                    self.tracer.enter(self.s_dispatch);
                     self.finish_power_transition(host, now)?;
                     self.collector
                         .record_power(now, self.cluster.total_power_w());
-                    self.profiler.stop(self.ph_dispatch, t0);
+                    self.tracer.exit(self.s_dispatch);
                 }
                 Event::MigrationDone(vm) => {
-                    let t0 = self.profiler.start();
+                    self.tracer.enter(self.s_dispatch);
                     let p = self.failures.migration_failure_prob();
                     if p > 0.0 && self.migration_fail_rng.chance(p) {
                         self.cluster.fail_migration(vm, now)?;
@@ -361,17 +385,17 @@ impl DatacenterSim {
                         self.cluster.complete_migration(vm, now)?;
                         self.log(now, EventKind::MigrationCompleted { vm });
                     }
-                    self.profiler.stop(self.ph_dispatch, t0);
+                    self.tracer.exit(self.s_dispatch);
                 }
                 Event::VmArrive(vm) => {
-                    let t0 = self.profiler.start();
+                    self.tracer.enter(self.s_dispatch);
                     self.vm_arrive(vm, now, end);
-                    self.profiler.stop(self.ph_dispatch, t0);
+                    self.tracer.exit(self.s_dispatch);
                 }
                 Event::VmDepart(vm) => {
-                    let t0 = self.profiler.start();
+                    self.tracer.enter(self.s_dispatch);
                     self.vm_depart(vm, now)?;
-                    self.profiler.stop(self.ph_dispatch, t0);
+                    self.tracer.exit(self.s_dispatch);
                 }
             }
         }
@@ -380,6 +404,23 @@ impl DatacenterSim {
         self.telemetry
             .registry
             .set(self.telemetry.peak_queue, self.peak_queue_len as f64);
+        // Fold the deterministic op-counters into the metrics snapshot.
+        // Unlike the wall-clock spans these are pure functions of the
+        // scenario seed, so they may — must — enter the report: the
+        // differential suite then verifies them like any other metric.
+        if let Some(m) = &self.manager {
+            for (name, value) in m.work_counters().entries() {
+                let id = self
+                    .telemetry
+                    .registry
+                    .counter(&format!("work.plan.{name}"));
+                self.telemetry.registry.add(id, value);
+            }
+        }
+        let dirty = self.telemetry.registry.counter("work.cluster.dirty_marks");
+        self.telemetry
+            .registry
+            .add(dirty, self.cluster.dirty_marks());
         let stats = self
             .manager
             .as_ref()
@@ -407,13 +448,15 @@ impl DatacenterSim {
             self.event_log.take().unwrap_or_default(),
             self.telemetry.registry.snapshot(),
         );
-        let profile = self.profiler.summary();
+        let profile = self.tracer.flat_summary();
+        let spans = self.tracer.is_enabled().then(|| self.tracer.summary());
         if self.sink.enabled() {
-            self.sink.emit(&trace::run_summary_json(&report, &profile));
+            self.sink
+                .emit(&trace::run_summary_json(&report, &profile, spans.as_ref()));
         }
         // Trace output is advisory; a failed flush must not fail the run.
         let _ = self.sink.flush();
-        Ok((report, self.cluster, profile))
+        Ok((report, self.cluster, profile, spans))
     }
 
     /// Completes (or fault-injects) a due power transition.
@@ -586,6 +629,7 @@ impl DatacenterSim {
 
     fn control_tick(&mut self, now: SimTime, end: SimTime) {
         // 1. Demand update, through the reusable tick buffers.
+        self.tracer.enter(self.s_demand);
         let traces = &self.traces;
         let lifetimes = &self.lifetimes;
         let n_vms = traces.len();
@@ -634,18 +678,23 @@ impl DatacenterSim {
             .apply_demand_into(now, &self.demand_buf, &mut self.outcome_buf);
         self.collector
             .record_tick(now, &self.outcome_buf, &self.cluster);
+        self.tracer.exit(self.s_demand);
 
         // 2. Management round.
         if self.manager.is_some() {
-            let t0 = self.profiler.start();
+            self.tracer.enter(self.s_observe);
             let mut obs = std::mem::take(&mut self.obs_buf);
             self.fill_observation(now, &mut obs);
-            self.profiler.stop(self.ph_observe, t0);
+            self.tracer.exit(self.s_observe);
 
-            let t0 = self.profiler.start();
-            let actions = self.manager.as_mut().expect("checked above").plan(&obs);
+            self.tracer.enter(self.s_plan);
+            let actions = self
+                .manager
+                .as_mut()
+                .expect("checked above")
+                .plan_traced(&obs, &mut self.tracer);
             self.obs_buf = obs;
-            self.profiler.stop(self.ph_plan, t0);
+            self.tracer.exit(self.s_plan);
 
             self.telemetry.registry.inc(self.telemetry.rounds);
             self.telemetry
@@ -662,18 +711,41 @@ impl DatacenterSim {
                 }
             }
 
-            let t0 = self.profiler.start();
+            self.tracer.enter(self.s_execute);
             for action in actions {
-                if let Err(e) = self.execute(action, now) {
-                    debug_assert!(
-                        recoverable(&e),
-                        "engine bug: unrecoverable action failure {e}"
-                    );
-                    self.collector.record_action_failure();
-                    self.log(now, EventKind::ActionRejected);
+                let is_migrate = matches!(action, ManagementAction::Migrate { .. });
+                let span = if is_migrate {
+                    self.s_migration
+                } else {
+                    self.s_power
+                };
+                self.tracer.enter(span);
+                let result = self.execute(action, now);
+                self.tracer.exit(span);
+                match result {
+                    Ok(()) => {
+                        if is_migrate {
+                            self.telemetry
+                                .registry
+                                .inc(self.telemetry.work_migrations_executed);
+                        }
+                    }
+                    Err(e) => {
+                        debug_assert!(
+                            recoverable(&e),
+                            "engine bug: unrecoverable action failure {e}"
+                        );
+                        if is_migrate {
+                            self.telemetry
+                                .registry
+                                .inc(self.telemetry.work_migrations_aborted);
+                        }
+                        self.collector.record_action_failure();
+                        self.log(now, EventKind::ActionRejected);
+                    }
                 }
             }
-            self.profiler.stop(self.ph_execute, t0);
+            self.tracer.exit(self.s_execute);
         }
         self.collector
             .record_power(now, self.cluster.total_power_w());
@@ -916,7 +988,7 @@ mod tests {
         let s = Scenario::small_test(1);
         let sim =
             DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(2)).unwrap();
-        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
         assert!(report.energy_j > 0.0);
         assert_eq!(report.policy, "Unmanaged");
         assert_eq!(report.migrations, 0);
@@ -930,7 +1002,7 @@ mod tests {
         let unmanaged = DatacenterSim::new(&s, None, s.demand_step(), SimDuration::from_hours(4))
             .unwrap()
             .run_inner()
-            .map(|(r, _, _)| r)
+            .map(|(r, _, _, _)| r)
             .unwrap();
         let managed = DatacenterSim::new(
             &s,
@@ -940,7 +1012,7 @@ mod tests {
         )
         .unwrap()
         .run_inner()
-        .map(|(r, _, _)| r)
+        .map(|(r, _, _, _)| r)
         .unwrap();
         // Base DRM may migrate a little, but energy should be within a few
         // percent of the unmanaged cluster (all hosts stay on).
@@ -961,7 +1033,7 @@ mod tests {
         )
         .unwrap()
         .run_inner()
-        .map(|(r, _, _)| r)
+        .map(|(r, _, _, _)| r)
         .unwrap();
         let pm = DatacenterSim::new(
             &s,
@@ -971,7 +1043,7 @@ mod tests {
         )
         .unwrap()
         .run_inner()
-        .map(|(r, _, _)| r)
+        .map(|(r, _, _, _)| r)
         .unwrap();
         assert!(
             pm.savings_vs(&base) > 0.15,
@@ -1030,7 +1102,7 @@ mod tests {
         )
         .unwrap()
         .run_inner()
-        .map(|(r, c, _)| (r, c))
+        .map(|(r, c, _, _)| (r, c))
         .unwrap();
         assert!(report.energy_j > 0.0);
         // Departed VMs must not still be placed at the end.
@@ -1062,7 +1134,7 @@ mod tests {
         )
         .unwrap();
         sim.enable_event_log();
-        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
         assert!(!report.events.is_empty());
         // Every started migration has a completion, in time order.
         let starts = report
@@ -1086,7 +1158,7 @@ mod tests {
         )
         .unwrap()
         .run_inner()
-        .map(|(r, _, _)| r)
+        .map(|(r, _, _, _)| r)
         .unwrap();
         assert!(plain.events.is_empty());
     }
@@ -1122,7 +1194,7 @@ mod tests {
         let s = Scenario::new("full-house", hosts, fleet, SimDuration::from_mins(5), 1);
         let mut sim = DatacenterSim::new(&s, None, SimDuration::from_mins(5), horizon).unwrap();
         sim.enable_event_log();
-        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
         // The silent-drop bug: previously this arrival vanished without a
         // trace. Now it is a counted, logged rejection.
         assert_eq!(report.rejected_admissions, 1);
@@ -1147,7 +1219,7 @@ mod tests {
             .unwrap();
             sim.set_failure_model(FailureModel::none().with_migration_failures(p));
             sim.enable_event_log();
-            sim.run_inner().map(|(r, c, _)| (r, c)).unwrap()
+            sim.run_inner().map(|(r, c, _, _)| (r, c)).unwrap()
         };
         let (report, cluster) = mk(0.3);
         assert!(
@@ -1179,7 +1251,7 @@ mod tests {
         .unwrap();
         sim.set_failure_model(FailureModel::none().with_hangs(0.4, 8.0));
         sim.enable_event_log();
-        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
         assert!(report.hung_transitions > 0, "p=0.4 must hang something");
         let stuck = report
             .events
@@ -1214,7 +1286,7 @@ mod tests {
             SimDuration::from_mins(30),
         ));
         sim.enable_event_log();
-        let report = sim.run_inner().map(|(r, _, _)| r).unwrap();
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
         assert!(
             report.transition_failures > 0,
             "a day of 5%-per-epoch rack bursts must catch some transitions"
@@ -1245,7 +1317,7 @@ mod tests {
                     .with_rack_bursts(3, 0.02, SimDuration::from_mins(20)),
             );
             sim.enable_event_log();
-            sim.run_inner().map(|(r, _, _)| r).unwrap()
+            sim.run_inner().map(|(r, _, _, _)| r).unwrap()
         };
         let a = run();
         let b = run();
@@ -1268,7 +1340,7 @@ mod tests {
             )
             .unwrap()
             .run_inner()
-            .map(|(r, _, _)| r)
+            .map(|(r, _, _, _)| r)
             .unwrap()
         };
         let a = run();

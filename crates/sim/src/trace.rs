@@ -10,14 +10,15 @@
 //! * `action-rejected` — the cluster refused a stale management action.
 //! * `manager-decision` — see [`agile_core::DecisionRecord::to_json`].
 //! * `run-summary` — one final record with the report headline, the
-//!   metrics snapshot, and the wall-clock phase profile.
+//!   metrics snapshot, the wall-clock phase profile, and (when tracing
+//!   is enabled) the hierarchical span summary.
 //!
 //! [`SimTelemetry`] owns the engine's [`MetricsRegistry`] and the handles
 //! to every metric it updates; names are dot-paths (`sim.migrations.
 //! started`, `power.residency_secs.on`, ...) listed in `DESIGN.md`.
 
 use cluster::Cluster;
-use obs::{CounterId, GaugeId, HistogramId, Json, MetricsRegistry, ProfileSummary};
+use obs::{CounterId, GaugeId, HistogramId, Json, MetricsRegistry, ProfileSummary, SpanSummary};
 use power::PowerState;
 use simcore::SimTime;
 
@@ -31,9 +32,14 @@ pub(crate) fn event_json(time: SimTime, kind: &EventKind) -> Json {
 }
 
 /// The final trace record: report headline + metrics + wall-clock
-/// profile (the only place wall time appears; it never enters the
-/// deterministic [`SimReport`]).
-pub(crate) fn run_summary_json(report: &SimReport, profile: &ProfileSummary) -> Json {
+/// profile and span tree (the only place wall time appears; it never
+/// enters the deterministic [`SimReport`]). `spans` is present only when
+/// the tracer ran enabled.
+pub(crate) fn run_summary_json(
+    report: &SimReport,
+    profile: &ProfileSummary,
+    spans: Option<&SpanSummary>,
+) -> Json {
     Json::obj([
         ("record", Json::Str("run-summary".into())),
         ("scenario", Json::Str(report.scenario.clone())),
@@ -45,6 +51,13 @@ pub(crate) fn run_summary_json(report: &SimReport, profile: &ProfileSummary) -> 
         ("migrations", Json::Int(report.migrations as i64)),
         ("metrics", report.metrics.to_json()),
         ("profile", profile.to_json()),
+        (
+            "spans",
+            match spans {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -85,6 +98,12 @@ pub(crate) struct SimTelemetry {
     pub transition_secs: HistogramId,
     /// `sim.manager.actions_per_round`.
     pub actions_per_round: HistogramId,
+    /// `work.migrations.executed` — planned migrations the cluster
+    /// accepted and began. Deterministic (counts events, not time).
+    pub work_migrations_executed: CounterId,
+    /// `work.migrations.aborted` — planned migrations the cluster
+    /// refused (plan/world races). Deterministic.
+    pub work_migrations_aborted: CounterId,
     /// `sim.hosts_on` — operational host count at the last tick.
     pub hosts_on: GaugeId,
     /// `sim.queue.peak` — peak event-queue length.
@@ -110,6 +129,8 @@ impl SimTelemetry {
         let migration_secs = registry.histogram("sim.migration.duration_secs");
         let transition_secs = registry.histogram("sim.power.transition_secs");
         let actions_per_round = registry.histogram("sim.manager.actions_per_round");
+        let work_migrations_executed = registry.counter("work.migrations.executed");
+        let work_migrations_aborted = registry.counter("work.migrations.aborted");
         let hosts_on = registry.gauge("sim.hosts_on");
         let peak_queue = registry.gauge("sim.queue.peak");
         SimTelemetry {
@@ -130,6 +151,8 @@ impl SimTelemetry {
             migration_secs,
             transition_secs,
             actions_per_round,
+            work_migrations_executed,
+            work_migrations_aborted,
             hosts_on,
             peak_queue,
         }

@@ -1,0 +1,102 @@
+//! Exact-value gate on the deterministic `work.*` op-counters.
+//!
+//! A pinned 256-host scenario runs once and every `work.*` counter in
+//! its metrics snapshot must match `ci/counters_baseline.json` exactly —
+//! no tolerance. The counters are pure functions of the scenario seed
+//! (no clocks, no thread interleaving), so any drift is a real behavior
+//! change in the planning hot paths — an extra scan, a lost rollback, a
+//! double count — and must be reviewed, not absorbed. An intentional
+//! change is blessed by re-running with `AGILEPM_BLESS=1` and
+//! committing the updated baseline.
+
+use std::path::Path;
+
+use agilepm::core::PowerPolicy;
+use agilepm::obs::{Json, MetricValue};
+use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
+use agilepm::simcore::SimDuration;
+
+/// The pinned scenario: the perf-smoke's mid size, the paper seed, a
+/// full simulated day under the default managed policy.
+const HOSTS: usize = 256;
+const SEED: u64 = 2013;
+
+fn work_counters() -> Vec<(String, u64)> {
+    let report = SimulationBuilder::new(
+        Experiment::new(Scenario::datacenter(HOSTS, HOSTS * 6, SEED))
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(24)),
+    )
+    .run_report()
+    .expect("pinned run succeeds");
+    report
+        .metrics
+        .entries
+        .iter()
+        .filter_map(|e| match &e.value {
+            MetricValue::Counter(v) if e.name.starts_with("work.") => Some((e.name.clone(), *v)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn render_baseline(counters: &[(String, u64)]) -> String {
+    let mut out = format!(
+        "{{\n  \"scenario\": \"datacenter-{HOSTS}\",\n  \"seed\": {SEED},\n  \
+         \"policy\": \"pm-suspend\",\n  \"counters\": {{\n"
+    );
+    for (i, (name, value)) in counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {value}{}\n",
+            if i + 1 < counters.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[test]
+fn work_counters_match_the_blessed_baseline_exactly() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("ci/counters_baseline.json");
+    let counters = work_counters();
+    assert!(
+        !counters.is_empty(),
+        "pinned run produced no work.* counters"
+    );
+
+    if std::env::var_os("AGILEPM_BLESS").is_some() {
+        std::fs::write(&path, render_baseline(&counters)).expect("write baseline");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\nbless the baseline with: AGILEPM_BLESS=1 cargo test --test counters_baseline",
+            path.display()
+        )
+    });
+    let json = Json::parse(&text).expect("baseline is valid JSON");
+    let blessed = json
+        .get("counters")
+        .and_then(Json::as_object)
+        .expect("baseline has a `counters` object");
+    assert_eq!(
+        blessed.len(),
+        counters.len(),
+        "counter set changed: baseline {:?} vs run {:?}",
+        blessed.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+        counters.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+    for (name, value) in &counters {
+        let want = blessed
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_i64())
+            .unwrap_or_else(|| panic!("baseline is missing `{name}`"));
+        assert_eq!(
+            *value as i64, want,
+            "`{name}` drifted from the blessed baseline — the planning \
+             hot path changed; review, then re-bless with AGILEPM_BLESS=1"
+        );
+    }
+}

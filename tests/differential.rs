@@ -11,7 +11,10 @@
 //! * `u16`-quantized vs dense f64 demand traces carrying the same
 //!   decoded samples;
 //! * pooled (`scale_sweep_policies`) vs serial sweep execution;
-//! * a JSONL trace sink attached vs no sink at all.
+//! * a JSONL trace sink attached vs no sink at all;
+//! * the hierarchical span tracer enabled vs disabled (and with it the
+//!   deterministic `work.*` op-counters, which ride in the report's
+//!   metrics snapshot).
 //!
 //! Case counts default to 64 per property (`AGILEPM_CHECK_CASES`
 //! raises them in CI), so each pair is exercised on at least 64
@@ -221,6 +224,29 @@ fn jsonl_sink_does_not_perturb_the_simulation() {
             .map_err(|e| format!("{spec:?}: null run failed: {e:?}"))?;
         check::prop_assert!(trace_len > 0, "sink produced an empty trace file");
         assert_equivalent(&scenario, &with_sink, &without, "sink-vs-null")
+    });
+}
+
+#[test]
+fn span_tracer_does_not_perturb_the_simulation() {
+    // "Observe, never steer": a run with the hierarchical span tracer
+    // enabled must produce a report bit-identical to one with the
+    // tracer off. The report embeds the metrics snapshot — including
+    // the deterministic `work.*` op-counters — so this also proves the
+    // counters are tracer-independent, and the accounting/sharding
+    // pairs above prove them mode- and thread-independent.
+    check::check("tracer on == tracer off", &experiment_spec(), |spec| {
+        let scenario = spec.scenario.build();
+        let run = |profiling: bool| {
+            SimulationBuilder::new(spec.experiment().record_events())
+                .threads(check_support::sim_threads())
+                .profiling(profiling)
+                .run_report()
+                .map_err(|e| format!("{spec:?}: profiling={profiling} run failed: {e:?}"))
+        };
+        let traced = run(true)?;
+        let untraced = run(false)?;
+        assert_equivalent(&scenario, &traced, &untraced, "tracer-vs-off")
     });
 }
 
