@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use agile_core::PowerPolicy;
+use agile_core::{PlanMode, PowerPolicy};
 use cluster::AccountingMode;
 use dcsim::{Experiment, Scenario, SimulationBuilder};
 use obs::{Json, SpanSummary};
@@ -37,8 +37,12 @@ struct Row {
     wall_secs: f64,
     ticks_per_sec: f64,
     peak_rss_kb: u64,
-    /// Ticks/sec of the scan-reference rerun, when it was performed (and
-    /// its report matched bit-for-bit — a mismatch aborts the bench).
+    /// Planning mode of the measured run.
+    plan_mode: PlanMode,
+    /// Ticks/sec of the scan-reference rerun (scan accounting AND scan
+    /// planning), when it was performed — its report, with the
+    /// mode-variant search-cost counters dropped, must match
+    /// bit-for-bit or the bench aborts.
     scan_ticks_per_sec: Option<f64>,
     phases: Vec<(String, f64)>,
     /// Full hierarchical span summary of the best run.
@@ -54,6 +58,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut repeat = 3usize;
     let mut threads = 1usize;
+    let mut plan_mode = PlanMode::Indexed;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,13 +89,30 @@ fn main() {
                     .expect("bad thread count");
                 assert!(threads >= 1, "--threads must be at least 1");
             }
+            "--plan-mode" => {
+                plan_mode = match args
+                    .next()
+                    .expect("--plan-mode needs scan|indexed")
+                    .as_str()
+                {
+                    "scan" => PlanMode::Scan,
+                    "indexed" => PlanMode::Indexed,
+                    other => panic!("--plan-mode must be scan or indexed, got {other:?}"),
+                };
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
 
     let mut rows = Vec::new();
     for &hosts in &sizes {
-        let row = measure(hosts, hosts <= VERIFY_SCAN_MAX_HOSTS, repeat, threads);
+        let row = measure(
+            hosts,
+            hosts <= VERIFY_SCAN_MAX_HOSTS,
+            repeat,
+            threads,
+            plan_mode,
+        );
         let before = BEFORE.iter().find(|(h, _, _)| *h == hosts);
         println!(
             "{:>5} hosts {:>6} vms: {:>8.0} ticks/s ({:.2} s wall, peak RSS {} MB){}{}",
@@ -122,7 +144,13 @@ fn main() {
     }
 }
 
-fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Row {
+fn measure(
+    hosts: usize,
+    verify_scan: bool,
+    repeat: usize,
+    threads: usize,
+    plan_mode: PlanMode,
+) -> Row {
     let vms = hosts * 6;
     let scenario = Scenario::datacenter(hosts, vms, bench::SEED);
     let step = scenario.demand_step();
@@ -131,7 +159,9 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
     // so only timing varies.
     let mut best: Option<(f64, _, _, _)> = None;
     for _ in 0..repeat {
-        let exp = Experiment::new(scenario.clone()).policy(PowerPolicy::reactive_suspend());
+        let exp = Experiment::new(scenario.clone())
+            .policy(PowerPolicy::reactive_suspend())
+            .plan_mode(plan_mode);
         let t0 = Instant::now();
         let out = SimulationBuilder::new(exp)
             .threads(threads)
@@ -148,21 +178,40 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
     let (wall_secs, report, profile, spans) = best.expect("at least one repeat");
     let ticks = report.horizon.as_millis() / step.as_millis() + 1;
 
-    // Rerun against the O(n)-scan reference accounting and require a
-    // bit-identical report — the optimization must be unobservable.
+    // Rerun against the O(n)-scan references (scan accounting and scan
+    // planning) and require a bit-identical report — both optimizations
+    // must be unobservable. The counters that measure *how* each plan
+    // mode searched are mode-variant by design and are dropped from the
+    // comparison when the measured run planned in indexed mode.
     let scan_ticks_per_sec = verify_scan.then(|| {
         let exp = Experiment::new(scenario)
             .policy(PowerPolicy::reactive_suspend())
-            .accounting(AccountingMode::Scan);
+            .accounting(AccountingMode::Scan)
+            .plan_mode(PlanMode::Scan);
         let t0 = Instant::now();
         let scan_report = SimulationBuilder::new(exp)
             .threads(threads)
             .run_report()
             .expect("scan reference run failed");
         let scan_wall = t0.elapsed().as_secs_f64();
+        let strip = |r: &dcsim::SimReport| {
+            let mut r = r.clone();
+            if plan_mode == PlanMode::Indexed {
+                r.metrics.entries.retain(|e| {
+                    !matches!(
+                        e.name.as_str(),
+                        "work.plan.candidates_scanned"
+                            | "work.plan.hosts_rescored"
+                            | "work.plan.fold_elements"
+                    ) && !e.name.starts_with("work.index.")
+                });
+            }
+            r
+        };
         assert_eq!(
-            report, scan_report,
-            "incremental vs scan reports diverged at {hosts} hosts"
+            strip(&report),
+            strip(&scan_report),
+            "incremental/indexed vs scan reports diverged at {hosts} hosts"
         );
         ticks as f64 / scan_wall
     });
@@ -174,6 +223,7 @@ fn measure(hosts: usize, verify_scan: bool, repeat: usize, threads: usize) -> Ro
         wall_secs,
         ticks_per_sec: ticks as f64 / wall_secs,
         peak_rss_kb: peak_rss_kb(),
+        plan_mode,
         scan_ticks_per_sec,
         phases: profile
             .phases
@@ -221,8 +271,14 @@ fn render_json(rows: &[Row], threads: usize) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"hosts\": {}, \"vms\": {}, \"ticks\": {}, \"wall_secs\": {:.4}, \
-             \"ticks_per_sec\": {:.1}, \"peak_rss_kb\": {}, ",
-            r.hosts, r.vms, r.ticks, r.wall_secs, r.ticks_per_sec, r.peak_rss_kb
+             \"ticks_per_sec\": {:.1}, \"peak_rss_kb\": {}, \"plan_mode\": \"{}\", ",
+            r.hosts,
+            r.vms,
+            r.ticks,
+            r.wall_secs,
+            r.ticks_per_sec,
+            r.peak_rss_kb,
+            r.plan_mode.label()
         ));
         if let Some(tps) = r.scan_ticks_per_sec {
             out.push_str(&format!(

@@ -7,7 +7,7 @@
 //! property testing — a few hosts, a few dozen VMs, hours not days — so
 //! hundreds of generated runs stay fast in debug builds.
 
-use agile_core::PowerPolicy;
+use agile_core::{PlanMode, PowerPolicy};
 use check::gen::{self, Gen};
 use dcsim::{Experiment, FailureModel, Scenario};
 use simcore::SimDuration;
@@ -141,11 +141,36 @@ pub struct ExperimentSpec {
 
 impl ExperimentSpec {
     /// The configured (not yet run) experiment.
+    ///
+    /// The planning mode defaults from the `AGILEPM_PLAN_MODE`
+    /// environment variable (`scan` or `indexed`; unset means `scan`) so
+    /// CI can re-run the whole property suite in indexed mode without a
+    /// second copy of every test. An explicit
+    /// [`Experiment::plan_mode`](dcsim::Experiment::plan_mode) call
+    /// appended by the test overrides the default, which keeps the
+    /// indexed-vs-scan differential pair meaningful on every matrix leg.
     pub fn experiment(&self) -> Experiment {
         Experiment::new(self.scenario.build())
             .policy(self.policy)
             .horizon(SimDuration::from_hours(self.horizon_hours))
             .control_interval(SimDuration::from_mins(self.control_mins))
+            .plan_mode(default_plan_mode())
+    }
+}
+
+/// The plan mode selected by `AGILEPM_PLAN_MODE` (`scan`/`indexed`,
+/// default [`PlanMode::Scan`]).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo in a CI matrix must fail
+/// loudly, not silently test the default mode.
+pub fn default_plan_mode() -> PlanMode {
+    match std::env::var("AGILEPM_PLAN_MODE") {
+        Ok(v) if v.eq_ignore_ascii_case("indexed") => PlanMode::Indexed,
+        Ok(v) if v.eq_ignore_ascii_case("scan") => PlanMode::Scan,
+        Ok(v) => panic!("AGILEPM_PLAN_MODE must be `scan` or `indexed`, got `{v}`"),
+        Err(_) => PlanMode::Scan,
     }
 }
 

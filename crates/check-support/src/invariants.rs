@@ -120,6 +120,18 @@ pub fn check_work_counters(report: &SimReport) -> Result<(), String> {
             "{planned} migrations planned but {executed} executed + {aborted} aborted"
         ));
     }
+    // Index maintenance must be change-driven: a host is only re-bucketed
+    // because something dirtied cluster state, so cumulative re-buckets
+    // can never outrun the cluster's dirty marks (which charge one mark
+    // per operational host per demand sweep). Trivially true in scan
+    // mode, where every `work.index.*` counter stays zero.
+    let rebuckets = c("work.index.rebuckets");
+    let dirty = c("work.cluster.dirty_marks");
+    if rebuckets > dirty {
+        return Err(format!(
+            "{rebuckets} index re-buckets but only {dirty} cluster dirty marks"
+        ));
+    }
     Ok(())
 }
 

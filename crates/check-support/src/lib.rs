@@ -43,8 +43,9 @@ pub fn run_experiment(experiment: Experiment) -> Result<SimReport, SimError> {
 }
 
 pub use generators::{
-    demand_trace, experiment_spec, failure_spec, fleet_mix, managed_policy, policy, scenario_spec,
-    workload_kind, ExperimentSpec, FailureSpec, FleetMix, ScenarioSpec, WorkloadKind,
+    default_plan_mode, demand_trace, experiment_spec, failure_spec, fleet_mix, managed_policy,
+    policy, scenario_spec, workload_kind, ExperimentSpec, FailureSpec, FleetMix, ScenarioSpec,
+    WorkloadKind,
 };
 pub use invariants::{
     check_cluster, check_energy_ordering, check_event_log, check_json_round_trip, check_report,

@@ -1,0 +1,204 @@
+//! Model-check of the planner's utilization-bucket index: arbitrary
+//! update sequences (insert / remove / re-score / touch-with-drift,
+//! mirroring what placements, drains, quarantines, and in-round trial
+//! moves do to a host) are applied both to a [`UtilizationIndex`] and to
+//! a naive membership/utilization/free-memory model, then the index is
+//! audited against a from-scratch recomputation:
+//!
+//! * every member host sits in exactly one bucket, every non-member in
+//!   none (the "operational hosts are indexed exactly once" invariant);
+//! * every *untouched* member sits in precisely the bucket its current
+//!   utilization quantizes to — touched hosts are the overlay and are
+//!   exempt until folded;
+//! * no untouched member's free memory exceeds its bucket's raise-only
+//!   free-memory upper bound — the soundness condition that makes the
+//!   walks' memory prune lossless (a stale-*high* bound is fine, a
+//!   too-low one would skip a feasible destination);
+//! * folding the overlay (re-scoring every touched host, as the
+//!   per-round refresh does) restores full bucket accuracy;
+//! * a fresh index rebuilt from the model's final state agrees with the
+//!   incrementally-maintained one bucket-for-bucket.
+//!
+//! A second property pins the fixed-shape capacity aggregate: a
+//! [`SumTree`] under arbitrary point updates must stay bitwise equal to
+//! [`pairwise_sum`] recomputed from scratch — that equality is what lets
+//! the indexed planner reuse scan's exact floating-point totals.
+
+use agile_core::{pairwise_sum, SumTree, UtilizationIndex};
+use check::gen;
+
+/// One scripted index operation. Utilization arrives in permille so
+/// counterexamples shrink to readable integers; values above 1000
+/// exercise the over-committed (util > 1) clamp range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Make the host a member (placement / un-quarantine); no-op if it
+    /// already is one.
+    Insert,
+    /// Remove the host (power-down / quarantine); no-op if absent.
+    Remove,
+    /// Change the host's utilization and re-bucket it immediately.
+    Rescore,
+    /// Change the host's utilization but only mark it touched — the
+    /// in-round trial-move path, which defers re-bucketing to the fold.
+    TouchDrift,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Step {
+    op: Op,
+    host: usize,
+    util_permille: u64,
+    /// Free memory in tenths of a GB (0..=32.0 GB), so migrations that
+    /// commit and release memory between re-scores are exercised.
+    mem_tenths: u64,
+}
+
+fn steps(num_hosts: usize) -> gen::Gen<Vec<Step>> {
+    let step = gen::one_of(vec![Op::Insert, Op::Remove, Op::Rescore, Op::TouchDrift])
+        .zip(&gen::usize_in(0..=num_hosts - 1))
+        .zip(&gen::u64_in(0..=2500))
+        .zip(&gen::u64_in(0..=320))
+        .map(|(((op, host), util_permille), mem_tenths)| Step {
+            op,
+            host,
+            util_permille,
+            mem_tenths,
+        });
+    gen::vec_of(&step, 0..=120)
+}
+
+/// Replays `script` against the index and the naive model, returning the
+/// model's final state: membership, utilization, and free memory.
+fn replay(
+    index: &mut UtilizationIndex,
+    num_hosts: usize,
+    script: &[Step],
+) -> (Vec<bool>, Vec<f64>, Vec<f64>) {
+    index.ensure_hosts(num_hosts);
+    let mut member = vec![false; num_hosts];
+    let mut utils = vec![0.0f64; num_hosts];
+    let mut mem = vec![0.0f64; num_hosts];
+    for s in script {
+        let util = s.util_permille as f64 / 1000.0;
+        let mem_free = s.mem_tenths as f64 / 10.0;
+        match s.op {
+            Op::Insert => {
+                if !member[s.host] {
+                    index.insert(s.host, util, mem_free);
+                    member[s.host] = true;
+                    utils[s.host] = util;
+                    mem[s.host] = mem_free;
+                }
+            }
+            Op::Remove => {
+                if member[s.host] {
+                    index.remove(s.host);
+                    member[s.host] = false;
+                }
+            }
+            Op::Rescore => {
+                if member[s.host] {
+                    index.rescore(s.host, util, mem_free);
+                    utils[s.host] = util;
+                    mem[s.host] = mem_free;
+                }
+            }
+            Op::TouchDrift => {
+                if member[s.host] {
+                    index.touch(s.host);
+                    utils[s.host] = util;
+                    mem[s.host] = mem_free;
+                }
+            }
+        }
+    }
+    (member, utils, mem)
+}
+
+#[test]
+fn index_matches_naive_oracle_after_arbitrary_update_sequences() {
+    let input = gen::usize_in(1..=24).and_then(|n| steps(n).map(move |s| (n, s)));
+    check::check("bucket index == naive oracle", &input, |(n, script)| {
+        let mut index = UtilizationIndex::new();
+        let (member, utils, mem) = replay(&mut index, *n, script);
+
+        // Membership + accuracy + memory-bound audit against the model,
+        // with touched hosts exempt (they are the overlay).
+        index
+            .check_membership(&member, &utils, &mem)
+            .map_err(|e| format!("{n} hosts, {script:?}: {e}"))?;
+
+        // A from-scratch index over the model's final state must agree
+        // bucket-for-bucket once the overlay is folded.
+        for &h in &index.touched_hosts().to_vec() {
+            let h = h as usize;
+            if index.is_indexed(h) {
+                index.rescore(h, utils[h], mem[h]);
+            }
+        }
+        index.clear_touched();
+        let mut fresh = UtilizationIndex::new();
+        fresh.ensure_hosts(*n);
+        for h in 0..*n {
+            if member[h] {
+                fresh.insert(h, utils[h], mem[h]);
+            }
+        }
+        for b in 0..UtilizationIndex::num_buckets() {
+            check::prop_assert_eq!(
+                index.bucket_hosts(b),
+                fresh.bucket_hosts(b),
+                "bucket {b} diverged from the from-scratch rebuild"
+            );
+            // The incremental bound may sit above the fresh one (it is
+            // raise-only between refreshes) but never below it: the
+            // fresh bound is the exact per-bucket maximum free memory,
+            // and soundness demands the maintained bound covers it.
+            check::prop_assert!(
+                index.bucket_mem_ub(b) >= fresh.bucket_mem_ub(b),
+                "bucket {b} memory bound {} fell below the exact maximum {}",
+                index.bucket_mem_ub(b),
+                fresh.bucket_mem_ub(b)
+            );
+        }
+        index
+            .check_membership(&member, &utils, &mem)
+            .map_err(|e| format!("post-fold: {e}"))
+    });
+}
+
+#[test]
+fn sum_tree_stays_bitwise_equal_to_pairwise_recomputation() {
+    let input = gen::usize_in(0..=33).and_then(|n| {
+        let update = gen::usize_in(0..=n.max(1) - 1).zip(&gen::u64_in(0..=1_000_000));
+        gen::vec_of(&update, 0..=60).map(move |ups| (n, ups))
+    });
+    check::check("SumTree == pairwise_sum", &input, |(n, updates)| {
+        let mut leaves = vec![0.0f64; *n];
+        let mut tree = SumTree::new();
+        tree.rebuild(*n, |i| leaves[i]);
+        for &(i, raw) in updates {
+            if *n == 0 {
+                break;
+            }
+            // Values with awkward mantissas so any re-association of the
+            // reduction order shows up as a bit difference.
+            let v = raw as f64 / 3.0 + (raw as f64).sqrt();
+            leaves[i] = v;
+            tree.set(i, v);
+        }
+        let reference = pairwise_sum(*n, |i| leaves[i]);
+        check::prop_assert_eq!(
+            tree.root().to_bits(),
+            reference.to_bits(),
+            "tree root {} != pairwise reference {}",
+            tree.root(),
+            reference
+        );
+        for (i, leaf) in leaves.iter().enumerate().take(*n) {
+            check::prop_assert_eq!(tree.leaf(i).to_bits(), leaf.to_bits());
+        }
+        Ok(())
+    });
+}

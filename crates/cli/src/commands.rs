@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fs;
 
-use agile_core::PowerPolicy;
+use agile_core::{PlanMode, PowerPolicy};
 use dcsim::report::{policy_comparison, series_csv, table};
 use dcsim::{Experiment, FailureModel, Scenario, SimReport, SimulationBuilder};
 use obs::{Json, SpanStat, SpanSummary};
@@ -39,6 +39,9 @@ COMMON FLAGS (run, compare):
 
 run-ONLY FLAGS:
   --policy P           always-on | suspend | off | oracle  [default suspend]
+  --plan-mode M        scan | indexed consolidation planning [default indexed]
+                       (bit-identical reports; indexed keeps utilization-
+                       bucket indices so picks stop scanning the fleet)
   --resume-fail P      resume failure probability    [default 0]
   --json PATH          write the full report as JSON
   --csv PATH           write power/hosts-on/unserved series as CSV
@@ -94,6 +97,16 @@ fn parse_policy(name: &str) -> Result<PowerPolicy, ArgError> {
     }
 }
 
+fn parse_plan_mode(name: &str) -> Result<PlanMode, ArgError> {
+    match name {
+        "scan" => Ok(PlanMode::Scan),
+        "indexed" => Ok(PlanMode::Indexed),
+        other => Err(ArgError(format!(
+            "unknown plan mode `{other}` (scan | indexed)"
+        ))),
+    }
+}
+
 fn build_scenario(flags: &Flags) -> Result<Scenario, ArgError> {
     let hosts = flags.usize_or("hosts", 32)?;
     let vms = flags.usize_or("vms", hosts * 6)?;
@@ -140,6 +153,7 @@ fn run(args: &[String]) -> CmdResult {
             "churn",
             "threads",
             "policy",
+            "plan-mode",
             "resume-fail",
             "json",
             "csv",
@@ -149,9 +163,10 @@ fn run(args: &[String]) -> CmdResult {
         &["metrics", "profile"],
     )?;
     let policy = parse_policy(flags.str_or("policy", "suspend"))?;
+    let plan_mode = parse_plan_mode(flags.str_or("plan-mode", "indexed"))?;
     let scenario = build_scenario(&flags)?;
     let resume_fail = flags.f64_or("resume-fail", 0.0)?;
-    let mut experiment = configure(&flags, scenario, policy)?;
+    let mut experiment = configure(&flags, scenario, policy)?.plan_mode(plan_mode);
     if resume_fail > 0.0 {
         experiment = experiment.failure_model(FailureModel::new(resume_fail, 0.0));
     }

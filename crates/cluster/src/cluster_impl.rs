@@ -3,7 +3,7 @@
 use std::cell::{Cell, RefCell};
 
 use power::{PowerState, TransitionKind};
-use simcore::{pool, SimTime};
+use simcore::{pairwise_sum, pool, SimTime, SumTree};
 
 use crate::{
     ClusterError, Host, HostId, HostSpec, Migration, MigrationModel, PlacementMap, Resources,
@@ -246,11 +246,16 @@ pub struct Cluster {
     migrations_failed: u64,
     migration_busy_secs: f64,
     accounting: AccountingMode,
-    /// Lazy total-power cache. Marked dirty whenever any host's draw may
-    /// have changed; revalidated with the same index-order fold as the
-    /// scan, so reads are bit-identical to [`AccountingMode::Scan`].
-    power_cache: Cell<f64>,
-    power_dirty: Cell<bool>,
+    /// Incrementally-maintained total-power aggregate: a fixed-shape
+    /// pairwise tree whose root is bitwise equal to [`pairwise_sum`] over
+    /// the per-host draws, which is exactly what the scan reference
+    /// computes — so reads stay bit-identical to [`AccountingMode::Scan`].
+    /// Single-host transitions refresh one leaf in O(log hosts); the
+    /// per-tick demand sweep (which rewrites every operational host's
+    /// draw) marks the whole tree stale instead, and the next read
+    /// rebuilds it in O(hosts) — the same cost the sweep itself pays.
+    power_tree: RefCell<SumTree>,
+    power_stale: Cell<bool>,
     /// Lazy operational-capacity cache, revalidated on power transitions.
     cap_cache: Cell<f64>,
     cap_dirty: Cell<bool>,
@@ -266,11 +271,20 @@ pub struct Cluster {
     threads: usize,
     /// Reusable per-host power buffer for the sharded power scan.
     power_scratch: RefCell<Vec<f64>>,
+    /// Running count of in-flight migrations, maintained at
+    /// [`begin_migration`](Self::begin_migration) /
+    /// [`complete_migration`](Self::complete_migration) /
+    /// [`fail_migration`](Self::fail_migration) so the per-migration
+    /// contention lookup never rescans the whole migration table.
+    in_flight_migrations: usize,
     /// Deterministic count of cache invalidations (dirty marks) at
     /// mutation sites. Counted where state *changes* — never at the
     /// read-and-clear revalidation sites, which fire on a mode-dependent
     /// schedule — so the count is identical across accounting modes and
-    /// thread counts.
+    /// thread counts. The per-tick demand sweep charges one mark per
+    /// operational host (every such host's utilization is rewritten),
+    /// which makes `dirty_marks` an upper bound on how many hosts a
+    /// change-driven index may legitimately re-bucket.
     dirty_marks: u64,
 }
 
@@ -315,8 +329,8 @@ impl Cluster {
             migrations_failed: 0,
             migration_busy_secs: 0.0,
             accounting: AccountingMode::default(),
-            power_cache: Cell::new(0.0),
-            power_dirty: Cell::new(true),
+            power_tree: RefCell::new(SumTree::new()),
+            power_stale: Cell::new(true),
             cap_cache: Cell::new(0.0),
             cap_dirty: Cell::new(true),
             on_count,
@@ -324,6 +338,7 @@ impl Cluster {
             scratch: DemandScratch::default(),
             threads: 1,
             power_scratch: RefCell::new(Vec::new()),
+            in_flight_migrations: 0,
             dirty_marks: 0,
         }
     }
@@ -364,7 +379,7 @@ impl Cluster {
     /// for determinism tests and debugging.
     pub fn set_accounting_mode(&mut self, mode: AccountingMode) {
         self.accounting = mode;
-        self.power_dirty.set(true);
+        self.power_stale.set(true);
         self.cap_dirty.set(true);
         self.dirty_marks += 2;
     }
@@ -618,6 +633,7 @@ impl Cluster {
         }
         self.placement.place(vm, host);
         self.host_mem_committed[host.index()] += spec.mem_gb();
+        self.dirty_marks += 1;
         Ok(())
     }
 
@@ -638,6 +654,7 @@ impl Cluster {
         }
         let host = self.placement.remove(vm);
         self.host_mem_committed[host.index()] -= self.vms[vm.index()].mem_gb();
+        self.dirty_marks += 1;
         Ok(host)
     }
 
@@ -673,7 +690,10 @@ impl Cluster {
         if spec.mem_gb() > self.mem_free_gb(to) + 1e-9 {
             return Err(ClusterError::InsufficientCapacity { host: to, vm });
         }
-        let in_flight = self.migrations.iter().flatten().count();
+        // The running counter replaces an O(VMs) rescan of the migration
+        // table — at fleet scale that rescan, once per started migration,
+        // dominated the execute phase.
+        let in_flight = self.in_flight_migrations;
         let duration = self.model.duration_for_with_load(spec.mem_gb(), in_flight);
         self.migration_busy_secs += duration.as_secs_f64();
         let completes_at = now + duration;
@@ -683,9 +703,11 @@ impl Cluster {
             to,
             completes_at,
         });
+        self.in_flight_migrations += 1;
         self.inbound[to.index()] += 1;
         self.host_mem_committed[to.index()] += spec.mem_gb();
         self.migrations_started += 1;
+        self.dirty_marks += 2;
         Ok(completes_at)
     }
 
@@ -708,12 +730,14 @@ impl Cluster {
             .take()
             .ok_or(ClusterError::VmMigrating(vm))?; // "not migrating" reuses the closest variant
         debug_assert_eq!(migration.completes_at, now, "migration completion mistimed");
+        self.in_flight_migrations -= 1;
         self.inbound[migration.to.index()] -= 1;
         self.placement.relocate(vm, migration.to);
         // The inbound reservation becomes the placed footprint on the
         // destination (net zero there); the source gives the memory up.
         self.host_mem_committed[migration.from.index()] -= self.vms[vm.index()].mem_gb();
         self.migrations_completed += 1;
+        self.dirty_marks += 2;
         Ok(migration)
     }
 
@@ -736,9 +760,11 @@ impl Cluster {
         debug_assert_eq!(migration.completes_at, now, "migration abort mistimed");
         // Reverse the destination-side reservation made at begin time; the
         // source-side placement and footprint never moved.
+        self.in_flight_migrations -= 1;
         self.inbound[migration.to.index()] -= 1;
         self.host_mem_committed[migration.to.index()] -= self.vms[vm.index()].mem_gb();
         self.migrations_failed += 1;
+        self.dirty_marks += 2;
         Ok(migration)
     }
 
@@ -830,11 +856,17 @@ impl Cluster {
     }
 
     /// Bookkeeping after any power-state mutation on host `i`: the power
-    /// total is stale, and the operational count/capacity change when the
-    /// host crossed the `On` boundary.
+    /// aggregate absorbs the host's new draw (one O(log hosts) leaf
+    /// update — never a fleet rescan, which at 64k hosts would dominate
+    /// the event loop via the per-completion power sample), and the
+    /// operational count/capacity change when the host crossed the `On`
+    /// boundary.
     fn note_power_changed(&mut self, i: usize, was_on: bool) {
-        self.power_dirty.set(true);
         self.dirty_marks += 1;
+        if self.accounting == AccountingMode::Incremental && !self.power_stale.get() {
+            let draw = self.hosts[i].power().power_w();
+            self.power_tree.get_mut().set(i, draw);
+        }
         let is_on = self.hosts[i].is_operational();
         if is_on != was_on {
             self.cap_dirty.set(true);
@@ -1033,9 +1065,13 @@ impl Cluster {
         offered += total_tax;
 
         self.scratch = scratch;
-        // Every operational host's utilization (and thus draw) changed.
-        self.power_dirty.set(true);
-        self.dirty_marks += 1;
+        // Every operational host's utilization (and thus draw) changed:
+        // one mark for the aggregate draw cache plus one per rewritten
+        // host, so downstream change-driven structures (the planner's
+        // utilization index) can bound their per-round re-bucketing by
+        // the marks actually charged here.
+        self.power_stale.set(true);
+        self.dirty_marks += 1 + self.on_count as u64;
 
         out.offered_cores = offered;
         out.served_cores = served;
@@ -1056,59 +1092,82 @@ impl Cluster {
 
     /// Total cluster power draw right now, in watts.
     ///
-    /// Under incremental accounting the value is cached between power
-    /// changes; revalidation performs the exact same index-order fold as
-    /// the scan, so both modes are bit-identical.
+    /// Under incremental accounting the value is the root of a
+    /// fixed-shape pairwise tree: single-host transitions refresh one
+    /// leaf, the per-tick demand sweep marks the tree stale and the next
+    /// read rebuilds it. Both the rebuild and every point update
+    /// reproduce [`pairwise_sum`] over the per-host draws bit-for-bit —
+    /// the exact fold the scan reference performs — so both modes are
+    /// bit-identical.
     pub fn total_power_w(&self) -> f64 {
         match self.accounting {
             AccountingMode::Scan => self.scan_total_power_w(),
             AccountingMode::Incremental => {
-                if self.power_dirty.get() {
-                    self.power_cache.set(self.scan_total_power_w());
-                    self.power_dirty.set(false);
+                if self.power_stale.get() {
+                    let n = self.hosts.len();
+                    let mut tree = self.power_tree.borrow_mut();
+                    if self.threads > 1 && n > 1 {
+                        let buf = self.sharded_power_draws();
+                        tree.rebuild(n, |i| buf[i]);
+                    } else {
+                        tree.rebuild(n, |i| self.hosts[i].power().power_w());
+                    }
+                    drop(tree);
+                    self.power_stale.set(false);
                 }
-                let v = self.power_cache.get();
+                let v = self.power_tree.borrow().root();
                 debug_assert_eq!(
                     v.to_bits(),
                     self.scan_total_power_w().to_bits(),
-                    "stale total-power cache"
+                    "stale total-power tree"
                 );
                 v
             }
         }
     }
 
-    /// Scan-based reference for [`total_power_w`](Self::total_power_w).
+    /// Scan-based reference for [`total_power_w`](Self::total_power_w):
+    /// the fixed-shape [`pairwise_sum`] over per-host draws that the
+    /// incremental tree maintains under point updates.
     ///
     /// With more than one worker thread the per-host draws are computed
-    /// in parallel shards into a reusable buffer and summed here in
-    /// host-index order — the same `Sum<f64>` fold over the same addends
-    /// as the serial scan, so the result is bit-identical.
+    /// in parallel shards into a reusable buffer first; the fold then
+    /// runs over the same addends in the same tree shape as the serial
+    /// path, so the result is bit-identical at any thread count.
     fn scan_total_power_w(&self) -> f64 {
         let n = self.hosts.len();
         if self.threads > 1 && n > 1 {
-            let mut buf = self.power_scratch.borrow_mut();
-            reset_zeroed(&mut buf, n);
-            let ranges = pool::shard_ranges(n, self.threads);
-            let mut buf_it = pool::split_mut(&mut buf, &ranges).into_iter();
-            let shards: Vec<(&[Host], &mut [f64])> = ranges
-                .iter()
-                .map(|r| {
-                    (
-                        &self.hosts[r.clone()],
-                        buf_it.next().expect("one chunk per range"),
-                    )
-                })
-                .collect();
-            pool::for_each_shard(self.threads, shards, |_, (hosts, out)| {
-                for (o, h) in out.iter_mut().zip(hosts) {
-                    *o = h.power().power_w();
-                }
-            });
-            buf.iter().sum()
+            let buf = self.sharded_power_draws();
+            pairwise_sum(n, |i| buf[i])
         } else {
-            self.hosts.iter().map(|h| h.power().power_w()).sum()
+            pairwise_sum(n, |i| self.hosts[i].power().power_w())
         }
+    }
+
+    /// Fills the reusable power scratch buffer with every host's current
+    /// draw using the worker pool, returning the borrow for the caller's
+    /// fold or rebuild.
+    fn sharded_power_draws(&self) -> std::cell::RefMut<'_, Vec<f64>> {
+        let n = self.hosts.len();
+        let mut buf = self.power_scratch.borrow_mut();
+        reset_zeroed(&mut buf, n);
+        let ranges = pool::shard_ranges(n, self.threads);
+        let mut buf_it = pool::split_mut(&mut buf, &ranges).into_iter();
+        let shards: Vec<(&[Host], &mut [f64])> = ranges
+            .iter()
+            .map(|r| {
+                (
+                    &self.hosts[r.clone()],
+                    buf_it.next().expect("one chunk per range"),
+                )
+            })
+            .collect();
+        pool::for_each_shard(self.threads, shards, |_, (hosts, out)| {
+            for (o, h) in out.iter_mut().zip(hosts) {
+                *o = h.power().power_w();
+            }
+        });
+        buf
     }
 
     /// Total cluster energy consumed so far, in joules.

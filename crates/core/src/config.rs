@@ -5,7 +5,7 @@ use std::fmt;
 use power::breakeven::LowPowerMode;
 use simcore::SimDuration;
 
-use crate::{PredictorConfig, RecoveryConfig};
+use crate::{PlanMode, PredictorConfig, RecoveryConfig};
 
 /// A rejected configuration value, returned by the `try_with_*` builder
 /// variants on [`ManagerConfig`] and [`RecoveryConfig`] (the `with_*`
@@ -184,6 +184,7 @@ pub struct ManagerConfig {
     packing: PackingPolicy,
     predictor: PredictorConfig,
     recovery: RecoveryConfig,
+    plan_mode: PlanMode,
 }
 
 impl ManagerConfig {
@@ -208,6 +209,7 @@ impl ManagerConfig {
             packing: PackingPolicy::default(),
             predictor: PredictorConfig::default(),
             recovery: RecoveryConfig::new(),
+            plan_mode: PlanMode::default(),
         }
     }
 
@@ -523,6 +525,14 @@ impl ManagerConfig {
         self
     }
 
+    /// Selects the consolidation planner: the reference full-fleet
+    /// `Scan` (the default) or the utilization-bucketed `Indexed` path.
+    /// Both produce bit-identical plans; see [`PlanMode`].
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
+    }
+
     /// Checks the cross-field invariants (underload < target < overload).
     /// [`crate::VirtManager::new`] calls this, so an inconsistent
     /// configuration fails fast at manager construction rather than
@@ -638,6 +648,11 @@ impl ManagerConfig {
     /// The failure-recovery policy.
     pub fn recovery(&self) -> &RecoveryConfig {
         &self.recovery
+    }
+
+    /// The consolidation planner selection.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.plan_mode
     }
 }
 

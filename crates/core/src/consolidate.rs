@@ -13,7 +13,10 @@ use obs::SpanTracer;
 use simcore::{pool, SimTime};
 
 use crate::plan::PlanContext;
-use crate::{HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy, RecoveryTracker};
+use crate::{
+    pairwise_sum, HysteresisGate, ManagementAction, ManagerConfig, PackingPolicy, RecoveryTracker,
+    UtilizationIndex,
+};
 
 /// Continues evacuating hosts already marked as draining, then selects new
 /// drain candidates while spare capacity allows.
@@ -70,7 +73,7 @@ pub(crate) fn plan_consolidation(
         trial_actions.clear();
         journal.clear();
         let mut trial_budget = *budget;
-        ctx.draining[candidate] = true;
+        ctx.set_draining_trial(candidate, true);
         ctx.work.trials_attempted += 1;
         tracer.enter(s_trial);
         let complete = evacuate(
@@ -92,7 +95,7 @@ pub(crate) fn plan_consolidation(
             tracer.enter(s_undo);
             undo_moves(ctx, &journal);
             tracer.exit(s_undo);
-            ctx.draining[candidate] = false;
+            ctx.set_draining_trial(candidate, false);
             ctx.work.trials_rolled_back += 1;
             ctx.work.rollback_moves += journal.len() as u64;
             false
@@ -123,25 +126,36 @@ fn pick_candidate(
     now: SimTime,
     threads: usize,
 ) -> Option<usize> {
+    if ctx.index_valid() {
+        return pick_candidate_indexed(ctx, cfg, gate, recovery, now);
+    }
     // Work accounting happens up front, on the coordinating side, so the
     // counts are identical for every thread count: the aggregate fold and
     // the qualification scan each visit every host exactly once.
     ctx.work.fold_elements += ctx.num_hosts() as u64;
     ctx.work.candidates_scanned += ctx.num_hosts() as u64;
     let ctx = &*ctx;
-    // One allocation-free pass for the capacity aggregates. The fold
-    // seeds mirror the iterator versions this replaced (`Sum<f64>` starts
-    // from -0.0; capacities are positive, so the sums are bit-identical).
-    let mut active_capacity = -0.0f64;
-    let mut arriving_capacity = -0.0f64;
-    let mut max_host_cap = 0.0f64;
-    for h in 0..ctx.num_hosts() {
+    // Capacity aggregates use the fixed-shape pairwise reduction shared
+    // with the indexed planner's maintained trees, so a from-scratch scan
+    // recompute and an incrementally-updated tree root are bitwise equal
+    // by construction (every tree node is a pure function of its leaves).
+    let n = ctx.num_hosts();
+    let active_capacity = pairwise_sum(n, |h| {
         if ctx.operational[h] && !ctx.draining[h] {
-            active_capacity += ctx.cpu_capacity[h];
+            ctx.cpu_capacity[h]
+        } else {
+            0.0
         }
+    });
+    let arriving_capacity = pairwise_sum(n, |h| {
         if ctx.arriving[h] {
-            arriving_capacity += ctx.cpu_capacity[h];
+            ctx.cpu_capacity[h]
+        } else {
+            0.0
         }
+    });
+    let mut max_host_cap = 0.0f64;
+    for h in 0..n {
         max_host_cap = max_host_cap.max(ctx.cpu_capacity[h]);
     }
     let total_pred = ctx.total_predicted();
@@ -210,6 +224,79 @@ fn pick_candidate(
     } else {
         scan_range(0..n)
     }
+}
+
+/// Indexed twin of [`pick_candidate`]: the capacity aggregates come from
+/// the maintained [`SumTree`](crate::SumTree) roots (bitwise equal to
+/// the scan's pairwise recompute), the touched overlay is scanned in
+/// full, and buckets ascend from 0 to the underload-threshold bucket
+/// until the first one holding a qualifying untouched host — which must
+/// contain the untouched minimum, because every host in a later bucket
+/// has strictly larger utilization. Merging the two lexicographic minima
+/// reproduces the scan's first-wins answer exactly.
+///
+/// `work.plan.candidates_scanned` is charged with the hosts actually
+/// examined — the sublinearity evidence — so it is deliberately
+/// mode-variant, unlike the decision counters.
+fn pick_candidate_indexed(
+    ctx: &mut PlanContext,
+    cfg: &ManagerConfig,
+    gate: &HysteresisGate,
+    recovery: &RecoveryTracker,
+    now: SimTime,
+) -> Option<usize> {
+    let active_capacity = ctx.index.active_tree.root();
+    let arriving_capacity = ctx.index.arriving_tree.root();
+    let max_host_cap = ctx.index.max_host_cap;
+    let total_pred = ctx.total_predicted();
+    let required = total_pred / cfg.target_utilization()
+        + (cfg.spare_hosts() as f64 + cfg.drain_deadband_frac()) * max_host_cap;
+    let qualifies = |ctx: &PlanContext, h: usize| {
+        ctx.operational[h]
+            && !ctx.draining[h]
+            && ctx.util(h) < cfg.underload_threshold()
+            && gate.may_power_down(HostId(h as u32), now)
+            && !recovery.is_quarantined(h)
+            && active_capacity + arriving_capacity - ctx.cpu_capacity[h] >= required
+    };
+    let mut examined = 0u64;
+    let mut best: Option<(f64, usize)> = None;
+    for &h in ctx.index.touched_hosts() {
+        let h = h as usize;
+        examined += 1;
+        if qualifies(ctx, h) {
+            crate::plan::lex_min(&mut best, (ctx.util(h), h));
+        }
+    }
+    // Qualification requires util strictly below the underload threshold,
+    // so no bucket past the threshold's own can hold a candidate.
+    let limit = UtilizationIndex::bucket_of(cfg.underload_threshold());
+    'walk: for b in 0..=limit {
+        let mut found = false;
+        for &h in ctx.index.bucket_hosts(b) {
+            let h = h as usize;
+            if ctx.index.is_touched(h) {
+                continue;
+            }
+            examined += 1;
+            if qualifies(ctx, h) {
+                let u = ctx.util(h);
+                crate::plan::lex_min(&mut best, (u, h));
+                found = true;
+                // A qualifying host exactly on the bucket floor is
+                // unbeatable (see `UtilizationIndex::bucket_floor`):
+                // dense boundary buckets terminate in one hit.
+                if u.to_bits() == UtilizationIndex::bucket_floor(b).to_bits() {
+                    break 'walk;
+                }
+            }
+        }
+        if found {
+            break 'walk;
+        }
+    }
+    ctx.work.candidates_scanned += examined;
+    best.map(|(_, h)| h)
 }
 
 /// Moves VMs off `host` with best-fit-decreasing packing. Returns whether
@@ -307,13 +394,18 @@ fn undo_moves(ctx: &mut PlanContext, journal: &[MoveUndo]) {
         ctx.host_pred_cpu[u.from] = u.old_pred_from;
         ctx.host_pred_cpu[u.to] = u.old_pred_to;
         ctx.mem_committed[u.to] = u.old_mem_to;
+        // The endpoints' utilizations changed again; keep their overlay
+        // marks current for the indexed planner (no-op under Scan).
+        ctx.note_undone_move(u.from, u.to);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClusterObservation, HostObservation, PowerPolicy, RecoveryConfig, VmObservation};
+    use crate::{
+        ClusterObservation, HostObservation, PlanMode, PowerPolicy, RecoveryConfig, VmObservation,
+    };
     use power::PowerState;
     use simcore::SimDuration;
 
@@ -543,6 +635,140 @@ mod tests {
         assert!(!ctx.draining[0]);
         assert_eq!(ctx.vm_host[0], Some(0));
         assert_eq!(budget, 8);
+    }
+
+    #[test]
+    fn rollback_restores_total_predicted_bitwise() {
+        // Pins the `total_predicted` cache contract across a failed
+        // trial: the undo journal restores every `host_pred_cpu` slot
+        // from the recorded values (bitwise, not recomputed), so the
+        // cached fleet total must come back bit-exact after a rollback.
+        // Same memory-bound fixture as `all_or_nothing_rolls_back`, at
+        // the minimal fleet size that can attempt and fail a trial.
+        let mut hosts = Vec::new();
+        let mut vms = Vec::new();
+        let mut preds = Vec::new();
+        hosts.push(HostObservation {
+            id: HostId(0),
+            state: PowerState::On,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 64.0,
+            mem_committed: 48.0,
+            cpu_demand: 0.4,
+            evacuated: false,
+            failed_transitions: 0,
+        });
+        hosts.push(HostObservation {
+            id: HostId(1),
+            state: PowerState::On,
+            pending: None,
+            cpu_capacity: 8.0,
+            mem_capacity: 64.0,
+            mem_committed: 40.0,
+            cpu_demand: 2.0,
+            evacuated: false,
+            failed_transitions: 0,
+        });
+        // Awkward mantissas so a recomputed (re-associated) total would
+        // differ in the low bits and fail this test.
+        for (i, (h, mem, demand)) in [
+            (0u32, 24.0, 0.1 + 0.2),
+            (0, 24.0, 1.0 / 3.0),
+            (1, 40.0, 0.7),
+        ]
+        .iter()
+        .enumerate()
+        {
+            vms.push(VmObservation {
+                id: VmId(i as u32),
+                host: Some(HostId(*h)),
+                cpu_demand: *demand,
+                cpu_cap: 8.0,
+                mem_gb: *mem,
+                migrating: false,
+                service_class: Default::default(),
+            });
+            preds.push(*demand);
+        }
+        let o = ClusterObservation {
+            now: SimTime::ZERO,
+            hosts,
+            vms,
+        };
+        let mut ctx = PlanContext::new(&o, preds, &[false; 2]);
+        let c = cfg();
+        let before_total = ctx.total_predicted().to_bits();
+        let before_hosts: Vec<u64> = ctx.host_pred_cpu.iter().map(|v| v.to_bits()).collect();
+        let mut actions = Vec::new();
+        let mut budget = 8;
+        plan_consolidation(
+            &mut ctx,
+            &c,
+            &open_gate(2),
+            &clean_recovery(2),
+            SimTime::ZERO,
+            &mut actions,
+            &mut budget,
+            1,
+            &mut SpanTracer::new(),
+        );
+        assert!(
+            ctx.work.trials_rolled_back > 0,
+            "fixture no longer exercises a rollback"
+        );
+        assert_eq!(
+            ctx.total_predicted().to_bits(),
+            before_total,
+            "total_predicted cache drifted across a rollback"
+        );
+        let after_hosts: Vec<u64> = ctx.host_pred_cpu.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            before_hosts, after_hosts,
+            "host_pred_cpu not restored bitwise"
+        );
+    }
+
+    #[test]
+    fn indexed_mode_picks_identically_to_scan() {
+        // The same fleet planned in both modes must drain the same host
+        // and emit the same migrations — the unit-scale version of the
+        // differential suite's bit-identity property.
+        let run = |mode: PlanMode| {
+            let (o, preds) = obs(&[&[2.0, 1.0], &[1.5], &[0.5], &[0.7]]);
+            let mut ctx = PlanContext::new(&o, preds, &[false; 4]);
+            ctx.mode = mode;
+            ctx.refresh_index();
+            let c = cfg();
+            let mut actions = Vec::new();
+            let mut budget = 8;
+            plan_consolidation(
+                &mut ctx,
+                &c,
+                &open_gate(4),
+                &clean_recovery(4),
+                SimTime::ZERO,
+                &mut actions,
+                &mut budget,
+                1,
+                &mut SpanTracer::new(),
+            );
+            (actions, ctx.draining.clone(), budget)
+        };
+        let scan = run(PlanMode::Scan);
+        let indexed = run(PlanMode::Indexed);
+        assert_eq!(scan, indexed);
+        // And the indexed run really used the index: with four hosts in
+        // play it must have examined fewer hosts than four per pick or at
+        // least have kept the index live (refresh marks it valid).
+        let (o, preds) = obs(&[&[2.0, 1.0], &[1.5], &[0.5], &[0.7]]);
+        let mut ctx = PlanContext::new(&o, preds, &[false; 4]);
+        ctx.mode = PlanMode::Indexed;
+        ctx.refresh_index();
+        assert!(
+            ctx.index_valid(),
+            "refresh under Indexed must arm the index"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod consolidate;
 mod decision;
 mod drm;
 mod hysteresis;
+mod index;
 mod manager;
 mod observation;
 mod plan;
@@ -55,6 +56,7 @@ pub use action::{ActionReason, ManagementAction};
 pub use config::{ConfigError, ManagerConfig, PackingPolicy, PowerPolicy};
 pub use decision::{DecisionActions, DecisionRecord, DecisionTrigger};
 pub use hysteresis::HysteresisGate;
+pub use index::{pairwise_sum, IndexWorkCounters, PlanMode, SumTree, UtilizationIndex};
 pub use manager::{RoundStats, VirtManager};
 pub use observation::{ClusterObservation, HostObservation, VmObservation};
 pub use predict::{Predictor, PredictorConfig};

@@ -6,8 +6,8 @@ use power::PowerState;
 use crate::plan::PlanContext;
 use crate::{
     consolidate, drm, ActionReason, ClusterObservation, DayProfile, DecisionActions,
-    DecisionRecord, DecisionTrigger, HysteresisGate, ManagementAction, ManagerConfig, PowerPolicy,
-    Predictor, RecoveryTracker, WorkCounters,
+    DecisionRecord, DecisionTrigger, HysteresisGate, IndexWorkCounters, ManagementAction,
+    ManagerConfig, PowerPolicy, Predictor, RecoveryTracker, WorkCounters,
 };
 use obs::{Histogram, SpanTracer};
 use simcore::{pool, SimDuration};
@@ -127,6 +127,8 @@ impl VirtManager {
             .prewake_lookahead()
             .map(|_| DayProfile::new(SimDuration::from_mins(30), 0.5));
         let recovery = RecoveryTracker::new(config.recovery().clone(), num_hosts);
+        let mut ctx = PlanContext::default();
+        ctx.mode = config.plan_mode();
         VirtManager {
             config,
             predictors,
@@ -138,7 +140,7 @@ impl VirtManager {
             last_decision: None,
             stats: RoundStats::default(),
             predicted_buf: Vec::new(),
-            ctx: PlanContext::default(),
+            ctx,
             threads: 1,
             actions_hist: Histogram::new(),
         }
@@ -206,6 +208,13 @@ impl VirtManager {
         self.ctx.work
     }
 
+    /// Deterministic counts of the utilization-index maintenance work done
+    /// so far (refreshes, re-buckets, inserts, removes, overlay folds).
+    /// All zero under [`PlanMode::Scan`](crate::PlanMode::Scan).
+    pub fn index_work_counters(&self) -> IndexWorkCounters {
+        self.ctx.index_work
+    }
+
     /// Runs one management round.
     ///
     /// # Panics
@@ -218,8 +227,8 @@ impl VirtManager {
 
     /// Runs one management round, recording each planning step as a
     /// child span of the caller's current span (`rescore`,
-    /// `capacity_wake`, `overload`, `consolidate` with its
-    /// `candidate_scan`/`trial`/`undo` subtree, `rebalance`, `park`).
+    /// `capacity_wake`, `overload`, `index_maintain`, `consolidate` with
+    /// its `candidate_scan`/`trial`/`undo` subtree, `rebalance`, `park`).
     ///
     /// Tracing observes and never steers: with a disabled tracer this is
     /// byte-for-byte the same plan as [`plan`](Self::plan).
@@ -240,6 +249,7 @@ impl VirtManager {
         let s_rescore = tracer.name("rescore");
         let s_wake = tracer.name("capacity_wake");
         let s_overload = tracer.name("overload");
+        let s_index = tracer.name("index_maintain");
         let s_consolidate = tracer.name("consolidate");
         let s_rebalance = tracer.name("rebalance");
         let s_park = tracer.name("park");
@@ -356,6 +366,20 @@ impl VirtManager {
         }
         tracer.exit(s_wake);
         mark(&mut reasons, actions.len(), ActionReason::CapacityWake);
+        // Bring the utilization index up to date with this round's fresh
+        // predictions before the first destination pick. It sits after
+        // the capacity wake (which rewrites `draining`/`arriving`
+        // directly) and before overload mitigation, whose per-VM
+        // least-loaded picks are the first index consumers; every later
+        // mutation flows through `move_vm`/`set_draining_trial`, which
+        // keep the index current. Under `PlanMode::Scan` (or when
+        // consolidation is skipped) this is a no-op and the index stays
+        // invalid, so every lookup falls back to the full scan.
+        tracer.enter(s_index);
+        if power_managed && !failsafe {
+            ctx.refresh_index();
+        }
+        tracer.exit(s_index);
         tracer.enter(s_overload);
         drm::mitigate_overloads(&mut ctx, &self.config, &mut actions, &mut budget);
         tracer.exit(s_overload);

@@ -8,7 +8,15 @@
 
 use cluster::ServiceClass;
 
-use crate::{ClusterObservation, ManagerConfig, WorkCounters};
+use crate::{
+    ClusterObservation, IndexWorkCounters, ManagerConfig, PlanMode, UtilizationIndex, WorkCounters,
+};
+
+/// Touched-overlay size bound: past this many in-round-moved hosts the
+/// overlay is folded back into the buckets, so overlay scans during
+/// mass-consolidation waves stay O(bound) instead of growing with every
+/// committed drain.
+const OVERLAY_FOLD_LIMIT: usize = 128;
 
 /// Mutable planning view of the cluster for one round.
 ///
@@ -51,6 +59,42 @@ pub(crate) struct PlanContext {
     /// Deterministic op-counters, accumulated *across* rounds —
     /// [`rebuild`](Self::rebuild) deliberately leaves them untouched.
     pub work: WorkCounters,
+    /// Consolidation planner selection (set once at manager
+    /// construction; [`rebuild`](Self::rebuild) leaves it untouched).
+    pub mode: PlanMode,
+    /// Utilization-bucket index for [`PlanMode::Indexed`]. Invalidated
+    /// by every rebuild (fresh predictions), revalidated by
+    /// [`refresh_index`](Self::refresh_index) once per round.
+    pub index: UtilizationIndex,
+    /// Index-maintenance op-counters, accumulated across rounds like
+    /// [`Self::work`].
+    pub index_work: IndexWorkCounters,
+}
+
+/// Lexicographic minimum over `(utilization, host index)` — exactly
+/// `Iterator::min_by` on utilization over ascending indices (first-wins
+/// on ties), but iteration-order independent.
+pub(crate) fn lex_min(best: &mut Option<(f64, usize)>, cand: (f64, usize)) {
+    let replace = match *best {
+        None => true,
+        Some((u, h)) => cand.0 < u || (cand.0 == u && cand.1 < h),
+    };
+    if replace {
+        *best = Some(cand);
+    }
+}
+
+/// Lexicographic maximum over `(utilization, host index)` — exactly
+/// `Iterator::max_by` on utilization over ascending indices (last-wins
+/// on ties), but iteration-order independent.
+pub(crate) fn lex_max(best: &mut Option<(f64, usize)>, cand: (f64, usize)) {
+    let replace = match *best {
+        None => true,
+        Some((u, h)) => cand.0 > u || (cand.0 == u && cand.1 > h),
+    };
+    if replace {
+        *best = Some(cand);
+    }
 }
 
 impl PlanContext {
@@ -134,6 +178,142 @@ impl PlanContext {
                 .map(|v| v.service_class == ServiceClass::Batch),
         );
         self.total_predicted_cache = self.predicted_vm.iter().sum();
+        // Fresh predictions: whatever the bucket index held last round no
+        // longer describes the fleet. The per-round refresh revalidates.
+        self.index.valid = false;
+    }
+
+    /// Rebuilds the utilization-bucket index and capacity aggregates for
+    /// this round's predictions (no-op under [`PlanMode::Scan`]).
+    ///
+    /// Every host is re-scored (one divide and compare) but only hosts
+    /// whose *bucket* changed pay list surgery — counted as
+    /// `work.index.rebuckets`, which the invariant catalog bounds by
+    /// `work.cluster.dirty_marks`: a bucket can only move when some
+    /// cluster observation actually changed.
+    pub fn refresh_index(&mut self) {
+        if self.mode != PlanMode::Indexed {
+            return;
+        }
+        let n = self.num_hosts();
+        self.index.ensure_hosts(n);
+        self.index.clear_touched();
+        // Every member is re-inserted or rescored below, so the
+        // raise-only free-memory bounds can be recomputed exactly here.
+        self.index.reset_mem_ubs();
+        self.index_work.refreshes += 1;
+        for h in 0..n {
+            let member = self.operational[h];
+            let mem_free = self.mem_capacity[h] - self.mem_committed[h];
+            match (self.index.is_indexed(h), member) {
+                (false, true) => {
+                    self.index.insert(h, self.util(h), mem_free);
+                    self.index_work.inserts += 1;
+                }
+                (true, false) => {
+                    self.index.remove(h);
+                    self.index_work.removes += 1;
+                }
+                (true, true) => {
+                    if self.index.rescore(h, self.util(h), mem_free) {
+                        self.index_work.rebuckets += 1;
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        // Capacity aggregates: fixed-shape pairwise trees whose roots are
+        // bitwise equal to the scan path's `pairwise_sum` over the same
+        // leaves. Rebuilt per refresh, leaf-updated on trial drain flips.
+        let ops = &self.operational;
+        let draining = &self.draining;
+        let arriving = &self.arriving;
+        let cap = &self.cpu_capacity;
+        self.index
+            .active_tree
+            .rebuild(n, |h| if ops[h] && !draining[h] { cap[h] } else { 0.0 });
+        self.index
+            .arriving_tree
+            .rebuild(n, |h| if arriving[h] { cap[h] } else { 0.0 });
+        self.work.fold_elements += 2 * n as u64;
+        let mut max_cap = 0.0f64;
+        let mut min_pos_cap = f64::INFINITY;
+        for &c in cap {
+            max_cap = max_cap.max(c);
+            if c > 0.0 {
+                min_pos_cap = min_pos_cap.min(c);
+            }
+        }
+        self.index.max_host_cap = max_cap;
+        self.index.min_host_cap = if min_pos_cap.is_finite() {
+            min_pos_cap
+        } else {
+            0.0
+        };
+        self.index.valid = true;
+        debug_assert_eq!(
+            self.index.check_membership(
+                &self.operational,
+                &(0..n).map(|h| self.util(h)).collect::<Vec<_>>(),
+                &(0..n)
+                    .map(|h| self.mem_capacity[h] - self.mem_committed[h])
+                    .collect::<Vec<_>>(),
+            ),
+            Ok(())
+        );
+    }
+
+    /// Whether indexed queries may be served this round (mode is
+    /// `Indexed` and the per-round refresh has run since the last
+    /// rebuild). Callers outside that window — e.g. a failsafe round,
+    /// where the refresh is skipped entirely — fall back to the scan
+    /// paths, which return the identical answer.
+    pub fn index_valid(&self) -> bool {
+        self.mode == PlanMode::Indexed && self.index.valid
+    }
+
+    /// Marks `host`'s bucket stale after an in-round utilization change
+    /// (a tentative move or its undo). No-op when the index is not live.
+    ///
+    /// Folds the overlay back into the buckets past its size bound so
+    /// overlay scans stay O(bound) during mass-consolidation waves.
+    fn touch_host(&mut self, host: usize) {
+        if !self.index_valid() {
+            return;
+        }
+        self.index.touch(host);
+        if self.index.overlay_len() > OVERLAY_FOLD_LIMIT {
+            self.fold_overlay();
+        }
+    }
+
+    /// Re-buckets every touched host at its current utilization and
+    /// clears the overlay.
+    fn fold_overlay(&mut self) {
+        for i in 0..self.index.overlay_len() {
+            let h = self.index.touched_hosts()[i] as usize;
+            let mem_free = self.mem_capacity[h] - self.mem_committed[h];
+            if self.index.is_indexed(h) && self.index.rescore(h, self.util(h), mem_free) {
+                self.index_work.overlay_folds += 1;
+            }
+        }
+        self.index.clear_touched();
+    }
+
+    /// Flips `draining[host]` for a consolidation trial (or its
+    /// rollback), keeping the active-capacity aggregate current when the
+    /// index is live. The flip itself is exactly the plain assignment
+    /// the scan path performs.
+    pub fn set_draining_trial(&mut self, host: usize, draining: bool) {
+        self.draining[host] = draining;
+        if self.index_valid() {
+            let leaf = if self.operational[host] && !draining {
+                self.cpu_capacity[host]
+            } else {
+                0.0
+            };
+            self.index.active_tree.set(host, leaf);
+        }
     }
 
     /// Number of hosts.
@@ -187,6 +367,18 @@ impl PlanContext {
         self.vms_by_host[to].push(vm);
         self.vm_host[vm] = Some(to);
         self.migrating_vm[vm] = true; // one move per VM per round
+                                      // Both endpoints' utilizations changed; their stored buckets are
+                                      // stale until the overlay folds or the next refresh.
+        self.touch_host(from);
+        self.touch_host(to);
+    }
+
+    /// Marks both endpoints of an undone move stale (the undo restores
+    /// their utilizations bitwise, but not necessarily to the bucketed
+    /// values if earlier committed moves touched the same hosts).
+    pub fn note_undone_move(&mut self, from: usize, to: usize) {
+        self.touch_host(from);
+        self.touch_host(to);
     }
 
     /// Movable VMs on `host` (placed there and not migrating).
@@ -231,8 +423,14 @@ impl PlanContext {
     /// resulting utilization (load-balancing placement, used by DRM).
     ///
     /// Takes `&mut self` only to count the re-scoring work; the scan
-    /// itself never mutates the plan.
+    /// itself never mutates the plan. With a live index the answer comes
+    /// from an ascending bucket walk instead of the full sweep — the
+    /// tie-break (first-wins: lowest index among equal minima) is
+    /// preserved exactly, so both paths return the same host.
     pub fn least_loaded_destination(&mut self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        if self.index_valid() {
+            return self.least_loaded_destination_indexed(vm, cfg);
+        }
         self.work.hosts_rescored += self.num_hosts() as u64;
         (0..self.num_hosts())
             .filter(|&h| self.can_accept(h, vm, cfg))
@@ -248,8 +446,14 @@ impl PlanContext {
     /// consolidation).
     ///
     /// Takes `&mut self` only to count the re-scoring work; the scan
-    /// itself never mutates the plan.
+    /// itself never mutates the plan. With a live index the answer comes
+    /// from a descending bucket walk instead of the full sweep — the
+    /// tie-break (last-wins: highest index among equal maxima, matching
+    /// `Iterator::max_by`) is preserved exactly.
     pub fn tightest_destination(&mut self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        if self.index_valid() {
+            return self.tightest_destination_indexed(vm, cfg);
+        }
         self.work.hosts_rescored += self.num_hosts() as u64;
         (0..self.num_hosts())
             .filter(|&h| self.can_accept(h, vm, cfg))
@@ -258,6 +462,151 @@ impl PlanContext {
                     .partial_cmp(&self.util(b))
                     .expect("utilization is finite")
             })
+    }
+
+    /// Indexed twin of [`least_loaded_destination`]: the touched overlay
+    /// is scanned in full, then buckets ascend until the first one
+    /// holding a feasible untouched host — which must contain the
+    /// untouched minimum, because every host in a later bucket has
+    /// strictly larger utilization. The two lexicographic minima merge
+    /// into the global first-wins answer.
+    ///
+    /// [`least_loaded_destination`]: Self::least_loaded_destination
+    fn least_loaded_destination_indexed(
+        &mut self,
+        vm: usize,
+        cfg: &ManagerConfig,
+    ) -> Option<usize> {
+        let mut examined = 0u64;
+        let mut best: Option<(f64, usize)> = None;
+        for &h in self.index.touched_hosts() {
+            let h = h as usize;
+            examined += 1;
+            if self.can_accept(h, vm, cfg) {
+                lex_min(&mut best, (self.util(h), h));
+            }
+        }
+        // CPU-feasibility ceiling — the mirror image of the descending
+        // walk's start bound: `can_accept` demands
+        // `util ≤ target − vm_pred / cap (+1e-9/cap)`, and
+        // `vm_pred / max_cap` underestimates every host's own deduction,
+        // so a bucket whose floor exceeds `target − vm_pred/max_cap
+        // (+slop)` holds only hosts that reject the VM on CPU grounds.
+        // Without this stop a pick with *no* feasible destination
+        // ascends through the entire packed fleet, paying one
+        // `can_accept` per host — the dominant cost at 64k hosts.
+        let slop = if self.index.min_host_cap > 0.0 {
+            1e-9 / self.index.min_host_cap
+        } else {
+            0.0
+        };
+        let vm_util = if self.index.max_host_cap > 0.0 {
+            self.predicted_vm[vm] / self.index.max_host_cap
+        } else {
+            0.0
+        };
+        let stop = UtilizationIndex::bucket_of(cfg.target_utilization() - vm_util + slop);
+        'walk: for b in 0..=stop {
+            // Memory prune: `can_accept` needs `vm_mem ≤ free + 1e-9`,
+            // and the bound dominates every untouched member's free
+            // memory, so a bucket below the VM's demand holds no
+            // feasible destination. At steady state this skips the dense
+            // packed-to-memory buckets without examining a single host.
+            if self.vm_mem[vm] > self.index.bucket_mem_ub(b) + 1e-9 {
+                continue;
+            }
+            let mut found = false;
+            for &h in self.index.bucket_hosts(b) {
+                let h = h as usize;
+                if self.index.is_touched(h) {
+                    continue;
+                }
+                examined += 1;
+                if self.can_accept(h, vm, cfg) {
+                    let u = self.util(h);
+                    lex_min(&mut best, (u, h));
+                    found = true;
+                    // A feasible host sitting exactly on the bucket floor
+                    // is unbeatable: later in-bucket hosts have util ≥
+                    // the floor and a larger index, later buckets are
+                    // strictly higher, and the overlay already merged.
+                    if u.to_bits() == UtilizationIndex::bucket_floor(b).to_bits() {
+                        break 'walk;
+                    }
+                }
+            }
+            if found {
+                break 'walk;
+            }
+        }
+        self.work.hosts_rescored += examined;
+        best.map(|(_, h)| h)
+    }
+
+    /// Indexed twin of [`tightest_destination`]: overlay scan plus a
+    /// descending bucket walk. The walk starts at the highest bucket any
+    /// *feasible* host can occupy for **this** VM: `can_accept` demands
+    /// `host_pred + vm_pred ≤ target × capacity (+1e-9)`, i.e.
+    /// `util ≤ target − vm_pred / capacity (+slop)`, so every bucket
+    /// above `target − vm_pred / max_capacity` holds only hosts that
+    /// would reject the VM on CPU grounds. At steady state the fleet's
+    /// packed hosts cluster *just below target* — exactly the dense
+    /// buckets this VM-specific bound skips — which is what keeps the
+    /// per-pick examination count sublinear instead of degenerating to a
+    /// scan of the packed cluster.
+    ///
+    /// [`tightest_destination`]: Self::tightest_destination
+    fn tightest_destination_indexed(&mut self, vm: usize, cfg: &ManagerConfig) -> Option<usize> {
+        let mut examined = 0u64;
+        let mut best: Option<(f64, usize)> = None;
+        for &h in self.index.touched_hosts() {
+            let h = h as usize;
+            examined += 1;
+            if self.can_accept(h, vm, cfg) {
+                lex_max(&mut best, (self.util(h), h));
+            }
+        }
+        // The `1e-9` core slop translates to at most `1e-9 / min_cap` in
+        // utilization; widening the start bucket by that much keeps the
+        // prune conservative for any capacity scale. `vm_pred / max_cap`
+        // underestimates every host's own `vm_pred / cap` deduction, so
+        // the threshold stays an upper bound for heterogeneous fleets.
+        let slop = if self.index.min_host_cap > 0.0 {
+            1e-9 / self.index.min_host_cap
+        } else {
+            0.0
+        };
+        let vm_util = if self.index.max_host_cap > 0.0 {
+            self.predicted_vm[vm] / self.index.max_host_cap
+        } else {
+            0.0
+        };
+        let start = UtilizationIndex::bucket_of(cfg.target_utilization() - vm_util + slop);
+        'walk: for b in (0..=start).rev() {
+            // Memory prune — same bound as the ascending walk: no
+            // untouched member of a bucket below the VM's memory demand
+            // can accept it.
+            if self.vm_mem[vm] > self.index.bucket_mem_ub(b) + 1e-9 {
+                continue;
+            }
+            let mut found = false;
+            for &h in self.index.bucket_hosts(b) {
+                let h = h as usize;
+                if self.index.is_touched(h) {
+                    continue;
+                }
+                examined += 1;
+                if self.can_accept(h, vm, cfg) {
+                    lex_max(&mut best, (self.util(h), h));
+                    found = true;
+                }
+            }
+            if found {
+                break 'walk;
+            }
+        }
+        self.work.hosts_rescored += examined;
+        best.map(|(_, h)| h)
     }
 }
 

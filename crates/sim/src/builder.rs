@@ -93,6 +93,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the consolidation planning mode on the wrapped experiment
+    /// — convenience for callers that only hold the builder. See
+    /// [`Experiment::plan_mode`].
+    pub fn plan_mode(mut self, mode: agile_core::PlanMode) -> Self {
+        self.experiment = self.experiment.plan_mode(mode);
+        self
+    }
+
     /// Evaluates the analytic DVFS-only baseline instead of the event
     /// loop: every host stays on and clocks down to the lowest
     /// sufficient frequency. The experiment's policy is ignored.

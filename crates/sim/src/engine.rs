@@ -416,6 +416,13 @@ impl DatacenterSim {
                     .counter(&format!("work.plan.{name}"));
                 self.telemetry.registry.add(id, value);
             }
+            for (name, value) in m.index_work_counters().entries() {
+                let id = self
+                    .telemetry
+                    .registry
+                    .counter(&format!("work.index.{name}"));
+                self.telemetry.registry.add(id, value);
+            }
         }
         let dirty = self.telemetry.registry.counter("work.cluster.dirty_marks");
         self.telemetry

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use agile_core::{ManagerConfig, PowerPolicy, RoundStats, VirtManager};
+use agile_core::{ManagerConfig, PlanMode, PowerPolicy, RoundStats, VirtManager};
 use cluster::{AccountingMode, Cluster};
 use obs::{JsonlSink, MetricsSnapshot};
 use simcore::{SimDuration, SimTime};
@@ -56,6 +56,7 @@ pub struct Experiment {
     record_events: bool,
     trace_path: Option<PathBuf>,
     accounting: AccountingMode,
+    plan_mode: Option<PlanMode>,
 }
 
 /// Where the manager configuration comes from: a bare policy gets
@@ -79,6 +80,7 @@ impl Experiment {
             record_events: false,
             trace_path: None,
             accounting: AccountingMode::default(),
+            plan_mode: None,
         }
     }
 
@@ -100,13 +102,17 @@ impl Experiment {
 
     /// The manager configuration this experiment will run.
     pub(crate) fn resolve_config(&self) -> ManagerConfig {
-        match &self.config {
+        let config = match &self.config {
             ConfigSource::Policy(p) => ManagerConfig::for_fleet(
                 *p,
                 self.scenario.host_specs().len(),
                 self.scenario.fleet().len(),
             ),
             ConfigSource::Explicit(c) => c.clone(),
+        };
+        match self.plan_mode {
+            Some(mode) => config.with_plan_mode(mode),
+            None => config,
         }
     }
 
@@ -141,6 +147,17 @@ impl Experiment {
     /// bit-identical between the two.
     pub fn accounting(mut self, mode: AccountingMode) -> Self {
         self.accounting = mode;
+        self
+    }
+
+    /// Selects the consolidation planning mode (default:
+    /// [`PlanMode::Scan`]). The indexed mode maintains utilization-bucket
+    /// indices so candidate/destination picks stop scanning the full
+    /// fleet; reports must be bit-identical between the two. Overrides
+    /// the mode carried by an explicit
+    /// [`manager_config`](Self::manager_config).
+    pub fn plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = Some(mode);
         self
     }
 

@@ -38,10 +38,12 @@ pub mod pool;
 mod rng;
 mod series;
 mod stats;
+mod sumtree;
 mod time;
 
 pub use event::EventQueue;
 pub use rng::RngStream;
 pub use series::{SeriesPoint, TimeSeries};
 pub use stats::{percentile, Histogram, Welford};
+pub use sumtree::{pairwise_sum, SumTree};
 pub use time::{SimDuration, SimTime};

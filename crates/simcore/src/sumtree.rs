@@ -1,0 +1,116 @@
+//! Fixed-shape pairwise summation: a from-scratch fold and an
+//! incrementally-maintained tree that are bitwise equal by construction.
+//!
+//! Floating-point addition is not associative, so "the sum of these
+//! leaves" is only well-defined once the reduction shape is fixed. Both
+//! entry points here reduce over the *same* balanced binary tree (leaves
+//! padded with `0.0` to the next power of two), which makes a scan-side
+//! recomputation and an index-side incremental update interchangeable at
+//! the bit level — the property the planner's differential suite and the
+//! cluster's cached power/capacity totals both rely on.
+
+/// Fixed-shape pairwise sum of `leaf(0..n)`: the array is padded with
+/// `0.0` to the next power of two and reduced as a balanced binary tree.
+///
+/// This is the from-scratch twin of [`SumTree`]: for the same `n` and
+/// leaf values the result is bitwise identical to [`SumTree::root`],
+/// which is what lets a scan path recompute aggregates per decision
+/// while an incremental path maintains them under point updates.
+pub fn pairwise_sum(n: usize, leaf: impl Fn(usize) -> f64) -> f64 {
+    fn reduce(lo: usize, size: usize, n: usize, leaf: &impl Fn(usize) -> f64) -> f64 {
+        if size == 1 {
+            return if lo < n { leaf(lo) } else { 0.0 };
+        }
+        let half = size / 2;
+        reduce(lo, half, n, leaf) + reduce(lo + half, half, n, leaf)
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    reduce(0, n.next_power_of_two(), n, &leaf)
+}
+
+/// A fixed-shape pairwise-summation tree over `n` leaves, padded with
+/// `0.0` to a power of two.
+///
+/// Every internal node holds the sum of its two children, so
+/// [`root`](Self::root) equals [`pairwise_sum`] over the same leaves
+/// bitwise, and [`set`](Self::set) refreshes one leaf in O(log n) while
+/// preserving that equality (each updated node recomputes the identical
+/// `left + right` expression).
+#[derive(Debug, Clone, Default)]
+pub struct SumTree {
+    /// Heap-shaped node array: root at 1, leaves at `base..base + base`.
+    nodes: Vec<f64>,
+    /// Number of padded leaves (power of two), 0 for an empty tree.
+    base: usize,
+    /// Logical leaf count.
+    len: usize,
+}
+
+impl SumTree {
+    /// Empty tree (root 0.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the tree over `leaf(0..n)` in O(n), reusing the node
+    /// allocation when the size is unchanged.
+    pub fn rebuild(&mut self, n: usize, leaf: impl Fn(usize) -> f64) {
+        self.len = n;
+        self.base = n.next_power_of_two().max(1);
+        self.nodes.clear();
+        self.nodes.resize(2 * self.base, 0.0);
+        for i in 0..n {
+            self.nodes[self.base + i] = leaf(i);
+        }
+        for i in (1..self.base).rev() {
+            self.nodes[i] = self.nodes[2 * i] + self.nodes[2 * i + 1];
+        }
+    }
+
+    /// Sets leaf `i` and refreshes its root path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, value: f64) {
+        assert!(i < self.len, "SumTree leaf {i} out of range {}", self.len);
+        let mut node = self.base + i;
+        self.nodes[node] = value;
+        while node > 1 {
+            node /= 2;
+            self.nodes[node] = self.nodes[2 * node] + self.nodes[2 * node + 1];
+        }
+    }
+
+    /// Current value of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn leaf(&self, i: usize) -> f64 {
+        assert!(i < self.len, "SumTree leaf {i} out of range {}", self.len);
+        self.nodes[self.base + i]
+    }
+
+    /// Sum of all leaves (0.0 for an empty tree), bitwise equal to
+    /// [`pairwise_sum`] over the same values.
+    pub fn root(&self) -> f64 {
+        if self.base == 0 {
+            0.0
+        } else {
+            self.nodes[1]
+        }
+    }
+
+    /// Number of logical leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}

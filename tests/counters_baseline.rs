@@ -1,17 +1,25 @@
 //! Exact-value gate on the deterministic `work.*` op-counters.
 //!
-//! A pinned 256-host scenario runs once and every `work.*` counter in
-//! its metrics snapshot must match `ci/counters_baseline.json` exactly —
-//! no tolerance. The counters are pure functions of the scenario seed
-//! (no clocks, no thread interleaving), so any drift is a real behavior
-//! change in the planning hot paths — an extra scan, a lost rollback, a
-//! double count — and must be reviewed, not absorbed. An intentional
-//! change is blessed by re-running with `AGILEPM_BLESS=1` and
-//! committing the updated baseline.
+//! A pinned 256-host scenario runs once per planning mode and every
+//! `work.*` counter in each metrics snapshot must match
+//! `ci/counters_baseline.json` exactly — no tolerance. The counters are
+//! pure functions of the scenario seed (no clocks, no thread
+//! interleaving), so any drift is a real behavior change in the planning
+//! hot paths — an extra scan, a lost rollback, a double count — and must
+//! be reviewed, not absorbed. An intentional change is blessed by
+//! re-running with `AGILEPM_BLESS=1` and committing the updated
+//! baseline.
+//!
+//! The scan-mode run pins the reference planner; the indexed-mode run
+//! pins both the decision counters (which must equal scan's — the
+//! differential suite proves that on generated worlds, this pins it on
+//! the big one) and the `work.index.*` maintenance counters, whose
+//! drift would mean the index is being refreshed or re-bucketed on a
+//! different schedule.
 
 use std::path::Path;
 
-use agilepm::core::PowerPolicy;
+use agilepm::core::{PlanMode, PowerPolicy};
 use agilepm::obs::{Json, MetricValue};
 use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
@@ -21,11 +29,12 @@ use agilepm::simcore::SimDuration;
 const HOSTS: usize = 256;
 const SEED: u64 = 2013;
 
-fn work_counters() -> Vec<(String, u64)> {
+fn work_counters(mode: PlanMode) -> Vec<(String, u64)> {
     let report = SimulationBuilder::new(
         Experiment::new(Scenario::datacenter(HOSTS, HOSTS * 6, SEED))
             .policy(PowerPolicy::reactive_suspend())
-            .horizon(SimDuration::from_hours(24)),
+            .horizon(SimDuration::from_hours(24))
+            .plan_mode(mode),
     )
     .run_report()
     .expect("pinned run succeeds");
@@ -40,32 +49,65 @@ fn work_counters() -> Vec<(String, u64)> {
         .collect()
 }
 
-fn render_baseline(counters: &[(String, u64)]) -> String {
-    let mut out = format!(
-        "{{\n  \"scenario\": \"datacenter-{HOSTS}\",\n  \"seed\": {SEED},\n  \
-         \"policy\": \"pm-suspend\",\n  \"counters\": {{\n"
-    );
+fn render_counters(out: &mut String, key: &str, counters: &[(String, u64)], last: bool) {
+    out.push_str(&format!("  \"{key}\": {{\n"));
     for (i, (name, value)) in counters.iter().enumerate() {
         out.push_str(&format!(
             "    \"{name}\": {value}{}\n",
             if i + 1 < counters.len() { "," } else { "" }
         ));
     }
-    out.push_str("  }\n}\n");
+    out.push_str(if last { "  }\n" } else { "  },\n" });
+}
+
+fn render_baseline(scan: &[(String, u64)], indexed: &[(String, u64)]) -> String {
+    let mut out = format!(
+        "{{\n  \"scenario\": \"datacenter-{HOSTS}\",\n  \"seed\": {SEED},\n  \
+         \"policy\": \"pm-suspend\",\n"
+    );
+    render_counters(&mut out, "counters", scan, false);
+    render_counters(&mut out, "counters_indexed", indexed, true);
+    out.push_str("}\n");
     out
+}
+
+fn assert_counters_match(blessed: &[(String, Json)], counters: &[(String, u64)], key: &str) {
+    assert_eq!(
+        blessed.len(),
+        counters.len(),
+        "`{key}` counter set changed: baseline {:?} vs run {:?}",
+        blessed.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+        counters.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+    for (name, value) in counters {
+        let want = blessed
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_i64())
+            .unwrap_or_else(|| panic!("baseline `{key}` is missing `{name}`"));
+        assert_eq!(
+            *value as i64, want,
+            "`{key}.{name}` drifted from the blessed baseline — the planning \
+             hot path changed; review, then re-bless with AGILEPM_BLESS=1"
+        );
+    }
 }
 
 #[test]
 fn work_counters_match_the_blessed_baseline_exactly() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("ci/counters_baseline.json");
-    let counters = work_counters();
+    let scan = work_counters(PlanMode::Scan);
+    let indexed = work_counters(PlanMode::Indexed);
+    assert!(!scan.is_empty(), "pinned run produced no work.* counters");
     assert!(
-        !counters.is_empty(),
-        "pinned run produced no work.* counters"
+        indexed
+            .iter()
+            .any(|(n, v)| n == "work.index.refreshes" && *v > 0),
+        "pinned indexed run never maintained the index"
     );
 
     if std::env::var_os("AGILEPM_BLESS").is_some() {
-        std::fs::write(&path, render_baseline(&counters)).expect("write baseline");
+        std::fs::write(&path, render_baseline(&scan, &indexed)).expect("write baseline");
         return;
     }
 
@@ -76,27 +118,11 @@ fn work_counters_match_the_blessed_baseline_exactly() {
         )
     });
     let json = Json::parse(&text).expect("baseline is valid JSON");
-    let blessed = json
-        .get("counters")
-        .and_then(Json::as_object)
-        .expect("baseline has a `counters` object");
-    assert_eq!(
-        blessed.len(),
-        counters.len(),
-        "counter set changed: baseline {:?} vs run {:?}",
-        blessed.iter().map(|(k, _)| k).collect::<Vec<_>>(),
-        counters.iter().map(|(k, _)| k).collect::<Vec<_>>()
-    );
-    for (name, value) in &counters {
-        let want = blessed
-            .iter()
-            .find(|(k, _)| k == name)
-            .and_then(|(_, v)| v.as_i64())
-            .unwrap_or_else(|| panic!("baseline is missing `{name}`"));
-        assert_eq!(
-            *value as i64, want,
-            "`{name}` drifted from the blessed baseline — the planning \
-             hot path changed; review, then re-bless with AGILEPM_BLESS=1"
-        );
+    for (key, counters) in [("counters", &scan), ("counters_indexed", &indexed)] {
+        let blessed = json
+            .get(key)
+            .and_then(Json::as_object)
+            .unwrap_or_else(|| panic!("baseline has no `{key}` object"));
+        assert_counters_match(blessed, counters, key);
     }
 }

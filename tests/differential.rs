@@ -6,6 +6,10 @@
 //! The equivalence pairs under test:
 //!
 //! * incremental vs `Scan` cluster accounting (PR 2's speedup);
+//! * `Indexed` vs `Scan` consolidation planning (the bucket-index
+//!   speedup), including failure-injected and sharded-thread variants
+//!   — the work counters that measure *how* each mode searched are
+//!   mode-variant by design and are compared structurally instead;
 //! * the serial tick engine vs the sharded engine at 2, 4, and 8
 //!   worker threads (the deterministic-sharding contract);
 //! * `u16`-quantized vs dense f64 demand traces carrying the same
@@ -23,12 +27,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use agilepm::cluster::AccountingMode;
-use agilepm::core::PowerPolicy;
+use agilepm::core::{PlanMode, PowerPolicy};
 use agilepm::sim::{sweeps, Experiment, Scenario, SimReport, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 use agilepm::workload::{DemandTrace, Fleet};
 use check::gen;
-use check_support::{check_energy_ordering, check_report, experiment_spec, scenario_spec};
+use check_support::{
+    check_energy_ordering, check_report, experiment_spec, failure_spec, scenario_spec,
+};
 
 /// Bit-identical comparison plus the serialized form, plus the invariant
 /// catalog on both halves of the pair.
@@ -70,6 +76,152 @@ fn incremental_accounting_matches_scan_reference() {
             let incremental = run(AccountingMode::Incremental)?;
             let scan = run(AccountingMode::Scan)?;
             assert_equivalent(&scenario, &incremental, &scan, "incremental-vs-scan")
+        },
+    );
+}
+
+/// The `work.*` counters that measure *how* a planning mode searched —
+/// scan charges per-host sweep work, indexed charges bucket walks plus
+/// index maintenance — so they legitimately differ between modes.
+/// Everything else in the report must match bit-for-bit.
+const PLAN_MODE_VARIANT_COUNTERS: [&str; 3] = [
+    "work.plan.candidates_scanned",
+    "work.plan.hosts_rescored",
+    "work.plan.fold_elements",
+];
+
+/// The `work.*` counters that must NOT depend on the planning mode: what
+/// the planner *decided* (trials, rollbacks, migrations) rather than how
+/// it searched.
+const PLAN_MODE_INVARIANT_COUNTERS: [&str; 5] = [
+    "work.plan.trials_attempted",
+    "work.plan.trials_rolled_back",
+    "work.plan.rollback_moves",
+    "work.plan.undo_depth_max",
+    "work.plan.migrations_planned",
+];
+
+/// Indexed-vs-scan equivalence: full invariant catalog on both, the
+/// decision counters equal, and — after dropping the search-cost
+/// counters — bit-identical reports including their serialized form.
+fn assert_plan_modes_equivalent(
+    scenario: &Scenario,
+    indexed: &SimReport,
+    scan: &SimReport,
+    what: &str,
+) -> Result<(), String> {
+    check_report(scenario, indexed)?;
+    check_report(scenario, scan)?;
+    for name in PLAN_MODE_INVARIANT_COUNTERS {
+        check::prop_assert_eq!(
+            indexed.metrics.counter(name),
+            scan.metrics.counter(name),
+            "{what}: mode-invariant counter {name} differs"
+        );
+    }
+    let strip = |report: &SimReport| {
+        let mut r = report.clone();
+        r.metrics.entries.retain(|e| {
+            !PLAN_MODE_VARIANT_COUNTERS.contains(&e.name.as_str())
+                && !e.name.starts_with("work.index.")
+        });
+        r
+    };
+    let indexed = strip(indexed);
+    let scan = strip(scan);
+    check::prop_assert!(
+        indexed == scan,
+        "{what}: reports differ beyond search-cost counters (energy {} vs {} J, {} vs {} migrations)",
+        indexed.energy_j,
+        scan.energy_j,
+        indexed.migrations,
+        scan.migrations
+    );
+    check::prop_assert_eq!(
+        indexed.to_json().to_string_compact(),
+        scan.to_json().to_string_compact(),
+        "{what}: serialized reports differ"
+    );
+    Ok(())
+}
+
+#[test]
+fn indexed_planning_matches_scan_reference() {
+    check::check("Indexed == Scan planning", &experiment_spec(), |spec| {
+        let scenario = spec.scenario.build();
+        let run = |mode: PlanMode| {
+            check_support::run_experiment(spec.experiment().plan_mode(mode).record_events())
+                .map_err(|e| format!("{spec:?}: {} run failed: {e:?}", mode.label()))
+        };
+        let indexed = run(PlanMode::Indexed)?;
+        let scan = run(PlanMode::Scan)?;
+        // Non-vacuousness: under a power-managing policy the index must
+        // actually have been maintained — otherwise this property would
+        // silently compare scan against scan.
+        if matches!(spec.policy, PowerPolicy::Reactive { .. }) {
+            check::prop_assert!(
+                indexed.metrics.counter("work.index.refreshes") > 0,
+                "{spec:?}: indexed run never refreshed the index"
+            );
+            check::prop_assert_eq!(
+                scan.metrics.counter("work.index.refreshes"),
+                0,
+                "{spec:?}: scan run maintained an index"
+            );
+        }
+        assert_plan_modes_equivalent(&scenario, &indexed, &scan, "indexed-vs-scan")
+    });
+}
+
+#[test]
+fn indexed_planning_matches_scan_under_fault_injection() {
+    // The index must stay coherent through quarantines, fail-safe
+    // rounds, cancelled drains, and aborted migrations — all of which
+    // perturb the hosts the planner may touch.
+    let input = experiment_spec().zip(&failure_spec(499));
+    check::check_cases(
+        "Indexed == Scan planning under faults",
+        32,
+        &input,
+        |(spec, failures)| {
+            let scenario = spec.scenario.build();
+            let run = |mode: PlanMode| {
+                check_support::run_experiment(
+                    spec.experiment()
+                        .plan_mode(mode)
+                        .failure_model(failures.build())
+                        .record_events(),
+                )
+                .map_err(|e| format!("{spec:?}/{failures:?}: {} run failed: {e:?}", mode.label()))
+            };
+            let indexed = run(PlanMode::Indexed)?;
+            let scan = run(PlanMode::Scan)?;
+            assert_plan_modes_equivalent(&scenario, &indexed, &scan, "indexed-vs-scan-faults")
+        },
+    );
+}
+
+#[test]
+fn indexed_planning_matches_scan_on_the_sharded_engine() {
+    // Index maintenance lives on the control path, which stays serial
+    // even under the sharded tick engine — but the sharded scan path
+    // merges per-shard minima, so prove the index reproduces *that*
+    // ordering too.
+    check::check_cases(
+        "Indexed == Scan planning, 4 worker threads",
+        32,
+        &experiment_spec(),
+        |spec| {
+            let scenario = spec.scenario.build();
+            let run = |mode: PlanMode| {
+                SimulationBuilder::new(spec.experiment().plan_mode(mode).record_events())
+                    .threads(4)
+                    .run_report()
+                    .map_err(|e| format!("{spec:?}: {} run failed: {e:?}", mode.label()))
+            };
+            let indexed = run(PlanMode::Indexed)?;
+            let scan = run(PlanMode::Scan)?;
+            assert_plan_modes_equivalent(&scenario, &indexed, &scan, "indexed-vs-scan-sharded")
         },
     );
 }
