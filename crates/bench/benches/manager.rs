@@ -39,6 +39,7 @@ fn observation(hosts: usize) -> ClusterObservation {
             cpu_demand: demand,
             evacuated: false,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
     }
     ClusterObservation {

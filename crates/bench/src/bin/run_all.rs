@@ -97,6 +97,7 @@ fn main() {
             "Simulator phase profile",
             Box::new(bench::exp_profile),
         ),
+        ("T26", "Savings-vs-SLO frontier", Box::new(bench::exp_t26)),
     ];
 
     // Shared bounded pool (see `simcore::pool`): never more workers than

@@ -59,6 +59,8 @@ fn main() {
     let mut repeat = 3usize;
     let mut threads = 1usize;
     let mut plan_mode = PlanMode::Indexed;
+    let mut ladder = false;
+    let mut wake_slo_secs = 12u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,9 +102,28 @@ fn main() {
                     other => panic!("--plan-mode must be scan or indexed, got {other:?}"),
                 };
             }
+            "--ladder" => ladder = true,
+            "--wake-slo" => {
+                wake_slo_secs = args
+                    .next()
+                    .expect("--wake-slo needs seconds")
+                    .parse()
+                    .expect("bad wake SLO");
+                assert!(wake_slo_secs >= 1, "--wake-slo must be at least 1 second");
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
+
+    // `--ladder` benches the joint sleep+speed path instead: the C6→S3→S5
+    // scenario under the joint-ladder policy at `--wake-slo` seconds. The
+    // scan reference rerun keeps the same policy, so the bit-identity
+    // cross-check covers the rung-selection path too.
+    let policy = if ladder {
+        PowerPolicy::joint_ladder(simcore::SimDuration::from_secs(wake_slo_secs))
+    } else {
+        PowerPolicy::reactive_suspend()
+    };
 
     let mut rows = Vec::new();
     for &hosts in &sizes {
@@ -112,6 +133,8 @@ fn main() {
             repeat,
             threads,
             plan_mode,
+            ladder,
+            policy,
         );
         let before = BEFORE.iter().find(|(h, _, _)| *h == hosts);
         println!(
@@ -133,7 +156,7 @@ fn main() {
         rows.push(row);
     }
 
-    let json = render_json(&rows, threads);
+    let json = render_json(&rows, threads, ladder, wake_slo_secs);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");
 
@@ -150,9 +173,15 @@ fn measure(
     repeat: usize,
     threads: usize,
     plan_mode: PlanMode,
+    ladder: bool,
+    policy: PowerPolicy,
 ) -> Row {
     let vms = hosts * 6;
-    let scenario = Scenario::datacenter(hosts, vms, bench::SEED);
+    let scenario = if ladder {
+        Scenario::datacenter_ladder(hosts, vms, bench::SEED)
+    } else {
+        Scenario::datacenter(hosts, vms, bench::SEED)
+    };
     let step = scenario.demand_step();
     // Best-of-N: the minimum wall time is the least scheduler-noise-
     // polluted sample; every repeat is the same deterministic simulation,
@@ -160,7 +189,7 @@ fn measure(
     let mut best: Option<(f64, _, _, _)> = None;
     for _ in 0..repeat {
         let exp = Experiment::new(scenario.clone())
-            .policy(PowerPolicy::reactive_suspend())
+            .policy(policy)
             .plan_mode(plan_mode);
         let t0 = Instant::now();
         let out = SimulationBuilder::new(exp)
@@ -185,7 +214,7 @@ fn measure(
     // comparison when the measured run planned in indexed mode.
     let scan_ticks_per_sec = verify_scan.then(|| {
         let exp = Experiment::new(scenario)
-            .policy(PowerPolicy::reactive_suspend())
+            .policy(policy)
             .accounting(AccountingMode::Scan)
             .plan_mode(PlanMode::Scan);
         let t0 = Instant::now();
@@ -259,8 +288,11 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn render_json(rows: &[Row], threads: usize) -> String {
-    let mut out = format!("{{\n  \"threads\": {threads},\n  \"before\": [\n");
+fn render_json(rows: &[Row], threads: usize, ladder: bool, wake_slo_secs: u64) -> String {
+    let mut out = format!(
+        "{{\n  \"threads\": {threads},\n  \"ladder\": {ladder},\n  \
+         \"wake_slo_secs\": {wake_slo_secs},\n  \"before\": [\n"
+    );
     for (i, (hosts, tps, rss)) in BEFORE.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"hosts\": {hosts}, \"ticks_per_sec\": {tps:.1}, \"peak_rss_kb\": {rss}}}{}\n",

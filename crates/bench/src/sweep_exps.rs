@@ -243,6 +243,7 @@ pub fn exp_t12_sized(hosts: usize, vms: usize, seed: u64) -> String {
         for (name, r) in results {
             rows.push(vec![
                 match mode {
+                    LowPowerMode::PackageIdle => "C6".to_string(),
                     LowPowerMode::Suspend => "S3".to_string(),
                     LowPowerMode::Off => "S5".to_string(),
                 },
@@ -676,6 +677,50 @@ pub fn exp_t24_sized(hosts: usize, vms: usize, seed: u64) -> String {
                 "lat",
                 "migr/h"
             ],
+            &rows
+        )
+    )
+}
+
+/// T26: savings-vs-SLO frontier — the joint sleep+speed ladder policy
+/// against each single-knob baseline (DVFS-only, suspend-only).
+pub fn exp_t26() -> String {
+    exp_t26_sized(HEADLINE_HOSTS, HEADLINE_VMS, SEED)
+}
+
+/// Size-parameterized variant. The SLO points are chosen to step through
+/// the ladder: 2 s admits only the C6 rung, 12 s adds S3, 600 s opens
+/// the full C6→S3→S5 ladder.
+pub fn exp_t26_sized(hosts: usize, vms: usize, seed: u64) -> String {
+    let slos: Vec<SimDuration> = [2u64, 12, 600]
+        .iter()
+        .map(|&s| SimDuration::from_secs(s))
+        .collect();
+    let (base, points) =
+        sweeps::slo_frontier_sweep(hosts, vms, &slos, seed).expect("frontier scenario runs");
+    let mut rows = Vec::new();
+    let mut push = |label: String, r: &dcsim::SimReport| {
+        rows.push(vec![
+            label,
+            format!("{:.0}", r.energy_kwh()),
+            format!("{:+.1}%", r.savings_vs(&base) * 100.0),
+            format!("{:.4}%", r.unserved_ratio * 100.0),
+            format!("{:.1}", r.avg_hosts_on),
+        ]);
+    };
+    push("AlwaysOn".to_string(), &base);
+    if let Some(p) = points.first() {
+        push("DVFS-only".to_string(), &p.dvfs_only);
+        push("Suspend-only(S3)".to_string(), &p.suspend_only);
+    }
+    for p in &points {
+        push(format!("Joint-Ladder@{}", p.slo), &p.joint_ladder);
+    }
+    format!(
+        "Savings-vs-SLO frontier, {hosts} hosts / {vms} VMs:
+{}",
+        table(
+            &["policy", "energy kWh", "savings", "unserved", "hosts-on"],
             &rows
         )
     )

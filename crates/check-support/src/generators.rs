@@ -33,6 +33,8 @@ pub enum WorkloadKind {
     },
     /// Mixed rack + blade hardware running the diurnal mix.
     Heterogeneous,
+    /// The diurnal mix on C6→S3→S5 ladder hardware with DVFS attached.
+    Ladder,
 }
 
 /// A compact, shrink-friendly description of a simulation world.
@@ -75,6 +77,7 @@ impl ScenarioSpec {
                 let blades = hosts / 2;
                 Scenario::heterogeneous(hosts - blades, blades, vms, seed)
             }
+            WorkloadKind::Ladder => Scenario::datacenter_ladder(hosts, vms, seed),
         }
     }
 }
@@ -89,6 +92,7 @@ pub fn workload_kind() -> Gen<WorkloadKind> {
         }),
         gen::u64_in(10..=80).map(|p| WorkloadKind::Steady { level_pct: p as u8 }),
         gen::constant(WorkloadKind::Heterogeneous),
+        gen::constant(WorkloadKind::Ladder),
     ])
 }
 
@@ -122,6 +126,17 @@ pub fn managed_policy() -> Gen<PowerPolicy> {
     gen::one_of(vec![
         PowerPolicy::reactive_suspend(),
         PowerPolicy::reactive_off(),
+    ])
+}
+
+/// Joint-ladder policies across the wake-SLO range that discriminates
+/// the rungs: 2 s admits only the C6-class rung, 12 s adds S3, 600 s
+/// admits the full ladder. Shrinks toward the tightest SLO.
+pub fn ladder_policy() -> Gen<PowerPolicy> {
+    gen::one_of(vec![
+        PowerPolicy::joint_ladder(SimDuration::from_secs(2)),
+        PowerPolicy::joint_ladder(SimDuration::from_secs(12)),
+        PowerPolicy::joint_ladder(SimDuration::from_secs(600)),
     ])
 }
 

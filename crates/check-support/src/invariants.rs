@@ -7,6 +7,7 @@
 
 use cluster::Cluster;
 use dcsim::{EventKind, Scenario, SimReport};
+use power::{HostPowerProfile, PowerState};
 
 /// Slack multiplier on the physical power ceiling: transition states may
 /// briefly draw above the utilization curve's peak (boot surges), and
@@ -245,6 +246,72 @@ pub fn check_cluster(cluster: &Cluster) -> Result<(), String> {
                     stranded.len()
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Power-state ladder monotonicity: walking a profile's supported rungs
+/// shallow→deep, each deeper rung must rest at strictly lower power and
+/// wake no faster than the rung above it — otherwise the deeper rung is
+/// never the right choice and the "ladder" is mislabeled. Vacuously true
+/// for profiles with at most one rung.
+///
+/// This is a property of *calibrated* profiles, not a constructor error:
+/// sweep tooling legitimately builds non-monotone tables (e.g. the F7
+/// wake-latency sweep shrinks resume latency below the park latency), so
+/// the check is applied to the presets and to generated ladder worlds
+/// rather than enforced at construction.
+pub fn check_ladder_monotonic(profile: &HostPowerProfile) -> Result<(), String> {
+    let ladder = profile.ladder();
+    for pair in ladder.windows(2) {
+        let (shallow, deep) = (&pair[0], &pair[1]);
+        if deep.resting_power_w >= shallow.resting_power_w {
+            return Err(format!(
+                "{}: rung {} rests at {} W, not below the shallower {} ({} W)",
+                profile.name(),
+                deep.mode,
+                deep.resting_power_w,
+                shallow.mode,
+                shallow.resting_power_w
+            ));
+        }
+        if deep.wake_latency < shallow.wake_latency {
+            return Err(format!(
+                "{}: rung {} wakes in {}, faster than the shallower {} ({})",
+                profile.name(),
+                deep.mode,
+                deep.wake_latency,
+                shallow.mode,
+                shallow.wake_latency
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-state energy accounting on a finished cluster: every host's
+/// by-state energies must be non-negative and sum to its meter total
+/// (within float tolerance) — the breakdown may never invent or lose
+/// joules relative to the step-function integral.
+pub fn check_energy_breakdown(cluster: &Cluster) -> Result<(), String> {
+    for host in cluster.hosts() {
+        let meter = host.power().meter();
+        let total = meter.total_j();
+        let mut sum = 0.0;
+        for state in PowerState::ALL {
+            let j = meter.state_j(state);
+            if !j.is_finite() || j < 0.0 {
+                return Err(format!("host {:?}: energy in {state} is {j} J", host.id()));
+            }
+            sum += j;
+        }
+        let tol = EPS * total.max(1.0);
+        if (sum - total).abs() > tol {
+            return Err(format!(
+                "host {:?}: by-state energy sums to {sum} J but the meter total is {total} J",
+                host.id()
+            ));
         }
     }
     Ok(())

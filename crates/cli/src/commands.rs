@@ -33,12 +33,14 @@ COMMON FLAGS (run, compare):
   --seed N             scenario seed                 [default 2013]
   --hours N            simulated horizon in hours    [default 24]
   --interval-mins N    management interval           [default 5]
-  --workload KIND      diurnal | spiky | churn       [default diurnal]
+  --workload KIND      diurnal | spiky | churn | ladder  [default diurnal]
   --churn F            transient VM fraction (workload churn) [default 0.3]
   --threads N          worker threads for the sharded tick engine [default 1]
 
 run-ONLY FLAGS:
-  --policy P           always-on | suspend | off | oracle  [default suspend]
+  --policy P           always-on | suspend | off | oracle | ladder[:SECS]
+                       [default suspend]; ladder parks drained hosts on the
+                       deepest C6/S3/S5 rung that wakes within SECS (12)
   --plan-mode M        scan | indexed consolidation planning [default indexed]
                        (bit-identical reports; indexed keeps utilization-
                        bucket indices so picks stop scanning the fleet)
@@ -66,7 +68,7 @@ sweep FLAGS:
   --csv PATH           also write the sweep as CSV
 
 breakeven FLAGS:
-  --profile NAME       rack | blade | legacy         [default rack]
+  --profile NAME       rack | blade | legacy | ladder | blade-ladder  [default rack]
 ";
 
 /// Routes a command line to its implementation.
@@ -91,9 +93,25 @@ fn parse_policy(name: &str) -> Result<PowerPolicy, ArgError> {
         "suspend" => Ok(PowerPolicy::reactive_suspend()),
         "off" => Ok(PowerPolicy::reactive_off()),
         "oracle" => Ok(PowerPolicy::oracle()),
-        other => Err(ArgError(format!(
-            "unknown policy `{other}` (always-on | suspend | off | oracle)"
-        ))),
+        // `ladder` parks each drained host on the deepest rung of its
+        // C6→S3→S5 ladder that wakes within the SLO (default 12 s;
+        // `ladder:SECS` overrides). Pair with `--workload ladder` so the
+        // hosts actually carry the extra rungs.
+        "ladder" => Ok(PowerPolicy::joint_ladder(SimDuration::from_secs(12))),
+        other => {
+            if let Some(secs) = other.strip_prefix("ladder:") {
+                let secs: u64 = secs.parse().map_err(|_| {
+                    ArgError(format!("bad wake SLO `{secs}` in `{other}` (want seconds)"))
+                })?;
+                if secs == 0 {
+                    return Err(ArgError("wake SLO must be positive".to_string()));
+                }
+                return Ok(PowerPolicy::joint_ladder(SimDuration::from_secs(secs)));
+            }
+            Err(ArgError(format!(
+                "unknown policy `{other}` (always-on | suspend | off | oracle | ladder[:SECS])"
+            )))
+        }
     }
 }
 
@@ -118,8 +136,9 @@ fn build_scenario(flags: &Flags) -> Result<Scenario, ArgError> {
             let frac = flags.f64_or("churn", 0.3)?;
             Ok(Scenario::datacenter_churn(hosts, vms, frac, seed))
         }
+        "ladder" => Ok(Scenario::datacenter_ladder(hosts, vms, seed)),
         other => Err(ArgError(format!(
-            "unknown workload `{other}` (diurnal | spiky | churn)"
+            "unknown workload `{other}` (diurnal | spiky | churn | ladder)"
         ))),
     }
 }
@@ -404,21 +423,24 @@ fn breakeven(args: &[String]) -> CmdResult {
         "rack" => HostPowerProfile::prototype_rack(),
         "blade" => HostPowerProfile::prototype_blade(),
         "legacy" => HostPowerProfile::legacy_rack(),
+        "ladder" => HostPowerProfile::prototype_rack_ladder(),
+        "blade-ladder" => HostPowerProfile::prototype_blade_ladder(),
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown profile `{other}` (rack | blade | legacy)"
+                "unknown profile `{other}` (rack | blade | legacy | ladder | blade-ladder)"
             ))))
         }
     };
     println!("{profile}");
-    for mode in [LowPowerMode::Suspend, LowPowerMode::Off] {
-        let label = match mode {
-            LowPowerMode::Suspend => "suspend (S3)",
-            LowPowerMode::Off => "off/boot (S5)",
-        };
+    let label = |mode| match mode {
+        LowPowerMode::PackageIdle => "package-idle (C6)",
+        LowPowerMode::Suspend => "suspend (S3)",
+        LowPowerMode::Off => "off/boot (S5)",
+    };
+    for mode in LowPowerMode::ALL {
         match break_even_gap(&profile, mode) {
-            Some(gap) => println!("{label}: breaks even after {gap} idle"),
-            None => println!("{label}: not supported by this profile"),
+            Some(gap) => println!("{}: breaks even after {gap} idle", label(mode)),
+            None => println!("{}: not supported by this profile", label(mode)),
         }
     }
     let rows: Vec<Vec<String>> = [60u64, 300, 900, 3600]
@@ -431,12 +453,16 @@ fn breakeven(args: &[String]) -> CmdResult {
             };
             vec![
                 format!("{gap}"),
+                fmt(LowPowerMode::PackageIdle),
                 fmt(LowPowerMode::Suspend),
                 fmt(LowPowerMode::Off),
             ]
         })
         .collect();
-    print!("{}", table(&["idle gap", "suspend", "off"], &rows));
+    print!(
+        "{}",
+        table(&["idle gap", "package-idle", "suspend", "off"], &rows)
+    );
     Ok(())
 }
 
@@ -835,10 +861,30 @@ mod tests {
 
     #[test]
     fn breakeven_profiles() {
-        for p in ["rack", "blade", "legacy"] {
+        for p in ["rack", "blade", "legacy", "ladder", "blade-ladder"] {
             dispatch(&argv(&["breakeven", "--profile", p])).expect("profile prints");
         }
         assert!(dispatch(&argv(&["breakeven", "--profile", "toaster"])).is_err());
+    }
+
+    #[test]
+    fn ladder_policy_and_workload() {
+        dispatch(&argv(&[
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--workload",
+            "ladder",
+            "--policy",
+            "ladder:30",
+        ]))
+        .expect("joint-ladder run succeeds");
+        assert!(dispatch(&argv(&["run", "--policy", "ladder:oops"])).is_err());
+        assert!(dispatch(&argv(&["run", "--policy", "ladder:0"])).is_err());
     }
 
     #[test]

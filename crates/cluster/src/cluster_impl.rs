@@ -493,7 +493,8 @@ impl Cluster {
     }
 
     /// Cumulative host-seconds spent in transitional power states
-    /// (suspending/resuming/shutting down/booting), summed over hosts.
+    /// (suspending/resuming/shutting down/booting/parking/unparking),
+    /// summed over hosts.
     /// Call [`sync`](Self::sync) first for an up-to-the-instant view.
     pub fn transition_busy_secs(&self) -> f64 {
         use power::PowerState;
@@ -506,6 +507,8 @@ impl Cluster {
                     PowerState::Resuming,
                     PowerState::ShuttingDown,
                     PowerState::Booting,
+                    PowerState::Parking,
+                    PowerState::Unparking,
                 ]
                 .iter()
                 .map(|&s| r.in_state(s).as_secs_f64())

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use power::breakeven::LadderSummary;
 use power::{HostPowerProfile, PowerState, PowerStateMachine};
 use simcore::SimTime;
 
@@ -50,6 +51,7 @@ pub struct Host {
     id: HostId,
     capacity: Resources,
     power: PowerStateMachine,
+    ladder: LadderSummary,
 }
 
 impl Host {
@@ -58,6 +60,7 @@ impl Host {
             id,
             capacity: spec.capacity,
             power: PowerStateMachine::new(Arc::clone(&spec.profile), t0),
+            ladder: LadderSummary::of(&spec.profile),
         }
     }
 
@@ -85,6 +88,12 @@ impl Host {
     /// transition counts).
     pub fn power(&self) -> &PowerStateMachine {
         &self.power
+    }
+
+    /// Precomputed summary of the host's power-state ladder — what a
+    /// management plane observes without holding the full profile.
+    pub fn ladder(&self) -> LadderSummary {
+        self.ladder
     }
 
     /// Mutable access to the power machine; the cluster uses this to drive

@@ -79,6 +79,7 @@ impl fmt::Display for ManagementAction {
             ManagementAction::Migrate { vm, to } => write!(f, "migrate {vm} -> {to}"),
             ManagementAction::PowerDown { host, mode } => {
                 let state = match mode {
+                    LowPowerMode::PackageIdle => "package-idle",
                     LowPowerMode::Suspend => "suspend",
                     LowPowerMode::Off => "off",
                 };

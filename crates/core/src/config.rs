@@ -98,6 +98,20 @@ pub enum PowerPolicy {
     /// The analytic energy-proportionality bound: no manager runs; the
     /// simulator computes the ideal power directly from offered load.
     Oracle,
+    /// Joint sleep + speed scaling over the full C6→S3→S5 power-state
+    /// ladder: each round the manager parks every drained host on the
+    /// *deepest* rung whose wake latency fits `wake_slo` (and whose
+    /// break-even gap the demand forecast affords), keeps a warm pool of
+    /// shallow-rung hosts sized ahead of forecast ramps, and wakes
+    /// shallowest-first. Pair with a DVFS-attached ladder profile for the
+    /// full joint policy (speed scaling is then implicit in the `On`-state
+    /// power model).
+    JointLadder {
+        /// Upper bound on the wake latency of any rung a host may be
+        /// parked in — the latency SLO the fleet must honour when demand
+        /// ramps.
+        wake_slo: SimDuration,
+    },
 }
 
 impl PowerPolicy {
@@ -125,7 +139,14 @@ impl PowerPolicy {
         PowerPolicy::Oracle
     }
 
-    /// The low-power mode used by this policy, if it power-manages.
+    /// Joint ladder + DVFS policy against a wake-latency SLO.
+    pub fn joint_ladder(wake_slo: SimDuration) -> Self {
+        PowerPolicy::JointLadder { wake_slo }
+    }
+
+    /// The *fixed* low-power mode used by this policy, if it power-manages
+    /// with one. [`PowerPolicy::JointLadder`] answers `None`: it chooses a
+    /// rung per host per round.
     pub fn low_power_mode(&self) -> Option<LowPowerMode> {
         match self {
             PowerPolicy::Reactive { mode } => Some(*mode),
@@ -133,10 +154,29 @@ impl PowerPolicy {
         }
     }
 
+    /// The wake-latency SLO, for the ladder policy.
+    pub fn wake_slo(&self) -> Option<SimDuration> {
+        match self {
+            PowerPolicy::JointLadder { wake_slo } => Some(*wake_slo),
+            _ => None,
+        }
+    }
+
+    /// Whether this policy consolidates and power-cycles hosts.
+    pub fn is_power_managed(&self) -> bool {
+        matches!(
+            self,
+            PowerPolicy::Reactive { .. } | PowerPolicy::JointLadder { .. }
+        )
+    }
+
     /// A short stable label for report tables.
     pub fn label(&self) -> &'static str {
         match self {
             PowerPolicy::AlwaysOn => "AlwaysOn",
+            PowerPolicy::Reactive {
+                mode: LowPowerMode::PackageIdle,
+            } => "PM-Park(C6)",
             PowerPolicy::Reactive {
                 mode: LowPowerMode::Suspend,
             } => "PM-Suspend(S3)",
@@ -144,6 +184,7 @@ impl PowerPolicy {
                 mode: LowPowerMode::Off,
             } => "PM-OffOn(S5)",
             PowerPolicy::Oracle => "Oracle",
+            PowerPolicy::JointLadder { .. } => "Joint-Ladder",
         }
     }
 }

@@ -425,6 +425,7 @@ mod tests {
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
                 failed_transitions: 0,
+                ladder: Default::default(),
             });
             for &d in *demands {
                 vms.push(VmObservation {
@@ -585,6 +586,7 @@ mod tests {
             cpu_demand: 0.4,
             evacuated: false,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
         hosts.push(HostObservation {
             id: HostId(1),
@@ -596,6 +598,7 @@ mod tests {
             cpu_demand: 2.0,
             evacuated: false,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
         for (i, (h, mem)) in [(0u32, 24.0), (0, 24.0), (1, 40.0)].iter().enumerate() {
             vms.push(VmObservation {
@@ -658,6 +661,7 @@ mod tests {
             cpu_demand: 0.4,
             evacuated: false,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
         hosts.push(HostObservation {
             id: HostId(1),
@@ -669,6 +673,7 @@ mod tests {
             cpu_demand: 2.0,
             evacuated: false,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
         // Awkward mantissas so a recomputed (re-associated) total would
         // differ in the low bits and fail this test.

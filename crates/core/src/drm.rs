@@ -150,6 +150,7 @@ mod tests {
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
                 failed_transitions: 0,
+                ladder: Default::default(),
             });
             for &d in *demands {
                 vms.push(VmObservation {

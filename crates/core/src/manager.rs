@@ -1,6 +1,7 @@
 //! The management loop body.
 
 use cluster::HostId;
+use power::breakeven::LowPowerMode;
 use power::PowerState;
 
 use crate::plan::PlanContext;
@@ -329,7 +330,7 @@ impl VirtManager {
         }
         let mut actions = Vec::new();
         let mut budget = self.config.max_migrations_per_round();
-        let power_managed = matches!(self.config.policy(), PowerPolicy::Reactive { .. });
+        let power_managed = self.config.policy().is_power_managed();
 
         // Snapshot the planner's view before any step mutates it — the
         // decision record explains this round from these inputs.
@@ -549,8 +550,10 @@ impl VirtManager {
             }
         }
 
-        // Wake parked hosts: suspended (cheap, fast) before off.
-        let mut pool: Vec<HostId> = obs.hosts_in_state(PowerState::Suspended).collect();
+        // Wake parked hosts shallowest rung first: package idle (near
+        // instant), then suspended, then off.
+        let mut pool: Vec<HostId> = obs.hosts_in_state(PowerState::PackageIdle).collect();
+        pool.extend(obs.hosts_in_state(PowerState::Suspended));
         pool.extend(obs.hosts_in_state(PowerState::Off));
         for host in pool {
             if available >= required {
@@ -574,12 +577,35 @@ impl VirtManager {
     }
 
     /// Step 4: park drained hosts that are now empty.
+    ///
+    /// Under a `Reactive` policy every host parks in the policy's fixed
+    /// low-power mode. Under `JointLadder` each host picks its own rung:
+    /// the deepest one whose wake latency fits the policy's SLO and — when
+    /// a pre-wake lookahead bounds the expected idle gap — whose
+    /// break-even gap that lookahead affords; a warm pool sized from the
+    /// day-profile forecast stays on the shallowest SLO-feasible rung to
+    /// absorb recurring ramps without paying deep-wake latency.
     fn park_drained(&mut self, obs: &ClusterObservation, actions: &mut Vec<ManagementAction>) {
-        let mode = self
-            .config
-            .policy()
-            .low_power_mode()
-            .expect("park_drained only runs under a reactive policy");
+        let ladder_slo = match *self.config.policy() {
+            PowerPolicy::JointLadder { wake_slo } => Some(wake_slo),
+            _ => None,
+        };
+        let fixed_mode = if ladder_slo.is_none() {
+            Some(
+                self.config
+                    .policy()
+                    .low_power_mode()
+                    .expect("park_drained only runs under a power-managed policy"),
+            )
+        } else {
+            None
+        };
+        let expected_gap = self.config.prewake_lookahead();
+        let mut warm_budget = if ladder_slo.is_some() {
+            self.warm_pool_deficit(obs)
+        } else {
+            0
+        };
         for host in &obs.hosts {
             let i = host.id.index();
             // Recovery gating: a host in backoff keeps draining and parks
@@ -589,6 +615,28 @@ impl VirtManager {
             }
             if self.draining[i] && host.evacuated && host.is_operational() && host.pending.is_none()
             {
+                let mode = match (fixed_mode, ladder_slo) {
+                    (Some(mode), _) => mode,
+                    (None, Some(wake_slo)) => {
+                        let deep = host.ladder.deepest_affordable(wake_slo, expected_gap);
+                        let shallow = host.ladder.shallowest_within(wake_slo);
+                        let pick = if warm_budget > 0 {
+                            shallow.or(deep)
+                        } else {
+                            deep
+                        };
+                        let Some(mode) = pick else {
+                            // No rung wakes within the SLO: the host
+                            // stays on (and stops draining, so it can
+                            // serve again next round).
+                            self.draining[i] = false;
+                            continue;
+                        };
+                        warm_budget = warm_budget.saturating_sub(1);
+                        mode
+                    }
+                    (None, None) => unreachable!("one of fixed_mode/ladder_slo is set"),
+                };
                 actions.push(ManagementAction::PowerDown {
                     host: host.id,
                     mode,
@@ -597,6 +645,50 @@ impl VirtManager {
                 self.gate.record_power_down(host.id, obs.now);
             }
         }
+    }
+
+    /// How many more hosts the joint-ladder policy should hold on the
+    /// shallowest rung: the day-profile forecast's ramp over current
+    /// demand, converted to hosts at the target utilization, minus hosts
+    /// already warm. Zero without a pre-wake lookahead (no forecast — the
+    /// policy degenerates to pure deepest-affordable parking).
+    fn warm_pool_deficit(&self, obs: &ClusterObservation) -> usize {
+        let (Some(profile), Some(lookahead)) = (&self.profile, self.config.prewake_lookahead())
+        else {
+            return 0;
+        };
+        let Some(forecast) = profile.forecast_max(obs.now, lookahead) else {
+            return 0;
+        };
+        let ramp = forecast - obs.total_vm_demand();
+        if ramp <= 0.0 {
+            return 0;
+        }
+        let per_host = obs.hosts.iter().map(|h| h.cpu_capacity).fold(0.0, f64::max)
+            * self.config.target_utilization();
+        if per_host <= 0.0 {
+            return 0;
+        }
+        let target = (ramp / per_host).ceil() as usize;
+        // Warm means sitting on (or entering) the fleet's shallowest
+        // rung: package idle where any host has a C6-class rung, suspend
+        // otherwise.
+        let has_c6 = obs
+            .hosts
+            .iter()
+            .any(|h| h.ladder.rung(LowPowerMode::PackageIdle).is_some());
+        let warm = obs
+            .hosts
+            .iter()
+            .filter(|h| {
+                if has_c6 {
+                    matches!(h.state, PowerState::PackageIdle | PowerState::Parking)
+                } else {
+                    matches!(h.state, PowerState::Suspended | PowerState::Suspending)
+                }
+            })
+            .count();
+        target.saturating_sub(warm)
     }
 }
 
@@ -623,6 +715,7 @@ mod tests {
                 cpu_demand: demands.iter().sum(),
                 evacuated: demands.is_empty(),
                 failed_transitions: 0,
+                ladder: Default::default(),
             });
             for &d in *demands {
                 vms.push(VmObservation {

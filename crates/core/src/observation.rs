@@ -6,6 +6,7 @@
 //! future demand traces).
 
 use cluster::{HostId, ServiceClass, VmId};
+use power::breakeven::LadderSummary;
 use power::{PowerState, TransitionKind};
 use simcore::SimTime;
 
@@ -34,6 +35,11 @@ pub struct HostObservation {
     /// manager diffs it against the previous round to detect fresh
     /// failures.
     pub failed_transitions: u64,
+    /// Summary of the host's power-state ladder (supported rungs with
+    /// wake latency and break-even gap) — the datasheet-class facts a
+    /// management plane knows about its fleet. Empty under profiles with
+    /// no low-power rungs.
+    pub ladder: LadderSummary,
 }
 
 impl Default for HostObservation {
@@ -51,6 +57,7 @@ impl Default for HostObservation {
             cpu_demand: 0.0,
             evacuated: false,
             failed_transitions: 0,
+            ladder: LadderSummary::default(),
         }
     }
 }
@@ -175,6 +182,7 @@ mod tests {
             cpu_demand: demand,
             evacuated: false,
             failed_transitions: 0,
+            ladder: LadderSummary::default(),
         }
     }
 

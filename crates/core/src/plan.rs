@@ -629,6 +629,7 @@ mod tests {
             cpu_demand: 0.0,
             evacuated: mem_committed == 0.0,
             failed_transitions: 0,
+            ladder: Default::default(),
         };
         let vm = |id: u32, h: u32, demand: f64| VmObservation {
             id: VmId(id),
@@ -711,6 +712,7 @@ mod tests {
             cpu_demand: 0.0,
             evacuated: true,
             failed_transitions: 0,
+            ladder: Default::default(),
         });
         let mut ctx = PlanContext::new(&obs, vec![1.0, 1.0], &[false, false, false]);
         ctx.host_pred_cpu[1] = 3.0; // host1 busier than host2

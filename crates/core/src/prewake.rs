@@ -10,6 +10,8 @@
 
 use simcore::{SimDuration, SimTime};
 
+use crate::ConfigError;
+
 /// An online time-of-day demand profile: EWMA of observed total demand
 /// per time-of-day bucket, learned across days.
 ///
@@ -41,23 +43,44 @@ impl DayProfile {
     /// # Panics
     ///
     /// Panics if `bucket_len` is zero, does not divide 24 h evenly, or
-    /// `alpha` is outside `(0, 1]`.
+    /// `alpha` is outside `(0, 1]`. [`try_new`](Self::try_new) is the
+    /// non-panicking variant.
     pub fn new(bucket_len: SimDuration, alpha: f64) -> Self {
-        assert!(!bucket_len.is_zero(), "bucket length must be non-zero");
+        match Self::try_new(bucket_len, alpha) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): rejects a zero bucket
+    /// length, a bucket length that does not divide 24 h evenly, and an
+    /// EWMA factor outside `(0, 1]`.
+    pub fn try_new(bucket_len: SimDuration, alpha: f64) -> Result<Self, ConfigError> {
+        if bucket_len.is_zero() {
+            return Err(ConfigError::Invalid {
+                message: "bucket length must be non-zero",
+            });
+        }
         let day_ms = SimDuration::from_hours(24).as_millis();
-        assert_eq!(
-            day_ms % bucket_len.as_millis(),
-            0,
-            "bucket length must divide 24 h evenly"
-        );
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0,1]");
+        if !day_ms.is_multiple_of(bucket_len.as_millis()) {
+            return Err(ConfigError::Invalid {
+                message: "bucket length must divide 24 h evenly",
+            });
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "alpha",
+                value: alpha,
+                constraint: "outside (0,1]",
+            });
+        }
         let n = (day_ms / bucket_len.as_millis()) as usize;
-        DayProfile {
+        Ok(DayProfile {
             bucket_len,
             buckets: vec![0.0; n],
             seen: vec![false; n],
             alpha,
-        }
+        })
     }
 
     fn bucket_of(&self, t: SimTime) -> usize {
@@ -172,5 +195,54 @@ mod tests {
     #[should_panic(expected = "divide 24 h evenly")]
     fn rejects_uneven_bucket() {
         DayProfile::new(SimDuration::from_mins(7), 0.5);
+    }
+
+    #[test]
+    fn try_new_reports_each_rejection() {
+        assert!(matches!(
+            DayProfile::try_new(SimDuration::ZERO, 0.5),
+            Err(ConfigError::Invalid { message }) if message.contains("non-zero")
+        ));
+        assert!(matches!(
+            DayProfile::try_new(SimDuration::from_mins(7), 0.5),
+            Err(ConfigError::Invalid { message }) if message.contains("divide 24 h")
+        ));
+        assert!(matches!(
+            DayProfile::try_new(SimDuration::from_mins(30), 0.0),
+            Err(ConfigError::OutOfRange { field: "alpha", .. })
+        ));
+        assert!(matches!(
+            DayProfile::try_new(SimDuration::from_mins(30), 1.5),
+            Err(ConfigError::OutOfRange { field: "alpha", .. })
+        ));
+        assert!(DayProfile::try_new(SimDuration::from_mins(30), 1.0).is_ok());
+    }
+
+    /// Regression: an observation at exactly `k·24 h` belongs to the
+    /// first bucket of the new day, not the last bucket of the old one.
+    #[test]
+    fn day_boundary_maps_to_first_bucket() {
+        let mut p = profile();
+        for day in 0..3 {
+            p.observe(SimTime::from_secs(day * 24 * 3600), 75.0);
+        }
+        // Midnight forecast comes from the 00:00 bucket...
+        assert_eq!(p.forecast(SimTime::from_secs(5 * 24 * 3600)), Some(75.0));
+        // ...and the 23:00 bucket stayed untouched.
+        assert_eq!(p.forecast(SimTime::from_secs(23 * 3600)), None);
+    }
+
+    /// Regression: the last millisecond of a day still bucketizes into
+    /// that day's final bucket (no off-by-one into the next day).
+    #[test]
+    fn last_millisecond_of_day_stays_in_final_bucket() {
+        let mut p = profile();
+        let last_ms = SimTime::from_secs(24 * 3600) - SimDuration::from_millis(1);
+        p.observe(last_ms, 42.0);
+        assert_eq!(p.forecast(SimTime::from_secs(23 * 3600)), Some(42.0));
+        assert_eq!(p.forecast(SimTime::from_secs(24 * 3600)), None);
+        // Same instant next day lands in the same bucket.
+        let next_day_last_ms = last_ms + SimDuration::from_hours(24);
+        assert_eq!(p.forecast(next_day_last_ms), Some(42.0));
     }
 }

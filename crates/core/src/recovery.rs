@@ -508,6 +508,7 @@ mod tests {
                 cpu_demand: 0.0,
                 evacuated: true,
                 failed_transitions: f,
+                ladder: Default::default(),
             })
             .collect();
         ClusterObservation {

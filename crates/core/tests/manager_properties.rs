@@ -40,6 +40,7 @@ fn build_observation(states: Vec<usize>, raw_vms: Vec<RawVm>) -> ClusterObservat
             cpu_demand: 0.0,
             evacuated: true,
             failed_transitions: 0,
+            ladder: Default::default(),
         })
         .collect();
     let operational: Vec<usize> = hosts

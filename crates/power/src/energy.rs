@@ -28,7 +28,7 @@ pub struct EnergyMeter {
     last_power_w: f64,
     last_state: PowerState,
     total_j: f64,
-    by_state_j: [f64; 7],
+    by_state_j: [f64; PowerState::COUNT],
     trace: Option<TimeSeries>,
 }
 
@@ -49,7 +49,7 @@ impl EnergyMeter {
             last_power_w: power_w,
             last_state: PowerState::On,
             total_j: 0.0,
-            by_state_j: [0.0; 7],
+            by_state_j: [0.0; PowerState::COUNT],
             trace: None,
         }
     }
@@ -66,10 +66,14 @@ impl EnergyMeter {
     /// Records a new power level taking effect at `now`, attributing the
     /// elapsed interval's energy to the *previous* state.
     ///
+    /// A sample that does not advance time (duplicate timestamp) simply
+    /// replaces the power level; a sample that *precedes* the previous one
+    /// trips a debug assertion and is clamped to zero width in release
+    /// builds, so no interval is ever attributed negative energy.
+    ///
     /// # Panics
     ///
-    /// Panics if `now` precedes the previous sample or `power_w` is
-    /// negative/non-finite.
+    /// Panics if `power_w` is negative/non-finite.
     pub fn set_power(&mut self, now: SimTime, power_w: f64, state: PowerState) {
         assert!(power_w.is_finite() && power_w >= 0.0, "bad power {power_w}");
         self.accumulate(now);
@@ -111,7 +115,15 @@ impl EnergyMeter {
     }
 
     fn accumulate(&mut self, now: SimTime) {
-        let dt = now.since(self.last_time).as_secs_f64();
+        debug_assert!(
+            now >= self.last_time,
+            "EnergyMeter sample went backwards: {now} < {}",
+            self.last_time
+        );
+        // Saturating difference: a non-monotonic sample (caller bug) is
+        // clamped to a zero-width interval instead of attributing negative
+        // energy or panicking deep inside the accounting.
+        let dt = now.saturating_since(self.last_time).as_secs_f64();
         if dt > 0.0 {
             let j = self.last_power_w * dt;
             self.total_j += j;
@@ -167,6 +179,31 @@ mod tests {
     fn no_trace_by_default() {
         let m = EnergyMeter::new(SimTime::ZERO, 100.0);
         assert!(m.trace().is_none());
+    }
+
+    #[test]
+    fn duplicate_timestamp_replaces_power_without_energy() {
+        let mut m = EnergyMeter::new(SimTime::ZERO, 100.0);
+        m.set_power(SimTime::from_secs(10), 50.0, PowerState::On);
+        // Same instant again: zero-width interval, just a level change.
+        m.set_power(SimTime::from_secs(10), 75.0, PowerState::On);
+        assert_eq!(m.total_j(), 1000.0);
+        assert_eq!(m.current_power_w(), 75.0);
+        m.sync(SimTime::from_secs(20));
+        assert_eq!(m.total_j(), 1000.0 + 75.0 * 10.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "went backwards"))]
+    fn non_monotonic_sample_is_rejected_or_clamped() {
+        let mut m = EnergyMeter::new(SimTime::from_secs(10), 100.0);
+        // Debug builds assert; release builds clamp to zero width and
+        // never attribute negative energy.
+        m.set_power(SimTime::from_secs(5), 50.0, PowerState::On);
+        m.sync(SimTime::from_secs(10));
+        assert!(m.total_j() >= 0.0);
+        let sum: f64 = PowerState::ALL.iter().map(|&s| m.state_j(s)).sum();
+        assert!((sum - m.total_j()).abs() < 1e-9);
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //! prototypes of the ISCA'13 paper with calibrated, table-driven models:
 //!
 //! * [`PowerState`] and [`PowerStateMachine`] — the ACPI-like host state
-//!   machine (`On`, `Suspended` (S3-class), `Off` (S5-class), plus the four
-//!   transitional states), with strict transition validation.
+//!   machine (`On`, `PackageIdle` (C6-class), `Suspended` (S3-class),
+//!   `Off` (S5-class), plus one transitional state per transition kind),
+//!   with strict transition validation.
 //! * [`TransitionSpec`] and [`TransitionTable`] — per-transition latency and
-//!   average power, from which transition *energy* follows.
+//!   average power, from which transition *energy* follows; optional
+//!   park/unpark and suspend/resume rungs form the generalized
+//!   power-state ladder.
 //! * [`PowerCurve`] — utilization→power curves (linear, SPECpower-style
 //!   piecewise, and ideal-proportional).
 //! * [`HostPowerProfile`] — a named bundle of curve + state powers +
@@ -50,8 +53,8 @@ mod transition;
 pub use curve::PowerCurve;
 pub use dvfs::{DvfsLevel, DvfsModel};
 pub use energy::EnergyMeter;
-pub use error::PowerError;
-pub use profile::HostPowerProfile;
+pub use error::{ConfigError, PowerError};
+pub use profile::{HostPowerProfile, LadderRung};
 pub use psu::PsuModel;
 pub use state::{PowerState, PowerStateMachine, StateResidency};
 pub use transition::{TransitionKind, TransitionSpec, TransitionTable};

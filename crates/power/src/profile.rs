@@ -14,7 +14,23 @@ use std::fmt;
 
 use simcore::SimDuration;
 
-use crate::{PowerCurve, PowerState, PsuModel, TransitionKind, TransitionSpec, TransitionTable};
+use crate::breakeven::LowPowerMode;
+use crate::{
+    ConfigError, DvfsModel, PowerCurve, PowerState, PsuModel, TransitionKind, TransitionSpec,
+    TransitionTable,
+};
+
+/// One rung of a profile's power-state ladder, ordered shallow→deep:
+/// lower wake latency, higher resting draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderRung {
+    /// The low-power mode this rung parks the host in.
+    pub mode: LowPowerMode,
+    /// Resting draw in the rung's stable state, watts (DC side).
+    pub resting_power_w: f64,
+    /// Latency of the rung's wake transition back to `On`.
+    pub wake_latency: SimDuration,
+}
 
 /// A named, immutable description of one server model's power behaviour.
 ///
@@ -34,8 +50,10 @@ pub struct HostPowerProfile {
     curve: PowerCurve,
     suspend_power_w: f64,
     off_power_w: f64,
+    package_idle_power_w: Option<f64>,
     transitions: TransitionTable,
     psu: Option<PsuModel>,
+    dvfs: Option<DvfsModel>,
 }
 
 impl HostPowerProfile {
@@ -43,9 +61,7 @@ impl HostPowerProfile {
     ///
     /// # Panics
     ///
-    /// Panics if either low-power draw is negative/non-finite, or exceeds
-    /// the curve's idle power (a "low-power" state that draws more than
-    /// idle indicates a configuration error).
+    /// Panics on the inputs [`try_new`](Self::try_new) rejects.
     pub fn new(
         name: impl Into<String>,
         curve: PowerCurve,
@@ -53,26 +69,53 @@ impl HostPowerProfile {
         off_power_w: f64,
         transitions: TransitionTable,
     ) -> Self {
-        assert!(
-            suspend_power_w.is_finite() && suspend_power_w >= 0.0,
-            "bad suspend power {suspend_power_w}"
-        );
-        assert!(
-            off_power_w.is_finite() && off_power_w >= 0.0,
-            "bad off power {off_power_w}"
-        );
-        assert!(
-            suspend_power_w <= curve.idle_w() && off_power_w <= curve.idle_w(),
-            "low-power draw exceeds idle draw"
-        );
-        HostPowerProfile {
+        Self::try_new(name, curve, suspend_power_w, off_power_w, transitions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a custom profile, rejecting bad inputs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if either low-power draw is negative/non-finite, or
+    /// exceeds the curve's idle power (a "low-power" state that draws more
+    /// than idle indicates a configuration error).
+    pub fn try_new(
+        name: impl Into<String>,
+        curve: PowerCurve,
+        suspend_power_w: f64,
+        off_power_w: f64,
+        transitions: TransitionTable,
+    ) -> Result<Self, ConfigError> {
+        if !suspend_power_w.is_finite() || suspend_power_w < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "suspend power",
+                value: suspend_power_w,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !off_power_w.is_finite() || off_power_w < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "off power",
+                value: off_power_w,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if suspend_power_w > curve.idle_w() || off_power_w > curve.idle_w() {
+            return Err(ConfigError::Invalid {
+                message: "low-power draw exceeds idle draw",
+            });
+        }
+        Ok(HostPowerProfile {
             name: name.into(),
             curve,
             suspend_power_w,
             off_power_w,
+            package_idle_power_w: None,
             transitions,
             psu: None,
-        }
+            dvfs: None,
+        })
     }
 
     /// Attaches a PSU conversion-loss model: all powers reported by
@@ -89,6 +132,72 @@ impl HostPowerProfile {
     /// The attached PSU model, if any.
     pub fn psu(&self) -> Option<&PsuModel> {
         self.psu.as_ref()
+    }
+
+    /// Adds the C6-class package-idle rung: resting draw `power_w`, with
+    /// `park`/`unpark` transitions. The rung sits between `On` and
+    /// `Suspended` on the ladder — it must draw less than idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the inputs [`try_with_package_idle`](Self::try_with_package_idle)
+    /// rejects.
+    pub fn with_package_idle(
+        self,
+        power_w: f64,
+        park: TransitionSpec,
+        unpark: TransitionSpec,
+    ) -> Self {
+        self.try_with_package_idle(power_w, park, unpark)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds the package-idle rung, rejecting bad inputs instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `power_w` is negative/non-finite or exceeds the
+    /// curve's idle power.
+    pub fn try_with_package_idle(
+        mut self,
+        power_w: f64,
+        park: TransitionSpec,
+        unpark: TransitionSpec,
+    ) -> Result<Self, ConfigError> {
+        if !power_w.is_finite() || power_w < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "package-idle power",
+                value: power_w,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if power_w > self.curve.idle_w() {
+            return Err(ConfigError::Invalid {
+                message: "low-power draw exceeds idle draw",
+            });
+        }
+        self.name = format!("{}+c6", self.name);
+        self.package_idle_power_w = Some(power_w);
+        self.transitions = self.transitions.with_package_idle(park, unpark);
+        Ok(self)
+    }
+
+    /// Attaches a DVFS model: while `On`, the host is assumed to run at
+    /// the lowest sufficient frequency for its utilization, so the
+    /// `On`-state power reported by [`state_power_w`](Self::state_power_w)
+    /// becomes [`DvfsModel::best_power_w`] over the profile's curve. The
+    /// built-in presets attach no DVFS model, leaving their `On` draw
+    /// exactly on the nominal curve.
+    pub fn with_dvfs(mut self, dvfs: DvfsModel) -> Self {
+        self.name = format!("{}+dvfs", self.name);
+        self.dvfs = Some(dvfs);
+        self
+    }
+
+    /// The attached DVFS model, if any.
+    pub fn dvfs(&self) -> Option<&DvfsModel> {
+        self.dvfs.as_ref()
     }
 
     /// The paper's main prototype class: a 2U rack server with a working
@@ -174,6 +283,34 @@ impl HostPowerProfile {
         )
     }
 
+    /// The rack prototype extended with a C6-class package-idle rung: the
+    /// full C6→S3→S5 ladder. Calibration follows AgilePkgC-style package
+    /// idle: resting draw 45 W (well below the 155 W idle floor, well
+    /// above the 8.5 W S3 draw), sub-second entry (0.5 s @ 140 W) and a
+    /// 2 s @ 180 W wake — an order of magnitude faster than the 12 s S3
+    /// resume, which is itself an order faster than the 180 s boot.
+    pub fn prototype_rack_ladder() -> Self {
+        let mut p = Self::prototype_rack().with_package_idle(
+            45.0,
+            TransitionSpec::new(SimDuration::from_millis(500), 140.0),
+            TransitionSpec::new(SimDuration::from_secs(2), 180.0),
+        );
+        p.name = "prototype-rack-ladder".into();
+        p
+    }
+
+    /// The blade prototype extended with a package-idle rung (28 W
+    /// resting, 0.4 s @ 100 W park, 1.5 s @ 130 W unpark).
+    pub fn prototype_blade_ladder() -> Self {
+        let mut p = Self::prototype_blade().with_package_idle(
+            28.0,
+            TransitionSpec::new(SimDuration::from_millis(400), 100.0),
+            TransitionSpec::new(SimDuration::from_millis(1500), 130.0),
+        );
+        p.name = "prototype-blade-ladder".into();
+        p
+    }
+
     /// A legacy enterprise server *without* a usable suspend path — the
     /// status quo the paper argues against. Only shutdown/boot available,
     /// and the boot is slow.
@@ -253,6 +390,12 @@ impl HostPowerProfile {
         self.off_power_w
     }
 
+    /// Resting draw in the C6-class package-idle state, watts — `None` if
+    /// the profile has no package-idle rung.
+    pub fn package_idle_power_w(&self) -> Option<f64> {
+        self.package_idle_power_w
+    }
+
     /// The transition table.
     pub fn transitions(&self) -> &TransitionTable {
         &self.transitions
@@ -261,6 +404,30 @@ impl HostPowerProfile {
     /// Whether the suspend/resume pair is available.
     pub fn supports_suspend(&self) -> bool {
         self.transitions.supports_suspend()
+    }
+
+    /// Whether the park/unpark (package-idle) pair is available.
+    pub fn supports_package_idle(&self) -> bool {
+        self.transitions.supports_package_idle()
+    }
+
+    /// The profile's power-state ladder: every supported low-power rung,
+    /// ordered shallow→deep (package idle, then suspend, then off), with
+    /// each rung's resting draw and wake latency. The classic presets
+    /// yield the 2-rung {S3, S5} ladder; `*_ladder` presets add C6.
+    pub fn ladder(&self) -> Vec<LadderRung> {
+        LowPowerMode::ALL
+            .iter()
+            .filter_map(|&mode| {
+                let up = self.transitions.spec(mode.up())?;
+                self.transitions.spec(mode.down())?;
+                Some(LadderRung {
+                    mode,
+                    resting_power_w: mode.resting_power_w(self),
+                    wake_latency: up.latency(),
+                })
+            })
+            .collect()
     }
 
     /// Power draw in `state` at utilization `util` (only `On` uses
@@ -277,9 +444,15 @@ impl HostPowerProfile {
     /// The pre-PSU (DC-side) draw in `state` at utilization `util`.
     fn state_power_dc_w(&self, state: PowerState, util: f64) -> f64 {
         match state {
-            PowerState::On => self.curve.power_at(util),
+            PowerState::On => match &self.dvfs {
+                Some(dvfs) => dvfs.best_power_w(&self.curve, util),
+                None => self.curve.power_at(util),
+            },
             PowerState::Suspended => self.suspend_power_w,
             PowerState::Off => self.off_power_w,
+            // Only reachable with a package-idle rung configured; the
+            // idle-floor fallback covers ad-hoc queries on 3-rung profiles.
+            PowerState::PackageIdle => self.package_idle_power_w.unwrap_or(self.curve.idle_w()),
             // Transitional power is whatever the in-flight spec says; the
             // state machine overrides the meter directly during
             // transitions, so this path only matters for ad-hoc queries.
@@ -290,6 +463,10 @@ impl HostPowerProfile {
             PowerState::ShuttingDown | PowerState::Booting => self
                 .transitions
                 .spec(TransitionKind::Boot)
+                .map_or(self.curve.idle_w(), |s| s.avg_power_w()),
+            PowerState::Parking | PowerState::Unparking => self
+                .transitions
+                .spec(TransitionKind::Park)
                 .map_or(self.curve.idle_w(), |s| s.avg_power_w()),
         }
     }
@@ -394,6 +571,105 @@ mod tests {
                 TransitionSpec::new(SimDuration::from_secs(10), 100.0),
             ),
         );
+    }
+
+    #[test]
+    fn ladder_preset_orders_rungs_shallow_to_deep() {
+        let p = HostPowerProfile::prototype_rack_ladder();
+        assert!(p.supports_package_idle());
+        let ladder = p.ladder();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].mode, LowPowerMode::PackageIdle);
+        assert_eq!(ladder[1].mode, LowPowerMode::Suspend);
+        assert_eq!(ladder[2].mode, LowPowerMode::Off);
+        // Deeper rung ⇒ lower resting power, longer wake.
+        for pair in ladder.windows(2) {
+            assert!(pair[0].resting_power_w > pair[1].resting_power_w);
+            assert!(pair[0].wake_latency < pair[1].wake_latency);
+        }
+    }
+
+    #[test]
+    fn three_rung_preset_is_the_special_case() {
+        let p = HostPowerProfile::prototype_rack();
+        assert!(!p.supports_package_idle());
+        assert!(p.package_idle_power_w().is_none());
+        let modes: Vec<_> = p.ladder().iter().map(|r| r.mode).collect();
+        assert_eq!(modes, vec![LowPowerMode::Suspend, LowPowerMode::Off]);
+    }
+
+    #[test]
+    fn package_idle_state_power_dispatch() {
+        let p = HostPowerProfile::prototype_rack_ladder();
+        assert_eq!(p.state_power_w(PowerState::PackageIdle, 1.0), 45.0);
+        assert_eq!(p.state_power_w(PowerState::Parking, 0.0), 140.0);
+        assert_eq!(p.state_power_w(PowerState::Unparking, 0.0), 140.0);
+        // A 3-rung profile answers the idle floor for ad-hoc queries.
+        let q = HostPowerProfile::prototype_rack();
+        assert_eq!(q.state_power_w(PowerState::PackageIdle, 0.0), 155.0);
+    }
+
+    #[test]
+    fn dvfs_attachment_scales_only_on_state() {
+        let base = HostPowerProfile::prototype_rack();
+        let scaled = HostPowerProfile::prototype_rack().with_dvfs(crate::DvfsModel::typical_2013());
+        assert!(scaled.name().ends_with("+dvfs"));
+        assert!(scaled.dvfs().is_some());
+        assert!(
+            scaled.state_power_w(PowerState::On, 0.3) < base.state_power_w(PowerState::On, 0.3)
+        );
+        assert_eq!(
+            scaled.state_power_w(PowerState::Suspended, 0.3),
+            base.state_power_w(PowerState::Suspended, 0.3)
+        );
+        // Nothing to scale at full load.
+        assert!(
+            (scaled.state_power_w(PowerState::On, 1.0) - base.state_power_w(PowerState::On, 1.0))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_inputs() {
+        let table = || {
+            TransitionTable::without_suspend(
+                TransitionSpec::new(SimDuration::from_secs(10), 100.0),
+                TransitionSpec::new(SimDuration::from_secs(10), 100.0),
+            )
+        };
+        let err = HostPowerProfile::try_new(
+            "bad",
+            PowerCurve::linear(100.0, 200.0),
+            f64::NAN,
+            5.0,
+            table(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::ConfigError::OutOfRange { field, .. } if field.contains("suspend"))
+        );
+        let err =
+            HostPowerProfile::try_new("bad", PowerCurve::linear(100.0, 200.0), 5.0, 150.0, table())
+                .unwrap_err();
+        assert_eq!(
+            err,
+            crate::ConfigError::Invalid {
+                message: "low-power draw exceeds idle draw"
+            }
+        );
+    }
+
+    #[test]
+    fn try_with_package_idle_rejects_draw_above_idle() {
+        let err = HostPowerProfile::prototype_rack()
+            .try_with_package_idle(
+                200.0,
+                TransitionSpec::new(SimDuration::from_millis(500), 140.0),
+                TransitionSpec::new(SimDuration::from_secs(2), 180.0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::ConfigError::Invalid { .. }));
     }
 
     #[test]

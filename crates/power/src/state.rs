@@ -9,8 +9,9 @@ use crate::{EnergyMeter, HostPowerProfile, PowerError, TransitionKind};
 
 /// ACPI-like host power states.
 ///
-/// Three *stable* states (`On`, `Suspended`, `Off`) and four *transitional*
-/// states, one per [`TransitionKind`]. A host serves load only in `On`.
+/// Four *stable* states (`On`, `PackageIdle`, `Suspended`, `Off`) and six
+/// *transitional* states, one per [`TransitionKind`]. A host serves load
+/// only in `On`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerState {
     /// Fully operational; power follows the profile's utilization curve.
@@ -29,11 +30,22 @@ pub enum PowerState {
     ShuttingDown,
     /// In flight: `Off` → `On`.
     Booting,
+    /// C6-class package idle: cores and uncore power-gated with context
+    /// retained on-package — draws well below idle, wakes in ~seconds or
+    /// less. The shallowest rung of the power-state ladder.
+    PackageIdle,
+    /// In flight: `On` → `PackageIdle`.
+    Parking,
+    /// In flight: `PackageIdle` → `On`.
+    Unparking,
 }
 
 impl PowerState {
+    /// Number of power states (length of per-state arrays).
+    pub const COUNT: usize = 10;
+
     /// All states, for iteration in residency reports.
-    pub const ALL: [PowerState; 7] = [
+    pub const ALL: [PowerState; PowerState::COUNT] = [
         PowerState::On,
         PowerState::Suspended,
         PowerState::Off,
@@ -41,13 +53,16 @@ impl PowerState {
         PowerState::Resuming,
         PowerState::ShuttingDown,
         PowerState::Booting,
+        PowerState::PackageIdle,
+        PowerState::Parking,
+        PowerState::Unparking,
     ];
 
     /// Whether this is a stable (non-transitional) state.
     pub fn is_stable(self) -> bool {
         matches!(
             self,
-            PowerState::On | PowerState::Suspended | PowerState::Off
+            PowerState::On | PowerState::Suspended | PowerState::Off | PowerState::PackageIdle
         )
     }
 
@@ -66,6 +81,9 @@ impl PowerState {
             PowerState::Resuming => 4,
             PowerState::ShuttingDown => 5,
             PowerState::Booting => 6,
+            PowerState::PackageIdle => 7,
+            PowerState::Parking => 8,
+            PowerState::Unparking => 9,
         }
     }
 }
@@ -80,6 +98,9 @@ impl fmt::Display for PowerState {
             PowerState::Resuming => "Resuming",
             PowerState::ShuttingDown => "ShuttingDown",
             PowerState::Booting => "Booting",
+            PowerState::PackageIdle => "PackageIdle",
+            PowerState::Parking => "Parking",
+            PowerState::Unparking => "Unparking",
         };
         f.write_str(s)
     }
@@ -88,7 +109,7 @@ impl fmt::Display for PowerState {
 /// Cumulative time spent in each power state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StateResidency {
-    durations: [SimDuration; 7],
+    durations: [SimDuration; PowerState::COUNT],
 }
 
 impl StateResidency {
@@ -157,7 +178,7 @@ pub struct PowerStateMachine {
     utilization: f64,
     meter: EnergyMeter,
     residency: StateResidency,
-    transition_counts: [u64; 4],
+    transition_counts: [u64; 6],
     failed_transitions: u64,
     /// Memoized `state_power_w(state, utilization)`, refreshed on every
     /// state or utilization change so [`power_w`](Self::power_w) — called
@@ -197,7 +218,7 @@ impl PowerStateMachine {
             utilization: 0.0,
             meter: EnergyMeter::new(t0, power),
             residency: StateResidency::default(),
-            transition_counts: [0; 4],
+            transition_counts: [0; 6],
             failed_transitions: 0,
             cached_power_w: power,
         }
@@ -256,12 +277,7 @@ impl PowerStateMachine {
 
     /// How many transitions of `kind` have completed.
     pub fn completed_transitions(&self, kind: TransitionKind) -> u64 {
-        self.transition_counts[match kind {
-            TransitionKind::Suspend => 0,
-            TransitionKind::Resume => 1,
-            TransitionKind::Shutdown => 2,
-            TransitionKind::Boot => 3,
-        }]
+        self.transition_counts[kind.index()]
     }
 
     /// Total completed power-state transitions of all kinds.
@@ -342,12 +358,7 @@ impl PowerStateMachine {
         let power = self.profile.state_power_w(target, self.utilization);
         self.cached_power_w = power;
         self.meter.set_power(now, power, target);
-        self.transition_counts[match kind {
-            TransitionKind::Suspend => 0,
-            TransitionKind::Resume => 1,
-            TransitionKind::Shutdown => 2,
-            TransitionKind::Boot => 3,
-        }] += 1;
+        self.transition_counts[kind.index()] += 1;
         Ok(target)
     }
 
@@ -665,6 +676,47 @@ mod tests {
             m.delay_pending(SimTime::from_secs(1)).unwrap_err(),
             PowerError::NotTransitioning
         );
+    }
+
+    #[test]
+    fn park_unpark_cycle_on_ladder_profile() {
+        let mut m =
+            PowerStateMachine::new(HostPowerProfile::prototype_rack_ladder(), SimTime::ZERO);
+        let done = m
+            .begin(TransitionKind::Park, SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(m.state(), PowerState::Parking);
+        assert!(!m.is_operational());
+        assert_eq!(m.complete(done).unwrap(), PowerState::PackageIdle);
+        assert!(PowerState::PackageIdle.is_stable());
+        assert_eq!(m.completed_transitions(TransitionKind::Park), 1);
+
+        let done2 = m.begin(TransitionKind::Unpark, done).unwrap();
+        assert_eq!(m.state(), PowerState::Unparking);
+        assert_eq!(m.complete(done2).unwrap(), PowerState::On);
+        assert_eq!(m.total_transitions(), 2);
+    }
+
+    #[test]
+    fn park_unsupported_on_three_rung_profile() {
+        let mut m = machine();
+        assert_eq!(
+            m.begin(TransitionKind::Park, SimTime::ZERO).unwrap_err(),
+            PowerError::UnsupportedTransition(TransitionKind::Park)
+        );
+    }
+
+    #[test]
+    fn failed_unpark_lands_off() {
+        let mut m =
+            PowerStateMachine::new(HostPowerProfile::prototype_rack_ladder(), SimTime::ZERO);
+        let done = m.begin(TransitionKind::Park, SimTime::ZERO).unwrap();
+        m.complete(done).unwrap();
+        let done2 = m.begin(TransitionKind::Unpark, done).unwrap();
+        assert_eq!(m.fail_pending(done2).unwrap(), PowerState::Off);
+        // Recovery is a cold boot, exactly like a failed resume.
+        let done3 = m.begin(TransitionKind::Boot, done2).unwrap();
+        assert_eq!(m.complete(done3).unwrap(), PowerState::On);
     }
 
     #[test]

@@ -6,16 +6,18 @@ use simcore::SimDuration;
 
 use crate::PowerState;
 
-/// The four host power-state transitions the management layer can request.
+/// The host power-state transitions the management layer can request.
 ///
 /// Each moves between two *stable* states via a transitional state:
 ///
-/// | Kind       | From        | Via            | To          |
-/// |------------|-------------|----------------|-------------|
-/// | `Suspend`  | `On`        | `Suspending`   | `Suspended` |
-/// | `Resume`   | `Suspended` | `Resuming`     | `On`        |
-/// | `Shutdown` | `On`        | `ShuttingDown` | `Off`       |
-/// | `Boot`     | `Off`       | `Booting`      | `On`        |
+/// | Kind       | From          | Via            | To            |
+/// |------------|---------------|----------------|---------------|
+/// | `Park`     | `On`          | `Parking`      | `PackageIdle` |
+/// | `Unpark`   | `PackageIdle` | `Unparking`    | `On`          |
+/// | `Suspend`  | `On`          | `Suspending`   | `Suspended`   |
+/// | `Resume`   | `Suspended`   | `Resuming`     | `On`          |
+/// | `Shutdown` | `On`          | `ShuttingDown` | `Off`         |
+/// | `Boot`     | `Off`         | `Booting`      | `On`          |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TransitionKind {
     /// Enter the low-latency suspend-to-RAM (S3-class) state.
@@ -26,23 +28,33 @@ pub enum TransitionKind {
     Shutdown,
     /// Cold boot from off to fully operational.
     Boot,
+    /// Enter the C6-class package-idle state (cores and uncore power-gated,
+    /// context retained on-package — sub-second entry).
+    Park,
+    /// Leave package idle back to fully operational.
+    Unpark,
 }
 
 impl TransitionKind {
     /// All transition kinds, for iteration in reports and tables.
-    pub const ALL: [TransitionKind; 4] = [
+    pub const ALL: [TransitionKind; 6] = [
         TransitionKind::Suspend,
         TransitionKind::Resume,
         TransitionKind::Shutdown,
         TransitionKind::Boot,
+        TransitionKind::Park,
+        TransitionKind::Unpark,
     ];
 
     /// The stable state this transition starts from.
     pub fn source(self) -> PowerState {
         match self {
-            TransitionKind::Suspend | TransitionKind::Shutdown => PowerState::On,
+            TransitionKind::Suspend | TransitionKind::Shutdown | TransitionKind::Park => {
+                PowerState::On
+            }
             TransitionKind::Resume => PowerState::Suspended,
             TransitionKind::Boot => PowerState::Off,
+            TransitionKind::Unpark => PowerState::PackageIdle,
         }
     }
 
@@ -53,6 +65,8 @@ impl TransitionKind {
             TransitionKind::Resume => PowerState::Resuming,
             TransitionKind::Shutdown => PowerState::ShuttingDown,
             TransitionKind::Boot => PowerState::Booting,
+            TransitionKind::Park => PowerState::Parking,
+            TransitionKind::Unpark => PowerState::Unparking,
         }
     }
 
@@ -60,31 +74,51 @@ impl TransitionKind {
     pub fn target(self) -> PowerState {
         match self {
             TransitionKind::Suspend => PowerState::Suspended,
-            TransitionKind::Resume | TransitionKind::Boot => PowerState::On,
+            TransitionKind::Resume | TransitionKind::Boot | TransitionKind::Unpark => {
+                PowerState::On
+            }
             TransitionKind::Shutdown => PowerState::Off,
+            TransitionKind::Park => PowerState::PackageIdle,
         }
     }
 
     /// Whether this transition takes the host *out of service*
-    /// (`Suspend`/`Shutdown`) rather than back into it.
+    /// (`Park`/`Suspend`/`Shutdown`) rather than back into it.
     pub fn is_power_down(self) -> bool {
-        matches!(self, TransitionKind::Suspend | TransitionKind::Shutdown)
+        matches!(
+            self,
+            TransitionKind::Suspend | TransitionKind::Shutdown | TransitionKind::Park
+        )
     }
 
     /// The stable state the host lands in when this transition *fails*:
-    /// a failed suspend aborts harmlessly back to `On`; a failed resume
-    /// loses the memory image and leaves the host `Off` (a cold boot is
-    /// then required); failed shutdowns and boots end `Off`.
+    /// a failed park or suspend aborts harmlessly back to `On`; a failed
+    /// unpark or resume loses the retained context and leaves the host
+    /// `Off` (a cold boot is then required); failed shutdowns and boots
+    /// end `Off`.
     ///
     /// Resume failures are the reliability concern the paper's prototype
     /// work addresses; the simulator injects them via
     /// `dcsim::FailureModel`.
     pub fn failure_target(self) -> PowerState {
         match self {
-            TransitionKind::Suspend => PowerState::On,
-            TransitionKind::Resume | TransitionKind::Shutdown | TransitionKind::Boot => {
-                PowerState::Off
-            }
+            TransitionKind::Suspend | TransitionKind::Park => PowerState::On,
+            TransitionKind::Resume
+            | TransitionKind::Shutdown
+            | TransitionKind::Boot
+            | TransitionKind::Unpark => PowerState::Off,
+        }
+    }
+
+    /// Dense index for per-kind arrays (transition counts).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            TransitionKind::Suspend => 0,
+            TransitionKind::Resume => 1,
+            TransitionKind::Shutdown => 2,
+            TransitionKind::Boot => 3,
+            TransitionKind::Park => 4,
+            TransitionKind::Unpark => 5,
         }
     }
 }
@@ -96,6 +130,8 @@ impl fmt::Display for TransitionKind {
             TransitionKind::Resume => "resume",
             TransitionKind::Shutdown => "shutdown",
             TransitionKind::Boot => "boot",
+            TransitionKind::Park => "park",
+            TransitionKind::Unpark => "unpark",
         };
         f.write_str(s)
     }
@@ -159,13 +195,20 @@ impl TransitionSpec {
     }
 }
 
-/// The set of transitions a host supports, with their specs.
+/// The set of transitions a host supports, with their specs — the
+/// generalized power-state *ladder*.
 ///
-/// `Suspend`/`Resume` are optional: legacy enterprise servers often lack a
+/// `Park`/`Unpark` (C6-class package idle) and `Suspend`/`Resume`
+/// (S3-class) are optional rungs: legacy enterprise servers often lack a
 /// working suspend-to-RAM path, which is exactly the gap the paper's
-/// prototypes close. `Shutdown`/`Boot` are always present.
+/// prototypes close, and package idle is the still-newer rung argued for
+/// by AgilePkgC-style work. `Shutdown`/`Boot` (S5-class) are always
+/// present. Tables built without package idle are the exact 3-rung
+/// special case the original model shipped with.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransitionTable {
+    park: Option<TransitionSpec>,
+    unpark: Option<TransitionSpec>,
     suspend: Option<TransitionSpec>,
     resume: Option<TransitionSpec>,
     shutdown: TransitionSpec,
@@ -173,7 +216,8 @@ pub struct TransitionTable {
 }
 
 impl TransitionTable {
-    /// Builds a table with all four transitions.
+    /// Builds a table with the suspend/resume and shutdown/boot pairs
+    /// (no package idle — the classic 3-rung ladder).
     pub fn with_suspend(
         suspend: TransitionSpec,
         resume: TransitionSpec,
@@ -181,6 +225,8 @@ impl TransitionTable {
         boot: TransitionSpec,
     ) -> Self {
         TransitionTable {
+            park: None,
+            unpark: None,
             suspend: Some(suspend),
             resume: Some(resume),
             shutdown,
@@ -191,11 +237,20 @@ impl TransitionTable {
     /// Builds a table for a host without suspend-to-RAM support.
     pub fn without_suspend(shutdown: TransitionSpec, boot: TransitionSpec) -> Self {
         TransitionTable {
+            park: None,
+            unpark: None,
             suspend: None,
             resume: None,
             shutdown,
             boot,
         }
+    }
+
+    /// Adds the package-idle rung: `park` enters it, `unpark` leaves it.
+    pub fn with_package_idle(mut self, park: TransitionSpec, unpark: TransitionSpec) -> Self {
+        self.park = Some(park);
+        self.unpark = Some(unpark);
+        self
     }
 
     /// Looks up the spec for `kind`, or `None` if unsupported.
@@ -205,12 +260,19 @@ impl TransitionTable {
             TransitionKind::Resume => self.resume.as_ref(),
             TransitionKind::Shutdown => Some(&self.shutdown),
             TransitionKind::Boot => Some(&self.boot),
+            TransitionKind::Park => self.park.as_ref(),
+            TransitionKind::Unpark => self.unpark.as_ref(),
         }
     }
 
     /// Whether the suspend/resume pair is available.
     pub fn supports_suspend(&self) -> bool {
         self.suspend.is_some() && self.resume.is_some()
+    }
+
+    /// Whether the park/unpark (package-idle) pair is available.
+    pub fn supports_package_idle(&self) -> bool {
+        self.park.is_some() && self.unpark.is_some()
     }
 }
 
@@ -238,8 +300,40 @@ mod tests {
     fn power_down_classification() {
         assert!(TransitionKind::Suspend.is_power_down());
         assert!(TransitionKind::Shutdown.is_power_down());
+        assert!(TransitionKind::Park.is_power_down());
         assert!(!TransitionKind::Resume.is_power_down());
         assert!(!TransitionKind::Boot.is_power_down());
+        assert!(!TransitionKind::Unpark.is_power_down());
+    }
+
+    #[test]
+    fn package_idle_endpoints_and_failures() {
+        assert_eq!(TransitionKind::Park.source(), PowerState::On);
+        assert_eq!(TransitionKind::Park.target(), PowerState::PackageIdle);
+        assert_eq!(TransitionKind::Unpark.source(), PowerState::PackageIdle);
+        assert_eq!(TransitionKind::Unpark.target(), PowerState::On);
+        // A failed park aborts harmlessly; a failed unpark loses context.
+        assert_eq!(TransitionKind::Park.failure_target(), PowerState::On);
+        assert_eq!(TransitionKind::Unpark.failure_target(), PowerState::Off);
+    }
+
+    #[test]
+    fn package_idle_rung_is_optional() {
+        let three_rung = TransitionTable::with_suspend(
+            spec(7, 120.0),
+            spec(12, 180.0),
+            spec(80, 140.0),
+            spec(180, 240.0),
+        );
+        assert!(!three_rung.supports_package_idle());
+        assert!(three_rung.spec(TransitionKind::Park).is_none());
+
+        let ladder = three_rung.with_package_idle(spec(1, 140.0), spec(2, 180.0));
+        assert!(ladder.supports_package_idle());
+        assert_eq!(
+            ladder.spec(TransitionKind::Unpark).unwrap().latency(),
+            SimDuration::from_secs(2)
+        );
     }
 
     #[test]

@@ -490,7 +490,11 @@ impl DatacenterSim {
             .pending()
             .map(|(kind, _)| kind);
         let fail_prob = match pending_kind {
-            Some(TransitionKind::Resume) => self.failures.resume_failure_prob(),
+            // An unpark is resume-class hardware work (C6-class exit), so
+            // it shares the resume failure probability.
+            Some(TransitionKind::Resume | TransitionKind::Unpark) => {
+                self.failures.resume_failure_prob()
+            }
             Some(TransitionKind::Boot) => self.failures.boot_failure_prob(),
             _ => 0.0,
         };
@@ -799,6 +803,7 @@ impl DatacenterSim {
             }
             ManagementAction::PowerUp { host } => {
                 let kind = match self.cluster.host(host)?.power_state() {
+                    PowerState::PackageIdle => power::TransitionKind::Unpark,
                     PowerState::Suspended => power::TransitionKind::Resume,
                     PowerState::Off => power::TransitionKind::Boot,
                     other => {
@@ -852,6 +857,7 @@ impl DatacenterSim {
                 cpu_demand: self.outcome_buf.host_demand_cores[i],
                 evacuated: self.cluster.is_evacuated(h.id()),
                 failed_transitions: h.power().failed_transitions(),
+                ladder: h.ladder(),
             }
         }));
         obs.vms.clear();
@@ -903,6 +909,7 @@ impl DatacenterSim {
                     cpu_demand: host_demand[i],
                     evacuated: view.is_evacuated(h.id()),
                     failed_transitions: h.power().failed_transitions(),
+                    ladder: h.ladder(),
                 };
             }
         });

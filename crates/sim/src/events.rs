@@ -112,18 +112,13 @@ fn parse_state(s: &str) -> Result<PowerState, JsonError> {
 }
 
 fn parse_kind(s: &str) -> Result<TransitionKind, JsonError> {
-    [
-        TransitionKind::Suspend,
-        TransitionKind::Resume,
-        TransitionKind::Shutdown,
-        TransitionKind::Boot,
-    ]
-    .into_iter()
-    .find(|k| k.to_string() == s)
-    .ok_or_else(|| JsonError {
-        message: format!("unknown transition kind {s:?}"),
-        offset: 0,
-    })
+    TransitionKind::ALL
+        .into_iter()
+        .find(|k| k.to_string() == s)
+        .ok_or_else(|| JsonError {
+            message: format!("unknown transition kind {s:?}"),
+            offset: 0,
+        })
 }
 
 fn field_err(what: &str) -> JsonError {

@@ -79,6 +79,19 @@ impl Scenario {
         )
     }
 
+    /// The paper-scale world on ladder hardware: the same diurnal fleet as
+    /// [`datacenter`](Self::datacenter), but every host carries the full
+    /// C6→S3→S5 power-state ladder plus an attached DVFS model — the
+    /// hardware the joint sleep + speed-scaling policy manages
+    /// (experiment T26).
+    pub fn datacenter_ladder(hosts: usize, vms: usize, seed: u64) -> Self {
+        let mut s = Self::datacenter(hosts, vms, seed).with_host_profile(
+            HostPowerProfile::prototype_rack_ladder().with_dvfs(power::DvfsModel::typical_2013()),
+        );
+        s.name = format!("datacenter-ladder-{hosts}x{vms}");
+        s
+    }
+
     /// The paper-scale world with flash spikes layered on (the harder
     /// responsiveness regime).
     pub fn datacenter_spiky(hosts: usize, vms: usize, seed: u64) -> Self {

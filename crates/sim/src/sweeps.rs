@@ -429,6 +429,7 @@ pub fn prewake_sweep(
             let label = format!(
                 "{}{}",
                 match mode {
+                    LowPowerMode::PackageIdle => "C6",
                     LowPowerMode::Suspend => "S3",
                     LowPowerMode::Off => "S5",
                 },
@@ -503,6 +504,79 @@ pub fn psu_sweep(
         out.push((name.to_string(), base, pm));
     }
     Ok(out)
+}
+
+/// One row of the T26 savings-vs-SLO frontier: the three contenders
+/// evaluated at one wake-latency SLO. The DVFS-only and suspend-only
+/// reports do not depend on the SLO (neither policy reads it) but are
+/// repeated per row so each row is self-contained.
+#[derive(Debug, Clone)]
+pub struct SloFrontierPoint {
+    /// The wake-latency SLO of this row.
+    pub slo: SimDuration,
+    /// Analytic DVFS-only baseline: every host on, clocked down.
+    pub dvfs_only: SimReport,
+    /// Reactive suspend-only parking (fixed S3 rung, nominal clocks).
+    pub suspend_only: SimReport,
+    /// Joint ladder policy on C6→S3→S5 hardware with DVFS attached.
+    pub joint_ladder: SimReport,
+}
+
+/// Experiment T26: the savings-vs-SLO frontier of joint sleep + speed
+/// scaling over the power-state ladder.
+///
+/// For each wake-latency SLO, compares three ways of converting slack
+/// into savings on the same diurnal fleet:
+///
+/// * **DVFS-only** — the analytic baseline: every host stays on and
+///   clocks down to the lowest sufficient frequency (zero wake risk).
+/// * **Suspend-only** — reactive parking on the fixed S3 rung at nominal
+///   clocks (the pre-ladder `reactive_suspend` policy).
+/// * **Joint ladder** — [`PowerPolicy::joint_ladder`] on ladder hardware
+///   ([`Scenario::datacenter_ladder`]): each drained host parks on the
+///   deepest rung whose wake fits the SLO and whose break-even the
+///   pre-wake lookahead affords, a forecast-sized warm pool sits on the
+///   shallowest rung, and powered-on hosts clock down via the attached
+///   DVFS model.
+///
+/// Returns the always-on baseline (the denominator for savings) plus one
+/// [`SloFrontierPoint`] per SLO.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn slo_frontier_sweep(
+    hosts: usize,
+    vms: usize,
+    slos: &[SimDuration],
+    seed: u64,
+) -> Result<(SimReport, Vec<SloFrontierPoint>), SimError> {
+    let plain = Scenario::datacenter(hosts, vms, seed);
+    let ladder = Scenario::datacenter_ladder(hosts, vms, seed);
+    let baseline =
+        SimulationBuilder::new(Experiment::new(plain.clone()).policy(PowerPolicy::always_on()))
+            .run_report()?;
+    let dvfs_only = SimulationBuilder::new(Experiment::new(plain.clone()))
+        .dvfs_baseline(power::DvfsModel::typical_2013())
+        .run_report()?;
+    let suspend_only =
+        SimulationBuilder::new(Experiment::new(plain).policy(PowerPolicy::reactive_suspend()))
+            .run_report()?;
+    let mut out = Vec::with_capacity(slos.len());
+    for &slo in slos {
+        let config = ManagerConfig::for_fleet(PowerPolicy::joint_ladder(slo), hosts, vms)
+            .with_prewake(SimDuration::from_mins(15));
+        let joint_ladder =
+            SimulationBuilder::new(Experiment::new(ladder.clone()).manager_config(config))
+                .run_report()?;
+        out.push(SloFrontierPoint {
+            slo,
+            dvfs_only: dvfs_only.clone(),
+            suspend_only: suspend_only.clone(),
+            joint_ladder,
+        });
+    }
+    Ok((baseline, out))
 }
 
 #[cfg(test)]

@@ -29,10 +29,14 @@ use agilepm::simcore::SimDuration;
 const HOSTS: usize = 256;
 const SEED: u64 = 2013;
 
-fn work_counters(mode: PlanMode) -> Vec<(String, u64)> {
+fn work_counters_for(
+    scenario: Scenario,
+    policy: PowerPolicy,
+    mode: PlanMode,
+) -> Vec<(String, u64)> {
     let report = SimulationBuilder::new(
-        Experiment::new(Scenario::datacenter(HOSTS, HOSTS * 6, SEED))
-            .policy(PowerPolicy::reactive_suspend())
+        Experiment::new(scenario)
+            .policy(policy)
             .horizon(SimDuration::from_hours(24))
             .plan_mode(mode),
     )
@@ -49,6 +53,24 @@ fn work_counters(mode: PlanMode) -> Vec<(String, u64)> {
         .collect()
 }
 
+fn work_counters(mode: PlanMode) -> Vec<(String, u64)> {
+    work_counters_for(
+        Scenario::datacenter(HOSTS, HOSTS * 6, SEED),
+        PowerPolicy::reactive_suspend(),
+        mode,
+    )
+}
+
+/// The joint-ladder run pins the rung-selection path: the same pinned
+/// size and seed on the C6→S3→S5 ladder scenario under a 12 s wake SLO.
+fn ladder_counters() -> Vec<(String, u64)> {
+    work_counters_for(
+        Scenario::datacenter_ladder(HOSTS, HOSTS * 6, SEED),
+        PowerPolicy::joint_ladder(SimDuration::from_secs(12)),
+        PlanMode::Scan,
+    )
+}
+
 fn render_counters(out: &mut String, key: &str, counters: &[(String, u64)], last: bool) {
     out.push_str(&format!("  \"{key}\": {{\n"));
     for (i, (name, value)) in counters.iter().enumerate() {
@@ -60,13 +82,18 @@ fn render_counters(out: &mut String, key: &str, counters: &[(String, u64)], last
     out.push_str(if last { "  }\n" } else { "  },\n" });
 }
 
-fn render_baseline(scan: &[(String, u64)], indexed: &[(String, u64)]) -> String {
+fn render_baseline(
+    scan: &[(String, u64)],
+    indexed: &[(String, u64)],
+    ladder: &[(String, u64)],
+) -> String {
     let mut out = format!(
         "{{\n  \"scenario\": \"datacenter-{HOSTS}\",\n  \"seed\": {SEED},\n  \
          \"policy\": \"pm-suspend\",\n"
     );
     render_counters(&mut out, "counters", scan, false);
-    render_counters(&mut out, "counters_indexed", indexed, true);
+    render_counters(&mut out, "counters_indexed", indexed, false);
+    render_counters(&mut out, "counters_ladder", ladder, true);
     out.push_str("}\n");
     out
 }
@@ -98,6 +125,7 @@ fn work_counters_match_the_blessed_baseline_exactly() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("ci/counters_baseline.json");
     let scan = work_counters(PlanMode::Scan);
     let indexed = work_counters(PlanMode::Indexed);
+    let ladder = ladder_counters();
     assert!(!scan.is_empty(), "pinned run produced no work.* counters");
     assert!(
         indexed
@@ -105,9 +133,13 @@ fn work_counters_match_the_blessed_baseline_exactly() {
             .any(|(n, v)| n == "work.index.refreshes" && *v > 0),
         "pinned indexed run never maintained the index"
     );
+    assert!(
+        !ladder.is_empty(),
+        "pinned ladder run produced no work.* counters"
+    );
 
     if std::env::var_os("AGILEPM_BLESS").is_some() {
-        std::fs::write(&path, render_baseline(&scan, &indexed)).expect("write baseline");
+        std::fs::write(&path, render_baseline(&scan, &indexed, &ladder)).expect("write baseline");
         return;
     }
 
@@ -118,7 +150,11 @@ fn work_counters_match_the_blessed_baseline_exactly() {
         )
     });
     let json = Json::parse(&text).expect("baseline is valid JSON");
-    for (key, counters) in [("counters", &scan), ("counters_indexed", &indexed)] {
+    for (key, counters) in [
+        ("counters", &scan),
+        ("counters_indexed", &indexed),
+        ("counters_ladder", &ladder),
+    ] {
         let blessed = json
             .get(key)
             .and_then(Json::as_object)

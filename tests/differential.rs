@@ -402,6 +402,82 @@ fn span_tracer_does_not_perturb_the_simulation() {
     });
 }
 
+/// Proves the joint-ladder policy degenerates to PM-Suspend(S3) when the
+/// SLO admits exactly the S3 rung: with a 12 s wake SLO every stock
+/// profile resumes just in time (rack 12 s, blade 10 s), boot is minutes
+/// away, and C6 — where present — is shallower than the deepest feasible
+/// rung; with no prewake lookahead the warm pool is empty. The two runs
+/// must then match decision-for-decision; only the policy label differs.
+fn assert_ladder_degenerates(
+    spec: &check_support::ExperimentSpec,
+    ladder: &SimReport,
+    suspend: &SimReport,
+    what: &str,
+) -> Result<(), String> {
+    let scenario = spec.scenario.build();
+    check_report(&scenario, ladder)?;
+    check_report(&scenario, suspend)?;
+    let normalize = |report: &SimReport| {
+        let mut r = report.clone();
+        r.policy = "normalized".to_string();
+        r
+    };
+    let (ladder, suspend) = (normalize(ladder), normalize(suspend));
+    check::prop_assert!(
+        ladder == suspend,
+        "{what}: {spec:?}: reports differ beyond the policy label (energy {} vs {} J, {} vs {} migrations)",
+        ladder.energy_j,
+        suspend.energy_j,
+        ladder.migrations,
+        suspend.migrations
+    );
+    check::prop_assert_eq!(
+        ladder.to_json().to_string_compact(),
+        suspend.to_json().to_string_compact(),
+        "{what}: serialized reports differ"
+    );
+    Ok(())
+}
+
+#[test]
+fn joint_ladder_at_s3_slo_degenerates_to_reactive_suspend() {
+    // Plan mode follows AGILEPM_PLAN_MODE, so the CI matrix exercises
+    // this degeneracy under both scan and indexed planning.
+    check::check(
+        "JointLadder(12s) == PM-Suspend(S3)",
+        &experiment_spec(),
+        |spec| {
+            let run = |policy: PowerPolicy| {
+                check_support::run_experiment(spec.experiment().policy(policy).record_events())
+                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            };
+            let ladder = run(PowerPolicy::joint_ladder(SimDuration::from_secs(12)))?;
+            let suspend = run(PowerPolicy::reactive_suspend())?;
+            assert_ladder_degenerates(spec, &ladder, &suspend, "ladder-vs-suspend")
+        },
+    );
+}
+
+#[test]
+fn joint_ladder_degeneracy_holds_on_the_sharded_engine() {
+    check::check_cases(
+        "JointLadder(12s) == PM-Suspend(S3), 4 worker threads",
+        32,
+        &experiment_spec(),
+        |spec| {
+            let run = |policy: PowerPolicy| {
+                SimulationBuilder::new(spec.experiment().policy(policy).record_events())
+                    .threads(4)
+                    .run_report()
+                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            };
+            let ladder = run(PowerPolicy::joint_ladder(SimDuration::from_secs(12)))?;
+            let suspend = run(PowerPolicy::reactive_suspend())?;
+            assert_ladder_degenerates(spec, &ladder, &suspend, "ladder-vs-suspend-sharded")
+        },
+    );
+}
+
 #[test]
 fn policy_ladder_orders_energy_on_generated_diurnal_worlds() {
     // Oracle <= managed <= always-on, on worlds where consolidation has

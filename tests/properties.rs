@@ -231,3 +231,24 @@ fn fleet_generation_counts() {
         Ok(())
     });
 }
+
+/// Every calibrated preset must present a monotonic power-state ladder:
+/// deeper rungs rest at lower power and wake slower. (The theoretical
+/// `ideal_proportional` machine is exempt — its rungs all rest at 0 W —
+/// as are the F7 resume-latency overrides, which perturb wake latency
+/// on purpose.)
+#[test]
+fn calibrated_profiles_have_monotonic_ladders() {
+    for profile in [
+        HostPowerProfile::prototype_rack(),
+        HostPowerProfile::prototype_blade(),
+        HostPowerProfile::prototype_rack_sublinear(),
+        HostPowerProfile::prototype_rack_superlinear(),
+        HostPowerProfile::prototype_rack_ladder(),
+        HostPowerProfile::prototype_blade_ladder(),
+        HostPowerProfile::legacy_rack(),
+    ] {
+        check_support::check_ladder_monotonic(&profile)
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
+    }
+}

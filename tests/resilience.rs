@@ -159,6 +159,53 @@ fn generated_failure_models_keep_the_ledger_and_service_quality() {
     );
 }
 
+/// Joint-ladder worlds under fault injection: park/unpark is
+/// resume-class hardware work, so quarantine, fail-safe rounds, and the
+/// recovery boot path must hold at every rung the SLO admits. The final
+/// cluster is captured so the per-state energy breakdown — which now
+/// includes the Parking/Unparking residencies — can be audited too.
+#[test]
+fn joint_ladder_survives_fault_injection() {
+    use check_support::{check_cluster, check_energy_breakdown, ladder_policy};
+    let input = experiment_spec()
+        .zip(&ladder_policy())
+        .zip(&failure_spec(499));
+    check::check_cases(
+        "joint-ladder under faults",
+        32,
+        &input,
+        |((spec, policy), failures)| {
+            let mut spec = *spec;
+            spec.scenario.workload = check_support::WorkloadKind::Ladder;
+            let scenario = spec.scenario.build();
+            let out = SimulationBuilder::new(
+                spec.experiment()
+                    .policy(*policy)
+                    .failure_model(failures.build())
+                    .record_events(),
+            )
+            .threads(check_support::sim_threads())
+            .capture_cluster(true)
+            .build()
+            .map_err(|e| format!("{spec:?}: build failed: {e:?}"))?
+            .run()
+            .map_err(|e| format!("{spec:?}: run failed: {e:?}"))?;
+            check_report(&scenario, &out.report)?;
+            let cluster = out.cluster.ok_or("cluster capture requested but absent")?;
+            check_cluster(&cluster)?;
+            check_energy_breakdown(&cluster)?;
+            prop_assert!(
+                out.report.unserved_ratio <= 0.05,
+                "{policy:?} with failures at ({}, {}) permille degraded service to {:.4}%",
+                failures.resume_permille,
+                failures.boot_permille,
+                out.report.unserved_ratio * 100.0
+            );
+            Ok(())
+        },
+    );
+}
+
 /// For any generated failure schedule, every host that stops failing is
 /// eventually readmitted to service (free to power-cycle again), and any
 /// host still quarantined got there through a release time that only
@@ -194,6 +241,7 @@ fn failing_hosts_eventually_return_or_stay_quarantined() {
                         cpu_demand: 0.0,
                         evacuated: true,
                         failed_transitions: failed,
+                        ladder: Default::default(),
                     })
                     .collect();
                 tracker.observe(&ClusterObservation {
