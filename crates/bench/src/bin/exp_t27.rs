@@ -1,0 +1,8 @@
+//! T27: distributed control-plane degradation frontier.
+fn main() {
+    bench::print_experiment(
+        "T27",
+        "Control-plane degradation frontier",
+        &bench::exp_t27(),
+    );
+}

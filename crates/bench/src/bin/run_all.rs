@@ -98,6 +98,11 @@ fn main() {
             Box::new(bench::exp_profile),
         ),
         ("T26", "Savings-vs-SLO frontier", Box::new(bench::exp_t26)),
+        (
+            "T27",
+            "Control-plane degradation frontier",
+            Box::new(bench::exp_t27),
+        ),
     ];
 
     // Shared bounded pool (see `simcore::pool`): never more workers than

@@ -61,6 +61,8 @@ fn main() {
     let mut plan_mode = PlanMode::Indexed;
     let mut ladder = false;
     let mut wake_slo_secs = 12u64;
+    let mut schedulers = 1usize;
+    let mut staleness = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,6 +105,21 @@ fn main() {
                 };
             }
             "--ladder" => ladder = true,
+            "--schedulers" => {
+                schedulers = args
+                    .next()
+                    .expect("--schedulers needs a count")
+                    .parse()
+                    .expect("bad scheduler count");
+                assert!(schedulers >= 1, "--schedulers must be at least 1");
+            }
+            "--staleness" => {
+                staleness = args
+                    .next()
+                    .expect("--staleness needs a round count")
+                    .parse()
+                    .expect("bad staleness");
+            }
             "--wake-slo" => {
                 wake_slo_secs = args
                     .next()
@@ -135,6 +152,8 @@ fn main() {
             plan_mode,
             ladder,
             policy,
+            schedulers,
+            staleness,
         );
         let before = BEFORE.iter().find(|(h, _, _)| *h == hosts);
         println!(
@@ -156,7 +175,7 @@ fn main() {
         rows.push(row);
     }
 
-    let json = render_json(&rows, threads, ladder, wake_slo_secs);
+    let json = render_json(&rows, threads, ladder, wake_slo_secs, schedulers, staleness);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");
 
@@ -167,6 +186,7 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     hosts: usize,
     verify_scan: bool,
@@ -175,6 +195,8 @@ fn measure(
     plan_mode: PlanMode,
     ladder: bool,
     policy: PowerPolicy,
+    schedulers: usize,
+    staleness: usize,
 ) -> Row {
     let vms = hosts * 6;
     let scenario = if ladder {
@@ -183,14 +205,26 @@ fn measure(
         Scenario::datacenter(hosts, vms, bench::SEED)
     };
     let step = scenario.demand_step();
+    // `--schedulers`/`--staleness` route the run (and its scan
+    // reference) through the distributed control plane; at the defaults
+    // (1, 0) the direct global-planner path is benchmarked unchanged.
+    let plane = |exp: Experiment| {
+        if schedulers > 1 || staleness > 0 {
+            exp.schedulers(schedulers).view_staleness(staleness)
+        } else {
+            exp
+        }
+    };
     // Best-of-N: the minimum wall time is the least scheduler-noise-
     // polluted sample; every repeat is the same deterministic simulation,
     // so only timing varies.
     let mut best: Option<(f64, _, _, _)> = None;
     for _ in 0..repeat {
-        let exp = Experiment::new(scenario.clone())
-            .policy(policy)
-            .plan_mode(plan_mode);
+        let exp = plane(
+            Experiment::new(scenario.clone())
+                .policy(policy)
+                .plan_mode(plan_mode),
+        );
         let t0 = Instant::now();
         let out = SimulationBuilder::new(exp)
             .threads(threads)
@@ -213,10 +247,12 @@ fn measure(
     // mode searched are mode-variant by design and are dropped from the
     // comparison when the measured run planned in indexed mode.
     let scan_ticks_per_sec = verify_scan.then(|| {
-        let exp = Experiment::new(scenario)
-            .policy(policy)
-            .accounting(AccountingMode::Scan)
-            .plan_mode(PlanMode::Scan);
+        let exp = plane(
+            Experiment::new(scenario)
+                .policy(policy)
+                .accounting(AccountingMode::Scan)
+                .plan_mode(PlanMode::Scan),
+        );
         let t0 = Instant::now();
         let scan_report = SimulationBuilder::new(exp)
             .threads(threads)
@@ -288,10 +324,18 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn render_json(rows: &[Row], threads: usize, ladder: bool, wake_slo_secs: u64) -> String {
+fn render_json(
+    rows: &[Row],
+    threads: usize,
+    ladder: bool,
+    wake_slo_secs: u64,
+    schedulers: usize,
+    staleness: usize,
+) -> String {
     let mut out = format!(
         "{{\n  \"threads\": {threads},\n  \"ladder\": {ladder},\n  \
-         \"wake_slo_secs\": {wake_slo_secs},\n  \"before\": [\n"
+         \"wake_slo_secs\": {wake_slo_secs},\n  \"schedulers\": {schedulers},\n  \
+         \"staleness\": {staleness},\n  \"before\": [\n"
     );
     for (i, (hosts, tps, rss)) in BEFORE.iter().enumerate() {
         out.push_str(&format!(

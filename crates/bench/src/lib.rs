@@ -14,11 +14,13 @@
 #![warn(missing_docs)]
 
 pub mod charact;
+pub mod control_plane;
 pub mod headline;
 pub mod microbench;
 pub mod sweep_exps;
 
 pub use charact::{exp_f2, exp_f3, exp_t1};
+pub use control_plane::{exp_t27, exp_t27_sized};
 pub use headline::{exp_f4_t5, exp_profile, exp_t19, exp_t20, exp_t22, exp_t9};
 pub use sweep_exps::{
     exp_f10, exp_f11, exp_f14, exp_f15, exp_f16, exp_f17, exp_f23, exp_f6, exp_f7, exp_f8, exp_t12,

@@ -2,7 +2,7 @@
 
 use agile_core::{PowerPolicy, PredictorConfig};
 use dcsim::report::table;
-use dcsim::sweeps;
+use dcsim::sweeps::{prewake_label, SweepBuilder};
 use power::breakeven::LowPowerMode;
 use simcore::SimDuration;
 
@@ -27,19 +27,24 @@ pub fn exp_f6_sized(hosts: usize, vms: usize, seed: u64) -> String {
     ];
     let mut columns = Vec::new();
     for p in policies {
-        let series = sweeps::proportionality_sweep(hosts, vms, &levels, p, seed)
+        let series = SweepBuilder::proportionality(hosts, vms, &levels, p, seed)
+            .run()
             .expect("proportionality scenario runs");
         columns.push(series);
     }
     // Normalize against the AlwaysOn power at full load.
-    let peak_w = columns[0].last().expect("levels non-empty").1.avg_power_w();
+    let peak_w = columns[0]
+        .last()
+        .expect("levels non-empty")
+        .report()
+        .avg_power_w();
     let rows: Vec<Vec<String>> = levels
         .iter()
         .enumerate()
         .map(|(i, &level)| {
             let mut row = vec![format!("{:.0}%", level * 100.0)];
             for col in &columns {
-                row.push(format!("{:.2}", col[i].1.avg_power_w() / peak_w));
+                row.push(format!("{:.2}", col[i].report().avg_power_w() / peak_w));
             }
             row.push(format!("{level:.2}")); // the ideal proportional line
             row
@@ -66,11 +71,13 @@ pub fn exp_f7_sized(hosts: usize, vms: usize, seed: u64) -> String {
         .iter()
         .map(|&s| SimDuration::from_secs(s))
         .collect();
-    let results =
-        sweeps::wake_latency_sweep(hosts, vms, &latencies, seed).expect("flash-crowd runs");
+    let results = SweepBuilder::wake_latency(hosts, vms, &latencies, seed)
+        .run()
+        .expect("flash-crowd runs");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(latency, r)| {
+        .map(|row| {
+            let (latency, r) = (row.value, row.report());
             vec![
                 format!("{latency}"),
                 format!("{:.4}%", r.unserved_ratio * 100.0),
@@ -101,27 +108,28 @@ pub fn exp_f8() -> String {
 }
 
 /// Size-parameterized variant. Base and PM runs at every size go through
-/// one worker-pool batch (`scale_sweep_policies`).
+/// one worker-pool batch (`SweepBuilder::scale`).
 pub fn exp_f8_sized(host_counts: &[usize], seed: u64) -> String {
-    let grid = sweeps::scale_sweep_policies(
+    let grid = SweepBuilder::scale(
         host_counts,
         &[PowerPolicy::always_on(), PowerPolicy::reactive_suspend()],
         seed,
     )
+    .run()
     .expect("scale scenarios run");
-    // Size-major, policies in the order passed: chunk into (base, pm).
+    // One row per size, legs in the order passed: (base, pm).
     let rows: Vec<Vec<String>> = grid
-        .chunks_exact(2)
-        .map(|pair| {
-            let ((hosts, _, b), (_, _, p)) = (&pair[0], &pair[1]);
+        .iter()
+        .map(|row| {
+            let (hosts, b, p) = (row.value, &row.reports[0], &row.reports[1]);
             vec![
                 format!("{hosts}"),
                 format!("{:.0}", b.energy_kwh()),
                 format!("{:.0}", p.energy_kwh()),
                 format!("{:.1}%", p.savings_vs(b) * 100.0),
                 format!("{:.3}%", p.unserved_ratio * 100.0),
-                format!("{:.2}", p.migrations_per_hour / *hosts as f64),
-                format!("{:.2}", p.power_actions_per_hour / *hosts as f64),
+                format!("{:.2}", p.migrations_per_hour / hosts as f64),
+                format!("{:.2}", p.power_actions_per_hour / hosts as f64),
             ]
         })
         .collect();
@@ -151,11 +159,13 @@ pub fn exp_f10() -> String {
 /// Size-parameterized variant.
 pub fn exp_f10_sized(hosts: usize, vms: usize, seed: u64) -> String {
     let targets = [0.55, 0.65, 0.75, 0.85, 0.95];
-    let results = sweeps::headroom_sweep(hosts, vms, &targets, LowPowerMode::Suspend, seed)
+    let results = SweepBuilder::headroom(hosts, vms, &targets, LowPowerMode::Suspend, seed)
+        .run()
         .expect("headroom scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(target, r)| {
+        .map(|row| {
+            let (target, r) = (row.value, row.report());
             vec![
                 format!("{:.2}", target),
                 format!("{:.0}", r.energy_kwh()),
@@ -186,14 +196,17 @@ pub fn exp_f11_sized(hosts: usize, vms: usize, seed: u64) -> String {
         .iter()
         .map(|&s| SimDuration::from_secs(s))
         .collect();
-    let s3 = sweeps::hysteresis_sweep(hosts, vms, &windows, LowPowerMode::Suspend, seed)
+    let s3 = SweepBuilder::hysteresis(hosts, vms, &windows, LowPowerMode::Suspend, seed)
+        .run()
         .expect("hysteresis scenarios run");
-    let s5 = sweeps::hysteresis_sweep(hosts, vms, &windows, LowPowerMode::Off, seed)
+    let s5 = SweepBuilder::hysteresis(hosts, vms, &windows, LowPowerMode::Off, seed)
+        .run()
         .expect("hysteresis scenarios run");
     let rows: Vec<Vec<String>> = s3
         .iter()
         .zip(&s5)
-        .map(|((w, a), (_, b))| {
+        .map(|(ra, rb)| {
+            let (w, a, b) = (ra.value, ra.report(), rb.report());
             vec![
                 format!("{w}"),
                 format!("{:.1}", a.power_actions_per_hour),
@@ -238,9 +251,11 @@ pub fn exp_t12_sized(hosts: usize, vms: usize, seed: u64) -> String {
     ];
     let mut rows = Vec::new();
     for mode in [LowPowerMode::Suspend, LowPowerMode::Off] {
-        let results = sweeps::predictor_sweep(hosts, vms, &predictors, mode, seed)
+        let results = SweepBuilder::predictors(hosts, vms, &predictors, mode, seed)
+            .run()
             .expect("predictor scenarios run");
-        for (name, r) in results {
+        for row in results {
+            let (name, r) = (row.value.0.clone(), row.report());
             rows.push(vec![
                 match mode {
                     LowPowerMode::PackageIdle => "C6".to_string(),
@@ -363,11 +378,13 @@ pub fn exp_t13() -> String {
 /// Size-parameterized variant.
 pub fn exp_t13_sized(hosts: usize, vms: usize, seed: u64) -> String {
     let probs = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
-    let results =
-        sweeps::reliability_sweep(hosts, vms, &probs, seed).expect("reliability scenarios run");
+    let results = SweepBuilder::reliability(hosts, vms, &probs, seed)
+        .run()
+        .expect("reliability scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(p, r)| {
+        .map(|row| {
+            let (p, r) = (row.value, row.report());
             vec![
                 format!("{:.0}%", p * 100.0),
                 format!("{}", r.transition_failures),
@@ -397,11 +414,13 @@ pub fn exp_t13b() -> String {
 /// Size-parameterized variant.
 pub fn exp_t13b_sized(hosts: usize, vms: usize, seed: u64) -> String {
     let intensities = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
-    let results = sweeps::failure_overhead_sweep(hosts, vms, &intensities, seed)
+    let results = SweepBuilder::failure_overhead(hosts, vms, &intensities, seed)
+        .run()
         .expect("failure-overhead scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(p, base, pm)| {
+        .map(|row| {
+            let (p, base, pm) = (row.value, &row.reports[0], &row.reports[1]);
             vec![
                 format!("{:.0}%", p * 100.0),
                 format!("{:.0}", base.energy_kwh()),
@@ -442,12 +461,15 @@ pub fn exp_f16() -> String {
 
 /// Size-parameterized variant.
 pub fn exp_f16_sized(hosts: usize, vms: usize, seed: u64) -> String {
-    let results = sweeps::curve_shape_sweep(hosts, vms, seed).expect("curve scenarios run");
+    let results = SweepBuilder::curve_shapes(hosts, vms, seed)
+        .run()
+        .expect("curve scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(name, base, pm)| {
+        .map(|row| {
+            let (name, base, pm) = (row.value, &row.reports[0], &row.reports[1]);
             vec![
-                name.clone(),
+                name.to_string(),
                 format!("{:.0}", base.energy_kwh()),
                 format!("{:.0}", pm.energy_kwh()),
                 format!("{:.1}%", pm.savings_vs(base) * 100.0),
@@ -476,11 +498,13 @@ pub fn exp_f17_sized(hosts: usize, vms: usize, seed: u64) -> String {
         .iter()
         .map(|&s| SimDuration::from_secs(s))
         .collect();
-    let results =
-        sweeps::interval_sweep(hosts, vms, &intervals, seed).expect("interval scenarios run");
+    let results = SweepBuilder::interval(hosts, vms, &intervals, seed)
+        .run()
+        .expect("interval scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(interval, s3, s5)| {
+        .map(|row| {
+            let (interval, s3, s5) = (row.value, &row.reports[0], &row.reports[1]);
             vec![
                 format!("{interval}"),
                 format!("{:.0}", s3.energy_kwh()),
@@ -517,12 +541,15 @@ pub fn exp_t18() -> String {
 
 /// Size-parameterized variant.
 pub fn exp_t18_sized(hosts: usize, vms: usize, seed: u64) -> String {
-    let results = sweeps::prewake_sweep(hosts, vms, seed).expect("prewake scenarios run");
+    let results = SweepBuilder::prewake(hosts, vms, seed)
+        .run()
+        .expect("prewake scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(label, r)| {
+        .map(|row| {
+            let r = row.report();
             vec![
-                label.clone(),
+                prewake_label(row.value.0, row.value.1),
                 format!("{:.0}", r.energy_kwh()),
                 format!("{:.4}%", r.unserved_ratio * 100.0),
                 format!("{:.1}", r.power_actions_per_hour),
@@ -547,12 +574,15 @@ pub fn exp_t21() -> String {
 
 /// Size-parameterized variant.
 pub fn exp_t21_sized(hosts: usize, vms: usize, seed: u64) -> String {
-    let results = sweeps::psu_sweep(hosts, vms, seed).expect("psu scenarios run");
+    let results = SweepBuilder::psu(hosts, vms, seed)
+        .run()
+        .expect("psu scenarios run");
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(name, base, pm)| {
+        .map(|row| {
+            let (name, base, pm) = (row.value, &row.reports[0], &row.reports[1]);
             vec![
-                name.clone(),
+                name.to_string(),
                 format!("{:.0}", base.energy_kwh()),
                 format!("{:.0}", pm.energy_kwh()),
                 format!("{:.1}%", pm.savings_vs(base) * 100.0),
@@ -696,8 +726,12 @@ pub fn exp_t26_sized(hosts: usize, vms: usize, seed: u64) -> String {
         .iter()
         .map(|&s| SimDuration::from_secs(s))
         .collect();
-    let (base, points) =
-        sweeps::slo_frontier_sweep(hosts, vms, &slos, seed).expect("frontier scenario runs");
+    let frontier = SweepBuilder::slo_frontier(hosts, vms, &slos, seed)
+        .run()
+        .expect("frontier scenario runs");
+    // Legs per row: always-on baseline, DVFS-only, suspend-only, joint
+    // ladder. The first three ignore the SLO, so render them once.
+    let base = frontier[0].reports[0].clone();
     let mut rows = Vec::new();
     let mut push = |label: String, r: &dcsim::SimReport| {
         rows.push(vec![
@@ -709,12 +743,12 @@ pub fn exp_t26_sized(hosts: usize, vms: usize, seed: u64) -> String {
         ]);
     };
     push("AlwaysOn".to_string(), &base);
-    if let Some(p) = points.first() {
-        push("DVFS-only".to_string(), &p.dvfs_only);
-        push("Suspend-only(S3)".to_string(), &p.suspend_only);
+    if let Some(p) = frontier.first() {
+        push("DVFS-only".to_string(), &p.reports[1]);
+        push("Suspend-only(S3)".to_string(), &p.reports[2]);
     }
-    for p in &points {
-        push(format!("Joint-Ladder@{}", p.slo), &p.joint_ladder);
+    for p in &frontier {
+        push(format!("Joint-Ladder@{}", p.value), &p.reports[3]);
     }
     format!(
         "Savings-vs-SLO frontier, {hosts} hosts / {vms} VMs:

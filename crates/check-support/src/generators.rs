@@ -164,7 +164,24 @@ impl ExperimentSpec {
     /// [`Experiment::plan_mode`](dcsim::Experiment::plan_mode) call
     /// appended by the test overrides the default, which keeps the
     /// indexed-vs-scan differential pair meaningful on every matrix leg.
+    ///
+    /// Likewise, `AGILEPM_SCHEDULERS` (unset means the classic direct
+    /// path) routes every generated run through the distributed control
+    /// plane with that many schedulers, clamped to the world's host
+    /// count so small shrunk worlds stay buildable.
     pub fn experiment(&self) -> Experiment {
+        let mut experiment = self.direct_experiment();
+        if let Some(schedulers) = default_schedulers() {
+            experiment = experiment.schedulers(schedulers.min(self.scenario.hosts));
+        }
+        experiment
+    }
+
+    /// The same experiment with the `AGILEPM_SCHEDULERS` routing left
+    /// off: always the classic direct (global-planner) path. The
+    /// control-plane differential uses this as its reference leg so the
+    /// comparison stays meaningful on every CI matrix leg.
+    pub fn direct_experiment(&self) -> Experiment {
         Experiment::new(self.scenario.build())
             .policy(self.policy)
             .horizon(SimDuration::from_hours(self.horizon_hours))
@@ -187,6 +204,30 @@ pub fn default_plan_mode() -> PlanMode {
         Ok(v) => panic!("AGILEPM_PLAN_MODE must be `scan` or `indexed`, got `{v}`"),
         Err(_) => PlanMode::Scan,
     }
+}
+
+/// The scheduler count selected by `AGILEPM_SCHEDULERS`: `None` when
+/// unset (the classic direct path), `Some(n)` to route every generated
+/// run through the distributed control plane with `n` schedulers.
+///
+/// # Panics
+///
+/// Panics on a non-numeric or zero value — a typo in a CI matrix must
+/// fail loudly, not silently test the default path.
+pub fn default_schedulers() -> Option<usize> {
+    match std::env::var("AGILEPM_SCHEDULERS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => panic!("AGILEPM_SCHEDULERS must be a positive integer, got `{v}`"),
+        },
+        Err(_) => None,
+    }
+}
+
+/// Scheduler counts for distributed-control-plane properties: the T27
+/// ladder `{1, 2, 4, 8}`; shrinks toward the single-scheduler plane.
+pub fn scheduler_count() -> Gen<usize> {
+    gen::one_of(vec![1usize, 2, 4, 8])
 }
 
 /// Arbitrary experiments over [`scenario_spec`] worlds; shrinks toward

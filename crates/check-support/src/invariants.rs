@@ -91,6 +91,7 @@ pub fn check_report(scenario: &Scenario, report: &SimReport) -> Result<(), Strin
     }
     check_event_log(report)?;
     check_work_counters(report)?;
+    check_commit_ledger(report)?;
     check_json_round_trip(report)
 }
 
@@ -116,22 +117,149 @@ pub fn check_work_counters(report: &SimReport) -> Result<(), String> {
             "{rolled_back} rollbacks but only {trials} trials attempted"
         ));
     }
-    if planned != executed + aborted {
+    // A planned migration has exactly four fates: the cluster executed
+    // or aborted it, or the commit layer refused it (conflict), dropped
+    // it (not the planner's partition), or expired it (control latency
+    // outlived the horizon). Under the direct (single-planner) path the
+    // commit terms are all zero and this is the classic two-fate ledger.
+    let commit_migrations = c("work.commit.migrations_rejected")
+        + c("work.commit.migrations_dropped")
+        + c("work.commit.migrations_expired");
+    if planned != executed + aborted + commit_migrations {
         return Err(format!(
-            "{planned} migrations planned but {executed} executed + {aborted} aborted"
+            "{planned} migrations planned but {executed} executed + {aborted} aborted \
+             + {commit_migrations} refused at commit"
         ));
     }
     // Index maintenance must be change-driven: a host is only re-bucketed
     // because something dirtied cluster state, so cumulative re-buckets
     // can never outrun the cluster's dirty marks (which charge one mark
-    // per operational host per demand sweep). Trivially true in scan
-    // mode, where every `work.index.*` counter stays zero.
+    // per operational host per demand sweep). Each scheduler in a
+    // distributed control plane maintains its own index, so the bound
+    // scales with the planner count (`work.commit.schedulers`, 1 on the
+    // direct path). Trivially true in scan mode, where every
+    // `work.index.*` counter stays zero.
     let rebuckets = c("work.index.rebuckets");
-    let dirty = c("work.cluster.dirty_marks");
+    let schedulers = c("work.commit.schedulers").max(1);
+    let dirty = c("work.cluster.dirty_marks") * schedulers;
     if rebuckets > dirty {
         return Err(format!(
-            "{rebuckets} index re-buckets but only {dirty} cluster dirty marks"
+            "{rebuckets} index re-buckets but only {dirty} cluster dirty marks \
+             across {schedulers} scheduler(s)"
         ));
+    }
+    Ok(())
+}
+
+/// The placement store's commit ledger must balance exactly:
+///
+/// * every planned action has exactly one fate —
+///   `planned == accepted + rejected + dropped_unowned + expired`;
+/// * the per-reason rejection breakdown sums to the rejected total;
+/// * per-kind migration sub-counters never exceed their parents;
+/// * the engine-level `sim.commits.rejected` event counter agrees with
+///   the store's `work.commit.rejected`, and when the audit log was
+///   recorded, so does the number of `CommitRejected` entries.
+///
+/// Trivially true (all zeros) on runs without a control plane.
+pub fn check_commit_ledger(report: &SimReport) -> Result<(), String> {
+    let c = |name: &str| report.metrics.counter(name);
+    let planned = c("work.commit.planned");
+    let accepted = c("work.commit.accepted");
+    let rejected = c("work.commit.rejected");
+    let dropped = c("work.commit.dropped_unowned");
+    let expired = c("work.commit.expired");
+    if planned != accepted + rejected + dropped + expired {
+        return Err(format!(
+            "commit ledger out of balance: {planned} planned != {accepted} accepted \
+             + {rejected} rejected + {dropped} dropped + {expired} expired"
+        ));
+    }
+    let by_reason: u64 = [
+        "work.commit.rejected_vm_busy",
+        "work.commit.rejected_vm_race",
+        "work.commit.rejected_not_owner",
+        "work.commit.rejected_dest_unavailable",
+        "work.commit.rejected_headroom",
+        "work.commit.rejected_power_clash",
+        "work.commit.rejected_power_stale",
+    ]
+    .iter()
+    .map(|name| c(name))
+    .sum();
+    if by_reason != rejected {
+        return Err(format!(
+            "rejection reasons sum to {by_reason} but {rejected} commits were rejected"
+        ));
+    }
+    for (kind, parent_name, parent) in [
+        ("work.commit.migrations_rejected", "rejected", rejected),
+        ("work.commit.migrations_dropped", "dropped", dropped),
+        ("work.commit.migrations_expired", "expired", expired),
+    ] {
+        let sub = c(kind);
+        if sub > parent {
+            return Err(format!(
+                "{sub} {kind} but only {parent} commits {parent_name} in total"
+            ));
+        }
+    }
+    let engine_rejections = c("sim.commits.rejected");
+    if engine_rejections != rejected {
+        return Err(format!(
+            "engine logged {engine_rejections} commit rejections but the store counted {rejected}"
+        ));
+    }
+    if !report.events.is_empty() {
+        let logged = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CommitRejected { .. }))
+            .count() as u64;
+        if logged != rejected {
+            return Err(format!(
+                "{logged} CommitRejected events but the store counted {rejected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// No VM is ever placed twice: the event log may never show a VM in two
+/// concurrent live migrations, a migration ending without a start, or a
+/// transient VM provisioned again while already running — the races the
+/// placement store exists to arbitrate away when several schedulers plan
+/// over the same fleet. Vacuous when no events were recorded.
+pub fn check_no_vm_double_placed(report: &SimReport) -> Result<(), String> {
+    let mut migrating = std::collections::BTreeSet::new();
+    let mut resident = std::collections::BTreeSet::new();
+    for e in &report.events {
+        let fresh = match e.kind {
+            EventKind::MigrationStarted { vm, .. } => migrating.insert(vm),
+            EventKind::MigrationCompleted { vm } | EventKind::MigrationFailed { vm } => {
+                migrating.remove(&vm)
+            }
+            EventKind::VmArrived { vm, .. } => resident.insert(vm),
+            EventKind::VmDeparted { vm } => {
+                resident.remove(&vm);
+                true
+            }
+            _ => true,
+        };
+        if !fresh {
+            return Err(match e.kind {
+                EventKind::MigrationStarted { vm, .. } => {
+                    format!("{vm:?} entered two concurrent migrations")
+                }
+                EventKind::MigrationCompleted { vm } | EventKind::MigrationFailed { vm } => {
+                    format!("{vm:?} finished a migration that never started")
+                }
+                EventKind::VmArrived { vm, .. } => {
+                    format!("{vm:?} provisioned while already running")
+                }
+                _ => unreachable!("only placement events can fail the freshness check"),
+            });
+        }
     }
     Ok(())
 }
@@ -181,6 +309,7 @@ pub fn check_event_log(report: &SimReport) -> Result<(), String> {
             }
         }
         check_no_vm_lost(report)?;
+        check_no_vm_double_placed(report)?;
     }
     Ok(())
 }

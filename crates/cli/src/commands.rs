@@ -44,6 +44,11 @@ run-ONLY FLAGS:
   --plan-mode M        scan | indexed consolidation planning [default indexed]
                        (bit-identical reports; indexed keeps utilization-
                        bucket indices so picks stop scanning the fleet)
+  --schedulers N       split the fleet across N concurrent schedulers over
+                       the conflict-checked placement store [default 1;
+                       1 is bit-identical to the global planner]
+  --staleness R        scheduler views of foreign partitions lag R control
+                       rounds behind ground truth [default 0]
   --resume-fail P      resume failure probability    [default 0]
   --json PATH          write the full report as JSON
   --csv PATH           write power/hosts-on/unserved series as CSV
@@ -173,6 +178,8 @@ fn run(args: &[String]) -> CmdResult {
             "threads",
             "policy",
             "plan-mode",
+            "schedulers",
+            "staleness",
             "resume-fail",
             "json",
             "csv",
@@ -186,6 +193,16 @@ fn run(args: &[String]) -> CmdResult {
     let scenario = build_scenario(&flags)?;
     let resume_fail = flags.f64_or("resume-fail", 0.0)?;
     let mut experiment = configure(&flags, scenario, policy)?.plan_mode(plan_mode);
+    let schedulers = flags.usize_or("schedulers", 1)?;
+    let staleness = flags.usize_or("staleness", 0)?;
+    if schedulers == 0 {
+        return Err(Box::new(ArgError(
+            "`--schedulers` must be positive".to_string(),
+        )));
+    }
+    if schedulers > 1 || staleness > 0 {
+        experiment = experiment.schedulers(schedulers).view_staleness(staleness);
+    }
     if resume_fail > 0.0 {
         experiment = experiment.failure_model(FailureModel::new(resume_fail, 0.0));
     }
@@ -317,7 +334,7 @@ fn compare(args: &[String]) -> CmdResult {
 }
 
 fn sweep(args: &[String]) -> CmdResult {
-    use dcsim::sweeps;
+    use dcsim::SweepBuilder;
     let flags = Flags::parse(args, &["kind", "hosts", "vms", "seed", "csv"], &[])?;
     let hosts = flags.usize_or("hosts", 16)?;
     let vms = flags.usize_or("vms", hosts * 6)?;
@@ -333,16 +350,18 @@ fn sweep(args: &[String]) -> CmdResult {
                 .iter()
                 .map(|&s| SimDuration::from_secs(s))
                 .collect();
-            sweeps::wake_latency_sweep(hosts, vms, &latencies, seed)?
+            SweepBuilder::wake_latency(hosts, vms, &latencies, seed)
+                .run()?
                 .into_iter()
-                .map(|(l, r)| (format!("{l}"), r))
+                .map(|mut row| (format!("{}", row.value), row.reports.remove(0)))
                 .collect()
         }
         "headroom" => {
             let targets = [0.55, 0.65, 0.75, 0.85];
-            sweeps::headroom_sweep(hosts, vms, &targets, LowPowerMode::Suspend, seed)?
+            SweepBuilder::headroom(hosts, vms, &targets, LowPowerMode::Suspend, seed)
+                .run()?
                 .into_iter()
-                .map(|(t, r)| (format!("{t:.2}"), r))
+                .map(|mut row| (format!("{:.2}", row.value), row.reports.remove(0)))
                 .collect()
         }
         "interval" => {
@@ -350,16 +369,25 @@ fn sweep(args: &[String]) -> CmdResult {
                 .iter()
                 .map(|&s| SimDuration::from_secs(s))
                 .collect();
-            sweeps::interval_sweep(hosts, vms, &intervals, seed)?
+            SweepBuilder::interval(hosts, vms, &intervals, seed)
+                .run()?
                 .into_iter()
-                .flat_map(|(i, s3, s5)| [(format!("{i} S3"), s3), (format!("{i} S5"), s5)])
+                .flat_map(|mut row| {
+                    let s5 = row.reports.remove(1);
+                    let s3 = row.reports.remove(0);
+                    [
+                        (format!("{} S3", row.value), s3),
+                        (format!("{} S5", row.value), s5),
+                    ]
+                })
                 .collect()
         }
         "reliability" => {
             let probs = [0.0, 0.02, 0.05, 0.1];
-            sweeps::reliability_sweep(hosts, vms, &probs, seed)?
+            SweepBuilder::reliability(hosts, vms, &probs, seed)
+                .run()?
                 .into_iter()
-                .map(|(p, r)| (format!("{:.0}%", p * 100.0), r))
+                .map(|mut row| (format!("{:.0}%", row.value * 100.0), row.reports.remove(0)))
                 .collect()
         }
         other => {
@@ -767,6 +795,32 @@ mod tests {
         assert!(
             dispatch(&argv(&["run", "--hosts", "4", "--threads", "0"])).is_err(),
             "zero threads must be rejected"
+        );
+    }
+
+    #[test]
+    fn run_with_scheduler_flags() {
+        dispatch(&argv(&[
+            "run",
+            "--hosts",
+            "4",
+            "--vms",
+            "12",
+            "--hours",
+            "2",
+            "--schedulers",
+            "2",
+            "--staleness",
+            "1",
+        ]))
+        .expect("distributed run succeeds");
+        assert!(
+            dispatch(&argv(&["run", "--hosts", "4", "--schedulers", "0"])).is_err(),
+            "zero schedulers must be rejected"
+        );
+        assert!(
+            dispatch(&argv(&["run", "--hosts", "4", "--schedulers", "8"])).is_err(),
+            "more schedulers than hosts must be rejected"
         );
     }
 

@@ -46,10 +46,12 @@ mod hysteresis;
 mod index;
 mod manager;
 mod observation;
+mod placement;
 mod plan;
 mod predict;
 mod prewake;
 mod recovery;
+pub mod schedview;
 mod work;
 
 pub use action::{ActionReason, ManagementAction};
@@ -59,6 +61,7 @@ pub use hysteresis::HysteresisGate;
 pub use index::{pairwise_sum, IndexWorkCounters, PlanMode, SumTree, UtilizationIndex};
 pub use manager::{RoundStats, VirtManager};
 pub use observation::{ClusterObservation, HostObservation, VmObservation};
+pub use placement::{CommitStats, ConflictReason, PlacementFacts, PlacementStore};
 pub use predict::{Predictor, PredictorConfig};
 pub use prewake::DayProfile;
 pub use recovery::{RecoveryConfig, RecoveryStats, RecoveryTracker};

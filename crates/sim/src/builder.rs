@@ -2,12 +2,12 @@
 //!
 //! [`SimulationBuilder`] is the one front door to every way this crate
 //! can evaluate an [`Experiment`]: the discrete-event engine (optionally
-//! sharded across worker threads, optionally profiled, optionally
-//! returning the final cluster), the analytic `Oracle` bound, and the
-//! analytic DVFS-only baseline. It replaces the four legacy entry points
-//! (`Experiment::run`, `run_detailed`, `run_profiled`,
-//! `run_dvfs_baseline`), which remain as thin deprecated shims for one
-//! release.
+//! sharded across worker threads, optionally distributed across
+//! concurrent schedulers, optionally profiled, optionally returning the
+//! final cluster), the analytic `Oracle` bound, and the analytic
+//! DVFS-only baseline. The four legacy entry points (`Experiment::run`,
+//! `run_detailed`, `run_profiled`, `run_dvfs_baseline`) were removed
+//! after their one-release deprecation window.
 //!
 //! The builder validates the whole configuration up front:
 //! [`SimulationBuilder::build`] returns [`SimError::InvalidConfig`]
@@ -101,6 +101,30 @@ impl SimulationBuilder {
         self
     }
 
+    /// Runs the distributed control plane with `count` concurrent
+    /// schedulers — convenience for callers that only hold the builder.
+    /// See [`Experiment::schedulers`]. [`build`](Self::build) rejects
+    /// `0`, more schedulers than hosts, and any combination with the
+    /// analytic (Oracle/DVFS) modes.
+    pub fn schedulers(mut self, count: usize) -> Self {
+        self.experiment = self.experiment.schedulers(count);
+        self
+    }
+
+    /// Sets the remote-partition view staleness in control rounds. See
+    /// [`Experiment::view_staleness`].
+    pub fn view_staleness(mut self, rounds: usize) -> Self {
+        self.experiment = self.experiment.view_staleness(rounds);
+        self
+    }
+
+    /// Sets the plan-to-commit control-loop latency in control rounds.
+    /// See [`Experiment::control_latency`].
+    pub fn control_latency(mut self, rounds: usize) -> Self {
+        self.experiment = self.experiment.control_latency(rounds);
+        self
+    }
+
     /// Evaluates the analytic DVFS-only baseline instead of the event
     /// loop: every host stays on and clocks down to the lowest
     /// sufficient frequency. The experiment's policy is ignored.
@@ -153,6 +177,19 @@ impl SimulationBuilder {
             .resolve_config()
             .try_validate()
             .map_err(|e| invalid(format!("manager config: {e}")))?;
+        if let Some((schedulers, _, _)) = self.experiment.control_plane_knobs() {
+            if schedulers == 0 {
+                return Err(invalid(
+                    "control plane needs at least one scheduler".to_string(),
+                ));
+            }
+            let hosts = self.experiment.scenario().host_specs().len();
+            if schedulers > hosts {
+                return Err(invalid(format!(
+                    "more schedulers ({schedulers}) than hosts ({hosts})"
+                )));
+            }
+        }
 
         let analytic = if self.dvfs.is_some() {
             Some("the DVFS baseline")
@@ -167,6 +204,9 @@ impl SimulationBuilder {
             }
             if self.profiling {
                 return Err(invalid(format!("{mode} has no event loop to profile")));
+            }
+            if self.experiment.control_plane_knobs().is_some() {
+                return Err(invalid(format!("{mode} has no schedulers to distribute")));
             }
             let inner = match self.dvfs {
                 Some(model) => SimKind::Dvfs {
@@ -400,20 +440,41 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_builder() {
-        let e = experiment(10);
-        let via_shim = e.run().unwrap();
-        let via_builder = SimulationBuilder::new(e.clone())
+    fn control_plane_knobs_are_validated() {
+        let err = SimulationBuilder::new(experiment(10))
+            .schedulers(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one scheduler"), "{err}");
+        // small_test has 4 hosts.
+        let err = SimulationBuilder::new(experiment(10))
+            .schedulers(5)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("more schedulers"), "{err}");
+        let e = Experiment::new(Scenario::small_test(10)).policy(PowerPolicy::oracle());
+        let err = SimulationBuilder::new(e).schedulers(2).build().unwrap_err();
+        assert!(err.to_string().contains("no schedulers"), "{err}");
+        let err = SimulationBuilder::new(experiment(10))
+            .dvfs_baseline(power::DvfsModel::typical_2013())
+            .view_staleness(1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no schedulers"), "{err}");
+    }
+
+    #[test]
+    fn distributed_build_runs() {
+        let out = SimulationBuilder::new(experiment(11))
+            .schedulers(2)
+            .view_staleness(1)
+            .control_latency(1)
             .build()
             .unwrap()
             .run()
             .unwrap();
-        assert_eq!(via_shim, via_builder.report);
-        let (detailed, cluster) = e.run_detailed().unwrap();
-        assert_eq!(detailed, via_shim);
-        assert!(cluster.placement().check_invariants());
-        let dvfs = e.run_dvfs_baseline(&power::DvfsModel::typical_2013());
-        assert_eq!(dvfs.policy, "DVFS-only");
+        assert!(out.report.energy_j > 0.0);
+        let planned = out.report.metrics.counter("work.commit.planned");
+        assert!(planned > 0, "distributed run must have planned actions");
     }
 }

@@ -1,7 +1,11 @@
 //! The discrete-event simulation loop.
 
+use std::collections::VecDeque;
+use std::ops::Range;
+
 use agile_core::{
-    ClusterObservation, HostObservation, ManagementAction, VirtManager, VmObservation,
+    schedview, ClusterObservation, CommitStats, HostObservation, ManagementAction, PlacementFacts,
+    PlacementStore, RoundStats, VirtManager, VmObservation,
 };
 use cluster::{AccountingMode, Cluster, ClusterError, DemandOutcome, HostId, VmId};
 use power::PowerState;
@@ -32,6 +36,126 @@ enum Event {
     VmDepart(VmId),
 }
 
+/// The distributed control plane: N scheduler replicas over fixed host
+/// partitions, a conflict-checked placement store, and the staleness /
+/// control-latency machinery (see `DESIGN.md`, "Distributed control
+/// plane").
+#[derive(Debug)]
+struct ControlPlane {
+    /// One planner replica per partition, in partition order. Each plans
+    /// over the whole fleet from its own merged view; the ownership
+    /// filter keeps only the actions whose subject it owns.
+    schedulers: Vec<VirtManager>,
+    /// `partitions[s]` is scheduler `s`'s owned host-index range
+    /// (contiguous, disjoint, covering — `pool::shard_ranges`).
+    partitions: Vec<Range<usize>>,
+    /// Remote partitions are observed through a snapshot this many
+    /// control rounds old (0 = fully fresh).
+    staleness: usize,
+    /// Plans computed at tick `t` commit at tick `t + latency`.
+    latency: usize,
+    /// Ring of past observations backing the stale remote view; only
+    /// maintained when `staleness > 0` and more than one scheduler runs.
+    history: VecDeque<ClusterObservation>,
+    /// In-flight action batches: `pending[k][s]` is scheduler `s`'s
+    /// filtered batch planned `k` pops ago. Commits pop from the front
+    /// once the queue is deeper than `latency`.
+    pending: VecDeque<Vec<Vec<ManagementAction>>>,
+    /// The shared placement store arbitrating every commit.
+    store: PlacementStore,
+    /// Reusable merge buffer for the per-scheduler view.
+    view_buf: ClusterObservation,
+}
+
+impl ControlPlane {
+    /// Whether per-scheduler views diverge at all: with one scheduler (or
+    /// zero staleness) every view is the fresh observation and the merge
+    /// is skipped entirely.
+    fn views_diverge(&self) -> bool {
+        self.staleness > 0 && self.schedulers.len() > 1
+    }
+}
+
+/// [`PlacementFacts`] over the live cluster: the ground truth the store's
+/// conflict check consults at commit time.
+struct ClusterFacts<'a> {
+    cluster: &'a Cluster,
+}
+
+impl PlacementFacts for ClusterFacts<'_> {
+    fn host_of(&self, vm: VmId) -> Option<HostId> {
+        self.cluster.placement().host_of(vm)
+    }
+
+    fn is_migrating(&self, vm: VmId) -> bool {
+        self.cluster.migration_of(vm).is_some()
+    }
+
+    fn vm_mem_gb(&self, vm: VmId) -> f64 {
+        self.cluster.vm(vm).map(|s| s.mem_gb()).unwrap_or(0.0)
+    }
+
+    fn mem_committed_gb(&self, host: HostId) -> f64 {
+        self.cluster.mem_committed_gb(host)
+    }
+
+    fn mem_capacity_gb(&self, host: HostId) -> f64 {
+        self.cluster
+            .host(host)
+            .map(|h| h.capacity().mem_gb)
+            .unwrap_or(0.0)
+    }
+
+    fn is_operational(&self, host: HostId) -> bool {
+        self.cluster
+            .host(host)
+            .map(|h| h.is_operational())
+            .unwrap_or(false)
+    }
+
+    fn power_state(&self, host: HostId) -> PowerState {
+        self.cluster
+            .host(host)
+            .map(|h| h.power_state())
+            .unwrap_or(PowerState::Off)
+    }
+
+    fn has_pending_transition(&self, host: HostId) -> bool {
+        self.cluster
+            .host(host)
+            .ok()
+            .and_then(|h| h.power().pending())
+            .is_some()
+    }
+
+    fn is_evacuated(&self, host: HostId) -> bool {
+        self.cluster.is_evacuated(host)
+    }
+}
+
+/// Sums per-scheduler round statistics into one fleet-wide view. Every
+/// counter adds up across schedulers except `rounds`, which is the same
+/// control-tick count for each replica (scheduler 0's is taken).
+fn fold_round_stats(schedulers: &[VirtManager]) -> RoundStats {
+    let mut out = RoundStats::default();
+    for (i, m) in schedulers.iter().enumerate() {
+        let s = m.stats();
+        if i == 0 {
+            out.rounds = s.rounds;
+        }
+        out.migrations_requested += s.migrations_requested;
+        out.power_ups_requested += s.power_ups_requested;
+        out.power_downs_requested += s.power_downs_requested;
+        out.overload_migrations += s.overload_migrations;
+        out.consolidation_migrations += s.consolidation_migrations;
+        out.rebalance_migrations += s.rebalance_migrations;
+        out.failures_detected += s.failures_detected;
+        out.quarantines += s.quarantines;
+        out.failsafe_rounds += s.failsafe_rounds;
+    }
+    out
+}
+
 /// The datacenter simulator.
 ///
 /// Most callers should use [`crate::Experiment`]; `DatacenterSim` is the
@@ -50,6 +174,16 @@ pub struct DatacenterSim {
     traces: Vec<DemandTrace>,
     vm_caps: Vec<f64>,
     manager: Option<VirtManager>,
+    /// The distributed control plane, when enabled via
+    /// [`set_control_plane`](Self::set_control_plane). `None` runs the
+    /// original single-planner path. The two are mutually exclusive:
+    /// installing the control plane moves the manager into it.
+    control: Option<ControlPlane>,
+    /// Commit ledger for the single-planner path: every planned action is
+    /// committed the same round, so `planned == accepted` and every other
+    /// counter stays zero. Kept so managed reports carry the same
+    /// `work.commit.*` metrics regardless of which path ran.
+    direct_commit: CommitStats,
     queue: EventQueue<Event>,
     control_interval: SimDuration,
     horizon: SimDuration,
@@ -165,6 +299,8 @@ impl DatacenterSim {
                 .map(|s| s.cpu_cap_cores())
                 .collect(),
             manager,
+            control: None,
+            direct_commit: CommitStats::default(),
             queue,
             control_interval,
             horizon,
@@ -274,6 +410,60 @@ impl DatacenterSim {
         if let Some(m) = &mut self.manager {
             m.set_threads(self.threads);
         }
+        if let Some(control) = &mut self.control {
+            for m in &mut control.schedulers {
+                m.set_threads(self.threads);
+            }
+        }
+    }
+
+    /// Installs the distributed control plane: `schedulers` planner
+    /// replicas over fixed contiguous host partitions, remote partitions
+    /// observed `staleness` control rounds late, and plans committing
+    /// `latency` rounds after they are computed — all arbitrated by a
+    /// conflict-checked [`PlacementStore`].
+    ///
+    /// The manager passed to [`new`](Self::new) becomes the replica
+    /// template (each replica starts from an identical clone), so the
+    /// simulator must be managed. `schedulers = 1, staleness = 0,
+    /// latency = 0` reproduces the single-planner path byte-identically —
+    /// through the store — which is exactly what the differential suite
+    /// checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmanaged simulator, `schedulers == 0`, or more
+    /// schedulers than hosts (the builder rejects these with a typed
+    /// error first).
+    pub fn set_control_plane(&mut self, schedulers: usize, staleness: usize, latency: usize) {
+        assert!(schedulers > 0, "control plane needs at least one scheduler");
+        let template = self
+            .manager
+            .take()
+            .expect("control plane requires a managed simulator");
+        let num_hosts = self.cluster.num_hosts();
+        assert!(
+            schedulers <= num_hosts,
+            "more schedulers ({schedulers}) than hosts ({num_hosts})"
+        );
+        let mut replicas = Vec::with_capacity(schedulers);
+        for _ in 0..schedulers.saturating_sub(1) {
+            replicas.push(template.clone());
+        }
+        replicas.push(template);
+        for m in &mut replicas {
+            m.set_threads(self.threads);
+        }
+        self.control = Some(ControlPlane {
+            partitions: pool::shard_ranges(num_hosts, schedulers),
+            schedulers: replicas,
+            staleness,
+            latency,
+            history: VecDeque::new(),
+            pending: VecDeque::new(),
+            store: PlacementStore::new(num_hosts, self.cluster.num_vms()),
+            view_buf: ClusterObservation::default(),
+        });
     }
 
     /// The worker-thread count (see [`set_threads`](Self::set_threads)).
@@ -287,64 +477,16 @@ impl DatacenterSim {
     }
 
     /// Read access to the cluster (e.g. to pull host power traces after
-    /// [`run_detailed`](Self::run_detailed)).
+    /// a run captured it via `SimulationBuilder::capture_cluster`).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
-    }
-
-    /// Runs to the horizon and returns the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates unrecoverable cluster errors (these indicate engine
-    /// bugs; recoverable action rejections are counted in the report).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder` (`agilepm::SimulationBuilder::new(experiment).build()?.run()`)"
-    )]
-    pub fn run(self) -> Result<SimReport, SimError> {
-        self.run_inner().map(|(report, _, _, _)| report)
-    }
-
-    /// Runs to the horizon and returns the report plus the final cluster
-    /// (for per-host inspection).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run): unrecoverable cluster errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).capture_cluster(true)` and read `SimOutput::cluster`"
-    )]
-    pub fn run_detailed(self) -> Result<(SimReport, Cluster), SimError> {
-        self.run_inner()
-            .map(|(report, cluster, _, _)| (report, cluster))
-    }
-
-    /// Runs to the horizon and returns the report plus the wall-clock
-    /// phase profile (enable timing first with
-    /// [`enable_profiling`](Self::enable_profiling)). The profile is
-    /// returned out-of-band because wall time must never enter the
-    /// bit-deterministic [`SimReport`].
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run): unrecoverable cluster errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).profiling(true)` and read `SimOutput::profile`"
-    )]
-    pub fn run_profiled(self) -> Result<(SimReport, ProfileSummary), SimError> {
-        self.run_inner()
-            .map(|(report, _, profile, _)| (report, profile))
     }
 
     /// Runs to the horizon and returns every output the engine produces:
     /// the bit-deterministic report, the final cluster, the wall-clock
     /// flat phase profile, and (when tracing was enabled) the full
     /// hierarchical span summary. This is the single execution path
-    /// behind [`crate::SimulationBuilder`] (and the deprecated `run*`
-    /// shims).
+    /// behind [`crate::SimulationBuilder`].
     ///
     /// # Errors
     ///
@@ -408,7 +550,11 @@ impl DatacenterSim {
         // Unlike the wall-clock spans these are pure functions of the
         // scenario seed, so they may — must — enter the report: the
         // differential suite then verifies them like any other metric.
-        if let Some(m) = &self.manager {
+        let managers: Vec<&VirtManager> = match &self.control {
+            Some(control) => control.schedulers.iter().collect(),
+            None => self.manager.iter().collect(),
+        };
+        for m in managers {
             for (name, value) in m.work_counters().entries() {
                 let id = self
                     .telemetry
@@ -424,15 +570,50 @@ impl DatacenterSim {
                 self.telemetry.registry.add(id, value);
             }
         }
+        // Batches still aging in the latency queue at the horizon never
+        // commit: count them expired so the commit ledger stays balanced.
+        if let Some(control) = &mut self.control {
+            while let Some(round) = control.pending.pop_front() {
+                for action in round.iter().flatten() {
+                    control.store.note_expired(action);
+                }
+            }
+        }
+        let commit = match &self.control {
+            Some(control) => Some(*control.store.stats()),
+            None if self.manager.is_some() => Some(self.direct_commit),
+            None => None,
+        };
+        if let Some(commit) = commit {
+            debug_assert!(commit.is_balanced(), "commit ledger out of balance");
+            for (name, value) in commit.entries() {
+                let id = self
+                    .telemetry
+                    .registry
+                    .counter(&format!("work.commit.{name}"));
+                self.telemetry.registry.add(id, value);
+            }
+            // How many planners produced the ledger above. The direct
+            // path reports 1 so a single-scheduler control plane stays
+            // bit-identical to it; invariants use this to scale bounds
+            // that charge one unit of work per planner (e.g. index
+            // re-buckets per cluster dirty mark).
+            let schedulers = match &self.control {
+                Some(control) => control.schedulers.len() as u64,
+                None => 1,
+            };
+            let id = self.telemetry.registry.counter("work.commit.schedulers");
+            self.telemetry.registry.add(id, schedulers);
+        }
         let dirty = self.telemetry.registry.counter("work.cluster.dirty_marks");
         self.telemetry
             .registry
             .add(dirty, self.cluster.dirty_marks());
-        let stats = self
-            .manager
-            .as_ref()
-            .map(|m| *m.stats())
-            .unwrap_or_default();
+        let stats = match (&self.control, &self.manager) {
+            (Some(control), _) => fold_round_stats(&control.schedulers),
+            (None, Some(m)) => *m.stats(),
+            (None, None) => RoundStats::default(),
+        };
         let report = self.collector.finalize(
             self.scenario_name,
             self.policy_label,
@@ -692,7 +873,9 @@ impl DatacenterSim {
         self.tracer.exit(self.s_demand);
 
         // 2. Management round.
-        if self.manager.is_some() {
+        if self.control.is_some() {
+            self.control_round(now);
+        } else if self.manager.is_some() {
             self.tracer.enter(self.s_observe);
             let mut obs = std::mem::take(&mut self.obs_buf);
             self.fill_observation(now, &mut obs);
@@ -722,39 +905,14 @@ impl DatacenterSim {
                 }
             }
 
+            // Same-round commit: every planned action is handed straight
+            // to the cluster, so the commit ledger is trivial.
+            self.direct_commit.planned += actions.len() as u64;
+            self.direct_commit.accepted += actions.len() as u64;
+
             self.tracer.enter(self.s_execute);
             for action in actions {
-                let is_migrate = matches!(action, ManagementAction::Migrate { .. });
-                let span = if is_migrate {
-                    self.s_migration
-                } else {
-                    self.s_power
-                };
-                self.tracer.enter(span);
-                let result = self.execute(action, now);
-                self.tracer.exit(span);
-                match result {
-                    Ok(()) => {
-                        if is_migrate {
-                            self.telemetry
-                                .registry
-                                .inc(self.telemetry.work_migrations_executed);
-                        }
-                    }
-                    Err(e) => {
-                        debug_assert!(
-                            recoverable(&e),
-                            "engine bug: unrecoverable action failure {e}"
-                        );
-                        if is_migrate {
-                            self.telemetry
-                                .registry
-                                .inc(self.telemetry.work_migrations_aborted);
-                        }
-                        self.collector.record_action_failure();
-                        self.log(now, EventKind::ActionRejected);
-                    }
-                }
+                self.dispatch_action(action, now);
             }
             self.tracer.exit(self.s_execute);
         }
@@ -769,6 +927,139 @@ impl DatacenterSim {
         let next = now + self.control_interval;
         if next <= end {
             self.queue.schedule(next, Event::Control);
+        }
+    }
+
+    /// One management round of the distributed control plane: observe,
+    /// plan per scheduler over its merged view, filter each plan to owned
+    /// subjects, queue the batches behind the control-loop latency, and
+    /// commit the due round through the placement store's conflict check.
+    fn control_round(&mut self, now: SimTime) {
+        let mut control = self.control.take().expect("caller checked");
+
+        self.tracer.enter(self.s_observe);
+        let mut obs = std::mem::take(&mut self.obs_buf);
+        self.fill_observation(now, &mut obs);
+        self.tracer.exit(self.s_observe);
+
+        self.tracer.enter(self.s_plan);
+        let n = control.schedulers.len();
+        let merge = control.views_diverge() && !control.history.is_empty();
+        let mut batches: Vec<Vec<ManagementAction>> = Vec::with_capacity(n);
+        let mut total_kept = 0usize;
+        for s in 0..n {
+            let owned = &control.partitions[s];
+            if merge {
+                let stale = control.history.front().expect("history checked non-empty");
+                schedview::merge_view(&mut control.view_buf, &obs, stale, owned);
+            }
+            let view = if merge { &control.view_buf } else { &obs };
+            let actions = control.schedulers[s].plan_traced(view, &mut self.tracer);
+            let mut kept = Vec::with_capacity(actions.len());
+            for action in actions {
+                control.store.note_planned(&action);
+                // With one scheduler every subject is owned; skipping the
+                // filter keeps the path equivalent to the global planner
+                // by construction.
+                if n == 1 || schedview::owns_action(view, owned, &action) {
+                    kept.push(action);
+                } else {
+                    control.store.note_dropped_unowned(&action);
+                }
+            }
+            total_kept += kept.len();
+            batches.push(kept);
+        }
+        if control.views_diverge() {
+            // Snapshot after planning: this round's fresh observation is
+            // the youngest entry a future stale view can see.
+            control.history.push_back(obs.clone());
+            if control.history.len() > control.staleness {
+                control.history.pop_front();
+            }
+        }
+        self.obs_buf = obs;
+        self.tracer.exit(self.s_plan);
+
+        self.telemetry.registry.inc(self.telemetry.rounds);
+        self.telemetry
+            .registry
+            .observe(self.telemetry.actions_per_round, total_kept as f64);
+        if self.sink.enabled() {
+            for m in &control.schedulers {
+                if let Some(decision) = m.last_decision() {
+                    self.sink.emit(&decision.to_json());
+                }
+            }
+        }
+
+        // Commit the round that has aged past the control-loop latency.
+        control.pending.push_back(batches);
+        if control.pending.len() > control.latency {
+            let round = control.pending.pop_front().expect("just pushed");
+            self.tracer.enter(self.s_execute);
+            control.store.begin_round();
+            for (sched, batch) in round.into_iter().enumerate() {
+                for action in batch {
+                    let admitted = control.store.admit(
+                        &control.partitions[sched],
+                        &action,
+                        &ClusterFacts {
+                            cluster: &self.cluster,
+                        },
+                    );
+                    match admitted {
+                        Ok(()) => self.dispatch_action(action, now),
+                        Err(reason) => self.log(
+                            now,
+                            EventKind::CommitRejected {
+                                scheduler: sched as u32,
+                                reason,
+                            },
+                        ),
+                    }
+                }
+            }
+            self.tracer.exit(self.s_execute);
+        }
+
+        self.control = Some(control);
+    }
+
+    /// Hands one admitted action to the cluster, timing it and counting
+    /// the outcome. Cluster refusals are plan/world races — counted, not
+    /// fatal.
+    fn dispatch_action(&mut self, action: ManagementAction, now: SimTime) {
+        let is_migrate = matches!(action, ManagementAction::Migrate { .. });
+        let span = if is_migrate {
+            self.s_migration
+        } else {
+            self.s_power
+        };
+        self.tracer.enter(span);
+        let result = self.execute(action, now);
+        self.tracer.exit(span);
+        match result {
+            Ok(()) => {
+                if is_migrate {
+                    self.telemetry
+                        .registry
+                        .inc(self.telemetry.work_migrations_executed);
+                }
+            }
+            Err(e) => {
+                debug_assert!(
+                    recoverable(&e),
+                    "engine bug: unrecoverable action failure {e}"
+                );
+                if is_migrate {
+                    self.telemetry
+                        .registry
+                        .inc(self.telemetry.work_migrations_aborted);
+                }
+                self.collector.record_action_failure();
+                self.log(now, EventKind::ActionRejected);
+            }
         }
     }
 
@@ -1360,5 +1651,126 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_scheduler_control_plane_matches_direct_path() {
+        let s = Scenario::datacenter(8, 32, 21);
+        let horizon = SimDuration::from_hours(24);
+        let direct = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            horizon,
+        )
+        .unwrap()
+        .run_inner()
+        .map(|(r, _, _, _)| r)
+        .unwrap();
+        let mut sim = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            horizon,
+        )
+        .unwrap();
+        sim.set_control_plane(1, 0, 0);
+        let plane = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
+        assert_eq!(direct, plane);
+        assert_eq!(
+            direct.to_json().to_string_compact(),
+            plane.to_json().to_string_compact()
+        );
+        // And nothing was rejected, dropped, or expired on the way.
+        assert_eq!(plane.metrics.counter("work.commit.rejected"), 0);
+        assert_eq!(plane.metrics.counter("work.commit.dropped_unowned"), 0);
+        assert_eq!(plane.metrics.counter("work.commit.expired"), 0);
+        assert_eq!(
+            plane.metrics.counter("work.commit.planned"),
+            plane.metrics.counter("work.commit.accepted")
+        );
+    }
+
+    #[test]
+    fn single_scheduler_plane_ignores_staleness() {
+        // With one scheduler the merge degenerates to the fresh view, so
+        // any staleness setting reproduces the direct path.
+        let s = Scenario::datacenter(6, 24, 23);
+        let horizon = SimDuration::from_hours(12);
+        let run = |staleness: usize| {
+            let mut sim = DatacenterSim::new(
+                &s,
+                Some(manager(PowerPolicy::reactive_suspend(), &s)),
+                s.demand_step(),
+                horizon,
+            )
+            .unwrap();
+            sim.set_control_plane(1, staleness, 0);
+            sim.run_inner().map(|(r, _, _, _)| r).unwrap()
+        };
+        assert_eq!(run(0), run(5));
+    }
+
+    #[test]
+    fn multi_scheduler_plane_is_deterministic_and_ledger_balanced() {
+        let run = || {
+            let s = Scenario::datacenter(8, 32, 22);
+            let mut sim = DatacenterSim::new(
+                &s,
+                Some(manager(PowerPolicy::reactive_suspend(), &s)),
+                s.demand_step(),
+                SimDuration::from_hours(24),
+            )
+            .unwrap();
+            sim.set_control_plane(4, 2, 1);
+            sim.enable_event_log();
+            sim.run_inner().map(|(r, _, _, _)| r).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // The stale-view fleet still saves power...
+        assert!(a.power_downs > 0, "stale schedulers must still park hosts");
+        // ...and the commit ledger closes exactly.
+        let m = &a.metrics;
+        assert_eq!(
+            m.counter("work.commit.planned"),
+            m.counter("work.commit.accepted")
+                + m.counter("work.commit.rejected")
+                + m.counter("work.commit.dropped_unowned")
+                + m.counter("work.commit.expired")
+        );
+        // Every store rejection surfaced as a logged event and counter.
+        let rejected_events = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CommitRejected { .. }))
+            .count() as u64;
+        assert_eq!(rejected_events, m.counter("work.commit.rejected"));
+        assert_eq!(rejected_events, m.counter("sim.commits.rejected"));
+    }
+
+    #[test]
+    fn control_latency_expires_the_last_batches() {
+        // latency = 1: the final tick's plan is still aging when the
+        // horizon closes, so whatever it planned expires.
+        let s = Scenario::datacenter(6, 24, 24);
+        let mut sim = DatacenterSim::new(
+            &s,
+            Some(manager(PowerPolicy::reactive_suspend(), &s)),
+            s.demand_step(),
+            SimDuration::from_hours(12),
+        )
+        .unwrap();
+        sim.set_control_plane(2, 0, 1);
+        let report = sim.run_inner().map(|(r, _, _, _)| r).unwrap();
+        let m = &report.metrics;
+        assert_eq!(
+            m.counter("work.commit.planned"),
+            m.counter("work.commit.accepted")
+                + m.counter("work.commit.rejected")
+                + m.counter("work.commit.dropped_unowned")
+                + m.counter("work.commit.expired")
+        );
     }
 }

@@ -5,7 +5,7 @@ use std::fmt;
 
 use cluster::{ClusterError, VmId};
 
-/// Errors returned by [`crate::Experiment::run`].
+/// Errors returned by [`crate::SimulationBuilder`] runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {

@@ -99,6 +99,14 @@ pub enum EventKind {
         /// The VM.
         vm: VmId,
     },
+    /// The placement store refused a scheduler's commit (allocation race
+    /// or stale belief); the owning scheduler re-plans next round.
+    CommitRejected {
+        /// The scheduler whose commit was refused.
+        scheduler: u32,
+        /// Why the store refused it.
+        reason: agile_core::ConflictReason,
+    },
 }
 
 fn parse_state(s: &str) -> Result<PowerState, JsonError> {
@@ -210,6 +218,12 @@ impl EventRecord {
                 ("phase", Json::Str("departed".into())),
                 ("vm", Json::Int(vm.index() as i64)),
             ]),
+            EventKind::CommitRejected { scheduler, reason } => Json::obj([
+                ("record", Json::Str("commit-rejected".into())),
+                t,
+                ("scheduler", Json::Int(scheduler as i64)),
+                ("reason", Json::Str(reason.label().into())),
+            ]),
         }
     }
 
@@ -281,6 +295,19 @@ impl EventRecord {
             ("vm-lifecycle", Some("deferred")) => EventKind::VmArrivalDeferred { vm: vm("vm")? },
             ("vm-lifecycle", Some("rejected")) => EventKind::VmArrivalRejected { vm: vm("vm")? },
             ("vm-lifecycle", Some("departed")) => EventKind::VmDeparted { vm: vm("vm")? },
+            ("commit-rejected", _) => EventKind::CommitRejected {
+                scheduler: json
+                    .get("scheduler")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| field_err("scheduler"))? as u32,
+                reason: {
+                    let label = str_field("reason")?;
+                    agile_core::ConflictReason::from_label(label).ok_or_else(|| JsonError {
+                        message: format!("unknown conflict reason {label:?}"),
+                        offset: 0,
+                    })?
+                },
+            },
             (record, phase) => {
                 return Err(JsonError {
                     message: format!("unknown event record {record:?} phase {phase:?}"),
@@ -318,6 +345,9 @@ impl fmt::Display for EventRecord {
                 write!(f, "{vm} admission rejected (no capacity before horizon)")
             }
             EventKind::VmDeparted { vm } => write!(f, "{vm} retired"),
+            EventKind::CommitRejected { scheduler, reason } => {
+                write!(f, "scheduler {scheduler} commit rejected ({reason})")
+            }
         }
     }
 }
@@ -383,6 +413,10 @@ mod tests {
             EventKind::VmArrivalDeferred { vm: VmId(1) },
             EventKind::VmArrivalRejected { vm: VmId(1) },
             EventKind::VmDeparted { vm: VmId(1) },
+            EventKind::CommitRejected {
+                scheduler: 2,
+                reason: agile_core::ConflictReason::Headroom,
+            },
         ];
         for kind in kinds {
             let e = EventRecord {

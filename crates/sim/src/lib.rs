@@ -15,8 +15,9 @@
 //!   analytic DVFS mode) and produces a [`SimOutput`].
 //! * [`DatacenterSim`] — the underlying event loop, for callers that need
 //!   custom instrumentation.
-//! * [`sweeps`] — drivers for the sweep-style experiments (wake latency,
-//!   load proportionality, headroom, hysteresis).
+//! * [`sweeps::SweepBuilder`] — the one sweep engine: axis values ×
+//!   legs × replication seeds, executed through the bounded worker pool
+//!   (wake latency, load proportionality, headroom, scale-out, ...).
 //! * [`report`] — plain-text table/series formatting shared by the bench
 //!   binaries.
 //!
@@ -60,3 +61,4 @@ pub use metrics::SimReport;
 pub use replication::{replicate, MetricStats, ReplicationSummary};
 pub use runner::Experiment;
 pub use scenario::Scenario;
+pub use sweeps::{SweepBuilder, SweepRow};

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use agile_core::{ManagerConfig, PlanMode, PowerPolicy, RoundStats, VirtManager};
-use cluster::{AccountingMode, Cluster};
+use cluster::AccountingMode;
 use obs::{JsonlSink, MetricsSnapshot};
 use simcore::{SimDuration, SimTime};
 
@@ -14,8 +14,9 @@ use crate::{DatacenterSim, FailureModel, Scenario, SimError, SimReport};
 ///
 /// `Experiment` describes *what* to simulate; hand it to
 /// [`crate::SimulationBuilder`] to choose *how* to run it (thread count,
-/// profiling, cluster capture) and to execute. The legacy `run*` methods
-/// on this type are thin deprecated shims over the builder.
+/// profiling, cluster capture) and to execute. The builder is the only
+/// entry point — the legacy `Experiment::run*` shims were removed after
+/// their one-release deprecation window.
 ///
 /// The [`PowerPolicy::Oracle`] policy is evaluated analytically — ideal
 /// consolidation with free transitions on the same hardware curves — and
@@ -57,6 +58,9 @@ pub struct Experiment {
     trace_path: Option<PathBuf>,
     accounting: AccountingMode,
     plan_mode: Option<PlanMode>,
+    schedulers: Option<usize>,
+    view_staleness: Option<usize>,
+    control_latency: Option<usize>,
 }
 
 /// Where the manager configuration comes from: a bare policy gets
@@ -81,6 +85,9 @@ impl Experiment {
             trace_path: None,
             accounting: AccountingMode::default(),
             plan_mode: None,
+            schedulers: None,
+            view_staleness: None,
+            control_latency: None,
         }
     }
 
@@ -174,6 +181,50 @@ impl Experiment {
         self
     }
 
+    /// Runs `count` concurrent scheduler replicas over fixed contiguous
+    /// host partitions, every commit arbitrated by the shared
+    /// conflict-checked placement store. Setting any control-plane knob
+    /// (this, [`view_staleness`](Self::view_staleness), or
+    /// [`control_latency`](Self::control_latency)) routes the run through
+    /// the distributed commit path; `schedulers(1)` with zero staleness
+    /// and latency reproduces the default path byte-identically, which is
+    /// what the differential suite verifies. Ignored by the analytic
+    /// (`Oracle`/DVFS) paths — the builder rejects the combination.
+    pub fn schedulers(mut self, count: usize) -> Self {
+        self.schedulers = Some(count);
+        self
+    }
+
+    /// Each scheduler observes remote partitions through a snapshot this
+    /// many control rounds old (default 0 = fully fresh). Only visible
+    /// with more than one scheduler; implies the distributed commit path.
+    pub fn view_staleness(mut self, rounds: usize) -> Self {
+        self.view_staleness = Some(rounds);
+        self
+    }
+
+    /// Plans computed at tick `t` commit at tick `t + rounds` (default 0
+    /// = same tick). Implies the distributed commit path.
+    pub fn control_latency(mut self, rounds: usize) -> Self {
+        self.control_latency = Some(rounds);
+        self
+    }
+
+    /// The resolved control-plane knobs — `Some` iff any of them was set.
+    pub(crate) fn control_plane_knobs(&self) -> Option<(usize, usize, usize)> {
+        if self.schedulers.is_none()
+            && self.view_staleness.is_none()
+            && self.control_latency.is_none()
+        {
+            return None;
+        }
+        Some((
+            self.schedulers.unwrap_or(1),
+            self.view_staleness.unwrap_or(0),
+            self.control_latency.unwrap_or(0),
+        ))
+    }
+
     /// The scenario under test.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
@@ -197,77 +248,6 @@ impl Experiment {
         self.horizon
     }
 
-    /// Runs the experiment.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if the initial placement fails or the engine
-    /// hits an unrecoverable cluster error.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).build()?.run()`"
-    )]
-    pub fn run(&self) -> Result<SimReport, SimError> {
-        crate::SimulationBuilder::new(self.clone())
-            .build()?
-            .run()
-            .map(|out| out.report)
-    }
-
-    /// Runs the experiment and also returns the final cluster for
-    /// per-host inspection.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] as for [`run`](Self::run).
-    ///
-    /// # Panics
-    ///
-    /// Panics for the `Oracle` policy, which has no cluster.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).capture_cluster(true)` and read `SimOutput::cluster`"
-    )]
-    pub fn run_detailed(&self) -> Result<(SimReport, Cluster), SimError> {
-        assert!(!self.is_oracle(), "Oracle policy has no cluster; use run()");
-        let out = crate::SimulationBuilder::new(self.clone())
-            .capture_cluster(true)
-            .build()?
-            .run()?;
-        let cluster = out.cluster.expect("engine run captured the cluster");
-        Ok((out.report, cluster))
-    }
-
-    /// Runs the experiment with wall-clock phase profiling enabled and
-    /// returns the profile alongside the report. The profile is returned
-    /// out-of-band because wall time must never enter the
-    /// bit-deterministic [`SimReport`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] as for [`run`](Self::run).
-    ///
-    /// # Panics
-    ///
-    /// Panics for the `Oracle` policy, which has no event loop to
-    /// profile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).profiling(true)` and read `SimOutput::profile`"
-    )]
-    pub fn run_profiled(&self) -> Result<(SimReport, obs::ProfileSummary), SimError> {
-        assert!(
-            !self.is_oracle(),
-            "Oracle policy has no event loop; use run()"
-        );
-        let out = crate::SimulationBuilder::new(self.clone())
-            .profiling(true)
-            .build()?
-            .run()?;
-        let profile = out.profile.expect("profiled run returned a profile");
-        Ok((out.report, profile))
-    }
-
     pub(crate) fn build_sim(&self) -> Result<DatacenterSim, SimError> {
         let interval = self
             .control_interval
@@ -278,6 +258,9 @@ impl Experiment {
             self.scenario.fleet().len(),
         );
         let mut sim = DatacenterSim::new(&self.scenario, Some(manager), interval, self.horizon)?;
+        if let Some((schedulers, staleness, latency)) = self.control_plane_knobs() {
+            sim.set_control_plane(schedulers, staleness, latency);
+        }
         sim.set_accounting_mode(self.accounting);
         sim.set_failure_model(self.failures);
         if self.record_events {
@@ -293,23 +276,13 @@ impl Experiment {
         Ok(sim)
     }
 
-    /// Analytic DVFS-only baseline: every host stays on and
-    /// independently clocks down to the lowest sufficient frequency for
-    /// its share of demand (perfectly balanced across the fleet). No
+    /// The analytic DVFS-only evaluation behind the builder's DVFS mode
+    /// ([`crate::SimulationBuilder::dvfs_baseline`]): every host stays on
+    /// and independently clocks down to the lowest sufficient frequency
+    /// for its share of demand (perfectly balanced across the fleet). No
     /// consolidation, no power states — the classic alternative the
     /// paper's platform low-power states are contrasted against.
     /// Serves everything (violations zero) since capacity never leaves.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimulationBuilder::new(experiment).dvfs_baseline(model)`"
-    )]
-    pub fn run_dvfs_baseline(&self, dvfs: &power::DvfsModel) -> SimReport {
-        self.dvfs_report(dvfs)
-    }
-
-    /// The analytic DVFS-only evaluation behind
-    /// [`run_dvfs_baseline`](Self::run_dvfs_baseline) and the builder's
-    /// DVFS mode.
     pub(crate) fn dvfs_report(&self, dvfs: &power::DvfsModel) -> SimReport {
         let interval = self
             .control_interval
@@ -471,14 +444,10 @@ impl Experiment {
     }
 }
 
-// These tests exercise the deprecated `Experiment::run*` shims on
-// purpose — they are the compatibility coverage for the one-release
-// deprecation window. Everything else in the workspace goes through
-// `SimulationBuilder`.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::SimulationBuilder;
 
     #[test]
     fn policy_ladder_orders_energy() {
@@ -486,10 +455,8 @@ mod tests {
         let scenario = Scenario::datacenter(8, 32, 11);
         let horizon = SimDuration::from_hours(24);
         let run = |p: PowerPolicy| {
-            Experiment::new(scenario.clone())
-                .policy(p)
-                .horizon(horizon)
-                .run()
+            SimulationBuilder::new(Experiment::new(scenario.clone()).policy(p).horizon(horizon))
+                .run_report()
                 .unwrap()
         };
         let base = run(PowerPolicy::always_on());
@@ -511,11 +478,13 @@ mod tests {
 
     #[test]
     fn oracle_has_no_violations_or_actions() {
-        let r = Experiment::new(Scenario::small_test(3))
-            .policy(PowerPolicy::oracle())
-            .horizon(SimDuration::from_hours(4))
-            .run()
-            .unwrap();
+        let r = SimulationBuilder::new(
+            Experiment::new(Scenario::small_test(3))
+                .policy(PowerPolicy::oracle())
+                .horizon(SimDuration::from_hours(4)),
+        )
+        .run_report()
+        .unwrap();
         assert_eq!(r.violation_fraction, 0.0);
         assert_eq!(r.migrations, 0);
         assert_eq!(r.power_ups + r.power_downs, 0);
@@ -529,15 +498,21 @@ mod tests {
         let e = Experiment::new(Scenario::small_test(4)).manager_config(cfg);
         // With 3 spares demanded on a 4-host cluster, consolidation can
         // barely act; the run must still complete.
-        let r = e.horizon(SimDuration::from_hours(2)).run().unwrap();
+        let r = SimulationBuilder::new(e.horizon(SimDuration::from_hours(2)))
+            .run_report()
+            .unwrap();
         assert_eq!(r.policy, "PM-Suspend(S3)");
     }
 
     #[test]
-    #[should_panic(expected = "Oracle policy has no cluster")]
-    fn run_detailed_rejects_oracle() {
-        let _ = Experiment::new(Scenario::small_test(5))
-            .policy(PowerPolicy::oracle())
-            .run_detailed();
+    fn control_plane_knobs_default_to_unset() {
+        let e = Experiment::new(Scenario::small_test(5));
+        assert_eq!(e.control_plane_knobs(), None);
+        // Setting any one knob engages the distributed commit path with
+        // defaults for the others.
+        let e = e.view_staleness(2);
+        assert_eq!(e.control_plane_knobs(), Some((1, 2, 0)));
+        let e = e.schedulers(4).control_latency(1);
+        assert_eq!(e.control_plane_knobs(), Some((4, 2, 1)));
     }
 }

@@ -40,7 +40,8 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if there are no hosts, the fleet is empty, or `demand_step`
-    /// is zero.
+    /// is zero. Use [`try_new`](Self::try_new) to get these as values
+    /// instead.
     pub fn new(
         name: impl Into<String>,
         host_specs: Vec<HostSpec>,
@@ -48,16 +49,46 @@ impl Scenario {
         demand_step: SimDuration,
         seed: u64,
     ) -> Self {
-        assert!(!host_specs.is_empty(), "scenario needs hosts");
-        assert!(!fleet.is_empty(), "scenario needs VMs");
-        assert!(!demand_step.is_zero(), "demand step must be non-zero");
-        Scenario {
+        match Self::try_new(name, host_specs, fleet, demand_step, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a scenario from parts, reporting inconsistencies as values
+    /// — the `try_*` counterpart of [`new`](Self::new), for drivers that
+    /// assemble worlds from external input (CLI arguments, sweep specs).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::InvalidConfig`] if there are no hosts, the
+    /// fleet is empty, or `demand_step` is zero.
+    pub fn try_new(
+        name: impl Into<String>,
+        host_specs: Vec<HostSpec>,
+        fleet: Fleet,
+        demand_step: SimDuration,
+        seed: u64,
+    ) -> Result<Self, crate::SimError> {
+        let invalid = |message: &str| crate::SimError::InvalidConfig {
+            message: message.to_string(),
+        };
+        if host_specs.is_empty() {
+            return Err(invalid("scenario needs hosts"));
+        }
+        if fleet.is_empty() {
+            return Err(invalid("scenario needs VMs"));
+        }
+        if demand_step.is_zero() {
+            return Err(invalid("demand step must be non-zero"));
+        }
+        Ok(Scenario {
             name: name.into(),
             host_specs,
             fleet,
             demand_step,
             seed,
-        }
+        })
     }
 
     /// A tiny world for tests and the quickstart example: 4 prototype
@@ -245,5 +276,58 @@ mod tests {
         let s = Scenario::datacenter(16, 64, 2);
         let host_mem: f64 = s.host_specs().iter().map(|h| h.capacity().mem_gb).sum();
         assert!(s.fleet().total_mem_gb() < 0.5 * host_mem);
+    }
+
+    #[test]
+    fn try_new_reports_inconsistencies_as_values() {
+        use crate::SimError;
+        let donor = Scenario::small_test(1);
+        let step = donor.demand_step();
+        let err =
+            Scenario::try_new("no-hosts", Vec::new(), donor.fleet().clone(), step, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("needs hosts"), "{err}");
+        let err = Scenario::try_new(
+            "no-vms",
+            donor.host_specs().to_vec(),
+            Fleet::from_parts(Vec::new(), Vec::new()),
+            step,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("needs VMs"), "{err}");
+        let err = Scenario::try_new(
+            "no-step",
+            donor.host_specs().to_vec(),
+            donor.fleet().clone(),
+            SimDuration::ZERO,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("non-zero"), "{err}");
+        // The happy path matches the panicking constructor.
+        let ok = Scenario::try_new(
+            "ok",
+            donor.host_specs().to_vec(),
+            donor.fleet().clone(),
+            step,
+            1,
+        )
+        .unwrap();
+        assert_eq!(ok.host_specs().len(), donor.host_specs().len());
+        assert_eq!(ok.fleet(), donor.fleet());
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario needs hosts")]
+    fn new_still_panics_on_empty_hosts() {
+        let donor = Scenario::small_test(1);
+        let _ = Scenario::new(
+            "bad",
+            Vec::new(),
+            donor.fleet().clone(),
+            donor.demand_step(),
+            1,
+        );
     }
 }

@@ -84,6 +84,9 @@ pub(crate) struct SimTelemetry {
     pub power_hangs: CounterId,
     /// `sim.actions.rejected` — stale actions the cluster refused.
     pub action_rejections: CounterId,
+    /// `sim.commits.rejected` — scheduler commits the placement store
+    /// refused (allocation races, stale beliefs).
+    pub commit_rejections: CounterId,
     /// `sim.vm.arrivals`.
     pub vm_arrivals: CounterId,
     /// `sim.vm.deferred`.
@@ -122,6 +125,7 @@ impl SimTelemetry {
         let power_failures = registry.counter("sim.power.failed");
         let power_hangs = registry.counter("sim.power.stuck");
         let action_rejections = registry.counter("sim.actions.rejected");
+        let commit_rejections = registry.counter("sim.commits.rejected");
         let vm_arrivals = registry.counter("sim.vm.arrivals");
         let vm_deferrals = registry.counter("sim.vm.deferred");
         let vm_rejections = registry.counter("sim.vm.rejected");
@@ -144,6 +148,7 @@ impl SimTelemetry {
             power_failures,
             power_hangs,
             action_rejections,
+            commit_rejections,
             vm_arrivals,
             vm_deferrals,
             vm_rejections,
@@ -174,6 +179,7 @@ impl SimTelemetry {
             EventKind::VmArrivalDeferred { .. } => self.registry.inc(self.vm_deferrals),
             EventKind::VmArrivalRejected { .. } => self.registry.inc(self.vm_rejections),
             EventKind::VmDeparted { .. } => self.registry.inc(self.vm_departures),
+            EventKind::CommitRejected { .. } => self.registry.inc(self.commit_rejections),
         }
     }
 

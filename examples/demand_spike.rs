@@ -10,16 +10,20 @@
 //! cargo run --release --example demand_spike
 //! ```
 
-use agilepm::sim::sweeps::wake_latency_sweep;
+use agilepm::sim::SweepBuilder;
 use agilepm::simcore::{SimDuration, SimTime};
 
 fn main() {
     let latencies = [SimDuration::from_secs(12), SimDuration::from_secs(300)];
-    let results = wake_latency_sweep(16, 96, &latencies, 11).expect("scenario is well-formed");
+    let results = SweepBuilder::wake_latency(16, 96, &latencies, 11)
+        .run()
+        .expect("scenario is well-formed");
 
-    for (latency, report) in &results {
+    for row in &results {
+        let report = row.report();
         println!(
-            "wake latency {latency:>4}: unserved {:.4}%, violation ticks {:.1}%, {} wakes",
+            "wake latency {:>4}: unserved {:.4}%, violation ticks {:.1}%, {} wakes",
+            row.value,
             report.unserved_ratio * 100.0,
             report.violation_fraction * 100.0,
             report.power_ups,
@@ -32,8 +36,16 @@ fn main() {
     let start = SimTime::ZERO + SimDuration::from_mins(85);
     for k in 0..24 {
         let t = start + SimDuration::from_mins(1) * k;
-        let fast = results[0].1.unserved_series.value_at(t).unwrap_or(0.0);
-        let slow = results[1].1.unserved_series.value_at(t).unwrap_or(0.0);
+        let fast = results[0]
+            .report()
+            .unserved_series
+            .value_at(t)
+            .unwrap_or(0.0);
+        let slow = results[1]
+            .report()
+            .unserved_series
+            .value_at(t)
+            .unwrap_or(0.0);
         println!(
             "{:>7.0}  {:>10.1}  {:>10.1}",
             t.as_secs_f64() / 60.0,

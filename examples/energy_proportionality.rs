@@ -11,7 +11,7 @@
 //! ```
 
 use agilepm::core::PowerPolicy;
-use agilepm::sim::sweeps::proportionality_sweep;
+use agilepm::sim::SweepBuilder;
 
 fn main() {
     let levels = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -19,14 +19,16 @@ fn main() {
     let vms = 64;
     let seed = 5;
 
-    let base = proportionality_sweep(hosts, vms, &levels, PowerPolicy::always_on(), seed)
-        .expect("scenario is well-formed");
-    let pm = proportionality_sweep(hosts, vms, &levels, PowerPolicy::reactive_suspend(), seed)
-        .expect("scenario is well-formed");
-    let oracle = proportionality_sweep(hosts, vms, &levels, PowerPolicy::oracle(), seed)
-        .expect("scenario is well-formed");
+    let run = |policy: PowerPolicy| {
+        SweepBuilder::proportionality(hosts, vms, &levels, policy, seed)
+            .run()
+            .expect("scenario is well-formed")
+    };
+    let base = run(PowerPolicy::always_on());
+    let pm = run(PowerPolicy::reactive_suspend());
+    let oracle = run(PowerPolicy::oracle());
 
-    let peak = base.last().expect("non-empty sweep").1.avg_power_w();
+    let peak = base.last().expect("non-empty sweep").report().avg_power_w();
     println!(
         "{:>5}  {:>9}  {:>12}  {:>7}  {:>6}",
         "load", "AlwaysOn", "PM-Suspend", "Oracle", "ideal"
@@ -35,9 +37,9 @@ fn main() {
         println!(
             "{:>4.0}%  {:>9.2}  {:>12.2}  {:>7.2}  {:>6.2}",
             level * 100.0,
-            base[i].1.avg_power_w() / peak,
-            pm[i].1.avg_power_w() / peak,
-            oracle[i].1.avg_power_w() / peak,
+            base[i].report().avg_power_w() / peak,
+            pm[i].report().avg_power_w() / peak,
+            oracle[i].report().avg_power_w() / peak,
             level,
         );
     }

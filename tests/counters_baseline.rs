@@ -15,7 +15,9 @@
 //! differential suite proves that on generated worlds, this pins it on
 //! the big one) and the `work.index.*` maintenance counters, whose
 //! drift would mean the index is being refreshed or re-bucketed on a
-//! different schedule.
+//! different schedule. The distributed run pins the placement store's
+//! commit arbitration under 4 schedulers with stale views and delayed
+//! commits.
 
 use std::path::Path;
 
@@ -71,6 +73,35 @@ fn ladder_counters() -> Vec<(String, u64)> {
     )
 }
 
+/// The distributed run pins the control plane's commit arbitration: the
+/// pinned scenario planned by 4 schedulers over 1-round-stale partial
+/// views with a 1-round commit latency (indexed planning), so the
+/// `work.commit.*` ledger — accepts, per-reason rejections, unowned
+/// drops, horizon expiries — is gated exactly alongside the plan
+/// counters.
+fn distributed_counters() -> Vec<(String, u64)> {
+    let report = SimulationBuilder::new(
+        Experiment::new(Scenario::datacenter(HOSTS, HOSTS * 6, SEED))
+            .policy(PowerPolicy::reactive_suspend())
+            .horizon(SimDuration::from_hours(24))
+            .plan_mode(PlanMode::Indexed)
+            .schedulers(4)
+            .view_staleness(1)
+            .control_latency(1),
+    )
+    .run_report()
+    .expect("pinned distributed run succeeds");
+    report
+        .metrics
+        .entries
+        .iter()
+        .filter_map(|e| match &e.value {
+            MetricValue::Counter(v) if e.name.starts_with("work.") => Some((e.name.clone(), *v)),
+            _ => None,
+        })
+        .collect()
+}
+
 fn render_counters(out: &mut String, key: &str, counters: &[(String, u64)], last: bool) {
     out.push_str(&format!("  \"{key}\": {{\n"));
     for (i, (name, value)) in counters.iter().enumerate() {
@@ -86,6 +117,7 @@ fn render_baseline(
     scan: &[(String, u64)],
     indexed: &[(String, u64)],
     ladder: &[(String, u64)],
+    distributed: &[(String, u64)],
 ) -> String {
     let mut out = format!(
         "{{\n  \"scenario\": \"datacenter-{HOSTS}\",\n  \"seed\": {SEED},\n  \
@@ -93,7 +125,8 @@ fn render_baseline(
     );
     render_counters(&mut out, "counters", scan, false);
     render_counters(&mut out, "counters_indexed", indexed, false);
-    render_counters(&mut out, "counters_ladder", ladder, true);
+    render_counters(&mut out, "counters_ladder", ladder, false);
+    render_counters(&mut out, "counters_distributed", distributed, true);
     out.push_str("}\n");
     out
 }
@@ -126,6 +159,7 @@ fn work_counters_match_the_blessed_baseline_exactly() {
     let scan = work_counters(PlanMode::Scan);
     let indexed = work_counters(PlanMode::Indexed);
     let ladder = ladder_counters();
+    let distributed = distributed_counters();
     assert!(!scan.is_empty(), "pinned run produced no work.* counters");
     assert!(
         indexed
@@ -137,9 +171,19 @@ fn work_counters_match_the_blessed_baseline_exactly() {
         !ladder.is_empty(),
         "pinned ladder run produced no work.* counters"
     );
+    assert!(
+        distributed
+            .iter()
+            .any(|(n, v)| n == "work.commit.rejected" && *v > 0),
+        "pinned distributed run never hit a commit conflict"
+    );
 
     if std::env::var_os("AGILEPM_BLESS").is_some() {
-        std::fs::write(&path, render_baseline(&scan, &indexed, &ladder)).expect("write baseline");
+        std::fs::write(
+            &path,
+            render_baseline(&scan, &indexed, &ladder, &distributed),
+        )
+        .expect("write baseline");
         return;
     }
 
@@ -154,6 +198,7 @@ fn work_counters_match_the_blessed_baseline_exactly() {
         ("counters", &scan),
         ("counters_indexed", &indexed),
         ("counters_ladder", &ladder),
+        ("counters_distributed", &distributed),
     ] {
         let blessed = json
             .get(key)

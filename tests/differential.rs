@@ -14,7 +14,7 @@
 //!   worker threads (the deterministic-sharding contract);
 //! * `u16`-quantized vs dense f64 demand traces carrying the same
 //!   decoded samples;
-//! * pooled (`scale_sweep_policies`) vs serial sweep execution;
+//! * pooled (`SweepBuilder::scale`) vs serial sweep execution;
 //! * a JSONL trace sink attached vs no sink at all;
 //! * the hierarchical span tracer enabled vs disabled (and with it the
 //!   deterministic `work.*` op-counters, which ride in the report's
@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use agilepm::cluster::AccountingMode;
 use agilepm::core::{PlanMode, PowerPolicy};
-use agilepm::sim::{sweeps, Experiment, Scenario, SimReport, SimulationBuilder};
+use agilepm::sim::{Experiment, Scenario, SimReport, SimulationBuilder, SweepBuilder};
 use agilepm::simcore::SimDuration;
 use agilepm::workload::{DemandTrace, Fleet};
 use check::gen;
@@ -315,7 +315,7 @@ fn quantized_traces_match_dense_traces_with_the_same_samples() {
 
 #[test]
 fn pooled_sweep_matches_serial_loop() {
-    // scale_sweep_policies dispatches the (size, policy) grid through
+    // SweepBuilder::scale dispatches the (size, policy) grid through
     // the bounded worker pool; the result must equal running the same
     // grid serially, run by run.
     let sizes_and_seed = gen::usize_in(2..=4)
@@ -328,8 +328,20 @@ fn pooled_sweep_matches_serial_loop() {
         |&((small, large), seed)| {
             let host_counts = [small, large];
             let policies = [PowerPolicy::always_on(), PowerPolicy::reactive_suspend()];
-            let pooled = sweeps::scale_sweep_policies(&host_counts, &policies, seed)
-                .map_err(|e| format!("pooled sweep failed: {e:?}"))?;
+            let pooled: Vec<(usize, PowerPolicy, SimReport)> =
+                SweepBuilder::scale(&host_counts, &policies, seed)
+                    .run()
+                    .map_err(|e| format!("pooled sweep failed: {e:?}"))?
+                    .into_iter()
+                    .flat_map(|row| {
+                        let hosts = row.value;
+                        policies
+                            .iter()
+                            .copied()
+                            .zip(row.reports)
+                            .map(move |(policy, report)| (hosts, policy, report))
+                    })
+                    .collect();
             let mut serial = Vec::new();
             for &hosts in &host_counts {
                 for &policy in &policies {
@@ -506,4 +518,122 @@ fn policy_ladder_orders_energy_on_generated_diurnal_worlds() {
         check_report(&scenario, &base)?;
         check_energy_ordering(&oracle, &managed, &base, 0.002).map_err(|e| format!("{spec:?}: {e}"))
     });
+}
+
+#[test]
+fn single_scheduler_plane_matches_direct_path() {
+    // The distributed control plane at `schedulers = 1`, zero view
+    // staleness, zero control latency is the global planner routed
+    // through the placement store: every planned action must clear the
+    // conflict check, and the report must come back bit-identical to
+    // the direct path (same plan mode, whatever the CI leg set).
+    check::check("schedulers=1 == direct path", &experiment_spec(), |spec| {
+        let scenario = spec.scenario.build();
+        let direct = check_support::run_experiment(spec.direct_experiment().record_events())
+            .map_err(|e| format!("{spec:?}: direct run failed: {e:?}"))?;
+        let plane = check_support::run_experiment(
+            spec.direct_experiment()
+                .schedulers(1)
+                .view_staleness(0)
+                .control_latency(0)
+                .record_events(),
+        )
+        .map_err(|e| format!("{spec:?}: control-plane run failed: {e:?}"))?;
+        // Non-vacuous: the plane leg really went through the store and
+        // the store refused nothing.
+        check::prop_assert_eq!(
+            plane.metrics.counter("work.commit.rejected"),
+            0,
+            "{spec:?}: single-scheduler plane rejected a commit"
+        );
+        check::prop_assert_eq!(
+            plane.metrics.counter("work.commit.planned"),
+            plane.metrics.counter("work.commit.accepted"),
+            "{spec:?}: single-scheduler plane lost planned actions"
+        );
+        assert_equivalent(&scenario, &plane, &direct, "plane-vs-direct")
+    });
+}
+
+#[test]
+fn single_scheduler_plane_is_staleness_invariant() {
+    // View staleness only matters when partitioned views can diverge;
+    // with one scheduler the merged view IS the fresh observation, so
+    // any staleness bound must reproduce the direct path bit-exactly.
+    let input = experiment_spec().zip(&gen::usize_in(1..=4));
+    check::check_cases(
+        "schedulers=1 is staleness-invariant",
+        32,
+        &input,
+        |(spec, staleness)| {
+            let scenario = spec.scenario.build();
+            let direct = check_support::run_experiment(spec.direct_experiment().record_events())
+                .map_err(|e| format!("{spec:?}: direct run failed: {e:?}"))?;
+            let plane = check_support::run_experiment(
+                spec.direct_experiment()
+                    .schedulers(1)
+                    .view_staleness(*staleness)
+                    .record_events(),
+            )
+            .map_err(|e| format!("{spec:?}/staleness={staleness}: plane run failed: {e:?}"))?;
+            assert_equivalent(&scenario, &plane, &direct, "plane-staleness-vs-direct")
+        },
+    );
+}
+
+#[test]
+fn single_scheduler_plane_matches_direct_under_fault_injection() {
+    // Fault injection perturbs the ground truth the store checks
+    // against (failed resumes, aborted migrations, hung transitions);
+    // a single-scheduler plane observing the same post-fault state must
+    // still plan and commit identically to the direct path.
+    let input = experiment_spec().zip(&failure_spec(499));
+    check::check_cases(
+        "schedulers=1 == direct under faults",
+        32,
+        &input,
+        |(spec, failures)| {
+            let scenario = spec.scenario.build();
+            let run = |plane: bool| {
+                let mut experiment = spec.direct_experiment();
+                if plane {
+                    experiment = experiment.schedulers(1);
+                }
+                check_support::run_experiment(
+                    experiment.failure_model(failures.build()).record_events(),
+                )
+                .map_err(|e| format!("{spec:?}/{failures:?}: run failed: {e:?}"))
+            };
+            let plane = run(true)?;
+            let direct = run(false)?;
+            assert_equivalent(&scenario, &plane, &direct, "plane-vs-direct-faults")
+        },
+    );
+}
+
+#[test]
+fn single_scheduler_plane_matches_direct_on_the_sharded_engine() {
+    // The control plane sits on the serial control path; the sharded
+    // tick engine underneath must not be observable through it.
+    check::check_cases(
+        "schedulers=1 == direct, 4 worker threads",
+        32,
+        &experiment_spec(),
+        |spec| {
+            let scenario = spec.scenario.build();
+            let run = |plane: bool| {
+                let mut experiment = spec.direct_experiment();
+                if plane {
+                    experiment = experiment.schedulers(1);
+                }
+                SimulationBuilder::new(experiment.record_events())
+                    .threads(4)
+                    .run_report()
+                    .map_err(|e| format!("{spec:?}: run failed: {e:?}"))
+            };
+            let plane = run(true)?;
+            let direct = run(false)?;
+            assert_equivalent(&scenario, &plane, &direct, "plane-vs-direct-sharded")
+        },
+    );
 }

@@ -5,7 +5,7 @@
 use agilepm::core::PowerPolicy;
 use agilepm::power::breakeven::{break_even_gap, LowPowerMode};
 use agilepm::power::HostPowerProfile;
-use agilepm::sim::sweeps::{proportionality_sweep, wake_latency_sweep};
+use agilepm::sim::SweepBuilder;
 use agilepm::sim::{Experiment, Scenario, SimulationBuilder};
 use agilepm::simcore::SimDuration;
 
@@ -103,9 +103,11 @@ fn claim2b_wake_latency_crossover() {
         SimDuration::from_secs(120),
         SimDuration::from_secs(600),
     ];
-    let results = wake_latency_sweep(16, 96, &latencies, 17).expect("scenario runs");
-    let fast = results[0].1.unserved_ratio;
-    let slow = results[2].1.unserved_ratio;
+    let results = SweepBuilder::wake_latency(16, 96, &latencies, 17)
+        .run()
+        .expect("scenario runs");
+    let fast = results[0].report().unserved_ratio;
+    let slow = results[2].report().unserved_ratio;
     assert!(
         slow > 1.5 * fast,
         "10 min boots should hurt much more than 12 s resumes ({slow:.4} vs {fast:.4})"
@@ -113,7 +115,7 @@ fn claim2b_wake_latency_crossover() {
     // Monotone non-decreasing across the sweep.
     for pair in results.windows(2) {
         assert!(
-            pair[1].1.unserved_ratio >= pair[0].1.unserved_ratio - 1e-9,
+            pair[1].report().unserved_ratio >= pair[0].report().unserved_ratio - 1e-9,
             "unserved not monotone in latency"
         );
     }
@@ -127,15 +129,17 @@ fn claim3_close_to_energy_proportional() {
     // Proportionality is a fleet-scale property: the spare-host floor
     // amortizes as the cluster grows, so test at 16 hosts.
     let levels = [0.1, 0.3, 0.5, 0.7];
-    let base = proportionality_sweep(16, 64, &levels, PowerPolicy::always_on(), 23)
+    let base = SweepBuilder::proportionality(16, 64, &levels, PowerPolicy::always_on(), 23)
+        .run()
         .expect("scenario runs");
-    let pm = proportionality_sweep(16, 64, &levels, PowerPolicy::reactive_suspend(), 23)
+    let pm = SweepBuilder::proportionality(16, 64, &levels, PowerPolicy::reactive_suspend(), 23)
+        .run()
         .expect("scenario runs");
 
-    let peak = base.last().expect("non-empty").1.avg_power_w() / 0.93; // approx full-load power
+    let peak = base.last().expect("non-empty").report().avg_power_w() / 0.93; // approx full-load power
     for (i, &level) in levels.iter().enumerate() {
-        let base_gap = (base[i].1.avg_power_w() / peak - level).abs();
-        let pm_gap = (pm[i].1.avg_power_w() / peak - level).abs();
+        let base_gap = (base[i].report().avg_power_w() / peak - level).abs();
+        let pm_gap = (pm[i].report().avg_power_w() / peak - level).abs();
         assert!(
             pm_gap < 0.6 * base_gap,
             "at load {level}: PM gap {pm_gap:.2} not well below baseline gap {base_gap:.2}"
